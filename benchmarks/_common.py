@@ -1,0 +1,32 @@
+"""Shared helpers for the benchmark harness.
+
+Every bench regenerates one table/figure of the paper (see DESIGN.md's
+experiment index), asserts its *shape* (who wins, by roughly what factor)
+and writes the rendered table to ``benchmarks/results/`` so the artifacts
+survive pytest's output capture.
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+
+from repro.core import Table
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+
+def save_table(table: Table, name: str) -> str:
+    """Render a table, write it to results/<name>.txt and return text."""
+    RESULTS_DIR.mkdir(exist_ok=True)
+    text = table.render()
+    path = RESULTS_DIR / f"{name}.txt"
+    with open(path, "w") as handle:
+        handle.write(text + "\n")
+    return text
+
+
+def save_text(text: str, name: str) -> None:
+    RESULTS_DIR.mkdir(exist_ok=True)
+    with open(RESULTS_DIR / f"{name}.txt", "w") as handle:
+        handle.write(text + "\n")

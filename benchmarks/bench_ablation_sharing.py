@@ -1,0 +1,82 @@
+"""DESIGN.md ablation — resource sharing in binding (area/delay trade).
+
+Sweeping the multiplier allocation on a multiply-rich kernel: fewer units
+mean more sharing (serialized schedule, more mux area per unit), more
+units mean a shorter schedule at higher DSP cost — the classic HLS
+trade-off the allocation/binding steps of Fig. 2 manage.
+"""
+
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).parent))
+
+from _common import save_table
+
+from repro.core import Table
+from repro.hls import compile_to_ir, synthesize
+from repro.hls.backend import (
+    allocate,
+    bind,
+    build_datapath_report,
+    build_fsm,
+    schedule_function,
+    verify_schedule,
+)
+from repro.hls.middleend import optimize
+
+SOURCE = """
+int poly(int x) {
+  int x2 = x * x;
+  int x3 = x2 * x;
+  int x4 = x2 * x2;
+  int y0 = 3 * x2 + 5 * x3;
+  int y1 = 7 * x4 + x * 11;
+  return y0 - y1;
+}
+"""
+
+
+def sweep():
+    table = Table(
+        "Ablation — multiplier sharing (allocation limit sweep)",
+        ["mult_units", "entry_cycles", "bound_instances", "dsps",
+         "mux_luts", "total_luts"])
+    results = {}
+    for limit in (1, 2, 4, 8):
+        module = compile_to_ir(SOURCE)
+        optimize(module, level=2)
+        func = module["poly"]
+        func.pragmas["allocation"] = {"mult": limit}
+        allocation = allocate(func, clock_ns=4.0)
+        schedule = schedule_function(func, allocation)
+        assert verify_schedule(schedule, allocation) == []
+        binding = bind(schedule, allocation)
+        fsm = build_fsm(schedule)
+        report = build_datapath_report(func, schedule, binding, allocation,
+                                       fsm)
+        mux_luts = report.area.breakdown.get("mux:mult", {}).get("luts", 0)
+        entry_len = schedule.blocks[func.entry].length
+        table.add_row(limit, entry_len, binding.fu.instances("mult"),
+                      report.area.dsps, mux_luts, report.area.luts)
+        results[limit] = (entry_len, binding.fu.instances("mult"),
+                          report.area.dsps)
+    table.add_note("fewer units -> longer schedule; more units -> more "
+                   "DSPs (allocation/binding trade-off, paper Fig. 2)")
+    return table, results
+
+
+def test_sharing_ablation(benchmark):
+    table, results = benchmark(sweep)
+    save_table(table, "ablation_sharing")
+    cycles_1, instances_1, dsps_1 = results[1]
+    cycles_8, instances_8, dsps_8 = results[8]
+    # Sharing constraint honoured.
+    assert instances_1 == 1
+    assert instances_8 > 1
+    # Serial schedule is longer; parallel datapath burns more DSPs.
+    assert cycles_1 > cycles_8
+    assert dsps_8 > dsps_1
+    # Behaviour identical regardless of sharing.
+    p1 = synthesize(SOURCE, "poly", clock_ns=4.0)
+    assert p1.cosimulate((7,)).match

@@ -1,0 +1,104 @@
+"""§II — AXI4 master interfaces and configurable memory delay.
+
+Two experiments from the paper text: (1) "memory delay estimates can also
+be configured to assess the performance of the application" — a latency
+sweep on a synthesized AXI kernel; (2) the planned burst/cache extensions
+("adding support for prefetching and caching mechanisms might drastically
+reduce the average access time") — implemented and measured.
+"""
+
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).parent))
+
+from _common import save_table
+
+from repro.core import Table, ratio
+from repro.hls import synthesize
+from repro.hls.backend.axi import (
+    AxiCacheConfig,
+    AxiInterfaceConfig,
+    AxiMemorySubsystem,
+)
+
+AXI_KERNEL = """
+#pragma HLS interface port=x mode=axi
+int checksum(const int *x, int n) {
+  int s = 0;
+  for (int i = 0; i < n; i++) s += x[i];
+  return s;
+}
+"""
+
+DATA = list(range(64))
+
+
+def latency_sweep():
+    table = Table(
+        "AXI memory-delay sweep — synthesized kernel cycles (paper §II)",
+        ["axi_read_latency", "cycles", "cycles_per_element"])
+    results = {}
+    for latency in (2, 4, 8, 16, 32, 64):
+        project = synthesize(AXI_KERNEL, "checksum",
+                             axi_read_latency=latency)
+        result, trace, _ = project.simulate((len(DATA),), {"x": DATA})
+        assert result == sum(DATA)
+        table.add_row(latency, trace.cycles,
+                      round(trace.cycles / len(DATA), 2))
+        results[latency] = trace.cycles
+    return table, results
+
+
+def interface_extensions():
+    """Burst + cache extensions measured on the access-trace model."""
+    table = Table(
+        "AXI interface extensions — stall cycles for 256 sequential reads",
+        ["interface", "stall_cycles", "avg_read_latency", "hit_rate",
+         "speedup_vs_base"])
+    trace = list(range(256))
+    results = {}
+    configs = {
+        "single-beat": AxiInterfaceConfig(read_latency=20),
+        "burst-16": AxiInterfaceConfig(read_latency=20, burst=True,
+                                       max_burst_len=16),
+        "cache-1KiB": AxiInterfaceConfig(
+            read_latency=20,
+            cache=AxiCacheConfig(size_bytes=1024, line_bytes=64,
+                                 associativity=2)),
+    }
+    base_cycles = None
+    for name, config in configs.items():
+        subsystem = AxiMemorySubsystem(config)
+        for address in trace:
+            subsystem.read(address)
+        stats = subsystem.stats
+        if base_cycles is None:
+            base_cycles = stats.read_cycles
+        table.add_row(name, stats.read_cycles,
+                      round(stats.average_read_latency, 2),
+                      round(stats.hit_rate, 3),
+                      round(ratio(base_cycles, stats.read_cycles), 2))
+        results[name] = stats.read_cycles
+    table.add_note("paper: 'prefetching and caching mechanisms might "
+                   "drastically reduce the average access time'")
+    return table, results
+
+
+def test_axi_latency_sweep(benchmark):
+    table, results = benchmark.pedantic(latency_sweep, rounds=1,
+                                        iterations=1)
+    save_table(table, "axi_latency_sweep")
+    latencies = sorted(results)
+    for near, far in zip(latencies, latencies[1:]):
+        assert results[far] > results[near]
+    # At 64-cycle memory, the kernel is thoroughly memory bound.
+    assert results[64] > 4 * results[2]
+
+
+def test_axi_extensions(benchmark):
+    table, results = benchmark.pedantic(interface_extensions, rounds=1,
+                                        iterations=1)
+    save_table(table, "axi_extensions")
+    assert results["burst-16"] < results["single-beat"] / 4
+    assert results["cache-1KiB"] < results["single-beat"] / 4

@@ -1,0 +1,118 @@
+"""§II — dynamically controlled dataflow accelerators for ML (ref [14]).
+
+Compares the monolithic single-FSM synthesis of the quantized MLP against
+the task-pipeline (dataflow) synthesis: controller state counts, stream
+throughput, and the controller-sharing effect when a task appears at
+several call sites.
+"""
+
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).parent))
+
+from _common import save_table
+
+from repro.apps import ai
+from repro.core import Table, ratio
+from repro.hls import synthesize
+from repro.hls.backend.dataflow import analyze_dataflow
+
+
+def mlp_comparison():
+    mono_project = synthesize(ai.mlp_monolithic_source(), "mlp",
+                              clock_ns=8.0, opt_level=2)
+    flow_project = synthesize(ai.mlp_dataflow_source(), "mlp_pipeline",
+                              clock_ns=8.0, opt_level=1)
+    design = analyze_dataflow(flow_project)
+    # Monolithic single-item latency (measured by simulation).
+    x = ai.sample_inputs(1)[0]
+    _r, mono_trace, _ = mono_project.simulate((), {"x": x})
+    mono_latency = mono_trace.cycles
+
+    table = Table(
+        "ML synthesis — monolithic FSM vs dynamically controlled dataflow",
+        ["metric", "monolithic", "dataflow"])
+    table.add_row("controller states", mono_project["mlp"].state_count,
+                  design.dataflow_states)
+    table.add_row("single-item latency (cycles)", mono_latency,
+                  design.single_item_latency)
+    table.add_row("initiation interval (cycles)", mono_latency,
+                  design.initiation_interval)
+    for items in (10, 100):
+        table.add_row(f"stream of {items} items", items * mono_latency,
+                      design.stream_latency(items))
+    table.add_row("stream speedup (100 items)", 1.0,
+                  round(ratio(100 * mono_latency,
+                              design.stream_latency(100)), 2))
+    return table, mono_project, design, mono_latency
+
+
+def repeated_task_sharing():
+    source = """
+void stage(const int *in, int *out) {
+  for (int i = 0; i < 16; i++) out[i] = (in[i] * 3 + 1) >> 1;
+}
+#pragma HLS dataflow
+void chain4(const int *src, int *dst) {
+  int b1[16];
+  int b2[16];
+  int b3[16];
+  stage(src, b1);
+  stage(b1, b2);
+  stage(b2, b3);
+  stage(b3, dst);
+}
+"""
+    project = synthesize(source, "chain4", opt_level=1)
+    design = analyze_dataflow(project)
+    table = Table(
+        "Dataflow controller sharing — 4 call sites of one task",
+        ["design", "controller_states"])
+    table.add_row("monolithic (states replicated per call)",
+                  design.monolithic_states)
+    table.add_row("dataflow (one controller + tokens)",
+                  design.dataflow_states)
+    table.add_note(f"state reduction: {design.state_reduction():.0%}")
+    return table, design
+
+
+def test_dataflow_mlp(benchmark):
+    table, mono_project, design, mono_latency = benchmark.pedantic(
+        mlp_comparison, rounds=1, iterations=1)
+    save_table(table, "dataflow_mlp")
+    # Pipelining: II strictly below single-item latency.
+    assert design.initiation_interval < design.single_item_latency
+    # Stream processing beats the monolithic design by the pipeline depth.
+    assert design.speedup(100) > 1.5
+    assert design.stream_latency(100) < 100 * mono_latency
+
+
+def test_dataflow_state_sharing(benchmark):
+    table, design = benchmark.pedantic(repeated_task_sharing, rounds=1,
+                                       iterations=1)
+    save_table(table, "dataflow_sharing")
+    # Four call sites, one shared controller: "the complexity of the FSM
+    # controllers ... grows exponentially" (paper §II) — dataflow caps it.
+    assert design.dataflow_states < design.monolithic_states
+    assert design.state_reduction() > 0.5
+
+
+def test_dataflow_functional_equivalence(benchmark):
+    """Both MLP variants classify identically across a batch."""
+    def run_batch():
+        mono = synthesize(ai.mlp_monolithic_source(), "mlp", opt_level=2)
+        flow = synthesize(ai.mlp_dataflow_source(), "mlp_pipeline",
+                          opt_level=1)
+        matches = 0
+        inputs = ai.sample_inputs(8)
+        for x in inputs:
+            r1, _t, _m = mono.simulate((), {"x": x})
+            _r, _t2, mems = flow.simulate((), {"x": x, "result": [0]})
+            expected = ai.mlp_reference(x)
+            if r1 == expected and mems["result"].data[0] == expected:
+                matches += 1
+        return matches, len(inputs)
+
+    matches, total = benchmark.pedantic(run_batch, rounds=1, iterations=1)
+    assert matches == total

@@ -1,0 +1,84 @@
+"""Fig. 1 — NG-ULTRA platform claims vs the previous rad-hard generation.
+
+Paper claims: ~550k LUTs, "running twice as fast as current rad-hard
+FPGAs with a power consumption four times smaller", quad-core ARM R52 at
+600 MHz.  The bench times a reference design on every device model of the
+family and regenerates the comparison.
+"""
+
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).parent))
+
+from _common import save_table
+
+from repro.core import Table, ratio
+from repro.fabric import (
+    DEVICE_FAMILY,
+    LEGACY_RADHARD,
+    NG_ULTRA,
+    NXmapProject,
+    analyze_timing,
+    place,
+    scaled_device,
+    synthesize_component,
+)
+
+_REFERENCE_KERNEL = ("addsub", 32)
+
+
+def _evaluate_device(device_full, netlist):
+    """Place + STA + power on a capacity-reduced twin of the device."""
+    small = scaled_device(device_full, f"{device_full.name}-bench", 4096)
+    project = NXmapProject(netlist, small, seed=3)
+    project.run_place(effort=0.3)
+    project.run_route()
+    timing = project.run_sta()
+    clock_mhz = min(timing.fmax_mhz, 600.0)
+    power = project.estimate_power(clock_mhz)
+    # Energy per operation at the achieved frequency (nJ).
+    energy_nj = power.dynamic_mw / max(clock_mhz, 1e-9) * 1000.0
+    return timing, power, energy_nj
+
+
+def build_table():
+    kind, width = _REFERENCE_KERNEL
+    table = Table(
+        "Fig. 1 — rad-hard FPGA platform comparison (32-bit adder IP)",
+        ["device", "process", "LUTs", "DSPs", "CPU",
+         "Fmax_MHz", "speed_vs_legacy", "energy_nJ_per_op",
+         "energy_vs_legacy"])
+    rows = {}
+    for name in ("LEGACY-RH (65nm gen)", "NG-MEDIUM", "NG-LARGE",
+                 "NG-ULTRA"):
+        device = DEVICE_FAMILY[name]
+        netlist = synthesize_component(kind, width)
+        timing, power, energy = _evaluate_device(device, netlist)
+        rows[name] = (timing.fmax_mhz, energy)
+    legacy_fmax, legacy_energy = rows["LEGACY-RH (65nm gen)"]
+    for name, (fmax, energy) in rows.items():
+        device = DEVICE_FAMILY[name]
+        cpu = (f"{device.cpu_cores}x {device.cpu} @{device.cpu_mhz}MHz"
+               if device.cpu else "-")
+        table.add_row(name, device.process, device.luts, device.dsps, cpu,
+                      round(fmax, 1), round(ratio(fmax, legacy_fmax), 2),
+                      round(energy, 4),
+                      round(ratio(legacy_energy, energy), 2))
+    table.add_note("paper claim: NG-ULTRA ~2x speed, ~4x lower power than "
+                   "current rad-hard FPGAs, 550k LUTs, quad R52 @600MHz")
+    return table, rows
+
+
+def test_fig1_platform_comparison(benchmark):
+    table, rows = benchmark(build_table)
+    text = save_table(table, "fig1_platform")
+    legacy_fmax, legacy_energy = rows["LEGACY-RH (65nm gen)"]
+    ultra_fmax, ultra_energy = rows["NG-ULTRA"]
+    # Shape: ~2x faster (allow 1.5-3x), ~4x less energy (allow 3-6x).
+    assert 1.5 <= ultra_fmax / legacy_fmax <= 3.0
+    assert 3.0 <= legacy_energy / ultra_energy <= 6.0
+    # Capacity claim: ~550k LUTs.
+    assert 500_000 <= NG_ULTRA.luts <= 600_000
+    assert NG_ULTRA.cpu_cores == 4 and NG_ULTRA.cpu_mhz == 600
+    assert "NG-ULTRA" in text

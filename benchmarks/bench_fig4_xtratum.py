@@ -1,0 +1,121 @@
+"""Fig. 4 — XtratuM time-and-space partitioning on the quad-core R52.
+
+Regenerates the partitioning picture as measurements: per-partition CPU
+budgets and response times across the four cores, hypervisor overhead as
+a function of the context-switch cost, and the isolation guarantee under
+a misbehaving partition.
+"""
+
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).parent))
+
+import pytest
+from _common import save_table
+
+from repro.apps import mission
+from repro.core import Table
+
+
+def partition_table():
+    run = mission.run_mission(frames=40)
+    table = Table(
+        "Fig. 4 — partition schedule on 4 cores (40 major frames of 10ms)",
+        ["partition", "core", "cpu_ms", "util_%", "activations",
+         "wcrt_us", "jitter_us", "deadline_misses"])
+    cores = {mission.AOCS_PID: 0, mission.VBN_PID: 1,
+             mission.EOR_PID: 2, mission.TM_PID: 3}
+    for pid, core in cores.items():
+        metrics = run.metrics.partitions[pid]
+        table.add_row(metrics.name, core,
+                      round(metrics.cpu_time_us / 1000, 2),
+                      round(100 * run.metrics.utilization(pid), 1),
+                      metrics.activations,
+                      round(metrics.worst_response_us, 1),
+                      round(metrics.max_jitter_us, 1),
+                      metrics.deadline_misses)
+    overhead_pct = (100 * run.metrics.hypervisor_overhead_us
+                    / (run.metrics.total_time_us * 4))
+    table.add_note(f"hypervisor overhead {overhead_pct:.2f}% of 4-core time")
+    return table, run
+
+
+def isolation_table():
+    nominal = mission.run_mission(frames=40)
+    faulty = mission.run_mission(frames=40, faulty_vbn=True)
+    table = Table(
+        "Fig. 4 — temporal isolation: nominal vs faulty VBN partition",
+        ["partition", "wcrt_nominal_us", "wcrt_faulty_us", "miss_nominal",
+         "miss_faulty", "restarts_faulty"])
+    for pid in (mission.AOCS_PID, mission.VBN_PID, mission.EOR_PID,
+                mission.TM_PID):
+        n = nominal.metrics.partitions[pid]
+        f = faulty.metrics.partitions[pid]
+        table.add_row(n.name, round(n.worst_response_us, 1),
+                      round(f.worst_response_us, 1), n.deadline_misses,
+                      f.deadline_misses, f.restarts)
+    table.add_note("a crashing VBN partition must not move any other "
+                   "partition's worst response time (TSP, paper §III)")
+    return table, nominal, faulty
+
+
+def overhead_sweep():
+    table = Table("Fig. 4 ablation — hypervisor context-switch cost",
+                  ["context_switch_us", "overhead_pct", "aocs_wcrt_us"])
+    results = {}
+    for cost in (0.5, 2.0, 8.0, 32.0):
+        run_config = mission.mission_config()
+        run_config.context_switch_us = cost
+        from repro.hypervisor import XtratumHypervisor
+        hv = XtratumHypervisor(run_config)
+        hv.load_partition(mission.AOCS_PID, mission.aocs_workload,
+                          period_us=5_000.0, deadline_us=5_000.0)
+        hv.load_partition(mission.VBN_PID, mission.vbn_workload,
+                          period_us=10_000.0)
+        hv.load_partition(mission.EOR_PID, mission.eor_workload,
+                          period_us=10_000.0)
+        hv.load_partition(mission.TM_PID, mission.telemetry_workload,
+                          period_us=10_000.0)
+        metrics = hv.run(frames=20)
+        overhead_pct = (100 * metrics.hypervisor_overhead_us
+                        / (metrics.total_time_us * 4))
+        table.add_row(cost, round(overhead_pct, 3),
+                      round(metrics.partitions[mission.AOCS_PID]
+                            .worst_response_us, 1))
+        results[cost] = overhead_pct
+    return table, results
+
+
+def test_fig4_partition_schedule(benchmark):
+    table, run = benchmark.pedantic(partition_table, rounds=1, iterations=1)
+    save_table(table, "fig4_xtratum_schedule")
+    # All four cores host work; AOCS runs at twice the frame rate.
+    assert run.metrics.partitions[mission.AOCS_PID].activations == 80
+    assert run.metrics.partitions[mission.VBN_PID].activations == 40
+    for pid in (mission.AOCS_PID, mission.VBN_PID, mission.EOR_PID):
+        assert run.metrics.partitions[pid].deadline_misses == 0
+
+
+def test_fig4_isolation(benchmark):
+    table, nominal, faulty = benchmark.pedantic(isolation_table, rounds=1,
+                                                iterations=1)
+    save_table(table, "fig4_xtratum_isolation")
+    for pid in (mission.AOCS_PID, mission.EOR_PID, mission.TM_PID):
+        n = nominal.metrics.partitions[pid]
+        f = faulty.metrics.partitions[pid]
+        assert f.deadline_misses == n.deadline_misses == 0
+        assert f.worst_response_us == pytest.approx(n.worst_response_us,
+                                                    rel=0.05)
+    assert faulty.metrics.partitions[mission.VBN_PID].restarts > 0
+
+
+def test_fig4_overhead_scaling(benchmark):
+    table, results = benchmark.pedantic(overhead_sweep, rounds=1,
+                                        iterations=1)
+    save_table(table, "fig4_xtratum_overhead")
+    costs = sorted(results)
+    for cheap, dear in zip(costs, costs[1:]):
+        assert results[dear] > results[cheap]
+    # Even the expensive case stays a small fraction of machine time.
+    assert results[32.0] < 10.0

@@ -1,0 +1,68 @@
+"""End-to-end accelerator delivery: Sobel IP core onto NG-ULTRA.
+
+Covers the full HERMES chain of the paper: Bambu-style HLS (§II), the
+NXmap backend integration with generated synthesis script (Fig. 3), the
+configuration bitstream, and deployment through the BL1 boot loader
+(§IV) which programs the eFPGA matrix at power-up.
+
+Run:  python examples/hls_accelerator.py
+"""
+
+import numpy as np
+
+from repro.apps import image
+from repro.core import HermesProject
+
+
+def main() -> None:
+    print("HERMES accelerator delivery — Sobel edge detector IP")
+    print("=" * 64)
+
+    project = HermesProject(clock_ns=8.0)
+
+    # 1. HLS + backend flow.
+    accelerator = project.build_accelerator(image.SOBEL_C, "sobel")
+    flow = accelerator.flow
+    print("\nNXmap flow report:")
+    print(f"  device       : {flow.device}")
+    print(f"  LUT/FF/DSP/BRAM: {flow.stats['luts']}/{flow.stats['ffs']}/"
+          f"{flow.stats['dsps']}/{flow.stats['brams']}")
+    print(f"  placed HPWL  : {flow.placement.hpwl:.0f} "
+          f"(improved {flow.placement.improvement:.0%})")
+    print(f"  routed wires : {flow.routing.wirelength} segments, "
+          f"congestion max {flow.routing.max_congestion}")
+    print(f"  Fmax         : {flow.timing.fmax_mhz:.1f} MHz "
+          f"(critical path {flow.timing.critical_path_ns:.2f} ns)")
+    print(f"  power        : {flow.power.total_mw:.1f} mW")
+    print(f"  bitstream    : {flow.bitstream_bits} bits "
+          f"({flow.essential_bits} essential)")
+
+    # 2. Functional check of the IP against the NumPy golden model.
+    frame = image.synthetic_frame(seed=3)
+    expected = image.sobel_reference(frame)
+    cosim = accelerator.hls.cosimulate(
+        (), {"src": frame.flatten().tolist(), "dst": [0] * frame.size})
+    print("\nIP functional verification:")
+    print(f"  C-vs-RTL co-simulation match: {cosim.match} "
+          f"({cosim.cycles} cycles/frame)")
+
+    # 3. The generated NXmap backend script (Bambu integration artifact).
+    print("\nGenerated NXmap backend script:")
+    for line in accelerator.backend_script.splitlines()[:8]:
+        print("   ", line)
+    print("    ...")
+
+    # 4. Boot deployment: BL1 programs the eFPGA from flash.
+    boot = project.deploy_and_boot(accelerator)
+    soc = project.last_soc
+    print("\nBoot deployment:")
+    print(f"  boot chain   : {boot.total_cycles} cycles "
+          f"({soc.cycles_to_us(boot.total_cycles):.0f} us @600MHz)")
+    print(f"  eFPGA status : programmed={soc.efpga.programmed} "
+          f"crc_ok={soc.efpga.crc_ok}")
+    print()
+    print(boot.bl1.report.render())
+
+
+if __name__ == "__main__":
+    main()

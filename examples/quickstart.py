@@ -1,0 +1,53 @@
+"""Quickstart: C kernel -> HLS -> reports -> RTL -> co-simulation.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro.hls import synthesize
+
+SOURCE = """
+// Weighted moving average over an 8-sample window.
+void wavg(const int *x, int *y, int n) {
+  const int w[8] = {1, 2, 4, 8, 8, 4, 2, 1};
+  for (int i = 7; i < n; i++) {
+    int acc = 0;
+    for (int t = 0; t < 8; t++) {
+      acc += x[i - t] * w[t];
+    }
+    y[i] = acc >> 5;
+  }
+}
+"""
+
+
+def main() -> None:
+    print("HERMES HLS quickstart — Bambu-equivalent flow (paper Fig. 2)")
+    print("=" * 64)
+
+    # 1. Synthesize at a 600 MHz-class clock target.
+    project = synthesize(SOURCE, top="wavg", clock_ns=5.0, opt_level=2)
+    design = project["wavg"]
+
+    # 2. Reports: the metrics the paper's use-case evaluation collects.
+    print("\nResource / timing report:")
+    print(" ", design.report.summary())
+    print(f"  FSM states: {design.state_count}")
+    print(f"  optimization: {project.opt_report.reduction('wavg'):.0%} "
+          f"of operations removed by the middle end")
+
+    # 3. Cycle-accurate simulation with real data.
+    data = [10, 20, 30, 40, 50, 60, 70, 80, 90, 100, 110, 120]
+    result = project.cosimulate((len(data),),
+                                {"x": data, "y": [0] * len(data)})
+    print("\nC-vs-RTL co-simulation:")
+    print(f"  match: {result.match}   cycles: {result.cycles}")
+
+    # 4. The generated Verilog (first lines).
+    print("\nGenerated Verilog (head):")
+    for line in design.verilog.splitlines()[:12]:
+        print("   ", line)
+    print("    ...")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,5 @@
+"""Setup shim enabling legacy editable installs (no wheel package needed)."""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,9 @@
+"""HERMES ecosystem reproduction.
+
+A full-software model of the HERMES project (DATE 2023): the Bambu-style
+HLS flow, the NG-ULTRA fabric and NXmap-style backend, the XtratuM-style
+TSP hypervisor, the BL0/BL1/BL2 boot chain, radiation-hardening substrates
+and the space use-case applications.
+"""
+
+__version__ = "1.0.0"

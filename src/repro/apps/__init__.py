@@ -1,0 +1,7 @@
+"""Space use-case applications (paper §V): image/vision processing,
+software-defined algorithms, AI inference, and the SELENE-derived
+mission (AOCS + VBN + EOR) for the virtualization evaluation."""
+
+from . import ai, aocs, eor, image, mission, sdr, vbn
+
+__all__ = ["ai", "aocs", "eor", "image", "mission", "sdr", "vbn"]

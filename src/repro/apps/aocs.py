@@ -1,0 +1,152 @@
+"""Attitude and Orbit Control System (AOCS) — paper §V use case.
+
+A representative spacecraft attitude-control loop: rigid-body dynamics
+with reaction wheels, quaternion kinematics and a quaternion-feedback PD
+controller.  Deterministic, laptop-scale, and convergent — the partition
+workload of the XtratuM use case is built on top of it.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import List, Optional, Tuple
+
+import numpy as np
+
+
+def quat_normalize(q: np.ndarray) -> np.ndarray:
+    return q / np.linalg.norm(q)
+
+
+def quat_multiply(a: np.ndarray, b: np.ndarray) -> np.ndarray:
+    w1, x1, y1, z1 = a
+    w2, x2, y2, z2 = b
+    return np.array([
+        w1 * w2 - x1 * x2 - y1 * y2 - z1 * z2,
+        w1 * x2 + x1 * w2 + y1 * z2 - z1 * y2,
+        w1 * y2 - x1 * z2 + y1 * w2 + z1 * x2,
+        w1 * z2 + x1 * y2 - y1 * x2 + z1 * w2,
+    ])
+
+
+def quat_conjugate(q: np.ndarray) -> np.ndarray:
+    return np.array([q[0], -q[1], -q[2], -q[3]])
+
+
+def quat_error(current: np.ndarray, target: np.ndarray) -> np.ndarray:
+    """Error quaternion rotating ``current`` onto ``target``."""
+    return quat_multiply(quat_conjugate(current), target)
+
+
+def quat_from_axis_angle(axis, angle_rad: float) -> np.ndarray:
+    axis = np.asarray(axis, dtype=float)
+    axis = axis / np.linalg.norm(axis)
+    half = angle_rad / 2
+    return np.concatenate(([math.cos(half)], axis * math.sin(half)))
+
+
+@dataclass
+class ReactionWheels:
+    """Three orthogonal wheels with torque and momentum saturation."""
+
+    max_torque_nm: float = 0.05
+    max_momentum_nms: float = 2.0
+    momentum: np.ndarray = field(
+        default_factory=lambda: np.zeros(3))
+
+    def apply(self, torque_cmd: np.ndarray, dt: float) -> np.ndarray:
+        """Clamp the command; returns the torque actually produced."""
+        torque = np.clip(torque_cmd, -self.max_torque_nm,
+                         self.max_torque_nm)
+        new_momentum = self.momentum + torque * dt
+        # Wheels saturated along an axis produce no further torque there.
+        for axis in range(3):
+            if abs(new_momentum[axis]) > self.max_momentum_nms:
+                limited = (math.copysign(self.max_momentum_nms,
+                                         new_momentum[axis])
+                           - self.momentum[axis]) / dt
+                torque[axis] = limited
+                new_momentum[axis] = math.copysign(self.max_momentum_nms,
+                                                   new_momentum[axis])
+        self.momentum = new_momentum
+        return torque
+
+    @property
+    def saturated_axes(self) -> List[int]:
+        return [axis for axis in range(3)
+                if abs(self.momentum[axis]) >= self.max_momentum_nms - 1e-9]
+
+
+@dataclass
+class PdController:
+    """Quaternion-feedback PD attitude controller."""
+
+    kp: float = 0.08
+    kd: float = 0.4
+
+    def torque(self, q_error: np.ndarray,
+               body_rate: np.ndarray) -> np.ndarray:
+        # Vector part of the error quaternion drives the proportional term
+        # (sign-corrected for the shortest rotation).
+        sign = 1.0 if q_error[0] >= 0 else -1.0
+        return self.kp * sign * q_error[1:4] - self.kd * body_rate
+
+
+@dataclass
+class AocsState:
+    attitude: np.ndarray = field(
+        default_factory=lambda: np.array([1.0, 0.0, 0.0, 0.0]))
+    body_rate: np.ndarray = field(default_factory=lambda: np.zeros(3))
+
+
+class AocsLoop:
+    """The closed control loop: dynamics + wheels + controller."""
+
+    def __init__(self, inertia=(10.0, 12.0, 8.0),
+                 controller: Optional[PdController] = None,
+                 wheels: Optional[ReactionWheels] = None) -> None:
+        self.inertia = np.asarray(inertia, dtype=float)
+        self.controller = controller or PdController()
+        self.wheels = wheels or ReactionWheels()
+        self.state = AocsState()
+        self.target = np.array([1.0, 0.0, 0.0, 0.0])
+        self.steps = 0
+
+    def set_target(self, q_target) -> None:
+        self.target = quat_normalize(np.asarray(q_target, dtype=float))
+
+    def pointing_error_rad(self) -> float:
+        q_err = quat_error(self.state.attitude, self.target)
+        w = min(1.0, abs(float(q_err[0])))
+        return 2.0 * math.acos(w)
+
+    def step(self, dt: float = 0.1,
+             disturbance: Optional[np.ndarray] = None) -> float:
+        """One control cycle; returns the pointing error after the step."""
+        state = self.state
+        q_err = quat_error(state.attitude, self.target)
+        commanded = self.controller.torque(q_err, state.body_rate)
+        applied = self.wheels.apply(commanded, dt)
+        total = applied + (disturbance if disturbance is not None
+                           else np.zeros(3))
+        # Euler rigid-body integration (diagonal inertia).
+        rate_dot = total / self.inertia
+        state.body_rate = state.body_rate + rate_dot * dt
+        # Quaternion kinematics.
+        omega = np.concatenate(([0.0], state.body_rate))
+        q_dot = 0.5 * quat_multiply(state.attitude, omega)
+        state.attitude = quat_normalize(state.attitude + q_dot * dt)
+        self.steps += 1
+        return self.pointing_error_rad()
+
+    def run_to_convergence(self, tolerance_rad: float = 0.01,
+                           dt: float = 0.1,
+                           max_steps: int = 20_000) -> int:
+        """Steps until the pointing error settles; returns the count."""
+        for count in range(1, max_steps + 1):
+            error = self.step(dt)
+            if error < tolerance_rad and \
+                    float(np.linalg.norm(self.state.body_rate)) < 0.005:
+                return count
+        return max_steps

@@ -1,0 +1,109 @@
+"""Electric Orbit Raising (EOR) — paper §V use case.
+
+Low-thrust orbit raising from an injection orbit to GEO: an
+Edelbaum-style continuous-thrust spiral with eclipse duty cycling and a
+planner that produces per-revolution thrust arcs.  Used as the third
+partition of the SELENE-derived mission scenario.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+MU_EARTH = 398_600.4418      # km^3/s^2
+GEO_RADIUS_KM = 42_164.0
+
+
+@dataclass
+class SpacecraftConfig:
+    mass_kg: float = 2_000.0
+    thrust_n: float = 0.4          # electric thruster
+    isp_s: float = 1_800.0
+    duty_cycle: float = 0.9        # eclipse/thruster-off fraction
+
+
+@dataclass
+class OrbitState:
+    radius_km: float               # circular-orbit radius (Edelbaum)
+    mass_kg: float
+    elapsed_days: float = 0.0
+
+    @property
+    def velocity_kms(self) -> float:
+        return math.sqrt(MU_EARTH / self.radius_km)
+
+
+@dataclass
+class ThrustArc:
+    revolution: int
+    start_radius_km: float
+    delta_v_ms: float
+    duration_hours: float
+
+
+class EorPlanner:
+    """Plans and propagates a continuous-thrust orbit raise."""
+
+    def __init__(self, config: Optional[SpacecraftConfig] = None,
+                 start_radius_km: float = 24_000.0,
+                 target_radius_km: float = GEO_RADIUS_KM) -> None:
+        self.config = config or SpacecraftConfig()
+        self.state = OrbitState(radius_km=start_radius_km,
+                                mass_kg=self.config.mass_kg)
+        self.target_radius_km = target_radius_km
+        self.arcs: List[ThrustArc] = []
+
+    def total_delta_v_ms(self) -> float:
+        """Edelbaum delta-v between circular coplanar orbits (m/s)."""
+        v0 = math.sqrt(MU_EARTH / self.state.radius_km)
+        v1 = math.sqrt(MU_EARTH / self.target_radius_km)
+        return abs(v0 - v1) * 1000.0
+
+    def step_revolution(self) -> ThrustArc:
+        """Propagate one revolution of continuous tangential thrust."""
+        state = self.state
+        config = self.config
+        period_s = 2 * math.pi * math.sqrt(state.radius_km ** 3 / MU_EARTH)
+        accel_ms2 = config.thrust_n / state.mass_kg
+        burn_s = period_s * config.duty_cycle
+        delta_v_ms = accel_ms2 * burn_s
+        # Gauss variational form for tangential thrust on circular orbit:
+        # da/dt = 2 a^2 v / mu * f_t  ->  da = 2 a v dv / mu (km units).
+        v_kms = state.velocity_kms
+        da_km = 2 * state.radius_km ** 2 * v_kms * (delta_v_ms / 1000.0) \
+            / MU_EARTH
+        state.radius_km = min(state.radius_km + da_km,
+                              self.target_radius_km)
+        # Propellant usage (rocket equation differential form).
+        mdot = config.thrust_n / (config.isp_s * 9.80665)
+        state.mass_kg -= mdot * burn_s
+        state.elapsed_days += period_s / 86_400.0
+        arc = ThrustArc(revolution=len(self.arcs),
+                        start_radius_km=state.radius_km - da_km,
+                        delta_v_ms=delta_v_ms,
+                        duration_hours=burn_s / 3600.0)
+        self.arcs.append(arc)
+        return arc
+
+    @property
+    def arrived(self) -> bool:
+        return self.state.radius_km >= self.target_radius_km - 1.0
+
+    def run_to_target(self, max_revolutions: int = 20_000) -> int:
+        """Propagate until GEO; returns revolutions flown."""
+        count = 0
+        while not self.arrived and count < max_revolutions:
+            self.step_revolution()
+            count += 1
+        return count
+
+    def summary(self) -> dict:
+        return {
+            "revolutions": len(self.arcs),
+            "elapsed_days": self.state.elapsed_days,
+            "final_radius_km": self.state.radius_km,
+            "propellant_kg": self.config.mass_kg - self.state.mass_kg,
+            "delta_v_ms": sum(a.delta_v_ms for a in self.arcs),
+        }

@@ -1,0 +1,176 @@
+"""Image and vision processing use cases (paper §V).
+
+Each kernel exists twice: as HermesC source for the HLS flow (the IP-core
+generation path evaluated in the paper) and as a NumPy reference used for
+functional verification and for the software-side workloads.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+import numpy as np
+
+# -- HermesC sources ----------------------------------------------------------
+
+CONV2D_3X3_C = """
+// 3x3 convolution with a constant kernel, 16x16 frame.
+#define W 16
+#define H 16
+void conv2d(const int *src, int *dst, const int *kernel, int shift) {
+  for (int y = 1; y < H - 1; y++) {
+    for (int x = 1; x < W - 1; x++) {
+      int acc = 0;
+      for (int ky = 0; ky < 3; ky++) {
+        for (int kx = 0; kx < 3; kx++) {
+          acc += src[(y + ky - 1) * W + (x + kx - 1)] * kernel[ky * 3 + kx];
+        }
+      }
+      dst[y * W + x] = acc >> shift;
+    }
+  }
+}
+"""
+
+SOBEL_C = """
+// Sobel gradient magnitude (|gx| + |gy|), 16x16 frame.
+#define W 16
+#define H 16
+void sobel(const int *src, int *dst) {
+  for (int y = 1; y < H - 1; y++) {
+    for (int x = 1; x < W - 1; x++) {
+      int gx = src[(y - 1) * W + (x + 1)] - src[(y - 1) * W + (x - 1)]
+             + 2 * src[y * W + (x + 1)] - 2 * src[y * W + (x - 1)]
+             + src[(y + 1) * W + (x + 1)] - src[(y + 1) * W + (x - 1)];
+      int gy = src[(y + 1) * W + (x - 1)] - src[(y - 1) * W + (x - 1)]
+             + 2 * src[(y + 1) * W + x] - 2 * src[(y - 1) * W + x]
+             + src[(y + 1) * W + (x + 1)] - src[(y - 1) * W + (x + 1)];
+      int mag = abs(gx) + abs(gy);
+      dst[y * W + x] = min(mag, 255);
+    }
+  }
+}
+"""
+
+MEDIAN3_C = """
+// 3-tap horizontal median filter over a line buffer.
+void median3(const int *src, int *dst, int n) {
+  dst[0] = src[0];
+  for (int i = 1; i < n - 1; i++) {
+    int a = src[i - 1];
+    int b = src[i];
+    int c = src[i + 1];
+    int lo = min(a, b);
+    int hi = max(a, b);
+    dst[i] = max(lo, min(hi, c));
+  }
+  dst[n - 1] = src[n - 1];
+}
+"""
+
+THRESHOLD_C = """
+// Binary threshold with hysteresis-free cut.
+void threshold(const int *src, int *dst, int n, int level) {
+  for (int i = 0; i < n; i++) {
+    dst[i] = src[i] > level ? 255 : 0;
+  }
+}
+"""
+
+DPCM_ENCODE_C = """
+// DPCM predictive encoder (CCSDS-121-flavoured preprocessing stage):
+// outputs the prediction residuals mapped to non-negative integers.
+void dpcm_encode(const int *src, int *dst, int n) {
+  int prev = 0;
+  for (int i = 0; i < n; i++) {
+    int delta = src[i] - prev;
+    int mapped = delta >= 0 ? 2 * delta : -2 * delta - 1;
+    dst[i] = mapped;
+    prev = src[i];
+  }
+}
+"""
+
+
+# -- references ----------------------------------------------------------------
+
+
+def conv2d_reference(src: np.ndarray, kernel: np.ndarray,
+                     shift: int = 0) -> np.ndarray:
+    """Golden model of ``CONV2D_3X3_C`` (borders left at zero)."""
+    height, width = src.shape
+    out = np.zeros_like(src, dtype=np.int64)
+    for y in range(1, height - 1):
+        for x in range(1, width - 1):
+            patch = src[y - 1:y + 2, x - 1:x + 2].astype(np.int64)
+            out[y, x] = int((patch * kernel).sum()) >> shift
+    return out
+
+
+def sobel_reference(src: np.ndarray) -> np.ndarray:
+    gx_k = np.array([[-1, 0, 1], [-2, 0, 2], [-1, 0, 1]])
+    gy_k = np.array([[-1, -2, -1], [0, 0, 0], [1, 2, 1]])
+    height, width = src.shape
+    out = np.zeros_like(src, dtype=np.int64)
+    for y in range(1, height - 1):
+        for x in range(1, width - 1):
+            patch = src[y - 1:y + 2, x - 1:x + 2].astype(np.int64)
+            gx = int((patch * gx_k).sum())
+            gy = int((patch * gy_k).sum())
+            out[y, x] = min(abs(gx) + abs(gy), 255)
+    return out
+
+
+def median3_reference(line: np.ndarray) -> np.ndarray:
+    out = line.copy()
+    for i in range(1, len(line) - 1):
+        out[i] = sorted((line[i - 1], line[i], line[i + 1]))[1]
+    return out
+
+
+def threshold_reference(line: np.ndarray, level: int) -> np.ndarray:
+    return np.where(line > level, 255, 0)
+
+
+def dpcm_encode_reference(line: np.ndarray) -> np.ndarray:
+    out = np.zeros_like(line)
+    prev = 0
+    for i, value in enumerate(line):
+        delta = int(value) - prev
+        out[i] = 2 * delta if delta >= 0 else -2 * delta - 1
+        prev = int(value)
+    return out
+
+
+def dpcm_decode(mapped: np.ndarray) -> np.ndarray:
+    """Inverse of the DPCM mapping (completeness check)."""
+    out = np.zeros_like(mapped)
+    prev = 0
+    for i, code in enumerate(mapped):
+        delta = code // 2 if code % 2 == 0 else -(code + 1) // 2
+        prev = prev + int(delta)
+        out[i] = prev
+    return out
+
+
+def synthetic_frame(width: int = 16, height: int = 16,
+                    seed: int = 0) -> np.ndarray:
+    """A reproducible Earth-observation-like test frame: smooth gradient
+    plus a bright blob plus sensor noise."""
+    rng = np.random.default_rng(seed)
+    yy, xx = np.mgrid[0:height, 0:width]
+    gradient = (xx * 255 // max(1, width - 1)).astype(np.int64)
+    blob = 120 * np.exp(-(((xx - width / 2) ** 2 + (yy - height / 2) ** 2)
+                          / (0.1 * width * height)))
+    noise = rng.integers(-8, 9, size=(height, width))
+    frame = np.clip(gradient * 0.5 + blob + noise, 0, 255)
+    return frame.astype(np.int64)
+
+
+def compression_ratio(residuals: np.ndarray) -> float:
+    """First-order entropy estimate of the DPCM residual stream versus
+    raw 8-bit coding — the figure of merit of the compression use case."""
+    values, counts = np.unique(residuals, return_counts=True)
+    probabilities = counts / counts.sum()
+    entropy = float(-(probabilities * np.log2(probabilities)).sum())
+    return 8.0 / max(entropy, 1e-6)

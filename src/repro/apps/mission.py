@@ -1,0 +1,181 @@
+"""The SELENE-derived virtualized mission (paper §V).
+
+Builds the XtratuM configuration and partition workloads for the
+representative space-mission control system the paper names: an AOCS
+partition, a Visual-Based Navigation image-processing partition and an
+Electric Orbit Raising partition, plus a telemetry/system partition —
+all sharing the quad-core NG-ULTRA under TSP.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Generator, Optional
+
+import numpy as np
+
+from ..hypervisor import (
+    Compute,
+    EndActivation,
+    Fault,
+    MemoryArea,
+    PortKind,
+    ReadPort,
+    SystemConfig,
+    WritePort,
+    XtratumHypervisor,
+)
+from .aocs import AocsLoop, quat_from_axis_angle
+from .eor import EorPlanner
+from .vbn import estimate_pose, render_target
+
+AOCS_PID = 0
+VBN_PID = 1
+EOR_PID = 2
+TM_PID = 3
+
+# Modelled worst-case execution times (us) of one activation on the R52.
+AOCS_WCET_US = 350.0
+VBN_WCET_US = 3_800.0
+EOR_WCET_US = 900.0
+TM_WCET_US = 250.0
+
+
+def mission_config(major_frame_us: float = 10_000.0,
+                   cores: int = 4) -> SystemConfig:
+    """The mission scheduling plan: AOCS at high rate on core 0, VBN on
+    core 1, EOR on core 2, telemetry on core 3."""
+    config = SystemConfig(cores=cores, context_switch_us=2.0)
+    config.add_partition(AOCS_PID, "AOCS",
+                         [MemoryArea("aocs", 0x4000_0000, 0x10000)],
+                         criticality="DAL-B")
+    config.add_partition(VBN_PID, "VBN",
+                         [MemoryArea("vbn", 0x4001_0000, 0x40000)])
+    config.add_partition(EOR_PID, "EOR",
+                         [MemoryArea("eor", 0x4005_0000, 0x10000)])
+    config.add_partition(TM_PID, "TM",
+                         [MemoryArea("tm", 0x4006_0000, 0x10000)],
+                         system_partition=True)
+    plan = config.add_plan(0, major_frame_us=major_frame_us)
+    # AOCS: two windows per frame (500 us each) -> 5 ms control period.
+    plan.add_window(AOCS_PID, core=0, start_us=0.0, duration_us=500.0)
+    plan.add_window(AOCS_PID, core=0, start_us=major_frame_us / 2,
+                    duration_us=500.0)
+    # VBN: one long window on core 1.
+    plan.add_window(VBN_PID, core=1, start_us=0.0, duration_us=5_000.0)
+    # EOR: planning window on core 2.
+    plan.add_window(EOR_PID, core=2, start_us=0.0, duration_us=1_500.0)
+    # Telemetry on core 3.
+    plan.add_window(TM_PID, core=3, start_us=0.0, duration_us=1_000.0)
+    config.add_port("aocs_tm", PortKind.SAMPLING, source=AOCS_PID,
+                    destinations=[TM_PID])
+    config.add_port("vbn_nav", PortKind.SAMPLING, source=VBN_PID,
+                    destinations=[AOCS_PID, TM_PID])
+    config.add_port("eor_plan", PortKind.QUEUING, source=EOR_PID,
+                    destinations=[TM_PID], depth=16)
+    return config
+
+
+def aocs_workload(wcet_us: float = AOCS_WCET_US,
+                  loop: Optional[AocsLoop] = None) -> Generator:
+    """AOCS partition: run the control loop, publish telemetry."""
+    loop = loop or AocsLoop()
+    loop.set_target(quat_from_axis_angle([0, 0, 1], 0.3))
+    while True:
+        error = loop.step(dt=0.005)
+        yield Compute(wcet_us)
+        yield WritePort("aocs_tm", {
+            "pointing_error_rad": error,
+            "wheel_momentum": list(loop.wheels.momentum),
+        })
+        yield EndActivation()
+
+
+def vbn_workload(wcet_us: float = VBN_WCET_US) -> Generator:
+    """VBN partition: process one synthetic frame per activation."""
+    frame_index = 0
+    while True:
+        offset = (3.0 * np.cos(frame_index / 5.0),
+                  2.0 * np.sin(frame_index / 7.0))
+        frame = render_target(offset=offset, seed=frame_index)
+        solution = estimate_pose(frame)
+        yield Compute(wcet_us)
+        yield WritePort("vbn_nav", {
+            "offset": solution.offset,
+            "scale": solution.scale,
+            "converged": solution.converged,
+        })
+        frame_index += 1
+        yield EndActivation()
+
+
+def eor_workload(wcet_us: float = EOR_WCET_US,
+                 planner: Optional[EorPlanner] = None) -> Generator:
+    """EOR partition: plan one thrust arc per activation."""
+    planner = planner or EorPlanner()
+    while True:
+        if not planner.arrived:
+            arc = planner.step_revolution()
+            yield Compute(wcet_us)
+            yield WritePort("eor_plan", {
+                "revolution": arc.revolution,
+                "delta_v_ms": arc.delta_v_ms,
+            })
+        else:
+            yield Compute(wcet_us / 10)
+        yield EndActivation()
+
+
+def telemetry_workload(wcet_us: float = TM_WCET_US,
+                       sink: Optional[list] = None) -> Generator:
+    """System partition: gather everything for the downlink."""
+    while True:
+        (aocs_msg,) = yield ReadPort("aocs_tm")
+        (vbn_msg,) = yield ReadPort("vbn_nav")
+        (eor_msg,) = yield ReadPort("eor_plan")
+        yield Compute(wcet_us)
+        if sink is not None:
+            sink.append({"aocs": aocs_msg, "vbn": vbn_msg, "eor": eor_msg})
+        yield EndActivation()
+
+
+def faulty_vbn_workload(fault_every: int = 3,
+                        wcet_us: float = VBN_WCET_US) -> Generator:
+    """A VBN variant that crashes periodically (isolation experiments)."""
+    count = 0
+    while True:
+        count += 1
+        if count % fault_every == 0:
+            yield Fault("VBN image pipeline exception")
+        yield Compute(wcet_us)
+        yield EndActivation()
+
+
+@dataclass
+class MissionRun:
+    hypervisor: XtratumHypervisor
+    metrics: object
+    telemetry: list
+
+
+def run_mission(frames: int = 50, faulty_vbn: bool = False,
+                major_frame_us: float = 10_000.0) -> MissionRun:
+    """Boot and run the virtualized mission; returns metrics + telemetry."""
+    config = mission_config(major_frame_us=major_frame_us)
+    hypervisor = XtratumHypervisor(config)
+    telemetry: list = []
+    hypervisor.load_partition(AOCS_PID, aocs_workload,
+                              period_us=major_frame_us / 2,
+                              deadline_us=major_frame_us / 2)
+    vbn = faulty_vbn_workload if faulty_vbn else vbn_workload
+    hypervisor.load_partition(VBN_PID, vbn, period_us=major_frame_us,
+                              deadline_us=major_frame_us)
+    hypervisor.load_partition(EOR_PID, eor_workload,
+                              period_us=major_frame_us,
+                              deadline_us=major_frame_us)
+    hypervisor.load_partition(
+        TM_PID, lambda: telemetry_workload(sink=telemetry),
+        period_us=major_frame_us, deadline_us=major_frame_us)
+    metrics = hypervisor.run(frames=frames)
+    return MissionRun(hypervisor=hypervisor, metrics=metrics,
+                      telemetry=telemetry)

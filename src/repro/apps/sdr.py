@@ -1,0 +1,171 @@
+"""Software-defined-radio use cases (paper §V "software-defined
+algorithms"): FIR filtering, fixed-point FFT and a DSSS correlator."""
+
+from __future__ import annotations
+
+import math
+from typing import List, Tuple
+
+import numpy as np
+
+FIR_C = """
+// 8-tap FIR filter, Q15-ish integer taps baked into a ROM.
+void fir8(const int *x, int *y, int n) {
+  const int taps[8] = {-12, 45, 210, 412, 412, 210, 45, -12};
+  for (int i = 7; i < n; i++) {
+    int acc = 0;
+    for (int t = 0; t < 8; t++) {
+      acc += x[i - t] * taps[t];
+    }
+    y[i] = acc >> 10;
+  }
+}
+"""
+
+FFT16_C = """
+// 16-point radix-2 DIT FFT, Q12 fixed point, twiddles in ROM.
+#define N 16
+void fft16(int *re, int *im) {
+  const int tw_re[8] = {4096, 3784, 2896, 1567, 0, -1567, -2896, -3784};
+  const int tw_im[8] = {0, -1567, -2896, -3784, -4096, -3784, -2896, -1567};
+  // Bit-reversal permutation.
+  const int rev[16] = {0, 8, 4, 12, 2, 10, 6, 14, 1, 9, 5, 13, 3, 11, 7, 15};
+  for (int i = 0; i < N; i++) {
+    int j = rev[i];
+    if (j > i) {
+      int tr = re[i]; re[i] = re[j]; re[j] = tr;
+      int ti = im[i]; im[i] = im[j]; im[j] = ti;
+    }
+  }
+  for (int len = 2; len <= N; len = len * 2) {
+    int half = len / 2;
+    int step = N / len;
+    for (int base = 0; base < N; base += len) {
+      for (int k = 0; k < half; k++) {
+        int wr = tw_re[k * step];
+        int wi = tw_im[k * step];
+        int ar = re[base + k];
+        int ai = im[base + k];
+        int br = re[base + k + half];
+        int bi = im[base + k + half];
+        int tr = (br * wr - bi * wi) >> 12;
+        int ti = (br * wi + bi * wr) >> 12;
+        re[base + k] = ar + tr;
+        im[base + k] = ai + ti;
+        re[base + k + half] = ar - tr;
+        im[base + k + half] = ai - ti;
+      }
+    }
+  }
+}
+"""
+
+DSSS_CORRELATE_C = """
+// Direct-sequence spread spectrum correlator: slides a +/-1 PN code over
+// the input and reports the lag with the highest correlation.
+int dsss_correlate(const int *rx, int n, const int *code, int code_len) {
+  int best_lag = 0;
+  int best_value = -2147483647;
+  for (int lag = 0; lag + code_len <= n; lag++) {
+    int acc = 0;
+    for (int i = 0; i < code_len; i++) {
+      acc += rx[lag + i] * code[i];
+    }
+    if (acc > best_value) {
+      best_value = acc;
+      best_lag = lag;
+    }
+  }
+  return best_lag;
+}
+"""
+
+FIR_TAPS = [-12, 45, 210, 412, 412, 210, 45, -12]
+
+
+def fir8_reference(x: np.ndarray) -> np.ndarray:
+    """Golden model of ``FIR_C``."""
+    out = np.zeros_like(x, dtype=np.int64)
+    taps = FIR_TAPS
+    for i in range(7, len(x)):
+        acc = sum(int(x[i - t]) * taps[t] for t in range(8))
+        out[i] = acc >> 10
+    return out
+
+
+def fft16_reference(re: List[int], im: List[int]) -> Tuple[List[int], List[int]]:
+    """Bit-exact Python model of the Q12 ``FFT16_C`` kernel."""
+    n = 16
+    tw_re = [4096, 3784, 2896, 1567, 0, -1567, -2896, -3784]
+    tw_im = [0, -1567, -2896, -3784, -4096, -3784, -2896, -1567]
+    rev = [0, 8, 4, 12, 2, 10, 6, 14, 1, 9, 5, 13, 3, 11, 7, 15]
+    re = list(re)
+    im = list(im)
+    for i in range(n):
+        j = rev[i]
+        if j > i:
+            re[i], re[j] = re[j], re[i]
+            im[i], im[j] = im[j], im[i]
+    length = 2
+    while length <= n:
+        half = length // 2
+        step = n // length
+        for base in range(0, n, length):
+            for k in range(half):
+                wr, wi = tw_re[k * step], tw_im[k * step]
+                ar, ai = re[base + k], im[base + k]
+                br, bi = re[base + k + half], im[base + k + half]
+                tr = (br * wr - bi * wi) >> 12
+                ti = (br * wi + bi * wr) >> 12
+                re[base + k] = ar + tr
+                im[base + k] = ai + ti
+                re[base + k + half] = ar - tr
+                im[base + k + half] = ai - ti
+        length *= 2
+    return re, im
+
+
+def pn_code(length: int = 15, seed: int = 0b1001) -> List[int]:
+    """Maximal-length LFSR sequence mapped to +/-1 chips."""
+    state = seed & 0xF or 0b1001
+    chips = []
+    for _ in range(length):
+        bit = state & 1
+        chips.append(1 if bit else -1)
+        feedback = ((state >> 0) ^ (state >> 1)) & 1
+        state = (state >> 1) | (feedback << 3)
+    return chips
+
+
+def dsss_signal(code: List[int], delay: int, total: int,
+                noise_amp: int = 2, seed: int = 3) -> np.ndarray:
+    """A received signal: the PN code at ``delay`` buried in noise."""
+    rng = np.random.default_rng(seed)
+    signal = rng.integers(-noise_amp, noise_amp + 1, size=total)
+    for i, chip in enumerate(code):
+        signal[delay + i] += chip * 8
+    return signal.astype(np.int64)
+
+
+def dsss_correlate_reference(rx: np.ndarray, code: List[int]) -> int:
+    best_lag, best_value = 0, None
+    for lag in range(len(rx) - len(code) + 1):
+        acc = int(sum(int(rx[lag + i]) * code[i] for i in range(len(code))))
+        if best_value is None or acc > best_value:
+            best_value = acc
+            best_lag = lag
+    return best_lag
+
+
+def tone(frequency_bin: int, n: int = 16, amplitude: int = 1000) -> Tuple[List[int], List[int]]:
+    """A Q12 complex tone hitting one FFT bin exactly."""
+    re = [int(amplitude * math.cos(2 * math.pi * frequency_bin * i / n))
+          for i in range(n)]
+    im = [int(amplitude * math.sin(2 * math.pi * frequency_bin * i / n))
+          for i in range(n)]
+    return re, im
+
+
+def dominant_bin(re: List[int], im: List[int]) -> int:
+    power = [r * r + i * i for r, i in zip(re, im)]
+    return int(np.argmax(power))

@@ -1,0 +1,195 @@
+"""Visual-Based Navigation (VBN) image processing — paper §V use case.
+
+Simulates the relative-navigation camera pipeline of a rendezvous
+scenario: a synthetic target rendered at a known offset/scale, a
+corner-feature detector (Harris-like response on integer arithmetic) and
+a centroid/scale estimator recovering the relative position.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+import numpy as np
+
+
+@dataclass
+class CameraFrame:
+    pixels: np.ndarray          # (h, w) int intensities 0..255
+    true_offset: Tuple[float, float]
+    true_scale: float
+
+
+def render_target(width: int = 64, height: int = 64,
+                  offset: Tuple[float, float] = (0.0, 0.0),
+                  scale: float = 1.0, noise: int = 4,
+                  seed: int = 1) -> CameraFrame:
+    """Render a bright square marker with corner features."""
+    rng = np.random.default_rng(seed)
+    frame = rng.integers(0, noise + 1, size=(height, width)).astype(float)
+    half = 8 * scale
+    cx = width / 2 + offset[0]
+    cy = height / 2 + offset[1]
+    yy, xx = np.mgrid[0:height, 0:width]
+    inside = (np.abs(xx - cx) <= half) & (np.abs(yy - cy) <= half)
+    frame[inside] += 180
+    # Corner markers (bright dots) to give the detector strong responses.
+    for sx in (-1, 1):
+        for sy in (-1, 1):
+            px = int(round(cx + sx * half))
+            py = int(round(cy + sy * half))
+            if 1 <= px < width - 1 and 1 <= py < height - 1:
+                frame[py - 1:py + 2, px - 1:px + 2] += 60
+    return CameraFrame(pixels=np.clip(frame, 0, 255).astype(np.int64),
+                       true_offset=offset, true_scale=scale)
+
+
+def harris_response(pixels: np.ndarray, k_num: int = 1,
+                    k_den: int = 20) -> np.ndarray:
+    """Integer Harris corner response (gradients via central differences)."""
+    gray = pixels.astype(np.int64)
+    gx = np.zeros_like(gray)
+    gy = np.zeros_like(gray)
+    gx[:, 1:-1] = gray[:, 2:] - gray[:, :-2]
+    gy[1:-1, :] = gray[2:, :] - gray[:-2, :]
+    ixx = gx * gx
+    iyy = gy * gy
+    ixy = gx * gy
+    window = np.ones((3, 3), dtype=np.int64)
+
+    def box(a: np.ndarray) -> np.ndarray:
+        out = np.zeros_like(a)
+        for dy in (-1, 0, 1):
+            for dx in (-1, 0, 1):
+                out[1:-1, 1:-1] += a[1 + dy:a.shape[0] - 1 + dy,
+                                     1 + dx:a.shape[1] - 1 + dx]
+        return out
+
+    sxx = box(ixx)
+    syy = box(iyy)
+    sxy = box(ixy)
+    det = sxx * syy - sxy * sxy
+    trace = sxx + syy
+    return det - (k_num * trace * trace) // k_den
+
+
+def detect_corners(pixels: np.ndarray, max_corners: int = 16,
+                   threshold_ratio: float = 0.05) -> List[Tuple[int, int]]:
+    """Non-maximum-suppressed corner list, strongest first."""
+    response = harris_response(pixels)
+    peak = int(response.max())
+    if peak <= 0:
+        return []
+    threshold = int(peak * threshold_ratio)
+    corners: List[Tuple[int, int, int]] = []
+    height, width = response.shape
+    for y in range(2, height - 2):
+        for x in range(2, width - 2):
+            value = response[y, x]
+            if value <= threshold:
+                continue
+            patch = response[y - 1:y + 2, x - 1:x + 2]
+            if value >= patch.max():
+                corners.append((int(value), x, y))
+    corners.sort(reverse=True)
+    kept: List[Tuple[int, int]] = []
+    for _value, x, y in corners:
+        if all((x - kx) ** 2 + (y - ky) ** 2 >= 16 for kx, ky in kept):
+            kept.append((x, y))
+        if len(kept) >= max_corners:
+            break
+    return kept
+
+
+@dataclass
+class NavigationSolution:
+    offset: Tuple[float, float]
+    scale: float
+    corners_used: int
+    converged: bool
+
+
+def estimate_pose(frame: CameraFrame,
+                  nominal_half: float = 8.0) -> NavigationSolution:
+    """Estimate the marker offset and scale from detected corners."""
+    corners = detect_corners(frame.pixels)
+    if len(corners) < 4:
+        return NavigationSolution((0.0, 0.0), 1.0, len(corners), False)
+    xs = np.array([c[0] for c in corners], dtype=float)
+    ys = np.array([c[1] for c in corners], dtype=float)
+    cx = float(xs.mean())
+    cy = float(ys.mean())
+    height, width = frame.pixels.shape
+    offset = (cx - width / 2, cy - height / 2)
+    spread = float(np.median(np.hypot(xs - cx, ys - cy)))
+    scale = spread / (nominal_half * math.sqrt(2))
+    return NavigationSolution(offset=offset, scale=scale,
+                              corners_used=len(corners), converged=True)
+
+
+def navigation_error(frame: CameraFrame,
+                     solution: NavigationSolution) -> float:
+    """Pixel-domain position error of a navigation solution."""
+    dx = solution.offset[0] - frame.true_offset[0]
+    dy = solution.offset[1] - frame.true_offset[1]
+    return math.hypot(dx, dy)
+
+
+# -- HLS kernel form (IP-core candidate of paper §V) -------------------------
+
+# Integer Harris response over a 16x16 frame.  Intensities are expected
+# pre-scaled to ~4 bits so all intermediates fit 32-bit arithmetic (the
+# fixed-point budget a real VBN IP core would allocate).
+HARRIS16_C = """
+#define W 16
+#define H 16
+void harris16(const int *img, int *resp) {
+  int gx[256];
+  int gy[256];
+  for (int y = 0; y < H; y++) {
+    for (int x = 0; x < W; x++) {
+      int gxv = 0;
+      int gyv = 0;
+      if (x > 0 && x < W - 1) {
+        gxv = img[y * W + (x + 1)] - img[y * W + (x - 1)];
+      }
+      if (y > 0 && y < H - 1) {
+        gyv = img[(y + 1) * W + x] - img[(y - 1) * W + x];
+      }
+      gx[y * W + x] = gxv;
+      gy[y * W + x] = gyv;
+    }
+  }
+  for (int y = 0; y < H; y++) {
+    for (int x = 0; x < W; x++) {
+      int sxx = 0;
+      int syy = 0;
+      int sxy = 0;
+      if (y > 0 && y < H - 1 && x > 0 && x < W - 1) {
+        for (int dy = 0; dy < 3; dy++) {
+          for (int dx = 0; dx < 3; dx++) {
+            int i = (y + dy - 1) * W + (x + dx - 1);
+            sxx += gx[i] * gx[i];
+            syy += gy[i] * gy[i];
+            sxy += gx[i] * gy[i];
+          }
+        }
+      }
+      int det = sxx * syy - sxy * sxy;
+      int trace = sxx + syy;
+      resp[y * W + x] = det - (trace * trace) / 20;
+    }
+  }
+}
+"""
+
+
+def harris16_reference(pixels: np.ndarray) -> np.ndarray:
+    """Bit-exact golden model of ``HARRIS16_C`` (16x16, int32 budget)."""
+    assert pixels.shape == (16, 16)
+    response = harris_response(pixels, k_num=1, k_den=20)
+    # harris_response uses Python ints (no wrap); the kernel budget is
+    # chosen so nothing wraps for <=4-bit intensities — same values.
+    return response

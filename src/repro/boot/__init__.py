@@ -1,0 +1,41 @@
+"""BL0/BL1/BL2 boot chain (paper §IV, Fig. 5)."""
+
+from .bl0 import BL1_FLASH_OFFSET, Bl0Error, Bl0Result, run_bl0
+from .bl1 import (
+    Bl1,
+    Bl1Config,
+    Bl1Error,
+    Bl1Result,
+    DeployedObject,
+    RedundancyMode,
+    run_bl1,
+)
+from .bl2 import Bl2Error, Bl2Result, run_bl2
+from .chain import (
+    BootChainResult,
+    make_bl1_image,
+    provision_flash,
+    run_boot_chain,
+)
+from .image import (
+    BootImage,
+    ImageError,
+    ImageKind,
+    LoadEntry,
+    LoadList,
+    LoadSource,
+    crc_words,
+)
+from .report import BootReport, BootStep, StepStatus
+
+__all__ = [
+    "BL1_FLASH_OFFSET", "Bl0Error", "Bl0Result", "run_bl0",
+    "Bl1", "Bl1Config", "Bl1Error", "Bl1Result", "DeployedObject",
+    "RedundancyMode", "run_bl1",
+    "Bl2Error", "Bl2Result", "run_bl2",
+    "BootChainResult", "make_bl1_image", "provision_flash",
+    "run_boot_chain",
+    "BootImage", "ImageError", "ImageKind", "LoadEntry", "LoadList",
+    "LoadSource", "crc_words",
+    "BootReport", "BootStep", "StepStatus",
+]

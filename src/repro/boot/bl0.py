@@ -1,0 +1,123 @@
+"""BL0: the ROM-resident first boot stage.
+
+Paper §IV: "BL0 ... is a small application hard-coded into the SoC
+internal ROM that fetches a binary executable (called BL1 ...) from either
+local boot FLASH memory or remotely from the SpaceWire bus."  BL0 was
+developed in the DAHLIA project and is fixed in the eROM; this model
+reproduces its observable behaviour: locate a valid BL1 image (flash bank
+A, then bank B, then SpaceWire), load it into the TCM and hand over.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+from ..soc.soc import NgUltraSoc
+from ..soc.spacewire import SpaceWireError
+from .image import BootImage, ImageError, ImageKind
+from .report import BootReport, StepStatus
+
+# Cycle-cost model (600 MHz core).
+CYCLES_ROM_STARTUP = 2_000
+CYCLES_FLASH_READ_WORD = 4
+CYCLES_SPW_READ_WORD = 20
+CYCLES_CRC_WORD = 2
+CYCLES_COPY_WORD = 2
+
+# Fixed locations known to the ROM code.
+BL1_FLASH_OFFSET = 0
+BL1_SPACEWIRE_OBJECT = 1
+BL1_MAX_WORDS = 16 * 1024
+
+
+class Bl0Error(Exception):
+    pass
+
+
+@dataclass
+class Bl0Result:
+    entry_point: int
+    image: BootImage
+    report: BootReport
+
+
+def _read_flash_words(soc: NgUltraSoc, bank: int, offset: int,
+                      count: int) -> List[int]:
+    controller = soc.flash_controller
+    controller.enabled = True
+    return [controller.read(bank, offset + i) for i in range(count)]
+
+
+def _try_flash_bank(soc: NgUltraSoc, bank: int,
+                    report: BootReport) -> Optional[BootImage]:
+    from .image import MAGIC
+    name = f"bl1-probe-bank-{chr(ord('A') + bank)}"
+    header = _read_flash_words(soc, bank, BL1_FLASH_OFFSET,
+                               BootImage.HEADER_WORDS)
+    length = header[5] if header[0] == MAGIC else 0
+    length = min(length, BL1_MAX_WORDS)
+    words = header + _read_flash_words(
+        soc, bank, BL1_FLASH_OFFSET + BootImage.HEADER_WORDS, length)
+    cycles = len(words) * CYCLES_FLASH_READ_WORD
+    try:
+        image = BootImage.parse(words, name=f"bl1@bank{bank}")
+    except ImageError as error:
+        report.record(name, StepStatus.FAILED, cycles, str(error))
+        return None
+    if image.kind is not ImageKind.BL1:
+        report.record(name, StepStatus.FAILED, cycles,
+                      f"unexpected image kind {image.kind.name}")
+        return None
+    cycles += image.total_words * CYCLES_CRC_WORD
+    report.record(name, StepStatus.OK, cycles)
+    return image
+
+
+def _try_spacewire(soc: NgUltraSoc,
+                   report: BootReport) -> Optional[BootImage]:
+    try:
+        soc.spacewire.send_request(BL1_SPACEWIRE_OBJECT)
+        payload = soc.spacewire.receive_object(BL1_SPACEWIRE_OBJECT)
+    except SpaceWireError as error:
+        report.record("bl1-probe-spacewire", StepStatus.FAILED, 1_000,
+                      str(error))
+        return None
+    cycles = len(payload) * CYCLES_SPW_READ_WORD
+    try:
+        image = BootImage.parse(payload, name="bl1@spacewire")
+    except ImageError as error:
+        report.record("bl1-probe-spacewire", StepStatus.FAILED, cycles,
+                      str(error))
+        return None
+    report.record("bl1-probe-spacewire", StepStatus.OK, cycles)
+    return image
+
+
+def run_bl0(soc: NgUltraSoc) -> Bl0Result:
+    """Execute the BL0 stage; returns the loaded BL1 entry point."""
+    report = BootReport(stage="BL0")
+    report.record("rom-startup", StepStatus.OK, CYCLES_ROM_STARTUP)
+    image = _try_flash_bank(soc, 0, report)
+    source = "flash-bank-A"
+    if image is None:
+        image = _try_flash_bank(soc, 1, report)
+        source = "flash-bank-B"
+    if image is None:
+        image = _try_spacewire(soc, report)
+        source = "spacewire"
+    if image is None:
+        report.boot_source = "none"
+        raise Bl0Error("no valid BL1 image found "
+                       "(flash A, flash B, SpaceWire all failed)")
+    if source != "flash-bank-A":
+        report.recovered_objects.append(f"bl1 via {source}")
+    report.boot_source = source
+    # Copy BL1 payload to its TCM load address.
+    for index, word in enumerate(image.payload):
+        soc.bus.write_word(image.load_address + index * 4, word)
+    report.record("load-bl1", StepStatus.OK,
+                  len(image.payload) * CYCLES_COPY_WORD,
+                  f"{len(image.payload)} words @0x{image.load_address:08x}")
+    return Bl0Result(entry_point=image.entry_point, image=image,
+                     report=report)

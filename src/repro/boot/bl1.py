@@ -1,0 +1,404 @@
+"""BL1: the Generic Level 1 Boot loader (the HERMES deliverable, §IV).
+
+Implements every common functionality the paper lists:
+
+* initialization of the master CPU#0 registers/caches/exceptions;
+* initialization of clock PLLs, DDR controller, flash controller,
+  SpaceWire controller and tightly coupled memories;
+* MPU configuration for TCM / embedded RAM / external DDR;
+* load-list management, stored in flash or received over SpaceWire;
+* integrity management of deployed software and eFPGA programming;
+* flash redundancy via TMR voting or sequential copy fallback;
+* generation of a boot report for next-stage software.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from enum import Enum
+from typing import Dict, List, Optional, Tuple
+
+from ..radhard.tmr import vote_bitwise
+from ..soc.memory import default_mpu_regions
+from ..soc.peripherals import REG_BOOT_REPORT
+from ..soc.soc import NgUltraSoc
+from ..soc.spacewire import SpaceWireError
+from .image import (
+    BootImage,
+    ImageError,
+    ImageKind,
+    LoadEntry,
+    LoadList,
+    LoadSource,
+)
+from .report import BootReport, StepStatus
+
+# Cycle-cost model.
+CYCLES_CPU_INIT = 1_200
+CYCLES_PLL_POLL = 400
+CYCLES_DDR_POLL = 6_000
+CYCLES_FLASH_INIT = 800
+CYCLES_SPW_INIT = 1_500
+CYCLES_TCM_INIT_WORD = 1
+CYCLES_MPU_REGION = 60
+CYCLES_FLASH_READ_WORD = 4
+CYCLES_SPW_READ_WORD = 20
+CYCLES_CRC_WORD = 2
+CYCLES_COPY_WORD = 2
+CYCLES_EFPGA_WORD = 1
+CYCLES_REPORT = 500
+
+LOADLIST_FLASH_OFFSET = 0x8000
+LOADLIST_SPACEWIRE_OBJECT = 2
+LOADLIST_MAX_WORDS = 512
+IMAGE_MAX_WORDS = 64 * 1024
+
+
+class Bl1Error(Exception):
+    pass
+
+
+class RedundancyMode(Enum):
+    SEQUENTIAL = "sequential"   # try copy 0, then copy 1, ...
+    TMR = "tmr"                 # bitwise vote over three copies
+
+
+@dataclass
+class Bl1Config:
+    loadlist_source: LoadSource = LoadSource.FLASH
+    loadlist_flash_offset: int = LOADLIST_FLASH_OFFSET
+    loadlist_spacewire_object: int = LOADLIST_SPACEWIRE_OBJECT
+    redundancy: RedundancyMode = RedundancyMode.SEQUENTIAL
+    zero_tcm: bool = False        # BL1 itself lives there; default off
+    watchdog_timeout: int = 5_000_000
+
+
+@dataclass
+class DeployedObject:
+    kind: ImageKind
+    load_address: int
+    entry_point: int
+    words: int
+    name: str
+
+
+@dataclass
+class Bl1Result:
+    report: BootReport
+    deployed: List[DeployedObject]
+    next_entry: Optional[int]
+    next_kind: Optional[ImageKind]
+
+
+class Bl1:
+    """One BL1 execution over a platform instance."""
+
+    def __init__(self, soc: NgUltraSoc,
+                 config: Optional[Bl1Config] = None) -> None:
+        self.soc = soc
+        self.config = config or Bl1Config()
+        self.report = BootReport(stage="BL1")
+        self.deployed: List[DeployedObject] = []
+        self._wd_cycles = 0
+
+    # -- top level ----------------------------------------------------------
+
+    def run(self) -> Bl1Result:
+        # BL1 runs under watchdog supervision: each completed step kicks
+        # the dog; a stuck step (counted in modelled cycles) trips it.
+        self.soc.watchdog.enable(self.config.watchdog_timeout)
+        self._wd_cycles = 0
+        for step in (self._init_cpu, self._init_pll, self._init_ddr,
+                     self._init_flash, self._init_spacewire,
+                     self._init_tcm, self._init_mpu):
+            step()
+            self._watchdog_check()
+        load_list = self._fetch_load_list()
+        self._watchdog_check()
+        next_entry: Optional[int] = None
+        next_kind: Optional[ImageKind] = None
+        for index, entry in enumerate(load_list.entries):
+            deployed = self._deploy_entry(index, entry)
+            self._watchdog_check()
+            if deployed is None:
+                continue
+            if deployed.kind in (ImageKind.BL2, ImageKind.APPLICATION,
+                                 ImageKind.HYPERVISOR) and next_entry is None:
+                next_entry = deployed.entry_point
+                next_kind = deployed.kind
+        self._write_report_mailbox()
+        if self.report.failed_objects:
+            raise Bl1Error("boot failed: "
+                           + ", ".join(self.report.failed_objects))
+        return Bl1Result(report=self.report, deployed=self.deployed,
+                         next_entry=next_entry, next_kind=next_kind)
+
+    def _watchdog_check(self) -> None:
+        """Charge the cycles since the last kick; trip on expiry.
+
+        Models the windowed watchdog a qualified boot loader runs under:
+        any single step exceeding the window resets the system (here: a
+        diagnosed :class:`Bl1Error`).
+        """
+        delta = self.report.total_cycles - self._wd_cycles
+        self._wd_cycles = self.report.total_cycles
+        if self.soc.watchdog.tick(delta):
+            self.report.failed_objects.append("watchdog")
+            raise Bl1Error(
+                f"watchdog expired during boot (step cost {delta} cycles, "
+                f"window {self.soc.watchdog.timeout})")
+        self.soc.watchdog.kick()
+
+    # -- hardware initialization steps --------------------------------------
+
+    def _init_cpu(self) -> None:
+        core = self.soc.master_core()
+        core.privileged = True
+        self.report.record("cpu0-init", StepStatus.OK, CYCLES_CPU_INIT,
+                           "registers, caches, exceptions @EL1")
+
+    def _init_pll(self) -> None:
+        self.soc.pll.enable()
+        polls = 0
+        while not self.soc.pll.poll():
+            polls += 1
+            if polls > 1000:
+                self.report.record("pll-lock", StepStatus.FAILED,
+                                   polls * CYCLES_PLL_POLL, "no lock")
+                raise Bl1Error("PLL failed to lock")
+        self.report.record("pll-lock", StepStatus.OK,
+                           (polls + 1) * CYCLES_PLL_POLL,
+                           f"locked after {polls + 1} polls")
+
+    def _init_ddr(self) -> None:
+        controller = self.soc.ddr_controller
+        controller.start_training()
+        polls = 0
+        while not controller.poll():
+            polls += 1
+            if polls > 1000:
+                self.report.record("ddr-training", StepStatus.FAILED,
+                                   polls * CYCLES_DDR_POLL, "stuck")
+                raise Bl1Error("DDR training failed")
+        self.report.record("ddr-training", StepStatus.OK,
+                           (polls + 1) * CYCLES_DDR_POLL,
+                           f"trained after {polls + 1} polls")
+
+    def _init_flash(self) -> None:
+        self.soc.flash_controller.enabled = True
+        self.report.record("flash-controller", StepStatus.OK,
+                           CYCLES_FLASH_INIT)
+
+    def _init_spacewire(self) -> None:
+        status = self.soc.spacewire.status_word()
+        if status & 1:
+            self.report.record("spacewire-link", StepStatus.OK,
+                               CYCLES_SPW_INIT, "link up")
+        else:
+            self.report.record("spacewire-link", StepStatus.SKIPPED,
+                               CYCLES_SPW_INIT, "link down")
+
+    def _init_tcm(self) -> None:
+        if self.config.zero_tcm:
+            words = len(self.soc.tcm)
+            for index in range(words):
+                self.soc.tcm.write(index, 0)
+            self.report.record("tcm-init", StepStatus.OK,
+                               words * CYCLES_TCM_INIT_WORD, "zeroed")
+        else:
+            self.report.record("tcm-init", StepStatus.SKIPPED, 0,
+                               "BL1 resident")
+
+    def _init_mpu(self) -> None:
+        regions = default_mpu_regions()
+        self.soc.bus.mpu.configure(regions)
+        self.report.record("mpu-config", StepStatus.OK,
+                           len(regions) * CYCLES_MPU_REGION,
+                           f"{len(regions)} regions")
+
+    # -- load list -----------------------------------------------------------
+
+    def _fetch_load_list(self) -> LoadList:
+        if self.config.loadlist_source is LoadSource.SPACEWIRE:
+            return self._fetch_load_list_spacewire()
+        return self._fetch_load_list_flash()
+
+    def _fetch_load_list_flash(self) -> LoadList:
+        offset = self.config.loadlist_flash_offset
+        for bank in (0, 1):
+            words = [self.soc.flash_controller.read(bank, offset + i)
+                     for i in range(LOADLIST_MAX_WORDS)]
+            cycles = LOADLIST_MAX_WORDS * CYCLES_FLASH_READ_WORD
+            try:
+                load_list = LoadList.parse(words)
+            except ImageError as error:
+                self.report.record(f"loadlist-bank{bank}",
+                                   StepStatus.FAILED, cycles, str(error))
+                continue
+            status = StepStatus.OK if bank == 0 else StepStatus.RECOVERED
+            if bank == 1:
+                self.report.recovered_objects.append("loadlist via bank B")
+            self.report.record(f"loadlist-bank{bank}", status, cycles,
+                               f"{len(load_list.entries)} entries")
+            self.report.boot_source = f"flash-bank-{chr(ord('A') + bank)}"
+            return load_list
+        self.report.failed_objects.append("loadlist")
+        raise Bl1Error("no valid load list in either flash bank")
+
+    def _fetch_load_list_spacewire(self) -> LoadList:
+        link = self.soc.spacewire
+        try:
+            link.send_request(self.config.loadlist_spacewire_object)
+            payload = link.receive_object(
+                self.config.loadlist_spacewire_object)
+        except SpaceWireError as error:
+            self.report.failed_objects.append("loadlist")
+            self.report.record("loadlist-spacewire", StepStatus.FAILED,
+                               1_000, str(error))
+            raise Bl1Error(f"load list over SpaceWire failed: {error}")
+        cycles = len(payload) * CYCLES_SPW_READ_WORD
+        load_list = LoadList.parse(payload)
+        self.report.record("loadlist-spacewire", StepStatus.OK, cycles,
+                           f"{len(load_list.entries)} entries")
+        self.report.boot_source = "spacewire"
+        return load_list
+
+    # -- object deployment ----------------------------------------------------
+
+    def _deploy_entry(self, index: int,
+                      entry: LoadEntry) -> Optional[DeployedObject]:
+        label = f"object{index}-{entry.kind.name.lower()}"
+        image, cycles, recovered = self._load_image(entry, label)
+        if image is None:
+            self.report.failed_objects.append(label)
+            self.report.record(label, StepStatus.FAILED, cycles,
+                               "no valid copy")
+            return None
+        if image.kind is ImageKind.BITSTREAM:
+            ok, program_cycles = self._program_bitstream(image)
+            cycles += program_cycles
+            if not ok:
+                self.report.failed_objects.append(label)
+                self.report.record(label, StepStatus.FAILED, cycles,
+                                   self.soc.efpga.error or "program failed")
+                return None
+            detail = f"eFPGA programmed ({len(image.payload)} words)"
+        else:
+            for offset, word in enumerate(image.payload):
+                self.soc.bus.write_word(image.load_address + offset * 4,
+                                        word)
+            cycles += len(image.payload) * CYCLES_COPY_WORD
+            # Integrity re-check of the deployed copy.
+            cycles += len(image.payload) * CYCLES_CRC_WORD
+            readback = [self.soc.bus.read_word(image.load_address + i * 4)
+                        for i in range(len(image.payload))]
+            if readback != image.payload:
+                self.report.failed_objects.append(label)
+                self.report.record(label, StepStatus.FAILED, cycles,
+                                   "deployed image readback mismatch")
+                return None
+            detail = (f"{len(image.payload)} words @ "
+                      f"0x{image.load_address:08x}")
+        status = StepStatus.RECOVERED if recovered else StepStatus.OK
+        if recovered:
+            self.report.recovered_objects.append(label)
+        self.report.record(label, status, cycles, detail)
+        deployed = DeployedObject(
+            kind=image.kind, load_address=image.load_address,
+            entry_point=image.entry_point, words=len(image.payload),
+            name=label)
+        self.deployed.append(deployed)
+        return deployed
+
+    def _load_image(self, entry: LoadEntry,
+                    label: str) -> Tuple[Optional[BootImage], int, bool]:
+        """Returns (image or None, cycles spent, used-redundancy flag)."""
+        if entry.source is LoadSource.SPACEWIRE:
+            return self._load_image_spacewire(entry)
+        if self.config.redundancy is RedundancyMode.TMR and \
+                entry.copies >= 3:
+            return self._load_image_tmr(entry)
+        return self._load_image_sequential(entry)
+
+    def _read_copy(self, entry: LoadEntry, copy: int) -> List[int]:
+        """Header-then-payload flash read of one stored image copy."""
+        from .image import MAGIC
+        base = entry.locator + copy * entry.stride
+        flash = self.soc.flash_controller
+        flash_words = len(flash.banks[0])
+        if base + BootImage.HEADER_WORDS > flash_words:
+            return []
+        header = [flash.read(0, base + i)
+                  for i in range(BootImage.HEADER_WORDS)]
+        length = header[5] if header[0] == MAGIC else 0
+        length = min(length, IMAGE_MAX_WORDS,
+                     max(0, flash_words - base - BootImage.HEADER_WORDS))
+        payload = [flash.read(0, base + BootImage.HEADER_WORDS + i)
+                   for i in range(length)]
+        return header + payload
+
+    def _load_image_sequential(self, entry: LoadEntry
+                               ) -> Tuple[Optional[BootImage], int, bool]:
+        cycles = 0
+        for copy in range(max(1, entry.copies)):
+            words = self._read_copy(entry, copy)
+            cycles += len(words) * CYCLES_FLASH_READ_WORD
+            try:
+                image = BootImage.parse(words)
+                cycles += image.total_words * CYCLES_CRC_WORD
+                return image, cycles, copy > 0
+            except ImageError:
+                continue
+        return None, cycles, False
+
+    def _load_image_tmr(self, entry: LoadEntry
+                        ) -> Tuple[Optional[BootImage], int, bool]:
+        copies = [self._read_copy(entry, c) for c in range(3)]
+        cycles = sum(len(c) for c in copies) * CYCLES_FLASH_READ_WORD
+        voted = [vote_bitwise(a, b, c) for a, b, c in zip(*copies)]
+        cycles += len(voted)  # voter cost
+        disagreements = sum(1 for a, b, c in zip(*copies)
+                            if not (a == b == c))
+        try:
+            image = BootImage.parse(voted)
+            cycles += image.total_words * CYCLES_CRC_WORD
+            return image, cycles, disagreements > 0
+        except ImageError:
+            return None, cycles, False
+
+    def _load_image_spacewire(self, entry: LoadEntry
+                              ) -> Tuple[Optional[BootImage], int, bool]:
+        link = self.soc.spacewire
+        try:
+            link.send_request(entry.locator)
+            payload = link.receive_object(entry.locator)
+        except SpaceWireError:
+            return None, 1_000, False
+        cycles = len(payload) * CYCLES_SPW_READ_WORD
+        try:
+            image = BootImage.parse(payload)
+            cycles += image.total_words * CYCLES_CRC_WORD
+            return image, cycles, False
+        except ImageError:
+            return None, cycles, False
+
+    def _program_bitstream(self, image: BootImage) -> Tuple[bool, int]:
+        port = self.soc.efpga
+        port.begin()
+        for word in image.payload:
+            port.push_word(word)
+        ok = port.finish()
+        return ok, len(image.payload) * CYCLES_EFPGA_WORD
+
+    # -- boot report ----------------------------------------------------------
+
+    def _write_report_mailbox(self) -> None:
+        words = self.report.to_words()
+        for offset, word in enumerate(words):
+            self.soc.peripheral_file.mailbox[REG_BOOT_REPORT + offset] = word
+        self.report.record("boot-report", StepStatus.OK, CYCLES_REPORT,
+                           f"{len(words)} words to mailbox")
+
+
+def run_bl1(soc: NgUltraSoc, config: Optional[Bl1Config] = None) -> Bl1Result:
+    return Bl1(soc, config).run()

@@ -1,0 +1,70 @@
+"""BL2 / application hand-off: the final boot stage.
+
+Paper §IV: "An additional BL2 stage or the final application-dependent
+software finalizes the hardware configuration and can deploy itself on
+all the available processor cores."
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+from ..soc.cpu import CoreState
+from ..soc.soc import NgUltraSoc
+from .report import BootReport, StepStatus
+
+CYCLES_FINALIZE = 900
+CYCLES_CORE_RELEASE = 300
+
+
+class Bl2Error(Exception):
+    pass
+
+
+@dataclass
+class Bl2Result:
+    report: BootReport
+    released_cores: List[int]
+    entry_point: int
+
+
+def run_bl2(soc: NgUltraSoc, entry_point: int,
+            multicore: bool = True,
+            run_application: bool = False,
+            max_steps: int = 200_000) -> Bl2Result:
+    """Finalize configuration and start the application on the cores.
+
+    With ``run_application`` the cores actually execute the loaded binary
+    (R52-lite instructions) until HALT — demonstrating the complete
+    ROM-to-application chain of paper Fig. 5.
+    """
+    report = BootReport(stage="BL2")
+    report.record("finalize-config", StepStatus.OK, CYCLES_FINALIZE,
+                  "clock gates, cache maintenance")
+    master = soc.master_core()
+    master.reset(entry_point)
+    released = [0]
+    cycles = CYCLES_CORE_RELEASE
+    if multicore:
+        soc.release_secondaries(entry_point)
+        released = [core.core_id for core in soc.cores]
+        cycles = CYCLES_CORE_RELEASE * len(soc.cores)
+    report.record("core-release", StepStatus.OK, cycles,
+                  f"cores {released} -> 0x{entry_point:08x}")
+    if run_application:
+        steps = soc.run_all(max_steps=max_steps)
+        faulted = [core.core_id for core in soc.cores
+                   if core.state is CoreState.FAULTED]
+        if faulted:
+            report.record("application", StepStatus.FAILED,
+                          sum(steps.values()),
+                          f"cores {faulted} faulted")
+            raise Bl2Error(
+                f"application faulted on cores {faulted}: "
+                + "; ".join(soc.cores[i].fault_reason or "?"
+                            for i in faulted))
+        report.record("application", StepStatus.OK, sum(steps.values()),
+                      f"steps per core: {steps}")
+    return Bl2Result(report=report, released_cores=released,
+                     entry_point=entry_point)

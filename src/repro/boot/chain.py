@@ -1,0 +1,125 @@
+"""Complete boot chain orchestration and flash provisioning.
+
+``provision_flash`` plays the ground-segment role: it writes the BL1
+image, the load list and every deployable object into the boot flash
+(with the requested redundancy layout).  ``run_boot_chain`` then executes
+BL0 → BL1 → BL2 on a platform instance, reproducing the power-up sequence
+of paper Fig. 5.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from ..soc.memory import TCM_BASE
+from ..soc.soc import NgUltraSoc
+from .bl0 import BL1_FLASH_OFFSET, Bl0Result, run_bl0
+from .bl1 import (
+    LOADLIST_FLASH_OFFSET,
+    Bl1Config,
+    Bl1Result,
+    RedundancyMode,
+    run_bl1,
+)
+from .bl2 import Bl2Result, run_bl2
+from .image import BootImage, ImageKind, LoadEntry, LoadList, LoadSource
+from .report import BootReport
+
+# Default flash layout (word offsets).
+OBJECT_AREA_OFFSET = 0x9000
+DEFAULT_COPY_STRIDE = 0x8000
+
+# BL1 is "field loadable" firmware; in the model its flash image carries a
+# small resident stub (the Python Bl1 class is the behavioural model).
+_BL1_STUB_PAYLOAD = [0xB1000000 + i for i in range(32)]
+
+
+@dataclass
+class ProvisionedObject:
+    image: BootImage
+    entry: LoadEntry
+
+
+@dataclass
+class BootChainResult:
+    bl0: Bl0Result
+    bl1: Bl1Result
+    bl2: Optional[Bl2Result]
+
+    @property
+    def reports(self) -> List[BootReport]:
+        reports = [self.bl0.report, self.bl1.report]
+        if self.bl2 is not None:
+            reports.append(self.bl2.report)
+        return reports
+
+    @property
+    def total_cycles(self) -> int:
+        return sum(report.total_cycles for report in self.reports)
+
+    def render(self) -> str:
+        return "\n\n".join(report.render() for report in self.reports)
+
+
+def make_bl1_image() -> BootImage:
+    return BootImage(kind=ImageKind.BL1, load_address=TCM_BASE + 0x8000,
+                     entry_point=TCM_BASE + 0x8000,
+                     payload=list(_BL1_STUB_PAYLOAD), name="bl1")
+
+
+def provision_flash(soc: NgUltraSoc, objects: List[BootImage],
+                    copies: int = 2,
+                    stride: int = DEFAULT_COPY_STRIDE,
+                    mirror_bank_b: bool = True) -> List[ProvisionedObject]:
+    """Write BL1 + load list + objects into the boot flash.
+
+    Each object is stored ``copies`` times at ``stride`` spacing (the
+    sequential/TMR redundancy source material).  Bank B mirrors bank A
+    when ``mirror_bank_b`` (BL0's fallback source).
+    """
+    flash = soc.flash_controller
+    bl1_image = make_bl1_image()
+    flash.program(0, BL1_FLASH_OFFSET, bl1_image.to_words())
+
+    provisioned: List[ProvisionedObject] = []
+    load_list = LoadList()
+    cursor = OBJECT_AREA_OFFSET
+    for image in objects:
+        words = image.to_words()
+        if len(words) > stride:
+            raise ValueError(
+                f"object {image.name or image.kind.name} larger than the "
+                f"copy stride ({len(words)} > {stride})")
+        end = cursor + (copies - 1) * stride + len(words)
+        if end > len(flash.banks[0]):
+            raise ValueError(
+                f"flash overflow provisioning "
+                f"{image.name or image.kind.name}: needs {end} words, "
+                f"bank holds {len(flash.banks[0])}")
+        for copy in range(copies):
+            flash.program(0, cursor + copy * stride, words)
+        entry = LoadEntry(kind=image.kind, source=LoadSource.FLASH,
+                          locator=cursor, copies=copies, stride=stride)
+        load_list.add(entry)
+        provisioned.append(ProvisionedObject(image=image, entry=entry))
+        cursor += copies * stride
+    flash.program(0, LOADLIST_FLASH_OFFSET, load_list.to_words())
+    if mirror_bank_b:
+        flash.program(1, 0, flash.banks[0].data)
+    return provisioned
+
+
+def run_boot_chain(soc: NgUltraSoc,
+                   config: Optional[Bl1Config] = None,
+                   multicore: bool = True,
+                   run_application: bool = False) -> BootChainResult:
+    """Execute the full BL0 → BL1 → BL2 power-up sequence."""
+    bl0_result = run_bl0(soc)
+    bl1_result = run_bl1(soc, config)
+    bl2_result = None
+    if bl1_result.next_entry is not None:
+        bl2_result = run_bl2(soc, bl1_result.next_entry,
+                             multicore=multicore,
+                             run_application=run_application)
+    return BootChainResult(bl0=bl0_result, bl1=bl1_result, bl2=bl2_result)

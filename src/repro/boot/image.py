@@ -1,0 +1,144 @@
+"""Boot image and load-list formats.
+
+Every deployable object (BL1, BL2, application software, eFPGA bitstream)
+is wrapped in a header carrying its kind, load address, entry point and a
+CRC32 over the payload — the integrity management of paper §IV.  The load
+list is itself a CRC-protected table "describing a set of application
+software to be deployed to memory, and bitstream to be programmed in the
+eFPGA matrix".
+"""
+
+from __future__ import annotations
+
+import zlib
+from dataclasses import dataclass, field
+from enum import IntEnum
+from typing import List, Optional, Sequence
+
+MAGIC = 0x4E47424C  # "NGBL"
+
+
+class ImageError(Exception):
+    pass
+
+
+class ImageKind(IntEnum):
+    BL1 = 1
+    BL2 = 2
+    APPLICATION = 3
+    BITSTREAM = 4
+    HYPERVISOR = 5
+
+
+def _crc_words(words: Sequence[int]) -> int:
+    raw = b"".join((w & 0xFFFFFFFF).to_bytes(4, "little") for w in words)
+    return zlib.crc32(raw) & 0xFFFFFFFF
+
+
+@dataclass
+class BootImage:
+    kind: ImageKind
+    load_address: int
+    entry_point: int
+    payload: List[int]
+    version: int = 1
+    name: str = ""
+
+    HEADER_WORDS = 7
+
+    def to_words(self) -> List[int]:
+        """Serialize: magic, kind, version, load, entry, length, crc, body."""
+        body = [w & 0xFFFFFFFF for w in self.payload]
+        return [
+            MAGIC,
+            int(self.kind),
+            self.version,
+            self.load_address & 0xFFFFFFFF,
+            self.entry_point & 0xFFFFFFFF,
+            len(body),
+            _crc_words(body),
+        ] + body
+
+    @property
+    def total_words(self) -> int:
+        return self.HEADER_WORDS + len(self.payload)
+
+    @classmethod
+    def parse(cls, words: Sequence[int], name: str = "") -> "BootImage":
+        if len(words) < cls.HEADER_WORDS:
+            raise ImageError("image truncated (no header)")
+        if words[0] != MAGIC:
+            raise ImageError(f"bad magic 0x{words[0]:08x}")
+        try:
+            kind = ImageKind(words[1])
+        except ValueError:
+            raise ImageError(f"unknown image kind {words[1]}") from None
+        length = words[5]
+        if len(words) < cls.HEADER_WORDS + length:
+            raise ImageError("image truncated (payload)")
+        payload = list(words[cls.HEADER_WORDS:cls.HEADER_WORDS + length])
+        if _crc_words(payload) != words[6]:
+            raise ImageError("payload CRC mismatch")
+        return cls(kind=kind, version=words[2], load_address=words[3],
+                   entry_point=words[4], payload=payload, name=name)
+
+
+class LoadSource(IntEnum):
+    FLASH = 0
+    SPACEWIRE = 1
+
+
+@dataclass
+class LoadEntry:
+    """One load-list row."""
+
+    kind: ImageKind
+    source: LoadSource
+    # Flash: word offset of the image; SpaceWire: object id.
+    locator: int
+    copies: int = 1            # redundant sequential copies in flash
+    stride: int = 0            # word distance between copies
+
+    def to_words(self) -> List[int]:
+        return [int(self.kind), int(self.source), self.locator,
+                self.copies, self.stride]
+
+
+@dataclass
+class LoadList:
+    entries: List[LoadEntry] = field(default_factory=list)
+
+    LIST_MAGIC = 0x4E474C4C  # "NGLL"
+    ENTRY_WORDS = 5
+
+    def add(self, entry: LoadEntry) -> None:
+        self.entries.append(entry)
+
+    def to_words(self) -> List[int]:
+        body: List[int] = []
+        for entry in self.entries:
+            body.extend(entry.to_words())
+        return [self.LIST_MAGIC, len(self.entries), _crc_words(body)] + body
+
+    @classmethod
+    def parse(cls, words: Sequence[int]) -> "LoadList":
+        if len(words) < 3 or words[0] != cls.LIST_MAGIC:
+            raise ImageError("bad load list header")
+        count = words[1]
+        body = list(words[3:3 + count * cls.ENTRY_WORDS])
+        if len(body) < count * cls.ENTRY_WORDS:
+            raise ImageError("load list truncated")
+        if _crc_words(body) != words[2]:
+            raise ImageError("load list CRC mismatch")
+        entries = []
+        for index in range(count):
+            row = body[index * cls.ENTRY_WORDS:(index + 1) * cls.ENTRY_WORDS]
+            entries.append(LoadEntry(
+                kind=ImageKind(row[0]), source=LoadSource(row[1]),
+                locator=row[2], copies=row[3], stride=row[4]))
+        return cls(entries=entries)
+
+
+def crc_words(words: Sequence[int]) -> int:
+    """Public helper (same CRC the images use)."""
+    return _crc_words(words)

@@ -1,0 +1,93 @@
+"""Boot report generation.
+
+Paper §IV: BL1 generates "a BL1 boot report made available for next-stage
+software".  The report records, per boot step: status, cycle cost and any
+recovery actions (redundant-copy fallbacks, retries).  A compact word
+serialization is written to the peripheral mailbox so next-stage software
+(BL2 / the hypervisor) can read it from the platform.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from enum import IntEnum
+from typing import Dict, List, Optional
+
+
+class StepStatus(IntEnum):
+    OK = 0
+    RECOVERED = 1       # succeeded after redundancy/retry
+    FAILED = 2
+    SKIPPED = 3
+
+
+@dataclass
+class BootStep:
+    name: str
+    status: StepStatus
+    cycles: int
+    detail: str = ""
+
+
+@dataclass
+class BootReport:
+    stage: str
+    steps: List[BootStep] = field(default_factory=list)
+    boot_source: str = ""
+    recovered_objects: List[str] = field(default_factory=list)
+    failed_objects: List[str] = field(default_factory=list)
+
+    def record(self, name: str, status: StepStatus, cycles: int,
+               detail: str = "") -> BootStep:
+        step = BootStep(name=name, status=status, cycles=cycles,
+                        detail=detail)
+        self.steps.append(step)
+        return step
+
+    @property
+    def total_cycles(self) -> int:
+        return sum(step.cycles for step in self.steps)
+
+    @property
+    def success(self) -> bool:
+        return all(step.status in (StepStatus.OK, StepStatus.RECOVERED,
+                                   StepStatus.SKIPPED)
+                   for step in self.steps)
+
+    @property
+    def had_recovery(self) -> bool:
+        return any(step.status is StepStatus.RECOVERED for step in self.steps)
+
+    def step(self, name: str) -> Optional[BootStep]:
+        for step in self.steps:
+            if step.name == name:
+                return step
+        return None
+
+    def cycles_of(self, name: str) -> int:
+        step = self.step(name)
+        return step.cycles if step else 0
+
+    def to_words(self) -> List[int]:
+        """Mailbox serialization: count then (status, cycles) per step."""
+        words = [len(self.steps)]
+        for step in self.steps:
+            words.append(int(step.status))
+            words.append(step.cycles & 0xFFFFFFFF)
+        return words
+
+    def render(self) -> str:
+        lines = [f"==== {self.stage} boot report ====",
+                 f"source: {self.boot_source or 'n/a'}"]
+        for step in self.steps:
+            detail = f"  ({step.detail})" if step.detail else ""
+            lines.append(f"  {step.name:<28} {step.status.name:<10} "
+                         f"{step.cycles:>10} cycles{detail}")
+        lines.append(f"  {'TOTAL':<28} {'':<10} "
+                     f"{self.total_cycles:>10} cycles")
+        if self.recovered_objects:
+            lines.append(f"  recovered: {', '.join(self.recovered_objects)}")
+        if self.failed_objects:
+            lines.append(f"  FAILED: {', '.join(self.failed_objects)}")
+        return "\n".join(lines)

@@ -1,0 +1,163 @@
+"""Command-line interface to the HERMES ecosystem tools.
+
+Subcommands mirror the tool surface a user of the paper's ecosystem gets:
+
+* ``hls``          — synthesize a HermesC file; print reports, write RTL;
+* ``characterize`` — run Eucalyptus and export the XML library;
+* ``boot``         — run the BL0→BL1→BL2 chain and print the boot report;
+* ``mission``      — run the virtualized mission under XtratuM;
+* ``qualify``      — run the BL1 qualification campaign, print TRL.
+
+Run ``python -m repro.cli <subcommand> --help`` for options.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+from typing import List, Optional
+
+
+def _cmd_hls(args) -> int:
+    from .hls import synthesize
+
+    source = Path(args.source).read_text()
+    project = synthesize(source, top=args.top, clock_ns=args.clock,
+                         opt_level=args.opt)
+    design = project[args.top]
+    print(f"function {args.top}: {design.report.summary()}")
+    print(f"  states: {design.state_count}  "
+          f"static latency: {design.static_latency()}")
+    if args.out:
+        out = Path(args.out)
+        out.mkdir(parents=True, exist_ok=True)
+        for name, text in project.verilog_files().items():
+            (out / name).write_text(text)
+        print(f"  RTL written to {out}/")
+    if args.cosim:
+        print("  (cosim requires memory stimuli; use the Python API)")
+    return 0
+
+
+def _cmd_characterize(args) -> int:
+    from .fabric import NG_ULTRA, get_device, scaled_device
+    from .hls.characterization.eucalyptus import Eucalyptus
+
+    base = get_device(args.device)
+    device = scaled_device(base, f"{base.name}-char", args.grid_luts)
+    tool = Eucalyptus(device=device, effort=args.effort)
+    components = args.components.split(",") if args.components else None
+    tool.sweep(components=components,
+               widths=tuple(int(w) for w in args.widths.split(",")))
+    library = tool.build_library()
+    xml_text = library.to_xml()
+    if args.out:
+        Path(args.out).write_text(xml_text)
+        print(f"library written to {args.out} "
+              f"({len(library.records())} records)")
+    else:
+        print(xml_text)
+    return 0
+
+
+def _cmd_boot(args) -> int:
+    from .boot import (BootImage, ImageKind, Bl1Config, RedundancyMode,
+                       provision_flash, run_boot_chain)
+    from .soc import DDR_BASE, NgUltraSoc, assemble
+
+    soc = NgUltraSoc()
+    program = assemble("MOVI r0, #42\nHALT", base_address=DDR_BASE)
+    app = BootImage(kind=ImageKind.APPLICATION, load_address=DDR_BASE,
+                    entry_point=DDR_BASE, payload=program, name="app")
+    provision_flash(soc, [app], copies=args.copies)
+    config = Bl1Config(redundancy=RedundancyMode(args.redundancy))
+    result = run_boot_chain(soc, config=config, run_application=True)
+    print(result.render())
+    print(f"\ntotal: {result.total_cycles} cycles "
+          f"({result.total_cycles / 600:.1f} us @600MHz)")
+    return 0 if result.bl1.report.success else 1
+
+
+def _cmd_mission(args) -> int:
+    from .apps import mission
+
+    run = mission.run_mission(frames=args.frames,
+                              faulty_vbn=args.inject_faults)
+    print(run.hypervisor.summary(run.metrics))
+    if run.telemetry:
+        last = run.telemetry[-1]
+        print(f"\nfinal AOCS pointing error: "
+              f"{last['aocs']['pointing_error_rad']:.4f} rad")
+    misses = sum(p.deadline_misses
+                 for pid, p in run.metrics.partitions.items()
+                 if pid != mission.VBN_PID)
+    return 0 if misses == 0 else 1
+
+
+def _cmd_qualify(args) -> int:
+    import importlib
+    sys.path.insert(0, str(Path(__file__).resolve().parents[2]
+                           / "benchmarks"))
+    try:
+        module = importlib.import_module("bench_qualification_datapack")
+    except ModuleNotFoundError:
+        print("qualification bench not found; run from the repository")
+        return 1
+    table, report, trl, pack = module.run_qualification()
+    print(table.render())
+    print(f"\nTRL {trl.level}; datapack complete: {pack.complete}")
+    return 0 if report.all_passed else 1
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro", description="HERMES ecosystem tools")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    hls = sub.add_parser("hls", help="synthesize a HermesC source file")
+    hls.add_argument("source")
+    hls.add_argument("--top", required=True)
+    hls.add_argument("--clock", type=float, default=10.0,
+                     help="clock period (ns)")
+    hls.add_argument("--opt", type=int, default=2, choices=(0, 1, 2, 3))
+    hls.add_argument("--out", help="directory for generated RTL")
+    hls.add_argument("--cosim", action="store_true")
+    hls.set_defaults(func=_cmd_hls)
+
+    char = sub.add_parser("characterize",
+                          help="Eucalyptus component characterization")
+    char.add_argument("--device", default="NG-ULTRA")
+    char.add_argument("--components", default="addsub,logic,comparator")
+    char.add_argument("--widths", default="8,16,32")
+    char.add_argument("--effort", type=float, default=0.2)
+    char.add_argument("--grid-luts", type=int, default=4096)
+    char.add_argument("--out", help="XML output file")
+    char.set_defaults(func=_cmd_characterize)
+
+    boot = sub.add_parser("boot", help="run the BL0/BL1/BL2 chain")
+    boot.add_argument("--copies", type=int, default=2)
+    boot.add_argument("--redundancy", default="sequential",
+                      choices=("sequential", "tmr"))
+    boot.set_defaults(func=_cmd_boot)
+
+    mission = sub.add_parser("mission",
+                             help="run the virtualized mission")
+    mission.add_argument("--frames", type=int, default=30)
+    mission.add_argument("--inject-faults", action="store_true")
+    mission.set_defaults(func=_cmd_mission)
+
+    qualify = sub.add_parser("qualify",
+                             help="BL1 ECSS qualification campaign")
+    qualify.set_defaults(func=_cmd_qualify)
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,31 @@
+"""HERMES integration layer: end-to-end project flow, ECSS qualification
+and datapack generation (the paper's primary contribution is this
+integrated ecosystem)."""
+
+from .datapack import MANDATORY_DOCUMENTS, Datapack, generate_datapack
+from .metrics import Table, ratio
+from .project import (
+    AcceleratorResult,
+    HermesProject,
+    HermesReport,
+    ProjectError,
+)
+from .qualification import (
+    Level,
+    QualificationCampaign,
+    QualificationReport,
+    Requirement,
+    TestCase,
+    TestResult,
+    TrlAssessment,
+    Verdict,
+    assess_trl,
+)
+
+__all__ = [
+    "MANDATORY_DOCUMENTS", "Datapack", "generate_datapack",
+    "Table", "ratio",
+    "AcceleratorResult", "HermesProject", "HermesReport", "ProjectError",
+    "Level", "QualificationCampaign", "QualificationReport", "Requirement",
+    "TestCase", "TestResult", "TrlAssessment", "Verdict", "assess_trl",
+]

@@ -1,0 +1,136 @@
+"""ECSS qualification datapack generation.
+
+Paper §IV: "A comprehensive qualification datapack will be generated
+during the HERMES project composed of a consolidated version of mandatory
+documents paving the road toward ECSS level B qualification (SRS,
+SUITP/SUITR, SVTS, SValP/SValR, and SUM)."
+
+This module renders that document set from a qualification campaign and
+its report, and checks datapack completeness.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from .qualification import (
+    Level,
+    QualificationCampaign,
+    QualificationReport,
+    Verdict,
+)
+
+# The mandatory document set (paper §IV).
+MANDATORY_DOCUMENTS = ("SRS", "SUITP", "SUITR", "SVTS", "SValP", "SValR",
+                       "SUM")
+
+_TITLES = {
+    "SRS": "Software Requirements Specification",
+    "SUITP": "Software Unit and Integration Test Plan",
+    "SUITR": "Software Unit and Integration Test Report",
+    "SVTS": "Software Validation Test Specification",
+    "SValP": "Software Validation Plan",
+    "SValR": "Software Validation Report",
+    "SUM": "Software User Manual",
+}
+
+
+@dataclass
+class Datapack:
+    project: str
+    documents: Dict[str, str] = field(default_factory=dict)
+
+    def missing_documents(self) -> List[str]:
+        return [d for d in MANDATORY_DOCUMENTS if d not in self.documents]
+
+    @property
+    def complete(self) -> bool:
+        return not self.missing_documents()
+
+
+def _header(doc: str, project: str) -> List[str]:
+    return [
+        f"{doc} — {_TITLES[doc]}",
+        f"Project: {project}",
+        "Standard: ECSS-E-ST-40C / ECSS-Q-ST-80C (criticality B)",
+        "=" * 64,
+    ]
+
+
+def generate_datapack(project: str, campaign: QualificationCampaign,
+                      report: QualificationReport,
+                      user_manual_sections: Optional[Dict[str, str]] = None
+                      ) -> Datapack:
+    """Render the full mandatory document set from campaign evidence."""
+    pack = Datapack(project=project)
+
+    # SRS: the requirement registry.
+    lines = _header("SRS", project)
+    for requirement in campaign.requirements.values():
+        lines.append(f"  [{requirement.rid}] ({requirement.category}) "
+                     f"{requirement.text}")
+    pack.documents["SRS"] = "\n".join(lines)
+
+    # SUITP: unit + integration test plan.
+    lines = _header("SUITP", project)
+    for test in campaign.tests.values():
+        if test.level in (Level.UNIT, Level.INTEGRATION):
+            lines.append(f"  [{test.tid}] level={test.level.value} "
+                         f"verifies={','.join(test.requirements)} "
+                         f"{test.description}")
+    pack.documents["SUITP"] = "\n".join(lines)
+
+    # SUITR: unit + integration results.
+    lines = _header("SUITR", project)
+    for result in report.results:
+        if result.level in (Level.UNIT, Level.INTEGRATION):
+            detail = f" — {result.detail}" if result.detail else ""
+            lines.append(f"  [{result.tid}] {result.verdict.value}{detail}")
+    lines.append(f"  summary: {report.passed(Level.UNIT)} unit passed, "
+                 f"{report.passed(Level.INTEGRATION)} integration passed, "
+                 f"{report.failed(Level.UNIT) + report.failed(Level.INTEGRATION)} failed")
+    pack.documents["SUITR"] = "\n".join(lines)
+
+    # SVTS: validation test specification.
+    lines = _header("SVTS", project)
+    for test in campaign.tests.values():
+        if test.level is Level.VALIDATION:
+            lines.append(f"  [{test.tid}] verifies="
+                         f"{','.join(test.requirements)} {test.description}")
+    pack.documents["SVTS"] = "\n".join(lines)
+
+    # SValP: validation plan.
+    lines = _header("SValP", project)
+    lines.append("  Validation executes the SVTS cases on the simulated "
+                 "NG-ULTRA platform with fault injection enabled "
+                 "(relevant environment).")
+    lines.append(f"  Planned cases: "
+                 f"{sum(1 for t in campaign.tests.values() if t.level is Level.VALIDATION)}")
+    pack.documents["SValP"] = "\n".join(lines)
+
+    # SValR: validation report + coverage matrix.
+    lines = _header("SValR", project)
+    for result in report.results:
+        if result.level is Level.VALIDATION:
+            lines.append(f"  [{result.tid}] {result.verdict.value}")
+    lines.append("  Requirement coverage matrix:")
+    for rid in sorted(campaign.requirements):
+        tests = report.coverage.get(rid, [])
+        status = "COVERED" if tests else "NOT COVERED"
+        lines.append(f"    {rid}: {status} ({', '.join(tests)})")
+    lines.append(f"  coverage: {report.requirement_coverage():.1%}")
+    pack.documents["SValR"] = "\n".join(lines)
+
+    # SUM: user manual.
+    lines = _header("SUM", project)
+    sections = user_manual_sections or {
+        "Overview": "Generic Level 1 Boot loader for the NG-ULTRA SoC.",
+        "Boot sources": "Local boot flash (redundant banks) or SpaceWire.",
+        "Customisation": "BL1 is reused as-is or adapted per mission.",
+    }
+    for title, body in sections.items():
+        lines.append(f"  {title}:")
+        lines.append(f"    {body}")
+    pack.documents["SUM"] = "\n".join(lines)
+    return pack

@@ -1,0 +1,182 @@
+"""ECSS-style qualification engine.
+
+The HERMES project's goal is TRL 6 for the platform and ECSS DAL-B
+qualification for the software (paper abstract, §III, §IV).  This module
+provides the machinery such a campaign runs on:
+
+* a requirement registry (the SRS content);
+* test cases at the three ECSS verification levels (unit, integration,
+  validation) bound to the requirements they verify;
+* a campaign runner with pass/fail accounting and a requirement-coverage
+  matrix (the SUITR/SValR evidence);
+* a TRL assessment ladder mapping collected evidence to the achieved
+  technology readiness level.
+"""
+
+from __future__ import annotations
+
+import traceback
+from dataclasses import dataclass, field
+from enum import Enum
+from typing import Callable, Dict, List, Optional, Sequence
+
+
+class Level(Enum):
+    UNIT = "unit"
+    INTEGRATION = "integration"
+    VALIDATION = "validation"
+
+
+class Verdict(Enum):
+    PASSED = "passed"
+    FAILED = "failed"
+    ERROR = "error"
+    SKIPPED = "skipped"
+
+
+@dataclass
+class Requirement:
+    rid: str
+    text: str
+    category: str = "functional"     # functional / performance / safety
+
+
+@dataclass
+class TestCase:
+    tid: str
+    level: Level
+    requirements: List[str]
+    run: Callable[[], bool]
+    description: str = ""
+
+
+@dataclass
+class TestResult:
+    tid: str
+    level: Level
+    verdict: Verdict
+    detail: str = ""
+
+
+@dataclass
+class QualificationReport:
+    results: List[TestResult] = field(default_factory=list)
+    coverage: Dict[str, List[str]] = field(default_factory=dict)
+    uncovered: List[str] = field(default_factory=list)
+
+    def passed(self, level: Optional[Level] = None) -> int:
+        return sum(1 for r in self.results
+                   if r.verdict is Verdict.PASSED
+                   and (level is None or r.level is level))
+
+    def failed(self, level: Optional[Level] = None) -> int:
+        return sum(1 for r in self.results
+                   if r.verdict in (Verdict.FAILED, Verdict.ERROR)
+                   and (level is None or r.level is level))
+
+    def total(self, level: Optional[Level] = None) -> int:
+        return sum(1 for r in self.results
+                   if level is None or r.level is level)
+
+    @property
+    def all_passed(self) -> bool:
+        return self.failed() == 0 and self.total() > 0
+
+    def requirement_coverage(self) -> float:
+        covered = len(self.coverage)
+        total = covered + len(self.uncovered)
+        return covered / total if total else 0.0
+
+
+class QualificationCampaign:
+    """Requirement registry + test suite + runner."""
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.requirements: Dict[str, Requirement] = {}
+        self.tests: Dict[str, TestCase] = {}
+
+    def add_requirement(self, rid: str, text: str,
+                        category: str = "functional") -> Requirement:
+        if rid in self.requirements:
+            raise ValueError(f"duplicate requirement {rid}")
+        requirement = Requirement(rid=rid, text=text, category=category)
+        self.requirements[rid] = requirement
+        return requirement
+
+    def add_test(self, tid: str, level: Level, requirements: Sequence[str],
+                 run: Callable[[], bool], description: str = "") -> TestCase:
+        if tid in self.tests:
+            raise ValueError(f"duplicate test {tid}")
+        for rid in requirements:
+            if rid not in self.requirements:
+                raise ValueError(f"test {tid} references unknown "
+                                 f"requirement {rid}")
+        test = TestCase(tid=tid, level=level,
+                        requirements=list(requirements), run=run,
+                        description=description)
+        self.tests[tid] = test
+        return test
+
+    def run(self) -> QualificationReport:
+        report = QualificationReport()
+        for test in self.tests.values():
+            try:
+                outcome = test.run()
+                verdict = Verdict.PASSED if outcome else Verdict.FAILED
+                detail = "" if outcome else "assertion returned False"
+            except Exception as error:  # noqa: BLE001 - campaign must log
+                verdict = Verdict.ERROR
+                detail = f"{type(error).__name__}: {error}"
+            report.results.append(TestResult(tid=test.tid, level=test.level,
+                                             verdict=verdict, detail=detail))
+            if verdict is Verdict.PASSED:
+                for rid in test.requirements:
+                    report.coverage.setdefault(rid, []).append(test.tid)
+        report.uncovered = sorted(rid for rid in self.requirements
+                                  if rid not in report.coverage)
+        return report
+
+
+@dataclass
+class TrlAssessment:
+    level: int
+    justification: List[str] = field(default_factory=list)
+
+
+def assess_trl(report: QualificationReport,
+               validated_in_relevant_environment: bool = False) -> TrlAssessment:
+    """Map campaign evidence onto the TRL ladder.
+
+    * TRL 3 — some unit-level evidence exists;
+    * TRL 4 — all unit tests pass (validated in laboratory);
+    * TRL 5 — integration tests pass and requirement coverage >= 90%;
+    * TRL 6 — validation tests pass in the relevant (fault-injected /
+      radiation-representative) environment with full coverage — the
+      HERMES project objective.
+    """
+    justification: List[str] = []
+    level = 2
+    if report.total(Level.UNIT) > 0:
+        level = 3
+        justification.append(
+            f"unit evidence: {report.passed(Level.UNIT)}/"
+            f"{report.total(Level.UNIT)} passed")
+    if report.total(Level.UNIT) > 0 and report.failed(Level.UNIT) == 0:
+        level = 4
+        justification.append("all unit tests pass (TRL 4)")
+    if level >= 4 and report.total(Level.INTEGRATION) > 0 \
+            and report.failed(Level.INTEGRATION) == 0 \
+            and report.requirement_coverage() >= 0.9:
+        level = 5
+        justification.append(
+            f"integration clean, coverage "
+            f"{report.requirement_coverage():.0%} (TRL 5)")
+    if level >= 5 and report.total(Level.VALIDATION) > 0 \
+            and report.failed(Level.VALIDATION) == 0 \
+            and report.requirement_coverage() >= 0.999 \
+            and validated_in_relevant_environment:
+        level = 6
+        justification.append(
+            "validation in relevant environment, full coverage (TRL 6)")
+    return TrlAssessment(level=level, justification=justification)

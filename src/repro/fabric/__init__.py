@@ -1,0 +1,44 @@
+"""NG-ULTRA fabric model and NXmap-equivalent backend flow (paper Fig. 3)."""
+
+from .bitstream import Bitstream, Frame, generate_bitstream
+from .device import (
+    DEVICE_FAMILY,
+    LEGACY_RADHARD,
+    NG_LARGE,
+    NG_MEDIUM,
+    NG_ULTRA,
+    Device,
+    get_device,
+    scaled_device,
+)
+from .netlist import BRAM, CARRY, DFF, DSP, IOB, LUT4, Cell, Net, Netlist
+from .nxmap import (
+    FlowError,
+    FlowReport,
+    NXmapProject,
+    PowerReport,
+    generate_backend_script,
+)
+from .placement import PlacementResult, place
+from .routing import RoutingResult, route
+from .synthesis import (
+    SynthesisError,
+    supported_components,
+    synthesize_component,
+    synthesize_design,
+)
+from .timing import TimingReport, analyze_timing
+
+__all__ = [
+    "Bitstream", "Frame", "generate_bitstream",
+    "DEVICE_FAMILY", "LEGACY_RADHARD", "NG_LARGE", "NG_MEDIUM", "NG_ULTRA",
+    "Device", "get_device", "scaled_device",
+    "BRAM", "CARRY", "DFF", "DSP", "IOB", "LUT4", "Cell", "Net", "Netlist",
+    "FlowError", "FlowReport", "NXmapProject", "PowerReport",
+    "generate_backend_script",
+    "PlacementResult", "place",
+    "RoutingResult", "route",
+    "SynthesisError", "supported_components", "synthesize_component",
+    "synthesize_design",
+    "TimingReport", "analyze_timing",
+]

@@ -1,0 +1,142 @@
+"""NanoXplore rad-hard FPGA device models.
+
+The paper's headline platform claims (Fig. 1): NG-ULTRA is a 28nm FD-SOI
+rad-hard SoC FPGA with ~550k LUTs, running about twice as fast as current
+rad-hard FPGAs at a quarter of the power, with a quad-core ARM R52 at
+600 MHz.  This module models the NanoXplore portfolio (NG-MEDIUM /
+NG-LARGE / NG-ULTRA) plus a legacy rad-hard baseline representative of the
+65nm anti-fuse/flash generation, so the Fig. 1 comparison can be
+regenerated from executable models.
+
+Geometry model: the fabric is a grid of tiles.  Logic tiles hold
+``LUTS_PER_TILE`` LUT4+FF pairs; dedicated columns hold DSP and RAM
+blocks.  Timing and energy parameters drive STA and the power report.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Dict, List, Tuple
+
+LUTS_PER_TILE = 8
+
+
+@dataclass(frozen=True)
+class Device:
+    """One FPGA device model."""
+
+    name: str
+    process: str
+    luts: int
+    ffs: int
+    dsps: int
+    brams: int                 # 18 Kib true-dual-port RAM blocks
+    # Timing (ns)
+    lut_delay_ns: float
+    ff_setup_ns: float
+    wire_delay_per_tile_ns: float
+    dsp_delay_ns: float
+    bram_delay_ns: float
+    # Energy (pJ); switching energy per cell toggle and static mW
+    lut_energy_pj: float
+    static_mw: float
+    # Radiation hardening
+    rad_hard: bool = True
+    seu_cross_section_cm2_per_bit: float = 1e-14
+    # Embedded processing system
+    cpu: str = ""
+    cpu_cores: int = 0
+    cpu_mhz: int = 0
+
+    @property
+    def grid_size(self) -> Tuple[int, int]:
+        """(columns, rows) of logic tiles (square-ish floorplan)."""
+        tiles = max(1, math.ceil(self.luts / LUTS_PER_TILE))
+        cols = max(1, math.ceil(math.sqrt(tiles)))
+        rows = max(1, math.ceil(tiles / cols))
+        return cols, rows
+
+    def fits(self, luts: int, ffs: int, dsps: int, brams: int) -> bool:
+        return (luts <= self.luts and ffs <= self.ffs
+                and dsps <= self.dsps and brams <= self.brams)
+
+    def utilization(self, luts: int, ffs: int, dsps: int,
+                    brams: int) -> Dict[str, float]:
+        return {
+            "luts": luts / self.luts,
+            "ffs": ffs / self.ffs,
+            "dsps": dsps / max(1, self.dsps),
+            "brams": brams / max(1, self.brams),
+        }
+
+
+# The NanoXplore portfolio supported by NXmap (paper §II) plus the legacy
+# baseline used for the Fig. 1 "2x speed / 4x lower power" comparison.
+NG_MEDIUM = Device(
+    name="NG-MEDIUM", process="65nm", luts=34_272, ffs=34_272, dsps=112,
+    brams=56, lut_delay_ns=0.60, ff_setup_ns=0.30,
+    wire_delay_per_tile_ns=0.045, dsp_delay_ns=4.4, bram_delay_ns=2.4,
+    lut_energy_pj=3.0, static_mw=280.0,
+    seu_cross_section_cm2_per_bit=6e-15,
+)
+
+NG_LARGE = Device(
+    name="NG-LARGE", process="65nm", luts=137_088, ffs=129_024, dsps=384,
+    brams=192, lut_delay_ns=0.55, ff_setup_ns=0.28,
+    wire_delay_per_tile_ns=0.040, dsp_delay_ns=4.0, bram_delay_ns=2.2,
+    lut_energy_pj=2.8, static_mw=620.0,
+    seu_cross_section_cm2_per_bit=6e-15,
+)
+
+NG_ULTRA = Device(
+    name="NG-ULTRA", process="28nm FD-SOI", luts=544_320, ffs=544_320,
+    dsps=1_632, brams=672, lut_delay_ns=0.35, ff_setup_ns=0.18,
+    wire_delay_per_tile_ns=0.022, dsp_delay_ns=2.4, bram_delay_ns=1.1,
+    lut_energy_pj=0.7, static_mw=900.0,
+    seu_cross_section_cm2_per_bit=2e-15,
+    cpu="ARM Cortex-R52", cpu_cores=4, cpu_mhz=600,
+)
+
+# Representative of the previous rad-hard generation that NG-ULTRA is
+# compared against in the paper's introduction ("twice as fast ... power
+# consumption four times smaller").
+LEGACY_RADHARD = Device(
+    name="LEGACY-RH (65nm gen)", process="65nm", luts=150_000, ffs=150_000,
+    dsps=462, brams=210, lut_delay_ns=0.70, ff_setup_ns=0.38,
+    wire_delay_per_tile_ns=0.050, dsp_delay_ns=5.2, bram_delay_ns=2.8,
+    lut_energy_pj=2.8, static_mw=1_100.0,
+    seu_cross_section_cm2_per_bit=8e-15,
+)
+
+DEVICE_FAMILY: Dict[str, Device] = {
+    d.name: d for d in (NG_MEDIUM, NG_LARGE, NG_ULTRA, LEGACY_RADHARD)
+}
+
+
+def get_device(name: str) -> Device:
+    if name not in DEVICE_FAMILY:
+        known = ", ".join(sorted(DEVICE_FAMILY))
+        raise KeyError(f"unknown device {name!r} (known: {known})")
+    return DEVICE_FAMILY[name]
+
+
+def scaled_device(base: Device, name: str, luts: int) -> Device:
+    """A reduced-capacity variant of a device (same speed/energy).
+
+    Used by tests and characterization runs to keep placement grids small
+    while exercising the same timing model.
+    """
+    ratio = luts / base.luts
+    return Device(
+        name=name, process=base.process, luts=luts,
+        ffs=max(luts, 1), dsps=max(4, int(base.dsps * ratio)),
+        brams=max(2, int(base.brams * ratio)),
+        lut_delay_ns=base.lut_delay_ns, ff_setup_ns=base.ff_setup_ns,
+        wire_delay_per_tile_ns=base.wire_delay_per_tile_ns,
+        dsp_delay_ns=base.dsp_delay_ns, bram_delay_ns=base.bram_delay_ns,
+        lut_energy_pj=base.lut_energy_pj, static_mw=base.static_mw * ratio,
+        rad_hard=base.rad_hard,
+        seu_cross_section_cm2_per_bit=base.seu_cross_section_cm2_per_bit,
+        cpu=base.cpu, cpu_cores=base.cpu_cores, cpu_mhz=base.cpu_mhz,
+    )

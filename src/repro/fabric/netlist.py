@@ -1,0 +1,180 @@
+"""Technology netlist: the cell-level representation consumed by the
+NXmap-equivalent backend (synthesis output, place/route/STA input)."""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Set
+
+# Cell kinds of the modelled NG fabric.
+LUT4 = "LUT4"
+DFF = "DFF"
+DSP = "DSP"
+BRAM = "BRAM"
+IOB = "IOB"
+CARRY = "CARRY"
+
+CELL_KINDS = {LUT4, DFF, DSP, BRAM, IOB, CARRY}
+
+# How many fabric placement sites each cell kind consumes.
+_SEQUENTIAL = {DFF, DSP, BRAM}
+
+
+class NetlistError(Exception):
+    pass
+
+
+@dataclass
+class Cell:
+    name: str
+    kind: str
+    inputs: List[str] = field(default_factory=list)    # net names
+    output: Optional[str] = None                       # net name
+    init: int = 0            # LUT truth table / config word
+    location: Optional[tuple] = None                   # set by placement
+
+    @property
+    def is_sequential(self) -> bool:
+        return self.kind in _SEQUENTIAL
+
+    def __post_init__(self) -> None:
+        if self.kind not in CELL_KINDS:
+            raise NetlistError(f"unknown cell kind {self.kind!r}")
+        if self.kind == LUT4 and len(self.inputs) > 4:
+            raise NetlistError(
+                f"{self.name}: LUT4 has {len(self.inputs)} inputs")
+
+
+@dataclass
+class Net:
+    name: str
+    driver: Optional[str] = None          # cell name
+    sinks: List[str] = field(default_factory=list)
+
+    @property
+    def fanout(self) -> int:
+        return len(self.sinks)
+
+
+class Netlist:
+    """A flat technology netlist."""
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.cells: Dict[str, Cell] = {}
+        self.nets: Dict[str, Net] = {}
+        self.inputs: List[str] = []       # primary input net names
+        self.outputs: List[str] = []      # primary output net names
+        self._counter = itertools.count()
+
+    # -- construction ------------------------------------------------------
+
+    def new_net(self, hint: str = "n") -> str:
+        name = f"{hint}{next(self._counter)}"
+        self.nets[name] = Net(name)
+        return name
+
+    def ensure_net(self, name: str) -> Net:
+        if name not in self.nets:
+            self.nets[name] = Net(name)
+        return self.nets[name]
+
+    def add_cell(self, cell: Cell) -> Cell:
+        if cell.name in self.cells:
+            raise NetlistError(f"duplicate cell {cell.name!r}")
+        self.cells[cell.name] = cell
+        for net_name in cell.inputs:
+            self.ensure_net(net_name).sinks.append(cell.name)
+        if cell.output is not None:
+            net = self.ensure_net(cell.output)
+            if net.driver is not None:
+                raise NetlistError(
+                    f"net {net.name!r} driven twice "
+                    f"({net.driver} and {cell.name})")
+            net.driver = cell.name
+        return cell
+
+    def add_input(self, net_name: str) -> str:
+        self.ensure_net(net_name)
+        self.inputs.append(net_name)
+        return net_name
+
+    def add_output(self, net_name: str) -> str:
+        self.ensure_net(net_name)
+        self.outputs.append(net_name)
+        return net_name
+
+    # -- queries -----------------------------------------------------------
+
+    def count(self, kind: str) -> int:
+        return sum(1 for c in self.cells.values() if c.kind == kind)
+
+    @property
+    def lut_count(self) -> int:
+        return self.count(LUT4) + self.count(CARRY)
+
+    @property
+    def ff_count(self) -> int:
+        return self.count(DFF)
+
+    @property
+    def dsp_count(self) -> int:
+        return self.count(DSP)
+
+    @property
+    def bram_count(self) -> int:
+        return self.count(BRAM)
+
+    def stats(self) -> Dict[str, int]:
+        return {
+            "luts": self.lut_count,
+            "ffs": self.ff_count,
+            "dsps": self.dsp_count,
+            "brams": self.bram_count,
+            "nets": len(self.nets),
+            "cells": len(self.cells),
+        }
+
+    def combinational_cells(self) -> List[Cell]:
+        return [c for c in self.cells.values() if not c.is_sequential]
+
+    def validate(self) -> List[str]:
+        """Structural checks: drivers present, no combinational loops."""
+        problems: List[str] = []
+        for net in self.nets.values():
+            if net.driver is None and net.name not in self.inputs \
+                    and net.sinks:
+                problems.append(f"net {net.name!r} has sinks but no driver")
+        # Combinational loop check via DFS over comb cells.
+        colors: Dict[str, int] = {}
+
+        def dfs(cell_name: str) -> bool:
+            colors[cell_name] = 1
+            cell = self.cells[cell_name]
+            if cell.output is not None:
+                for sink_name in self.nets[cell.output].sinks:
+                    sink = self.cells[sink_name]
+                    if sink.is_sequential:
+                        continue
+                    state = colors.get(sink_name, 0)
+                    if state == 1:
+                        problems.append(
+                            f"combinational loop through {sink_name!r}")
+                        return False
+                    if state == 0 and not dfs(sink_name):
+                        return False
+            colors[cell_name] = 2
+            return True
+
+        import sys
+        old_limit = sys.getrecursionlimit()
+        sys.setrecursionlimit(max(old_limit, len(self.cells) * 2 + 1000))
+        try:
+            for cell in self.combinational_cells():
+                if colors.get(cell.name, 0) == 0:
+                    if not dfs(cell.name):
+                        break
+        finally:
+            sys.setrecursionlimit(old_limit)
+        return problems

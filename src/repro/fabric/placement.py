@@ -1,0 +1,204 @@
+"""Simulated-annealing placement on the device tile grid.
+
+Sites: every grid tile accepts up to ``LUTS_PER_TILE`` LUT-class cells and
+the same number of flip-flops; DSP and BRAM macros live in dedicated
+columns (every 8th / 12th column), mirroring a column-based FPGA
+floorplan.  The cost function is the half-perimeter wirelength (HPWL)
+summed over nets, the classic VPR-style objective.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from .device import Device, LUTS_PER_TILE
+from .netlist import BRAM, CARRY, DFF, DSP, IOB, LUT4, Netlist
+
+_LUT_CLASS = {LUT4, CARRY, IOB}
+_DSP_COLUMN_STRIDE = 8
+_BRAM_COLUMN_STRIDE = 12
+
+
+class PlacementError(Exception):
+    pass
+
+
+@dataclass
+class PlacementResult:
+    locations: Dict[str, Tuple[int, int]]
+    hpwl: float
+    initial_hpwl: float
+    iterations: int
+    grid: Tuple[int, int]
+
+    @property
+    def improvement(self) -> float:
+        if self.initial_hpwl == 0:
+            return 0.0
+        return 1.0 - self.hpwl / self.initial_hpwl
+
+
+class _Grid:
+    """Tracks per-tile occupancy for each site class."""
+
+    def __init__(self, device: Device, netlist: Netlist,
+                 min_cols: int = 4) -> None:
+        # Shrink the grid to the design (plus slack) so annealing moves
+        # stay local; capacity checks still respect the device limits.
+        stats = netlist.stats()
+        if not device.fits(stats["luts"], stats["ffs"], stats["dsps"],
+                           stats["brams"]):
+            raise PlacementError(
+                f"design does not fit {device.name}: {stats}")
+        cells_needed = max(stats["luts"], stats["ffs"]) / LUTS_PER_TILE
+        tiles_needed = max(4, int(cells_needed * 1.6) + 2)
+        dev_cols, dev_rows = device.grid_size
+        cols = min(dev_cols, max(min_cols, math.ceil(math.sqrt(tiles_needed))))
+        rows = min(dev_rows, max(min_cols,
+                                 math.ceil(tiles_needed / max(1, cols))))
+        # Guarantee DSP/BRAM columns exist inside the reduced grid.
+        if stats["dsps"]:
+            cols = max(cols, _DSP_COLUMN_STRIDE // 2 + 1)
+        if stats["brams"]:
+            cols = max(cols, _BRAM_COLUMN_STRIDE // 2 + 1)
+        self.cols, self.rows = cols, rows
+        self.lut_used: Dict[Tuple[int, int], int] = {}
+        self.ff_used: Dict[Tuple[int, int], int] = {}
+        self.macro_used: Dict[Tuple[int, int], int] = {}
+
+    def site_class(self, kind: str) -> str:
+        if kind in _LUT_CLASS:
+            return "lut"
+        if kind == DFF:
+            return "ff"
+        return "macro"
+
+    def is_macro_column(self, kind: str, col: int) -> bool:
+        if kind == DSP:
+            return col % _DSP_COLUMN_STRIDE == _DSP_COLUMN_STRIDE // 2
+        if kind == BRAM:
+            return col % _BRAM_COLUMN_STRIDE == _BRAM_COLUMN_STRIDE // 2
+        return True
+
+    def capacity_left(self, kind: str, tile: Tuple[int, int]) -> bool:
+        cls = self.site_class(kind)
+        if cls == "lut":
+            return self.lut_used.get(tile, 0) < LUTS_PER_TILE
+        if cls == "ff":
+            return self.ff_used.get(tile, 0) < LUTS_PER_TILE
+        return self.is_macro_column(kind, tile[0]) and \
+            self.macro_used.get(tile, 0) < 2
+
+    def occupy(self, kind: str, tile: Tuple[int, int]) -> None:
+        cls = self.site_class(kind)
+        table = {"lut": self.lut_used, "ff": self.ff_used,
+                 "macro": self.macro_used}[cls]
+        table[tile] = table.get(tile, 0) + 1
+
+    def release(self, kind: str, tile: Tuple[int, int]) -> None:
+        cls = self.site_class(kind)
+        table = {"lut": self.lut_used, "ff": self.ff_used,
+                 "macro": self.macro_used}[cls]
+        table[tile] -= 1
+
+    def random_tile(self, kind: str, rng: random.Random) -> Tuple[int, int]:
+        for _ in range(200):
+            col = rng.randrange(self.cols)
+            row = rng.randrange(self.rows)
+            if self.capacity_left(kind, (col, row)):
+                return (col, row)
+        raise PlacementError("no free site found (grid saturated)")
+
+
+def _net_hpwl(netlist: Netlist, locations: Dict[str, Tuple[int, int]],
+              net_name: str) -> float:
+    net = netlist.nets[net_name]
+    points = []
+    if net.driver and net.driver in locations:
+        points.append(locations[net.driver])
+    for sink in net.sinks:
+        if sink in locations:
+            points.append(locations[sink])
+    if len(points) < 2:
+        return 0.0
+    xs = [p[0] for p in points]
+    ys = [p[1] for p in points]
+    return (max(xs) - min(xs)) + (max(ys) - min(ys))
+
+
+def total_hpwl(netlist: Netlist,
+               locations: Dict[str, Tuple[int, int]]) -> float:
+    return sum(_net_hpwl(netlist, locations, name)
+               for name in netlist.nets)
+
+
+def place(netlist: Netlist, device: Device, seed: int = 1,
+          effort: float = 1.0) -> PlacementResult:
+    """Simulated-annealing placement.
+
+    ``effort`` scales the number of annealing moves (1.0 ≈ 100 moves per
+    cell); the run is deterministic for a given seed.
+    """
+    rng = random.Random(seed)
+    grid = _Grid(device, netlist)
+    locations: Dict[str, Tuple[int, int]] = {}
+
+    # Initial placement: sequential scan (keeps related cells adjacent
+    # because macro elaboration emits them in connectivity order).
+    for cell in netlist.cells.values():
+        tile = None
+        if grid.site_class(cell.kind) == "macro":
+            tile = grid.random_tile(cell.kind, rng)
+        else:
+            tile = grid.random_tile(cell.kind, rng)
+        grid.occupy(cell.kind, tile)
+        locations[cell.name] = tile
+        cell.location = tile
+
+    # Incremental cost bookkeeping: nets touching each cell.
+    nets_of_cell: Dict[str, List[str]] = {name: [] for name in netlist.cells}
+    for net in netlist.nets.values():
+        if net.driver in nets_of_cell:
+            nets_of_cell[net.driver].append(net.name)
+        for sink in net.sinks:
+            if sink in nets_of_cell:
+                nets_of_cell[sink].append(net.name)
+
+    cost = total_hpwl(netlist, locations)
+    initial = cost
+    cell_names = list(netlist.cells)
+    if not cell_names:
+        return PlacementResult(locations, 0.0, 0.0, 0,
+                               (grid.cols, grid.rows))
+    moves = max(200, int(100 * effort * len(cell_names)))
+    temperature = max(1.0, cost / max(1, len(cell_names)) * 2)
+    cooling = 0.95 ** (1.0 / max(1, moves // 100))
+    iterations = 0
+    for _ in range(moves):
+        iterations += 1
+        name = rng.choice(cell_names)
+        cell = netlist.cells[name]
+        old_tile = locations[name]
+        try:
+            new_tile = grid.random_tile(cell.kind, rng)
+        except PlacementError:
+            continue
+        affected = nets_of_cell[name]
+        before = sum(_net_hpwl(netlist, locations, n) for n in affected)
+        locations[name] = new_tile
+        after = sum(_net_hpwl(netlist, locations, n) for n in affected)
+        delta = after - before
+        if delta <= 0 or rng.random() < math.exp(-delta / temperature):
+            grid.release(cell.kind, old_tile)
+            grid.occupy(cell.kind, new_tile)
+            cell.location = new_tile
+            cost += delta
+        else:
+            locations[name] = old_tile
+        temperature = max(0.01, temperature * cooling)
+    return PlacementResult(locations=locations, hpwl=cost,
+                           initial_hpwl=initial, iterations=iterations,
+                           grid=(grid.cols, grid.rows))

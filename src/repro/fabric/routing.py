@@ -1,0 +1,144 @@
+"""Capacity-aware maze routing over the tile grid.
+
+The routing fabric is modelled as a grid graph: each tile connects to its
+four neighbours through channels of ``channel_width`` tracks.  Nets are
+routed as driver→sink two-pin connections with A* over the grid; edge
+congestion raises the cost (negotiated-congestion flavour) and a bounded
+rip-up/retry loop resolves overflow.  Reports wirelength, congestion and
+overflow — the numbers the NXmap flow report exposes after routing.
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from .netlist import Netlist
+
+Tile = Tuple[int, int]
+Edge = Tuple[Tile, Tile]
+
+
+class RoutingError(Exception):
+    pass
+
+
+@dataclass
+class RoutingResult:
+    wirelength: int
+    max_congestion: int
+    overflow_edges: int
+    routed_connections: int
+    failed_connections: int
+    iterations: int
+    channel_width: int
+    # net name -> list of per-connection paths (each a list of tiles)
+    routes: Dict[str, List[List[Tile]]] = field(default_factory=dict)
+
+    @property
+    def success(self) -> bool:
+        return self.failed_connections == 0 and self.overflow_edges == 0
+
+    def route_length(self, net_name: str) -> int:
+        paths = self.routes.get(net_name, [])
+        return sum(max(0, len(p) - 1) for p in paths)
+
+
+def _edge(a: Tile, b: Tile) -> Edge:
+    return (a, b) if a <= b else (b, a)
+
+
+def _astar(start: Tile, goal: Tile, grid: Tuple[int, int],
+           usage: Dict[Edge, int], channel_width: int,
+           congestion_penalty: float) -> Optional[List[Tile]]:
+    cols, rows = grid
+    # Heap entries: (f = g + heuristic, g, tiebreak, tile).
+    frontier: List[Tuple[float, float, int, Tile]] = [(0.0, 0.0, 0, start)]
+    came: Dict[Tile, Tile] = {}
+    best: Dict[Tile, float] = {start: 0.0}
+    counter = 0
+    while frontier:
+        _f, g, _, tile = heapq.heappop(frontier)
+        if tile == goal:
+            path = [tile]
+            while tile in came:
+                tile = came[tile]
+                path.append(tile)
+            path.reverse()
+            return path
+        if g > best.get(tile, float("inf")):
+            continue  # stale entry
+        col, row = tile
+        for neighbour in ((col + 1, row), (col - 1, row),
+                          (col, row + 1), (col, row - 1)):
+            ncol, nrow = neighbour
+            if not (0 <= ncol < cols and 0 <= nrow < rows):
+                continue
+            used = usage.get(_edge(tile, neighbour), 0)
+            step = 1.0
+            if used >= channel_width:
+                step += congestion_penalty * (used - channel_width + 1)
+            new_cost = g + step
+            if new_cost < best.get(neighbour, float("inf")):
+                best[neighbour] = new_cost
+                came[neighbour] = tile
+                counter += 1
+                heuristic = abs(ncol - goal[0]) + abs(nrow - goal[1])
+                heapq.heappush(frontier,
+                               (new_cost + heuristic, new_cost, counter,
+                                neighbour))
+    return None
+
+
+def route(netlist: Netlist, locations: Dict[str, Tile],
+          grid: Tuple[int, int], channel_width: int = 16,
+          max_iterations: int = 3) -> RoutingResult:
+    """Route all nets; negotiation loop raises congestion cost each pass."""
+    connections: List[Tuple[str, Tile, Tile]] = []
+    for net in netlist.nets.values():
+        if net.driver is None or net.driver not in locations:
+            continue
+        source = locations[net.driver]
+        for sink in net.sinks:
+            if sink not in locations:
+                continue
+            target = locations[sink]
+            if target != source:
+                connections.append((net.name, source, target))
+
+    usage: Dict[Edge, int] = {}
+    routes: Dict[str, List[List[Tile]]] = {}
+    failed = 0
+    iterations = 0
+    penalty = 0.5
+    for iteration in range(max_iterations):
+        iterations += 1
+        usage.clear()
+        routes.clear()
+        failed = 0
+        for net_name, source, target in connections:
+            path = _astar(source, target, grid, usage, channel_width,
+                          penalty)
+            if path is None:
+                failed += 1
+                continue
+            for a, b in zip(path, path[1:]):
+                edge = _edge(a, b)
+                usage[edge] = usage.get(edge, 0) + 1
+            routes.setdefault(net_name, []).append(path)
+        overflow = sum(1 for used in usage.values()
+                       if used > channel_width)
+        if overflow == 0 and failed == 0:
+            break
+        penalty *= 4  # negotiate harder next pass
+    wirelength = sum(count for count in usage.values())
+    max_congestion = max(usage.values(), default=0)
+    overflow_edges = sum(1 for used in usage.values()
+                         if used > channel_width)
+    return RoutingResult(
+        wirelength=wirelength, max_congestion=max_congestion,
+        overflow_edges=overflow_edges,
+        routed_connections=len(connections) - failed,
+        failed_connections=failed, iterations=iterations,
+        channel_width=channel_width, routes=routes)

@@ -1,0 +1,388 @@
+"""Logic synthesis / macro elaboration to the NG technology netlist.
+
+Two entry points:
+
+* :func:`synthesize_component` — structural generators for the Bambu
+  library components (adders, multipliers, shifters, ...).  This is what
+  Eucalyptus drives: each (component, width, stages) configuration becomes
+  a real netlist that is placed, routed and timed to produce the XML
+  characterization (paper §II).
+* :func:`synthesize_design` — elaboration of a complete scheduled HLS
+  design: every bound functional unit expands to its component netlist,
+  registers become DFFs, the controller becomes a LUT/FF cloud and
+  memories become BRAM macros, all stitched into one flat netlist for the
+  NXmap-equivalent backend flow.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, List, Optional, Tuple
+
+from .netlist import BRAM, CARRY, DFF, DSP, IOB, LUT4, Cell, Netlist
+
+_DSP_INPUT_WIDTH = 18
+
+
+class SynthesisError(Exception):
+    pass
+
+
+def _add_pipeline_row(netlist: Netlist, nets: List[str], prefix: str,
+                      row: int) -> List[str]:
+    """Register a vector of nets; returns the registered net names."""
+    out = []
+    for i, net in enumerate(nets):
+        q = netlist.new_net(f"{prefix}_q{row}_")
+        netlist.add_cell(Cell(name=f"{prefix}_ff{row}_{i}", kind=DFF,
+                              inputs=[net], output=q))
+        out.append(q)
+    return out
+
+
+def _io_vector(netlist: Netlist, prefix: str, width: int) -> List[str]:
+    nets = []
+    for i in range(width):
+        net = f"{prefix}{i}"
+        netlist.add_input(net)
+        nets.append(net)
+    return nets
+
+
+def synthesize_component(kind: str, width: int, stages: int = 0,
+                         name: Optional[str] = None) -> Netlist:
+    """Generate the structural netlist of one library component."""
+    netlist = Netlist(name or f"{kind}_w{width}_s{stages}")
+    builder = _COMPONENT_BUILDERS.get(kind)
+    if builder is None:
+        raise SynthesisError(f"no structural generator for {kind!r}")
+    builder(netlist, width, stages)
+    problems = netlist.validate()
+    if problems:
+        raise SynthesisError(f"{netlist.name}: {problems[0]}")
+    return netlist
+
+
+def _build_addsub(netlist: Netlist, width: int, stages: int) -> None:
+    """Ripple/carry-chain adder; pipelining cuts the carry chain.
+
+    With ``stages > 0`` the chain is split into ``stages`` segments with a
+    register on the carry (and the produced sum bits) at each boundary, so
+    the register-to-register path shrinks to roughly ``width / stages``
+    carry cells — the real effect of pipelining an adder.
+    """
+    a = _io_vector(netlist, "a", width)
+    b = _io_vector(netlist, "b", width)
+    segment = width if stages <= 0 else max(1, math.ceil(width / stages))
+    carry = None
+    sums = []
+    boundary = 0
+    for i in range(width):
+        out = netlist.new_net("s")
+        inputs = [a[i], b[i]]
+        if carry is not None:
+            inputs.append(carry)
+        carry_out = netlist.new_net("c")
+        netlist.add_cell(Cell(name=f"add{i}", kind=CARRY,
+                              inputs=inputs, output=out, init=0x9696))
+        netlist.add_cell(Cell(name=f"cprop{i}", kind=LUT4,
+                              inputs=inputs, output=carry_out, init=0xE8E8))
+        carry = carry_out
+        sums.append(out)
+        if stages > 0 and (i + 1) % segment == 0 and i + 1 < width:
+            # Pipeline boundary: register the carry and the sums so far.
+            (carry,) = _add_pipeline_row(netlist, [carry],
+                                         f"pc{boundary}", 0)
+            registered = _add_pipeline_row(netlist, sums, f"ps{boundary}", 0)
+            sums = registered
+            boundary += 1
+    if stages > 0:
+        sums = _add_pipeline_row(netlist, sums, "pipe_out", 0)
+    for net in sums:
+        netlist.add_output(net)
+
+
+def _build_mult(netlist: Netlist, width: int, stages: int) -> None:
+    a = _io_vector(netlist, "a", width)
+    b = _io_vector(netlist, "b", width)
+    blocks = max(1, math.ceil(width / _DSP_INPUT_WIDTH))
+    partials = []
+    for bx in range(blocks):
+        for by in range(blocks):
+            if blocks > 1 and bx + by >= blocks + 1:
+                continue  # truncated product terms beyond result width
+            out = netlist.new_net("p")
+            lo_a = a[bx * _DSP_INPUT_WIDTH:(bx + 1) * _DSP_INPUT_WIDTH]
+            lo_b = b[by * _DSP_INPUT_WIDTH:(by + 1) * _DSP_INPUT_WIDTH]
+            netlist.add_cell(Cell(name=f"dsp_{bx}_{by}", kind=DSP,
+                                  inputs=lo_a + lo_b, output=out))
+            partials.append(out)
+    # Partial-product adder tree in LUTs.
+    level = 0
+    while len(partials) > 1:
+        next_level = []
+        for i in range(0, len(partials) - 1, 2):
+            out = netlist.new_net("t")
+            netlist.add_cell(Cell(name=f"padd{level}_{i}", kind=LUT4,
+                                  inputs=[partials[i], partials[i + 1]],
+                                  output=out, init=0x6666))
+            next_level.append(out)
+        if len(partials) % 2:
+            next_level.append(partials[-1])
+        partials = next_level
+        level += 1
+    result = partials
+    if stages > 0:
+        for row in range(min(stages, 4)):
+            result = _add_pipeline_row(netlist, result, "pipe", row)
+    for net in result:
+        netlist.add_output(net)
+
+
+def _build_logic(netlist: Netlist, width: int, stages: int) -> None:
+    a = _io_vector(netlist, "a", width)
+    b = _io_vector(netlist, "b", width)
+    outs = []
+    for i in range(0, width, 2):
+        out = netlist.new_net("y")
+        inputs = [a[i], b[i]]
+        if i + 1 < width:
+            inputs += [a[i + 1], b[i + 1]]
+        netlist.add_cell(Cell(name=f"lg{i}", kind=LUT4, inputs=inputs,
+                              output=out, init=0x8888))
+        outs.append(out)
+    for net in outs:
+        netlist.add_output(net)
+
+
+def _build_shifter(netlist: Netlist, width: int, stages: int) -> None:
+    data = _io_vector(netlist, "d", width)
+    select = _io_vector(netlist, "sel",
+                        max(1, math.ceil(math.log2(max(2, width)))))
+    current = data
+    for level, sel in enumerate(select):
+        next_row = []
+        shift = 1 << level
+        for i in range(width):
+            out = netlist.new_net(f"sh{level}_")
+            src_hi = current[(i + shift) % width]
+            netlist.add_cell(Cell(name=f"mx{level}_{i}", kind=LUT4,
+                                  inputs=[current[i], src_hi, sel],
+                                  output=out, init=0xCACA))
+            next_row.append(out)
+        current = next_row
+    for net in current:
+        netlist.add_output(net)
+
+
+def _build_comparator(netlist: Netlist, width: int, stages: int) -> None:
+    a = _io_vector(netlist, "a", width)
+    b = _io_vector(netlist, "b", width)
+    chain = None
+    for i in range(0, width, 2):
+        out = netlist.new_net("cmp")
+        inputs = [a[i], b[i]]
+        if i + 1 < width:
+            inputs += [a[i + 1], b[i + 1]]
+        if chain is not None:
+            inputs = inputs[:3] + [chain]
+        netlist.add_cell(Cell(name=f"cmp{i}", kind=LUT4, inputs=inputs,
+                              output=out, init=0x9000))
+        chain = out
+    netlist.add_output(chain)
+
+
+def _build_divider(netlist: Netlist, width: int, stages: int) -> None:
+    a = _io_vector(netlist, "a", width)
+    b = _io_vector(netlist, "b", width)
+    remainder = a
+    quotient = []
+    for step in range(width):
+        # One restoring-division row: subtract + select, then register.
+        row = []
+        for i in range(width):
+            out = netlist.new_net(f"div{step}_")
+            inputs = [remainder[i], b[i]]
+            if i:
+                inputs.append(row[-1])
+            netlist.add_cell(Cell(name=f"sub{step}_{i}", kind=LUT4,
+                                  inputs=inputs, output=out, init=0x9696))
+            row.append(out)
+        qbit = netlist.new_net(f"q{step}_")
+        netlist.add_cell(Cell(name=f"qsel{step}", kind=LUT4,
+                              inputs=[row[-1]], output=qbit, init=0x5555))
+        quotient.append(qbit)
+        remainder = _add_pipeline_row(netlist, row, f"rrem{step}", 0)
+    for net in quotient:
+        netlist.add_output(net)
+
+
+def _build_mux(netlist: Netlist, width: int, stages: int) -> None:
+    a = _io_vector(netlist, "a", width)
+    b = _io_vector(netlist, "b", width)
+    sel = netlist.add_input("sel")
+    for i in range(width):
+        out = netlist.new_net("m")
+        netlist.add_cell(Cell(name=f"mux{i}", kind=LUT4,
+                              inputs=[a[i], b[i], sel], output=out,
+                              init=0xCACA))
+        netlist.add_output(out)
+
+
+def _build_bram_wrapper(netlist: Netlist, width: int, stages: int) -> None:
+    addr = _io_vector(netlist, "addr", 10)
+    out = netlist.new_net("rd")
+    netlist.add_cell(Cell(name="ram0", kind=BRAM, inputs=addr, output=out))
+    q = netlist.new_net("rq")
+    netlist.add_cell(Cell(name="ram_oreg", kind=DFF, inputs=[out], output=q))
+    netlist.add_output(q)
+
+
+_COMPONENT_BUILDERS = {
+    "addsub": _build_addsub,
+    "mult": _build_mult,
+    "logic": _build_logic,
+    "shifter": _build_shifter,
+    "comparator": _build_comparator,
+    "divider": _build_divider,
+    "mux": _build_mux,
+    "mem_bram": _build_bram_wrapper,
+}
+
+
+def supported_components() -> List[str]:
+    return sorted(_COMPONENT_BUILDERS)
+
+
+# ---------------------------------------------------------------------------
+# Whole-design elaboration
+# ---------------------------------------------------------------------------
+
+
+def _merge(dest: Netlist, src: Netlist, prefix: str,
+           input_nets: Optional[List[str]] = None) -> List[str]:
+    """Copy ``src`` into ``dest`` with renaming; returns its output nets.
+
+    ``input_nets`` (if given) drive the macro's primary inputs
+    round-robin, stitching the macro into the design-level connectivity.
+    """
+    net_map: Dict[str, str] = {}
+    for index, net in enumerate(src.inputs):
+        if input_nets:
+            net_map[net] = input_nets[index % len(input_nets)]
+        else:
+            net_map[net] = f"{prefix}.{net}"
+            dest.ensure_net(net_map[net])
+    for net in src.nets:
+        if net not in net_map:
+            net_map[net] = f"{prefix}.{net}"
+    for cell in src.cells.values():
+        dest.add_cell(Cell(
+            name=f"{prefix}.{cell.name}", kind=cell.kind,
+            inputs=[net_map[n] for n in cell.inputs],
+            output=None if cell.output is None else net_map[cell.output],
+            init=cell.init))
+    return [net_map[n] for n in src.outputs]
+
+
+def synthesize_design(hls_design, func, name: Optional[str] = None) -> Netlist:
+    """Elaborate a scheduled HLS design into a flat technology netlist."""
+    from ..hls.ir import operand_width
+
+    netlist = Netlist(name or f"{func.name}_netlist")
+    # Global control inputs.
+    clk = netlist.add_input("clk")
+    start = netlist.add_input("start")
+
+    # Registers -> DFFs, grouped as the binder decided.
+    register_nets: List[str] = []
+    register_d_nets: List[str] = []
+    for register in hls_design.binding.registers.registers:
+        d = netlist.new_net(f"{register.name}_d")
+        q = netlist.new_net(f"{register.name}_q")
+        for bit in range(register.width):
+            netlist.add_cell(Cell(name=f"{register.name}_b{bit}", kind=DFF,
+                                  inputs=[d], output=q if bit == 0 else
+                                  netlist.new_net(f"{register.name}_q{bit}_")))
+        register_nets.append(q)
+        register_d_nets.append(d)
+    if not register_nets:
+        register_nets = [start]
+
+    # Per-class operand widths for FU elaboration.
+    widths: Dict[str, int] = {}
+    for op in func.all_ops():
+        cls = op.resource_class
+        widths[cls] = max(widths.get(cls, 1), operand_width(op))
+
+    fu_output_nets: List[str] = []
+    for cls, count in hls_design.binding.fu.instance_counts.items():
+        base = cls.split(":", 1)[0]
+        if base == "call" or cls.startswith("mem_axi"):
+            continue
+        kind = "mem_bram" if cls == "mem_bram" else base
+        if kind not in _COMPONENT_BUILDERS:
+            continue
+        width = min(widths.get(cls, 32), 64)
+        for instance in range(count):
+            macro = synthesize_component(kind, width)
+            outs = _merge(netlist, macro, f"{cls}_{instance}",
+                          input_nets=register_nets)
+            fu_output_nets.extend(outs)
+
+    # Local memories -> BRAM macros.
+    for mem in func.mems.values():
+        if mem.is_param or mem.storage == "axi":
+            continue
+        report_area = hls_design.report.area.breakdown.get(
+            f"ram:{mem.name}", {})
+        count = max(1, report_area.get("brams", 0)) \
+            if report_area.get("brams") else 0
+        for index in range(count):
+            out = netlist.new_net(f"{mem.name}_rd")
+            netlist.add_cell(Cell(name=f"{mem.name}_bram{index}", kind=BRAM,
+                                  inputs=register_nets[:4], output=out))
+            fu_output_nets.append(out)
+
+    # Controller: state FFs + next-state/decode LUT cloud.
+    fsm = hls_design.fsm
+    state_bits = fsm.state_bits()
+    state_q: List[str] = []
+    state_d: List[str] = []
+    for bit in range(state_bits):
+        d = netlist.new_net(f"state_d{bit}_")
+        q = netlist.new_net(f"state_q{bit}_")
+        netlist.add_cell(Cell(name=f"state_ff{bit}", kind=DFF,
+                              inputs=[d], output=q))
+        state_q.append(q)
+        state_d.append(d)
+    sources = state_q + fu_output_nets[:8] + [start]
+    decode_outputs = []
+    for index in range(max(1, fsm.state_count * 2)):
+        out = netlist.new_net("dec")
+        inputs = [sources[(index + k) % len(sources)] for k in range(4)]
+        netlist.add_cell(Cell(name=f"decode{index}", kind=LUT4,
+                              inputs=inputs, output=out, init=0x1234))
+        decode_outputs.append(out)
+    # Register input multiplexing: each register's D input is driven by a
+    # LUT selecting between datapath results and decode outputs — this is
+    # the write-enable/mux logic a real FSMD carries per register.
+    mux_sources = (fu_output_nets or decode_outputs) + decode_outputs
+    for index, d_net in enumerate(register_d_nets):
+        inputs = [mux_sources[(index + k) % len(mux_sources)]
+                  for k in range(3)] + [state_q[index % len(state_q)]]
+        netlist.add_cell(Cell(name=f"rmux{index}", kind=LUT4,
+                              inputs=inputs, output=d_net, init=0xCACA))
+    # Next-state logic drives the state FF D inputs.
+    for bit, d_net in enumerate(state_d):
+        netlist.add_cell(Cell(
+            name=f"nsl{bit}", kind=LUT4,
+            inputs=[decode_outputs[(bit + k) % len(decode_outputs)]
+                    for k in range(4)],
+            output=d_net, init=0x6996))
+    done = netlist.new_net("done")
+    netlist.add_cell(Cell(name="done_lut", kind=LUT4,
+                          inputs=decode_outputs[:4], output=done,
+                          init=0x8000))
+    netlist.add_output(done)
+    return netlist

@@ -1,0 +1,202 @@
+"""Static timing analysis over the placed (and optionally routed) netlist.
+
+Levelized arrival-time propagation from timing start points (primary
+inputs and flip-flop outputs) to end points (flip-flop inputs and primary
+outputs).  Cell delays come from the device model; interconnect delay is
+the Manhattan distance between placed cells (or the actual routed path
+length when routing results are supplied) times the per-tile wire delay.
+This is the STA step NXmap runs after place and route (paper Fig. 3).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from .device import Device
+from .netlist import BRAM, CARRY, DFF, DSP, IOB, LUT4, Cell, Netlist
+from .routing import RoutingResult
+
+
+class TimingError(Exception):
+    pass
+
+
+@dataclass
+class TimingPathSegment:
+    cell: str
+    kind: str
+    arrival_ns: float
+
+
+@dataclass
+class TimingReport:
+    critical_path_ns: float
+    fmax_mhz: float
+    target_clock_ns: Optional[float]
+    slack_ns: Optional[float]
+    critical_path: List[TimingPathSegment] = field(default_factory=list)
+    endpoint: Optional[str] = None
+
+    @property
+    def timing_met(self) -> bool:
+        return self.slack_ns is None or self.slack_ns >= 0
+
+    def render(self) -> str:
+        """STA report text (the ``staReport`` artifact of the NXmap flow)."""
+        lines = [f"Static timing report",
+                 f"  critical path : {self.critical_path_ns:.3f} ns",
+                 f"  Fmax          : {self.fmax_mhz:.1f} MHz"]
+        if self.target_clock_ns is not None:
+            status = "MET" if self.timing_met else "VIOLATED"
+            lines.append(f"  target        : {self.target_clock_ns:.3f} ns "
+                         f"(slack {self.slack_ns:+.3f} ns, {status})")
+        if self.endpoint:
+            lines.append(f"  endpoint      : {self.endpoint}")
+        if self.critical_path:
+            lines.append("  path:")
+            for segment in self.critical_path[-12:]:
+                lines.append(f"    {segment.arrival_ns:8.3f} ns  "
+                             f"{segment.kind:<6} {segment.cell}")
+        return "\n".join(lines)
+
+
+def _cell_delay(cell: Cell, device: Device) -> float:
+    if cell.kind in (LUT4, CARRY, IOB):
+        return device.lut_delay_ns
+    if cell.kind == DSP:
+        return device.dsp_delay_ns
+    if cell.kind == BRAM:
+        return device.bram_delay_ns
+    if cell.kind == DFF:
+        return 0.2  # clock-to-out
+    raise TimingError(f"no delay model for {cell.kind}")
+
+
+def _wire_delay(netlist: Netlist, driver: Cell, sink: Cell, device: Device,
+                routing: Optional[RoutingResult]) -> float:
+    if driver.location is None or sink.location is None:
+        return device.wire_delay_per_tile_ns  # unplaced: nominal hop
+    if routing is not None and driver.output in routing.routes:
+        length = routing.route_length(driver.output)
+        fanout = max(1, netlist.nets[driver.output].fanout)
+        return device.wire_delay_per_tile_ns * max(1, length / fanout)
+    dx = abs(driver.location[0] - sink.location[0])
+    dy = abs(driver.location[1] - sink.location[1])
+    return device.wire_delay_per_tile_ns * max(1, dx + dy)
+
+
+def analyze_timing(netlist: Netlist, device: Device,
+                   target_clock_ns: Optional[float] = None,
+                   routing: Optional[RoutingResult] = None) -> TimingReport:
+    """Compute the critical register-to-register (or I/O) path."""
+    # Topological order over combinational cells.
+    indegree: Dict[str, int] = {}
+    for cell in netlist.cells.values():
+        if cell.is_sequential:
+            continue
+        count = 0
+        for net_name in cell.inputs:
+            net = netlist.nets.get(net_name)
+            if net and net.driver:
+                driver = netlist.cells[net.driver]
+                if not driver.is_sequential:
+                    count += 1
+        indegree[cell.name] = count
+
+    arrival: Dict[str, float] = {}
+    parent: Dict[str, Optional[str]] = {}
+
+    def input_arrival(cell: Cell) -> Tuple[float, Optional[str]]:
+        worst = 0.0
+        source: Optional[str] = None
+        for net_name in cell.inputs:
+            net = netlist.nets.get(net_name)
+            if not net or not net.driver:
+                continue
+            driver = netlist.cells[net.driver]
+            wire = _wire_delay(netlist, driver, cell, device, routing)
+            if driver.is_sequential:
+                candidate = _cell_delay(driver, device) + wire
+            else:
+                candidate = arrival.get(driver.name, 0.0) + wire
+            if candidate > worst:
+                worst = candidate
+                source = driver.name
+        return worst, source
+
+    queue = deque(name for name, deg in indegree.items() if deg == 0)
+    processed = 0
+    while queue:
+        name = queue.popleft()
+        processed += 1
+        cell = netlist.cells[name]
+        base, source = input_arrival(cell)
+        arrival[name] = base + _cell_delay(cell, device)
+        parent[name] = source
+        if cell.output:
+            for sink_name in netlist.nets[cell.output].sinks:
+                sink = netlist.cells[sink_name]
+                if sink.is_sequential:
+                    continue
+                indegree[sink_name] -= 1
+                if indegree[sink_name] == 0:
+                    queue.append(sink_name)
+    if processed < len(indegree):
+        raise TimingError("combinational loop detected during STA")
+
+    # End points: sequential cell inputs and primary outputs.
+    critical = 0.0
+    endpoint = None
+    end_source = None
+    for cell in netlist.cells.values():
+        if not cell.is_sequential:
+            continue
+        for net_name in cell.inputs:
+            net = netlist.nets.get(net_name)
+            if not net or not net.driver:
+                continue
+            driver = netlist.cells[net.driver]
+            wire = _wire_delay(netlist, driver, cell, device, routing)
+            if driver.is_sequential:
+                path = _cell_delay(driver, device) + wire
+            else:
+                path = arrival.get(driver.name, 0.0) + wire
+            path += device.ff_setup_ns
+            if path > critical:
+                critical = path
+                endpoint = cell.name
+                end_source = net.driver
+    for net_name in netlist.outputs:
+        net = netlist.nets.get(net_name)
+        if not net or not net.driver:
+            continue
+        driver = netlist.cells[net.driver]
+        path = arrival.get(driver.name, _cell_delay(driver, device))
+        if path > critical:
+            critical = path
+            endpoint = net_name
+            end_source = net.driver
+
+    critical = max(critical, device.lut_delay_ns + device.ff_setup_ns)
+    segments: List[TimingPathSegment] = []
+    cursor = end_source
+    while cursor is not None and len(segments) < 256:
+        cell = netlist.cells[cursor]
+        segments.append(TimingPathSegment(
+            cell=cursor, kind=cell.kind,
+            arrival_ns=arrival.get(cursor, 0.0)))
+        cursor = parent.get(cursor)
+    segments.reverse()
+
+    slack = None
+    if target_clock_ns is not None:
+        slack = target_clock_ns - critical
+    return TimingReport(
+        critical_path_ns=critical,
+        fmax_mhz=1000.0 / critical,
+        target_clock_ns=target_clock_ns,
+        slack_ns=slack,
+        critical_path=segments,
+        endpoint=endpoint)

@@ -1,0 +1,9 @@
+"""Bambu-equivalent High-Level Synthesis tool (paper §II)."""
+
+from .flow import CosimResult, HlsDesign, HlsFlowError, HlsProject, synthesize
+from .frontend import compile_to_ir
+
+__all__ = [
+    "CosimResult", "HlsDesign", "HlsFlowError", "HlsProject", "synthesize",
+    "compile_to_ir",
+]

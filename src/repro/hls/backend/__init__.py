@@ -1,0 +1,34 @@
+"""Bambu-equivalent HLS back end: allocation, scheduling, binding, FSM,
+datapath reporting, FSMD simulation and RTL emission (paper Fig. 2)."""
+
+from .allocation import Allocation, OpTiming, allocate
+from .binding import Binding, bind, bind_functional_units, bind_registers
+from .datapath import AreaReport, DatapathReport, build_datapath_report
+from .dfg import BlockDFG, build_dfg
+from .fsm import FSM, build_fsm
+from .scheduling import (
+    BlockSchedule,
+    FunctionSchedule,
+    ScheduledOp,
+    SchedulingError,
+    alap_schedule,
+    asap_schedule,
+    schedule_block,
+    schedule_function,
+)
+from .simulate import FsmdSimulator, SimulationTrace
+from .verify import verify_schedule
+from .verilog import generate_fp_support_library, generate_verilog
+
+__all__ = [
+    "Allocation", "OpTiming", "allocate",
+    "Binding", "bind", "bind_functional_units", "bind_registers",
+    "AreaReport", "DatapathReport", "build_datapath_report",
+    "BlockDFG", "build_dfg",
+    "FSM", "build_fsm",
+    "BlockSchedule", "FunctionSchedule", "ScheduledOp", "SchedulingError",
+    "alap_schedule", "asap_schedule", "schedule_block", "schedule_function",
+    "FsmdSimulator", "SimulationTrace",
+    "verify_schedule",
+    "generate_fp_support_library", "generate_verilog",
+]

@@ -1,0 +1,144 @@
+"""Resource allocation: deciding how many functional units of each class
+the datapath instantiates (paper Fig. 2: allocation → scheduling → binding).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional
+
+from ..characterization.library import ComponentLibrary, default_library
+from ..ir import Call, Function, operand_width
+from ..ir.operations import Load, Store
+
+# Default number of functional units per resource class.  These mirror a
+# pragmatic HLS default: cheap logic is effectively unconstrained, DSP- and
+# area-hungry units are shared.
+_DEFAULT_LIMITS = {
+    "addsub": 8,
+    "mult": 4,
+    "divider": 1,
+    "logic": 16,
+    "shifter": 4,
+    "comparator": 8,
+    "mux": 64,
+    "wire": 10_000,
+    "faddsub": 2,
+    "fmult": 2,
+    "fdivider": 1,
+    "fsqrt": 1,
+    "fcomparator": 2,
+    "fconvert": 2,
+    "flogic": 4,
+}
+
+# Memory ports: NG-ULTRA block RAMs are true dual port; the generated AXI
+# master handles one outstanding transaction (paper notes burst/caching as
+# future work, which the axi module adds as an extension).
+_BRAM_PORTS = 2
+_ROM_PORTS = 2
+_AXI_PORTS = 1
+
+
+@dataclass(frozen=True)
+class OpTiming:
+    """Scheduling view of one operation's component.
+
+    * ``cycles`` — latency in cycles (result usable ``cycles`` after start);
+    * ``delay_ns`` — combinational delay contribution (chaining);
+    * ``chainable`` — can share a cycle with its producers/consumers;
+    * ``interval`` — initiation interval: cycles the unit stays busy
+      (1 for pipelined units, ``cycles`` for iterative ones).
+    """
+
+    cycles: int
+    delay_ns: float
+    chainable: bool
+    interval: int = 1
+
+
+# Iterative (non-pipelined) resource classes: the unit is busy for the
+# whole latency, so back-to-back operations serialize.
+_ITERATIVE_CLASSES = {"divider", "fdivider", "fsqrt"}
+
+
+@dataclass
+class Allocation:
+    """Functional-unit budget and operation timing for one function."""
+
+    function: Function
+    library: ComponentLibrary
+    clock_ns: float
+    limits: Dict[str, int] = field(default_factory=dict)
+    mem_ports: Dict[str, int] = field(default_factory=dict)
+    call_latency: Dict[str, int] = field(default_factory=dict)
+    # Bit-width analysis results (middle-end); narrows unit selection.
+    width_hints: Dict = field(default_factory=dict)
+
+    def units_for(self, resource_class: str) -> int:
+        if resource_class.startswith("call:"):
+            return 1  # one instance of each callee sub-module
+        return self.limits.get(resource_class, 1)
+
+    def ports_for(self, mem_name: str) -> int:
+        return self.mem_ports.get(mem_name, 1)
+
+    def op_timing(self, op) -> OpTiming:
+        """Timing/occupancy characteristics of ``op`` at this clock."""
+        from ..middleend.bitwidth import hinted_width
+        cls = op.resource_class
+        width = hinted_width(op, self.width_hints)
+        if cls == "none":
+            return OpTiming(0, 0.0, True, 0)
+        if cls.startswith("call:"):
+            callee = cls.split(":", 1)[1]
+            if callee == "sqrtf":
+                record = self.library.select("fsqrt", 32, self.clock_ns)
+                return OpTiming(max(1, record.stages), record.delay_ns,
+                                False, max(1, record.stages))
+            cycles = max(1, self.call_latency.get(callee, 1))
+            # A callee instance is busy for the whole call (handshake).
+            return OpTiming(cycles, 0.0, False, cycles)
+        record = self.library.select(cls, width, self.clock_ns)
+        if isinstance(op, Store):
+            if op.mem.storage == "axi":
+                # Single-beat AXI write: the port is busy the whole round
+                # trip (no outstanding-transaction overlap in the base
+                # interface; the burst extension lifts this).
+                cycles = max(1, record.stages)
+                return OpTiming(cycles, record.delay_ns, False, cycles)
+            # BRAM write commits at the end of its issue cycle.
+            return OpTiming(1, record.delay_ns, False, 1)
+        if isinstance(op, Load):
+            cycles = max(1, record.stages)
+            interval = cycles if op.mem.storage == "axi" else 1
+            return OpTiming(cycles, record.delay_ns, False, interval)
+        if record.stages == 0:
+            return OpTiming(1, record.delay_ns, True, 1)
+        interval = record.stages if cls in _ITERATIVE_CLASSES else 1
+        return OpTiming(record.stages, record.delay_ns, False, interval)
+
+
+def allocate(func: Function, library: Optional[ComponentLibrary] = None,
+             clock_ns: float = 10.0,
+             call_latency: Optional[Dict[str, int]] = None) -> Allocation:
+    """Build the allocation for ``func``.
+
+    ``#pragma HLS allocation`` limits override the defaults.  Memory port
+    counts derive from each memory object's storage kind.
+    """
+    library = library or default_library()
+    limits = dict(_DEFAULT_LIMITS)
+    limits.update(func.pragmas.get("allocation", {}))
+    mem_ports = {}
+    for name, mem in func.mems.items():
+        if mem.storage == "axi":
+            mem_ports[name] = _AXI_PORTS
+        elif mem.storage == "rom":
+            mem_ports[name] = _ROM_PORTS
+        else:
+            mem_ports[name] = _BRAM_PORTS
+    return Allocation(function=func, library=library, clock_ns=clock_ns,
+                      limits=limits, mem_ports=mem_ports,
+                      call_latency=dict(call_latency or {}),
+                      width_hints=func.pragmas.get("width_hints", {}))

@@ -1,0 +1,298 @@
+"""AXI4 master interface synthesis and memory-subsystem modelling.
+
+Paper §II: Bambu generates AXI4 master interfaces and the modules
+controlling the AXI signals with no protocol knowledge required; data
+accesses map automatically onto the right controller; testbenches include
+the AXI4 slave counterparts, and memory delay estimates are configurable.
+The paper names prefetching/caching and cache-geometry customization as
+planned extensions — implemented here as :class:`AxiCacheConfig`.
+
+Three layers:
+
+* :class:`AxiInterfaceConfig` / :class:`AxiCacheConfig` — per-port
+  configuration (latency, bursts, cache geometry);
+* :class:`AxiMemorySubsystem` — a transaction-level model that replays an
+  address trace and reports the cycles spent, with optional cache;
+* :func:`generate_axi_slave_bfm` — the behavioural Verilog slave used by
+  the generated testbench.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+
+@dataclass(frozen=True)
+class AxiCacheConfig:
+    """Cache-extension geometry (paper §II future work, implemented).
+
+    ``size_bytes`` total capacity, ``line_bytes`` per line,
+    ``associativity`` ways (1 = direct mapped).
+    """
+
+    size_bytes: int = 1024
+    line_bytes: int = 32
+    associativity: int = 2
+    # Next-line prefetch on miss (paper §II names prefetching among the
+    # planned extensions).  The prefetched line fills in the shadow of
+    # the demand miss, so it adds no stall cycles of its own.
+    prefetch: bool = False
+
+    def __post_init__(self) -> None:
+        if self.line_bytes <= 0 or self.size_bytes <= 0:
+            raise ValueError("cache sizes must be positive")
+        if self.size_bytes % (self.line_bytes * self.associativity):
+            raise ValueError("cache size must be a multiple of "
+                             "line_bytes * associativity")
+
+    @property
+    def num_sets(self) -> int:
+        return self.size_bytes // (self.line_bytes * self.associativity)
+
+    @property
+    def words_per_line(self) -> int:
+        return max(1, self.line_bytes // 4)
+
+
+@dataclass(frozen=True)
+class AxiInterfaceConfig:
+    """Configuration of one generated AXI4 master port."""
+
+    data_width: int = 32
+    read_latency: int = 8        # cycles from AR handshake to R data
+    write_latency: int = 6       # cycles from AW to B response
+    burst: bool = False          # use INCR bursts for consecutive accesses
+    max_burst_len: int = 16
+    cache: Optional[AxiCacheConfig] = None
+
+
+@dataclass
+class AxiAccessStats:
+    reads: int = 0
+    writes: int = 0
+    read_cycles: int = 0
+    write_cycles: int = 0
+    cache_hits: int = 0
+    cache_misses: int = 0
+    bursts: int = 0
+
+    @property
+    def total_cycles(self) -> int:
+        return self.read_cycles + self.write_cycles
+
+    @property
+    def hit_rate(self) -> float:
+        total = self.cache_hits + self.cache_misses
+        return self.cache_hits / total if total else 0.0
+
+    @property
+    def average_read_latency(self) -> float:
+        return self.read_cycles / self.reads if self.reads else 0.0
+
+
+class _Cache:
+    """Set-associative LRU cache over word addresses."""
+
+    def __init__(self, config: AxiCacheConfig) -> None:
+        self.config = config
+        # set index -> ordered list of resident line tags (LRU at front)
+        self._sets: Dict[int, List[int]] = {}
+
+    def access(self, word_address: int) -> bool:
+        """Touch a word; returns True on hit (line filled on miss)."""
+        line = word_address // self.config.words_per_line
+        if self._touch_line(line):
+            return True
+        if self.config.prefetch:
+            self._fill_line(line + 1)
+        return False
+
+    def _touch_line(self, line: int) -> bool:
+        index = line % self.config.num_sets
+        tag = line // self.config.num_sets
+        resident = self._sets.setdefault(index, [])
+        if tag in resident:
+            resident.remove(tag)
+            resident.append(tag)
+            return True
+        resident.append(tag)
+        if len(resident) > self.config.associativity:
+            resident.pop(0)
+        return False
+
+    def _fill_line(self, line: int) -> None:
+        """Install a line with low recency (prefetch fill).
+
+        The prefetched line sits just above the current LRU victim, so a
+        full set evicts its old LRU line — never the demand data and
+        never the line just prefetched.
+        """
+        index = line % self.config.num_sets
+        tag = line // self.config.num_sets
+        resident = self._sets.setdefault(index, [])
+        if tag in resident:
+            return
+        if len(resident) >= self.config.associativity:
+            resident.pop(0)
+        resident.insert(min(1, len(resident)), tag)
+
+    def flush(self) -> None:
+        self._sets.clear()
+
+
+class AxiMemorySubsystem:
+    """Transaction-level model of the external memory behind one port.
+
+    Replays read/write word-address sequences and accumulates the cycle
+    cost under the configured interface features.  Used by the testbench
+    (performance assessment with memory delays, paper §II) and by the
+    AXI benchmark sweep.
+    """
+
+    def __init__(self, config: AxiInterfaceConfig) -> None:
+        self.config = config
+        self.stats = AxiAccessStats()
+        self._cache = _Cache(config.cache) if config.cache else None
+        self._last_read_addr: Optional[int] = None
+        self._burst_left = 0
+
+    def read(self, word_address: int) -> int:
+        """Account one read; returns the cycles it consumed."""
+        self.stats.reads += 1
+        cycles = self._read_cost(word_address)
+        self.stats.read_cycles += cycles
+        self._last_read_addr = word_address
+        return cycles
+
+    def _read_cost(self, word_address: int) -> int:
+        config = self.config
+        if self._cache is not None:
+            if self._cache.access(word_address):
+                self.stats.cache_hits += 1
+                return 1
+            self.stats.cache_misses += 1
+            # Line fill: one AR, then line_words beats.
+            return config.read_latency + self._cache.config.words_per_line - 1
+        if config.burst and self._last_read_addr is not None \
+                and word_address == self._last_read_addr + 1 \
+                and self._burst_left > 0:
+            self._burst_left -= 1
+            return 1  # next beat of an open INCR burst
+        if config.burst:
+            self._burst_left = config.max_burst_len - 1
+            self.stats.bursts += 1
+            return config.read_latency
+        return config.read_latency
+
+    def write(self, word_address: int) -> int:
+        self.stats.writes += 1
+        cycles = self.config.write_latency
+        if self.config.burst and self._last_write_is_next(word_address):
+            cycles = 1
+        self.stats.write_cycles += cycles
+        self._last_write_addr = word_address
+        return cycles
+
+    _last_write_addr: Optional[int] = None
+
+    def _last_write_is_next(self, word_address: int) -> bool:
+        return (self._last_write_addr is not None
+                and word_address == self._last_write_addr + 1)
+
+    def replay(self, trace: List[Tuple[str, int]]) -> AxiAccessStats:
+        """Replay a ('r'|'w', word_address) trace; returns the stats."""
+        for kind, address in trace:
+            if kind == "r":
+                self.read(address)
+            else:
+                self.write(address)
+        return self.stats
+
+
+def estimate_kernel_cycles(read_trace: List[int],
+                           write_trace: List[int],
+                           compute_cycles: int,
+                           config: AxiInterfaceConfig) -> int:
+    """Total-cycle estimate for a kernel: compute + memory stalls.
+
+    Models the non-overlapped base interface of the paper (every access
+    stalls the accelerator); the burst/cache options reduce the stall
+    component exactly the way the planned extensions would.
+    """
+    subsystem = AxiMemorySubsystem(config)
+    stall = 0
+    for address in read_trace:
+        stall += subsystem.read(address)
+    for address in write_trace:
+        stall += subsystem.write(address)
+    return compute_cycles + stall
+
+
+def generate_axi_slave_bfm(name: str = "hermes_axi_slave",
+                           data_width: int = 32,
+                           mem_words: int = 1024,
+                           read_latency: int = 8) -> str:
+    """Behavioural Verilog AXI4 slave used by generated testbenches."""
+    addr_bits = max(1, (mem_words - 1).bit_length())
+    return f"""// AXI4 slave BFM generated by the HERMES HLS flow (testbench use)
+module {name} (
+  input wire clk,
+  input wire rst,
+  input wire [31:0] s_araddr,
+  input wire s_arvalid,
+  output reg s_arready,
+  output reg [{data_width - 1}:0] s_rdata,
+  output reg s_rvalid,
+  input wire s_rready,
+  input wire [31:0] s_awaddr,
+  input wire s_awvalid,
+  output reg s_awready,
+  input wire [{data_width - 1}:0] s_wdata,
+  input wire s_wvalid,
+  output reg s_wready,
+  output reg s_bvalid,
+  input wire s_bready
+);
+  reg [{data_width - 1}:0] mem [0:{mem_words - 1}];
+  reg [31:0] read_addr;
+  reg [7:0] delay;
+  localparam READ_LATENCY = {read_latency};
+
+  always @(posedge clk) begin
+    if (rst) begin
+      s_arready <= 1'b1;
+      s_rvalid <= 1'b0;
+      s_awready <= 1'b1;
+      s_wready <= 1'b1;
+      s_bvalid <= 1'b0;
+      delay <= 8'd0;
+    end else begin
+      if (s_arvalid && s_arready) begin
+        read_addr <= s_araddr >> 2;
+        delay <= READ_LATENCY;
+        s_arready <= 1'b0;
+      end
+      if (delay > 1) delay <= delay - 8'd1;
+      if (delay == 8'd1) begin
+        s_rdata <= mem[read_addr[{addr_bits - 1}:0]];
+        s_rvalid <= 1'b1;
+        delay <= 8'd0;
+      end
+      if (s_rvalid && s_rready) begin
+        s_rvalid <= 1'b0;
+        s_arready <= 1'b1;
+      end
+      if (s_awvalid && s_wvalid && s_awready) begin
+        mem[s_awaddr[{addr_bits + 1}:2]] <= s_wdata;
+        s_bvalid <= 1'b1;
+        s_awready <= 1'b0;
+      end
+      if (s_bvalid && s_bready) begin
+        s_bvalid <= 1'b0;
+        s_awready <= 1'b1;
+      end
+    end
+  end
+endmodule
+"""

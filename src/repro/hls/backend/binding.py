@@ -1,0 +1,238 @@
+"""Functional-unit and register binding (left-edge interval allocation).
+
+Two operations can share a functional unit when their busy intervals never
+overlap; since the controller is a single FSM, operations in *different*
+basic blocks never execute simultaneously, so conflicts only arise within
+one block.  Register binding assigns storage to every value that crosses a
+cycle (or block) boundary, sharing registers between values with disjoint
+live intervals.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from ..ir import Function
+from ..ir.values import Temp, Value, Var
+from .allocation import Allocation
+from .scheduling import BlockSchedule, FunctionSchedule
+
+
+@dataclass
+class FUBinding:
+    """Mapping of operations to functional-unit instances."""
+
+    instance_counts: Dict[str, int] = field(default_factory=dict)
+    # (block name, op index within block) -> (resource class, instance id)
+    assignment: Dict[Tuple[str, int], Tuple[str, int]] = field(
+        default_factory=dict)
+
+    def instances(self, resource_class: str) -> int:
+        return self.instance_counts.get(resource_class, 0)
+
+
+@dataclass
+class Register:
+    name: str
+    width: int
+    is_float: bool = False
+
+
+@dataclass
+class RegisterBinding:
+    registers: List[Register] = field(default_factory=list)
+    # Value -> register name
+    assignment: Dict[Value, str] = field(default_factory=dict)
+
+    @property
+    def count(self) -> int:
+        return len(self.registers)
+
+    def total_bits(self) -> int:
+        return sum(r.width for r in self.registers)
+
+
+@dataclass
+class Binding:
+    fu: FUBinding
+    registers: RegisterBinding
+
+
+def bind_functional_units(schedule: FunctionSchedule,
+                          allocation: Allocation) -> FUBinding:
+    """Left-edge FU binding per resource class.
+
+    Within each block, ops of a class are sorted by start cycle and placed
+    on the first instance whose previous occupant finished; the global
+    instance count of a class is the maximum needed by any block.
+    """
+    binding = FUBinding()
+    for block_name, block_sched in schedule.blocks.items():
+        per_class: Dict[str, List[Tuple[int, int, int]]] = {}
+        for index, entry in enumerate(block_sched.ops):
+            cls = entry.op.resource_class
+            if cls in ("none", "wire"):
+                continue
+            timing = allocation.op_timing(entry.op)
+            busy_end = entry.start + max(1, timing.interval) - 1
+            per_class.setdefault(cls, []).append((entry.start, busy_end,
+                                                  index))
+        for cls, intervals in per_class.items():
+            intervals.sort()
+            instance_free_at: List[int] = []
+            for start, end, index in intervals:
+                placed = False
+                for instance, free_at in enumerate(instance_free_at):
+                    if free_at < start:
+                        instance_free_at[instance] = end
+                        binding.assignment[(block_name, index)] = (cls,
+                                                                   instance)
+                        placed = True
+                        break
+                if not placed:
+                    instance_free_at.append(end)
+                    binding.assignment[(block_name, index)] = (
+                        cls, len(instance_free_at) - 1)
+            binding.instance_counts[cls] = max(
+                binding.instance_counts.get(cls, 0), len(instance_free_at))
+    return binding
+
+
+def _value_width(value: Value) -> Tuple[int, bool]:
+    from ..ir.types import FloatType, IntType
+    ty = value.ty
+    if isinstance(ty, IntType):
+        return ty.width, False
+    if isinstance(ty, FloatType):
+        return ty.width, True
+    return 32, False
+
+
+def bind_registers(schedule: FunctionSchedule,
+                   func: Optional[Function] = None) -> RegisterBinding:
+    """Assign registers to values that live across cycle boundaries.
+
+    * every ``Var`` (named storage) gets a dedicated register;
+    * a ``Temp`` needs a register when its value is consumed after the
+      cycle that produced it (a purely chained temp lives in wires);
+    * temps with disjoint live intervals inside a block share registers of
+      the same width class (left-edge), temps that escape their block get
+      dedicated registers.
+    """
+    func = func or schedule.function
+    binding = RegisterBinding()
+
+    # Dedicated registers for Vars (parameters included).
+    seen_vars: Dict[Value, None] = {}
+    for param in func.scalar_params():
+        seen_vars[Var(param.name, param.type)] = None
+    for block in func.ordered_blocks():
+        for op in block.all_ops():
+            for value in list(op.inputs()) + ([op.output()] if op.output()
+                                              else []):
+                if isinstance(value, Var):
+                    seen_vars[value] = None
+    for var in seen_vars:
+        width, is_float = _value_width(var)
+        name = f"reg_{var.name.replace('.', '_')}"
+        binding.registers.append(Register(name, width, is_float))
+        binding.assignment[var] = name
+
+    # Temps: find defs/uses per block.
+    temp_def_block: Dict[Value, str] = {}
+    temp_use_blocks: Dict[Value, set] = {}
+    for block in func.ordered_blocks():
+        for op in block.all_ops():
+            out = op.output()
+            if isinstance(out, Temp):
+                temp_def_block[out] = block.name
+            for value in op.inputs():
+                if isinstance(value, Temp):
+                    temp_use_blocks.setdefault(value, set()).add(block.name)
+
+    escaping = {t for t, uses in temp_use_blocks.items()
+                if t in temp_def_block and uses - {temp_def_block[t]}}
+    for temp in sorted(escaping, key=lambda t: t.index):
+        width, is_float = _value_width(temp)
+        name = f"reg_t{temp.index}"
+        binding.registers.append(Register(name, width, is_float))
+        binding.assignment[temp] = name
+
+    # Block-local temps: left-edge sharing per width class.
+    pools: Dict[Tuple[int, bool], List[Tuple[int, str]]] = {}
+    pool_counter: Dict[Tuple[int, bool], int] = {}
+    for block_name, block_sched in schedule.blocks.items():
+        intervals = _temp_intervals(block_sched)
+        # The branch condition is read in the final state of the block.
+        block = func.blocks.get(block_name)
+        if block is not None and block.terminator is not None:
+            for value in block.terminator.inputs():
+                if isinstance(value, Temp) and value in intervals:
+                    birth, death = intervals[value]
+                    intervals[value] = (
+                        birth, max(death, block_sched.terminator_state))
+        # Reset pool availability for each block (blocks don't overlap in
+        # time, so instances are reusable; availability resets).
+        available: Dict[Tuple[int, bool], List[Tuple[int, str]]] = {}
+        for temp, (birth, death) in sorted(intervals.items(),
+                                           key=lambda kv: kv[1][0]):
+            if temp in binding.assignment or temp in escaping:
+                continue
+            if birth >= death:
+                continue  # purely chained: no register needed
+            width, is_float = _value_width(temp)
+            key = (width, is_float)
+            slots = available.setdefault(key, [])
+            placed = False
+            for i, (free_at, name) in enumerate(slots):
+                if free_at <= birth:
+                    slots[i] = (death, name)
+                    binding.assignment[temp] = name
+                    placed = True
+                    break
+            if not placed:
+                count = pool_counter.get(key, 0)
+                pool_counter[key] = count + 1
+                name = f"reg_w{width}{'f' if is_float else ''}_{count}"
+                register = Register(name, width, is_float)
+                binding.registers.append(register)
+                pools.setdefault(key, []).append((death, name))
+                slots.append((death, name))
+                binding.assignment[temp] = name
+    return binding
+
+
+def _temp_intervals(block_sched: BlockSchedule) -> Dict[Value, Tuple[int, int]]:
+    """Live intervals of temps inside one scheduled block.
+
+    The interval is ``(birth, death)`` where birth is the cycle after
+    which the value sits in a register and death is the last cycle that
+    reads the registered copy.  A temp only consumed through chaining in
+    its production cycle gets ``birth == death`` (no register).
+    """
+    produced_at: Dict[Value, Tuple[int, bool]] = {}
+    intervals: Dict[Value, Tuple[int, int]] = {}
+    for entry in block_sched.ops:
+        out = entry.op.output()
+        if isinstance(out, Temp):
+            comb = entry.cycles <= 1 and entry.ready_delay > 0
+            birth = entry.start if comb else entry.start + entry.cycles - 1
+            produced_at[out] = (birth, comb)
+            intervals[out] = (birth, birth)
+    for entry in block_sched.ops:
+        for value in entry.op.inputs():
+            if isinstance(value, Temp) and value in intervals:
+                birth, death = intervals[value]
+                read_cycle = entry.start
+                prod_birth, comb = produced_at[value]
+                if comb and read_cycle == prod_birth:
+                    continue  # chained use, no register read
+                intervals[value] = (birth, max(death, read_cycle))
+    return intervals
+
+
+def bind(schedule: FunctionSchedule, allocation: Allocation) -> Binding:
+    """Complete binding step: functional units plus registers."""
+    return Binding(fu=bind_functional_units(schedule, allocation),
+                   registers=bind_registers(schedule))

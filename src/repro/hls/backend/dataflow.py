@@ -1,0 +1,220 @@
+"""Dynamically controlled coarse-grained dataflow synthesis (paper §II).
+
+AI applications expose coarse-grained parallel tasks; synthesizing them
+into a single FSM makes the controller state count explode.  The HERMES
+extension of Bambu (ref [14] of the paper) instead extracts the task graph
+and gives every task its own small controller, with data-driven handshakes
+between tasks — enabling task pipelining across successive input items.
+
+``extract_task_graph`` recognizes the supported shape: a top function
+(marked ``#pragma HLS dataflow``) whose body is a straight-line sequence
+of calls communicating through memory arguments.  The returned
+:class:`DataflowDesign` reports:
+
+* per-task FSM sizes vs the monolithic (inlined) FSM size,
+* single-item latency and steady-state initiation interval,
+* stream-processing latency for N items (pipelined vs sequential).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Set, Tuple
+
+from ..ir import Call, Function, Module
+from ..ir.values import MemObject
+
+
+class DataflowError(Exception):
+    pass
+
+
+@dataclass
+class Task:
+    name: str                  # callee function name
+    index: int                 # position in the sequence
+    inputs: List[str] = field(default_factory=list)    # memory names read
+    outputs: List[str] = field(default_factory=list)   # memory names written
+    latency: int = 1           # cycles per item (from the callee design)
+    states: int = 1            # FSM states of the task controller
+
+
+@dataclass
+class Channel:
+    """A memory turned into a ping-pong buffered channel between tasks."""
+
+    name: str
+    producer: Optional[int]
+    consumers: List[int] = field(default_factory=list)
+    depth: int = 2             # ping-pong buffering
+
+
+@dataclass
+class DataflowDesign:
+    function: str
+    tasks: List[Task]
+    channels: List[Channel]
+    monolithic_states: int = 0
+
+    def __post_init__(self) -> None:
+        if self.monolithic_states == 0:
+            # A monolithic controller replays the callee state sequence at
+            # every call site (inlining replicates the states), so the
+            # baseline grows with the number of calls, not unique tasks.
+            self.monolithic_states = sum(t.states for t in self.tasks)
+
+    @property
+    def dataflow_states(self) -> int:
+        """Total controller states under dynamic control.
+
+        Each *unique* task keeps one small FSM regardless of how many
+        times it appears in the pipeline; the token manager adds one state
+        per call site.  This is the controller-size saving the paper's ML
+        extension targets (§II, ref [14]).
+        """
+        unique: Dict[str, int] = {}
+        for task in self.tasks:
+            unique[task.name] = task.states
+        return sum(unique.values()) + len(self.tasks)
+
+    @property
+    def initiation_interval(self) -> int:
+        """Steady-state cycles between item completions (pipeline II)."""
+        return max((t.latency for t in self.tasks), default=1)
+
+    @property
+    def single_item_latency(self) -> int:
+        return sum(t.latency for t in self.tasks)
+
+    def stream_latency(self, items: int, pipelined: bool = True) -> int:
+        """Total cycles to process ``items`` inputs."""
+        if items <= 0:
+            return 0
+        if not pipelined:
+            return items * self.single_item_latency
+        return self.single_item_latency + (items - 1) * \
+            self.initiation_interval
+
+    def speedup(self, items: int) -> float:
+        sequential = self.stream_latency(items, pipelined=False)
+        pipelined = self.stream_latency(items, pipelined=True)
+        return sequential / pipelined if pipelined else 1.0
+
+    def state_reduction(self) -> float:
+        """Fraction of controller states removed vs the monolithic FSM."""
+        if self.monolithic_states == 0:
+            return 0.0
+        return 1.0 - self.dataflow_states / self.monolithic_states
+
+
+def _called_mems(call: Call, callee: Function) -> Tuple[List[str], List[str]]:
+    """Memory names read and written by one call, from callee behaviour."""
+    from ..ir.operations import Load, Store
+    reads: Set[str] = set()
+    writes: Set[str] = set()
+    param_names = [p.name for p in callee.memory_params()]
+    name_map = {param: arg.name
+                for param, arg in zip(param_names, call.mem_args)}
+    for op in callee.all_ops():
+        if isinstance(op, Load) and op.mem.name in name_map:
+            reads.add(name_map[op.mem.name])
+        elif isinstance(op, Store) and op.mem.name in name_map:
+            writes.add(name_map[op.mem.name])
+    return sorted(reads), sorted(writes)
+
+
+def extract_task_graph(module: Module, top: str,
+                       task_latency: Optional[Dict[str, int]] = None,
+                       task_states: Optional[Dict[str, int]] = None,
+                       monolithic_states: int = 0) -> DataflowDesign:
+    """Extract the coarse-grained task pipeline from a dataflow function.
+
+    Requirements (checked): single basic block; every operation is a call;
+    each intermediate memory has exactly one producer task.
+    """
+    func = module[top]
+    blocks = [b for b in func.ordered_blocks()]
+    if len(blocks) != 1:
+        raise DataflowError(
+            f"{top}: dataflow functions must be straight-line "
+            f"(got {len(blocks)} blocks)")
+    task_latency = task_latency or {}
+    task_states = task_states or {}
+    tasks: List[Task] = []
+    for op in blocks[0].ops:
+        if not isinstance(op, Call):
+            raise DataflowError(
+                f"{top}: only task calls allowed in a dataflow body, "
+                f"found {op}")
+        callee = module[op.callee]
+        reads, writes = _called_mems(op, callee)
+        tasks.append(Task(
+            name=op.callee, index=len(tasks), inputs=reads, outputs=writes,
+            latency=max(1, task_latency.get(op.callee, 1)),
+            states=max(1, task_states.get(op.callee, 1))))
+    # Build channels from producer/consumer relations.
+    producer_of: Dict[str, int] = {}
+    channels: Dict[str, Channel] = {}
+    for task in tasks:
+        for name in task.outputs:
+            if name in producer_of:
+                raise DataflowError(
+                    f"{top}: memory {name!r} written by two tasks "
+                    f"({tasks[producer_of[name]].name} and {task.name})")
+            producer_of[name] = task.index
+    for task in tasks:
+        for name in task.inputs:
+            producer = producer_of.get(name)
+            channel = channels.setdefault(
+                name, Channel(name=name, producer=producer))
+            channel.consumers.append(task.index)
+            if producer is not None and producer >= task.index:
+                raise DataflowError(
+                    f"{top}: channel {name!r} consumed before produced")
+    return DataflowDesign(function=top, tasks=tasks,
+                          channels=list(channels.values()),
+                          monolithic_states=monolithic_states)
+
+
+def analyze_dataflow(project, top: Optional[str] = None) -> DataflowDesign:
+    """Build the dataflow design from a synthesized :class:`HlsProject`.
+
+    Task latencies/states come from the synthesized sub-designs; the
+    monolithic baseline is the state count of the fully inlined design.
+    """
+    name = top or project.top
+    func = project.module[name]
+    if not func.pragmas.get("dataflow"):
+        raise DataflowError(f"{name} is not marked #pragma HLS dataflow")
+    latencies = measure_task_latencies(project, name)
+    states: Dict[str, int] = {}
+    for task_name, design in project.designs.items():
+        states[task_name] = design.fsm.state_count
+    return extract_task_graph(project.module, name,
+                              task_latency=latencies, task_states=states)
+
+
+def measure_task_latencies(project, top: str) -> Dict[str, int]:
+    """Per-activation cycle count of each task, by FSMD simulation.
+
+    Each call in the dataflow body is simulated once with zero-filled
+    buffers sized from the caller's channel memories (task kernels have
+    data-independent loop bounds, so zero stimulus measures the real
+    latency).
+    """
+    func = project.module[top]
+    (block,) = func.ordered_blocks()
+    latencies: Dict[str, int] = {}
+    for op in block.ops:
+        if not isinstance(op, Call) or op.callee in latencies:
+            continue
+        callee = project.module[op.callee]
+        mems = {}
+        for param, arg_mem in zip(callee.memory_params(), op.mem_args):
+            size = arg_mem.size if arg_mem.size else 16
+            mems[param.name] = [0] * size
+        scalars = [0] * len(callee.scalar_params())
+        _result, trace, _m = project.simulate(scalars, mems,
+                                              func=op.callee)
+        latencies[op.callee] = max(1, trace.cycles)
+    return latencies

@@ -1,0 +1,142 @@
+"""Datapath construction report: resources and timing roll-up.
+
+Aggregates the allocation/binding results into the resource-utilization
+and timing numbers a synthesis report exposes — LUTs, FFs, DSPs, BRAMs,
+the estimated critical path and the resulting Fmax.  These are the metrics
+the paper's §V use-case evaluation collects for generated IP cores.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Dict, Optional
+
+from ..characterization.library import ComponentLibrary
+from ..ir import Function, operand_width
+from .allocation import Allocation
+from .binding import Binding
+from .fsm import FSM
+from .scheduling import FunctionSchedule
+
+# One NG-ULTRA block RAM stores 18 Kib in true-dual-port mode.
+_BRAM_BITS = 18 * 1024
+# A constant array this small is folded into LUT ROM instead of a BRAM.
+_LUTROM_MAX_BITS = 512
+
+
+@dataclass
+class AreaReport:
+    luts: int = 0
+    ffs: int = 0
+    dsps: int = 0
+    brams: int = 0
+    breakdown: Dict[str, Dict[str, int]] = field(default_factory=dict)
+
+    def add(self, label: str, luts: int = 0, ffs: int = 0, dsps: int = 0,
+            brams: int = 0) -> None:
+        self.luts += luts
+        self.ffs += ffs
+        self.dsps += dsps
+        self.brams += brams
+        entry = self.breakdown.setdefault(
+            label, {"luts": 0, "ffs": 0, "dsps": 0, "brams": 0})
+        entry["luts"] += luts
+        entry["ffs"] += ffs
+        entry["dsps"] += dsps
+        entry["brams"] += brams
+
+
+@dataclass
+class DatapathReport:
+    area: AreaReport
+    critical_path_ns: float
+    fmax_mhz: float
+    state_count: int
+    register_count: int
+
+    def summary(self) -> str:
+        a = self.area
+        return (f"LUT {a.luts}  FF {a.ffs}  DSP {a.dsps}  BRAM {a.brams}  "
+                f"states {self.state_count}  regs {self.register_count}  "
+                f"cp {self.critical_path_ns:.2f} ns  "
+                f"Fmax {self.fmax_mhz:.1f} MHz")
+
+
+def _max_width_per_class(func: Function) -> Dict[str, int]:
+    widths: Dict[str, int] = {}
+    for op in func.all_ops():
+        cls = op.resource_class
+        if cls in ("none", "wire"):
+            continue
+        widths[cls] = max(widths.get(cls, 1), operand_width(op))
+    return widths
+
+
+def build_datapath_report(func: Function, schedule: FunctionSchedule,
+                          binding: Binding, allocation: Allocation,
+                          fsm: FSM,
+                          library: Optional[ComponentLibrary] = None
+                          ) -> DatapathReport:
+    library = library or allocation.library
+    area = AreaReport()
+    widths = _max_width_per_class(func)
+
+    # Functional units actually instantiated by the binder.
+    for cls, count in binding.fu.instance_counts.items():
+        if cls.startswith("call:"):
+            continue  # sub-module area accounted at module level
+        if cls.startswith("mem_"):
+            continue  # memory area handled per memory object below
+        width = widths.get(cls, 32)
+        record = library.select(cls, width, allocation.clock_ns)
+        area.add(f"fu:{cls}", luts=record.luts * count,
+                 ffs=record.ffs * count, dsps=record.dsps * count)
+        if count > 1:
+            # Input multiplexers for shared units: ~width/2 LUTs per extra
+            # source on each of two operand ports.
+            area.add(f"mux:{cls}", luts=(count - 1) * width)
+
+    # Registers.
+    for register in binding.registers.registers:
+        area.add("registers", ffs=register.width)
+
+    # Memories.
+    for mem in func.mems.values():
+        if mem.is_param and mem.storage == "axi":
+            record = library.select("mem_axi", 32, allocation.clock_ns)
+            area.add(f"axi:{mem.name}", luts=record.luts, ffs=record.ffs)
+            continue
+        if mem.is_param and mem.size == 0:
+            continue  # unsized pointer bound to an external BRAM
+        from ..ir.types import FloatType, IntType
+        width = mem.element.width if isinstance(
+            mem.element, (IntType, FloatType)) else 32
+        bits = mem.size * width
+        if mem.storage == "rom" and bits <= _LUTROM_MAX_BITS:
+            area.add(f"rom:{mem.name}", luts=max(1, bits // 8))
+        else:
+            area.add(f"ram:{mem.name}",
+                     brams=max(1, math.ceil(bits / _BRAM_BITS)))
+
+    # Controller: one-hot-ish decode logic plus the state register.
+    area.add("controller", luts=fsm.state_count * 2, ffs=fsm.state_bits())
+
+    critical = 0.1
+    for block_sched in schedule.blocks.values():
+        for entry in block_sched.ops:
+            critical = max(critical, entry.ready_delay)
+            if entry.cycles > 1:
+                timing = allocation.op_timing(entry.op)
+                critical = max(critical, timing.delay_ns)
+    critical = min(critical, allocation.clock_ns) if critical else 0.1
+    # The achieved clock cannot beat the slowest stage.
+    slowest = max(critical, 0.1)
+    fmax = 1000.0 / slowest
+    return DatapathReport(
+        area=area,
+        critical_path_ns=slowest,
+        fmax_mhz=fmax,
+        state_count=fsm.state_count,
+        register_count=binding.registers.count,
+    )

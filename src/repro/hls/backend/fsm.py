@@ -1,0 +1,111 @@
+"""Finite-state-machine controller generation from a schedule.
+
+Each basic block contributes ``length`` states; an extra IDLE state waits
+for ``start`` and a DONE state raises ``done``.  The state count is the
+controller-complexity metric that the paper's dataflow extension (§II)
+attacks for task-parallel ML applications.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from ..ir import Branch, Jump, Return
+from .scheduling import FunctionSchedule
+
+IDLE = "S_IDLE"
+DONE = "S_DONE"
+
+
+def state_name(block: str, cycle: int) -> str:
+    """HDL-legal state identifier for (block, cycle).
+
+    Block names may contain dots (inlining prefixes, structured-control
+    hints like ``if.then0``); identifiers must not.
+    """
+    return f"S_{block.replace('.', '_')}_{cycle}"
+
+
+@dataclass
+class Transition:
+    """Conditional next-state edge. ``condition`` is None for default."""
+
+    target: str
+    condition: Optional[object] = None   # IR Value (branch condition)
+    negate: bool = False
+
+
+@dataclass
+class State:
+    name: str
+    block: Optional[str]       # owning basic block (None for IDLE/DONE)
+    cycle: int                 # cycle index inside the block
+    transitions: List[Transition] = field(default_factory=list)
+    is_wait: bool = False      # stalls on variable-latency ops (calls/AXI)
+
+
+@dataclass
+class FSM:
+    states: Dict[str, State] = field(default_factory=dict)
+    order: List[str] = field(default_factory=list)
+    entry: str = IDLE
+
+    @property
+    def state_count(self) -> int:
+        return len(self.order)
+
+    def state_bits(self) -> int:
+        count = max(1, self.state_count)
+        return max(1, (count - 1).bit_length())
+
+    def state_name(self, block: str, cycle: int) -> str:
+        return state_name(block, cycle)
+
+    def add(self, state: State) -> State:
+        self.states[state.name] = state
+        self.order.append(state.name)
+        return state
+
+
+def build_fsm(schedule: FunctionSchedule) -> FSM:
+    """Construct the controller FSM for a scheduled function."""
+    func = schedule.function
+    fsm = FSM()
+    idle = fsm.add(State(IDLE, None, 0))
+    entry_first = state_name(func.entry, 0)
+    idle.transitions.append(Transition(entry_first))
+
+    from ..ir import Call
+    from ..ir.operations import Load, Store
+
+    for name in func.block_order:
+        block = func.blocks[name]
+        block_sched = schedule.blocks[name]
+        for cycle in range(block_sched.length):
+            state = fsm.add(State(state_name(name, cycle), name, cycle))
+            # Mark wait states: a user-function call stalls its state
+            # until the callee raises done.
+            for entry in block_sched.ops_starting_at(cycle):
+                if isinstance(entry.op, Call) and entry.op.callee != "sqrtf":
+                    state.is_wait = True
+            if cycle < block_sched.length - 1:
+                state.transitions.append(
+                    Transition(state_name(name, cycle + 1)))
+            else:
+                term = block.terminator
+                if isinstance(term, Jump):
+                    state.transitions.append(
+                        Transition(state_name(term.target, 0)))
+                elif isinstance(term, Branch):
+                    state.transitions.append(
+                        Transition(state_name(term.if_true, 0),
+                                   condition=term.cond))
+                    state.transitions.append(
+                        Transition(state_name(term.if_false, 0),
+                                   condition=term.cond, negate=True))
+                elif isinstance(term, Return):
+                    state.transitions.append(Transition(DONE))
+    done = fsm.add(State(DONE, None, 0))
+    done.transitions.append(Transition(IDLE))
+    return fsm

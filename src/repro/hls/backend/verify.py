@@ -1,0 +1,117 @@
+"""Static legality checking of schedules.
+
+``verify_schedule`` re-derives every dependence and resource constraint
+from scratch and reports violations; it is the scheduling analogue of
+``verify_function`` for the IR and backs the property-based tests.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+from ..ir.operations import Load, Store
+from .allocation import Allocation
+from .dfg import ORDER, RAW, WAR, build_dfg
+from .scheduling import FunctionSchedule
+
+
+def verify_schedule(schedule: FunctionSchedule,
+                    allocation: Allocation) -> List[str]:
+    """Return a list of constraint violations (empty when legal)."""
+    problems: List[str] = []
+    func = schedule.function
+    for name, block_sched in schedule.blocks.items():
+        block = func.blocks[name]
+        dfg = build_dfg(block)
+        entries = block_sched.ops
+        if len(entries) != len(block.ops):
+            problems.append(f"{name}: schedule/op count mismatch")
+            continue
+        where = lambda i: f"{func.name}/{name}[{i}]"  # noqa: E731
+        for edge in dfg.edges:
+            if edge.src >= len(entries):
+                continue
+            producer = entries[edge.src]
+            if edge.dst >= len(entries):
+                # Terminator constraints.
+                term_state = block_sched.terminator_state
+                if edge.kind == RAW:
+                    comb = producer.cycles <= 1 and producer.ready_delay > 0
+                    needed = producer.start if comb \
+                        else producer.start + producer.cycles
+                    if term_state < needed:
+                        problems.append(
+                            f"{where(edge.src)}: branch uses value before "
+                            f"ready (state {term_state} < {needed})")
+                else:
+                    needed = producer.start + max(1, producer.cycles) - 1
+                    if term_state < needed:
+                        problems.append(
+                            f"{where(edge.src)}: branch before side effect "
+                            f"completes")
+                continue
+            consumer = entries[edge.dst]
+            if edge.kind == RAW:
+                comb = producer.cycles <= 1 and producer.ready_delay > 0
+                if comb:
+                    if consumer.start < producer.start:
+                        problems.append(
+                            f"{where(edge.dst)}: starts before producer")
+                    elif consumer.start == producer.start and \
+                            not consumer.chained and \
+                            consumer.op.resource_class not in ("none",):
+                        timing = allocation.op_timing(consumer.op)
+                        if not timing.chainable:
+                            problems.append(
+                                f"{where(edge.dst)}: non-chainable op shares "
+                                f"cycle with its producer")
+                else:
+                    if consumer.start < producer.start + producer.cycles:
+                        problems.append(
+                            f"{where(edge.dst)}: reads sequential result "
+                            f"too early")
+            elif edge.kind == WAR:
+                if consumer.start < producer.start:
+                    problems.append(
+                        f"{where(edge.dst)}: write overtakes earlier read")
+            else:  # ORDER
+                if consumer.start < producer.start + max(1, producer.cycles):
+                    problems.append(
+                        f"{where(edge.dst)}: ordering violated")
+        # Chaining path delay within each cycle.
+        for index, entry in enumerate(entries):
+            if entry.ready_delay - 1e-9 > schedule.clock_ns:
+                problems.append(
+                    f"{where(index)}: path delay {entry.ready_delay:.2f}ns "
+                    f"exceeds clock {schedule.clock_ns}ns")
+        # Resource limits per cycle.
+        usage: Dict[Tuple[str, int], int] = {}
+        ports: Dict[Tuple[str, int], int] = {}
+        for index, entry in enumerate(entries):
+            cls = entry.op.resource_class
+            timing = allocation.op_timing(entry.op)
+            if cls not in ("none", "wire"):
+                for cycle in range(entry.start,
+                                   entry.start + max(1, timing.interval)):
+                    key = (cls, cycle)
+                    usage[key] = usage.get(key, 0) + 1
+                    if usage[key] > allocation.units_for(cls):
+                        problems.append(
+                            f"{where(index)}: {cls} over-subscribed in "
+                            f"cycle {cycle}")
+            if isinstance(entry.op, (Load, Store)):
+                mem = entry.op.mem.name
+                for cycle in range(entry.start,
+                                   entry.start + max(1, timing.interval)):
+                    key = (mem, cycle)
+                    ports[key] = ports.get(key, 0) + 1
+                    if ports[key] > allocation.ports_for(mem):
+                        problems.append(
+                            f"{where(index)}: memory {mem} port conflict "
+                            f"in cycle {cycle}")
+        # Block length covers every completion.
+        for index, entry in enumerate(entries):
+            if entry.completion > block_sched.length:
+                problems.append(
+                    f"{where(index)}: completes after block end")
+    return problems

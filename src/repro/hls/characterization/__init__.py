@@ -1,0 +1,13 @@
+"""Component characterization (the Eucalyptus tool of paper §II)."""
+
+from .library import (
+    CharacterizationError,
+    ComponentLibrary,
+    ComponentRecord,
+    default_library,
+)
+
+__all__ = [
+    "CharacterizationError", "ComponentLibrary", "ComponentRecord",
+    "default_library",
+]

@@ -1,0 +1,118 @@
+"""Eucalyptus: component pre-characterization through the fabric flow.
+
+Paper §II: "Bambu integrates a characterization tool called Eucalyptus to
+synthesize different configurations of library components and collect the
+resulting latency and resource consumption metrics as XML files in the
+Bambu library.  The configurations are obtained by specializing a generic
+template of the resource component according to the bit widths of its
+input and output arguments, and to the number of pipeline stages."
+
+This module does exactly that against the NXmap-equivalent backend: every
+(component, width, stages) configuration is synthesized structurally,
+placed, routed and timed on the target device; the measured delay and
+resource counts become :class:`ComponentRecord` entries, exported as XML.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, List, Optional, Tuple
+
+from ...fabric.device import Device, NG_ULTRA
+from ...fabric.nxmap import NXmapProject
+from ...fabric.synthesis import supported_components, synthesize_component
+from .library import ComponentLibrary, ComponentRecord
+
+DEFAULT_WIDTHS = (8, 16, 32)
+DEFAULT_STAGES = (0, 2)
+
+# Components whose template ignores the stages parameter.
+_COMBINATIONAL_ONLY = {"logic", "shifter", "comparator", "mux"}
+# Sequential-by-construction components (latency fixed by the template).
+_FIXED_LATENCY = {"divider", "mem_bram"}
+
+
+@dataclass
+class CharacterizationRun:
+    """Result of characterizing one configuration."""
+
+    component: str
+    width: int
+    stages: int
+    delay_ns: float
+    luts: int
+    ffs: int
+    dsps: int
+    brams: int
+    wirelength: int
+
+    def to_record(self) -> ComponentRecord:
+        return ComponentRecord(
+            resource_class=self.component, width=self.width,
+            stages=self.stages, delay_ns=self.delay_ns, luts=self.luts,
+            ffs=self.ffs, dsps=self.dsps, brams=self.brams)
+
+
+class Eucalyptus:
+    """Drives characterization sweeps over the fabric flow."""
+
+    def __init__(self, device: Device = NG_ULTRA, seed: int = 7,
+                 effort: float = 0.3) -> None:
+        self.device = device
+        self.seed = seed
+        self.effort = effort
+        self.runs: List[CharacterizationRun] = []
+
+    def characterize_one(self, component: str, width: int,
+                         stages: int = 0) -> CharacterizationRun:
+        netlist = synthesize_component(component, width, stages)
+        project = NXmapProject(netlist, self.device, seed=self.seed)
+        project.run_place(effort=self.effort)
+        project.run_route()
+        timing = project.run_sta()
+        stats = netlist.stats()
+        if component == "divider":
+            effective_stages = max(1, width)
+        elif component == "mem_bram":
+            effective_stages = 1
+        elif stages > 0 and stats["ffs"] > 0:
+            effective_stages = stages
+        else:
+            effective_stages = 0
+        run = CharacterizationRun(
+            component=component, width=width, stages=effective_stages,
+            delay_ns=timing.critical_path_ns,
+            luts=stats["luts"], ffs=stats["ffs"], dsps=stats["dsps"],
+            brams=stats["brams"],
+            wirelength=project.routing.wirelength if project.routing else 0)
+        self.runs.append(run)
+        return run
+
+    def sweep(self, components: Optional[Iterable[str]] = None,
+              widths: Iterable[int] = DEFAULT_WIDTHS,
+              stages: Iterable[int] = DEFAULT_STAGES
+              ) -> List[CharacterizationRun]:
+        """Characterize the cartesian configuration space."""
+        components = list(components or supported_components())
+        results = []
+        for component in components:
+            for width in widths:
+                stage_options: Tuple[int, ...]
+                if component in _COMBINATIONAL_ONLY:
+                    stage_options = (0,)
+                elif component in _FIXED_LATENCY:
+                    stage_options = (0,)
+                else:
+                    stage_options = tuple(stages)
+                for stage in stage_options:
+                    results.append(self.characterize_one(component, width,
+                                                         stage))
+        return results
+
+    def build_library(self, name: Optional[str] = None) -> ComponentLibrary:
+        """Collect all runs into a component library (XML-exportable)."""
+        library = ComponentLibrary(
+            name=name or f"eucalyptus-{self.device.name.lower()}")
+        for run in self.runs:
+            library.add(run.to_record())
+        return library

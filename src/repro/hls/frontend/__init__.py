@@ -1,0 +1,26 @@
+"""HermesC front end: lexer, parser, semantic analysis, IR generation."""
+
+from .irgen import IRGenError, compile_to_ir
+from .lexer import LexerError, Token, tokenize
+from .parser import ParseError, parse
+from .pragmas import (
+    AllocationPragma,
+    FunctionPragmas,
+    InterfacePragma,
+    PragmaError,
+    UnrollPragma,
+    collect_function_pragmas,
+    parse_pragma,
+)
+from .semantic import SemanticError, analyze
+from .unroll import UnrollReport, unroll_loops
+
+__all__ = [
+    "IRGenError", "compile_to_ir",
+    "LexerError", "Token", "tokenize",
+    "ParseError", "parse",
+    "AllocationPragma", "FunctionPragmas", "InterfacePragma", "PragmaError",
+    "UnrollPragma", "collect_function_pragmas", "parse_pragma",
+    "SemanticError", "analyze",
+    "UnrollReport", "unroll_loops",
+]

@@ -1,0 +1,189 @@
+"""Abstract syntax tree for the HermesC subset."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+from ..ir.types import Type
+
+
+@dataclass
+class Node:
+    line: int = 0
+
+
+# -- expressions -------------------------------------------------------------
+
+
+@dataclass
+class Expr(Node):
+    # Filled in by semantic analysis.
+    type: Optional[Type] = None
+
+
+@dataclass
+class IntLiteral(Expr):
+    value: int = 0
+
+
+@dataclass
+class FloatLiteral(Expr):
+    value: float = 0.0
+
+
+@dataclass
+class NameRef(Expr):
+    name: str = ""
+
+
+@dataclass
+class ArrayRef(Expr):
+    """``base[i0][i1]...`` — base must be an array/pointer name."""
+
+    name: str = ""
+    indices: List[Expr] = field(default_factory=list)
+
+
+@dataclass
+class Unary(Expr):
+    op: str = ""          # '-', '!', '~', '+'
+    operand: Expr = None
+
+
+@dataclass
+class Binary(Expr):
+    op: str = ""          # arithmetic / bitwise / comparison / '&&' / '||'
+    lhs: Expr = None
+    rhs: Expr = None
+
+
+@dataclass
+class Conditional(Expr):
+    """Ternary ``cond ? a : b``."""
+
+    cond: Expr = None
+    if_true: Expr = None
+    if_false: Expr = None
+
+
+@dataclass
+class CastExpr(Expr):
+    target: Type = None
+    operand: Expr = None
+
+
+@dataclass
+class CallExpr(Expr):
+    callee: str = ""
+    args: List[Expr] = field(default_factory=list)
+
+
+# -- statements --------------------------------------------------------------
+
+
+@dataclass
+class Stmt(Node):
+    pass
+
+
+@dataclass
+class Declaration(Stmt):
+    """Scalar or array declaration, with an optional initializer."""
+
+    name: str = ""
+    var_type: Type = None
+    dims: List[int] = field(default_factory=list)
+    init: Optional[Expr] = None
+    array_init: Optional[List[object]] = None  # flat constant list
+    is_const: bool = False
+    is_static: bool = False
+
+
+@dataclass
+class Assignment(Stmt):
+    """``target = value`` or ``target[idx] = value`` (compound ops lowered)."""
+
+    target: Expr = None        # NameRef or ArrayRef
+    value: Expr = None
+
+
+@dataclass
+class ExprStmt(Stmt):
+    expr: Expr = None
+
+
+@dataclass
+class Block(Stmt):
+    stmts: List[Stmt] = field(default_factory=list)
+
+
+@dataclass
+class If(Stmt):
+    cond: Expr = None
+    then: Block = None
+    orelse: Optional[Block] = None
+
+
+@dataclass
+class While(Stmt):
+    cond: Expr = None
+    body: Block = None
+    pragmas: List[str] = field(default_factory=list)
+
+
+@dataclass
+class DoWhile(Stmt):
+    cond: Expr = None
+    body: Block = None
+
+
+@dataclass
+class For(Stmt):
+    init: Optional[Stmt] = None
+    cond: Optional[Expr] = None
+    step: Optional[Stmt] = None
+    body: Block = None
+    pragmas: List[str] = field(default_factory=list)
+
+
+@dataclass
+class Return(Stmt):
+    value: Optional[Expr] = None
+
+
+@dataclass
+class Break(Stmt):
+    pass
+
+
+@dataclass
+class Continue(Stmt):
+    pass
+
+
+# -- declarations ------------------------------------------------------------
+
+
+@dataclass
+class ParamDecl(Node):
+    name: str = ""
+    type: Type = None          # scalar type, or element type when is_array
+    is_array: bool = False
+    dims: List[int] = field(default_factory=list)  # may be empty for T*/T[]
+
+
+@dataclass
+class FunctionDef(Node):
+    name: str = ""
+    return_type: Type = None
+    params: List[ParamDecl] = field(default_factory=list)
+    body: Block = None
+    pragmas: List[str] = field(default_factory=list)
+    is_static: bool = False
+
+
+@dataclass
+class TranslationUnit(Node):
+    functions: List[FunctionDef] = field(default_factory=list)
+    globals: List[Declaration] = field(default_factory=list)

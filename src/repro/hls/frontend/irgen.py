@@ -1,0 +1,642 @@
+"""Lowering of the annotated HermesC AST into the CFG-based HLS IR."""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Union
+
+from ..ir import (
+    Assign,
+    BinOp,
+    BOOL,
+    Branch,
+    Call,
+    Cast,
+    Const,
+    Function,
+    Jump,
+    Load,
+    MemObject,
+    Module,
+    Param,
+    Return,
+    Select,
+    Store,
+    UnOp,
+    Value,
+    Var,
+    const_float,
+    const_int,
+    verify_function,
+)
+from ..ir.types import (
+    ArrayType,
+    FloatType,
+    IntType,
+    PointerType,
+    Type,
+    VoidType,
+    common_type,
+)
+from . import ast
+from .pragmas import FunctionPragmas, collect_function_pragmas
+from .semantic import INTRINSICS, SemanticError, analyze
+from .parser import parse
+from .unroll import unroll_loops
+
+
+class IRGenError(Exception):
+    pass
+
+
+class _Bindings:
+    """Lexically scoped map from source names to Var/MemObject."""
+
+    def __init__(self) -> None:
+        self._scopes: List[Dict[str, object]] = [{}]
+        self._rename_counter: Dict[str, int] = {}
+
+    def push(self) -> None:
+        self._scopes.append({})
+
+    def pop(self) -> None:
+        self._scopes.pop()
+
+    def declare(self, name: str, binding) -> None:
+        self._scopes[-1][name] = binding
+
+    def lookup(self, name: str):
+        for scope in reversed(self._scopes):
+            if name in scope:
+                return scope[name]
+        return None
+
+    def unique_name(self, name: str) -> str:
+        """Return a storage name unique across the whole function."""
+        count = self._rename_counter.get(name, 0)
+        self._rename_counter[name] = count + 1
+        return name if count == 0 else f"{name}.{count}"
+
+
+class _FunctionLowering:
+    def __init__(self, gen: "IRGenerator", node: ast.FunctionDef,
+                 pragmas: FunctionPragmas) -> None:
+        self.gen = gen
+        self.node = node
+        self.func = Function(node.name, node.return_type)
+        self.pragmas = pragmas
+        self.bindings = _Bindings()
+        self.block = self.func.add_entry_block()
+        self.break_targets: List[str] = []
+        self.continue_targets: List[str] = []
+        self.func.pragmas = {
+            "inline": pragmas.inline,
+            "dataflow": pragmas.dataflow,
+            "allocation": dict(pragmas.allocation),
+        }
+
+    # -- plumbing -------------------------------------------------------
+
+    def emit(self, op) -> None:
+        self.block.append(op)
+
+    def new_block(self, hint: str = "bb"):
+        return self.func.new_block(hint)
+
+    def switch_to(self, block) -> None:
+        self.block = block
+
+    def temp(self, ty: Type) -> Value:
+        return self.func.temps.new(ty)
+
+    # -- entry ------------------------------------------------------------
+
+    def run(self) -> Function:
+        for param in self.node.params:
+            self._lower_param(param)
+        for decl in self.gen.unit.globals:
+            self._bind_global(decl)
+        self._lower_block(self.node.body)
+        if not self.block.is_terminated:
+            if self.func.returns_value:
+                # C allows missing return; hardware needs a value.
+                zero = self._zero(self.func.return_type)
+                self.emit(Return(zero))
+            else:
+                self.emit(Return())
+        problems = verify_function(self.func)
+        if problems:
+            raise IRGenError("; ".join(problems))
+        return self.func
+
+    def _lower_param(self, param: ast.ParamDecl) -> None:
+        if param.is_array:
+            mode = "bram"
+            pragma = self.pragmas.interfaces.get(param.name)
+            if pragma is not None:
+                mode = pragma.mode
+            size = 1
+            for dim in param.dims:
+                size *= dim
+            mem = MemObject(
+                name=param.name, element=param.type,
+                size=size if param.dims else 0,
+                dims=tuple(param.dims), storage=mode, is_param=True,
+            )
+            self.func.add_mem(mem)
+            self.func.params.append(Param(param.name, mem.ty, mem=mem))
+            self.bindings.declare(param.name, mem)
+        else:
+            var = Var(param.name, param.type)
+            self.func.params.append(Param(param.name, param.type))
+            self.bindings.declare(param.name, var)
+
+    def _bind_global(self, decl: ast.Declaration) -> None:
+        if decl.dims:
+            mem = self.gen.global_mems[decl.name]
+            if mem.name not in self.func.mems:
+                self.func.add_mem(mem)
+            self.bindings.declare(decl.name, mem)
+        else:
+            self.bindings.declare(decl.name, self.gen.global_consts[decl.name])
+
+    # -- statements -----------------------------------------------------
+
+    def _lower_block(self, block: ast.Block) -> None:
+        self.bindings.push()
+        for stmt in block.stmts:
+            if self.block.is_terminated:
+                break  # dead code after return/break
+            self._lower_stmt(stmt)
+        self.bindings.pop()
+
+    def _lower_stmt(self, stmt: ast.Stmt) -> None:
+        if isinstance(stmt, ast.Declaration):
+            self._lower_declaration(stmt)
+        elif isinstance(stmt, ast.Assignment):
+            self._lower_assignment(stmt)
+        elif isinstance(stmt, ast.ExprStmt):
+            self._lower_expr(stmt.expr)
+        elif isinstance(stmt, ast.Block):
+            self._lower_block(stmt)
+        elif isinstance(stmt, ast.If):
+            self._lower_if(stmt)
+        elif isinstance(stmt, ast.While):
+            self._lower_while(stmt)
+        elif isinstance(stmt, ast.DoWhile):
+            self._lower_do_while(stmt)
+        elif isinstance(stmt, ast.For):
+            self._lower_for(stmt)
+        elif isinstance(stmt, ast.Return):
+            self._lower_return(stmt)
+        elif isinstance(stmt, ast.Break):
+            if not self.break_targets:
+                raise IRGenError(f"line {stmt.line}: break outside loop")
+            self.emit(Jump(self.break_targets[-1]))
+        elif isinstance(stmt, ast.Continue):
+            if not self.continue_targets:
+                raise IRGenError(f"line {stmt.line}: continue outside loop")
+            self.emit(Jump(self.continue_targets[-1]))
+        else:  # pragma: no cover
+            raise IRGenError(f"unsupported statement {type(stmt).__name__}")
+
+    def _lower_declaration(self, decl: ast.Declaration) -> None:
+        if decl.dims:
+            size = 1
+            for dim in decl.dims:
+                size *= dim
+            storage = "rom" if (decl.is_const and decl.array_init) else "bram"
+            name = self.bindings.unique_name(decl.name)
+            init = list(decl.array_init or [])
+            mem = MemObject(name=name, element=decl.var_type, size=size,
+                            dims=tuple(decl.dims), storage=storage,
+                            initializer=init)
+            self.func.add_mem(mem)
+            self.bindings.declare(decl.name, mem)
+            if init and storage == "bram":
+                # Non-const initialized local arrays get explicit stores.
+                for index, value in enumerate(init):
+                    const = self._const_of(value, decl.var_type)
+                    self.emit(Store(mem, const_int(index, IntType(32, False)),
+                                    const))
+        else:
+            name = self.bindings.unique_name(decl.name)
+            var = Var(name, decl.var_type)
+            self.bindings.declare(decl.name, var)
+            if decl.init is not None:
+                value = self._lower_expr(decl.init)
+                value = self._coerce(value, decl.var_type)
+                self.emit(Assign(var, value))
+
+    def _lower_assignment(self, stmt: ast.Assignment) -> None:
+        value = self._lower_expr(stmt.value)
+        target = stmt.target
+        if isinstance(target, ast.NameRef):
+            binding = self.bindings.lookup(target.name)
+            if not isinstance(binding, Var):
+                raise IRGenError(
+                    f"line {stmt.line}: cannot assign to {target.name!r}")
+            self.emit(Assign(binding, self._coerce(value, binding.type)))
+        elif isinstance(target, ast.ArrayRef):
+            mem, index = self._lower_array_address(target)
+            self.emit(Store(mem, index, self._coerce(value, mem.element)))
+        else:  # pragma: no cover
+            raise IRGenError("invalid assignment target")
+
+    def _lower_if(self, stmt: ast.If) -> None:
+        cond = self._lower_condition(stmt.cond)
+        then_block = self.new_block("if.then")
+        join_block = self.new_block("if.end")
+        else_block = join_block
+        if stmt.orelse is not None:
+            else_block = self.new_block("if.else")
+        self.emit(Branch(cond, then_block.name, else_block.name))
+        self.switch_to(then_block)
+        self._lower_block(stmt.then)
+        if not self.block.is_terminated:
+            self.emit(Jump(join_block.name))
+        if stmt.orelse is not None:
+            self.switch_to(else_block)
+            self._lower_block(stmt.orelse)
+            if not self.block.is_terminated:
+                self.emit(Jump(join_block.name))
+        self.switch_to(join_block)
+        if not self._has_predecessor(join_block.name):
+            # Both arms returned; keep a dead-but-valid terminator.
+            self._terminate_dead_block()
+
+    def _terminate_dead_block(self) -> None:
+        if self.func.returns_value:
+            self.emit(Return(self._zero(self.func.return_type)))
+        else:
+            self.emit(Return())
+
+    def _has_predecessor(self, name: str) -> bool:
+        for block in self.func.ordered_blocks():
+            if name in block.successors():
+                return True
+        return False
+
+    def _lower_while(self, stmt: ast.While) -> None:
+        head = self.new_block("while.head")
+        body = self.new_block("while.body")
+        exit_block = self.new_block("while.end")
+        self.emit(Jump(head.name))
+        self.switch_to(head)
+        cond = self._lower_condition(stmt.cond)
+        self.emit(Branch(cond, body.name, exit_block.name))
+        self.break_targets.append(exit_block.name)
+        self.continue_targets.append(head.name)
+        self.switch_to(body)
+        self._lower_block(stmt.body)
+        if not self.block.is_terminated:
+            self.emit(Jump(head.name))
+        self.break_targets.pop()
+        self.continue_targets.pop()
+        self.switch_to(exit_block)
+
+    def _lower_do_while(self, stmt: ast.DoWhile) -> None:
+        body = self.new_block("do.body")
+        head = self.new_block("do.cond")
+        exit_block = self.new_block("do.end")
+        self.emit(Jump(body.name))
+        self.break_targets.append(exit_block.name)
+        self.continue_targets.append(head.name)
+        self.switch_to(body)
+        self._lower_block(stmt.body)
+        if not self.block.is_terminated:
+            self.emit(Jump(head.name))
+        self.break_targets.pop()
+        self.continue_targets.pop()
+        self.switch_to(head)
+        cond = self._lower_condition(stmt.cond)
+        self.emit(Branch(cond, body.name, exit_block.name))
+        self.switch_to(exit_block)
+
+    def _lower_for(self, stmt: ast.For) -> None:
+        self.bindings.push()
+        if stmt.init is not None:
+            self._lower_stmt(stmt.init)
+        head = self.new_block("for.head")
+        body = self.new_block("for.body")
+        step = self.new_block("for.step")
+        exit_block = self.new_block("for.end")
+        self.emit(Jump(head.name))
+        self.switch_to(head)
+        if stmt.cond is not None:
+            cond = self._lower_condition(stmt.cond)
+            self.emit(Branch(cond, body.name, exit_block.name))
+        else:
+            self.emit(Jump(body.name))
+        self.break_targets.append(exit_block.name)
+        self.continue_targets.append(step.name)
+        self.switch_to(body)
+        self._lower_block(stmt.body)
+        if not self.block.is_terminated:
+            self.emit(Jump(step.name))
+        self.break_targets.pop()
+        self.continue_targets.pop()
+        self.switch_to(step)
+        if stmt.step is not None:
+            self._lower_stmt(stmt.step)
+        if not self.block.is_terminated:
+            self.emit(Jump(head.name))
+        self.switch_to(exit_block)
+        self.bindings.pop()
+
+    def _lower_return(self, stmt: ast.Return) -> None:
+        if stmt.value is not None:
+            value = self._lower_expr(stmt.value)
+            value = self._coerce(value, self.func.return_type)
+            self.emit(Return(value))
+        else:
+            self.emit(Return())
+
+    # -- expressions -----------------------------------------------------
+
+    def _lower_expr(self, expr: ast.Expr) -> Value:
+        if isinstance(expr, ast.IntLiteral):
+            return const_int(expr.value, expr.type)
+        if isinstance(expr, ast.FloatLiteral):
+            return const_float(expr.value, expr.type)
+        if isinstance(expr, ast.NameRef):
+            binding = self.bindings.lookup(expr.name)
+            if isinstance(binding, Var):
+                return binding
+            if isinstance(binding, Const):
+                return binding
+            raise IRGenError(f"line {expr.line}: {expr.name!r} is not scalar")
+        if isinstance(expr, ast.ArrayRef):
+            mem, index = self._lower_array_address(expr)
+            dst = self.temp(mem.element)
+            self.emit(Load(dst, mem, index))
+            return dst
+        if isinstance(expr, ast.Unary):
+            return self._lower_unary(expr)
+        if isinstance(expr, ast.Binary):
+            return self._lower_binary(expr)
+        if isinstance(expr, ast.Conditional):
+            return self._lower_conditional(expr)
+        if isinstance(expr, ast.CastExpr):
+            value = self._lower_expr(expr.operand)
+            return self._coerce(value, expr.target, force=True)
+        if isinstance(expr, ast.CallExpr):
+            return self._lower_call(expr)
+        raise IRGenError(f"unsupported expression {type(expr).__name__}")
+
+    def _lower_unary(self, expr: ast.Unary) -> Value:
+        operand = self._lower_expr(expr.operand)
+        if expr.op == "not":
+            cond = self._normalize_condition(operand)
+            dst = self.temp(BOOL)
+            self.emit(UnOp("not", dst, cond))
+            return dst
+        operand = self._coerce(operand, expr.type)
+        dst = self.temp(expr.type)
+        self.emit(UnOp(expr.op, dst, operand))
+        return dst
+
+    def _lower_binary(self, expr: ast.Binary) -> Value:
+        if expr.op in ("land", "lor"):
+            return self._lower_short_circuit(expr)
+        lhs = self._lower_expr(expr.lhs)
+        rhs = self._lower_expr(expr.rhs)
+        if expr.op in ("eq", "ne", "lt", "le", "gt", "ge"):
+            operand_ty = common_type(expr.lhs.type, expr.rhs.type)
+            lhs = self._coerce(lhs, operand_ty)
+            rhs = self._coerce(rhs, operand_ty)
+            dst = self.temp(BOOL)
+        elif expr.op in ("shl", "shr"):
+            lhs = self._coerce(lhs, expr.type)
+            rhs = self._coerce(rhs, IntType(32, False))
+            dst = self.temp(expr.type)
+        else:
+            lhs = self._coerce(lhs, expr.type)
+            rhs = self._coerce(rhs, expr.type)
+            dst = self.temp(expr.type)
+        self.emit(BinOp(expr.op, dst, lhs, rhs))
+        return dst
+
+    def _lower_short_circuit(self, expr: ast.Binary) -> Value:
+        """Lower ``&&`` / ``||`` with proper control flow."""
+        result = Var(self.bindings.unique_name("sc.tmp"), BOOL)
+        rhs_block = self.new_block("sc.rhs")
+        join_block = self.new_block("sc.end")
+        lhs = self._normalize_condition(self._lower_expr(expr.lhs))
+        self.emit(Assign(result, lhs))
+        if expr.op == "land":
+            self.emit(Branch(lhs, rhs_block.name, join_block.name))
+        else:
+            self.emit(Branch(lhs, join_block.name, rhs_block.name))
+        self.switch_to(rhs_block)
+        rhs = self._normalize_condition(self._lower_expr(expr.rhs))
+        self.emit(Assign(result, rhs))
+        self.emit(Jump(join_block.name))
+        self.switch_to(join_block)
+        return result
+
+    def _lower_conditional(self, expr: ast.Conditional) -> Value:
+        cond = self._lower_condition(expr.cond)
+        if self._is_pure(expr.if_true) and self._is_pure(expr.if_false):
+            if_true = self._coerce(self._lower_expr(expr.if_true), expr.type)
+            if_false = self._coerce(self._lower_expr(expr.if_false), expr.type)
+            dst = self.temp(expr.type)
+            self.emit(Select(dst, cond, if_true, if_false))
+            return dst
+        result = Var(self.bindings.unique_name("cond.tmp"), expr.type)
+        true_block = self.new_block("cond.true")
+        false_block = self.new_block("cond.false")
+        join_block = self.new_block("cond.end")
+        self.emit(Branch(cond, true_block.name, false_block.name))
+        self.switch_to(true_block)
+        value = self._coerce(self._lower_expr(expr.if_true), expr.type)
+        self.emit(Assign(result, value))
+        self.emit(Jump(join_block.name))
+        self.switch_to(false_block)
+        value = self._coerce(self._lower_expr(expr.if_false), expr.type)
+        self.emit(Assign(result, value))
+        self.emit(Jump(join_block.name))
+        self.switch_to(join_block)
+        return result
+
+    @staticmethod
+    def _is_pure(expr: ast.Expr) -> bool:
+        if isinstance(expr, (ast.IntLiteral, ast.FloatLiteral, ast.NameRef)):
+            return True
+        if isinstance(expr, ast.ArrayRef):
+            return all(_FunctionLowering._is_pure(i) for i in expr.indices)
+        if isinstance(expr, ast.Unary):
+            return _FunctionLowering._is_pure(expr.operand)
+        if isinstance(expr, ast.Binary):
+            return (expr.op not in ("land", "lor")
+                    and _FunctionLowering._is_pure(expr.lhs)
+                    and _FunctionLowering._is_pure(expr.rhs))
+        if isinstance(expr, ast.CastExpr):
+            return _FunctionLowering._is_pure(expr.operand)
+        if isinstance(expr, ast.Conditional):
+            return all(_FunctionLowering._is_pure(e)
+                       for e in (expr.cond, expr.if_true, expr.if_false))
+        return False  # calls
+
+    def _lower_call(self, expr: ast.CallExpr) -> Optional[Value]:
+        if expr.callee in INTRINSICS:
+            return self._lower_intrinsic(expr)
+        callee_sig = self.gen.functions[expr.callee]
+        args: List[Value] = []
+        mem_args: List[MemObject] = []
+        for arg, param in zip(expr.args, callee_sig.params):
+            if param.is_array:
+                binding = self.bindings.lookup(arg.name)
+                if not isinstance(binding, MemObject):
+                    raise IRGenError(
+                        f"line {expr.line}: argument {arg.name!r} is not a "
+                        "memory object")
+                mem_args.append(binding)
+            else:
+                value = self._lower_expr(arg)
+                args.append(self._coerce(value, param.type))
+        dst = None
+        if not isinstance(callee_sig.return_type, VoidType):
+            dst = self.temp(callee_sig.return_type)
+        self.emit(Call(dst, expr.callee, args, mem_args))
+        return dst
+
+    def _lower_intrinsic(self, expr: ast.CallExpr) -> Value:
+        name = expr.callee
+        args = [self._lower_expr(a) for a in expr.args]
+        if name in ("abs", "fabsf"):
+            value = self._coerce(args[0], expr.type)
+            neg = self.temp(expr.type)
+            self.emit(UnOp("neg", neg, value))
+            zero = self._zero(expr.type)
+            cond = self.temp(BOOL)
+            self.emit(BinOp("lt", cond, value, zero))
+            dst = self.temp(expr.type)
+            self.emit(Select(dst, cond, neg, value))
+            return dst
+        if name in ("min", "max", "fminf", "fmaxf"):
+            lhs = self._coerce(args[0], expr.type)
+            rhs = self._coerce(args[1], expr.type)
+            cond = self.temp(BOOL)
+            op = "lt" if name in ("min", "fminf") else "gt"
+            self.emit(BinOp(op, cond, lhs, rhs))
+            dst = self.temp(expr.type)
+            self.emit(Select(dst, cond, lhs, rhs))
+            return dst
+        if name == "sqrtf":
+            value = self._coerce(args[0], expr.type)
+            dst = self.temp(expr.type)
+            self.emit(Call(dst, "sqrtf", [value], []))
+            return dst
+        raise IRGenError(f"unhandled intrinsic {name}")  # pragma: no cover
+
+    # -- helpers -----------------------------------------------------------
+
+    def _lower_array_address(self, ref: ast.ArrayRef):
+        binding = self.bindings.lookup(ref.name)
+        if not isinstance(binding, MemObject):
+            raise IRGenError(f"line {ref.line}: {ref.name!r} is not an array")
+        index_ty = IntType(32, False)
+        indices = [self._coerce(self._lower_expr(i), IntType(32, True))
+                   for i in ref.indices]
+        if len(indices) == 1:
+            return binding, self._coerce(indices[0], index_ty)
+        # Row-major flattening: ((i0 * d1 + i1) * d2 + i2) ...
+        flat = indices[0]
+        for dim, index in zip(binding.dims[1:], indices[1:]):
+            scaled = self.temp(IntType(32, True))
+            self.emit(BinOp("mul", scaled, flat,
+                            const_int(dim, IntType(32, True))))
+            summed = self.temp(IntType(32, True))
+            self.emit(BinOp("add", summed, scaled, index))
+            flat = summed
+        return binding, self._coerce(flat, index_ty)
+
+    def _lower_condition(self, expr: ast.Expr) -> Value:
+        return self._normalize_condition(self._lower_expr(expr))
+
+    def _normalize_condition(self, value: Value) -> Value:
+        if isinstance(value.ty, IntType) and value.ty.width == 1:
+            return value
+        dst = self.temp(BOOL)
+        self.emit(BinOp("ne", dst, value, self._zero(value.ty)))
+        return dst
+
+    def _zero(self, ty: Type) -> Const:
+        if isinstance(ty, FloatType):
+            return const_float(0.0, ty)
+        return const_int(0, ty)
+
+    def _const_of(self, value, ty: Type) -> Const:
+        if isinstance(ty, FloatType):
+            return const_float(float(value), ty)
+        return const_int(int(value), ty)
+
+    def _coerce(self, value: Value, target: Type, force: bool = False) -> Value:
+        if value.ty == target and not force:
+            return value
+        if value.ty == target:
+            return value
+        if isinstance(value, Const):
+            if isinstance(target, FloatType):
+                return const_float(float(value.value), target)
+            if isinstance(target, IntType):
+                return const_int(int(value.value), target)
+        dst = self.temp(target)
+        self.emit(Cast(dst, value))
+        return dst
+
+
+class IRGenerator:
+    """Drives the per-function lowering over a translation unit."""
+
+    def __init__(self, unit: ast.TranslationUnit) -> None:
+        self.unit = unit
+        self.functions: Dict[str, ast.FunctionDef] = {
+            f.name: f for f in unit.functions
+        }
+        self.global_mems: Dict[str, MemObject] = {}
+        self.global_consts: Dict[str, Const] = {}
+
+    def run(self) -> Module:
+        module = Module()
+        for decl in self.unit.globals:
+            if decl.dims:
+                size = 1
+                for dim in decl.dims:
+                    size *= dim
+                storage = "rom" if (decl.is_const and decl.array_init) else "bram"
+                self.global_mems[decl.name] = MemObject(
+                    name=decl.name, element=decl.var_type, size=size,
+                    dims=tuple(decl.dims), storage=storage,
+                    initializer=list(decl.array_init or []), is_global=True)
+            else:
+                value = _const_fold_global(decl.init)
+                if isinstance(decl.var_type, FloatType):
+                    self.global_consts[decl.name] = const_float(
+                        float(value), decl.var_type)
+                else:
+                    self.global_consts[decl.name] = const_int(
+                        int(value), decl.var_type)
+        for node in self.unit.functions:
+            pragmas = collect_function_pragmas(node.pragmas)
+            lowering = _FunctionLowering(self, node, pragmas)
+            module.add_function(lowering.run())
+        return module
+
+
+def _const_fold_global(expr: ast.Expr):
+    """Evaluate a global scalar initializer (constants only)."""
+    if isinstance(expr, ast.IntLiteral):
+        return expr.value
+    if isinstance(expr, ast.FloatLiteral):
+        return expr.value
+    if isinstance(expr, ast.Unary) and expr.op == "neg":
+        return -_const_fold_global(expr.operand)
+    raise SemanticError("global initializer must be constant", expr.line)
+
+
+def compile_to_ir(source: str) -> Module:
+    """Front-end pipeline: parse → analyze → unroll → lower to IR."""
+    unit = analyze(parse(source))
+    unit = unroll_loops(unit)
+    return IRGenerator(unit).run()

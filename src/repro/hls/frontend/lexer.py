@@ -1,0 +1,219 @@
+"""Lexer for the HermesC subset of C accepted by the HLS front end.
+
+Supports identifiers, integer/float/char literals, all C operators used by
+the subset, line/block comments, and a minimal preprocessor:
+
+* ``#include`` lines are ignored (the subset is self-contained);
+* object-like ``#define NAME value`` macros are substituted;
+* ``#pragma HLS ...`` lines are turned into :class:`Token` of kind
+  ``pragma`` so the parser can attach them to functions/loops.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List
+
+KEYWORDS = {
+    "void", "char", "short", "int", "long", "float", "double", "signed",
+    "unsigned", "const", "static", "inline", "volatile", "restrict",
+    "if", "else", "for", "while", "do", "return", "break", "continue",
+    "struct", "typedef", "sizeof", "_Bool",
+    "int8_t", "int16_t", "int32_t", "int64_t",
+    "uint8_t", "uint16_t", "uint32_t", "uint64_t", "size_t", "bool",
+}
+
+# Longest-match-first operator table.
+OPERATORS = [
+    "<<=", ">>=",
+    "==", "!=", "<=", ">=", "&&", "||", "<<", ">>",
+    "+=", "-=", "*=", "/=", "%=", "&=", "|=", "^=", "++", "--", "->",
+    "+", "-", "*", "/", "%", "=", "<", ">", "!", "&", "|", "^", "~",
+    "(", ")", "{", "}", "[", "]", ";", ",", "?", ":", ".",
+]
+
+
+class LexerError(Exception):
+    """Raised on malformed input with position information."""
+
+    def __init__(self, message: str, line: int, col: int) -> None:
+        super().__init__(f"{line}:{col}: {message}")
+        self.line = line
+        self.col = col
+
+
+@dataclass(frozen=True)
+class Token:
+    kind: str        # 'ident', 'keyword', 'int', 'float', 'op', 'pragma', 'eof'
+    text: str
+    line: int
+    col: int
+    value: object = None
+
+    def __str__(self) -> str:
+        return f"{self.kind}({self.text!r})@{self.line}:{self.col}"
+
+
+def _expand_macros(line: str, macros: Dict[str, str]) -> str:
+    """Whole-word textual macro substitution (iterated to a fixed point)."""
+    for _ in range(8):
+        changed = False
+        out: List[str] = []
+        i = 0
+        while i < len(line):
+            ch = line[i]
+            if ch.isalpha() or ch == "_":
+                j = i
+                while j < len(line) and (line[j].isalnum() or line[j] == "_"):
+                    j += 1
+                word = line[i:j]
+                if word in macros:
+                    out.append(macros[word])
+                    changed = True
+                else:
+                    out.append(word)
+                i = j
+            else:
+                out.append(ch)
+                i += 1
+        line = "".join(out)
+        if not changed:
+            break
+    return line
+
+
+def preprocess(source: str) -> List[str]:
+    """Strip comments, handle #define/#include/#pragma; returns lines.
+
+    ``#pragma`` lines are kept verbatim (they become pragma tokens).
+    """
+    # Remove block comments first (may span lines); keep line structure.
+    chars: List[str] = []
+    i = 0
+    while i < len(source):
+        if source.startswith("/*", i):
+            end = source.find("*/", i + 2)
+            if end < 0:
+                raise LexerError("unterminated block comment", 1, 1)
+            chars.append("\n" * source.count("\n", i, end))
+            i = end + 2
+        elif source.startswith("//", i):
+            end = source.find("\n", i)
+            i = len(source) if end < 0 else end
+        else:
+            chars.append(source[i])
+            i += 1
+    text = "".join(chars)
+
+    macros: Dict[str, str] = {}
+    lines: List[str] = []
+    for raw in text.split("\n"):
+        stripped = raw.strip()
+        if stripped.startswith("#define"):
+            parts = stripped.split(None, 2)
+            if len(parts) >= 2:
+                name = parts[1]
+                if "(" in name:
+                    raise LexerError(
+                        "function-like macros are not supported", len(lines) + 1, 1
+                    )
+                macros[name] = parts[2] if len(parts) == 3 else "1"
+            lines.append("")
+        elif stripped.startswith("#include") or stripped.startswith("#ifndef") \
+                or stripped.startswith("#ifdef") or stripped.startswith("#endif") \
+                or stripped.startswith("#if ") or stripped.startswith("#else"):
+            lines.append("")
+        elif stripped.startswith("#pragma"):
+            lines.append(stripped)
+        else:
+            lines.append(_expand_macros(raw, macros))
+    return lines
+
+
+def tokenize(source: str) -> List[Token]:
+    """Tokenize HermesC source into a list ending with an ``eof`` token."""
+    tokens: List[Token] = []
+    for lineno, line in enumerate(preprocess(source), start=1):
+        if line.strip().startswith("#pragma"):
+            tokens.append(Token("pragma", line.strip(), lineno, 1))
+            continue
+        col = 0
+        n = len(line)
+        while col < n:
+            ch = line[col]
+            if ch in " \t\r":
+                col += 1
+                continue
+            start_col = col + 1
+            if ch.isalpha() or ch == "_":
+                j = col
+                while j < n and (line[j].isalnum() or line[j] == "_"):
+                    j += 1
+                word = line[col:j]
+                kind = "keyword" if word in KEYWORDS else "ident"
+                tokens.append(Token(kind, word, lineno, start_col))
+                col = j
+                continue
+            if ch.isdigit() or (ch == "." and col + 1 < n and line[col + 1].isdigit()):
+                j = col
+                is_float = False
+                if line.startswith("0x", col) or line.startswith("0X", col):
+                    j = col + 2
+                    while j < n and (line[j] in "0123456789abcdefABCDEF"):
+                        j += 1
+                    value = int(line[col:j], 16)
+                else:
+                    while j < n and line[j].isdigit():
+                        j += 1
+                    if j < n and line[j] == ".":
+                        is_float = True
+                        j += 1
+                        while j < n and line[j].isdigit():
+                            j += 1
+                    if j < n and line[j] in "eE":
+                        is_float = True
+                        j += 1
+                        if j < n and line[j] in "+-":
+                            j += 1
+                        while j < n and line[j].isdigit():
+                            j += 1
+                    text = line[col:j]
+                    value = float(text) if is_float else int(text)
+                # Swallow C literal suffixes (u, l, f combinations).
+                while j < n and line[j] in "uUlLfF":
+                    if line[j] in "fF":
+                        is_float = True
+                        value = float(value)
+                    j += 1
+                kind = "float" if is_float else "int"
+                tokens.append(Token(kind, line[col:j], lineno, start_col, value))
+                col = j
+                continue
+            if ch == "'":
+                j = col + 1
+                if j < n and line[j] == "\\":
+                    escapes = {"n": 10, "t": 9, "0": 0, "r": 13, "\\": 92, "'": 39}
+                    if j + 1 >= n or line[j + 1] not in escapes:
+                        raise LexerError("bad escape", lineno, start_col)
+                    value = escapes[line[j + 1]]
+                    j += 2
+                elif j < n:
+                    value = ord(line[j])
+                    j += 1
+                else:
+                    raise LexerError("unterminated char literal", lineno, start_col)
+                if j >= n or line[j] != "'":
+                    raise LexerError("unterminated char literal", lineno, start_col)
+                tokens.append(Token("int", line[col:j + 1], lineno, start_col, value))
+                col = j + 1
+                continue
+            for op in OPERATORS:
+                if line.startswith(op, col):
+                    tokens.append(Token("op", op, lineno, start_col))
+                    col += len(op)
+                    break
+            else:
+                raise LexerError(f"unexpected character {ch!r}", lineno, start_col)
+    last_line = tokens[-1].line if tokens else 1
+    tokens.append(Token("eof", "", last_line, 0))
+    return tokens

@@ -1,0 +1,525 @@
+"""Recursive-descent parser for the HermesC subset.
+
+Restrictions versus full C (documented, checked with clear errors):
+
+* assignments are statements, not expressions (except in ``for`` clauses);
+* pointers may appear only as function parameters (treated as memory
+  interfaces);
+* no structs, unions, enums, gotos, switch, function pointers;
+* array dimensions and array initializers must be compile-time constants.
+
+These restrictions match what a pragmatic HLS front end accepts for
+accelerator kernels, which is the role Bambu plays in the paper.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from ..ir.types import Type, c_type_from_specifiers
+from . import ast
+from .lexer import Token, tokenize
+
+_TYPE_SPECIFIERS = {
+    "void", "char", "short", "int", "long", "float", "double", "signed",
+    "unsigned", "_Bool",
+    "int8_t", "int16_t", "int32_t", "int64_t",
+    "uint8_t", "uint16_t", "uint32_t", "uint64_t", "size_t", "bool",
+}
+_QUALIFIERS = {"const", "static", "inline", "volatile", "restrict"}
+
+_ASSIGN_OPS = {"=", "+=", "-=", "*=", "/=", "%=", "&=", "|=", "^=", "<<=", ">>="}
+
+# Binary operator precedence (C-like); higher binds tighter.
+_PRECEDENCE = [
+    ("||",),
+    ("&&",),
+    ("|",),
+    ("^",),
+    ("&",),
+    ("==", "!="),
+    ("<", "<=", ">", ">="),
+    ("<<", ">>"),
+    ("+", "-"),
+    ("*", "/", "%"),
+]
+_OP_NAME = {
+    "+": "add", "-": "sub", "*": "mul", "/": "div", "%": "rem",
+    "&": "and", "|": "or", "^": "xor", "<<": "shl", ">>": "shr",
+    "==": "eq", "!=": "ne", "<": "lt", "<=": "le", ">": "gt", ">=": "ge",
+    "&&": "land", "||": "lor",
+}
+
+
+class ParseError(Exception):
+    def __init__(self, message: str, token: Token) -> None:
+        super().__init__(f"{token.line}:{token.col}: {message} (got {token.text!r})")
+        self.token = token
+
+
+class Parser:
+    def __init__(self, tokens: List[Token]) -> None:
+        self._tokens = tokens
+        self._pos = 0
+        self._pending_pragmas: List[str] = []
+
+    # -- token helpers ------------------------------------------------
+
+    def _peek(self, offset: int = 0) -> Token:
+        index = min(self._pos + offset, len(self._tokens) - 1)
+        return self._tokens[index]
+
+    def _advance(self) -> Token:
+        tok = self._tokens[self._pos]
+        if tok.kind != "eof":
+            self._pos += 1
+        return tok
+
+    def _check(self, kind: str, text: Optional[str] = None) -> bool:
+        tok = self._peek()
+        return tok.kind == kind and (text is None or tok.text == text)
+
+    def _accept(self, kind: str, text: Optional[str] = None) -> Optional[Token]:
+        if self._check(kind, text):
+            return self._advance()
+        return None
+
+    def _expect(self, kind: str, text: Optional[str] = None) -> Token:
+        if not self._check(kind, text):
+            want = text if text is not None else kind
+            raise ParseError(f"expected {want!r}", self._peek())
+        return self._advance()
+
+    def _collect_pragmas(self) -> None:
+        while self._check("pragma"):
+            self._pending_pragmas.append(self._advance().text)
+
+    def _take_pragmas(self) -> List[str]:
+        pragmas, self._pending_pragmas = self._pending_pragmas, []
+        return pragmas
+
+    # -- type parsing ----------------------------------------------------
+
+    def _at_type(self) -> bool:
+        tok = self._peek()
+        return tok.kind == "keyword" and (
+            tok.text in _TYPE_SPECIFIERS or tok.text in _QUALIFIERS
+        )
+
+    def _parse_type(self) -> tuple:
+        """Parse qualifiers+specifiers; returns (type, is_const, is_static)."""
+        is_const = False
+        is_static = False
+        specifiers: List[str] = []
+        while True:
+            tok = self._peek()
+            if tok.kind != "keyword":
+                break
+            if tok.text in _QUALIFIERS:
+                if tok.text == "const":
+                    is_const = True
+                if tok.text == "static":
+                    is_static = True
+                self._advance()
+                continue
+            if tok.text in _TYPE_SPECIFIERS:
+                specifiers.append(self._advance().text)
+                continue
+            break
+        if not specifiers:
+            raise ParseError("expected type specifier", self._peek())
+        if specifiers == ["double"]:
+            specifiers = ["float"]  # doubles degrade to binary32 in HW
+        return c_type_from_specifiers(specifiers), is_const, is_static
+
+    # -- top level ------------------------------------------------------
+
+    def parse_translation_unit(self) -> ast.TranslationUnit:
+        unit = ast.TranslationUnit()
+        while not self._check("eof"):
+            self._collect_pragmas()
+            if self._check("eof"):
+                break
+            line = self._peek().line
+            base_type, is_const, is_static = self._parse_type()
+            pointer = self._accept("op", "*") is not None
+            name = self._expect("ident").text
+            if self._check("op", "("):
+                # Take pragmas now: pragmas inside the body belong to loops.
+                pragmas = self._take_pragmas()
+                func = self._parse_function(base_type, name, is_static, line)
+                func.pragmas = pragmas
+                unit.functions.append(func)
+            else:
+                if pointer:
+                    raise ParseError("global pointers unsupported", self._peek())
+                decls = self._parse_declarators(base_type, name, is_const, is_static, line)
+                self._expect("op", ";")
+                unit.globals.extend(decls)
+                self._take_pragmas()
+        return unit
+
+    def _parse_function(self, return_type: Type, name: str, is_static: bool,
+                        line: int) -> ast.FunctionDef:
+        self._expect("op", "(")
+        params: List[ast.ParamDecl] = []
+        if not self._check("op", ")"):
+            if self._check("keyword", "void") and self._peek(1).text == ")":
+                self._advance()
+            else:
+                while True:
+                    params.append(self._parse_param())
+                    if not self._accept("op", ","):
+                        break
+        self._expect("op", ")")
+        body = self._parse_block()
+        return ast.FunctionDef(
+            line=line, name=name, return_type=return_type, params=params,
+            body=body, is_static=is_static,
+        )
+
+    def _parse_param(self) -> ast.ParamDecl:
+        line = self._peek().line
+        ptype, _, _ = self._parse_type()
+        is_pointer = self._accept("op", "*") is not None
+        while self._accept("keyword", "const") or self._accept("keyword", "restrict"):
+            pass
+        name = self._expect("ident").text
+        dims: List[int] = []
+        is_array = is_pointer
+        while self._accept("op", "["):
+            is_array = True
+            if not self._check("op", "]"):
+                dims.append(self._parse_const_int())
+            self._expect("op", "]")
+        return ast.ParamDecl(line=line, name=name, type=ptype,
+                             is_array=is_array, dims=dims)
+
+    # -- statements -------------------------------------------------------
+
+    def _parse_block(self) -> ast.Block:
+        line = self._expect("op", "{").line
+        block = ast.Block(line=line)
+        while not self._check("op", "}"):
+            if self._check("eof"):
+                raise ParseError("unterminated block", self._peek())
+            block.stmts.append(self._parse_statement())
+        self._expect("op", "}")
+        return block
+
+    def _parse_statement(self) -> ast.Stmt:
+        self._collect_pragmas()
+        tok = self._peek()
+        if tok.kind == "op" and tok.text == "{":
+            return self._parse_block()
+        if tok.kind == "op" and tok.text == ";":
+            self._advance()
+            return ast.Block(line=tok.line)
+        if tok.kind == "keyword":
+            if tok.text == "if":
+                return self._parse_if()
+            if tok.text == "while":
+                return self._parse_while()
+            if tok.text == "do":
+                return self._parse_do_while()
+            if tok.text == "for":
+                return self._parse_for()
+            if tok.text == "return":
+                self._advance()
+                value = None
+                if not self._check("op", ";"):
+                    value = self._parse_expression()
+                self._expect("op", ";")
+                return ast.Return(line=tok.line, value=value)
+            if tok.text == "break":
+                self._advance()
+                self._expect("op", ";")
+                return ast.Break(line=tok.line)
+            if tok.text == "continue":
+                self._advance()
+                self._expect("op", ";")
+                return ast.Continue(line=tok.line)
+            if self._at_type():
+                stmt = self._parse_declaration_stmt()
+                self._expect("op", ";")
+                return stmt
+            raise ParseError("unexpected keyword", tok)
+        stmt = self._parse_simple_statement()
+        self._expect("op", ";")
+        return stmt
+
+    def _parse_declaration_stmt(self) -> ast.Stmt:
+        line = self._peek().line
+        base_type, is_const, is_static = self._parse_type()
+        name = self._expect("ident").text
+        decls = self._parse_declarators(base_type, name, is_const, is_static, line)
+        if len(decls) == 1:
+            return decls[0]
+        return ast.Block(line=line, stmts=list(decls))
+
+    def _parse_declarators(self, base_type: Type, first_name: str,
+                           is_const: bool, is_static: bool,
+                           line: int) -> List[ast.Declaration]:
+        decls = [self._parse_one_declarator(base_type, first_name, is_const,
+                                            is_static, line)]
+        while self._accept("op", ","):
+            name = self._expect("ident").text
+            decls.append(self._parse_one_declarator(base_type, name, is_const,
+                                                    is_static, line))
+        return decls
+
+    def _parse_one_declarator(self, base_type: Type, name: str, is_const: bool,
+                              is_static: bool, line: int) -> ast.Declaration:
+        dims: List[int] = []
+        while self._accept("op", "["):
+            dims.append(self._parse_const_int())
+            self._expect("op", "]")
+        init = None
+        array_init = None
+        if self._accept("op", "="):
+            if dims:
+                array_init = self._parse_array_initializer()
+            else:
+                init = self._parse_expression()
+        return ast.Declaration(line=line, name=name, var_type=base_type,
+                               dims=dims, init=init, array_init=array_init,
+                               is_const=is_const, is_static=is_static)
+
+    def _parse_array_initializer(self) -> List[object]:
+        """Parse a (possibly nested) brace initializer into a flat list."""
+        self._expect("op", "{")
+        values: List[object] = []
+        if not self._check("op", "}"):
+            while True:
+                if self._check("op", "{"):
+                    values.extend(self._parse_array_initializer())
+                else:
+                    values.append(self._parse_const_number())
+                if not self._accept("op", ","):
+                    break
+                if self._check("op", "}"):
+                    break  # trailing comma
+        self._expect("op", "}")
+        return values
+
+    def _parse_const_number(self):
+        negative = self._accept("op", "-") is not None
+        tok = self._peek()
+        if tok.kind not in ("int", "float"):
+            raise ParseError("expected constant", tok)
+        self._advance()
+        value = tok.value
+        return -value if negative else value
+
+    def _parse_const_int(self) -> int:
+        value = self._parse_const_number()
+        if not isinstance(value, int):
+            raise ParseError("expected integer constant", self._peek())
+        return value
+
+    def _parse_simple_statement(self) -> ast.Stmt:
+        """Assignment, inc/dec, or bare expression (e.g. a call)."""
+        start = self._pos
+        line = self._peek().line
+        if self._check("ident"):
+            target = self._parse_postfix_target()
+            if target is not None:
+                tok = self._peek()
+                if tok.kind == "op" and tok.text in _ASSIGN_OPS:
+                    self._advance()
+                    value = self._parse_expression()
+                    if tok.text != "=":
+                        op = _OP_NAME[tok.text[:-1]]
+                        value = ast.Binary(line=line, op=op,
+                                           lhs=self._clone_ref(target), rhs=value)
+                    return ast.Assignment(line=line, target=target, value=value)
+                if tok.kind == "op" and tok.text in ("++", "--"):
+                    self._advance()
+                    op = "add" if tok.text == "++" else "sub"
+                    one = ast.IntLiteral(line=line, value=1)
+                    value = ast.Binary(line=line, op=op,
+                                       lhs=self._clone_ref(target), rhs=one)
+                    return ast.Assignment(line=line, target=target, value=value)
+            self._pos = start
+        if self._check("op", "++") or self._check("op", "--"):
+            tok = self._advance()
+            target = self._parse_postfix_target()
+            if target is None:
+                raise ParseError("expected lvalue after ++/--", self._peek())
+            op = "add" if tok.text == "++" else "sub"
+            one = ast.IntLiteral(line=line, value=1)
+            value = ast.Binary(line=line, op=op,
+                               lhs=self._clone_ref(target), rhs=one)
+            return ast.Assignment(line=line, target=target, value=value)
+        expr = self._parse_expression()
+        return ast.ExprStmt(line=line, expr=expr)
+
+    def _parse_postfix_target(self) -> Optional[ast.Expr]:
+        """Parse ``name`` or ``name[e]...`` when it is an lvalue position."""
+        tok = self._expect("ident")
+        if self._check("op", "("):
+            # It is a call, not an lvalue — rewind caller handles this.
+            self._pos -= 1
+            return None
+        if self._check("op", "["):
+            indices = []
+            while self._accept("op", "["):
+                indices.append(self._parse_expression())
+                self._expect("op", "]")
+            return ast.ArrayRef(line=tok.line, name=tok.text, indices=indices)
+        return ast.NameRef(line=tok.line, name=tok.text)
+
+    @staticmethod
+    def _clone_ref(target: ast.Expr) -> ast.Expr:
+        if isinstance(target, ast.NameRef):
+            return ast.NameRef(line=target.line, name=target.name)
+        assert isinstance(target, ast.ArrayRef)
+        return ast.ArrayRef(line=target.line, name=target.name,
+                            indices=list(target.indices))
+
+    def _parse_if(self) -> ast.If:
+        line = self._expect("keyword", "if").line
+        self._expect("op", "(")
+        cond = self._parse_expression()
+        self._expect("op", ")")
+        then = self._as_block(self._parse_statement())
+        orelse = None
+        if self._accept("keyword", "else"):
+            orelse = self._as_block(self._parse_statement())
+        return ast.If(line=line, cond=cond, then=then, orelse=orelse)
+
+    def _parse_while(self) -> ast.While:
+        pragmas = self._take_pragmas()
+        line = self._expect("keyword", "while").line
+        self._expect("op", "(")
+        cond = self._parse_expression()
+        self._expect("op", ")")
+        body = self._as_block(self._parse_statement())
+        return ast.While(line=line, cond=cond, body=body, pragmas=pragmas)
+
+    def _parse_do_while(self) -> ast.DoWhile:
+        line = self._expect("keyword", "do").line
+        body = self._as_block(self._parse_statement())
+        self._expect("keyword", "while")
+        self._expect("op", "(")
+        cond = self._parse_expression()
+        self._expect("op", ")")
+        self._expect("op", ";")
+        return ast.DoWhile(line=line, cond=cond, body=body)
+
+    def _parse_for(self) -> ast.For:
+        pragmas = self._take_pragmas()
+        line = self._expect("keyword", "for").line
+        self._expect("op", "(")
+        init = None
+        if not self._check("op", ";"):
+            if self._at_type():
+                init = self._parse_declaration_stmt()
+            else:
+                init = self._parse_simple_statement()
+        self._expect("op", ";")
+        cond = None
+        if not self._check("op", ";"):
+            cond = self._parse_expression()
+        self._expect("op", ";")
+        step = None
+        if not self._check("op", ")"):
+            step = self._parse_simple_statement()
+        self._expect("op", ")")
+        body = self._as_block(self._parse_statement())
+        return ast.For(line=line, init=init, cond=cond, step=step, body=body,
+                       pragmas=pragmas)
+
+    @staticmethod
+    def _as_block(stmt: ast.Stmt) -> ast.Block:
+        if isinstance(stmt, ast.Block):
+            return stmt
+        return ast.Block(line=stmt.line, stmts=[stmt])
+
+    # -- expressions ---------------------------------------------------
+
+    def _parse_expression(self) -> ast.Expr:
+        return self._parse_conditional()
+
+    def _parse_conditional(self) -> ast.Expr:
+        cond = self._parse_binary(0)
+        if self._accept("op", "?"):
+            if_true = self._parse_expression()
+            self._expect("op", ":")
+            if_false = self._parse_conditional()
+            return ast.Conditional(line=cond.line, cond=cond,
+                                   if_true=if_true, if_false=if_false)
+        return cond
+
+    def _parse_binary(self, level: int) -> ast.Expr:
+        if level >= len(_PRECEDENCE):
+            return self._parse_unary()
+        lhs = self._parse_binary(level + 1)
+        ops = _PRECEDENCE[level]
+        while self._peek().kind == "op" and self._peek().text in ops:
+            tok = self._advance()
+            rhs = self._parse_binary(level + 1)
+            lhs = ast.Binary(line=tok.line, op=_OP_NAME[tok.text],
+                             lhs=lhs, rhs=rhs)
+        return lhs
+
+    def _parse_unary(self) -> ast.Expr:
+        tok = self._peek()
+        if tok.kind == "op" and tok.text in ("-", "!", "~", "+"):
+            self._advance()
+            operand = self._parse_unary()
+            if tok.text == "+":
+                return operand
+            op = {"-": "neg", "!": "not", "~": "bnot"}[tok.text]
+            return ast.Unary(line=tok.line, op=op, operand=operand)
+        # Cast: '(' type ')' unary
+        if tok.kind == "op" and tok.text == "(":
+            next_tok = self._peek(1)
+            if next_tok.kind == "keyword" and (
+                next_tok.text in _TYPE_SPECIFIERS or next_tok.text in _QUALIFIERS
+            ):
+                self._advance()
+                target, _, _ = self._parse_type()
+                self._expect("op", ")")
+                operand = self._parse_unary()
+                return ast.CastExpr(line=tok.line, target=target, operand=operand)
+        return self._parse_postfix()
+
+    def _parse_postfix(self) -> ast.Expr:
+        tok = self._peek()
+        if tok.kind == "op" and tok.text == "(":
+            self._advance()
+            expr = self._parse_expression()
+            self._expect("op", ")")
+            return expr
+        if tok.kind == "int":
+            self._advance()
+            return ast.IntLiteral(line=tok.line, value=tok.value)
+        if tok.kind == "float":
+            self._advance()
+            return ast.FloatLiteral(line=tok.line, value=tok.value)
+        if tok.kind == "ident":
+            self._advance()
+            if self._check("op", "("):
+                self._advance()
+                args: List[ast.Expr] = []
+                if not self._check("op", ")"):
+                    while True:
+                        args.append(self._parse_expression())
+                        if not self._accept("op", ","):
+                            break
+                self._expect("op", ")")
+                return ast.CallExpr(line=tok.line, callee=tok.text, args=args)
+            if self._check("op", "["):
+                indices = []
+                while self._accept("op", "["):
+                    indices.append(self._parse_expression())
+                    self._expect("op", "]")
+                return ast.ArrayRef(line=tok.line, name=tok.text, indices=indices)
+            return ast.NameRef(line=tok.line, name=tok.text)
+        raise ParseError("expected expression", tok)
+
+
+def parse(source: str) -> ast.TranslationUnit:
+    """Parse HermesC source text into a translation unit."""
+    return Parser(tokenize(source)).parse_translation_unit()

@@ -1,0 +1,137 @@
+"""HLS pragma parsing.
+
+The front end accepts Bambu/Vitis-style pragmas:
+
+* ``#pragma HLS interface port=<name> mode=<bram|axi|rom> [bundle=<name>]``
+  — selects how a pointer/array parameter is accessed (paper §II: AXI4
+  master generation);
+* ``#pragma HLS unroll factor=<N>`` — unrolls the following loop;
+* ``#pragma HLS inline`` — always inline this function;
+* ``#pragma HLS dataflow`` — synthesize the function as a dynamically
+  controlled coarse-grained task pipeline (paper §II, ref [14]);
+* ``#pragma HLS allocation <resource>=<N>`` — cap functional unit count.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+
+class PragmaError(Exception):
+    pass
+
+
+@dataclass
+class InterfacePragma:
+    port: str
+    mode: str               # 'bram' | 'axi' | 'rom'
+    bundle: Optional[str] = None
+
+
+@dataclass
+class UnrollPragma:
+    factor: int             # 0 means "full"
+
+
+@dataclass
+class AllocationPragma:
+    limits: Dict[str, int] = field(default_factory=dict)
+
+
+@dataclass
+class FunctionPragmas:
+    """Aggregated function-level pragma state."""
+
+    inline: bool = False
+    dataflow: bool = False
+    interfaces: Dict[str, InterfacePragma] = field(default_factory=dict)
+    allocation: Dict[str, int] = field(default_factory=dict)
+
+
+def _parse_kv(parts: List[str]) -> Dict[str, str]:
+    kv: Dict[str, str] = {}
+    for part in parts:
+        if "=" in part:
+            key, _, value = part.partition("=")
+            kv[key.strip()] = value.strip()
+        else:
+            kv[part.strip()] = ""
+    return kv
+
+
+def parse_pragma(text: str):
+    """Parse one ``#pragma`` line; returns a pragma object or ``None``.
+
+    Non-HLS pragmas are ignored (returns ``None``); malformed HLS pragmas
+    raise :class:`PragmaError`.
+    """
+    words = text.split()
+    if len(words) < 2 or words[0] != "#pragma":
+        raise PragmaError(f"not a pragma: {text!r}")
+    if words[1].upper() != "HLS":
+        return None
+    if len(words) < 3:
+        raise PragmaError(f"empty HLS pragma: {text!r}")
+    directive = words[2].lower()
+    kv = _parse_kv(words[3:])
+    if directive == "interface":
+        port = kv.get("port")
+        mode = kv.get("mode", "bram").lower()
+        if not port:
+            raise PragmaError(f"interface pragma needs port=: {text!r}")
+        if mode not in ("bram", "axi", "rom"):
+            raise PragmaError(f"unknown interface mode {mode!r}")
+        return InterfacePragma(port=port, mode=mode, bundle=kv.get("bundle"))
+    if directive == "unroll":
+        factor_text = kv.get("factor", "0")
+        try:
+            factor = int(factor_text)
+        except ValueError:
+            raise PragmaError(f"bad unroll factor {factor_text!r}") from None
+        if factor < 0:
+            raise PragmaError("unroll factor must be >= 0")
+        return UnrollPragma(factor=factor)
+    if directive == "inline":
+        return "inline"
+    if directive == "dataflow":
+        return "dataflow"
+    if directive == "pipeline":
+        # Accepted for compatibility; treated as full unroll request of the
+        # innermost loop body scheduling (no initiation-interval pipelining).
+        return UnrollPragma(factor=0)
+    if directive == "allocation":
+        limits: Dict[str, int] = {}
+        for key, value in kv.items():
+            try:
+                limits[key] = int(value)
+            except ValueError:
+                raise PragmaError(f"bad allocation limit {key}={value!r}") from None
+        return AllocationPragma(limits=limits)
+    raise PragmaError(f"unknown HLS directive {directive!r}")
+
+
+def collect_function_pragmas(lines: List[str]) -> FunctionPragmas:
+    """Aggregate the pragma lines attached to a function definition."""
+    result = FunctionPragmas()
+    for line in lines:
+        pragma = parse_pragma(line)
+        if pragma == "inline":
+            result.inline = True
+        elif pragma == "dataflow":
+            result.dataflow = True
+        elif isinstance(pragma, InterfacePragma):
+            result.interfaces[pragma.port] = pragma
+        elif isinstance(pragma, AllocationPragma):
+            result.allocation.update(pragma.limits)
+        # Unroll pragmas are loop-level; ignore at function level.
+    return result
+
+
+def loop_unroll_factor(lines: List[str]) -> Optional[int]:
+    """Extract the unroll factor from the pragmas attached to a loop."""
+    for line in lines:
+        pragma = parse_pragma(line)
+        if isinstance(pragma, UnrollPragma):
+            return pragma.factor
+    return None

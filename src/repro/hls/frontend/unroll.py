@@ -1,0 +1,388 @@
+"""AST-level loop unrolling driven by ``#pragma HLS unroll``.
+
+Unrolling happens after semantic analysis so every cloned expression keeps
+its inferred type.  A loop is unrollable when it is *canonical*:
+
+* ``for (i = C0; i <op> C1; i = i +/- C2)`` with compile-time constants;
+* the body never reassigns the induction variable;
+* the body contains no ``break``/``continue``.
+
+Full unrolling replaces the loop by ``trip`` copies of the body with the
+induction variable substituted by literals.  Partial unrolling by factor
+``k`` (trip divisible by ``k``) widens the step and replicates the body
+``k`` times.  Non-canonical loops are left untouched and recorded in the
+returned report.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from . import ast
+from .pragmas import loop_unroll_factor
+
+_MAX_TRIP = 1 << 16
+_MAX_FULL_UNROLL = 4096
+
+
+@dataclass
+class UnrollReport:
+    unrolled: List[str] = field(default_factory=list)
+    skipped: List[str] = field(default_factory=list)
+
+
+@dataclass
+class _Canonical:
+    var: str
+    start: int
+    op: str          # cond operator: lt/le/gt/ge/ne
+    limit: int
+    step: int        # signed step per iteration
+    decl_type: Optional[object]  # set when init is a Declaration
+
+
+def _const_value(expr: ast.Expr) -> Optional[int]:
+    if isinstance(expr, ast.IntLiteral):
+        return expr.value
+    if isinstance(expr, ast.Unary) and expr.op == "neg":
+        inner = _const_value(expr.operand)
+        return None if inner is None else -inner
+    return None
+
+
+def _match_canonical(loop: ast.For) -> Optional[_Canonical]:
+    # init: `int i = C` or `i = C`
+    if isinstance(loop.init, ast.Declaration) and not loop.init.dims:
+        var = loop.init.name
+        start = None if loop.init.init is None else _const_value(loop.init.init)
+        decl_type = loop.init.var_type
+    elif isinstance(loop.init, ast.Assignment) and \
+            isinstance(loop.init.target, ast.NameRef):
+        var = loop.init.target.name
+        start = _const_value(loop.init.value)
+        decl_type = None
+    else:
+        return None
+    if start is None:
+        return None
+    # cond: `i <op> C`
+    cond = loop.cond
+    if not (isinstance(cond, ast.Binary)
+            and cond.op in ("lt", "le", "gt", "ge", "ne")
+            and isinstance(cond.lhs, ast.NameRef) and cond.lhs.name == var):
+        return None
+    limit = _const_value(cond.rhs)
+    if limit is None:
+        return None
+    # step: `i = i + C` / `i = i - C` (includes lowered ++/--/+=)
+    step_stmt = loop.step
+    if not (isinstance(step_stmt, ast.Assignment)
+            and isinstance(step_stmt.target, ast.NameRef)
+            and step_stmt.target.name == var
+            and isinstance(step_stmt.value, ast.Binary)
+            and step_stmt.value.op in ("add", "sub")
+            and isinstance(step_stmt.value.lhs, ast.NameRef)
+            and step_stmt.value.lhs.name == var):
+        return None
+    step_const = _const_value(step_stmt.value.rhs)
+    if step_const is None or step_const == 0:
+        return None
+    step = step_const if step_stmt.value.op == "add" else -step_const
+    return _Canonical(var=var, start=start, op=cond.op, limit=limit,
+                      step=step, decl_type=decl_type)
+
+
+def _trip_count(canon: _Canonical) -> Optional[int]:
+    checks = {
+        "lt": lambda i: i < canon.limit,
+        "le": lambda i: i <= canon.limit,
+        "gt": lambda i: i > canon.limit,
+        "ge": lambda i: i >= canon.limit,
+        "ne": lambda i: i != canon.limit,
+    }
+    check = checks[canon.op]
+    i = canon.start
+    trip = 0
+    while check(i):
+        trip += 1
+        i += canon.step
+        if trip > _MAX_TRIP:
+            return None
+    return trip
+
+
+def _assigns_var(block: ast.Block, name: str) -> bool:
+    found = [False]
+
+    def visit(stmt: ast.Stmt) -> None:
+        if isinstance(stmt, ast.Assignment):
+            target = stmt.target
+            if isinstance(target, ast.NameRef) and target.name == name:
+                found[0] = True
+        elif isinstance(stmt, ast.Declaration):
+            if stmt.name == name:
+                found[0] = True  # shadowing — be conservative
+        elif isinstance(stmt, ast.Block):
+            for inner in stmt.stmts:
+                visit(inner)
+        elif isinstance(stmt, ast.If):
+            for inner in stmt.then.stmts:
+                visit(inner)
+            if stmt.orelse is not None:
+                for inner in stmt.orelse.stmts:
+                    visit(inner)
+        elif isinstance(stmt, (ast.While, ast.DoWhile)):
+            for inner in stmt.body.stmts:
+                visit(inner)
+        elif isinstance(stmt, ast.For):
+            for part in (stmt.init, stmt.step):
+                if part is not None:
+                    visit(part)
+            for inner in stmt.body.stmts:
+                visit(inner)
+
+    for stmt in block.stmts:
+        visit(stmt)
+    return found[0]
+
+
+def _has_break_or_continue(block: ast.Block) -> bool:
+    """Break/continue directly inside this loop body (not nested loops)."""
+    found = [False]
+
+    def visit(stmt: ast.Stmt) -> None:
+        if isinstance(stmt, (ast.Break, ast.Continue)):
+            found[0] = True
+        elif isinstance(stmt, ast.Block):
+            for inner in stmt.stmts:
+                visit(inner)
+        elif isinstance(stmt, ast.If):
+            for inner in stmt.then.stmts:
+                visit(inner)
+            if stmt.orelse is not None:
+                for inner in stmt.orelse.stmts:
+                    visit(inner)
+        # While/DoWhile/For introduce their own break scope: do not recurse.
+
+    for stmt in block.stmts:
+        visit(stmt)
+    return found[0]
+
+
+# -- AST cloning with substitution -------------------------------------------
+
+
+def _clone_expr(expr: ast.Expr, subst: Dict[str, ast.Expr]) -> ast.Expr:
+    if isinstance(expr, ast.IntLiteral):
+        return ast.IntLiteral(line=expr.line, type=expr.type, value=expr.value)
+    if isinstance(expr, ast.FloatLiteral):
+        return ast.FloatLiteral(line=expr.line, type=expr.type, value=expr.value)
+    if isinstance(expr, ast.NameRef):
+        if expr.name in subst:
+            return _clone_expr(subst[expr.name], {})
+        return ast.NameRef(line=expr.line, type=expr.type, name=expr.name)
+    if isinstance(expr, ast.ArrayRef):
+        return ast.ArrayRef(line=expr.line, type=expr.type, name=expr.name,
+                            indices=[_clone_expr(i, subst) for i in expr.indices])
+    if isinstance(expr, ast.Unary):
+        return ast.Unary(line=expr.line, type=expr.type, op=expr.op,
+                         operand=_clone_expr(expr.operand, subst))
+    if isinstance(expr, ast.Binary):
+        return ast.Binary(line=expr.line, type=expr.type, op=expr.op,
+                          lhs=_clone_expr(expr.lhs, subst),
+                          rhs=_clone_expr(expr.rhs, subst))
+    if isinstance(expr, ast.Conditional):
+        return ast.Conditional(line=expr.line, type=expr.type,
+                               cond=_clone_expr(expr.cond, subst),
+                               if_true=_clone_expr(expr.if_true, subst),
+                               if_false=_clone_expr(expr.if_false, subst))
+    if isinstance(expr, ast.CastExpr):
+        return ast.CastExpr(line=expr.line, type=expr.type, target=expr.target,
+                            operand=_clone_expr(expr.operand, subst))
+    if isinstance(expr, ast.CallExpr):
+        return ast.CallExpr(line=expr.line, type=expr.type, callee=expr.callee,
+                            args=[_clone_expr(a, subst) for a in expr.args])
+    raise TypeError(f"cannot clone {type(expr).__name__}")  # pragma: no cover
+
+
+def _clone_stmt(stmt: ast.Stmt, subst: Dict[str, ast.Expr]) -> ast.Stmt:
+    if isinstance(stmt, ast.Declaration):
+        return ast.Declaration(
+            line=stmt.line, name=stmt.name, var_type=stmt.var_type,
+            dims=list(stmt.dims),
+            init=None if stmt.init is None else _clone_expr(stmt.init, subst),
+            array_init=None if stmt.array_init is None else list(stmt.array_init),
+            is_const=stmt.is_const, is_static=stmt.is_static)
+    if isinstance(stmt, ast.Assignment):
+        return ast.Assignment(line=stmt.line,
+                              target=_clone_expr(stmt.target, subst),
+                              value=_clone_expr(stmt.value, subst))
+    if isinstance(stmt, ast.ExprStmt):
+        return ast.ExprStmt(line=stmt.line, expr=_clone_expr(stmt.expr, subst))
+    if isinstance(stmt, ast.Block):
+        return ast.Block(line=stmt.line,
+                         stmts=[_clone_stmt(s, subst) for s in stmt.stmts])
+    if isinstance(stmt, ast.If):
+        return ast.If(line=stmt.line, cond=_clone_expr(stmt.cond, subst),
+                      then=_clone_stmt(stmt.then, subst),
+                      orelse=None if stmt.orelse is None
+                      else _clone_stmt(stmt.orelse, subst))
+    if isinstance(stmt, ast.While):
+        return ast.While(line=stmt.line, cond=_clone_expr(stmt.cond, subst),
+                         body=_clone_stmt(stmt.body, subst),
+                         pragmas=list(stmt.pragmas))
+    if isinstance(stmt, ast.DoWhile):
+        return ast.DoWhile(line=stmt.line, cond=_clone_expr(stmt.cond, subst),
+                           body=_clone_stmt(stmt.body, subst))
+    if isinstance(stmt, ast.For):
+        return ast.For(
+            line=stmt.line,
+            init=None if stmt.init is None else _clone_stmt(stmt.init, subst),
+            cond=None if stmt.cond is None else _clone_expr(stmt.cond, subst),
+            step=None if stmt.step is None else _clone_stmt(stmt.step, subst),
+            body=_clone_stmt(stmt.body, subst), pragmas=list(stmt.pragmas))
+    if isinstance(stmt, ast.Return):
+        return ast.Return(line=stmt.line, value=None if stmt.value is None
+                          else _clone_expr(stmt.value, subst))
+    if isinstance(stmt, ast.Break):
+        return ast.Break(line=stmt.line)
+    if isinstance(stmt, ast.Continue):
+        return ast.Continue(line=stmt.line)
+    raise TypeError(f"cannot clone {type(stmt).__name__}")  # pragma: no cover
+
+
+def _literal(value: int, like: ast.Expr) -> ast.IntLiteral:
+    return ast.IntLiteral(line=like.line, type=like.type, value=value)
+
+
+class _Unroller:
+    def __init__(self, report: UnrollReport, func_name: str) -> None:
+        self.report = report
+        self.func = func_name
+
+    def rewrite_block(self, block: ast.Block) -> ast.Block:
+        out = ast.Block(line=block.line)
+        for stmt in block.stmts:
+            out.stmts.extend(self._rewrite_stmt(stmt))
+        return out
+
+    def _rewrite_stmt(self, stmt: ast.Stmt) -> List[ast.Stmt]:
+        if isinstance(stmt, ast.For):
+            return self._rewrite_for(stmt)
+        if isinstance(stmt, ast.Block):
+            return [self.rewrite_block(stmt)]
+        if isinstance(stmt, ast.If):
+            stmt.then = self.rewrite_block(stmt.then)
+            if stmt.orelse is not None:
+                stmt.orelse = self.rewrite_block(stmt.orelse)
+            return [stmt]
+        if isinstance(stmt, (ast.While, ast.DoWhile)):
+            stmt.body = self.rewrite_block(stmt.body)
+            return [stmt]
+        return [stmt]
+
+    def _rewrite_for(self, loop: ast.For) -> List[ast.Stmt]:
+        loop.body = self.rewrite_block(loop.body)
+        factor = loop_unroll_factor(loop.pragmas)
+        if factor is None:
+            return [loop]
+        where = f"{self.func}:line {loop.line}"
+        canon = _match_canonical(loop)
+        if canon is None:
+            self.report.skipped.append(f"{where}: not canonical")
+            return [loop]
+        if _assigns_var(loop.body, canon.var):
+            self.report.skipped.append(f"{where}: body modifies induction var")
+            return [loop]
+        if _has_break_or_continue(loop.body):
+            self.report.skipped.append(f"{where}: break/continue in body")
+            return [loop]
+        trip = _trip_count(canon)
+        if trip is None:
+            self.report.skipped.append(f"{where}: trip count too large")
+            return [loop]
+        if factor == 0 or factor >= trip:
+            if trip > _MAX_FULL_UNROLL:
+                self.report.skipped.append(f"{where}: trip {trip} too large "
+                                           "for full unroll")
+                return [loop]
+            return self._full_unroll(loop, canon, trip, where)
+        if trip % factor != 0:
+            self.report.skipped.append(
+                f"{where}: trip {trip} not divisible by factor {factor}")
+            return [loop]
+        return self._partial_unroll(loop, canon, factor, where)
+
+    def _full_unroll(self, loop: ast.For, canon: _Canonical, trip: int,
+                     where: str) -> List[ast.Stmt]:
+        ref = _induction_ref(loop, canon)
+        stmts: List[ast.Stmt] = []
+        value = canon.start
+        for _ in range(trip):
+            subst = {canon.var: _literal(value, ref)}
+            cloned = _clone_stmt(loop.body, subst)
+            stmts.append(cloned)
+            value += canon.step
+        if canon.decl_type is None:
+            # Loop variable lives on after the loop: set its final value.
+            stmts.append(ast.Assignment(
+                line=loop.line,
+                target=ast.NameRef(line=loop.line, type=ref.type,
+                                   name=canon.var),
+                value=_literal(value, ref)))
+        self.report.unrolled.append(f"{where}: full x{trip}")
+        return stmts
+
+    def _partial_unroll(self, loop: ast.For, canon: _Canonical, factor: int,
+                        where: str) -> List[ast.Stmt]:
+        ref = _induction_ref(loop, canon)
+        bodies: List[ast.Stmt] = []
+        for lane in range(factor):
+            offset = lane * canon.step
+            if offset == 0:
+                index: ast.Expr = ast.NameRef(line=loop.line, type=ref.type,
+                                              name=canon.var)
+            else:
+                index = ast.Binary(
+                    line=loop.line, type=ref.type,
+                    op="add" if offset > 0 else "sub",
+                    lhs=ast.NameRef(line=loop.line, type=ref.type,
+                                    name=canon.var),
+                    rhs=_literal(abs(offset), ref))
+            bodies.append(_clone_stmt(loop.body, {canon.var: index}))
+        new_step_value = abs(canon.step) * factor
+        assert isinstance(loop.step, ast.Assignment)
+        step_expr = loop.step.value
+        assert isinstance(step_expr, ast.Binary)
+        new_step = ast.Assignment(
+            line=loop.line,
+            target=ast.NameRef(line=loop.line, type=ref.type, name=canon.var),
+            value=ast.Binary(line=loop.line, type=step_expr.type,
+                             op=step_expr.op,
+                             lhs=ast.NameRef(line=loop.line, type=ref.type,
+                                             name=canon.var),
+                             rhs=_literal(new_step_value, ref)))
+        new_loop = ast.For(line=loop.line, init=loop.init, cond=loop.cond,
+                           step=new_step,
+                           body=ast.Block(line=loop.line, stmts=bodies),
+                           pragmas=[])
+        self.report.unrolled.append(f"{where}: partial x{factor}")
+        return [new_loop]
+
+
+def _induction_ref(loop: ast.For, canon: _Canonical) -> ast.NameRef:
+    """A typed NameRef for the induction variable (for literal typing)."""
+    cond = loop.cond
+    assert isinstance(cond, ast.Binary) and isinstance(cond.lhs, ast.NameRef)
+    return cond.lhs
+
+
+def unroll_loops(unit: ast.TranslationUnit) -> ast.TranslationUnit:
+    """Apply unroll pragmas across a translation unit (in place)."""
+    report = UnrollReport()
+    for func in unit.functions:
+        unroller = _Unroller(report, func.name)
+        func.body = unroller.rewrite_block(func.body)
+    unit.unroll_report = report  # attached for diagnostics
+    return unit

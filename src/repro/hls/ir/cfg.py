@@ -1,0 +1,215 @@
+"""Control-flow graph, function and module containers of the HLS IR."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional
+
+from .operations import Branch, Jump, Operation, Return, Terminator
+from .types import Type, VoidType
+from .values import MemObject, TempFactory, Var
+
+
+class BasicBlock:
+    """A straight-line sequence of operations ended by one terminator."""
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.ops: List[Operation] = []
+        self.terminator: Optional[Terminator] = None
+
+    def append(self, op: Operation) -> None:
+        if self.terminator is not None:
+            raise ValueError(f"block {self.name} already terminated")
+        if isinstance(op, Terminator):
+            self.terminator = op
+        else:
+            self.ops.append(op)
+
+    @property
+    def is_terminated(self) -> bool:
+        return self.terminator is not None
+
+    def successors(self) -> List[str]:
+        term = self.terminator
+        if isinstance(term, Jump):
+            return [term.target]
+        if isinstance(term, Branch):
+            return [term.if_true, term.if_false]
+        return []
+
+    def all_ops(self) -> List[Operation]:
+        """Operations including the terminator (if present)."""
+        ops = list(self.ops)
+        if self.terminator is not None:
+            ops.append(self.terminator)
+        return ops
+
+    def __str__(self) -> str:
+        lines = [f"{self.name}:"]
+        lines.extend(f"  {op}" for op in self.all_ops())
+        return "\n".join(lines)
+
+
+@dataclass
+class Param:
+    """A scalar or memory function parameter."""
+
+    name: str
+    type: Type
+    mem: Optional[MemObject] = None
+
+    @property
+    def is_memory(self) -> bool:
+        return self.mem is not None
+
+
+class Function:
+    """An HLS function: parameters, memory objects, and a CFG."""
+
+    def __init__(self, name: str, return_type: Type) -> None:
+        self.name = name
+        self.return_type = return_type
+        self.params: List[Param] = []
+        self.mems: Dict[str, MemObject] = {}
+        self.blocks: Dict[str, BasicBlock] = {}
+        self.block_order: List[str] = []
+        self.temps = TempFactory()
+        self.entry = "entry"
+        self._label_counter = 0
+        # Pragma-driven attributes set by the front end.
+        self.pragmas: Dict[str, object] = {}
+
+    # -- construction -------------------------------------------------
+
+    def new_block(self, hint: str = "bb") -> BasicBlock:
+        name = f"{hint}{self._label_counter}"
+        self._label_counter += 1
+        block = BasicBlock(name)
+        self.blocks[name] = block
+        self.block_order.append(name)
+        return block
+
+    def add_entry_block(self) -> BasicBlock:
+        block = BasicBlock(self.entry)
+        self.blocks[self.entry] = block
+        self.block_order.insert(0, self.entry)
+        return block
+
+    def add_mem(self, mem: MemObject) -> MemObject:
+        if mem.name in self.mems:
+            raise ValueError(f"duplicate memory object {mem.name}")
+        self.mems[mem.name] = mem
+        return mem
+
+    # -- queries --------------------------------------------------------
+
+    @property
+    def returns_value(self) -> bool:
+        return not isinstance(self.return_type, VoidType)
+
+    def scalar_params(self) -> List[Param]:
+        return [p for p in self.params if not p.is_memory]
+
+    def memory_params(self) -> List[Param]:
+        return [p for p in self.params if p.is_memory]
+
+    def ordered_blocks(self) -> List[BasicBlock]:
+        return [self.blocks[name] for name in self.block_order if name in self.blocks]
+
+    def predecessors(self) -> Dict[str, List[str]]:
+        preds: Dict[str, List[str]] = {name: [] for name in self.blocks}
+        for block in self.ordered_blocks():
+            for succ in block.successors():
+                preds[succ].append(block.name)
+        return preds
+
+    def reachable_blocks(self) -> List[str]:
+        """Block names reachable from the entry, in DFS preorder."""
+        seen: List[str] = []
+        seen_set = set()
+        stack = [self.entry]
+        while stack:
+            name = stack.pop()
+            if name in seen_set or name not in self.blocks:
+                continue
+            seen_set.add(name)
+            seen.append(name)
+            stack.extend(reversed(self.blocks[name].successors()))
+        return seen
+
+    def remove_unreachable_blocks(self) -> int:
+        """Drop unreachable blocks; returns how many were removed."""
+        reachable = set(self.reachable_blocks())
+        removed = [name for name in self.block_order if name not in reachable]
+        for name in removed:
+            self.blocks.pop(name, None)
+        self.block_order = [n for n in self.block_order if n in reachable]
+        return len(removed)
+
+    def all_ops(self) -> Iterable[Operation]:
+        for block in self.ordered_blocks():
+            yield from block.all_ops()
+
+    def op_count(self) -> int:
+        return sum(1 for _ in self.all_ops())
+
+    def var(self, name: str, ty: Type) -> Var:
+        return Var(name, ty)
+
+    def __str__(self) -> str:
+        params = ", ".join(
+            f"{p.type} {p.name}" for p in self.params
+        )
+        lines = [f"function {self.return_type} {self.name}({params})"]
+        for mem in self.mems.values():
+            lines.append(f"  mem {mem.name}: {mem.element} x {mem.size} [{mem.storage}]")
+        for block in self.ordered_blocks():
+            lines.append(str(block))
+        return "\n".join(lines)
+
+
+class Module:
+    """A compilation unit: several functions plus global constants."""
+
+    def __init__(self, name: str = "top") -> None:
+        self.name = name
+        self.functions: Dict[str, Function] = {}
+
+    def add_function(self, func: Function) -> Function:
+        if func.name in self.functions:
+            raise ValueError(f"duplicate function {func.name}")
+        self.functions[func.name] = func
+        return func
+
+    def __getitem__(self, name: str) -> Function:
+        return self.functions[name]
+
+    def __contains__(self, name: str) -> bool:
+        return name in self.functions
+
+    def __str__(self) -> str:
+        return "\n\n".join(str(f) for f in self.functions.values())
+
+
+def verify_function(func: Function) -> List[str]:
+    """Structural well-formedness checks; returns a list of problems."""
+    problems: List[str] = []
+    if func.entry not in func.blocks:
+        problems.append(f"{func.name}: missing entry block")
+    for block in func.ordered_blocks():
+        if block.terminator is None:
+            problems.append(f"{func.name}/{block.name}: not terminated")
+            continue
+        for succ in block.successors():
+            if succ not in func.blocks:
+                problems.append(
+                    f"{func.name}/{block.name}: jump to unknown block {succ}"
+                )
+        if isinstance(block.terminator, Return):
+            has_value = block.terminator.value is not None
+            if func.returns_value and not has_value:
+                problems.append(f"{func.name}/{block.name}: missing return value")
+            if not func.returns_value and has_value:
+                problems.append(f"{func.name}/{block.name}: unexpected return value")
+    return problems

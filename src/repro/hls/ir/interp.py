@@ -1,0 +1,257 @@
+"""Reference interpreter for the HLS IR.
+
+Executes a function with bit-accurate C semantics.  It is the golden model
+against which the scheduled FSMD simulation (and ultimately the generated
+RTL) is checked, mirroring the role of C/RTL co-simulation in the Bambu
+flow described in the paper.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, List, Optional, Sequence, Union
+
+from .cfg import Function, Module
+from .operations import (
+    Assign,
+    BinOp,
+    Branch,
+    Call,
+    Cast,
+    Jump,
+    Load,
+    Return,
+    Select,
+    Store,
+    UnOp,
+    eval_binop,
+    eval_unop,
+)
+from .types import FloatType, IntType
+from .values import Const, MemObject, Temp, Value, Var
+
+
+class InterpError(Exception):
+    pass
+
+
+class Memory:
+    """Backing store for one memory object during interpretation."""
+
+    def __init__(self, mem: MemObject, data: Optional[Sequence] = None,
+                 size: Optional[int] = None) -> None:
+        self.mem = mem
+        length = size if size is not None else mem.size
+        if data is not None:
+            self.data = list(data)
+            if length and len(self.data) < length:
+                self.data.extend([0] * (length - len(self.data)))
+        else:
+            self.data = [0] * length
+            for index, value in enumerate(mem.initializer):
+                self.data[index] = self._wrap(value)
+
+    def _wrap(self, value):
+        if isinstance(self.mem.element, IntType):
+            return self.mem.element.wrap(int(value))
+        if isinstance(self.mem.element, FloatType):
+            return self.mem.element.round(float(value))
+        return value
+
+    def load(self, index: int):
+        if not 0 <= index < len(self.data):
+            raise InterpError(
+                f"out-of-bounds read {self.mem.name}[{index}] "
+                f"(size {len(self.data)})")
+        return self.data[index]
+
+    def store(self, index: int, value) -> None:
+        if not 0 <= index < len(self.data):
+            raise InterpError(
+                f"out-of-bounds write {self.mem.name}[{index}] "
+                f"(size {len(self.data)})")
+        self.data[index] = self._wrap(value)
+
+
+class Interpreter:
+    """Executes IR functions; collects dynamic statistics."""
+
+    def __init__(self, module: Module, max_steps: int = 10_000_000) -> None:
+        self.module = module
+        self.max_steps = max_steps
+        self.op_count = 0
+        self.mem_reads = 0
+        self.mem_writes = 0
+        # Global arrays are shared across all functions of the module.
+        self._globals: Dict[str, Memory] = {}
+
+    def _memory_for(self, mem: MemObject) -> Memory:
+        if mem.is_global:
+            if mem.name not in self._globals:
+                self._globals[mem.name] = Memory(mem)
+            return self._globals[mem.name]
+        return Memory(mem)
+
+    def run(self, func_name: str, args: Sequence = (),
+            mem_args: Optional[Dict[str, Union[Memory, Sequence]]] = None):
+        """Execute ``func_name``.
+
+        ``args`` supplies the scalar parameters in order; ``mem_args`` maps
+        memory-parameter names to :class:`Memory` objects or plain
+        sequences (converted in place, mutations visible to the caller via
+        the returned ``Memory``).  Returns ``(return_value, memories)``.
+        """
+        func = self.module[func_name]
+        scalar_params = func.scalar_params()
+        if len(args) != len(scalar_params):
+            raise InterpError(
+                f"{func_name} expects {len(scalar_params)} scalar args, "
+                f"got {len(args)}")
+        env: Dict[Value, object] = {}
+        for param, value in zip(scalar_params, args):
+            var = Var(param.name, param.type)
+            env[var] = self._coerce_scalar(value, param.type)
+        memories: Dict[str, Memory] = {}
+        mem_args = dict(mem_args or {})
+        for name, mem in func.mems.items():
+            if mem.is_param:
+                if name not in mem_args:
+                    raise InterpError(f"missing memory argument {name!r}")
+                supplied = mem_args[name]
+                if isinstance(supplied, Memory):
+                    memories[name] = supplied
+                else:
+                    memories[name] = Memory(mem, data=list(supplied),
+                                            size=len(supplied))
+            else:
+                memories[name] = self._memory_for(mem)
+        result = self._exec_function(func, env, memories)
+        return result, memories
+
+    # -- execution ------------------------------------------------------
+
+    def _exec_function(self, func: Function, env: Dict[Value, object],
+                       memories: Dict[str, Memory]):
+        block = func.blocks[func.entry]
+        steps = 0
+        while True:
+            for op in block.ops:
+                steps += 1
+                if steps > self.max_steps:
+                    raise InterpError(f"{func.name}: step limit exceeded")
+                self._exec_op(func, op, env, memories)
+            term = block.terminator
+            self.op_count += 1
+            if isinstance(term, Return):
+                if term.value is None:
+                    return None
+                return self._value(term.value, env)
+            if isinstance(term, Jump):
+                block = func.blocks[term.target]
+            elif isinstance(term, Branch):
+                cond = self._value(term.cond, env)
+                block = func.blocks[term.if_true if cond else term.if_false]
+            else:
+                raise InterpError(f"{func.name}: fell off block {block.name}")
+
+    def _exec_op(self, func: Function, op, env: Dict[Value, object],
+                 memories: Dict[str, Memory]) -> None:
+        self.op_count += 1
+        if isinstance(op, BinOp):
+            lhs = self._value(op.lhs, env)
+            rhs = self._value(op.rhs, env)
+            # Comparisons take their semantics from the operand type
+            # (signedness); other ops from the destination type.
+            result_ty = op.lhs.ty if op.is_comparison else op.dst.ty
+            env[op.dst] = eval_binop(op.op, lhs, rhs, result_ty)
+        elif isinstance(op, UnOp):
+            env[op.dst] = eval_unop(op.op, self._value(op.src, env), op.dst.ty)
+        elif isinstance(op, Assign):
+            env[op.dst] = self._coerce_scalar(self._value(op.src, env),
+                                              op.dst.ty)
+        elif isinstance(op, Cast):
+            env[op.dst] = self._cast(self._value(op.src, env), op.src.ty,
+                                     op.dst.ty)
+        elif isinstance(op, Load):
+            index = self._value(op.index, env)
+            memory = memories[op.mem.name]
+            env[op.dst] = memory.load(int(index))
+            self.mem_reads += 1
+        elif isinstance(op, Store):
+            index = self._value(op.index, env)
+            memory = memories[op.mem.name]
+            memory.store(int(index), self._value(op.src, env))
+            self.mem_writes += 1
+        elif isinstance(op, Select):
+            cond = self._value(op.cond, env)
+            chosen = op.if_true if cond else op.if_false
+            env[op.dst] = self._coerce_scalar(self._value(chosen, env),
+                                              op.dst.ty)
+        elif isinstance(op, Call):
+            env_result = self._exec_call(op, env, memories)
+            if op.dst is not None:
+                env[op.dst] = env_result
+        else:
+            raise InterpError(f"cannot interpret {op}")
+
+    def _exec_call(self, op: Call, env: Dict[Value, object],
+                   memories: Dict[str, Memory]):
+        if op.callee == "sqrtf":
+            value = self._value(op.args[0], env)
+            return FloatType(32).round(math.sqrt(max(0.0, value)))
+        callee = self.module[op.callee]
+        sub_env: Dict[Value, object] = {}
+        for param, arg in zip(callee.scalar_params(), op.args):
+            sub_env[Var(param.name, param.type)] = self._coerce_scalar(
+                self._value(arg, env), param.type)
+        sub_mems: Dict[str, Memory] = {}
+        mem_params = callee.memory_params()
+        if len(mem_params) != len(op.mem_args):
+            raise InterpError(f"call {op.callee}: memory arity mismatch")
+        for param, mem_arg in zip(mem_params, op.mem_args):
+            sub_mems[param.name] = memories[mem_arg.name]
+        for name, mem in callee.mems.items():
+            if not mem.is_param and name not in sub_mems:
+                sub_mems[name] = self._memory_for(mem)
+        return self._exec_function(callee, sub_env, sub_mems)
+
+    # -- value helpers ---------------------------------------------------
+
+    @staticmethod
+    def _value(value: Value, env: Dict[Value, object]):
+        if isinstance(value, Const):
+            return value.value
+        if value in env:
+            return env[value]
+        if isinstance(value, (Var, Temp)):
+            # Uninitialized variable: C gives indeterminate; we give 0 so
+            # hardware and reference agree deterministically.
+            if isinstance(value.ty, FloatType):
+                return 0.0
+            return 0
+        raise InterpError(f"unbound value {value}")
+
+    @staticmethod
+    def _coerce_scalar(value, ty):
+        if isinstance(ty, IntType):
+            return ty.wrap(int(value))
+        if isinstance(ty, FloatType):
+            return ty.round(float(value))
+        return value
+
+    @staticmethod
+    def _cast(value, src_ty, dst_ty):
+        if isinstance(dst_ty, FloatType):
+            return dst_ty.round(float(value))
+        if isinstance(src_ty, FloatType) and isinstance(dst_ty, IntType):
+            return dst_ty.wrap(int(value))  # trunc toward zero
+        if isinstance(dst_ty, IntType):
+            return dst_ty.wrap(int(value))
+        return value
+
+
+def run_function(module: Module, name: str, args: Sequence = (),
+                 mem_args: Optional[Dict[str, Sequence]] = None):
+    """One-shot convenience wrapper around :class:`Interpreter`."""
+    interp = Interpreter(module)
+    return interp.run(name, args, mem_args)

@@ -1,0 +1,17 @@
+"""HLS middle end: optimization passes over the IR (paper Fig. 2)."""
+
+from .cfgopt import simplify_cfg
+from .constprop import constant_propagation
+from .cse import common_subexpression_elimination
+from .dce import dead_code_elimination, remove_unreachable
+from .inline import inline_functions
+from .pass_manager import OptReport, PassManager, default_pipeline, optimize
+from .simplify import algebraic_simplification, copy_propagation
+
+__all__ = [
+    "simplify_cfg", "constant_propagation",
+    "common_subexpression_elimination", "dead_code_elimination",
+    "remove_unreachable", "inline_functions",
+    "OptReport", "PassManager", "default_pipeline", "optimize",
+    "algebraic_simplification", "copy_propagation",
+]

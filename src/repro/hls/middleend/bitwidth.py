@@ -1,0 +1,138 @@
+"""Bit-width analysis.
+
+Infers how many bits each compiler temporary actually needs (value-range
+reasoning on single-assignment temps) and attaches the result to the
+function as ``width_hints``.  The allocator uses the hints to pick
+narrower functional units from the characterized library — one of the
+"aggressive optimizations" the paper attributes to component
+pre-characterization (§II: components specialized "according to the bit
+widths of its input and output arguments").
+
+Soundness rules: only ``Temp`` values are narrowed (they have exactly one
+definition); ``Var`` values keep their declared width (they may be
+redefined around loops).  Hints never exceed the declared type width, and
+every rule below over-approximates the value range.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+from ..ir import (
+    Assign,
+    BinOp,
+    Cast,
+    Const,
+    Function,
+    Load,
+    Module,
+    Select,
+    UnOp,
+    Value,
+)
+from ..ir.types import FloatType, IntType
+from ..ir.values import Temp
+
+WIDTH_HINTS_KEY = "width_hints"
+
+
+def _type_width(value: Value) -> int:
+    ty = value.ty
+    if isinstance(ty, (IntType, FloatType)):
+        return ty.width
+    return 32
+
+
+def _const_bits(const: Const) -> int:
+    if isinstance(const.type, FloatType):
+        return const.type.width
+    value = int(const.value)
+    if value >= 0:
+        bits = max(1, value.bit_length())
+        return bits + (1 if const.type.signed else 0)
+    return value.bit_length() + 1  # two's complement sign bit
+
+
+def _width_of(value: Value, hints: Dict[Value, int]) -> int:
+    if isinstance(value, Const):
+        return min(_const_bits(value), _type_width(value))
+    return hints.get(value, _type_width(value))
+
+
+def infer_width_hints(func: Function, module: Optional[Module] = None) -> int:
+    """Compute width hints; attaches them to ``func.pragmas``.
+
+    Returns 0 (analysis pass: never mutates the IR), so it is safe as a
+    fixed-point pipeline member.
+    """
+    hints: Dict[Value, int] = {}
+    for block in func.ordered_blocks():
+        for op in block.ops:
+            out = op.output()
+            if not isinstance(out, Temp):
+                continue
+            if isinstance(out.ty, FloatType):
+                continue  # float units are not width-specialized
+            declared = _type_width(out)
+            width = declared
+            if isinstance(op, BinOp):
+                lhs = _width_of(op.lhs, hints)
+                rhs = _width_of(op.rhs, hints)
+                if op.is_comparison:
+                    width = 1
+                elif op.op in ("add", "sub"):
+                    width = max(lhs, rhs) + 1
+                elif op.op == "mul":
+                    width = lhs + rhs
+                elif op.op == "and":
+                    width = min(lhs, rhs)
+                    if isinstance(op.rhs, Const) and int(op.rhs.value) >= 0:
+                        width = min(width,
+                                    max(1, int(op.rhs.value).bit_length()))
+                elif op.op in ("or", "xor"):
+                    width = max(lhs, rhs)
+                elif op.op == "shr" and isinstance(op.rhs, Const):
+                    width = max(1, lhs - int(op.rhs.value))
+                elif op.op == "shl" and isinstance(op.rhs, Const):
+                    width = lhs + int(op.rhs.value)
+                elif op.op in ("div", "rem"):
+                    width = lhs
+            elif isinstance(op, UnOp):
+                if op.op == "not":
+                    width = 1
+                elif op.op == "neg":
+                    width = _width_of(op.src, hints) + 1
+                else:
+                    width = _width_of(op.src, hints)
+            elif isinstance(op, Assign):
+                width = _width_of(op.src, hints)
+            elif isinstance(op, Cast):
+                width = min(_width_of(op.src, hints), declared)
+            elif isinstance(op, Select):
+                width = max(_width_of(op.if_true, hints),
+                            _width_of(op.if_false, hints))
+            elif isinstance(op, Load):
+                width = _type_width(out)
+            width = max(1, min(width, declared))
+            if width < declared:
+                hints[out] = width
+    func.pragmas[WIDTH_HINTS_KEY] = hints
+    return 0
+
+
+def hinted_width(op, hints: Optional[Dict[Value, int]]) -> int:
+    """Widest effective operand width of ``op`` under the hints."""
+    from ..ir import operand_width
+    if not hints:
+        return operand_width(op)
+    widths = [1]
+    values = list(op.inputs())
+    out = op.output()
+    if out is not None:
+        values.append(out)
+    for value in values:
+        ty = value.ty
+        if isinstance(ty, (IntType, FloatType)):
+            widths.append(_width_of(value, hints)
+                          if not isinstance(ty, FloatType) else ty.width)
+    return max(widths)

@@ -1,0 +1,76 @@
+"""CFG simplification: block merging and empty-block elimination.
+
+Fewer basic blocks means fewer FSM states after scheduling, which directly
+reduces controller area — one of the costs the paper's dataflow extension
+targets for large designs.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from ..ir import Branch, Function, Jump, Module
+
+
+def _retarget(func: Function, old: str, new: str) -> int:
+    changes = 0
+    for block in func.ordered_blocks():
+        term = block.terminator
+        if isinstance(term, Jump) and term.target == old:
+            term.target = new
+            changes += 1
+        elif isinstance(term, Branch):
+            if term.if_true == old:
+                term.if_true = new
+                changes += 1
+            if term.if_false == old:
+                term.if_false = new
+                changes += 1
+    return changes
+
+
+def simplify_cfg(func: Function, module: Module = None) -> int:
+    changes = 0
+    changes += func.remove_unreachable_blocks()
+
+    # 1. Skip empty forwarding blocks (no ops, unconditional jump).
+    forward: Dict[str, str] = {}
+    for block in func.ordered_blocks():
+        if not block.ops and isinstance(block.terminator, Jump) \
+                and block.name != func.entry \
+                and block.terminator.target != block.name:
+            forward[block.name] = block.terminator.target
+    for old, new in forward.items():
+        # Resolve chains of empty blocks.
+        seen = {old}
+        while new in forward and new not in seen:
+            seen.add(new)
+            new = forward[new]
+        if new != old:
+            changes += _retarget(func, old, new)
+
+    changes += func.remove_unreachable_blocks()
+
+    # 2. Merge straight-line pairs: A jumps to B, B has exactly one pred.
+    merged = True
+    while merged:
+        merged = False
+        preds = func.predecessors()
+        for block in func.ordered_blocks():
+            term = block.terminator
+            if not isinstance(term, Jump):
+                continue
+            target_name = term.target
+            if target_name == block.name or target_name == func.entry:
+                continue
+            if len(preds.get(target_name, [])) != 1:
+                continue
+            target = func.blocks[target_name]
+            block.ops.extend(target.ops)
+            block.terminator = target.terminator
+            del func.blocks[target_name]
+            func.block_order.remove(target_name)
+            changes += 1
+            merged = True
+            break
+    return changes

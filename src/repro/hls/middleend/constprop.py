@@ -1,0 +1,142 @@
+"""Constant folding and block-local constant propagation."""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+from ..ir import (
+    Assign,
+    BinOp,
+    Branch,
+    Cast,
+    Const,
+    Function,
+    Jump,
+    Module,
+    Select,
+    UnOp,
+    Value,
+    Var,
+    eval_binop,
+    eval_unop,
+)
+from ..ir.types import FloatType, IntType
+
+
+def _as_const(value: Value, env: Dict[Value, Const]) -> Optional[Const]:
+    if isinstance(value, Const):
+        return value
+    return env.get(value)
+
+
+def _make_const(value, ty) -> Const:
+    if isinstance(ty, IntType):
+        return Const(ty.wrap(int(value)), ty)
+    if isinstance(ty, FloatType):
+        return Const(ty.round(float(value)), ty)
+    return Const(value, ty)
+
+
+def constant_propagation(func: Function, module: Module = None) -> int:
+    """Fold operations with constant inputs; propagate within blocks.
+
+    ``Var`` bindings are only trusted inside one basic block (they may be
+    redefined along other paths); ``Temp`` values are single-assignment by
+    construction so their constants hold for the whole block too.
+    """
+    changes = 0
+    for block in func.ordered_blocks():
+        env: Dict[Value, Const] = {}
+        new_ops = []
+        for op in block.ops:
+            # First rewrite inputs that are known constants.
+            for value in list(op.inputs()):
+                const = _as_const(value, env)
+                if const is not None and not isinstance(value, Const):
+                    op.replace_input(value, const)
+                    changes += 1
+            if isinstance(op, BinOp):
+                lhs = _as_const(op.lhs, env)
+                rhs = _as_const(op.rhs, env)
+                if lhs is not None and rhs is not None:
+                    result_ty = op.lhs.ty if op.is_comparison else op.dst.ty
+                    try:
+                        folded = eval_binop(op.op, lhs.value, rhs.value,
+                                            result_ty)
+                    except (ValueError, ZeroDivisionError, OverflowError):
+                        new_ops.append(op)
+                        continue
+                    const = _make_const(folded, op.dst.ty)
+                    env[op.dst] = const
+                    new_ops.append(Assign(op.dst, const))
+                    changes += 1
+                    continue
+            elif isinstance(op, UnOp):
+                src = _as_const(op.src, env)
+                if src is not None:
+                    folded = eval_unop(op.op, src.value, op.dst.ty)
+                    const = _make_const(folded, op.dst.ty)
+                    env[op.dst] = const
+                    new_ops.append(Assign(op.dst, const))
+                    changes += 1
+                    continue
+            elif isinstance(op, Cast):
+                src = _as_const(op.src, env)
+                if src is not None:
+                    if isinstance(op.dst.ty, FloatType):
+                        const = _make_const(float(src.value), op.dst.ty)
+                    else:
+                        const = _make_const(int(src.value), op.dst.ty)
+                    env[op.dst] = const
+                    new_ops.append(Assign(op.dst, const))
+                    changes += 1
+                    continue
+            elif isinstance(op, Select):
+                cond = _as_const(op.cond, env)
+                if cond is not None:
+                    chosen = op.if_true if cond.value else op.if_false
+                    chosen_const = _as_const(chosen, env)
+                    src = chosen_const if chosen_const is not None else chosen
+                    if isinstance(src, Const):
+                        env[op.dst] = _make_const(src.value, op.dst.ty)
+                    new_ops.append(Assign(op.dst, src))
+                    changes += 1
+                    continue
+            elif isinstance(op, Assign):
+                src = _as_const(op.src, env)
+                if src is not None:
+                    const = _make_const(src.value, op.dst.ty)
+                    env[op.dst] = const
+                    if not isinstance(op.src, Const) or op.src != const:
+                        op.src = const
+                        changes += 1
+                    new_ops.append(op)
+                    continue
+                # Non-constant assignment invalidates any previous binding.
+                env.pop(op.dst, None)
+                new_ops.append(op)
+                continue
+            # Any op that writes a Var/Temp invalidates stale bindings.
+            out = op.output()
+            if out is not None:
+                env.pop(out, None)
+            new_ops.append(op)
+        block.ops = new_ops
+        # Fold constant branches into jumps.
+        term = block.terminator
+        if isinstance(term, Branch):
+            cond = _as_const(term.cond, env)
+            if cond is not None:
+                target = term.if_true if cond.value else term.if_false
+                block.terminator = Jump(target)
+                changes += 1
+            elif term.if_true == term.if_false:
+                block.terminator = Jump(term.if_true)
+                changes += 1
+        elif term is not None:
+            for value in list(term.inputs()):
+                const = _as_const(value, env)
+                if const is not None and not isinstance(value, Const):
+                    term.replace_input(value, const)
+                    changes += 1
+    return changes

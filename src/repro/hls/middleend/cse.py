@@ -1,0 +1,91 @@
+"""Block-local common-subexpression elimination.
+
+Pure operations (arithmetic, casts, selects) with identical inputs are
+computed once.  Loads participate too, versioned per memory object so a
+store to the same memory invalidates prior loads; calls invalidate every
+memory they can reach (conservatively: all of them).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Tuple
+
+from ..ir import (
+    Assign,
+    BinOp,
+    Call,
+    Cast,
+    Function,
+    Load,
+    Module,
+    Select,
+    Store,
+    UnOp,
+    Value,
+)
+
+_COMMUTATIVE = {"add", "mul", "and", "or", "xor", "eq", "ne"}
+
+
+def _key(op, mem_version: Dict[str, int]):
+    """Hashable value-numbering key for a pure operation, or None."""
+    if isinstance(op, BinOp):
+        lhs, rhs = op.lhs, op.rhs
+        if op.op in _COMMUTATIVE:
+            lhs, rhs = sorted((lhs, rhs), key=repr)
+        return ("bin", op.op, lhs, rhs, op.dst.ty)
+    if isinstance(op, UnOp):
+        return ("un", op.op, op.src, op.dst.ty)
+    if isinstance(op, Cast):
+        return ("cast", op.src, op.dst.ty)
+    if isinstance(op, Select):
+        return ("sel", op.cond, op.if_true, op.if_false, op.dst.ty)
+    if isinstance(op, Load):
+        return ("load", op.mem.name, mem_version[op.mem.name], op.index)
+    return None
+
+
+def common_subexpression_elimination(func: Function,
+                                     module: Module = None) -> int:
+    changes = 0
+    for block in func.ordered_blocks():
+        available: Dict[Tuple, Value] = {}
+        mem_version: Dict[str, int] = {name: 0 for name in func.mems}
+        new_ops = []
+        for op in block.ops:
+            if isinstance(op, Store):
+                mem_version[op.mem.name] += 1
+                new_ops.append(op)
+                continue
+            if isinstance(op, Call):
+                for name in mem_version:
+                    mem_version[name] += 1
+                new_ops.append(op)
+                continue
+            key = _key(op, mem_version)
+            out = op.output()
+            inserted_key = None
+            if key is not None and out is not None and key in available \
+                    and available[key] != out:
+                new_ops.append(Assign(out, available[key]))
+                changes += 1
+            else:
+                if key is not None and out is not None:
+                    available[key] = out
+                    inserted_key = key
+                new_ops.append(op)
+            if out is not None:
+                # Redefining `out` invalidates (a) expressions computed from
+                # its old value and (b) table entries whose cached result is
+                # the old value — except the entry we just inserted.
+                stale = [k for k, v in available.items()
+                         if _uses(k, out) or (v == out and k != inserted_key)]
+                for k in stale:
+                    available.pop(k, None)
+        block.ops = new_ops
+    return changes
+
+
+def _uses(key: Tuple, value: Value) -> bool:
+    """Does a value-numbering key reference ``value`` as an input?"""
+    return any(part == value for part in key[1:])

@@ -1,0 +1,78 @@
+"""Dead-code elimination and unreachable-block removal."""
+
+from __future__ import annotations
+
+from typing import Dict, Set
+
+from ..ir import Function, Module, Value
+from ..ir.values import Temp, Var
+
+
+def remove_unreachable(func: Function, module: Module = None) -> int:
+    """Drop blocks not reachable from the entry."""
+    return func.remove_unreachable_blocks()
+
+
+def _block_liveness(func: Function) -> Dict[str, Set[Value]]:
+    """Backward liveness of Var/Temp values at each block's exit."""
+    use: Dict[str, Set[Value]] = {}
+    define: Dict[str, Set[Value]] = {}
+    for block in func.ordered_blocks():
+        used: Set[Value] = set()
+        defined: Set[Value] = set()
+        for op in block.all_ops():
+            for value in op.inputs():
+                if isinstance(value, (Var, Temp)) and value not in defined:
+                    used.add(value)
+            out = op.output()
+            if isinstance(out, (Var, Temp)):
+                defined.add(out)
+        use[block.name] = used
+        define[block.name] = defined
+
+    live_in: Dict[str, Set[Value]] = {name: set() for name in func.blocks}
+    live_out: Dict[str, Set[Value]] = {name: set() for name in func.blocks}
+    changed = True
+    while changed:
+        changed = False
+        for block in reversed(func.ordered_blocks()):
+            out_set: Set[Value] = set()
+            for succ in block.successors():
+                out_set |= live_in[succ]
+            in_set = use[block.name] | (out_set - define[block.name])
+            if out_set != live_out[block.name] or in_set != live_in[block.name]:
+                live_out[block.name] = out_set
+                live_in[block.name] = in_set
+                changed = True
+    return live_out
+
+
+def dead_code_elimination(func: Function, module: Module = None) -> int:
+    """Remove operations whose results are never used.
+
+    Temps are block-local single-assignment values, so a temp is dead when
+    nothing later in its block reads it.  Vars need the inter-block
+    liveness computed by :func:`_block_liveness`.
+    """
+    changes = 0
+    live_out = _block_liveness(func)
+    for block in func.ordered_blocks():
+        # Walk backwards tracking what is needed.
+        needed: Set[Value] = set(live_out[block.name])
+        if block.terminator is not None:
+            needed.update(v for v in block.terminator.inputs()
+                          if isinstance(v, (Var, Temp)))
+        kept = []
+        for op in reversed(block.ops):
+            out = op.output()
+            if op.has_side_effects or out is None or out in needed:
+                if out is not None:
+                    needed.discard(out)
+                needed.update(v for v in op.inputs()
+                              if isinstance(v, (Var, Temp)))
+                kept.append(op)
+            else:
+                changes += 1
+        kept.reverse()
+        block.ops = kept
+    return changes

@@ -1,0 +1,195 @@
+"""Function inlining.
+
+Functions marked ``#pragma HLS inline`` and small leaf functions are
+spliced into their callers.  Inlining removes the handshake latency of a
+sub-module call and opens the callee body to the caller's optimizations,
+at the cost of duplicated hardware — the classic HLS trade-off.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from ..ir import (
+    Assign,
+    Branch,
+    Call,
+    Function,
+    Jump,
+    Module,
+    Operation,
+    Return,
+    Value,
+)
+from ..ir.values import MemObject, Temp, Var
+
+# A function is auto-inlined when its op count is at most this and it has
+# no local memories (duplicating BRAMs is rarely profitable).
+_AUTO_INLINE_MAX_OPS = 12
+
+
+def _should_inline(callee: Function) -> bool:
+    if callee.pragmas.get("inline"):
+        return True
+    if callee.pragmas.get("dataflow"):
+        return False
+    has_local_mem = any(not m.is_param and not m.is_global
+                        for m in callee.mems.values())
+    has_calls = any(isinstance(op, Call) for op in callee.all_ops())
+    return (callee.op_count() <= _AUTO_INLINE_MAX_OPS
+            and not has_local_mem and not has_calls)
+
+
+class _Cloner:
+    """Clones callee values into the caller's namespace."""
+
+    def __init__(self, caller: Function, prefix: str,
+                 mem_map: Dict[str, MemObject]) -> None:
+        self.caller = caller
+        self.prefix = prefix
+        self.mem_map = mem_map
+        self.value_map: Dict[Value, Value] = {}
+
+    def value(self, value: Value) -> Value:
+        if value in self.value_map:
+            return self.value_map[value]
+        if isinstance(value, Var):
+            clone: Value = Var(f"{self.prefix}.{value.name}", value.type)
+        elif isinstance(value, Temp):
+            clone = self.caller.temps.new(value.type)
+        else:
+            return value  # constants
+        self.value_map[value] = clone
+        return clone
+
+    def op(self, op: Operation, label_map: Dict[str, str]) -> Operation:
+        """Rebuild ``op`` with remapped values, memories and labels.
+
+        Reconstruction (rather than in-place ``replace_input``) is
+        essential: caller temps are numbered independently of callee
+        temps, so a freshly substituted caller temp can compare equal to a
+        not-yet-substituted callee temp and be clobbered by a later
+        replacement.
+        """
+        from ..ir import Assign as IRAssign
+        from ..ir import BinOp, Cast, Load, Select, Store, UnOp
+
+        v = self.value
+        if isinstance(op, BinOp):
+            return BinOp(op.op, v(op.dst), v(op.lhs), v(op.rhs))
+        if isinstance(op, UnOp):
+            return UnOp(op.op, v(op.dst), v(op.src))
+        if isinstance(op, IRAssign):
+            return IRAssign(v(op.dst), v(op.src))
+        if isinstance(op, Cast):
+            return Cast(v(op.dst), v(op.src))
+        if isinstance(op, Select):
+            return Select(v(op.dst), v(op.cond), v(op.if_true), v(op.if_false))
+        if isinstance(op, Load):
+            return Load(v(op.dst), self.mem_map.get(op.mem.name, op.mem),
+                        v(op.index))
+        if isinstance(op, Store):
+            return Store(self.mem_map.get(op.mem.name, op.mem),
+                         v(op.index), v(op.src))
+        if isinstance(op, Call):
+            dst = None if op.dst is None else v(op.dst)
+            return Call(dst, op.callee, [v(a) for a in op.args],
+                        [self.mem_map.get(m.name, m) for m in op.mem_args])
+        if isinstance(op, Jump):
+            return Jump(label_map[op.target])
+        if isinstance(op, Branch):
+            return Branch(v(op.cond), label_map[op.if_true],
+                          label_map[op.if_false])
+        raise TypeError(f"cannot clone {op}")  # pragma: no cover
+
+
+def _inline_call(caller: Function, block_name: str, op_index: int,
+                 callee: Function, counter: int) -> None:
+    """Splice ``callee`` in place of the call at (block, index)."""
+    block = caller.blocks[block_name]
+    call = block.ops[op_index]
+    assert isinstance(call, Call)
+    prefix = f"inl{counter}.{callee.name}"
+
+    # Map callee memories: params to caller arguments, locals to fresh
+    # copies in the caller, globals shared as-is.
+    mem_map: Dict[str, MemObject] = {}
+    mem_params = callee.memory_params()
+    for param, arg_mem in zip(mem_params, call.mem_args):
+        mem_map[param.name] = arg_mem
+    for name, mem in callee.mems.items():
+        if mem.is_param or mem.is_global:
+            if mem.is_global and name not in caller.mems:
+                caller.add_mem(mem)
+            continue
+        local = MemObject(name=f"{prefix}.{name}", element=mem.element,
+                          size=mem.size, dims=mem.dims, storage=mem.storage,
+                          initializer=list(mem.initializer))
+        caller.add_mem(local)
+        mem_map[name] = local
+
+    cloner = _Cloner(caller, prefix, mem_map)
+
+    # Fresh labels for callee blocks plus a continuation label.
+    label_map = {name: f"{prefix}.{name}" for name in callee.blocks}
+    cont_name = f"{prefix}.cont"
+
+    # Continuation block: the remainder of the original block.
+    cont = caller.blocks[cont_name] = type(block)(cont_name)
+    caller.block_order.insert(caller.block_order.index(block_name) + 1,
+                              cont_name)
+    cont.ops = block.ops[op_index + 1:]
+    cont.terminator = block.terminator
+
+    # Original block: ops before the call, bind scalar args, jump in.
+    block.ops = block.ops[:op_index]
+    block.terminator = None
+    for param, arg in zip(callee.scalar_params(), call.args):
+        param_var = cloner.value(Var(param.name, param.type))
+        block.append(Assign(param_var, arg))
+    block.append(Jump(label_map[callee.entry]))
+
+    # Clone callee blocks; returns become result assignment + jump out.
+    insert_at = caller.block_order.index(cont_name)
+    for src_name in callee.block_order:
+        src = callee.blocks[src_name]
+        new_name = label_map[src_name]
+        new_block = type(block)(new_name)
+        caller.blocks[new_name] = new_block
+        caller.block_order.insert(insert_at, new_name)
+        insert_at += 1
+        for op in src.ops:
+            new_block.append(cloner.op(op, label_map))
+        term = src.terminator
+        if isinstance(term, Return):
+            if call.dst is not None and term.value is not None:
+                new_block.append(Assign(call.dst, cloner.value(term.value)))
+            new_block.append(Jump(cont_name))
+        else:
+            new_block.append(cloner.op(term, label_map))
+
+
+def inline_functions(func: Function, module: Module) -> int:
+    """Inline eligible calls inside ``func``; returns calls inlined."""
+    if module is None:
+        return 0
+    changes = 0
+    counter = 0
+    progress = True
+    while progress and counter < 64:
+        progress = False
+        for block in func.ordered_blocks():
+            for index, op in enumerate(block.ops):
+                if not isinstance(op, Call) or op.callee not in module.functions:
+                    continue
+                callee = module[op.callee]
+                if callee is func or not _should_inline(callee):
+                    continue
+                _inline_call(func, block.name, index, callee, counter)
+                counter += 1
+                changes += 1
+                progress = True
+                break
+            if progress:
+                break
+    return changes

@@ -1,0 +1,163 @@
+"""Algebraic simplification, strength reduction and copy propagation."""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+from ..ir import Assign, BinOp, Const, Function, Module, UnOp, Value
+from ..ir.types import FloatType, IntType
+from ..ir.values import Temp, Var
+
+
+def _const(value: Value) -> Optional[Const]:
+    return value if isinstance(value, Const) else None
+
+
+def _is_int_const(value: Value, expect: int) -> bool:
+    const = _const(value)
+    return (const is not None and isinstance(const.type, IntType)
+            and const.value == expect)
+
+
+def _power_of_two(value: Value) -> Optional[int]:
+    const = _const(value)
+    if const is None or not isinstance(const.type, IntType):
+        return None
+    v = const.value
+    if v > 0 and (v & (v - 1)) == 0:
+        return v.bit_length() - 1
+    return None
+
+
+def algebraic_simplification(func: Function, module: Module = None) -> int:
+    """Strength-reduce and simplify operations in place.
+
+    Rules applied (integers only unless noted):
+
+    * ``x + 0``, ``x - 0``, ``x * 1``, ``x / 1``, ``x | 0``, ``x ^ 0``,
+      ``x << 0``, ``x >> 0`` → copy;
+    * ``x * 0``, ``x & 0`` → constant 0;
+    * ``x * 2^k`` → ``x << k``; ``x / 2^k`` (unsigned) → ``x >> k``;
+      ``x % 2^k`` (unsigned) → ``x & (2^k - 1)``;
+    * ``x - x``, ``x ^ x`` → 0;  ``x & x``, ``x | x`` → copy;
+    * ``0 - x`` → ``neg x``.
+
+    Multiplier→shifter rewrites matter on the NG-ULTRA fabric because they
+    free DSP blocks (paper §II: component mapping onto actual DSPs).
+    """
+    changes = 0
+    for block in func.ordered_blocks():
+        new_ops = []
+        for op in block.ops:
+            replacement = None
+            if isinstance(op, BinOp) and isinstance(op.dst.ty, IntType):
+                replacement = _simplify_int_binop(op)
+            elif isinstance(op, BinOp) and isinstance(op.dst.ty, FloatType):
+                replacement = _simplify_float_binop(op)
+            if replacement is not None:
+                new_ops.append(replacement)
+                changes += 1
+            else:
+                new_ops.append(op)
+        block.ops = new_ops
+    return changes
+
+
+def _simplify_int_binop(op: BinOp):
+    ty = op.dst.ty
+    zero = Const(0, ty)
+    # Commutative normalization: put constants on the right.
+    if op.op in ("add", "mul", "and", "or", "xor") and \
+            isinstance(op.lhs, Const) and not isinstance(op.rhs, Const):
+        op.lhs, op.rhs = op.rhs, op.lhs
+    if op.op == "add" and _is_int_const(op.rhs, 0):
+        return Assign(op.dst, op.lhs)
+    if op.op == "sub":
+        if _is_int_const(op.rhs, 0):
+            return Assign(op.dst, op.lhs)
+        if _is_int_const(op.lhs, 0):
+            return UnOp("neg", op.dst, op.rhs)
+        if op.lhs == op.rhs and not isinstance(op.lhs, Const):
+            return Assign(op.dst, zero)
+    if op.op == "mul":
+        if _is_int_const(op.rhs, 1):
+            return Assign(op.dst, op.lhs)
+        if _is_int_const(op.rhs, 0):
+            return Assign(op.dst, zero)
+        shift = _power_of_two(op.rhs)
+        if shift is not None and shift > 0:
+            return BinOp("shl", op.dst, op.lhs, Const(shift, IntType(32, False)))
+    if op.op == "div":
+        if _is_int_const(op.rhs, 1):
+            return Assign(op.dst, op.lhs)
+        shift = _power_of_two(op.rhs)
+        if shift is not None and isinstance(ty, IntType) and not ty.signed:
+            return BinOp("shr", op.dst, op.lhs, Const(shift, IntType(32, False)))
+    if op.op == "rem":
+        shift = _power_of_two(op.rhs)
+        if shift is not None and isinstance(ty, IntType) and not ty.signed:
+            return BinOp("and", op.dst, op.lhs, Const((1 << shift) - 1, ty))
+        if _is_int_const(op.rhs, 1):
+            return Assign(op.dst, zero)
+    if op.op == "and":
+        if _is_int_const(op.rhs, 0):
+            return Assign(op.dst, zero)
+        if op.lhs == op.rhs and not isinstance(op.lhs, Const):
+            return Assign(op.dst, op.lhs)
+    if op.op == "or":
+        if _is_int_const(op.rhs, 0):
+            return Assign(op.dst, op.lhs)
+        if op.lhs == op.rhs and not isinstance(op.lhs, Const):
+            return Assign(op.dst, op.lhs)
+    if op.op == "xor":
+        if _is_int_const(op.rhs, 0):
+            return Assign(op.dst, op.lhs)
+        if op.lhs == op.rhs and not isinstance(op.lhs, Const):
+            return Assign(op.dst, zero)
+    if op.op in ("shl", "shr") and _is_int_const(op.rhs, 0):
+        return Assign(op.dst, op.lhs)
+    return None
+
+
+def _simplify_float_binop(op: BinOp):
+    # Only exact identities valid under IEEE-754 (no x+0 with -0 caveats
+    # ignored: we accept x+0.0 → x, standard for HLS fast-math-off would
+    # keep it; we document the choice and keep x*1.0 → x as well).
+    const = _const(op.rhs)
+    if const is None:
+        return None
+    if op.op == "mul" and const.value == 1.0:
+        return Assign(op.dst, op.lhs)
+    if op.op in ("add", "sub") and const.value == 0.0:
+        return Assign(op.dst, op.lhs)
+    if op.op == "div" and const.value == 1.0:
+        return Assign(op.dst, op.lhs)
+    return None
+
+
+def copy_propagation(func: Function, module: Module = None) -> int:
+    """Forward copies ``dst = src`` to later uses within the block."""
+    changes = 0
+    for block in func.ordered_blocks():
+        copies: Dict[Value, Value] = {}
+        for op in block.all_ops():
+            for value in list(op.inputs()):
+                root = value
+                seen = set()
+                while root in copies and root not in seen:
+                    seen.add(root)
+                    root = copies[root]
+                if root != value:
+                    op.replace_input(value, root)
+                    changes += 1
+            out = op.output()
+            if out is not None:
+                # The definition kills copies built on the old value.
+                copies.pop(out, None)
+                stale = [dst for dst, src in copies.items() if src == out]
+                for dst in stale:
+                    del copies[dst]
+            if isinstance(op, Assign) and isinstance(op.dst, (Var, Temp)):
+                if op.src != op.dst and op.dst.ty == op.src.ty:
+                    copies[op.dst] = op.src
+    return changes

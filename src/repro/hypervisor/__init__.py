@@ -1,0 +1,73 @@
+"""XtratuM NextGeneration hypervisor model (paper §III)."""
+
+from .config import (
+    ConfigError,
+    MemoryArea,
+    PartitionConfig,
+    Plan,
+    PortConfig,
+    PortKind,
+    SystemConfig,
+    Window,
+)
+from .health import (
+    DEFAULT_ACTION_TABLE,
+    HealthMonitor,
+    HmAction,
+    HmEvent,
+    HmLogEntry,
+)
+from .hypercalls import (
+    HYPERCALL_NAMES,
+    HypercallApi,
+    HypercallError,
+    SvcBridge,
+    XM_GET_PLAN,
+    XM_GET_TIME,
+    XM_HALT_PARTITION,
+    XM_PARTITION_STATUS,
+    XM_RAISE_HM_EVENT,
+    XM_READ_PORT,
+    XM_RESUME_PARTITION,
+    XM_SUSPEND_PARTITION,
+    XM_SWITCH_PLAN,
+    XM_WRITE_PORT,
+)
+from .ipc import IpcError, PortTable, QueuingPort, SamplingPort
+from .partition import (
+    ActivationRecord,
+    Compute,
+    EndActivation,
+    Fault,
+    Partition,
+    PartitionState,
+    ReadPort,
+    WritePort,
+)
+from .scheduler import (
+    CyclicScheduler,
+    PartitionMetrics,
+    ScheduleMetrics,
+    WindowExecution,
+)
+from .xmcf import config_from_xml, config_to_xml
+from .xtratum import HypervisorError, XtratumHypervisor
+
+__all__ = [
+    "ConfigError", "MemoryArea", "PartitionConfig", "Plan", "PortConfig",
+    "PortKind", "SystemConfig", "Window",
+    "DEFAULT_ACTION_TABLE", "HealthMonitor", "HmAction", "HmEvent",
+    "HmLogEntry",
+    "HYPERCALL_NAMES", "HypercallApi", "HypercallError", "SvcBridge",
+    "XM_GET_PLAN", "XM_GET_TIME", "XM_HALT_PARTITION",
+    "XM_PARTITION_STATUS", "XM_RAISE_HM_EVENT", "XM_READ_PORT",
+    "XM_RESUME_PARTITION", "XM_SUSPEND_PARTITION", "XM_SWITCH_PLAN",
+    "XM_WRITE_PORT",
+    "IpcError", "PortTable", "QueuingPort", "SamplingPort",
+    "ActivationRecord", "Compute", "EndActivation", "Fault", "Partition",
+    "PartitionState", "ReadPort", "WritePort",
+    "CyclicScheduler", "PartitionMetrics", "ScheduleMetrics",
+    "WindowExecution",
+    "config_from_xml", "config_to_xml",
+    "HypervisorError", "XtratumHypervisor",
+]

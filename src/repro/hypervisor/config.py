@@ -1,0 +1,183 @@
+"""XtratuM-style system configuration.
+
+XtratuM systems are statically configured: partitions, their memory
+areas, the cyclic scheduling plans and the communication ports are all
+declared up front (the XM_CF configuration of the real hypervisor).  The
+checker enforces the same global rules the real configuration compiler
+does: no overlapping windows per core, no overlapping memory areas, ports
+wired to declared partitions.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from enum import Enum
+from typing import Dict, List, Optional, Tuple
+
+
+class ConfigError(Exception):
+    pass
+
+
+class PortKind(Enum):
+    SAMPLING = "sampling"
+    QUEUING = "queuing"
+
+
+@dataclass(frozen=True)
+class MemoryArea:
+    name: str
+    base: int
+    size: int
+
+    @property
+    def end(self) -> int:
+        return self.base + self.size
+
+    def overlaps(self, other: "MemoryArea") -> bool:
+        return self.base < other.end and other.base < self.end
+
+
+@dataclass
+class PartitionConfig:
+    pid: int
+    name: str
+    memory: List[MemoryArea] = field(default_factory=list)
+    criticality: str = "DAL-B"
+    system_partition: bool = False   # may issue management hypercalls
+
+
+@dataclass
+class Window:
+    partition: int
+    core: int
+    start_us: float
+    duration_us: float
+
+    @property
+    def end_us(self) -> float:
+        return self.start_us + self.duration_us
+
+
+@dataclass
+class Plan:
+    plan_id: int
+    major_frame_us: float
+    windows: List[Window] = field(default_factory=list)
+
+    def add_window(self, partition: int, core: int, start_us: float,
+                   duration_us: float) -> Window:
+        window = Window(partition, core, start_us, duration_us)
+        self.windows.append(window)
+        return window
+
+    def windows_for_core(self, core: int) -> List[Window]:
+        return sorted((w for w in self.windows if w.core == core),
+                      key=lambda w: w.start_us)
+
+    def partition_budget_us(self, partition: int) -> float:
+        return sum(w.duration_us for w in self.windows
+                   if w.partition == partition)
+
+
+@dataclass
+class PortConfig:
+    name: str
+    kind: PortKind
+    source: int              # partition id
+    destinations: List[int]
+    depth: int = 8           # queuing ports only
+    message_words: int = 16
+
+
+@dataclass
+class SystemConfig:
+    partitions: Dict[int, PartitionConfig] = field(default_factory=dict)
+    plans: Dict[int, Plan] = field(default_factory=dict)
+    ports: Dict[str, PortConfig] = field(default_factory=dict)
+    cores: int = 4
+    context_switch_us: float = 2.0   # hypervisor overhead per window
+
+    # -- construction -------------------------------------------------------
+
+    def add_partition(self, pid: int, name: str,
+                      memory: Optional[List[MemoryArea]] = None,
+                      criticality: str = "DAL-B",
+                      system_partition: bool = False) -> PartitionConfig:
+        if pid in self.partitions:
+            raise ConfigError(f"duplicate partition id {pid}")
+        config = PartitionConfig(pid=pid, name=name,
+                                 memory=list(memory or []),
+                                 criticality=criticality,
+                                 system_partition=system_partition)
+        self.partitions[pid] = config
+        return config
+
+    def add_plan(self, plan_id: int, major_frame_us: float) -> Plan:
+        if plan_id in self.plans:
+            raise ConfigError(f"duplicate plan id {plan_id}")
+        plan = Plan(plan_id=plan_id, major_frame_us=major_frame_us)
+        self.plans[plan_id] = plan
+        return plan
+
+    def add_port(self, name: str, kind: PortKind, source: int,
+                 destinations: List[int], depth: int = 8) -> PortConfig:
+        if name in self.ports:
+            raise ConfigError(f"duplicate port {name!r}")
+        port = PortConfig(name=name, kind=kind, source=source,
+                          destinations=list(destinations), depth=depth)
+        self.ports[name] = port
+        return port
+
+    # -- validation ---------------------------------------------------------
+
+    def validate(self) -> List[str]:
+        problems: List[str] = []
+        for plan in self.plans.values():
+            for window in plan.windows:
+                if window.partition not in self.partitions:
+                    problems.append(
+                        f"plan {plan.plan_id}: window for unknown "
+                        f"partition {window.partition}")
+                if not 0 <= window.core < self.cores:
+                    problems.append(
+                        f"plan {plan.plan_id}: core {window.core} out of "
+                        f"range")
+                if window.end_us > plan.major_frame_us + 1e-9:
+                    problems.append(
+                        f"plan {plan.plan_id}: window exceeds major frame")
+            for core in range(self.cores):
+                windows = plan.windows_for_core(core)
+                for a, b in zip(windows, windows[1:]):
+                    if b.start_us < a.end_us - 1e-9:
+                        problems.append(
+                            f"plan {plan.plan_id} core {core}: windows "
+                            f"for partitions {a.partition}/{b.partition} "
+                            f"overlap")
+        for pid, partition in self.partitions.items():
+            areas = partition.memory
+            for i, a in enumerate(areas):
+                for b in areas[i + 1:]:
+                    if a.overlaps(b):
+                        problems.append(
+                            f"partition {pid}: areas {a.name}/{b.name} "
+                            f"overlap")
+        seen_areas: List[Tuple[int, MemoryArea]] = []
+        for pid, partition in self.partitions.items():
+            for area in partition.memory:
+                for other_pid, other in seen_areas:
+                    if area.overlaps(other):
+                        problems.append(
+                            f"partitions {pid} and {other_pid} share "
+                            f"memory ({area.name}/{other.name}) — spatial "
+                            f"isolation violated")
+                seen_areas.append((pid, area))
+        for name, port in self.ports.items():
+            if port.source not in self.partitions:
+                problems.append(f"port {name!r}: unknown source "
+                                f"{port.source}")
+            for dest in port.destinations:
+                if dest not in self.partitions:
+                    problems.append(f"port {name!r}: unknown destination "
+                                    f"{dest}")
+        return problems

@@ -1,0 +1,76 @@
+"""Health monitor: event classification and recovery actions.
+
+XtratuM's health monitor maps detected events (partition faults, window
+overruns, memory violations...) to configured actions.  The default table
+follows safety practice for DAL-B systems: contain the fault at partition
+level, never let it propagate.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from enum import Enum
+from typing import Dict, List, Optional
+
+
+class HmEvent(Enum):
+    PARTITION_FAULT = "partition_fault"
+    WINDOW_OVERRUN = "window_overrun"
+    MEMORY_VIOLATION = "memory_violation"
+    PORT_VIOLATION = "port_violation"
+    DEADLINE_MISS = "deadline_miss"
+    NUMERIC_ERROR = "numeric_error"
+
+
+class HmAction(Enum):
+    IGNORE = "ignore"
+    LOG = "log"
+    SUSPEND_PARTITION = "suspend"
+    RESTART_PARTITION = "restart"
+    HALT_PARTITION = "halt"
+    SYSTEM_RESET = "system_reset"
+
+
+DEFAULT_ACTION_TABLE: Dict[HmEvent, HmAction] = {
+    HmEvent.PARTITION_FAULT: HmAction.RESTART_PARTITION,
+    HmEvent.WINDOW_OVERRUN: HmAction.LOG,
+    HmEvent.MEMORY_VIOLATION: HmAction.HALT_PARTITION,
+    HmEvent.PORT_VIOLATION: HmAction.SUSPEND_PARTITION,
+    HmEvent.DEADLINE_MISS: HmAction.LOG,
+    HmEvent.NUMERIC_ERROR: HmAction.LOG,
+}
+
+
+@dataclass
+class HmLogEntry:
+    time_us: float
+    partition: Optional[int]
+    event: HmEvent
+    action: HmAction
+    detail: str = ""
+
+
+class HealthMonitor:
+    def __init__(self,
+                 table: Optional[Dict[HmEvent, HmAction]] = None) -> None:
+        self.table = dict(DEFAULT_ACTION_TABLE)
+        if table:
+            self.table.update(table)
+        self.log: List[HmLogEntry] = []
+        self.system_reset_requested = False
+
+    def report(self, time_us: float, partition: Optional[int],
+               event: HmEvent, detail: str = "") -> HmAction:
+        action = self.table.get(event, HmAction.LOG)
+        self.log.append(HmLogEntry(time_us=time_us, partition=partition,
+                                   event=event, action=action,
+                                   detail=detail))
+        if action is HmAction.SYSTEM_RESET:
+            self.system_reset_requested = True
+        return action
+
+    def events_for(self, partition: int) -> List[HmLogEntry]:
+        return [e for e in self.log if e.partition == partition]
+
+    def count(self, event: HmEvent) -> int:
+        return sum(1 for e in self.log if e.event is event)

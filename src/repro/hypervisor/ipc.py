@@ -1,0 +1,124 @@
+"""Inter-partition communication: sampling and queuing ports.
+
+ARINC-653-style semantics (what XtratuM implements): sampling ports hold
+the latest message with a validity age; queuing ports are bounded FIFOs
+whose overflow policy discards the newest message and flags the event.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Deque, Dict, List, Optional, Tuple
+
+from .config import PortConfig, PortKind
+
+
+class IpcError(Exception):
+    pass
+
+
+@dataclass
+class Message:
+    payload: object
+    timestamp_us: float
+    source: int
+
+
+class SamplingPort:
+    """Last-value semantics with freshness tracking."""
+
+    def __init__(self, config: PortConfig) -> None:
+        self.config = config
+        self.last: Optional[Message] = None
+        self.writes = 0
+        self.reads = 0
+
+    def write(self, payload: object, timestamp_us: float,
+              source: int) -> None:
+        self.last = Message(payload, timestamp_us, source)
+        self.writes += 1
+
+    def read(self, now_us: float,
+             max_age_us: Optional[float] = None
+             ) -> Tuple[Optional[object], bool]:
+        """Returns (payload or None, valid)."""
+        self.reads += 1
+        if self.last is None:
+            return None, False
+        valid = True
+        if max_age_us is not None:
+            valid = (now_us - self.last.timestamp_us) <= max_age_us
+        return self.last.payload, valid
+
+
+class QueuingPort:
+    """Bounded FIFO; overflow drops the new message and counts it."""
+
+    def __init__(self, config: PortConfig) -> None:
+        self.config = config
+        self.fifo: Deque[Message] = deque()
+        self.overflows = 0
+        self.writes = 0
+        self.reads = 0
+
+    def write(self, payload: object, timestamp_us: float,
+              source: int) -> bool:
+        self.writes += 1
+        if len(self.fifo) >= self.config.depth:
+            self.overflows += 1
+            return False
+        self.fifo.append(Message(payload, timestamp_us, source))
+        return True
+
+    def read(self) -> Optional[object]:
+        self.reads += 1
+        if not self.fifo:
+            return None
+        return self.fifo.popleft().payload
+
+    @property
+    def depth_used(self) -> int:
+        return len(self.fifo)
+
+
+class PortTable:
+    """All ports of a configured system, with access checking."""
+
+    def __init__(self) -> None:
+        self.sampling: Dict[str, SamplingPort] = {}
+        self.queuing: Dict[str, QueuingPort] = {}
+        self._configs: Dict[str, PortConfig] = {}
+
+    def create(self, config: PortConfig) -> None:
+        self._configs[config.name] = config
+        if config.kind is PortKind.SAMPLING:
+            self.sampling[config.name] = SamplingPort(config)
+        else:
+            self.queuing[config.name] = QueuingPort(config)
+
+    def _config(self, name: str) -> PortConfig:
+        if name not in self._configs:
+            raise IpcError(f"unknown port {name!r}")
+        return self._configs[name]
+
+    def write(self, name: str, partition: int, payload: object,
+              now_us: float) -> bool:
+        config = self._config(name)
+        if partition != config.source:
+            raise IpcError(
+                f"partition {partition} is not the source of {name!r}")
+        if config.kind is PortKind.SAMPLING:
+            self.sampling[name].write(payload, now_us, partition)
+            return True
+        return self.queuing[name].write(payload, now_us, partition)
+
+    def read(self, name: str, partition: int, now_us: float):
+        config = self._config(name)
+        if partition not in config.destinations:
+            raise IpcError(
+                f"partition {partition} is not a destination of {name!r}")
+        if config.kind is PortKind.SAMPLING:
+            payload, _valid = self.sampling[name].read(now_us)
+            return payload
+        return self.queuing[name].read()

@@ -1,0 +1,175 @@
+"""Partitions and their workload model.
+
+A partition's software is modelled as a generator yielding *actions*; the
+hypervisor consumes the generator inside the partition's time windows.
+This mirrors the paper's partial virtualization: partition code runs
+natively until it needs a para-virtualized service (a hypercall), where
+control returns to the hypervisor.
+
+Actions:
+
+* ``Compute(us)``        — burn CPU time (preempted at window end);
+* ``WritePort(name, m)`` — send a message (sampling or queuing);
+* ``ReadPort(name)``     — receive; the hypervisor sends the result back
+  into the generator wrapped in a 1-tuple so an empty port is
+  distinguishable: ``(payload,) = yield ReadPort("gnc")`` where payload
+  is ``None`` when nothing was available;
+* ``EndActivation()``    — this periodic activation is complete; the
+  partition idles until its next window;
+* ``Fault(reason)``      — simulated software fault (drives the HM).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from enum import Enum
+from typing import Callable, Dict, Generator, List, Optional
+
+
+class PartitionState(Enum):
+    BOOT = "boot"
+    NORMAL = "normal"
+    IDLE = "idle"          # waiting for next activation
+    SUSPENDED = "suspended"
+    HALTED = "halted"
+    FAULTED = "faulted"
+
+
+# -- workload actions ----------------------------------------------------
+
+
+@dataclass
+class Compute:
+    us: float
+
+
+@dataclass
+class WritePort:
+    port: str
+    message: object
+
+
+@dataclass
+class ReadPort:
+    port: str
+
+
+@dataclass
+class EndActivation:
+    pass
+
+
+@dataclass
+class Fault:
+    reason: str = "software fault"
+
+
+@dataclass
+class ActivationRecord:
+    """Timing of one periodic activation (for jitter/deadline metrics)."""
+
+    release_us: float        # when the activation became ready
+    start_us: float          # first CPU time it received
+    finish_us: Optional[float] = None
+
+    @property
+    def response_us(self) -> Optional[float]:
+        if self.finish_us is None:
+            return None
+        return self.finish_us - self.release_us
+
+    @property
+    def jitter_us(self) -> float:
+        return self.start_us - self.release_us
+
+
+WorkloadFactory = Callable[[], Generator]
+
+
+class Partition:
+    """Runtime state of one partition under the hypervisor."""
+
+    def __init__(self, config, workload_factory: WorkloadFactory,
+                 period_us: Optional[float] = None,
+                 deadline_us: Optional[float] = None) -> None:
+        self.config = config
+        self.workload_factory = workload_factory
+        self.period_us = period_us
+        self.deadline_us = deadline_us
+        self.state = PartitionState.BOOT
+        self.generator: Optional[Generator] = None
+        self._send_value: object = None
+        self.cpu_time_us = 0.0
+        self.activations: List[ActivationRecord] = []
+        self.pending_compute_us = 0.0
+        self.deadline_misses = 0
+        self.fault_reason: Optional[str] = None
+        self.restarts = 0
+
+    # -- lifecycle ----------------------------------------------------------
+
+    def start(self) -> None:
+        self.generator = self.workload_factory()
+        self.state = PartitionState.NORMAL
+        self._send_value = None
+
+    def restart(self) -> None:
+        """Warm restart (health-monitor action)."""
+        self.restarts += 1
+        self.pending_compute_us = 0.0
+        self.fault_reason = None
+        self.start()
+
+    def halt(self, reason: str = "") -> None:
+        self.state = PartitionState.HALTED
+        self.generator = None
+
+    def suspend(self) -> None:
+        if self.state is PartitionState.NORMAL:
+            self.state = PartitionState.SUSPENDED
+
+    def resume(self) -> None:
+        if self.state is PartitionState.SUSPENDED:
+            self.state = PartitionState.NORMAL
+
+    def fault(self, reason: str) -> None:
+        self.state = PartitionState.FAULTED
+        self.fault_reason = reason
+
+    @property
+    def runnable(self) -> bool:
+        return self.state in (PartitionState.NORMAL, PartitionState.IDLE)
+
+    # -- generator stepping ---------------------------------------------------
+
+    def next_action(self):
+        """Advance the workload to its next action (or None when done)."""
+        if self.generator is None:
+            return None
+        try:
+            if self._send_value is not None:
+                value, self._send_value = self._send_value, None
+                return self.generator.send(value)
+            return next(self.generator)
+        except StopIteration:
+            self.state = PartitionState.HALTED
+            self.generator = None
+            return None
+
+    def feed(self, value: object) -> None:
+        """Queue a value for the next ``generator.send`` (port reads)."""
+        self._send_value = value
+
+    # -- metrics ----------------------------------------------------------
+
+    def response_times(self) -> List[float]:
+        return [a.response_us for a in self.activations
+                if a.response_us is not None]
+
+    def worst_response_us(self) -> float:
+        times = self.response_times()
+        return max(times) if times else 0.0
+
+    def average_response_us(self) -> float:
+        times = self.response_times()
+        return sum(times) / len(times) if times else 0.0

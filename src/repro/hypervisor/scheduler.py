@@ -1,0 +1,252 @@
+"""Cyclic (time-partitioned) scheduling over the quad-core platform.
+
+Implements the XtratuM TSP execution model: per-core window timelines
+inside a repeating major frame, strict preemption at window boundaries,
+fixed hypervisor overhead per partition context switch, periodic
+activation accounting (release/start/finish) and health-monitor coupling.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from .config import Plan, SystemConfig, Window
+from .health import HealthMonitor, HmAction, HmEvent
+from .ipc import IpcError, PortTable
+from .partition import (
+    ActivationRecord,
+    Compute,
+    EndActivation,
+    Fault,
+    Partition,
+    PartitionState,
+    ReadPort,
+    WritePort,
+)
+
+# CPU time charged for one para-virtualized port operation.
+PORT_OP_US = 0.5
+
+
+class ScheduleRuntimeError(Exception):
+    pass
+
+
+@dataclass
+class WindowExecution:
+    window: Window
+    frame: int
+    used_us: float
+    preempted: bool
+
+
+@dataclass
+class PartitionMetrics:
+    name: str
+    cpu_time_us: float
+    activations: int
+    worst_response_us: float
+    average_response_us: float
+    max_jitter_us: float
+    deadline_misses: int
+    restarts: int
+    state: str
+
+    def row(self) -> str:
+        return (f"{self.name:<12} cpu={self.cpu_time_us:>9.1f}us "
+                f"act={self.activations:<5} wcrt={self.worst_response_us:>8.1f}us "
+                f"avg={self.average_response_us:>8.1f}us "
+                f"jitter={self.max_jitter_us:>6.1f}us "
+                f"miss={self.deadline_misses} restarts={self.restarts} "
+                f"[{self.state}]")
+
+
+@dataclass
+class ScheduleMetrics:
+    frames: int
+    major_frame_us: float
+    partitions: Dict[int, PartitionMetrics] = field(default_factory=dict)
+    hypervisor_overhead_us: float = 0.0
+    idle_us: float = 0.0
+    executions: List[WindowExecution] = field(default_factory=list)
+
+    @property
+    def total_time_us(self) -> float:
+        return self.frames * self.major_frame_us
+
+    def utilization(self, pid: int) -> float:
+        if self.total_time_us == 0:
+            return 0.0
+        return self.partitions[pid].cpu_time_us / self.total_time_us
+
+
+class CyclicScheduler:
+    """Executes one plan over the partition set."""
+
+    def __init__(self, config: SystemConfig,
+                 partitions: Dict[int, Partition],
+                 ports: PortTable,
+                 health: HealthMonitor) -> None:
+        self.config = config
+        self.partitions = partitions
+        self.ports = ports
+        self.health = health
+        self.time_us = 0.0
+        self._next_release: Dict[int, float] = {}
+        self._current_activation: Dict[int, Optional[ActivationRecord]] = {}
+        self.requested_plan: Optional[int] = None
+
+    def start_partitions(self) -> None:
+        for pid, partition in self.partitions.items():
+            partition.start()
+            self._next_release[pid] = 0.0
+            self._current_activation[pid] = None
+
+    def run(self, plan: Plan, frames: int) -> ScheduleMetrics:
+        metrics = ScheduleMetrics(frames=frames,
+                                  major_frame_us=plan.major_frame_us)
+        for frame in range(frames):
+            frame_base = self.time_us
+            # Execute windows in global start order (cores interleaved).
+            windows = sorted(plan.windows,
+                             key=lambda w: (w.start_us, w.core))
+            for window in windows:
+                self._execute_window(window, frame, frame_base, metrics)
+            self.time_us = frame_base + plan.major_frame_us
+            if self.health.system_reset_requested:
+                break
+        busy = sum(p.cpu_time_us for p in self.partitions.values())
+        metrics.idle_us = (metrics.total_time_us * self.config.cores
+                           - busy - metrics.hypervisor_overhead_us)
+        for pid, partition in self.partitions.items():
+            jitters = [a.jitter_us for a in partition.activations]
+            metrics.partitions[pid] = PartitionMetrics(
+                name=partition.config.name,
+                cpu_time_us=partition.cpu_time_us,
+                activations=len(partition.activations),
+                worst_response_us=partition.worst_response_us(),
+                average_response_us=partition.average_response_us(),
+                max_jitter_us=max(jitters) if jitters else 0.0,
+                deadline_misses=partition.deadline_misses,
+                restarts=partition.restarts,
+                state=partition.state.value)
+        return metrics
+
+    # -- window execution -----------------------------------------------------
+
+    def _execute_window(self, window: Window, frame: int, frame_base: float,
+                        metrics: ScheduleMetrics) -> None:
+        partition = self.partitions[window.partition]
+        start = frame_base + window.start_us
+        end = frame_base + window.end_us
+        overhead = min(self.config.context_switch_us, window.duration_us)
+        metrics.hypervisor_overhead_us += overhead
+        t = start + overhead
+        used = 0.0
+        preempted = False
+        if not partition.runnable:
+            metrics.executions.append(WindowExecution(window, frame, 0.0,
+                                                      False))
+            return
+        while t < end - 1e-9:
+            # Release handling for periodic partitions.
+            if self._current_activation[window.partition] is None:
+                release = self._next_release[window.partition]
+                if partition.period_us is not None and release > t + 1e-9:
+                    break  # next activation not due inside this window
+                record = ActivationRecord(release_us=release, start_us=t)
+                partition.activations.append(record)
+                self._current_activation[window.partition] = record
+            # Resume leftover compute before asking for new actions.
+            if partition.pending_compute_us > 1e-9:
+                available = end - t
+                chunk = min(partition.pending_compute_us, available)
+                t += chunk
+                partition.cpu_time_us += chunk
+                partition.pending_compute_us -= chunk
+                if partition.pending_compute_us > 1e-9:
+                    preempted = True
+                    break
+                continue
+            action = partition.next_action()
+            if action is None:
+                break  # workload generator finished -> halted
+            t, stop, preempted = self._apply_action(
+                partition, window, action, t, end)
+            if stop:
+                break
+        used = max(0.0, t - (start + overhead))
+        if partition.pending_compute_us > 1e-9:
+            self.health.report(t, window.partition, HmEvent.WINDOW_OVERRUN,
+                               f"{partition.pending_compute_us:.1f}us left")
+        metrics.executions.append(
+            WindowExecution(window, frame, max(0.0, used), preempted))
+
+    def _apply_action(self, partition: Partition, window: Window, action,
+                      t: float, end: float) -> Tuple[float, bool, bool]:
+        """Returns (new time, stop window, preempted)."""
+        pid = window.partition
+        if isinstance(action, Compute):
+            available = end - t
+            if action.us <= available:
+                partition.cpu_time_us += action.us
+                return t + action.us, False, False
+            partition.cpu_time_us += available
+            partition.pending_compute_us = action.us - available
+            return end, True, True
+        if isinstance(action, WritePort):
+            try:
+                self.ports.write(action.port, pid, action.message, t)
+            except IpcError as error:
+                self._hm(t, pid, HmEvent.PORT_VIOLATION, str(error),
+                         partition)
+                return t, True, False
+            partition.cpu_time_us += PORT_OP_US
+            return t + PORT_OP_US, False, False
+        if isinstance(action, ReadPort):
+            try:
+                value = self.ports.read(action.port, pid, t)
+            except IpcError as error:
+                self._hm(t, pid, HmEvent.PORT_VIOLATION, str(error),
+                         partition)
+                return t, True, False
+            partition.feed((value,))
+            partition.cpu_time_us += PORT_OP_US
+            return t + PORT_OP_US, False, False
+        if isinstance(action, EndActivation):
+            record = self._current_activation[pid]
+            if record is not None:
+                record.finish_us = t
+                if partition.deadline_us is not None and \
+                        record.response_us is not None and \
+                        record.response_us > partition.deadline_us + 1e-9:
+                    partition.deadline_misses += 1
+                    self.health.report(t, pid, HmEvent.DEADLINE_MISS,
+                                       f"response {record.response_us:.1f}us")
+            self._current_activation[pid] = None
+            if partition.period_us is not None:
+                release = self._next_release[pid] + partition.period_us
+                # Skip releases that are already in the past (overload).
+                while release < t - partition.period_us:
+                    release += partition.period_us
+                self._next_release[pid] = release
+                return t, release > end, False
+            return t, False, False
+        if isinstance(action, Fault):
+            self._hm(t, pid, HmEvent.PARTITION_FAULT, action.reason,
+                     partition)
+            return t, True, False
+        raise ScheduleRuntimeError(f"unknown action {action!r}")
+
+    def _hm(self, t: float, pid: int, event: HmEvent, detail: str,
+            partition: Partition) -> None:
+        action = self.health.report(t, pid, event, detail)
+        if action is HmAction.RESTART_PARTITION:
+            partition.restart()
+            self._current_activation[pid] = None
+        elif action is HmAction.HALT_PARTITION:
+            partition.halt(detail)
+        elif action is HmAction.SUSPEND_PARTITION:
+            partition.suspend()
+        # LOG / IGNORE / SYSTEM_RESET handled by the monitor itself.

@@ -1,0 +1,119 @@
+"""XM_CF: the XtratuM XML configuration format.
+
+Real XtratuM systems are configured through an XML file (XM_CF) compiled
+into a binary configuration table.  This module serializes and parses the
+:class:`SystemConfig` model in that style, so configurations can be
+stored with a mission's datapack and round-tripped through review tools.
+"""
+
+from __future__ import annotations
+
+from typing import List
+from xml.etree import ElementTree
+
+from .config import (
+    ConfigError,
+    MemoryArea,
+    Plan,
+    PortKind,
+    SystemConfig,
+)
+
+
+def config_to_xml(config: SystemConfig) -> str:
+    """Render a SystemConfig as an XM_CF-style XML document."""
+    root = ElementTree.Element(
+        "SystemDescription", version="1.0",
+        name="hermes-ngultra")
+    hw = ElementTree.SubElement(root, "HwDescription")
+    ElementTree.SubElement(
+        hw, "Processor", cores=str(config.cores),
+        contextSwitchUs=f"{config.context_switch_us}")
+
+    partitions_el = ElementTree.SubElement(root, "PartitionTable")
+    for pid in sorted(config.partitions):
+        partition = config.partitions[pid]
+        part_el = ElementTree.SubElement(
+            partitions_el, "Partition", id=str(pid), name=partition.name,
+            criticality=partition.criticality,
+            system=("yes" if partition.system_partition else "no"))
+        for area in partition.memory:
+            ElementTree.SubElement(
+                part_el, "MemoryArea", name=area.name,
+                start=f"0x{area.base:08x}", size=str(area.size))
+
+    plans_el = ElementTree.SubElement(root, "CyclicPlanTable")
+    for plan_id in sorted(config.plans):
+        plan = config.plans[plan_id]
+        plan_el = ElementTree.SubElement(
+            plans_el, "Plan", id=str(plan_id),
+            majorFrameUs=f"{plan.major_frame_us}")
+        for window in plan.windows:
+            ElementTree.SubElement(
+                plan_el, "Slot", partitionId=str(window.partition),
+                vCpuId=str(window.core), startUs=f"{window.start_us}",
+                durationUs=f"{window.duration_us}")
+
+    channels_el = ElementTree.SubElement(root, "Channels")
+    for name in sorted(config.ports):
+        port = config.ports[name]
+        ElementTree.SubElement(
+            channels_el,
+            "SamplingChannel" if port.kind is PortKind.SAMPLING
+            else "QueuingChannel",
+            name=name, source=str(port.source),
+            destinations=",".join(str(d) for d in port.destinations),
+            depth=str(port.depth))
+    ElementTree.indent(root)
+    return ElementTree.tostring(root, encoding="unicode")
+
+
+def config_from_xml(text: str) -> SystemConfig:
+    """Parse an XM_CF document back into a SystemConfig (validated)."""
+    try:
+        root = ElementTree.fromstring(text)
+    except ElementTree.ParseError as error:
+        raise ConfigError(f"malformed XM_CF document: {error}") from None
+    if root.tag != "SystemDescription":
+        raise ConfigError(f"unexpected root element {root.tag!r}")
+    processor = root.find("HwDescription/Processor")
+    config = SystemConfig(
+        cores=int(processor.get("cores", "4")),
+        context_switch_us=float(processor.get("contextSwitchUs", "2.0")))
+
+    for part_el in root.findall("PartitionTable/Partition"):
+        memory: List[MemoryArea] = []
+        for area_el in part_el.findall("MemoryArea"):
+            memory.append(MemoryArea(
+                name=area_el.get("name"),
+                base=int(area_el.get("start"), 0),
+                size=int(area_el.get("size"))))
+        config.add_partition(
+            int(part_el.get("id")), part_el.get("name"), memory,
+            criticality=part_el.get("criticality", "DAL-B"),
+            system_partition=part_el.get("system") == "yes")
+
+    for plan_el in root.findall("CyclicPlanTable/Plan"):
+        plan = config.add_plan(int(plan_el.get("id")),
+                               float(plan_el.get("majorFrameUs")))
+        for slot_el in plan_el.findall("Slot"):
+            plan.add_window(
+                int(slot_el.get("partitionId")),
+                int(slot_el.get("vCpuId")),
+                float(slot_el.get("startUs")),
+                float(slot_el.get("durationUs")))
+
+    for channel_el in root.findall("Channels/*"):
+        kind = PortKind.SAMPLING if channel_el.tag == "SamplingChannel" \
+            else PortKind.QUEUING
+        destinations = [int(d) for d in
+                        channel_el.get("destinations", "").split(",") if d]
+        config.add_port(channel_el.get("name"), kind,
+                        int(channel_el.get("source")), destinations,
+                        depth=int(channel_el.get("depth", "8")))
+
+    problems = config.validate()
+    if problems:
+        raise ConfigError("XM_CF failed validation: "
+                          + "; ".join(problems[:3]))
+    return config

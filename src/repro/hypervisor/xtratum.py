@@ -1,0 +1,128 @@
+"""XtratuM NextGeneration hypervisor facade (paper §III).
+
+"XtratuM is a bare-metal space-qualified hypervisor aimed at safe and
+efficient execution of embedded real-time systems" — this class is the
+behavioural model: it owns the static configuration, the partitions, the
+port table, the health monitor and the cyclic scheduler, and has been
+"adapted to the NG-ULTRA SoC-based board, giving support to the four
+cores provided by the board, thus enabling parallel computing".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from .config import ConfigError, Plan, SystemConfig
+from .health import HealthMonitor, HmAction, HmEvent
+from .hypercalls import HypercallApi
+from .ipc import PortTable
+from .partition import Partition, WorkloadFactory
+from .scheduler import CyclicScheduler, ScheduleMetrics
+
+
+class HypervisorError(Exception):
+    pass
+
+
+class XtratumHypervisor:
+    """One configured XtratuM instance."""
+
+    def __init__(self, config: SystemConfig,
+                 hm_table: Optional[Dict[HmEvent, HmAction]] = None) -> None:
+        problems = config.validate()
+        if problems:
+            raise HypervisorError("configuration rejected: "
+                                  + "; ".join(problems[:5]))
+        self.config = config
+        self.partitions: Dict[int, Partition] = {}
+        self.ports = PortTable()
+        for port_config in config.ports.values():
+            self.ports.create(port_config)
+        self.health = HealthMonitor(hm_table)
+        self.scheduler = CyclicScheduler(config, self.partitions,
+                                         self.ports, self.health)
+        self.api = HypercallApi(self)
+        self.active_plan_id: Optional[int] = None
+        self.requested_plan: Optional[int] = None
+        self._started = False
+
+    # -- partition management -------------------------------------------------
+
+    def load_partition(self, pid: int, workload: WorkloadFactory,
+                       period_us: Optional[float] = None,
+                       deadline_us: Optional[float] = None) -> Partition:
+        if pid not in self.config.partitions:
+            raise HypervisorError(f"partition {pid} not in configuration")
+        if pid in self.partitions:
+            raise HypervisorError(f"partition {pid} already loaded")
+        partition = Partition(self.config.partitions[pid], workload,
+                              period_us=period_us, deadline_us=deadline_us)
+        self.partitions[pid] = partition
+        return partition
+
+    def boot(self) -> None:
+        missing = [pid for pid in self.config.partitions
+                   if pid not in self.partitions]
+        if missing:
+            raise HypervisorError(
+                f"partitions without software: {missing}")
+        self.scheduler.start_partitions()
+        self._started = True
+
+    # -- execution ----------------------------------------------------------
+
+    def run(self, frames: int, plan_id: int = 0) -> ScheduleMetrics:
+        """Run ``frames`` major frames of the given plan.
+
+        Honors plan-switch requests (``XM_switch_sched_plan``) at major
+        frame boundaries, as the real scheduler does.
+        """
+        if not self._started:
+            self.boot()
+        if plan_id not in self.config.plans:
+            raise HypervisorError(f"unknown plan {plan_id}")
+        self.active_plan_id = plan_id
+        remaining = frames
+        merged: Optional[ScheduleMetrics] = None
+        while remaining > 0:
+            plan = self.config.plans[self.active_plan_id]
+            metrics = self.scheduler.run(plan, 1)
+            merged = _merge_metrics(merged, metrics)
+            remaining -= 1
+            if self.requested_plan is not None:
+                self.active_plan_id = self.requested_plan
+                self.requested_plan = None
+            if self.health.system_reset_requested:
+                break
+        assert merged is not None
+        busy = sum(p.cpu_time_us for p in self.partitions.values())
+        merged.idle_us = (merged.total_time_us * self.config.cores
+                          - busy - merged.hypervisor_overhead_us)
+        return merged
+
+    # -- reporting ------------------------------------------------------------
+
+    def summary(self, metrics: ScheduleMetrics) -> str:
+        lines = [f"XtratuM schedule report — plan {self.active_plan_id}, "
+                 f"{metrics.frames} frames x {metrics.major_frame_us}us "
+                 f"on {self.config.cores} cores"]
+        for pid in sorted(metrics.partitions):
+            lines.append("  " + metrics.partitions[pid].row())
+        lines.append(f"  hypervisor overhead: "
+                     f"{metrics.hypervisor_overhead_us:.1f}us "
+                     f"({100 * metrics.hypervisor_overhead_us / max(1e-9, metrics.total_time_us * self.config.cores):.2f}%)")
+        lines.append(f"  HM events: {len(self.health.log)}")
+        return "\n".join(lines)
+
+
+def _merge_metrics(base: Optional[ScheduleMetrics],
+                   new: ScheduleMetrics) -> ScheduleMetrics:
+    if base is None:
+        return new
+    base.frames += new.frames
+    base.hypervisor_overhead_us += new.hypervisor_overhead_us
+    base.idle_us += new.idle_us
+    base.executions.extend(new.executions)
+    base.partitions = new.partitions  # cumulative (partition objects)
+    return base

@@ -1,0 +1,58 @@
+"""Radiation-hardening substrates: ECC, TMR, integrity checks, SEU
+injection and qualification campaigns (paper §I hardening claims)."""
+
+from .campaign import (
+    Campaign,
+    CampaignError,
+    CampaignReport,
+    CrossSection,
+    InjectionResult,
+    OUTCOMES,
+)
+from .ecc import (
+    DecodeResult,
+    EccError,
+    EccMemory,
+    EccStats,
+    codeword_bits,
+    decode,
+    encode,
+)
+from .edac import (
+    IntegrityError,
+    IntegrityMap,
+    IntegrityViolation,
+    Region,
+    checksum_words,
+    crc32,
+)
+from .seu import (
+    BitstreamTarget,
+    EccMemoryTarget,
+    SeuInjector,
+    TmrMemoryTarget,
+    Upset,
+    WordMemoryTarget,
+)
+from .tmr import (
+    TmrError,
+    TmrMemory,
+    TmrRegister,
+    TmrStats,
+    VoteResult,
+    vote_bitwise,
+    vote_words,
+)
+
+__all__ = [
+    "Campaign", "CampaignError", "CampaignReport", "CrossSection",
+    "InjectionResult", "OUTCOMES",
+    "DecodeResult", "EccError", "EccMemory", "EccStats", "codeword_bits",
+    "decode", "encode",
+    "IntegrityError", "IntegrityMap", "IntegrityViolation", "Region",
+    "checksum_words", "crc32",
+    "BitstreamTarget", "EccMemoryTarget", "SeuInjector", "TmrMemoryTarget",
+    "Upset", "WordMemoryTarget",
+    "TmrError", "TmrMemory", "TmrRegister", "TmrStats", "VoteResult",
+    "vote_bitwise", "vote_words",
+]

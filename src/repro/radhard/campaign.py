@@ -1,0 +1,140 @@
+"""Fault-injection campaigns and cross-section statistics.
+
+A campaign repeatedly: (1) restores a pristine system, (2) injects one or
+more upsets, (3) runs a workload and classifies the outcome.  The
+classification follows radiation-test practice:
+
+* ``masked``     — no observable effect (upset in unused state);
+* ``corrected``  — a mitigation (ECC/TMR/scrubbing) repaired it;
+* ``detected``   — an integrity check flagged it (no silent corruption);
+* ``sdc``        — silent data corruption (wrong result, no flag);
+* ``crash``      — the workload failed to complete.
+
+``CrossSection`` converts campaign counts into the device cross-section
+numbers a beam-test report quotes.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional
+
+OUTCOMES = ("masked", "corrected", "detected", "sdc", "crash")
+
+
+class CampaignError(Exception):
+    pass
+
+
+@dataclass
+class InjectionResult:
+    run: int
+    outcome: str
+    description: str = ""
+
+    def __post_init__(self) -> None:
+        if self.outcome not in OUTCOMES:
+            raise CampaignError(f"unknown outcome {self.outcome!r}")
+
+
+@dataclass
+class CampaignReport:
+    name: str
+    runs: int
+    upsets_per_run: int
+    counts: Dict[str, int] = field(default_factory=dict)
+    results: List[InjectionResult] = field(default_factory=list)
+
+    @property
+    def total_upsets(self) -> int:
+        return self.runs * self.upsets_per_run
+
+    def rate(self, outcome: str) -> float:
+        if outcome not in OUTCOMES:
+            raise CampaignError(f"unknown outcome {outcome!r}")
+        return self.counts.get(outcome, 0) / self.runs if self.runs else 0.0
+
+    @property
+    def failure_rate(self) -> float:
+        """Fraction of runs ending in an unhandled effect (sdc or crash)."""
+        return self.rate("sdc") + self.rate("crash")
+
+    @property
+    def mitigation_effectiveness(self) -> float:
+        """Fraction of non-masked upsets that were corrected or detected."""
+        effective = self.counts.get("corrected", 0) + \
+            self.counts.get("detected", 0)
+        visible = self.runs - self.counts.get("masked", 0)
+        return effective / visible if visible else 1.0
+
+    def summary_row(self) -> str:
+        cells = "  ".join(f"{o}={self.counts.get(o, 0)}" for o in OUTCOMES)
+        return (f"{self.name:<28} runs={self.runs:<6} {cells}  "
+                f"fail={self.failure_rate:.4f}")
+
+
+class Campaign:
+    """Runs a fault-injection campaign.
+
+    ``setup``     — returns a fresh system context per run;
+    ``inject``    — performs the upset(s) on the context;
+    ``evaluate``  — runs the workload and returns an outcome string.
+    """
+
+    def __init__(self, name: str,
+                 setup: Callable[[], object],
+                 inject: Callable[[object, random.Random], str],
+                 evaluate: Callable[[object], str],
+                 upsets_per_run: int = 1) -> None:
+        self.name = name
+        self.setup = setup
+        self.inject = inject
+        self.evaluate = evaluate
+        self.upsets_per_run = upsets_per_run
+
+    def run(self, runs: int, seed: int = 1) -> CampaignReport:
+        rng = random.Random(seed)
+        report = CampaignReport(name=self.name, runs=runs,
+                                upsets_per_run=self.upsets_per_run)
+        for index in range(runs):
+            context = self.setup()
+            description = ""
+            for _ in range(self.upsets_per_run):
+                description = self.inject(context, rng)
+            outcome = self.evaluate(context)
+            result = InjectionResult(run=index, outcome=outcome,
+                                     description=description)
+            report.results.append(result)
+            report.counts[outcome] = report.counts.get(outcome, 0) + 1
+        return report
+
+
+@dataclass
+class CrossSection:
+    """Beam-test style cross-section computation.
+
+    ``sigma = events / fluence`` with fluence in particles/cm².  The
+    per-bit cross-section divides by the sensitive bit count.
+    """
+
+    events: int
+    fluence_per_cm2: float
+    sensitive_bits: int = 0
+
+    @property
+    def device_cm2(self) -> float:
+        if self.fluence_per_cm2 <= 0:
+            raise CampaignError("fluence must be positive")
+        return self.events / self.fluence_per_cm2
+
+    @property
+    def per_bit_cm2(self) -> float:
+        if self.sensitive_bits <= 0:
+            raise CampaignError("sensitive bit count required")
+        return self.device_cm2 / self.sensitive_bits
+
+    def expected_upsets_in_orbit(self, flux_per_cm2_per_day: float,
+                                 days: float) -> float:
+        """Predicted on-orbit upsets for a given environment flux."""
+        return self.device_cm2 * flux_per_cm2_per_day * days

@@ -1,0 +1,103 @@
+"""Memory-integrity checking (EDAC region checksums).
+
+The NG-ULTRA hardening includes "memory integrity checks which are
+completely transparent to the application developer" (paper §I) and BL1
+performs "management of integrity of deployed software" (paper §IV).
+This module provides the integrity primitives both use: CRC32-protected
+regions with periodic verification and a region table ("integrity map")
+covering a memory space.
+"""
+
+from __future__ import annotations
+
+import zlib
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+
+class IntegrityError(Exception):
+    pass
+
+
+def crc32(data: bytes) -> int:
+    return zlib.crc32(data) & 0xFFFFFFFF
+
+
+def checksum_words(words: Sequence[int], width: int = 32) -> int:
+    """CRC32 over a word sequence (little-endian byte serialization)."""
+    stride = (width + 7) // 8
+    raw = b"".join((w & ((1 << width) - 1)).to_bytes(stride, "little")
+                   for w in words)
+    return crc32(raw)
+
+
+@dataclass
+class Region:
+    name: str
+    base: int
+    size: int               # words
+    reference_crc: int = 0
+
+    @property
+    def end(self) -> int:
+        return self.base + self.size
+
+
+@dataclass
+class IntegrityViolation:
+    region: str
+    expected_crc: int
+    actual_crc: int
+
+
+class IntegrityMap:
+    """Region table with reference checksums over a backing memory.
+
+    The backing memory is any object indexable by word address (a list,
+    an :class:`~repro.radhard.ecc.EccMemory` facade, a SoC RAM model...).
+    """
+
+    def __init__(self, backing: Sequence[int]) -> None:
+        self._backing = backing
+        self.regions: Dict[str, Region] = {}
+
+    def add_region(self, name: str, base: int, size: int) -> Region:
+        if name in self.regions:
+            raise IntegrityError(f"duplicate region {name!r}")
+        if base < 0 or size <= 0 or base + size > len(self._backing):
+            raise IntegrityError(f"region {name!r} outside memory")
+        for other in self.regions.values():
+            if base < other.end and other.base < base + size:
+                raise IntegrityError(
+                    f"region {name!r} overlaps {other.name!r}")
+        region = Region(name=name, base=base, size=size)
+        region.reference_crc = self._compute(region)
+        self.regions[name] = region
+        return region
+
+    def _compute(self, region: Region) -> int:
+        return checksum_words(
+            [self._backing[a] for a in range(region.base, region.end)])
+
+    def reseal(self, name: str) -> None:
+        """Refresh the reference CRC after a legitimate update."""
+        region = self._get(name)
+        region.reference_crc = self._compute(region)
+
+    def verify(self, name: Optional[str] = None) -> List[IntegrityViolation]:
+        """Check one region (or all); returns the violations found."""
+        regions = [self._get(name)] if name else list(self.regions.values())
+        violations = []
+        for region in regions:
+            actual = self._compute(region)
+            if actual != region.reference_crc:
+                violations.append(IntegrityViolation(
+                    region=region.name,
+                    expected_crc=region.reference_crc,
+                    actual_crc=actual))
+        return violations
+
+    def _get(self, name: str) -> Region:
+        if name not in self.regions:
+            raise IntegrityError(f"unknown region {name!r}")
+        return self.regions[name]

@@ -1,0 +1,55 @@
+"""NG-ULTRA processing-system model: R52-lite cores, memory map, MPU,
+peripherals and SpaceWire (paper Fig. 1 and §IV)."""
+
+from .coverage import BranchRecord, CoverageTracer
+from .cpu import (
+    CoreState,
+    CpuError,
+    MemoryFault,
+    R52Core,
+    assemble,
+    disassemble,
+)
+from .memory import (
+    DDR_BASE,
+    EROM_BASE,
+    FLASH_A_BASE,
+    FLASH_B_BASE,
+    PERIPH_BASE,
+    SRAM_BASE,
+    TCM_BASE,
+    EccSram,
+    Mpu,
+    MpuRegion,
+    SystemBus,
+    WordArray,
+    default_mpu_regions,
+)
+from .peripherals import (
+    DdrController,
+    EFpgaConfigPort,
+    FlashController,
+    PeripheralFile,
+    Pll,
+    Watchdog,
+)
+from .soc import CPU_MHZ, NUM_CORES, NgUltraSoc
+from .spacewire import (
+    GroundSupportNode,
+    Packet,
+    SpaceWireError,
+    SpaceWireLink,
+)
+
+__all__ = [
+    "BranchRecord", "CoverageTracer",
+    "CoreState", "CpuError", "MemoryFault", "R52Core", "assemble",
+    "disassemble",
+    "DDR_BASE", "EROM_BASE", "FLASH_A_BASE", "FLASH_B_BASE", "PERIPH_BASE",
+    "SRAM_BASE", "TCM_BASE", "EccSram", "Mpu", "MpuRegion", "SystemBus",
+    "WordArray", "default_mpu_regions",
+    "DdrController", "EFpgaConfigPort", "FlashController", "PeripheralFile",
+    "Pll", "Watchdog",
+    "CPU_MHZ", "NUM_CORES", "NgUltraSoc",
+    "GroundSupportNode", "Packet", "SpaceWireError", "SpaceWireLink",
+]

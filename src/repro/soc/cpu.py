@@ -1,0 +1,375 @@
+"""R52-lite: a 32-bit RISC core model standing in for the ARM Cortex-R52.
+
+The NG-ULTRA processing system integrates a quad-core Cortex-R52 at
+600 MHz (paper Fig. 1).  The boot chain and hypervisor interact with the
+cores through registers, privilege levels, exceptions and the memory map —
+all modelled here.  The ISA is a compact ARM-flavoured RISC with an
+assembler, so boot-loader hand-off can be demonstrated by actually
+executing loaded binaries.
+
+Instruction set (all 32-bit words)::
+
+    MOV  rd, rs         ADD/SUB/MUL/AND/ORR/EOR rd, ra, rb
+    MOVI rd, #imm16     ADDI rd, ra, #imm12 (signed)
+    LSL/LSR rd, ra, rb  CMP ra, rb
+    LDR rd, [ra, #off]  STR rs, [ra, #off]
+    B label | BEQ | BNE | BLT | BGE | BL label | BX rs
+    SVC #imm8           HALT        NOP
+
+Flags: Z and N from CMP.  r13 = sp, r14 = lr, r15 = pc.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass, field
+from enum import Enum
+from typing import Callable, Dict, List, Optional, Tuple
+
+WORD = 4
+NUM_REGS = 16
+SP, LR, PC = 13, 14, 15
+
+_OPCODES = {
+    "NOP": 0x00, "MOV": 0x01, "MOVI": 0x02, "ADD": 0x03, "SUB": 0x04,
+    "MUL": 0x05, "AND": 0x06, "ORR": 0x07, "EOR": 0x08, "LSL": 0x09,
+    "LSR": 0x0A, "ADDI": 0x0B, "CMP": 0x0C, "LDR": 0x0D, "STR": 0x0E,
+    "B": 0x0F, "BEQ": 0x10, "BNE": 0x11, "BLT": 0x12, "BGE": 0x13,
+    "BL": 0x14, "BX": 0x15, "SVC": 0x16, "HALT": 0x17,
+}
+_MNEMONICS = {v: k for k, v in _OPCODES.items()}
+
+
+class CpuError(Exception):
+    pass
+
+
+class MemoryFault(CpuError):
+    """Raised by the bus/MPU on an illegal access."""
+
+    def __init__(self, address: int, access: str) -> None:
+        super().__init__(f"memory fault: {access} at 0x{address:08x}")
+        self.address = address
+        self.access = access
+
+
+class CoreState(Enum):
+    RESET = "reset"
+    RUNNING = "running"
+    HALTED = "halted"
+    WFI = "wfi"          # waiting (released by another core / event)
+    FAULTED = "faulted"
+
+
+# -- assembler ---------------------------------------------------------------
+
+_LABEL_RE = re.compile(r"^([A-Za-z_]\w*):\s*(.*)$")
+_REG_RE = re.compile(r"^r(\d+)$|^(sp|lr|pc)$", re.IGNORECASE)
+
+
+def _parse_reg(token: str) -> int:
+    match = _REG_RE.match(token.strip())
+    if not match:
+        raise CpuError(f"bad register {token!r}")
+    if match.group(1) is not None:
+        index = int(match.group(1))
+        if not 0 <= index < NUM_REGS:
+            raise CpuError(f"register out of range: {token}")
+        return index
+    return {"sp": SP, "lr": LR, "pc": PC}[match.group(2).lower()]
+
+
+def _parse_imm(token: str) -> int:
+    token = token.strip()
+    if token.startswith("#"):
+        token = token[1:]
+    return int(token, 0)
+
+
+def assemble(source: str, base_address: int = 0) -> List[int]:
+    """Two-pass assembler; returns a list of instruction words."""
+    lines: List[Tuple[str, List[str]]] = []
+    labels: Dict[str, int] = {}
+    address = base_address
+    for raw in source.splitlines():
+        line = raw.split(";")[0].split("//")[0].strip()
+        if not line:
+            continue
+        match = _LABEL_RE.match(line)
+        if match:
+            labels[match.group(1)] = address
+            line = match.group(2).strip()
+            if not line:
+                continue
+        parts = line.replace(",", " ").split()
+        mnemonic = parts[0].upper()
+        if mnemonic == ".WORD":
+            lines.append((".WORD", parts[1:]))
+            address += WORD * len(parts[1:])
+            continue
+        if mnemonic not in _OPCODES:
+            raise CpuError(f"unknown mnemonic {mnemonic!r}")
+        lines.append((mnemonic, parts[1:]))
+        address += WORD
+
+    words: List[int] = []
+    address = base_address
+
+    def encode(opcode: int, rd: int = 0, ra: int = 0, rb: int = 0,
+               imm: int = 0) -> int:
+        return ((opcode & 0xFF) << 24 | (rd & 0xF) << 20 | (ra & 0xF) << 16
+                | (rb & 0xF) << 12 | (imm & 0xFFF))
+
+    def encode_imm16(opcode: int, rd: int, imm: int) -> int:
+        return ((opcode & 0xFF) << 24 | (rd & 0xF) << 20
+                | (imm & 0xFFFF))
+
+    for mnemonic, args in lines:
+        if mnemonic == ".WORD":
+            for token in args:
+                words.append(_parse_imm(token) & 0xFFFFFFFF)
+                address += WORD
+            continue
+        opcode = _OPCODES[mnemonic]
+        if mnemonic == "NOP" or mnemonic == "HALT":
+            words.append(encode(opcode))
+        elif mnemonic == "MOV":
+            words.append(encode(opcode, _parse_reg(args[0]),
+                                _parse_reg(args[1])))
+        elif mnemonic == "MOVI":
+            words.append(encode_imm16(opcode, _parse_reg(args[0]),
+                                      _parse_imm(args[1])))
+        elif mnemonic in ("ADD", "SUB", "MUL", "AND", "ORR", "EOR",
+                          "LSL", "LSR"):
+            words.append(encode(opcode, _parse_reg(args[0]),
+                                _parse_reg(args[1]), _parse_reg(args[2])))
+        elif mnemonic == "ADDI":
+            words.append(encode(opcode, _parse_reg(args[0]),
+                                _parse_reg(args[1]),
+                                imm=_parse_imm(args[2]) & 0xFFF))
+        elif mnemonic == "CMP":
+            words.append(encode(opcode, 0, _parse_reg(args[0]),
+                                _parse_reg(args[1])))
+        elif mnemonic in ("LDR", "STR"):
+            # Syntax: LDR rd, [ra, #off]  (offset optional)
+            joined = " ".join(args)
+            match = re.match(
+                r"(\S+)\s*\[\s*(\S+?)\s*(?:#?(-?\w+)\s*)?\]", joined)
+            if not match:
+                raise CpuError(f"bad memory operand: {joined!r}")
+            rd = _parse_reg(match.group(1))
+            ra = _parse_reg(match.group(2))
+            offset = int(match.group(3), 0) if match.group(3) else 0
+            words.append(encode(opcode, rd, ra, imm=offset & 0xFFF))
+        elif mnemonic in ("B", "BEQ", "BNE", "BLT", "BGE", "BL"):
+            target = args[0]
+            if target in labels:
+                disp = (labels[target] - (address + WORD)) // WORD
+            else:
+                disp = _parse_imm(target)
+            words.append(encode(opcode, imm=disp & 0xFFF))
+        elif mnemonic == "BX":
+            words.append(encode(opcode, 0, _parse_reg(args[0])))
+        elif mnemonic == "SVC":
+            words.append(encode(opcode, imm=_parse_imm(args[0]) & 0xFF))
+        else:  # pragma: no cover
+            raise CpuError(f"unhandled mnemonic {mnemonic}")
+        address += WORD
+    return words
+
+
+def disassemble(word: int) -> str:
+    opcode = (word >> 24) & 0xFF
+    mnemonic = _MNEMONICS.get(opcode, "???")
+    rd = (word >> 20) & 0xF
+    ra = (word >> 16) & 0xF
+    rb = (word >> 12) & 0xF
+    imm = word & 0xFFF
+    if mnemonic in ("NOP", "HALT"):
+        return mnemonic
+    if mnemonic == "MOVI":
+        return f"MOVI r{rd}, #{word & 0xFFFF}"
+    if mnemonic == "MOV":
+        return f"MOV r{rd}, r{ra}"
+    if mnemonic == "CMP":
+        return f"CMP r{ra}, r{rb}"
+    if mnemonic in ("LDR", "STR"):
+        return f"{mnemonic} r{rd}, [r{ra}, #{imm}]"
+    if mnemonic in ("B", "BEQ", "BNE", "BLT", "BGE", "BL"):
+        disp = imm if imm < 0x800 else imm - 0x1000
+        return f"{mnemonic} {disp:+d}"
+    if mnemonic == "BX":
+        return f"BX r{ra}"
+    if mnemonic == "SVC":
+        return f"SVC #{imm & 0xFF}"
+    if mnemonic == "ADDI":
+        return f"ADDI r{rd}, r{ra}, #{imm}"
+    return f"{mnemonic} r{rd}, r{ra}, r{rb}"
+
+
+# -- core --------------------------------------------------------------------
+
+
+class R52Core:
+    """One R52-lite core connected to a bus.
+
+    ``bus`` must expose ``read_word(address, core)`` and
+    ``write_word(address, value, core)`` and may raise
+    :class:`MemoryFault`.  ``svc_handler(core, imm)`` services SVC traps
+    (the hypervisor / boot firmware hook).
+    """
+
+    def __init__(self, core_id: int, bus,
+                 svc_handler: Optional[Callable] = None) -> None:
+        self.core_id = core_id
+        self.bus = bus
+        self.svc_handler = svc_handler
+        self.regs = [0] * NUM_REGS
+        self.flag_z = False
+        self.flag_n = False
+        self.state = CoreState.RESET
+        self.cycles = 0
+        self.privileged = True
+        self.fault_reason: Optional[str] = None
+        # Instrumentation hooks (coverage/trace tooling, see coverage.py).
+        self.pc_hook: Optional[Callable] = None
+        self.branch_hook: Optional[Callable] = None
+
+    def reset(self, entry_point: int = 0) -> None:
+        self.regs = [0] * NUM_REGS
+        self.regs[PC] = entry_point
+        self.flag_z = False
+        self.flag_n = False
+        self.state = CoreState.RUNNING
+        self.cycles = 0
+        self.fault_reason = None
+
+    def release(self, entry_point: int) -> None:
+        """Secondary-core release (BL2 deploys itself on all cores)."""
+        self.regs[PC] = entry_point
+        self.state = CoreState.RUNNING
+
+    def step(self) -> None:
+        """Execute one instruction."""
+        if self.state is not CoreState.RUNNING:
+            return
+        pc = self.regs[PC]
+        try:
+            word = self.bus.read_word(pc, self)
+        except MemoryFault as fault:
+            self._fault(str(fault))
+            return
+        if self.pc_hook is not None:
+            self.pc_hook(self, pc, word)
+        self.regs[PC] = (pc + WORD) & 0xFFFFFFFF
+        self.cycles += 1
+        try:
+            self._execute(word)
+        except MemoryFault as fault:
+            self._fault(str(fault))
+
+    def run(self, max_steps: int = 1_000_000) -> int:
+        """Run until HALT/fault/WFI; returns executed steps."""
+        steps = 0
+        while self.state is CoreState.RUNNING and steps < max_steps:
+            self.step()
+            steps += 1
+        return steps
+
+    def _fault(self, reason: str) -> None:
+        self.state = CoreState.FAULTED
+        self.fault_reason = reason
+
+    def _set_flags(self, value: int) -> None:
+        value &= 0xFFFFFFFF
+        self.flag_z = value == 0
+        self.flag_n = bool(value & 0x80000000)
+
+    def _execute(self, word: int) -> None:
+        opcode = (word >> 24) & 0xFF
+        mnemonic = _MNEMONICS.get(opcode)
+        if mnemonic is None:
+            self._fault(f"undefined instruction 0x{word:08x}")
+            return
+        rd = (word >> 20) & 0xF
+        ra = (word >> 16) & 0xF
+        rb = (word >> 12) & 0xF
+        imm12 = word & 0xFFF
+        simm12 = imm12 if imm12 < 0x800 else imm12 - 0x1000
+        regs = self.regs
+        if mnemonic == "NOP":
+            return
+        if mnemonic == "HALT":
+            self.state = CoreState.HALTED
+            return
+        if mnemonic == "MOV":
+            regs[rd] = regs[ra]
+            return
+        if mnemonic == "MOVI":
+            regs[rd] = word & 0xFFFF
+            return
+        if mnemonic == "ADDI":
+            regs[rd] = (regs[ra] + simm12) & 0xFFFFFFFF
+            return
+        if mnemonic in ("ADD", "SUB", "MUL", "AND", "ORR", "EOR",
+                        "LSL", "LSR"):
+            a, b = regs[ra], regs[rb]
+            if mnemonic == "ADD":
+                result = a + b
+            elif mnemonic == "SUB":
+                result = a - b
+            elif mnemonic == "MUL":
+                result = a * b
+            elif mnemonic == "AND":
+                result = a & b
+            elif mnemonic == "ORR":
+                result = a | b
+            elif mnemonic == "EOR":
+                result = a ^ b
+            elif mnemonic == "LSL":
+                result = a << (b & 31)
+            else:
+                result = (a & 0xFFFFFFFF) >> (b & 31)
+            regs[rd] = result & 0xFFFFFFFF
+            return
+        if mnemonic == "CMP":
+            diff = (regs[ra] - regs[rb]) & 0xFFFFFFFF
+            self._set_flags(diff)
+            return
+        if mnemonic == "LDR":
+            address = (regs[ra] + simm12) & 0xFFFFFFFF
+            regs[rd] = self.bus.read_word(address, self)
+            self.cycles += 1
+            return
+        if mnemonic == "STR":
+            address = (regs[ra] + simm12) & 0xFFFFFFFF
+            self.bus.write_word(address, regs[rd], self)
+            self.cycles += 1
+            return
+        if mnemonic in ("B", "BEQ", "BNE", "BLT", "BGE", "BL"):
+            take = True
+            if mnemonic == "BEQ":
+                take = self.flag_z
+            elif mnemonic == "BNE":
+                take = not self.flag_z
+            elif mnemonic == "BLT":
+                take = self.flag_n
+            elif mnemonic == "BGE":
+                take = not self.flag_n
+            if self.branch_hook is not None and mnemonic != "B":
+                self.branch_hook(self, (regs[PC] - WORD) & 0xFFFFFFFF, take)
+            if take:
+                if mnemonic == "BL":
+                    regs[LR] = regs[PC]
+                regs[PC] = (regs[PC] + simm12 * WORD) & 0xFFFFFFFF
+            return
+        if mnemonic == "BX":
+            regs[PC] = regs[ra] & 0xFFFFFFFF
+            return
+        if mnemonic == "SVC":
+            if self.svc_handler is not None:
+                self.svc_handler(self, imm12 & 0xFF)
+            else:
+                self._fault(f"SVC #{imm12 & 0xFF} with no handler")
+            return
+        self._fault(f"unhandled {mnemonic}")  # pragma: no cover

@@ -1,0 +1,101 @@
+"""The NG-ULTRA SoC model: quad R52-lite cores plus the platform devices.
+
+This is the executable platform the boot chain (``repro.boot``) and the
+hypervisor (``repro.hypervisor``) run against; Fig. 1 of the paper in
+object form.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional
+
+from .cpu import CoreState, R52Core
+from .memory import (
+    DDR_WORDS,
+    EROM_WORDS,
+    SRAM_WORDS,
+    TCM_WORDS,
+    EccSram,
+    SystemBus,
+    WordArray,
+)
+from .peripherals import (
+    DdrController,
+    EFpgaConfigPort,
+    FlashController,
+    PeripheralFile,
+    Pll,
+    Watchdog,
+)
+from .spacewire import GroundSupportNode, SpaceWireLink
+
+NUM_CORES = 4
+CPU_MHZ = 600
+
+
+class NgUltraSoc:
+    """One NG-ULTRA SoC instance."""
+
+    def __init__(self, svc_handler: Optional[Callable] = None) -> None:
+        # Memories.
+        self.erom = WordArray(EROM_WORDS, read_only=True)
+        self.tcm = WordArray(TCM_WORDS)
+        self.sram = EccSram(SRAM_WORDS)
+        self.ddr = WordArray(DDR_WORDS)
+        # Controllers / peripherals.
+        self.pll = Pll("sys_pll")
+        self.ddr_controller = DdrController()
+        self.flash_controller = FlashController()
+        self.watchdog = Watchdog()
+        self.efpga = EFpgaConfigPort()
+        self.spacewire = SpaceWireLink()
+        self.peripheral_file = PeripheralFile(self)
+        # Bus and cores.
+        self.bus = SystemBus(self)
+        self.cores = [R52Core(i, self.bus, svc_handler)
+                      for i in range(NUM_CORES)]
+
+    # -- platform helpers ---------------------------------------------------
+
+    def load_erom(self, words: List[int]) -> None:
+        """Factory programming of the BL0 ROM image."""
+        self.erom.read_only = False
+        self.erom.load(words)
+        self.erom.read_only = True
+
+    def attach_ground_node(self) -> GroundSupportNode:
+        node = GroundSupportNode()
+        self.spacewire.attach(node)
+        return node
+
+    def master_core(self) -> R52Core:
+        return self.cores[0]
+
+    def secondary_cores(self) -> List[R52Core]:
+        return self.cores[1:]
+
+    def release_secondaries(self, entry_point: int) -> None:
+        """BL2 deploys itself on all the available processor cores."""
+        for core in self.secondary_cores():
+            core.release(entry_point)
+
+    def run_core(self, core_id: int, max_steps: int = 1_000_000) -> int:
+        return self.cores[core_id].run(max_steps)
+
+    def run_all(self, max_steps: int = 1_000_000) -> Dict[int, int]:
+        """Round-robin step all running cores (simple SMP interleave)."""
+        steps = {core.core_id: 0 for core in self.cores}
+        for _ in range(max_steps):
+            progressed = False
+            for core in self.cores:
+                if core.state is CoreState.RUNNING:
+                    core.step()
+                    steps[core.core_id] += 1
+                    progressed = True
+            if not progressed:
+                break
+        return steps
+
+    def cycles_to_us(self, cycles: int) -> float:
+        return cycles / CPU_MHZ

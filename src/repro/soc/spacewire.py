@@ -1,0 +1,141 @@
+"""SpaceWire link and remote-boot protocol.
+
+BL0 can fetch BL1 "remotely from the SpaceWire bus" and BL1 can receive
+its load list "remotely ... from SpaceWire following a custom protocol"
+(paper §IV).  The model provides a byte-packet link between the SoC and a
+ground-support node, plus that custom request/response protocol:
+
+    request  = [OP_REQUEST, object_id]
+    response = [OP_DATA, object_id, length, payload..., crc32]
+    error    = [OP_NAK, object_id]
+"""
+
+from __future__ import annotations
+
+import zlib
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Deque, Dict, List, Optional
+
+OP_REQUEST = 0x01
+OP_DATA = 0x02
+OP_NAK = 0x03
+
+
+class SpaceWireError(Exception):
+    pass
+
+
+@dataclass
+class Packet:
+    words: List[int]
+
+
+class SpaceWireLink:
+    """Bidirectional packet link with word FIFOs on the SoC side."""
+
+    def __init__(self, connected: bool = True) -> None:
+        self.connected = connected
+        self.tx_fifo: Deque[int] = deque()     # SoC -> remote (current pkt)
+        self.rx_fifo: Deque[int] = deque()     # remote -> SoC
+        self.remote: Optional["GroundSupportNode"] = None
+        self.tx_packets = 0
+        self.rx_packets = 0
+
+    def attach(self, remote: "GroundSupportNode") -> None:
+        self.remote = remote
+        remote.link = self
+
+    # -- SoC register-level interface --------------------------------------
+
+    def write_tx_word(self, word: int) -> None:
+        """Words accumulate until the EOP marker (top bit set)."""
+        if not self.connected:
+            return
+        self.tx_fifo.append(word & 0x7FFFFFFF)
+        if word & 0x80000000:
+            packet = Packet(list(self.tx_fifo))
+            self.tx_fifo.clear()
+            self.tx_packets += 1
+            if self.remote is not None:
+                self.remote.receive(packet)
+
+    def read_rx_word(self) -> int:
+        if not self.rx_fifo:
+            return 0
+        return self.rx_fifo.popleft()
+
+    def status_word(self) -> int:
+        link_up = 1 if self.connected else 0
+        rx_ready = 2 if self.rx_fifo else 0
+        return link_up | rx_ready
+
+    # -- remote side -------------------------------------------------------
+
+    def deliver_to_soc(self, packet: Packet) -> None:
+        self.rx_packets += 1
+        self.rx_fifo.extend(packet.words)
+
+    # -- convenience protocol helpers (used by boot firmware models) -------
+
+    def send_request(self, object_id: int) -> None:
+        self.write_tx_word(OP_REQUEST)
+        self.write_tx_word(0x80000000 | object_id)
+
+    def receive_object(self, expected_id: int,
+                       max_polls: int = 1_000_000) -> List[int]:
+        """Blocking read of one DATA response; validates CRC."""
+        words = []
+        polls = 0
+        def next_word() -> int:
+            nonlocal polls
+            while not self.rx_fifo:
+                polls += 1
+                if polls > max_polls:
+                    raise SpaceWireError("timeout waiting for response")
+            return self.rx_fifo.popleft()
+
+        op = next_word()
+        object_id = next_word()
+        if op == OP_NAK:
+            raise SpaceWireError(f"remote NAK for object {object_id}")
+        if op != OP_DATA or object_id != expected_id:
+            raise SpaceWireError(
+                f"protocol error: op={op} id={object_id}")
+        length = next_word()
+        payload = [next_word() for _ in range(length)]
+        crc = next_word()
+        actual = _crc_words(payload)
+        if crc != actual:
+            raise SpaceWireError("payload CRC mismatch")
+        return payload
+
+
+def _crc_words(words: List[int]) -> int:
+    raw = b"".join((w & 0xFFFFFFFF).to_bytes(4, "little") for w in words)
+    return zlib.crc32(raw) & 0xFFFFFFFF
+
+
+class GroundSupportNode:
+    """The EGSE/ground node serving boot objects over SpaceWire."""
+
+    def __init__(self) -> None:
+        self.objects: Dict[int, List[int]] = {}
+        self.link: Optional[SpaceWireLink] = None
+        self.requests_served = 0
+
+    def host_object(self, object_id: int, words: List[int]) -> None:
+        self.objects[object_id] = [w & 0xFFFFFFFF for w in words]
+
+    def receive(self, packet: Packet) -> None:
+        if not packet.words or packet.words[0] != OP_REQUEST:
+            return
+        object_id = packet.words[1] if len(packet.words) > 1 else -1
+        if object_id not in self.objects:
+            self.link.deliver_to_soc(Packet([OP_NAK, object_id]))
+            return
+        payload = self.objects[object_id]
+        response = [OP_DATA, object_id, len(payload)] + payload + \
+            [_crc_words(payload)]
+        self.requests_served += 1
+        self.link.deliver_to_soc(Packet(response))

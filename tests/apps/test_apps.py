@@ -1,0 +1,308 @@
+"""Tests for the use-case applications: C kernels vs references, AOCS,
+VBN, EOR and the virtualized mission."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.apps import ai, aocs, eor, image, mission, sdr, vbn
+from repro.hls import compile_to_ir
+from repro.hls.ir.interp import run_function
+
+
+def run_kernel(source, func, args=(), mems=None):
+    module = compile_to_ir(source)
+    result, memories = run_function(module, func, args, mems)
+    return result, {k: v.data for k, v in memories.items()}
+
+
+class TestImageKernels:
+    def test_conv2d_matches_reference(self):
+        frame = image.synthetic_frame(seed=1)
+        kernel = np.array([[1, 2, 1], [2, 4, 2], [1, 2, 1]])
+        expected = image.conv2d_reference(frame, kernel, shift=4)
+        _, mems = run_kernel(image.CONV2D_3X3_C, "conv2d", (4,), {
+            "src": frame.flatten().tolist(),
+            "dst": [0] * frame.size,
+            "kernel": kernel.flatten().tolist(),
+        })
+        assert mems["dst"] == expected.flatten().tolist()
+
+    def test_sobel_matches_reference(self):
+        frame = image.synthetic_frame(seed=2)
+        expected = image.sobel_reference(frame)
+        _, mems = run_kernel(image.SOBEL_C, "sobel", (), {
+            "src": frame.flatten().tolist(),
+            "dst": [0] * frame.size,
+        })
+        assert mems["dst"] == expected.flatten().tolist()
+
+    def test_median3_matches_reference(self):
+        line = np.array([9, 1, 8, 2, 7, 3, 6, 4, 5, 0])
+        expected = image.median3_reference(line)
+        _, mems = run_kernel(image.MEDIAN3_C, "median3", (len(line),), {
+            "src": line.tolist(), "dst": [0] * len(line)})
+        assert mems["dst"] == expected.tolist()
+
+    def test_threshold(self):
+        line = np.arange(0, 300, 23)
+        expected = image.threshold_reference(line, 128)
+        _, mems = run_kernel(image.THRESHOLD_C, "threshold",
+                             (len(line), 128),
+                             {"src": line.tolist(), "dst": [0] * len(line)})
+        assert mems["dst"] == expected.tolist()
+
+    def test_dpcm_roundtrip(self):
+        line = image.synthetic_frame(seed=3).flatten()[:64]
+        encoded = image.dpcm_encode_reference(line)
+        decoded = image.dpcm_decode(encoded)
+        assert (decoded == line).all()
+
+    def test_dpcm_kernel_matches(self):
+        line = image.synthetic_frame(seed=4).flatten()[:32]
+        expected = image.dpcm_encode_reference(line)
+        _, mems = run_kernel(image.DPCM_ENCODE_C, "dpcm_encode",
+                             (len(line),),
+                             {"src": line.tolist(), "dst": [0] * len(line)})
+        assert mems["dst"] == expected.tolist()
+
+    def test_compression_ratio_above_one(self):
+        frame = image.synthetic_frame(seed=5)
+        residuals = image.dpcm_encode_reference(frame.flatten())
+        assert image.compression_ratio(residuals) > 1.0
+
+
+class TestSdrKernels:
+    def test_fir_matches_reference(self):
+        rng = np.random.default_rng(11)
+        x = rng.integers(-500, 500, size=64)
+        expected = sdr.fir8_reference(x)
+        _, mems = run_kernel(sdr.FIR_C, "fir8", (len(x),),
+                             {"x": x.tolist(), "y": [0] * len(x)})
+        assert mems["y"] == expected.tolist()
+
+    def test_fft_kernel_matches_reference(self):
+        re, im = sdr.tone(frequency_bin=3)
+        expected_re, expected_im = sdr.fft16_reference(re, im)
+        _, mems = run_kernel(sdr.FFT16_C, "fft16", (),
+                             {"re": list(re), "im": list(im)})
+        assert mems["re"] == expected_re
+        assert mems["im"] == expected_im
+
+    def test_fft_finds_tone_bin(self):
+        for frequency in (1, 3, 5):
+            re, im = sdr.tone(frequency_bin=frequency)
+            out_re, out_im = sdr.fft16_reference(re, im)
+            assert sdr.dominant_bin(out_re, out_im) == frequency
+
+    def test_dsss_kernel_finds_delay(self):
+        code = sdr.pn_code()
+        rx = sdr.dsss_signal(code, delay=23, total=64)
+        expected = sdr.dsss_correlate_reference(rx, code)
+        result, _ = run_kernel(sdr.DSSS_CORRELATE_C, "dsss_correlate",
+                               (len(rx), len(code)),
+                               {"rx": rx.tolist(), "code": code})
+        assert result == expected == 23
+
+    def test_pn_code_is_bipolar(self):
+        code = sdr.pn_code()
+        assert set(code) <= {-1, 1}
+        assert len(code) == 15
+
+
+class TestAiKernels:
+    def test_monolithic_matches_reference(self):
+        source = ai.mlp_monolithic_source()
+        for x in ai.sample_inputs(8):
+            expected = ai.mlp_reference(x)
+            result, _ = run_kernel(source, "mlp", (), {"x": x})
+            assert result == expected
+
+    def test_dataflow_matches_reference(self):
+        source = ai.mlp_dataflow_source()
+        for x in ai.sample_inputs(8):
+            expected = ai.mlp_reference(x)
+            _, mems = run_kernel(source, "mlp_pipeline", (),
+                                 {"x": x, "result": [0]})
+            assert mems["result"][0] == expected
+
+    def test_both_variants_agree(self):
+        mono = ai.mlp_monolithic_source()
+        flow = ai.mlp_dataflow_source()
+        for x in ai.sample_inputs(4, seed=99):
+            r1, _ = run_kernel(mono, "mlp", (), {"x": x})
+            _, mems = run_kernel(flow, "mlp_pipeline", (),
+                                 {"x": x, "result": [0]})
+            assert r1 == mems["result"][0]
+
+    def test_outputs_cover_classes(self):
+        classes = {ai.mlp_reference(x) for x in ai.sample_inputs(32)}
+        assert len(classes) >= 2  # not a constant classifier
+
+
+class TestAocs:
+    def test_converges_to_target(self):
+        loop = aocs.AocsLoop()
+        loop.set_target(aocs.quat_from_axis_angle([0, 0, 1], 0.5))
+        steps = loop.run_to_convergence()
+        assert steps < 20_000
+        assert loop.pointing_error_rad() < 0.01
+
+    def test_quaternion_identities(self):
+        q = aocs.quat_from_axis_angle([1, 1, 0], 0.7)
+        identity = aocs.quat_multiply(q, aocs.quat_conjugate(q))
+        assert identity[0] == pytest.approx(1.0)
+        assert np.allclose(identity[1:], 0.0, atol=1e-12)
+
+    def test_zero_error_at_target(self):
+        loop = aocs.AocsLoop()
+        assert loop.pointing_error_rad() == pytest.approx(0.0)
+
+    def test_wheel_saturation_limits_torque(self):
+        wheels = aocs.ReactionWheels(max_torque_nm=0.01,
+                                     max_momentum_nms=0.05)
+        for _ in range(1000):
+            wheels.apply(np.array([1.0, 0.0, 0.0]), dt=0.1)
+        assert abs(wheels.momentum[0]) <= 0.05 + 1e-9
+        assert 0 in wheels.saturated_axes
+
+    def test_larger_slew_takes_longer(self):
+        small = aocs.AocsLoop()
+        small.set_target(aocs.quat_from_axis_angle([0, 0, 1], 0.1))
+        large = aocs.AocsLoop()
+        large.set_target(aocs.quat_from_axis_angle([0, 0, 1], 1.5))
+        assert large.run_to_convergence() > small.run_to_convergence()
+
+
+class TestVbn:
+    def test_detects_offset_target(self):
+        frame = vbn.render_target(offset=(5.0, -3.0))
+        solution = vbn.estimate_pose(frame)
+        assert solution.converged
+        assert vbn.navigation_error(frame, solution) < 2.0
+
+    def test_centered_target(self):
+        frame = vbn.render_target(offset=(0.0, 0.0))
+        solution = vbn.estimate_pose(frame)
+        assert abs(solution.offset[0]) < 2.0
+        assert abs(solution.offset[1]) < 2.0
+
+    def test_scale_estimate_tracks_range(self):
+        near = vbn.estimate_pose(vbn.render_target(scale=1.5))
+        far = vbn.estimate_pose(vbn.render_target(scale=0.75))
+        assert near.scale > far.scale
+
+    def test_corner_detector_finds_marker_corners(self):
+        frame = vbn.render_target()
+        corners = vbn.detect_corners(frame.pixels)
+        assert len(corners) >= 4
+
+    def test_empty_frame_does_not_converge(self):
+        rng_frame = vbn.CameraFrame(
+            pixels=np.zeros((64, 64), dtype=np.int64),
+            true_offset=(0, 0), true_scale=1.0)
+        solution = vbn.estimate_pose(rng_frame)
+        assert not solution.converged
+
+
+class TestEor:
+    def test_reaches_geo(self):
+        planner = eor.EorPlanner()
+        revolutions = planner.run_to_target()
+        assert planner.arrived
+        assert revolutions > 10
+
+    def test_mass_decreases(self):
+        planner = eor.EorPlanner()
+        planner.run_to_target()
+        summary = planner.summary()
+        assert summary["propellant_kg"] > 0
+        assert summary["propellant_kg"] < planner.config.mass_kg / 2
+
+    def test_delta_v_close_to_edelbaum(self):
+        planner = eor.EorPlanner()
+        analytic = planner.total_delta_v_ms()
+        planner.run_to_target()
+        spent = planner.summary()["delta_v_ms"]
+        assert spent == pytest.approx(analytic, rel=0.15)
+
+    def test_higher_thrust_is_faster(self):
+        slow = eor.EorPlanner(eor.SpacecraftConfig(thrust_n=0.2))
+        fast = eor.EorPlanner(eor.SpacecraftConfig(thrust_n=0.8))
+        slow.run_to_target()
+        fast.run_to_target()
+        assert fast.state.elapsed_days < slow.state.elapsed_days
+
+
+class TestMission:
+    def test_mission_runs_and_telemetry_flows(self):
+        run = mission.run_mission(frames=20)
+        assert run.metrics.partitions[mission.AOCS_PID].activations == 40
+        assert run.telemetry
+        sample = run.telemetry[-1]
+        assert "pointing_error_rad" in sample["aocs"]
+
+    def test_no_deadline_misses_in_nominal_mission(self):
+        run = mission.run_mission(frames=30)
+        for pid in (mission.AOCS_PID, mission.VBN_PID, mission.EOR_PID):
+            assert run.metrics.partitions[pid].deadline_misses == 0
+
+    def test_faulty_vbn_does_not_disturb_aocs(self):
+        nominal = mission.run_mission(frames=30)
+        faulty = mission.run_mission(frames=30, faulty_vbn=True)
+        assert faulty.hypervisor.health.log  # faults occurred
+        aocs_nominal = nominal.metrics.partitions[mission.AOCS_PID]
+        aocs_faulty = faulty.metrics.partitions[mission.AOCS_PID]
+        assert aocs_faulty.deadline_misses == 0
+        assert aocs_faulty.worst_response_us == pytest.approx(
+            aocs_nominal.worst_response_us, rel=0.05)
+
+    def test_vbn_restarted_by_health_monitor(self):
+        run = mission.run_mission(frames=30, faulty_vbn=True)
+        assert run.metrics.partitions[mission.VBN_PID].restarts >= 1
+
+    def test_aocs_pointing_error_decreases(self):
+        run = mission.run_mission(frames=60)
+        errors = [t["aocs"]["pointing_error_rad"] for t in run.telemetry
+                  if t["aocs"]]
+        assert errors[-1] < errors[0]
+
+
+class TestVbnHlsKernel:
+    def frame16(self, seed=2):
+        rng = np.random.default_rng(seed)
+        # 4-bit intensities keep every intermediate inside int32.
+        return rng.integers(0, 16, size=(16, 16)).astype(np.int64)
+
+    def test_harris16_matches_reference(self):
+        frame = self.frame16()
+        expected = vbn.harris16_reference(frame)
+        _, mems = run_kernel(vbn.HARRIS16_C, "harris16", (), {
+            "img": frame.flatten().tolist(),
+            "resp": [0] * 256,
+        })
+        assert mems["resp"] == expected.flatten().tolist()
+
+    def test_harris16_synthesizes_and_cosims(self):
+        from repro.hls import synthesize
+        frame = self.frame16(seed=5)
+        project = synthesize(vbn.HARRIS16_C, "harris16", clock_ns=8.0)
+        result = project.cosimulate((), {
+            "img": frame.flatten().tolist(),
+            "resp": [0] * 256,
+        })
+        assert result.match
+
+    def test_corner_pixel_scores_high(self):
+        # A bright quadrant produces a strong corner at its boundary.
+        frame = np.zeros((16, 16), dtype=np.int64)
+        frame[8:, 8:] = 15
+        _, mems = run_kernel(vbn.HARRIS16_C, "harris16", (), {
+            "img": frame.flatten().tolist(),
+            "resp": [0] * 256,
+        })
+        response = np.array(mems["resp"]).reshape(16, 16)
+        corner_zone = response[7:10, 7:10]
+        edge_zone = response[7:10, 12:15]
+        assert corner_zone.max() > edge_zone.max()

@@ -1,0 +1,197 @@
+"""Tests for the integration layer: end-to-end project flow,
+qualification engine, datapack generation and metric tables."""
+
+import pytest
+
+from repro.core import (
+    Datapack,
+    HermesProject,
+    Level,
+    MANDATORY_DOCUMENTS,
+    QualificationCampaign,
+    Table,
+    Verdict,
+    assess_trl,
+    generate_datapack,
+    ratio,
+)
+
+
+class TestTable:
+    def test_render_basic(self):
+        table = Table("demo", ["name", "value"])
+        table.add_row("alpha", 1)
+        table.add_row("beta", 2.5)
+        text = table.render()
+        assert "demo" in text
+        assert "alpha" in text
+        assert "2.50" in text
+
+    def test_row_arity_checked(self):
+        table = Table("demo", ["a", "b"])
+        with pytest.raises(ValueError):
+            table.add_row(1)
+
+    def test_column_extraction(self):
+        table = Table("demo", ["a", "b"])
+        table.add_row(1, 2)
+        table.add_row(3, 4)
+        assert table.column("b") == [2, 4]
+
+    def test_ratio(self):
+        assert ratio(10, 2) == 5
+        assert ratio(1, 0) == float("inf")
+        assert ratio(0, 0) == 0.0
+
+
+class TestEndToEndProject:
+    SOURCE = (
+        "int mac4(const int *a, const int *b) {\n"
+        "  int acc = 0;\n"
+        "  for (int i = 0; i < 4; i++) acc += a[i] * b[i];\n"
+        "  return acc;\n"
+        "}"
+    )
+
+    def test_accelerator_build(self):
+        project = HermesProject()
+        accelerator = project.build_accelerator(self.SOURCE, "mac4")
+        assert accelerator.flow.stats["luts"] > 0
+        assert accelerator.flow.timing.fmax_mhz > 0
+        assert accelerator.bitstream_words
+        assert "createProject('mac4')" in accelerator.backend_script
+        # The HLS design is functionally correct.
+        cosim = accelerator.hls.cosimulate(
+            (), {"a": [1, 2, 3, 4], "b": [5, 6, 7, 8]})
+        assert cosim.match
+        assert cosim.actual == 70
+
+    def test_deploy_and_boot_programs_efpga(self):
+        project = HermesProject()
+        accelerator = project.build_accelerator(self.SOURCE, "mac4")
+        boot = project.deploy_and_boot(accelerator)
+        assert boot.bl1.report.success
+        assert project.last_soc.efpga.programmed
+        assert project.last_soc.efpga.crc_ok
+        assert "IP mac4" in project.report.summary()
+
+    def test_custom_application_runs(self):
+        project = HermesProject()
+        accelerator = project.build_accelerator(self.SOURCE, "mac4")
+        boot = project.deploy_and_boot(
+            accelerator,
+            application_asm="MOVI r7, #99\nHALT")
+        assert all(core.regs[7] == 99 for core in project.last_soc.cores)
+
+
+class TestQualification:
+    def make_campaign(self, failing_unit=False):
+        campaign = QualificationCampaign("bl1")
+        campaign.add_requirement("REQ-1", "BL1 shall init the PLL")
+        campaign.add_requirement("REQ-2", "BL1 shall verify image CRCs")
+        campaign.add_requirement("REQ-3", "BL1 shall survive one SEU",
+                                 category="safety")
+        campaign.add_test("UT-1", Level.UNIT, ["REQ-1"],
+                          lambda: not failing_unit)
+        campaign.add_test("UT-2", Level.UNIT, ["REQ-2"], lambda: True)
+        campaign.add_test("IT-1", Level.INTEGRATION, ["REQ-1", "REQ-2"],
+                          lambda: True)
+        campaign.add_test("VT-1", Level.VALIDATION, ["REQ-3"],
+                          lambda: True)
+        return campaign
+
+    def test_all_pass(self):
+        report = self.make_campaign().run()
+        assert report.all_passed
+        assert report.requirement_coverage() == 1.0
+
+    def test_failure_recorded(self):
+        report = self.make_campaign(failing_unit=True).run()
+        assert report.failed(Level.UNIT) == 1
+        assert not report.all_passed
+
+    def test_exception_becomes_error(self):
+        campaign = self.make_campaign()
+
+        def boom():
+            raise RuntimeError("test harness exploded")
+
+        campaign.add_test("UT-3", Level.UNIT, ["REQ-1"], boom)
+        report = campaign.run()
+        errors = [r for r in report.results if r.verdict is Verdict.ERROR]
+        assert len(errors) == 1
+        assert "exploded" in errors[0].detail
+
+    def test_unknown_requirement_rejected(self):
+        campaign = self.make_campaign()
+        with pytest.raises(ValueError, match="unknown requirement"):
+            campaign.add_test("UT-X", Level.UNIT, ["REQ-404"], lambda: True)
+
+    def test_uncovered_requirements_listed(self):
+        campaign = QualificationCampaign("x")
+        campaign.add_requirement("REQ-1", "something")
+        campaign.add_requirement("REQ-2", "never tested")
+        campaign.add_test("UT-1", Level.UNIT, ["REQ-1"], lambda: True)
+        report = campaign.run()
+        assert report.uncovered == ["REQ-2"]
+
+
+class TestTrl:
+    def full_report(self):
+        campaign = QualificationCampaign("q")
+        campaign.add_requirement("R1", "req one")
+        campaign.add_test("U1", Level.UNIT, ["R1"], lambda: True)
+        campaign.add_test("I1", Level.INTEGRATION, ["R1"], lambda: True)
+        campaign.add_test("V1", Level.VALIDATION, ["R1"], lambda: True)
+        return campaign.run()
+
+    def test_trl6_requires_relevant_environment(self):
+        report = self.full_report()
+        lab_only = assess_trl(report,
+                              validated_in_relevant_environment=False)
+        relevant = assess_trl(report,
+                              validated_in_relevant_environment=True)
+        assert lab_only.level == 5
+        assert relevant.level == 6
+
+    def test_unit_failures_cap_trl(self):
+        campaign = QualificationCampaign("q")
+        campaign.add_requirement("R1", "req")
+        campaign.add_test("U1", Level.UNIT, ["R1"], lambda: False)
+        report = campaign.run()
+        assert assess_trl(report).level == 3
+
+
+class TestDatapack:
+    def test_all_documents_generated(self):
+        campaign = QualificationCampaign("bl1")
+        campaign.add_requirement("REQ-1", "boot from flash")
+        campaign.add_test("UT-1", Level.UNIT, ["REQ-1"], lambda: True)
+        campaign.add_test("VT-1", Level.VALIDATION, ["REQ-1"], lambda: True)
+        report = campaign.run()
+        pack = generate_datapack("HERMES-BL1", campaign, report)
+        assert pack.complete
+        assert set(MANDATORY_DOCUMENTS) <= set(pack.documents)
+
+    def test_srs_lists_requirements(self):
+        campaign = QualificationCampaign("bl1")
+        campaign.add_requirement("REQ-42", "the answer requirement")
+        campaign.add_test("UT-1", Level.UNIT, ["REQ-42"], lambda: True)
+        pack = generate_datapack("P", campaign, campaign.run())
+        assert "REQ-42" in pack.documents["SRS"]
+        assert "the answer requirement" in pack.documents["SRS"]
+
+    def test_svalr_coverage_matrix(self):
+        campaign = QualificationCampaign("bl1")
+        campaign.add_requirement("REQ-1", "covered")
+        campaign.add_requirement("REQ-2", "uncovered")
+        campaign.add_test("VT-1", Level.VALIDATION, ["REQ-1"], lambda: True)
+        pack = generate_datapack("P", campaign, campaign.run())
+        svalr = pack.documents["SValR"]
+        assert "REQ-1: COVERED" in svalr
+        assert "REQ-2: NOT COVERED" in svalr
+
+    def test_missing_documents_detected(self):
+        pack = Datapack(project="x", documents={"SRS": "stub"})
+        assert "SUM" in pack.missing_documents()
+        assert not pack.complete

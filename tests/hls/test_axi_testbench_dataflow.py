@@ -1,0 +1,284 @@
+"""Tests for AXI interface modelling, testbench generation, dataflow and
+VHDL emission."""
+
+import pytest
+
+from repro.hls import synthesize
+from repro.hls.backend.axi import (
+    AxiAccessStats,
+    AxiCacheConfig,
+    AxiInterfaceConfig,
+    AxiMemorySubsystem,
+    estimate_kernel_cycles,
+    generate_axi_slave_bfm,
+)
+from repro.hls.backend.dataflow import (
+    DataflowError,
+    analyze_dataflow,
+    extract_task_graph,
+)
+from repro.hls.backend.testbench import build_test_vectors, generate_testbench
+from repro.hls.backend.vhdl import VhdlUnsupported, generate_vhdl_skeleton
+from repro.hls.frontend import compile_to_ir
+
+
+class TestAxiModel:
+    def test_sequential_reads_base_latency(self):
+        config = AxiInterfaceConfig(read_latency=10)
+        subsystem = AxiMemorySubsystem(config)
+        for address in range(8):
+            assert subsystem.read(address) == 10
+        assert subsystem.stats.read_cycles == 80
+
+    def test_burst_amortizes_sequential_reads(self):
+        config = AxiInterfaceConfig(read_latency=10, burst=True,
+                                    max_burst_len=8)
+        subsystem = AxiMemorySubsystem(config)
+        cycles = [subsystem.read(a) for a in range(8)]
+        assert cycles[0] == 10
+        assert all(c == 1 for c in cycles[1:])
+
+    def test_burst_restarts_on_stride(self):
+        config = AxiInterfaceConfig(read_latency=10, burst=True)
+        subsystem = AxiMemorySubsystem(config)
+        subsystem.read(0)
+        assert subsystem.read(100) == 10  # non-consecutive
+
+    def test_cache_hits_after_line_fill(self):
+        cache = AxiCacheConfig(size_bytes=1024, line_bytes=32,
+                               associativity=2)
+        config = AxiInterfaceConfig(read_latency=20, cache=cache)
+        subsystem = AxiMemorySubsystem(config)
+        first = subsystem.read(0)
+        assert first == 20 + cache.words_per_line - 1
+        # Remaining words of the line are hits.
+        for address in range(1, cache.words_per_line):
+            assert subsystem.read(address) == 1
+        assert subsystem.stats.cache_hits == cache.words_per_line - 1
+
+    def test_cache_eviction_lru(self):
+        cache = AxiCacheConfig(size_bytes=64, line_bytes=32, associativity=1)
+        config = AxiInterfaceConfig(read_latency=10, cache=cache)
+        subsystem = AxiMemorySubsystem(config)
+        subsystem.read(0)      # fills set 0
+        subsystem.read(16)     # fills set 1 (words 8..15 -> line 2? no: 16/8=2, set 0) evicts
+        subsystem.read(0)
+        assert subsystem.stats.cache_misses >= 2
+
+    def test_cache_geometry_validation(self):
+        with pytest.raises(ValueError):
+            AxiCacheConfig(size_bytes=100, line_bytes=32, associativity=2)
+
+    def test_estimate_kernel_cycles_ordering(self):
+        reads = list(range(64))
+        base = estimate_kernel_cycles(reads, [], 100,
+                                      AxiInterfaceConfig(read_latency=20))
+        burst = estimate_kernel_cycles(reads, [], 100,
+                                       AxiInterfaceConfig(read_latency=20,
+                                                          burst=True))
+        cached = estimate_kernel_cycles(
+            reads, [], 100,
+            AxiInterfaceConfig(read_latency=20, cache=AxiCacheConfig()))
+        assert burst < base
+        assert cached < base
+
+    def test_hit_rate_and_average(self):
+        stats = AxiAccessStats(reads=4, read_cycles=40, cache_hits=3,
+                               cache_misses=1)
+        assert stats.hit_rate == 0.75
+        assert stats.average_read_latency == 10
+
+    def test_slave_bfm_is_verilog(self):
+        text = generate_axi_slave_bfm()
+        assert "module hermes_axi_slave" in text
+        assert text.count("endmodule") == 1
+
+
+class TestTestbench:
+    SOURCE = (
+        "int accumulate(const int *x, int n) {\n"
+        "  int s = 0;\n"
+        "  for (int i = 0; i < n; i++) s += x[i];\n"
+        "  return s;\n"
+        "}"
+    )
+
+    def test_vectors_get_golden_outputs(self):
+        module = compile_to_ir(self.SOURCE)
+        vectors = build_test_vectors(module, "accumulate", [
+            {"args": (4,), "mems": {"x": [1, 2, 3, 4]}},
+            {"args": (2,), "mems": {"x": [10, 20, 0, 0]}},
+        ])
+        assert vectors[0].expected == 10
+        assert vectors[1].expected == 30
+
+    def test_testbench_structure(self):
+        module = compile_to_ir(self.SOURCE)
+        vectors = build_test_vectors(module, "accumulate", [
+            {"args": (4,), "mems": {"x": [1, 2, 3, 4]}},
+        ])
+        text = generate_testbench(module, "accumulate", vectors)
+        assert "module tb_accumulate;" in text
+        assert "TESTBENCH PASSED" in text
+        assert "$finish" in text
+        assert "dut" in text
+
+    def test_testbench_axi_slave_included(self):
+        source = (
+            "#pragma HLS interface port=x mode=axi\n"
+            + self.SOURCE
+        )
+        module = compile_to_ir(source)
+        vectors = build_test_vectors(module, "accumulate", [
+            {"args": (2,), "mems": {"x": [5, 6]}},
+        ])
+        text = generate_testbench(module, "accumulate", vectors)
+        assert "hermes_axi_slave" in text
+        assert "u_slave_x" in text
+
+    def test_expected_memory_checks(self):
+        source = ("void doubler(int *y, int n) {"
+                  " for (int i = 0; i < n; i++) y[i] = y[i] * 2; }")
+        module = compile_to_ir(source)
+        vectors = build_test_vectors(module, "doubler", [
+            {"args": (3,), "mems": {"y": [1, 2, 3]}},
+        ])
+        assert vectors[0].expected_mems["y"] == [2, 4, 6]
+        text = generate_testbench(module, "doubler", vectors)
+        assert "errors = errors + 1" in text
+
+
+DATAFLOW_SOURCE = """
+void stage_scale(const int *in, int *out) {
+  for (int i = 0; i < 16; i++) out[i] = in[i] * 3;
+}
+void stage_offset(const int *in, int *out) {
+  for (int i = 0; i < 16; i++) out[i] = in[i] + 7;
+}
+void stage_clip(const int *in, int *out) {
+  for (int i = 0; i < 16; i++) out[i] = min(max(in[i], 0), 255);
+}
+#pragma HLS dataflow
+void pipeline(const int *src, int *dst) {
+  int buf_a[16];
+  int buf_b[16];
+  stage_scale(src, buf_a);
+  stage_offset(buf_a, buf_b);
+  stage_clip(buf_b, dst);
+}
+"""
+
+
+class TestDataflow:
+    def project(self):
+        return synthesize(DATAFLOW_SOURCE, "pipeline", opt_level=1)
+
+    def test_task_extraction(self):
+        design = analyze_dataflow(self.project())
+        assert [t.name for t in design.tasks] == [
+            "stage_scale", "stage_offset", "stage_clip"]
+
+    def test_channels_follow_memories(self):
+        design = analyze_dataflow(self.project())
+        names = {c.name for c in design.channels}
+        assert "buf_a" in names
+        assert "buf_b" in names
+
+    def test_pipelining_speedup(self):
+        design = analyze_dataflow(self.project())
+        assert design.initiation_interval < design.single_item_latency
+        assert design.speedup(100) > 2.0
+
+    def test_stream_latency_formula(self):
+        design = analyze_dataflow(self.project())
+        one = design.stream_latency(1)
+        two = design.stream_latency(2)
+        assert two - one == design.initiation_interval
+        assert design.stream_latency(0) == 0
+
+    def test_repeated_task_shares_controller(self):
+        source = """
+void work(const int *in, int *out) {
+  for (int i = 0; i < 8; i++) out[i] = in[i] + 1;
+}
+#pragma HLS dataflow
+void pipe(const int *src, int *dst) {
+  int mid[8];
+  work(src, mid);
+  work(mid, dst);
+}
+"""
+        project = synthesize(source, "pipe", opt_level=1)
+        design = analyze_dataflow(project)
+        # Two call sites, one shared task controller + 2 token states.
+        assert design.dataflow_states < design.monolithic_states
+
+    def test_not_dataflow_rejected(self):
+        source = "int f(int a) { return a + 1; }"
+        project = synthesize(source, "f")
+        with pytest.raises(DataflowError):
+            analyze_dataflow(project)
+
+    def test_non_straight_line_rejected(self):
+        source = """
+void t(const int *in, int *out) { out[0] = in[0]; }
+#pragma HLS dataflow
+void pipe(const int *src, int *dst, int c) {
+  int mid[1];
+  if (c) { t(src, mid); }
+  t(mid, dst);
+}
+"""
+        module = compile_to_ir(source)
+        with pytest.raises(DataflowError):
+            extract_task_graph(module, "pipe")
+
+
+class TestVhdl:
+    def test_entity_emitted(self):
+        project = synthesize("int f(int a) { return a * 2; }", "f")
+        design = project["f"]
+        text = generate_vhdl_skeleton(project.module["f"], design.schedule,
+                                      design.fsm)
+        assert "entity f is" in text
+        assert "architecture fsmd of f" in text
+        assert "s_idle" in text
+
+    def test_axi_unsupported_in_vhdl(self):
+        source = (
+            "#pragma HLS interface port=p mode=axi\n"
+            "int f(const int *p) { return p[0]; }"
+        )
+        project = synthesize(source, "f")
+        design = project["f"]
+        with pytest.raises(VhdlUnsupported):
+            generate_vhdl_skeleton(project.module["f"], design.schedule,
+                                   design.fsm)
+
+
+class TestPrefetch:
+    def test_prefetch_halves_sequential_misses(self):
+        from repro.hls.backend.axi import (AxiCacheConfig,
+                                           AxiInterfaceConfig,
+                                           AxiMemorySubsystem)
+        base_cache = AxiCacheConfig(size_bytes=512, line_bytes=32,
+                                    associativity=2, prefetch=False)
+        pf_cache = AxiCacheConfig(size_bytes=512, line_bytes=32,
+                                  associativity=2, prefetch=True)
+        plain = AxiMemorySubsystem(AxiInterfaceConfig(read_latency=20,
+                                                      cache=base_cache))
+        prefetching = AxiMemorySubsystem(AxiInterfaceConfig(
+            read_latency=20, cache=pf_cache))
+        for address in range(256):
+            plain.read(address)
+            prefetching.read(address)
+        assert prefetching.stats.cache_misses < plain.stats.cache_misses
+        assert prefetching.stats.read_cycles < plain.stats.read_cycles
+
+    def test_prefetch_does_not_evict_demand_line(self):
+        from repro.hls.backend.axi import AxiCacheConfig
+        from repro.hls.backend.axi import _Cache
+        cache = _Cache(AxiCacheConfig(size_bytes=64, line_bytes=32,
+                                      associativity=1, prefetch=True))
+        assert not cache.access(0)    # miss: fills line 0, prefetches 1
+        assert cache.access(1)        # same line 0: hit

@@ -1,0 +1,542 @@
+"""Tests for the HLS back end: scheduling, binding, FSM, simulation, RTL."""
+
+import pytest
+
+from repro.hls import synthesize
+from repro.hls.backend import (
+    allocate,
+    asap_schedule,
+    bind,
+    build_dfg,
+    build_fsm,
+    schedule_function,
+    verify_schedule,
+)
+from repro.hls.backend.dfg import ORDER, RAW, WAR
+from repro.hls.characterization import default_library
+from repro.hls.frontend import compile_to_ir
+from repro.hls.ir import BinOp, Load, Store
+from repro.hls.ir.interp import run_function
+from repro.hls.middleend import optimize
+
+
+def schedule_source(source, func_name, clock_ns=10.0, level=2):
+    module = compile_to_ir(source)
+    optimize(module, level=level)
+    func = module[func_name]
+    allocation = allocate(func, clock_ns=clock_ns)
+    schedule = schedule_function(func, allocation)
+    return module, func, allocation, schedule
+
+
+class TestDFG:
+    def test_raw_edge(self):
+        module = compile_to_ir(
+            "int f(int a) { int x = a + 1; return x * 2; }")
+        block = module["f"].blocks["entry"]
+        dfg = build_dfg(block)
+        assert any(e.kind == RAW for e in dfg.edges)
+
+    def test_store_load_order(self):
+        module = compile_to_ir(
+            "int f(int *p) { p[0] = 1; return p[0]; }")
+        block = module["f"].blocks["entry"]
+        dfg = build_dfg(block)
+        ops = block.ops
+        store_idx = next(i for i, op in enumerate(ops)
+                         if isinstance(op, Store))
+        load_idx = next(i for i, op in enumerate(ops)
+                        if isinstance(op, Load))
+        assert any(e.src == store_idx and e.dst == load_idx
+                   and e.kind == ORDER for e in dfg.edges)
+
+    def test_load_store_war(self):
+        module = compile_to_ir(
+            "void f(int *p) { int a = p[0]; p[0] = a + 1; }")
+        block = module["f"].blocks["entry"]
+        dfg = build_dfg(block)
+        ops = block.ops
+        load_idx = next(i for i, op in enumerate(ops)
+                        if isinstance(op, Load))
+        store_idx = next(i for i, op in enumerate(ops)
+                         if isinstance(op, Store))
+        assert any(e.src == load_idx and e.dst == store_idx
+                   and e.kind == WAR for e in dfg.edges)
+
+    def test_loads_commute(self):
+        module = compile_to_ir("int f(int *p) { return p[0] + p[1]; }")
+        block = module["f"].blocks["entry"]
+        dfg = build_dfg(block)
+        load_idxs = [i for i, op in enumerate(block.ops)
+                     if isinstance(op, Load)]
+        for a in load_idxs:
+            for b in load_idxs:
+                assert not any(e.src == a and e.dst == b for e in dfg.edges)
+
+
+class TestScheduling:
+    def test_schedule_is_legal(self):
+        source = (
+            "int f(const int *x, int n) {\n"
+            "  int s = 0;\n"
+            "  for (int i = 0; i < n; i++) s += x[i] * x[i];\n"
+            "  return s;\n"
+            "}"
+        )
+        _module, func, allocation, schedule = schedule_source(source, "f")
+        assert verify_schedule(schedule, allocation) == []
+
+    def test_chaining_packs_cheap_ops(self):
+        # At a slow clock several dependent adds fit one cycle.
+        source = "int f(int a) { return ((a + 1) + 2) + 3; }"
+        _m, _f, alloc, slow = schedule_source(source, "f", clock_ns=20.0,
+                                              level=0)
+        _m2, _f2, alloc2, fast = schedule_source(source, "f", clock_ns=1.2,
+                                                 level=0)
+        assert slow.blocks["entry"].length <= fast.blocks["entry"].length
+        assert verify_schedule(slow, alloc) == []
+        assert verify_schedule(fast, alloc2) == []
+
+    def test_divider_is_multicycle(self):
+        source = "int f(int a, int b) { return a / b; }"
+        _m, _f, allocation, schedule = schedule_source(source, "f", level=0)
+        entry = schedule.blocks["entry"]
+        div = next(e for e in entry.ops
+                   if isinstance(e.op, BinOp) and e.op.op == "div")
+        assert div.cycles > 1
+        assert entry.length >= div.cycles
+
+    def test_resource_limit_serializes(self):
+        # 4 independent multiplies, limit 1 multiplier => serialized.
+        source = (
+            "#pragma HLS allocation mult=1\n"
+            "int f(int a, int b, int c, int d) {\n"
+            "  return a * a + b * b + c * c + d * d;\n"
+            "}"
+        )
+        module = compile_to_ir(source)
+        func = module["f"]
+        limited = allocate(func, clock_ns=4.0)
+        sched_limited = schedule_function(func, limited)
+        assert verify_schedule(sched_limited, limited) == []
+        func.pragmas["allocation"] = {"mult": 4}
+        generous = allocate(func, clock_ns=4.0)
+        sched_generous = schedule_function(func, generous)
+        assert sched_generous.blocks["entry"].length <= \
+            sched_limited.blocks["entry"].length
+
+    def test_bram_two_ports(self):
+        # Two loads per cycle are possible on a dual-port RAM; three from
+        # the same memory are not.
+        source = ("int f(const int *p) "
+                  "{ return p[0] + p[1] + p[2] + p[3]; }")
+        _m, func, allocation, schedule = schedule_source(source, "f",
+                                                         level=0)
+        assert verify_schedule(schedule, allocation) == []
+        entry = schedule.blocks["entry"]
+        loads_by_cycle = {}
+        for entry_op in entry.ops:
+            if isinstance(entry_op.op, Load):
+                loads_by_cycle.setdefault(entry_op.start, []).append(entry_op)
+        assert all(len(v) <= 2 for v in loads_by_cycle.values())
+
+    def test_asap_not_longer_than_list(self):
+        source = (
+            "int f(int a, int b) {\n"
+            "  return a * b + a * 2 + b * 3 + (a - b) * (a + b);\n"
+            "}"
+        )
+        module = compile_to_ir(source)
+        func = module["f"]
+        allocation = allocate(func, clock_ns=4.0)
+        listed = schedule_function(func, allocation, algorithm="list")
+        asap = schedule_function(func, allocation, algorithm="asap")
+        assert asap.blocks["entry"].length <= listed.blocks["entry"].length
+
+    def test_static_latency_loop_free(self):
+        source = "int f(int a) { if (a) return a * 2; return a + 1; }"
+        _m, _f, allocation, schedule = schedule_source(source, "f")
+        assert schedule.static_latency() is not None
+
+    def test_static_latency_none_for_loops(self):
+        source = ("int f(int n) { int s = 0;"
+                  " for (int i = 0; i < n; i++) s += i; return s; }")
+        _m, _f, _a, schedule = schedule_source(source, "f")
+        assert schedule.static_latency() is None
+
+
+class TestBinding:
+    def test_fu_sharing(self):
+        source = (
+            "#pragma HLS allocation mult=1\n"
+            "int f(int a, int b) { return a * a + b * b; }"
+        )
+        module = compile_to_ir(source)
+        func = module["f"]
+        allocation = allocate(func, clock_ns=4.0)
+        schedule = schedule_function(func, allocation)
+        binding = bind(schedule, allocation)
+        assert binding.fu.instances("mult") == 1
+
+    def test_parallel_ops_get_distinct_instances(self):
+        source = "int f(int a, int b) { return a * a + b * b; }"
+        module = compile_to_ir(source)
+        func = module["f"]
+        allocation = allocate(func, clock_ns=4.0)
+        schedule = schedule_function(func, allocation)
+        binding = bind(schedule, allocation)
+        mults = [(key, fu) for key, fu in binding.fu.assignment.items()
+                 if fu[0] == "mult"]
+        entry = schedule.blocks["entry"]
+        starts = {}
+        for (block, index), (cls, instance) in mults:
+            entry_op = entry.ops[index]
+            key = (cls, instance)
+            span = range(entry_op.start, entry_op.start + entry_op.cycles)
+            for cycle in span:
+                assert (key, cycle) not in starts, "instance double-booked"
+                starts[(key, cycle)] = True
+
+    def test_vars_have_registers(self):
+        source = ("int f(int n) { int s = 0;"
+                  " for (int i = 0; i < n; i++) s += i; return s; }")
+        module = compile_to_ir(source)
+        func = module["f"]
+        allocation = allocate(func)
+        schedule = schedule_function(func, allocation)
+        binding = bind(schedule, allocation)
+        names = {r.name for r in binding.registers.registers}
+        assert "reg_s" in names
+        assert "reg_i" in names
+        assert "reg_n" in names
+
+    def test_register_sharing_reduces_count(self):
+        # Many short-lived temps in sequence can share registers.
+        source = (
+            "int f(const int *p) {\n"
+            "  int a = p[0] + 1;\n"
+            "  int b = p[1] + a;\n"
+            "  int c = p[2] + b;\n"
+            "  return c;\n"
+            "}"
+        )
+        module = compile_to_ir(source)
+        func = module["f"]
+        allocation = allocate(func)
+        schedule = schedule_function(func, allocation)
+        binding = bind(schedule, allocation)
+        temps_bound = [v for v in binding.registers.assignment
+                       if v.__class__.__name__ == "Temp"]
+        registers_for_temps = {binding.registers.assignment[v]
+                               for v in temps_bound}
+        assert len(registers_for_temps) <= max(1, len(temps_bound))
+
+
+class TestFSM:
+    def test_state_count_matches_schedule(self):
+        source = "int f(int a) { if (a) return 1; return 2; }"
+        _m, func, allocation, schedule = schedule_source(source, "f")
+        fsm = build_fsm(schedule)
+        # IDLE + DONE + one state per block cycle.
+        assert fsm.state_count == 2 + schedule.total_states
+
+    def test_branch_transitions(self):
+        source = "int f(int a) { if (a) return 1; return 2; }"
+        _m, func, allocation, schedule = schedule_source(source, "f")
+        fsm = build_fsm(schedule)
+        entry_last = f"S_entry_{schedule.blocks['entry'].length - 1}"
+        state = fsm.states[entry_last]
+        assert len(state.transitions) == 2
+
+    def test_idle_and_done_states(self):
+        source = "void f(void) { }"
+        _m, func, allocation, schedule = schedule_source(source, "f")
+        fsm = build_fsm(schedule)
+        assert "S_IDLE" in fsm.states
+        assert "S_DONE" in fsm.states
+
+
+class TestSynthesizeAndSimulate:
+    def test_simple_design_cosim(self):
+        source = "int f(int a, int b) { return a * b + 7; }"
+        project = synthesize(source, "f", clock_ns=8.0)
+        result = project.cosimulate((6, 7))
+        assert result.match
+        assert result.actual == 49
+        assert result.cycles > 0
+
+    def test_loop_design_cosim(self):
+        source = (
+            "int sumsq(const int *x, int n) {\n"
+            "  int s = 0;\n"
+            "  for (int i = 0; i < n; i++) s += x[i] * x[i];\n"
+            "  return s;\n"
+            "}"
+        )
+        project = synthesize(source, "sumsq", clock_ns=8.0)
+        data = [1, 2, 3, 4, 5, 6, 7, 8]
+        result = project.cosimulate((8,), {"x": data})
+        assert result.match
+        assert result.actual == sum(v * v for v in data)
+
+    def test_memory_output_cosim(self):
+        source = (
+            "void scale(const int *x, int *y, int n, int k) {\n"
+            "  for (int i = 0; i < n; i++) y[i] = x[i] * k;\n"
+            "}"
+        )
+        project = synthesize(source, "scale", clock_ns=8.0)
+        result = project.cosimulate(
+            (4, 3), {"x": [1, 2, 3, 4], "y": [0, 0, 0, 0]})
+        assert result.match
+
+    def test_subfunction_call_design(self):
+        source = (
+            "int sq(int v) { int acc = 0;"
+            " for (int i = 0; i < v; i++) acc += v; return acc; }\n"
+            "int f(int a, int b) { return sq(a) + sq(b); }"
+        )
+        project = synthesize(source, "f", clock_ns=8.0, opt_level=1)
+        result = project.cosimulate((3, 4))
+        assert result.match
+        assert result.actual == 9 + 16
+
+    def test_float_design(self):
+        source = (
+            "float norm(float x, float y) { return sqrtf(x * x + y * y); }"
+        )
+        project = synthesize(source, "norm", clock_ns=8.0)
+        result = project.cosimulate((3.0, 4.0))
+        assert result.match
+        assert result.actual == pytest.approx(5.0)
+
+    def test_faster_clock_needs_more_cycles(self):
+        source = (
+            "int f(const int *x, int n) {\n"
+            "  int s = 0;\n"
+            "  for (int i = 0; i < n; i++) s += (x[i] * 3 + 1) * (x[i] - 2);\n"
+            "  return s;\n"
+            "}"
+        )
+        slow = synthesize(source, "f", clock_ns=20.0)
+        fast = synthesize(source, "f", clock_ns=2.0)
+        data = list(range(10))
+        _, slow_trace, _ = slow.simulate((10,), {"x": data})
+        _, fast_trace, _ = fast.simulate((10,), {"x": data})
+        assert fast_trace.cycles >= slow_trace.cycles
+
+    def test_axi_latency_slows_design(self):
+        source = (
+            "#pragma HLS interface port=x mode=axi\n"
+            "int f(const int *x, int n) {\n"
+            "  int s = 0;\n"
+            "  for (int i = 0; i < n; i++) s += x[i];\n"
+            "  return s;\n"
+            "}"
+        )
+        near = synthesize(source, "f", axi_read_latency=2)
+        far = synthesize(source, "f", axi_read_latency=40)
+        data = list(range(16))
+        near_result, near_trace, _ = near.simulate((16,), {"x": data})
+        far_result, far_trace, _ = far.simulate((16,), {"x": data})
+        assert near_result == far_result == sum(data)
+        assert far_trace.cycles > near_trace.cycles
+
+    def test_unroll_reduces_cycles(self):
+        base = (
+            "int f(const int *x) {\n"
+            "  int s = 0;\n"
+            "  for (int i = 0; i < 16; i++) s += x[i];\n"
+            "  return s;\n"
+            "}"
+        )
+        unrolled = base.replace("for (int i",
+                                "#pragma HLS unroll factor=4\nfor (int i")
+        data = list(range(16))
+        p_base = synthesize(base, "f")
+        p_unrolled = synthesize(unrolled, "f")
+        r1, t1, _ = p_base.simulate((), {"x": data})
+        r2, t2, _ = p_unrolled.simulate((), {"x": data})
+        assert r1 == r2 == sum(data)
+        assert t2.cycles < t1.cycles
+
+    def test_all_schedules_verified_in_flow(self):
+        source = (
+            "int helper(int a) { return a * 3; }\n"
+            "int f(const int *p, int n) {\n"
+            "  int best = -2147483647;\n"
+            "  for (int i = 0; i < n; i++) {\n"
+            "    int v = helper(p[i]);\n"
+            "    if (v > best) best = v;\n"
+            "  }\n"
+            "  return best;\n"
+            "}"
+        )
+        project = synthesize(source, "f", opt_level=1)
+        for design in project.designs.values():
+            assert verify_schedule(design.schedule, design.allocation) == []
+
+
+class TestReports:
+    def test_area_report_populated(self):
+        source = "int f(int a, int b) { return a * b + a / b; }"
+        project = synthesize(source, "f")
+        report = project["f"].report
+        assert report.area.luts > 0
+        assert report.area.dsps >= 1  # the multiplier
+        assert report.state_count >= 3
+        assert report.fmax_mhz > 0
+
+    def test_rom_vs_bram_mapping(self):
+        small_rom = ("int f(int i) { const int t[4] = {1,2,3,4};"
+                     " return t[i]; }")
+        big_ram = (
+            "int f(int i, int v) { int t[4096];"
+            " t[i] = v; return t[i]; }"
+        )
+        rom_project = synthesize(small_rom, "f")
+        ram_project = synthesize(big_ram, "f")
+        assert rom_project["f"].report.area.brams == 0
+        assert ram_project["f"].report.area.brams >= 1
+
+    def test_resource_summary_keys(self):
+        source = ("int g(int x) { return x + 1; }\n"
+                  "int f(int a) { return g(a) * 2; }")
+        project = synthesize(source, "f", opt_level=1)
+        summary = project.resource_summary()
+        assert set(summary) == {"f", "g"}
+
+
+class TestVerilogOutput:
+    def get_design(self, source="int f(int a, int b) { return a * b + 1; }"):
+        return synthesize(source, "f")
+
+    def test_module_structure(self):
+        verilog = self.get_design()["f"].verilog
+        assert verilog.startswith("// Generated by the HERMES HLS flow")
+        assert "module f (" in verilog
+        assert verilog.rstrip().endswith("endmodule")
+        assert verilog.count("module") - verilog.count("endmodule") in (0, 1)
+
+    def test_handshake_ports(self):
+        verilog = self.get_design()["f"].verilog
+        for port in ("clk", "rst", "start", "done", "retval"):
+            assert port in verilog
+
+    def test_scalar_args_as_ports(self):
+        verilog = self.get_design()["f"].verilog
+        assert "input wire [31:0] arg_a;" in verilog
+        assert "input wire [31:0] arg_b;" in verilog
+
+    def test_state_machine_emitted(self):
+        verilog = self.get_design()["f"].verilog
+        assert "case (state)" in verilog
+        assert "S_IDLE" in verilog
+        assert "S_DONE" in verilog
+
+    def test_local_memory_array(self):
+        source = ("int f(int i) { const int lut[8] = {1,2,3,4,5,6,7,8};"
+                  " return lut[i]; }")
+        verilog = synthesize(source, "f")["f"].verilog
+        assert "mem_lut" in verilog
+        assert "initial begin" in verilog
+
+    def test_bram_param_ports(self):
+        source = "int f(const int *p) { return p[0]; }"
+        verilog = synthesize(source, "f")["f"].verilog
+        assert "p_addr" in verilog
+        assert "p_dout" in verilog
+
+    def test_axi_param_ports(self):
+        source = (
+            "#pragma HLS interface port=p mode=axi\n"
+            "int f(const int *p) { return p[0]; }"
+        )
+        verilog = synthesize(source, "f")["f"].verilog
+        assert "m_axi_p_araddr" in verilog
+        assert "m_axi_p_rvalid" in verilog
+
+    def test_begin_end_balanced(self):
+        source = (
+            "int f(const int *x, int n) {\n"
+            "  int s = 0;\n"
+            "  for (int i = 0; i < n; i++) {\n"
+            "    if (x[i] > 0) s += x[i]; else s -= 1;\n"
+            "  }\n"
+            "  return s;\n"
+            "}"
+        )
+        verilog = synthesize(source, "f")["f"].verilog
+        import re
+        begins = len(re.findall(r"\bbegin\b", verilog))
+        ends = len(re.findall(r"\bend\b", verilog))
+        assert begins == ends
+
+    def test_verilog_files_bundle(self):
+        source = ("int g(int x) { return x * 2; }\n"
+                  "int f(int a) { return g(a) + 1; }")
+        project = synthesize(source, "f", opt_level=1)
+        files = project.verilog_files()
+        assert "f.v" in files
+        assert "g.v" in files
+        assert "hermes_fp_lib.vh" in files
+        assert "u_g" in files["f.v"]  # instance of callee
+
+
+class TestProfiler:
+    SOURCE = (
+        "int f(const int *x, int n) {\n"
+        "  int s = 0;\n"
+        "  for (int i = 0; i < n; i++) s += x[i] * x[i];\n"
+        "  return s;\n"
+        "}"
+    )
+
+    def test_hot_block_is_loop_body(self):
+        project = synthesize(self.SOURCE, "f")
+        _r, trace, _m = project.simulate((32,), {"x": list(range(32))})
+        hottest = trace.hot_blocks(1)[0]
+        func, block, cycles, visits = hottest
+        assert func == "f"
+        assert visits == 32 or "for" in block
+        assert cycles <= trace.cycles
+
+    def test_block_cycles_sum_to_total(self):
+        project = synthesize(self.SOURCE, "f")
+        _r, trace, _m = project.simulate((8,), {"x": list(range(8))})
+        assert sum(trace.block_cycles.values()) == trace.cycles
+
+    def test_profile_report_text(self):
+        project = synthesize(self.SOURCE, "f")
+        text = project.profile((16,), {"x": list(range(16))})
+        assert "profile — f:" in text
+        assert "%" in text
+
+    def test_subcall_cycles_attributed(self):
+        source = (
+            "int helper(int v) { int s = 0;"
+            " for (int i = 0; i < v; i++) s += i; return s; }\n"
+            "int f(int a) { return helper(a) + helper(a + 1); }"
+        )
+        project = synthesize(source, "f", opt_level=1)
+        _r, trace, _m = project.simulate((6,))
+        funcs = {key[0] for key in trace.block_cycles}
+        assert "helper" in funcs and "f" in funcs
+
+
+class TestFlowErrors:
+    def test_unknown_top_rejected(self):
+        from repro.hls import HlsFlowError
+        with pytest.raises(HlsFlowError, match="not found"):
+            synthesize("int f(void) { return 1; }", "nonexistent")
+
+    def test_recursion_rejected(self):
+        from repro.hls import HlsFlowError
+        source = (
+            "int odd(int n);\n"
+        )
+        # The subset has no prototypes; direct recursion is the case.
+        source = "int fact(int n) { if (n < 2) return 1; " \
+                 "return n * fact(n - 1); }"
+        with pytest.raises(HlsFlowError, match="recursive"):
+            synthesize(source, "fact")

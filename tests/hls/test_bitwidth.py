@@ -1,0 +1,110 @@
+"""Tests for the bit-width analysis pass and its allocator hookup."""
+
+import pytest
+
+from repro.hls import compile_to_ir, synthesize
+from repro.hls.ir import BinOp, Temp
+from repro.hls.ir.interp import run_function
+from repro.hls.middleend import optimize
+from repro.hls.middleend.bitwidth import (
+    WIDTH_HINTS_KEY,
+    hinted_width,
+    infer_width_hints,
+)
+
+
+def hints_for(source, func_name="f"):
+    module = compile_to_ir(source)
+    func = module[func_name]
+    infer_width_hints(func)
+    return func, func.pragmas[WIDTH_HINTS_KEY]
+
+
+class TestInference:
+    def test_comparison_is_one_bit(self):
+        func, hints = hints_for("int f(int a, int b) { return a < b; }")
+        cmp_op = next(op for op in func.all_ops()
+                      if isinstance(op, BinOp) and op.op == "lt")
+        # Comparisons are 1-bit by type already; the hint must agree.
+        assert hints.get(cmp_op.dst, cmp_op.dst.ty.width) == 1
+
+    def test_mask_narrows(self):
+        func, hints = hints_for("int f(int a) { return a & 255; }")
+        and_op = next(op for op in func.all_ops()
+                      if isinstance(op, BinOp) and op.op == "and")
+        assert hints[and_op.dst] == 8
+
+    def test_narrow_add_propagates(self):
+        source = "int f(int a, int b) { return (a & 15) + (b & 15); }"
+        func, hints = hints_for(source)
+        add_op = next(op for op in func.all_ops()
+                      if isinstance(op, BinOp) and op.op == "add")
+        assert hints[add_op.dst] == 5  # 4-bit + 4-bit -> 5 bits
+
+    def test_mul_width_sums(self):
+        source = "int f(int a, int b) { return (a & 7) * (b & 7); }"
+        func, hints = hints_for(source)
+        mul_op = next(op for op in func.all_ops()
+                      if isinstance(op, BinOp) and op.op == "mul")
+        assert hints[mul_op.dst] == 6
+
+    def test_shift_right_narrows(self):
+        source = "int f(int a) { return (a & 255) >> 4; }"
+        func, hints = hints_for(source)
+        shr_op = next(op for op in func.all_ops()
+                      if isinstance(op, BinOp) and op.op == "shr")
+        assert hints[shr_op.dst] == 4
+
+    def test_hint_never_exceeds_type(self):
+        source = ("int f(int a, int b) "
+                  "{ return (a | b) * (a | b) * (a | b); }")
+        func, hints = hints_for(source)
+        for value, width in hints.items():
+            assert 1 <= width <= value.ty.width
+
+    def test_vars_not_narrowed(self):
+        # `i` is a Var (loop-carried): it must keep its declared width.
+        source = ("int f(int n) { int s = 0;"
+                  " for (int i = 0; i < n; i++) s += i; return s; }")
+        func, hints = hints_for(source)
+        from repro.hls.ir.values import Var
+        assert all(not isinstance(v, Var) for v in hints)
+
+
+class TestAllocatorIntegration:
+    def test_hinted_width_narrows_operand(self):
+        func, hints = hints_for("int f(int a) { return (a & 15) + 1; }")
+        add_op = next(op for op in func.all_ops()
+                      if isinstance(op, BinOp) and op.op == "add")
+        assert hinted_width(add_op, hints) < 32
+
+    def test_pipeline_attaches_hints(self):
+        module = compile_to_ir("int f(int a) { return (a & 3) * 2; }")
+        optimize(module, level=2)
+        assert WIDTH_HINTS_KEY in module["f"].pragmas
+
+    def test_narrow_kernel_speeds_up_schedule(self):
+        # A fully narrow multiply chain should schedule no slower than
+        # the 32-bit version at a tight clock (narrower units are
+        # faster in the characterized library).
+        wide = ("int f(int a, int b) { return a * b + a * 3; }")
+        narrow = ("int f(int a, int b) "
+                  "{ return (a & 63) * (b & 63) + (a & 63) * 3; }")
+        wide_project = synthesize(wide, "f", clock_ns=2.0)
+        narrow_project = synthesize(narrow, "f", clock_ns=2.0)
+        _r1, wide_trace, _ = wide_project.simulate((1000, 2000))
+        _r2, narrow_trace, _ = narrow_project.simulate((1000, 2000))
+        assert narrow_trace.cycles <= wide_trace.cycles
+
+    def test_semantics_preserved_with_hints(self):
+        source = ("int f(int a, int b) {\n"
+                  "  int x = (a & 255) * (b & 15);\n"
+                  "  int y = (x >> 2) + (a & 1);\n"
+                  "  return y ^ (x & 63);\n"
+                  "}")
+        module = compile_to_ir(source)
+        baseline, _ = run_function(module, "f", (12345, -678))
+        project = synthesize(source, "f", opt_level=2)
+        result = project.cosimulate((12345, -678))
+        assert result.match
+        assert result.actual == baseline

@@ -1,0 +1,128 @@
+"""Unit tests for the HermesC lexer and preprocessor."""
+
+import pytest
+
+from repro.hls.frontend.lexer import LexerError, preprocess, tokenize
+
+
+def kinds(source):
+    return [t.kind for t in tokenize(source)]
+
+
+def texts(source):
+    return [t.text for t in tokenize(source) if t.kind != "eof"]
+
+
+class TestTokens:
+    def test_empty_source_yields_eof(self):
+        tokens = tokenize("")
+        assert len(tokens) == 1
+        assert tokens[0].kind == "eof"
+
+    def test_identifiers_and_keywords(self):
+        tokens = tokenize("int foo")
+        assert tokens[0].kind == "keyword"
+        assert tokens[1].kind == "ident"
+        assert tokens[1].text == "foo"
+
+    def test_decimal_integer(self):
+        tok = tokenize("42")[0]
+        assert tok.kind == "int"
+        assert tok.value == 42
+
+    def test_hex_integer(self):
+        tok = tokenize("0xFF")[0]
+        assert tok.value == 255
+
+    def test_float_literal(self):
+        tok = tokenize("3.25")[0]
+        assert tok.kind == "float"
+        assert tok.value == 3.25
+
+    def test_float_exponent(self):
+        tok = tokenize("1e3")[0]
+        assert tok.kind == "float"
+        assert tok.value == 1000.0
+
+    def test_float_suffix(self):
+        tok = tokenize("2.5f")[0]
+        assert tok.kind == "float"
+        assert tok.value == 2.5
+
+    def test_unsigned_suffix(self):
+        tok = tokenize("7u")[0]
+        assert tok.kind == "int"
+        assert tok.value == 7
+
+    def test_char_literal(self):
+        tok = tokenize("'A'")[0]
+        assert tok.kind == "int"
+        assert tok.value == 65
+
+    def test_char_escape(self):
+        tok = tokenize(r"'\n'")[0]
+        assert tok.value == 10
+
+    def test_multichar_operators_longest_match(self):
+        assert texts("a <<= b") == ["a", "<<=", "b"]
+        assert texts("a << b") == ["a", "<<", "b"]
+        assert texts("a <= b") == ["a", "<=", "b"]
+
+    def test_positions(self):
+        tokens = tokenize("int x;\nint y;")
+        y_tok = [t for t in tokens if t.text == "y"][0]
+        assert y_tok.line == 2
+
+    def test_unexpected_character(self):
+        with pytest.raises(LexerError):
+            tokenize("int a = `b`;")
+
+    def test_unterminated_char(self):
+        with pytest.raises(LexerError):
+            tokenize("'a")
+
+
+class TestPreprocessor:
+    def test_line_comment_removed(self):
+        assert texts("int a; // comment\nint b;") == ["int", "a", ";", "int",
+                                                      "b", ";"]
+
+    def test_block_comment_removed(self):
+        assert texts("int /* hi */ a;") == ["int", "a", ";"]
+
+    def test_block_comment_keeps_line_numbers(self):
+        tokens = tokenize("/* line1\nline2 */\nint a;")
+        assert tokens[0].line == 3
+
+    def test_unterminated_block_comment(self):
+        with pytest.raises(LexerError):
+            tokenize("/* never closed")
+
+    def test_include_ignored(self):
+        assert texts('#include <stdint.h>\nint a;') == ["int", "a", ";"]
+
+    def test_define_substitution(self):
+        source = "#define N 16\nint a[N];"
+        assert "16" in texts(source)
+
+    def test_define_no_partial_word_match(self):
+        source = "#define N 16\nint NN = 3;"
+        assert "NN" in texts(source)
+        assert "1616" not in texts(source)
+
+    def test_nested_defines(self):
+        source = "#define A 4\n#define B A\nint x = B;"
+        assert "4" in texts(source)
+
+    def test_function_like_macro_rejected(self):
+        with pytest.raises(LexerError):
+            tokenize("#define SQ(x) ((x)*(x))\nint a;")
+
+    def test_pragma_becomes_token(self):
+        tokens = tokenize("#pragma HLS unroll factor=4\nint a;")
+        assert tokens[0].kind == "pragma"
+        assert "unroll" in tokens[0].text
+
+    def test_preprocess_returns_lines(self):
+        lines = preprocess("int a;\nint b;")
+        assert len(lines) == 2

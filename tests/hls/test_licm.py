@@ -1,0 +1,188 @@
+"""Tests for loop-invariant code motion."""
+
+import pytest
+
+from repro.hls import compile_to_ir, synthesize
+from repro.hls.ir import BinOp
+from repro.hls.ir.interp import run_function
+from repro.hls.middleend import optimize
+from repro.hls.middleend.licm import find_loops, loop_invariant_code_motion
+
+
+def ops_in_loop(func, loops):
+    """All op objects inside any loop block."""
+    inside = set()
+    for _header, blocks in loops:
+        inside.update(blocks)
+    result = []
+    for name in inside:
+        result.extend(func.blocks[name].ops)
+    return result
+
+
+class TestLoopDetection:
+    def test_for_loop_found(self):
+        module = compile_to_ir(
+            "int f(int n) { int s = 0;"
+            " for (int i = 0; i < n; i++) s += i; return s; }")
+        loops = find_loops(module["f"])
+        assert len(loops) == 1
+        header, blocks = loops[0]
+        assert header.startswith("for.head")
+        assert len(blocks) >= 3  # head, body, step
+
+    def test_nested_loops_found(self):
+        module = compile_to_ir(
+            "int f(int n) { int s = 0;"
+            " for (int i = 0; i < n; i++)"
+            "   for (int j = 0; j < n; j++) s += i * j;"
+            " return s; }")
+        loops = find_loops(module["f"])
+        assert len(loops) == 2
+        inner = min(loops, key=lambda kv: len(kv[1]))
+        outer = max(loops, key=lambda kv: len(kv[1]))
+        assert set(inner[1]) < set(outer[1])
+
+    def test_no_loops_in_straight_line(self):
+        module = compile_to_ir("int f(int a) { return a * 2; }")
+        assert find_loops(module["f"]) == []
+
+
+class TestHoisting:
+    def test_invariant_division_hoisted(self):
+        # A divider is multi-cycle: pulling it out of the loop shortens
+        # the body schedule, so the cost model accepts the hoist.
+        source = (
+            "int f(int a, int b, int n) {\n"
+            "  int s = 0;\n"
+            "  for (int i = 0; i < n; i++) s += a / b + i;\n"
+            "  return s;\n"
+            "}"
+        )
+        module = compile_to_ir(source)
+        func = module["f"]
+        hoisted = loop_invariant_code_motion(func)
+        assert hoisted >= 1
+        loops = find_loops(func)
+        remaining = ops_in_loop(func, loops)
+        # a/b no longer computed inside the loop.
+        assert not any(isinstance(op, BinOp) and op.op == "div"
+                       for op in remaining)
+        # Behaviour preserved.
+        assert run_function(module, "f", (42, 7, 5))[0] == \
+            sum(6 + i for i in range(5))
+
+    def test_free_chained_op_not_hoisted(self):
+        # A single multiply chains for free inside the loop body; moving
+        # it to the preheader would only serialize the loop entry.  The
+        # schedule-aware cost model must keep it in place.
+        source = (
+            "int f(int a, int b, int n) {\n"
+            "  int s = 0;\n"
+            "  for (int i = 0; i < n; i++) s += a * b + i;\n"
+            "  return s;\n"
+            "}"
+        )
+        module = compile_to_ir(source)
+        func = module["f"]
+        loop_invariant_code_motion(func)
+        loops = find_loops(func)
+        remaining = ops_in_loop(func, loops)
+        assert any(isinstance(op, BinOp) and op.op == "mul"
+                   for op in remaining)
+        assert run_function(module, "f", (6, 7, 5))[0] == \
+            sum(42 + i for i in range(5))
+
+    def test_variant_value_not_hoisted(self):
+        source = (
+            "int f(int a, int n) {\n"
+            "  int s = 0;\n"
+            "  for (int i = 0; i < n; i++) s += a * i;\n"
+            "  return s;\n"
+            "}"
+        )
+        module = compile_to_ir(source)
+        func = module["f"]
+        loop_invariant_code_motion(func)
+        loops = find_loops(func)
+        remaining = ops_in_loop(func, loops)
+        assert any(isinstance(op, BinOp) and op.op == "mul"
+                   for op in remaining)
+        assert run_function(module, "f", (3, 4))[0] == 3 * (0 + 1 + 2 + 3)
+
+    def test_zero_trip_loop_safe(self):
+        # The hoisted op executes speculatively; a zero-trip loop must
+        # still return the right value (and total arithmetic cannot trap).
+        source = (
+            "int f(int a, int b, int n) {\n"
+            "  int s = 100;\n"
+            "  for (int i = 0; i < n; i++) s += a / b;\n"
+            "  return s;\n"
+            "}"
+        )
+        module = compile_to_ir(source)
+        loop_invariant_code_motion(module["f"])
+        assert run_function(module, "f", (10, 0, 0))[0] == 100
+
+    def test_chain_of_invariants_hoisted_in_order(self):
+        # Dependent divisions dominate the body schedule: the whole
+        # invariant chain (including the cheap +7) must hoist together,
+        # definitions before uses.
+        source = (
+            "int f(int a, int n) {\n"
+            "  int s = 0;\n"
+            "  for (int i = 0; i < n; i++) s += ((a / 3) + 7) / 2;\n"
+            "  return s;\n"
+            "}"
+        )
+        module = compile_to_ir(source)
+        func = module["f"]
+        hoisted = loop_invariant_code_motion(func)
+        assert hoisted >= 3
+        expected = ((47 // 3) + 7) // 2 * 4
+        assert run_function(module, "f", (47, 4))[0] == expected
+
+    def test_store_never_hoisted(self):
+        source = (
+            "void f(int *p, int v, int n) {\n"
+            "  for (int i = 0; i < n; i++) p[0] = v;\n"
+            "}"
+        )
+        module = compile_to_ir(source)
+        func = module["f"]
+        loop_invariant_code_motion(func)
+        _r, mems = run_function(module, "f", (9, 3), {"p": [0]})
+        assert mems["p"].data == [9]
+
+
+class TestPipelineIntegration:
+    SOURCE = (
+        "int f(const int *x, int k, int n) {\n"
+        "  int s = 0;\n"
+        "  for (int i = 0; i < n; i++) s += x[i] * (k * k + 1);\n"
+        "  return s;\n"
+        "}"
+    )
+
+    def test_licm_reduces_loop_cycles(self):
+        data = list(range(16))
+        slow = synthesize(self.SOURCE, "f", opt_level=1)
+        fast = synthesize(self.SOURCE, "f", opt_level=2)
+        r1, t1, _ = slow.simulate((3, 16), {"x": data})
+        r2, t2, _ = fast.simulate((3, 16), {"x": data})
+        assert r1 == r2 == sum(v * 10 for v in data)
+        assert t2.cycles < t1.cycles
+
+    def test_semantics_across_random_inputs(self):
+        module = compile_to_ir(self.SOURCE)
+        baseline = compile_to_ir(self.SOURCE)
+        optimize(module, level=2)
+        import random
+        rng = random.Random(4)
+        for _ in range(10):
+            k = rng.randint(-50, 50)
+            n = rng.randint(0, 12)
+            data = [rng.randint(-100, 100) for _ in range(12)]
+            expected, _ = run_function(baseline, "f", (k, n), {"x": data})
+            actual, _ = run_function(module, "f", (k, n), {"x": data})
+            assert actual == expected

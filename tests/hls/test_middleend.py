@@ -1,0 +1,340 @@
+"""Tests for the middle-end optimization passes.
+
+Every transformation test checks two things: the intended structural
+effect happened, and the program's observable behaviour is unchanged
+(interpreter equivalence before/after optimization).
+"""
+
+import pytest
+
+from repro.hls.frontend import compile_to_ir
+from repro.hls.ir import BinOp, Call, Const, verify_function
+from repro.hls.ir.interp import run_function
+from repro.hls.middleend import optimize
+from repro.hls.middleend.cfgopt import simplify_cfg
+from repro.hls.middleend.constprop import constant_propagation
+from repro.hls.middleend.cse import common_subexpression_elimination
+from repro.hls.middleend.dce import dead_code_elimination
+from repro.hls.middleend.inline import inline_functions
+from repro.hls.middleend.simplify import algebraic_simplification
+
+
+def compiled(source):
+    return compile_to_ir(source)
+
+
+def results_match(source, func, cases, level=2, mems_factory=None):
+    """Optimize and assert interpreter equivalence across ``cases``."""
+    baseline = compile_to_ir(source)
+    optimized = compile_to_ir(source)
+    report = optimize(optimized, level=level)
+    for args in cases:
+        mems = mems_factory(args) if mems_factory else None
+        mems2 = mems_factory(args) if mems_factory else None
+        expected, mem_before = run_function(baseline, func, args, mems)
+        actual, mem_after = run_function(optimized, func, args, mems2)
+        assert actual == expected, f"args={args}"
+        for name in mem_before:
+            assert mem_after[name].data == mem_before[name].data
+    for fn in optimized.functions.values():
+        assert verify_function(fn) == []
+    return optimized, report
+
+
+class TestConstProp:
+    def test_folds_constants(self):
+        module = compiled("int f(void) { return 2 + 3 * 4; }")
+        func = module["f"]
+        constant_propagation(func)
+        binops = [op for op in func.all_ops() if isinstance(op, BinOp)]
+        assert binops == []
+
+    def test_folds_through_variables(self):
+        module = compiled(
+            "int f(void) { int a = 4; int b = a * 2; return b + 1; }")
+        func = module["f"]
+        for _ in range(3):
+            constant_propagation(func)
+        from repro.hls.ir import Return
+        ret = func.blocks[func.entry].terminator
+        assert isinstance(ret, Return)
+        assert isinstance(ret.value, Const)
+        assert ret.value.value == 9
+
+    def test_folds_constant_branch(self):
+        source = "int f(int a) { if (1) return a; return a + 99; }"
+        optimized, _ = results_match(source, "f", [(3,), (0,)])
+        # The dead branch must be gone entirely.
+        func = optimized["f"]
+        assert len(func.blocks) <= 2
+
+    def test_division_by_zero_not_folded(self):
+        module = compiled("int f(void) { return 7 / 0; }")
+        func = module["f"]
+        constant_propagation(func)  # must not raise
+
+    def test_preserves_wrapping(self):
+        source = "int f(void) { return 2147483647 + 1; }"
+        module = compiled(source)
+        constant_propagation(module["f"])
+        result, _ = run_function(module, "f")
+        assert result == -(2**31)
+
+
+class TestSimplify:
+    def simplify_count(self, source):
+        module = compiled(source)
+        return algebraic_simplification(module["f"]), module
+
+    def test_add_zero(self):
+        changes, _ = self.simplify_count("int f(int a) { int z = 0; return a + z; }")
+        # After constprop z becomes 0; run both to trigger.
+        source = "int f(int a) { return a + 0; }"
+        module = compiled(source)
+        constant_propagation(module["f"])
+        assert algebraic_simplification(module["f"]) >= 1
+
+    def test_mul_power_of_two_becomes_shift(self):
+        source = "int f(int a) { return a * 8; }"
+        module = compiled(source)
+        algebraic_simplification(module["f"])
+        ops = [op for op in module["f"].all_ops() if isinstance(op, BinOp)]
+        assert any(op.op == "shl" for op in ops)
+        assert not any(op.op == "mul" for op in ops)
+        assert run_function(module, "f", (5,))[0] == 40
+
+    def test_unsigned_div_power_of_two(self):
+        source = "unsigned f(unsigned a) { return a / 4; }"
+        module = compiled(source)
+        algebraic_simplification(module["f"])
+        ops = [op for op in module["f"].all_ops() if isinstance(op, BinOp)]
+        assert any(op.op == "shr" for op in ops)
+        assert run_function(module, "f", (17,))[0] == 4
+
+    def test_signed_div_not_strength_reduced(self):
+        # -7 / 2 == -3 in C but -7 >> 1 == -4: must not rewrite.
+        source = "int f(int a) { return a / 2; }"
+        module = compiled(source)
+        algebraic_simplification(module["f"])
+        assert run_function(module, "f", (-7,))[0] == -3
+
+    def test_unsigned_rem_power_of_two(self):
+        source = "unsigned f(unsigned a) { return a % 8; }"
+        module = compiled(source)
+        algebraic_simplification(module["f"])
+        ops = [op for op in module["f"].all_ops() if isinstance(op, BinOp)]
+        assert any(op.op == "and" for op in ops)
+        assert run_function(module, "f", (29,))[0] == 5
+
+    def test_sub_self_is_zero(self):
+        source = "int f(int a) { return a - a; }"
+        results_match(source, "f", [(9,), (-3,)])
+
+    def test_behaviour_preserved_suite(self):
+        source = (
+            "int f(int a, int b) {"
+            "  int x = a * 16 + b * 1;"
+            "  int y = x / 1 - 0;"
+            "  int z = (y ^ y) + (a & a);"
+            "  return x + y + z + (b << 0); }"
+        )
+        results_match(source, "f", [(3, 4), (-5, 7), (0, 0), (123, -456)])
+
+
+class TestCSE:
+    def test_duplicate_expression_removed(self):
+        source = "int f(int a, int b) { return (a + b) * (a + b); }"
+        module = compiled(source)
+        removed = common_subexpression_elimination(module["f"])
+        assert removed == 1
+        assert run_function(module, "f", (3, 4))[0] == 49
+
+    def test_commutative_match(self):
+        source = "int f(int a, int b) { return (a + b) + (b + a); }"
+        module = compiled(source)
+        assert common_subexpression_elimination(module["f"]) == 1
+
+    def test_load_cse_within_block(self):
+        source = "int f(int *p) { return p[0] + p[0]; }"
+        module = compiled(source)
+        from repro.hls.ir import Load
+        assert common_subexpression_elimination(module["f"]) == 1
+        loads = [op for op in module["f"].all_ops() if isinstance(op, Load)]
+        assert len(loads) == 1
+
+    def test_store_invalidates_load(self):
+        source = ("int f(int *p) { int a = p[0]; p[0] = a + 1;"
+                  " return a + p[0]; }")
+        module = compiled(source)
+        common_subexpression_elimination(module["f"])
+        result, _ = run_function(module, "f", (), {"p": [10]})
+        assert result == 10 + 11
+
+    def test_redefined_var_invalidates(self):
+        source = ("int f(int a) { int x = a + 1; a = 100;"
+                  " int y = a + 1; return x + y; }")
+        results_match(source, "f", [(5,), (0,)])
+
+
+class TestDCE:
+    def test_unused_computation_removed(self):
+        source = "int f(int a) { int unused = a * 77; return a; }"
+        module = compiled(source)
+        removed = dead_code_elimination(module["f"])
+        assert removed >= 1
+
+    def test_store_never_removed(self):
+        source = "void f(int *p, int v) { p[0] = v; }"
+        module = compiled(source)
+        assert dead_code_elimination(module["f"]) == 0
+        _, mems = run_function(module, "f", (42,), {"p": [0]})
+        assert mems["p"].data == [42]
+
+    def test_live_across_blocks_kept(self):
+        source = ("int f(int a) { int x = a * 2;"
+                  " if (a > 0) return x; return -x; }")
+        results_match(source, "f", [(5,), (-5,), (0,)])
+
+
+class TestCFGSimplify:
+    def test_blocks_merged(self):
+        source = ("int f(int a) { int x = a + 1; { int y = x * 2;"
+                  " { return y - 3; } } }")
+        module = compiled(source)
+        simplify_cfg(module["f"])
+        assert len(module["f"].blocks) == 1
+
+    def test_diamond_preserved(self):
+        source = ("int f(int a) { int r; if (a) r = 1; else r = 2;"
+                  " return r; }")
+        results_match(source, "f", [(1,), (0,)])
+
+    def test_loop_preserved(self):
+        source = ("int f(int n) { int s = 0;"
+                  " for (int i = 0; i < n; i++) s += i; return s; }")
+        optimized, _ = results_match(source, "f", [(0,), (1,), (10,)])
+
+
+class TestInline:
+    def test_small_function_inlined(self):
+        source = ("int sq(int x) { return x * x; }\n"
+                  "int f(int a) { return sq(a) + sq(a + 1); }")
+        module = compiled(source)
+        inline_functions(module["f"], module)
+        calls = [op for op in module["f"].all_ops() if isinstance(op, Call)]
+        assert calls == []
+        assert run_function(module, "f", (3,))[0] == 9 + 16
+
+    def test_pragma_inline_forced(self):
+        source = (
+            "#pragma HLS inline\n"
+            "int big(int x) {\n"
+            "  int s = 0;\n"
+            "  for (int i = 0; i < 8; i++) s += x * i + (x >> 1) - i;\n"
+            "  return s;\n"
+            "}\n"
+            "int f(int a) { return big(a); }"
+        )
+        module = compiled(source)
+        inline_functions(module["f"], module)
+        calls = [op for op in module["f"].all_ops() if isinstance(op, Call)]
+        assert calls == []
+        baseline = compiled(source)
+        expected, _ = run_function(baseline, "f", (7,))
+        assert run_function(module, "f", (7,))[0] == expected
+
+    def test_function_with_local_array_not_auto_inlined(self):
+        source = (
+            "int lutval(int i) { const int lut[4] = {9, 8, 7, 6}; return lut[i]; }\n"
+            "int f(int a) { return lutval(a); }"
+        )
+        module = compiled(source)
+        inline_functions(module["f"], module)
+        calls = [op for op in module["f"].all_ops() if isinstance(op, Call)]
+        assert len(calls) == 1
+
+    def test_inline_with_memory_param(self):
+        source = (
+            "#pragma HLS inline\n"
+            "int first(const int *p) { return p[0]; }\n"
+            "int f(int data[4]) { return first(data) + 1; }"
+        )
+        module = compiled(source)
+        inline_functions(module["f"], module)
+        result, _ = run_function(module, "f", (), {"data": [5, 0, 0, 0]})
+        assert result == 6
+
+    def test_level3_pipeline_inlines(self):
+        source = ("int sq(int x) { return x * x; }\n"
+                  "int f(int a) { return sq(a); }")
+        optimized, _ = results_match(source, "f", [(4,)], level=3)
+        calls = [op for op in optimized["f"].all_ops() if isinstance(op, Call)]
+        assert calls == []
+
+    def test_inline_control_flow_callee(self):
+        source = (
+            "#pragma HLS inline\n"
+            "int clampv(int x, int lo, int hi) {\n"
+            "  if (x < lo) return lo;\n"
+            "  if (x > hi) return hi;\n"
+            "  return x;\n"
+            "}\n"
+            "int f(int a) { return clampv(a, 0, 10) + clampv(a, -5, 5); }"
+        )
+        results_match(source, "f", [(-20,), (3,), (20,)], level=3)
+
+
+class TestPipelineEndToEnd:
+    SOURCE = (
+        "int kernel(const int *x, int *y, int n) {\n"
+        "  int acc = 0;\n"
+        "  for (int i = 0; i < n; i++) {\n"
+        "    int v = x[i] * 4 + x[i] * 0 + (x[i] - x[i]);\n"
+        "    y[i] = v / 1;\n"
+        "    acc += v;\n"
+        "  }\n"
+        "  return acc;\n"
+        "}"
+    )
+
+    def test_optimization_reduces_ops(self):
+        module = compiled(self.SOURCE)
+        before = module["kernel"].op_count()
+        report = optimize(module, level=2)
+        after = module["kernel"].op_count()
+        assert after < before
+        assert report.reduction("kernel") > 0
+
+    def test_optimized_behaviour(self):
+        data = [3, -1, 4, 1, -5, 9, 2, 6]
+        def mems(_args):
+            return {"x": list(data), "y": [0] * len(data)}
+        results_match(self.SOURCE, "kernel", [(8,)], mems_factory=mems)
+
+    def test_report_structure(self):
+        module = compiled(self.SOURCE)
+        report = optimize(module, level=2)
+        names = [p.name for p in report.passes]
+        assert "constprop" in names
+        assert "dce" in names
+        assert report.iterations["kernel"] >= 1
+
+
+class TestOptimizationLevels:
+    SOURCE = (
+        "int helper(int v) { return v * 2 + 1; }\n"
+        "int f(int a) { int dead = a * 99; return helper(a) + 3 * 4; }"
+    )
+
+    def test_levels_monotonic(self):
+        counts = {}
+        for level in (0, 1, 2, 3):
+            module = compiled(self.SOURCE)
+            optimize(module, level=level)
+            counts[level] = module["f"].op_count()
+        assert counts[1] <= counts[0]
+        assert counts[2] <= counts[1]
+
+    def test_all_levels_equivalent(self):
+        for level in (0, 1, 2, 3):
+            results_match(self.SOURCE, "f", [(5,), (-2,)], level=level)

@@ -1,0 +1,236 @@
+"""Unit tests for the HermesC parser."""
+
+import pytest
+
+from repro.hls.frontend import ast
+from repro.hls.frontend.parser import ParseError, parse
+from repro.hls.ir.types import F32, I8, I32, U32
+
+
+def parse_one(source):
+    unit = parse(source)
+    assert len(unit.functions) == 1
+    return unit.functions[0]
+
+
+class TestFunctions:
+    def test_empty_function(self):
+        func = parse_one("void f(void) { }")
+        assert func.name == "f"
+        assert func.params == []
+        assert func.body.stmts == []
+
+    def test_scalar_params(self):
+        func = parse_one("int add(int a, unsigned int b) { return a; }")
+        assert [p.name for p in func.params] == ["a", "b"]
+        assert func.params[0].type == I32
+        assert func.params[1].type == U32
+
+    def test_array_param_with_dims(self):
+        func = parse_one("void f(int a[4][8]) { }")
+        assert func.params[0].is_array
+        assert func.params[0].dims == [4, 8]
+
+    def test_pointer_param(self):
+        func = parse_one("void f(int *p) { }")
+        assert func.params[0].is_array
+        assert func.params[0].dims == []
+
+    def test_const_pointer_param(self):
+        func = parse_one("void f(const float *p) { }")
+        assert func.params[0].type == F32
+
+    def test_stdint_types(self):
+        func = parse_one("int8_t f(int8_t x) { return x; }")
+        assert func.return_type == I8
+
+    def test_static_function(self):
+        func = parse_one("static int f(void) { return 1; }")
+        assert func.is_static
+
+    def test_multiple_functions(self):
+        unit = parse("int a(void){return 1;} int b(void){return 2;}")
+        assert [f.name for f in unit.functions] == ["a", "b"]
+
+
+class TestStatements:
+    def test_declaration_with_init(self):
+        func = parse_one("void f(void) { int x = 5; }")
+        decl = func.body.stmts[0]
+        assert isinstance(decl, ast.Declaration)
+        assert decl.name == "x"
+        assert isinstance(decl.init, ast.IntLiteral)
+
+    def test_multi_declarator(self):
+        func = parse_one("void f(void) { int a, b = 2; }")
+        block = func.body.stmts[0]
+        assert isinstance(block, ast.Block)
+        assert len(block.stmts) == 2
+
+    def test_array_declaration(self):
+        func = parse_one("void f(void) { int a[10]; }")
+        decl = func.body.stmts[0]
+        assert decl.dims == [10]
+
+    def test_array_initializer_flat(self):
+        func = parse_one("void f(void) { int a[3] = {1, 2, 3}; }")
+        assert func.body.stmts[0].array_init == [1, 2, 3]
+
+    def test_array_initializer_nested(self):
+        func = parse_one("void f(void) { int a[2][2] = {{1,2},{3,4}}; }")
+        assert func.body.stmts[0].array_init == [1, 2, 3, 4]
+
+    def test_array_initializer_negative(self):
+        func = parse_one("void f(void) { int a[2] = {-1, -2}; }")
+        assert func.body.stmts[0].array_init == [-1, -2]
+
+    def test_compound_assignment_lowered(self):
+        func = parse_one("void f(void) { int x = 0; x += 3; }")
+        assign = func.body.stmts[1]
+        assert isinstance(assign, ast.Assignment)
+        assert isinstance(assign.value, ast.Binary)
+        assert assign.value.op == "add"
+
+    def test_increment_lowered(self):
+        func = parse_one("void f(void) { int x = 0; x++; }")
+        assign = func.body.stmts[1]
+        assert isinstance(assign.value, ast.Binary)
+        assert assign.value.op == "add"
+
+    def test_prefix_increment(self):
+        func = parse_one("void f(void) { int x = 0; ++x; }")
+        assert isinstance(func.body.stmts[1], ast.Assignment)
+
+    def test_if_else(self):
+        func = parse_one("int f(int x) { if (x) return 1; else return 2; }")
+        stmt = func.body.stmts[0]
+        assert isinstance(stmt, ast.If)
+        assert stmt.orelse is not None
+
+    def test_while(self):
+        func = parse_one("void f(int n) { while (n) { n = n - 1; } }")
+        assert isinstance(func.body.stmts[0], ast.While)
+
+    def test_do_while(self):
+        func = parse_one("void f(int n) { do { n = n - 1; } while (n); }")
+        assert isinstance(func.body.stmts[0], ast.DoWhile)
+
+    def test_for_loop(self):
+        func = parse_one(
+            "void f(void) { for (int i = 0; i < 4; i++) { } }")
+        loop = func.body.stmts[0]
+        assert isinstance(loop, ast.For)
+        assert isinstance(loop.init, ast.Declaration)
+
+    def test_for_empty_clauses(self):
+        func = parse_one("void f(void) { for (;;) { break; } }")
+        loop = func.body.stmts[0]
+        assert loop.init is None and loop.cond is None and loop.step is None
+
+    def test_break_continue(self):
+        func = parse_one(
+            "void f(void) { for (;;) { if (1) break; continue; } }")
+        body = func.body.stmts[0].body
+        assert isinstance(body.stmts[0].then.stmts[0], ast.Break)
+        assert isinstance(body.stmts[1], ast.Continue)
+
+    def test_pragma_attaches_to_loop(self):
+        source = (
+            "void f(void) {\n"
+            "#pragma HLS unroll factor=2\n"
+            "for (int i = 0; i < 4; i++) { }\n"
+            "}"
+        )
+        loop = parse_one(source).body.stmts[0]
+        assert loop.pragmas
+
+
+class TestExpressions:
+    def test_precedence_mul_over_add(self):
+        func = parse_one("int f(void) { return 1 + 2 * 3; }")
+        expr = func.body.stmts[0].value
+        assert expr.op == "add"
+        assert expr.rhs.op == "mul"
+
+    def test_parentheses(self):
+        func = parse_one("int f(void) { return (1 + 2) * 3; }")
+        expr = func.body.stmts[0].value
+        assert expr.op == "mul"
+
+    def test_comparison_chain_precedence(self):
+        func = parse_one("int f(int a, int b) { return a < b == 0; }")
+        expr = func.body.stmts[0].value
+        assert expr.op == "eq"
+
+    def test_logical_operators(self):
+        func = parse_one("int f(int a, int b) { return a && b || !a; }")
+        expr = func.body.stmts[0].value
+        assert expr.op == "lor"
+
+    def test_ternary(self):
+        func = parse_one("int f(int a) { return a ? 1 : 2; }")
+        assert isinstance(func.body.stmts[0].value, ast.Conditional)
+
+    def test_cast(self):
+        func = parse_one("int f(float x) { return (int)x; }")
+        expr = func.body.stmts[0].value
+        assert isinstance(expr, ast.CastExpr)
+        assert expr.target == I32
+
+    def test_call(self):
+        func = parse_one("int g(void) { return f(1, 2); }")
+        expr = func.body.stmts[0].value
+        assert isinstance(expr, ast.CallExpr)
+        assert len(expr.args) == 2
+
+    def test_array_ref_2d(self):
+        func = parse_one("int f(int a[2][3]) { return a[1][2]; }")
+        expr = func.body.stmts[0].value
+        assert isinstance(expr, ast.ArrayRef)
+        assert len(expr.indices) == 2
+
+    def test_unary_minus(self):
+        func = parse_one("int f(int a) { return -a; }")
+        assert func.body.stmts[0].value.op == "neg"
+
+    def test_bitwise_ops(self):
+        func = parse_one("int f(int a) { return (a & 3) | (a ^ 5); }")
+        assert func.body.stmts[0].value.op == "or"
+
+
+class TestGlobals:
+    def test_global_const_array(self):
+        unit = parse("const int LUT[3] = {1, 2, 3};\nvoid f(void) { }")
+        assert len(unit.globals) == 1
+        assert unit.globals[0].is_const
+        assert unit.globals[0].array_init == [1, 2, 3]
+
+    def test_global_scalar(self):
+        unit = parse("int N = 5;\nvoid f(void) { }")
+        assert unit.globals[0].init.value == 5
+
+
+class TestErrors:
+    def test_missing_semicolon(self):
+        with pytest.raises(ParseError):
+            parse("void f(void) { int x = 1 }")
+
+    def test_unterminated_block(self):
+        with pytest.raises(ParseError):
+            parse("void f(void) {")
+
+    def test_bad_expression(self):
+        with pytest.raises(ParseError):
+            parse("void f(void) { int x = ; }")
+
+    def test_struct_rejected(self):
+        with pytest.raises(ParseError):
+            parse("struct S { int a; };")
+
+    def test_global_pointer_rejected(self):
+        with pytest.raises(ParseError):
+            parse("int *g;")
+
+    def test_variable_array_dim_rejected(self):
+        with pytest.raises(ParseError):
+            parse("void f(int n) { int a[n]; }")

@@ -1,0 +1,153 @@
+"""Unit tests for semantic analysis (typing and diagnostics)."""
+
+import pytest
+
+from repro.hls.frontend.parser import parse
+from repro.hls.frontend.semantic import SemanticError, analyze
+from repro.hls.ir.types import BOOL, F32, I32, I64, IntType
+
+
+def check(source):
+    return analyze(parse(source))
+
+
+def first_return_type(source):
+    unit = check(source)
+    func = unit.functions[-1]
+    from repro.hls.frontend import ast
+    for stmt in func.body.stmts:
+        if isinstance(stmt, ast.Return):
+            return stmt.value.type
+    raise AssertionError("no return statement")
+
+
+class TestTyping:
+    def test_int_literal_is_i32(self):
+        assert first_return_type("int f(void) { return 1; }") == I32
+
+    def test_large_literal_is_i64(self):
+        assert first_return_type(
+            "long long f(void) { return 5000000000; }") == I64
+
+    def test_float_literal(self):
+        assert first_return_type("float f(void) { return 1.5; }") == F32
+
+    def test_comparison_is_bool(self):
+        assert first_return_type("int f(int a) { return a < 3; }") == BOOL
+
+    def test_arith_promotes_small_ints(self):
+        assert first_return_type(
+            "int f(char a, char b) { return a + b; }") == I32
+
+    def test_mixed_int_float(self):
+        assert first_return_type(
+            "float f(int a, float b) { return a + b; }") == F32
+
+    def test_unsigned_wins_same_width(self):
+        ty = first_return_type(
+            "unsigned f(unsigned a, int b) { return a + b; }")
+        assert ty == IntType(32, signed=False)
+
+    def test_shift_keeps_lhs_type(self):
+        assert first_return_type(
+            "int f(int a) { return a << 2; }") == I32
+
+    def test_array_element_type(self):
+        assert first_return_type(
+            "char f(char a[4]) { return a[0]; }") == IntType(8, True)
+
+    def test_call_return_type(self):
+        source = (
+            "float g(float x) { return x; }\n"
+            "float f(void) { return g(1.0); }"
+        )
+        assert first_return_type(source) == F32
+
+    def test_intrinsic_types(self):
+        assert first_return_type("float f(float x) { return sqrtf(x); }") == F32
+        assert first_return_type("int f(int x) { return abs(x); }") == I32
+
+    def test_ternary_common_type(self):
+        assert first_return_type(
+            "float f(int c, int a, float b) { return c ? a : b; }") == F32
+
+
+class TestDiagnostics:
+    def test_undeclared_variable(self):
+        with pytest.raises(SemanticError, match="undeclared"):
+            check("int f(void) { return x; }")
+
+    def test_redeclaration_same_scope(self):
+        with pytest.raises(SemanticError, match="redeclaration"):
+            check("void f(void) { int x; int x; }")
+
+    def test_shadowing_in_inner_scope_ok(self):
+        check("void f(void) { int x; { int x; } }")
+
+    def test_array_without_subscript(self):
+        with pytest.raises(SemanticError, match="without subscript"):
+            check("int f(int a[4]) { return a; }")
+
+    def test_wrong_index_count(self):
+        with pytest.raises(SemanticError, match="indices"):
+            check("int f(int a[2][2]) { return a[0]; }")
+
+    def test_scalar_indexed(self):
+        with pytest.raises(SemanticError, match="not an array"):
+            check("int f(int a) { return a[0]; }")
+
+    def test_assign_to_whole_array(self):
+        with pytest.raises(SemanticError, match="array"):
+            check("void f(int a[4], int b) { a = b; }")
+
+    def test_void_function_returns_value(self):
+        with pytest.raises(SemanticError):
+            check("void f(void) { return 1; }")
+
+    def test_nonvoid_function_returns_nothing(self):
+        with pytest.raises(SemanticError):
+            check("int f(void) { return; }")
+
+    def test_unknown_function(self):
+        with pytest.raises(SemanticError, match="unknown function"):
+            check("int f(void) { return g(); }")
+
+    def test_wrong_arity(self):
+        with pytest.raises(SemanticError, match="arguments"):
+            check("int g(int a) { return a; } int f(void) { return g(); }")
+
+    def test_float_modulo_rejected(self):
+        with pytest.raises(SemanticError):
+            check("float f(float a) { return a % 2.0; }")
+
+    def test_float_bitand_rejected(self):
+        with pytest.raises(SemanticError):
+            check("float f(float a) { return a & 1.0; }")
+
+    def test_bitnot_float_rejected(self):
+        with pytest.raises(SemanticError):
+            check("float f(float a) { return ~a; }")
+
+    def test_redefined_function(self):
+        with pytest.raises(SemanticError, match="redefinition"):
+            check("void f(void) { } void f(void) { }")
+
+    def test_array_arg_must_be_name(self):
+        with pytest.raises(SemanticError):
+            check("void g(int a[4]) { } void f(void) { g(3); }")
+
+    def test_global_scalar_needs_init(self):
+        with pytest.raises(SemanticError):
+            check("int g;\nvoid f(void) { }")
+
+    def test_negative_array_dim(self):
+        with pytest.raises(SemanticError):
+            check("void f(void) { int a[0]; }")
+
+    def test_too_many_initializers(self):
+        with pytest.raises(SemanticError, match="too many"):
+            check("void f(void) { int a[2] = {1, 2, 3}; }")
+
+    def test_intrinsic_arity(self):
+        with pytest.raises(SemanticError):
+            check("float f(float x) { return sqrtf(x, x); }")

@@ -1,0 +1,162 @@
+"""Tests for AST-level loop unrolling (pragma driven)."""
+
+import pytest
+
+from repro.hls.frontend import compile_to_ir
+from repro.hls.frontend.parser import parse
+from repro.hls.frontend.semantic import analyze
+from repro.hls.frontend.unroll import unroll_loops
+from repro.hls.ir.interp import run_function
+
+
+def unrolled_unit(source):
+    unit = unroll_loops(analyze(parse(source)))
+    return unit, unit.unroll_report
+
+
+class TestFullUnroll:
+    def test_constant_trip_fully_unrolled(self):
+        source = (
+            "int f(void) {\n"
+            "  int s = 0;\n"
+            "#pragma HLS unroll\n"
+            "  for (int i = 0; i < 4; i++) s += i * i;\n"
+            "  return s;\n"
+            "}"
+        )
+        unit, report = unrolled_unit(source)
+        assert any("full x4" in entry for entry in report.unrolled)
+        module = compile_to_ir(source)
+        assert run_function(module, "f")[0] == 0 + 1 + 4 + 9
+
+    def test_loop_variable_live_after_assignment_style_loop(self):
+        source = (
+            "int f(void) {\n"
+            "  int i;\n"
+            "#pragma HLS unroll\n"
+            "  for (i = 0; i < 3; i++) { }\n"
+            "  return i;\n"
+            "}"
+        )
+        module = compile_to_ir(source)
+        assert run_function(module, "f")[0] == 3
+
+    def test_downward_counting_loop(self):
+        source = (
+            "int f(void) {\n"
+            "  int s = 0;\n"
+            "#pragma HLS unroll\n"
+            "  for (int i = 6; i > 0; i -= 2) s += i;\n"
+            "  return s;\n"
+            "}"
+        )
+        unit, report = unrolled_unit(source)
+        assert report.unrolled
+        module = compile_to_ir(source)
+        assert run_function(module, "f")[0] == 6 + 4 + 2
+
+
+class TestPartialUnroll:
+    def test_divisible_factor(self):
+        source = (
+            "int f(const int *x) {\n"
+            "  int s = 0;\n"
+            "#pragma HLS unroll factor=4\n"
+            "  for (int i = 0; i < 16; i++) s += x[i];\n"
+            "  return s;\n"
+            "}"
+        )
+        unit, report = unrolled_unit(source)
+        assert any("partial x4" in entry for entry in report.unrolled)
+        module = compile_to_ir(source)
+        data = list(range(16))
+        result, _ = run_function(module, "f", (), {"x": data})
+        assert result == sum(data)
+
+    def test_indivisible_factor_skipped(self):
+        source = (
+            "int f(const int *x) {\n"
+            "  int s = 0;\n"
+            "#pragma HLS unroll factor=5\n"
+            "  for (int i = 0; i < 16; i++) s += x[i];\n"
+            "  return s;\n"
+            "}"
+        )
+        unit, report = unrolled_unit(source)
+        assert any("not divisible" in entry for entry in report.skipped)
+        module = compile_to_ir(source)
+        result, _ = run_function(module, "f", (), {"x": list(range(16))})
+        assert result == sum(range(16))
+
+
+class TestSkips:
+    def test_dynamic_bound_skipped(self):
+        source = (
+            "int f(int n) {\n"
+            "  int s = 0;\n"
+            "#pragma HLS unroll\n"
+            "  for (int i = 0; i < n; i++) s += i;\n"
+            "  return s;\n"
+            "}"
+        )
+        unit, report = unrolled_unit(source)
+        assert any("not canonical" in entry for entry in report.skipped)
+        module = compile_to_ir(source)
+        assert run_function(module, "f", (5,))[0] == 10
+
+    def test_break_in_body_skipped(self):
+        source = (
+            "int f(void) {\n"
+            "  int s = 0;\n"
+            "#pragma HLS unroll\n"
+            "  for (int i = 0; i < 8; i++) { if (i == 3) break; s += i; }\n"
+            "  return s;\n"
+            "}"
+        )
+        unit, report = unrolled_unit(source)
+        assert any("break/continue" in entry for entry in report.skipped)
+        module = compile_to_ir(source)
+        assert run_function(module, "f")[0] == 0 + 1 + 2
+
+    def test_induction_modified_in_body_skipped(self):
+        source = (
+            "int f(void) {\n"
+            "  int s = 0;\n"
+            "#pragma HLS unroll\n"
+            "  for (int i = 0; i < 8; i++) { i = i + 1; s += i; }\n"
+            "  return s;\n"
+            "}"
+        )
+        unit, report = unrolled_unit(source)
+        assert any("modifies induction" in entry for entry in report.skipped)
+
+    def test_nested_loop_inner_unrolled(self):
+        source = (
+            "int f(const int m[4][4]) {\n"
+            "  int s = 0;\n"
+            "  for (int i = 0; i < 4; i++) {\n"
+            "#pragma HLS unroll\n"
+            "    for (int j = 0; j < 4; j++) s += m[i][j];\n"
+            "  }\n"
+            "  return s;\n"
+            "}"
+        )
+        unit, report = unrolled_unit(source)
+        assert len(report.unrolled) == 1
+        module = compile_to_ir(source)
+        result, _ = run_function(module, "f", (), {"m": list(range(16))})
+        assert result == sum(range(16))
+
+    def test_pipeline_pragma_treated_as_unroll(self):
+        source = (
+            "int f(void) {\n"
+            "  int s = 0;\n"
+            "#pragma HLS pipeline\n"
+            "  for (int i = 0; i < 4; i++) s += i;\n"
+            "  return s;\n"
+            "}"
+        )
+        unit, report = unrolled_unit(source)
+        assert report.unrolled
+        module = compile_to_ir(source)
+        assert run_function(module, "f")[0] == 6

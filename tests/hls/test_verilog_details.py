@@ -1,0 +1,131 @@
+"""Detailed tests of the Verilog emitter's operator and interface
+coverage (complementing the structural tests in test_backend.py)."""
+
+import re
+
+import pytest
+
+from repro.hls import synthesize
+from repro.hls.backend.verilog import generate_fp_support_library
+
+
+def verilog_of(source, top="f", **kwargs):
+    return synthesize(source, top, **kwargs)[top].verilog
+
+
+class TestOperatorEmission:
+    def test_signed_division_uses_signed_cast(self):
+        text = verilog_of("int f(int a, int b) { return a / b; }")
+        assert "$signed" in text
+        assert "/" in text
+
+    def test_unsigned_compare_no_signed_cast_on_compare_line(self):
+        text = verilog_of("unsigned f(unsigned a, unsigned b) "
+                          "{ return a < b; }")
+        compare_lines = [l for l in text.splitlines() if " < " in l]
+        assert compare_lines
+        assert all("$signed" not in l for l in compare_lines)
+
+    def test_arithmetic_shift_right_for_signed(self):
+        text = verilog_of("int f(int a) { return a >> 3; }")
+        assert ">>>" in text
+
+    def test_logical_shift_right_for_unsigned(self):
+        text = verilog_of("unsigned f(unsigned a) { return a >> 3; }")
+        assert ">>>" not in text
+        assert ">>" in text
+
+    def test_select_emits_ternary(self):
+        text = verilog_of("int f(int c, int a, int b) "
+                          "{ return c ? a : b; }")
+        assert re.search(r"\?\s*\w+\s*:\s*\w+", text)
+
+    def test_sign_extension_on_widening_cast(self):
+        text = verilog_of("int f(char a) { return a; }")
+        # Replication-based sign extension {{24{src[7]}}, src}.
+        assert re.search(r"\{\{\d+\{", text)
+
+    def test_float_ops_reference_fp_cores(self):
+        text = verilog_of("float f(float a, float b) { return a * b; }")
+        assert "hermes_fmul" in text
+
+    def test_sqrt_core(self):
+        text = verilog_of("float f(float a) { return sqrtf(a); }")
+        assert "hermes_fsqrt" in text
+
+    def test_int_float_conversion_cores(self):
+        text = verilog_of("float f(int a) { return (float)a; }")
+        assert "hermes_i2f" in text
+        text = verilog_of("int f(float a) { return (int)a; }")
+        assert "hermes_f2i" in text
+
+    def test_float_constants_emitted_as_bits(self):
+        text = verilog_of("float f(float a) { return a + 1.5; }")
+        assert "32'h3fc00000" in text  # IEEE-754 bits of 1.5
+
+
+class TestMemoryEmission:
+    def test_rom_initialization_values(self):
+        text = verilog_of(
+            "int f(int i) { const int lut[4] = {17, 34, 51, 68}; "
+            "return lut[i]; }")
+        assert "mem_lut[0] = 32'h11;" in text
+        assert "mem_lut[3] = 32'h44;" in text
+
+    def test_local_array_read_write(self):
+        text = verilog_of(
+            "int f(int i, int v) { int buf[8]; buf[i] = v; "
+            "return buf[i]; }")
+        assert "mem_buf[" in text
+        assert "<= mem_buf[" in text
+
+    def test_bram_param_write_enables(self):
+        text = verilog_of("void f(int *p, int v) { p[0] = v; }")
+        assert "p_we <= 1'b1;" in text
+        assert "p_din <=" in text
+
+    def test_axi_wait_states(self):
+        source = ("#pragma HLS interface port=p mode=axi\n"
+                  "int f(const int *p) { return p[0] + p[1]; }")
+        text = verilog_of(source)
+        assert "m_axi_p_arvalid <= 1'b1;" in text
+        assert "if (m_axi_p_rvalid)" in text
+
+
+class TestControlEmission:
+    def test_multiblock_fsm_states(self):
+        text = verilog_of(
+            "int f(int n) { int s = 0;"
+            " for (int i = 0; i < n; i++) s += i; return s; }")
+        assert "S_for" in text or "S_while" in text or "S_entry" in text
+        assert text.count("state <=") >= 4
+
+    def test_branch_state_transition(self):
+        text = verilog_of("int f(int a) { if (a) return 1; return 2; }")
+        assert re.search(r"state <= \(\w+ != 0\) \? S_\w+ : S_\w+;", text)
+
+    def test_param_latch_in_idle(self):
+        text = verilog_of("int f(int a, int b) { return a + b; }")
+        assert "reg_a <= arg_a;" in text
+        assert "reg_b <= arg_b;" in text
+
+    def test_done_handshake(self):
+        text = verilog_of("void f(void) { }")
+        assert "done <= 1'b1;" in text
+        assert "if (!start) state <= S_IDLE;" in text
+
+
+class TestFpSupportLibrary:
+    def test_all_cores_present(self):
+        text = generate_fp_support_library()
+        for core in ("hermes_fadd", "hermes_fsub", "hermes_fmul",
+                     "hermes_fdiv", "hermes_fsqrt", "hermes_i2f",
+                     "hermes_f2i", "hermes_fcmp_lt"):
+            assert f"function" in text
+            assert core in text
+
+    def test_function_blocks_balanced(self):
+        text = generate_fp_support_library()
+        opens = len(re.findall(r"^function\b", text, re.M))
+        closes = len(re.findall(r"^endfunction\b", text, re.M))
+        assert opens == closes > 0

@@ -1,0 +1,459 @@
+"""Tests for the XtratuM-style TSP hypervisor."""
+
+import pytest
+
+from repro.hypervisor import (
+    Compute,
+    EndActivation,
+    Fault,
+    HmAction,
+    HmEvent,
+    HypercallError,
+    HypervisorError,
+    MemoryArea,
+    PartitionState,
+    PortKind,
+    ReadPort,
+    SystemConfig,
+    WritePort,
+    XM_GET_TIME,
+    XM_SWITCH_PLAN,
+    XM_WRITE_PORT,
+    XtratumHypervisor,
+)
+
+
+def basic_config(cores=4, context_switch_us=2.0):
+    config = SystemConfig(cores=cores, context_switch_us=context_switch_us)
+    config.add_partition(0, "P0", [MemoryArea("p0ram", 0x1000, 0x1000)])
+    config.add_partition(1, "P1", [MemoryArea("p1ram", 0x2000, 0x1000)])
+    plan = config.add_plan(0, major_frame_us=1000.0)
+    plan.add_window(0, core=0, start_us=0.0, duration_us=400.0)
+    plan.add_window(1, core=0, start_us=400.0, duration_us=400.0)
+    return config
+
+
+def steady_workload(compute_us=100.0):
+    def factory():
+        while True:
+            yield Compute(compute_us)
+            yield EndActivation()
+    return factory
+
+
+class TestConfigValidation:
+    def test_valid_config(self):
+        assert basic_config().validate() == []
+
+    def test_overlapping_windows_rejected(self):
+        config = basic_config()
+        config.plans[0].add_window(0, core=0, start_us=500.0,
+                                   duration_us=400.0)
+        assert any("overlap" in p for p in config.validate())
+
+    def test_window_beyond_major_frame(self):
+        config = basic_config()
+        config.plans[0].add_window(1, core=1, start_us=900.0,
+                                   duration_us=200.0)
+        assert any("major frame" in p for p in config.validate())
+
+    def test_shared_memory_rejected(self):
+        config = SystemConfig()
+        config.add_partition(0, "A", [MemoryArea("m", 0x0, 0x100)])
+        config.add_partition(1, "B", [MemoryArea("m2", 0x80, 0x100)])
+        assert any("spatial isolation" in p for p in config.validate())
+
+    def test_unknown_partition_in_window(self):
+        config = basic_config()
+        config.plans[0].add_window(9, core=1, start_us=0.0,
+                                   duration_us=10.0)
+        assert any("unknown partition" in p for p in config.validate())
+
+    def test_hypervisor_rejects_bad_config(self):
+        config = basic_config()
+        config.plans[0].add_window(0, core=0, start_us=0.0,
+                                   duration_us=999.0)
+        with pytest.raises(HypervisorError):
+            XtratumHypervisor(config)
+
+
+class TestScheduling:
+    def test_partitions_get_their_budget(self):
+        hv = XtratumHypervisor(basic_config())
+        hv.load_partition(0, steady_workload(300.0), period_us=1000.0)
+        hv.load_partition(1, steady_workload(200.0), period_us=1000.0)
+        metrics = hv.run(frames=10)
+        assert metrics.partitions[0].activations == 10
+        assert metrics.partitions[1].activations == 10
+        assert metrics.partitions[0].cpu_time_us == pytest.approx(
+            10 * 300.0, rel=0.01)
+
+    def test_window_preemption_enforced(self):
+        # Partition 0 wants 600us per activation but its window is 400us:
+        # strictly preempted, work carries over, partition 1 unaffected.
+        hv = XtratumHypervisor(basic_config())
+        hv.load_partition(0, steady_workload(600.0), period_us=1000.0)
+        hv.load_partition(1, steady_workload(200.0), period_us=1000.0,
+                          deadline_us=900.0)
+        metrics = hv.run(frames=10)
+        assert metrics.partitions[1].deadline_misses == 0
+        # CPU time of partition 0 is capped by its windows.
+        assert metrics.partitions[0].cpu_time_us <= 10 * 400.0 + 1e-6
+        assert hv.health.count(HmEvent.WINDOW_OVERRUN) > 0
+
+    def test_deadline_miss_detection(self):
+        config = basic_config()
+        hv = XtratumHypervisor(config)
+        hv.load_partition(0, steady_workload(350.0), period_us=1000.0,
+                          deadline_us=100.0)  # impossible deadline
+        hv.load_partition(1, steady_workload(10.0), period_us=1000.0)
+        metrics = hv.run(frames=5)
+        assert metrics.partitions[0].deadline_misses == 5
+
+    def test_multicore_parallel_windows(self):
+        config = SystemConfig(cores=4, context_switch_us=1.0)
+        for pid in range(4):
+            config.add_partition(pid, f"P{pid}")
+        plan = config.add_plan(0, major_frame_us=500.0)
+        for pid in range(4):
+            plan.add_window(pid, core=pid, start_us=0.0, duration_us=500.0)
+        hv = XtratumHypervisor(config)
+        for pid in range(4):
+            hv.load_partition(pid, steady_workload(400.0), period_us=500.0)
+        metrics = hv.run(frames=4)
+        for pid in range(4):
+            assert metrics.partitions[pid].activations == 4
+        # Four cores ran in parallel within the same wall-clock frames.
+        total_cpu = sum(metrics.partitions[p].cpu_time_us for p in range(4))
+        assert total_cpu > metrics.total_time_us  # impossible on one core
+
+    def test_hypervisor_overhead_accounted(self):
+        hv = XtratumHypervisor(basic_config(context_switch_us=5.0))
+        hv.load_partition(0, steady_workload(100.0), period_us=1000.0)
+        hv.load_partition(1, steady_workload(100.0), period_us=1000.0)
+        metrics = hv.run(frames=10)
+        assert metrics.hypervisor_overhead_us == pytest.approx(
+            10 * 2 * 5.0)
+
+    def test_jitter_bounded_by_plan(self):
+        hv = XtratumHypervisor(basic_config())
+        hv.load_partition(0, steady_workload(50.0), period_us=1000.0)
+        hv.load_partition(1, steady_workload(50.0), period_us=1000.0)
+        metrics = hv.run(frames=20)
+        # Partition 1's window starts 400us into the frame: its jitter is
+        # the offset plus the context switch, deterministic every frame.
+        assert metrics.partitions[1].max_jitter_us == pytest.approx(402.0)
+
+    def test_unloaded_partition_rejected_at_boot(self):
+        hv = XtratumHypervisor(basic_config())
+        hv.load_partition(0, steady_workload())
+        with pytest.raises(HypervisorError, match="without software"):
+            hv.boot()
+
+
+class TestTemporalIsolation:
+    """The core TSP property: a misbehaving partition cannot disturb
+    the others (paper §III)."""
+
+    def run_with_partner(self, partner_factory):
+        hv = XtratumHypervisor(basic_config())
+        hv.load_partition(0, partner_factory, period_us=1000.0)
+        hv.load_partition(1, steady_workload(200.0), period_us=1000.0,
+                          deadline_us=900.0)
+        return hv.run(frames=20), hv
+
+    def test_overrunning_partner(self):
+        healthy, _ = self.run_with_partner(steady_workload(100.0))
+        hostile, _ = self.run_with_partner(steady_workload(10_000.0))
+        assert hostile.partitions[1].deadline_misses == 0
+        assert hostile.partitions[1].worst_response_us == pytest.approx(
+            healthy.partitions[1].worst_response_us, rel=0.01)
+
+    def test_faulting_partner(self):
+        def crasher():
+            yield Compute(50.0)
+            yield Fault("segfault")
+
+        metrics, hv = self.run_with_partner(crasher)
+        assert metrics.partitions[1].deadline_misses == 0
+        assert hv.health.count(HmEvent.PARTITION_FAULT) > 0
+
+    def test_halted_partner_frees_nothing(self):
+        def dies_immediately():
+            yield Compute(1.0)
+            # generator ends -> partition halted
+
+        metrics, _ = self.run_with_partner(dies_immediately)
+        # Partition 1 keeps exactly its own budget and timing.
+        assert metrics.partitions[1].activations == 20
+        assert metrics.partitions[1].deadline_misses == 0
+
+
+class TestHealthMonitor:
+    def test_fault_triggers_restart(self):
+        def faulty():
+            yield Compute(10.0)
+            yield Fault("bitflip")
+
+        hv = XtratumHypervisor(basic_config())
+        hv.load_partition(0, faulty, period_us=1000.0)
+        hv.load_partition(1, steady_workload(10.0), period_us=1000.0)
+        metrics = hv.run(frames=3)
+        assert metrics.partitions[0].restarts >= 2
+        assert hv.partitions[0].state is not PartitionState.FAULTED
+
+    def test_halt_action(self):
+        def faulty():
+            yield Fault("fatal")
+
+        table = {HmEvent.PARTITION_FAULT: HmAction.HALT_PARTITION}
+        hv = XtratumHypervisor(basic_config(), hm_table=table)
+        hv.load_partition(0, faulty)
+        hv.load_partition(1, steady_workload(10.0), period_us=1000.0)
+        hv.run(frames=3)
+        assert hv.partitions[0].state is PartitionState.HALTED
+
+    def test_hm_log_records(self):
+        def faulty():
+            yield Fault("oops")
+
+        hv = XtratumHypervisor(basic_config())
+        hv.load_partition(0, faulty)
+        hv.load_partition(1, steady_workload(10.0), period_us=1000.0)
+        hv.run(frames=1)
+        entries = hv.health.events_for(0)
+        assert entries
+        assert entries[0].event is HmEvent.PARTITION_FAULT
+
+
+class TestPorts:
+    def ported_config(self):
+        config = basic_config()
+        config.add_port("telemetry", PortKind.SAMPLING, source=0,
+                        destinations=[1])
+        config.add_port("commands", PortKind.QUEUING, source=1,
+                        destinations=[0], depth=4)
+        return config
+
+    def test_sampling_port_flow(self):
+        received = []
+
+        def producer():
+            value = 0
+            while True:
+                yield WritePort("telemetry", {"count": value})
+                value += 1
+                yield EndActivation()
+
+        def consumer():
+            while True:
+                (message,) = yield ReadPort("telemetry")
+                if message is not None:
+                    received.append(message["count"])
+                yield EndActivation()
+
+        hv = XtratumHypervisor(self.ported_config())
+        hv.load_partition(0, producer, period_us=1000.0)
+        hv.load_partition(1, consumer, period_us=1000.0)
+        hv.run(frames=5)
+        assert received == [0, 1, 2, 3, 4]
+
+    def test_queuing_port_fifo(self):
+        got = []
+
+        def commander():
+            for index in range(10):
+                yield WritePort("commands", index)
+                yield EndActivation()
+            while True:
+                yield EndActivation()
+
+        def executor():
+            while True:
+                (command,) = yield ReadPort("commands")
+                if command is not None:
+                    got.append(command)
+                yield EndActivation()
+
+        hv = XtratumHypervisor(self.ported_config())
+        hv.load_partition(0, executor, period_us=1000.0)
+        hv.load_partition(1, commander, period_us=1000.0)
+        hv.run(frames=12)
+        assert got == list(range(10))[:len(got)]
+        assert got  # something flowed
+
+    def test_wrong_source_suspended(self):
+        def impostor():
+            yield WritePort("commands", "evil")   # not the source
+            yield EndActivation()
+
+        hv = XtratumHypervisor(self.ported_config())
+        hv.load_partition(0, impostor, period_us=1000.0)
+        hv.load_partition(1, steady_workload(10.0), period_us=1000.0)
+        hv.run(frames=2)
+        assert hv.health.count(HmEvent.PORT_VIOLATION) >= 1
+        assert hv.partitions[0].state is PartitionState.SUSPENDED
+
+
+class TestHypercalls:
+    def test_get_time(self):
+        hv = XtratumHypervisor(basic_config())
+        hv.load_partition(0, steady_workload(10.0), period_us=1000.0)
+        hv.load_partition(1, steady_workload(10.0), period_us=1000.0)
+        hv.run(frames=2)
+        assert hv.api.invoke(XM_GET_TIME, 0) == pytest.approx(2000.0)
+
+    def test_plan_switch_requires_system_partition(self):
+        config = basic_config()
+        plan2 = config.add_plan(1, major_frame_us=500.0)
+        plan2.add_window(0, core=0, start_us=0.0, duration_us=250.0)
+        plan2.add_window(1, core=0, start_us=250.0, duration_us=250.0)
+        hv = XtratumHypervisor(config)
+        hv.load_partition(0, steady_workload(10.0), period_us=1000.0)
+        hv.load_partition(1, steady_workload(10.0), period_us=1000.0)
+        with pytest.raises(HypercallError):
+            hv.api.invoke(XM_SWITCH_PLAN, 0, 1)
+
+    def test_plan_switch_applied_at_frame_boundary(self):
+        config = basic_config()
+        config.partitions[0].system_partition = True
+        plan2 = config.add_plan(1, major_frame_us=500.0)
+        plan2.add_window(0, core=0, start_us=0.0, duration_us=250.0)
+        plan2.add_window(1, core=0, start_us=250.0, duration_us=250.0)
+        hv = XtratumHypervisor(config)
+        hv.load_partition(0, steady_workload(10.0), period_us=500.0)
+        hv.load_partition(1, steady_workload(10.0), period_us=500.0)
+        hv.boot()
+        hv.active_plan_id = 0
+        hv.api.invoke(XM_SWITCH_PLAN, 0, 1)
+        hv.run(frames=3)
+        assert hv.active_plan_id == 1
+
+    def test_svc_bridge_from_core(self):
+        from repro.hypervisor import SvcBridge
+        from repro.soc import NgUltraSoc, TCM_BASE, assemble
+
+        hv = XtratumHypervisor(basic_config())
+        hv.load_partition(0, steady_workload(10.0), period_us=1000.0)
+        hv.load_partition(1, steady_workload(10.0), period_us=1000.0)
+        hv.run(frames=1)
+        bridge = SvcBridge(hv.api, partition_of_core={0: 0})
+        soc = NgUltraSoc(svc_handler=bridge)
+        program = assemble("""
+            MOVI r0, #1     ; XM_GET_TIME
+            SVC #0
+            HALT
+        """, base_address=TCM_BASE)
+        soc.tcm.load(program)
+        core = soc.master_core()
+        core.reset(TCM_BASE)
+        core.run(10)
+        assert core.regs[0] == 1000  # time after one 1000us frame
+        assert bridge.trap_count == 1
+
+
+class TestSummary:
+    def test_summary_renders(self):
+        hv = XtratumHypervisor(basic_config())
+        hv.load_partition(0, steady_workload(100.0), period_us=1000.0)
+        hv.load_partition(1, steady_workload(100.0), period_us=1000.0)
+        metrics = hv.run(frames=4)
+        text = hv.summary(metrics)
+        assert "P0" in text and "P1" in text
+        assert "overhead" in text
+
+
+class TestXmcf:
+    """XM_CF XML configuration round-trips (the XtratuM config file)."""
+
+    def test_roundtrip_preserves_structure(self):
+        from repro.hypervisor.xmcf import config_from_xml, config_to_xml
+        original = basic_config()
+        original.add_port("tm", PortKind.SAMPLING, source=0,
+                          destinations=[1])
+        text = config_to_xml(original)
+        parsed = config_from_xml(text)
+        assert set(parsed.partitions) == set(original.partitions)
+        assert parsed.partitions[0].name == "P0"
+        assert parsed.plans[0].major_frame_us == 1000.0
+        assert len(parsed.plans[0].windows) == 2
+        assert "tm" in parsed.ports
+        assert parsed.cores == original.cores
+
+    def test_mission_config_roundtrip_and_run(self):
+        from repro.apps import mission
+        from repro.hypervisor.xmcf import config_from_xml, config_to_xml
+        text = config_to_xml(mission.mission_config())
+        parsed = config_from_xml(text)
+        hv = XtratumHypervisor(parsed)
+        hv.load_partition(0, mission.aocs_workload, period_us=5000.0)
+        hv.load_partition(1, mission.vbn_workload, period_us=10000.0)
+        hv.load_partition(2, mission.eor_workload, period_us=10000.0)
+        hv.load_partition(3, mission.telemetry_workload, period_us=10000.0)
+        metrics = hv.run(frames=3)
+        assert metrics.partitions[0].activations == 6
+
+    def test_invalid_xml_rejected(self):
+        from repro.hypervisor import ConfigError
+        from repro.hypervisor.xmcf import config_from_xml
+        with pytest.raises(ConfigError, match="malformed"):
+            config_from_xml("<SystemDescription><oops>")
+
+    def test_invalid_config_rejected_on_parse(self):
+        from repro.hypervisor import ConfigError
+        from repro.hypervisor.xmcf import config_from_xml, config_to_xml
+        config = basic_config()
+        text = config_to_xml(config)
+        # Corrupt the document: point a slot at an unknown partition.
+        text = text.replace('partitionId="1"', 'partitionId="9"')
+        with pytest.raises(ConfigError, match="validation"):
+            config_from_xml(text)
+
+    def test_memory_areas_preserved(self):
+        from repro.hypervisor.xmcf import config_from_xml, config_to_xml
+        parsed = config_from_xml(config_to_xml(basic_config()))
+        area = parsed.partitions[0].memory[0]
+        assert area.base == 0x1000
+        assert area.size == 0x1000
+
+
+class TestModeSwitchMission:
+    """Multi-plan operation: a system partition switches the schedule
+    between mission phases (orbit raising -> station keeping)."""
+
+    def mode_config(self):
+        config = SystemConfig(cores=2, context_switch_us=1.0)
+        config.add_partition(0, "GNC")
+        config.add_partition(1, "EOR")
+        config.add_partition(2, "MGMT", system_partition=True)
+        transfer = config.add_plan(0, major_frame_us=1000.0)
+        transfer.add_window(0, core=0, start_us=0.0, duration_us=300.0)
+        transfer.add_window(1, core=0, start_us=300.0, duration_us=600.0)
+        transfer.add_window(2, core=1, start_us=0.0, duration_us=100.0)
+        station = config.add_plan(1, major_frame_us=1000.0)
+        station.add_window(0, core=0, start_us=0.0, duration_us=800.0)
+        station.add_window(2, core=1, start_us=0.0, duration_us=100.0)
+        return config
+
+    def test_switch_between_phases(self):
+        config = self.mode_config()
+        hv = XtratumHypervisor(config)
+        hv.load_partition(0, steady_workload(100.0), period_us=1000.0)
+        hv.load_partition(1, steady_workload(400.0), period_us=1000.0)
+
+        # The management partition requests the plan switch through the
+        # hypercall API after the orbit-raising phase completes.
+        hv.load_partition(2, steady_workload(10.0), period_us=1000.0)
+        hv.boot()
+        first = hv.run(frames=5, plan_id=0)
+        assert hv.active_plan_id == 0
+        hv.api.invoke(XM_SWITCH_PLAN, 2, 1)   # MGMT is a system partition
+        hv.run(frames=5, plan_id=hv.active_plan_id)
+        assert hv.active_plan_id == 1
+        # In station-keeping, EOR no longer gets CPU: its activation
+        # count freezes while GNC keeps running.
+        eor_acts = len(hv.partitions[1].activations)
+        gnc_acts_before = len(hv.partitions[0].activations)
+        hv.run(frames=3, plan_id=hv.active_plan_id)
+        assert len(hv.partitions[1].activations) == eor_acts
+        assert len(hv.partitions[0].activations) > gnc_acts_before

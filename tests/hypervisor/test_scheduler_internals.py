@@ -1,0 +1,130 @@
+"""Focused tests on scheduler internals: window executions, metrics
+plumbing and partition lifecycle edge cases."""
+
+import pytest
+
+from repro.hypervisor import (
+    Compute,
+    EndActivation,
+    MemoryArea,
+    PartitionState,
+    SystemConfig,
+    XtratumHypervisor,
+)
+
+
+def two_partition_config(context_switch_us=2.0):
+    config = SystemConfig(cores=1, context_switch_us=context_switch_us)
+    config.add_partition(0, "A")
+    config.add_partition(1, "B")
+    plan = config.add_plan(0, major_frame_us=1000.0)
+    plan.add_window(0, core=0, start_us=0.0, duration_us=500.0)
+    plan.add_window(1, core=0, start_us=500.0, duration_us=500.0)
+    return config
+
+
+def workload(us):
+    def factory():
+        while True:
+            yield Compute(us)
+            yield EndActivation()
+    return factory
+
+
+class TestWindowExecutions:
+    def test_every_window_recorded(self):
+        hv = XtratumHypervisor(two_partition_config())
+        hv.load_partition(0, workload(100.0), period_us=1000.0)
+        hv.load_partition(1, workload(100.0), period_us=1000.0)
+        metrics = hv.run(frames=4)
+        assert len(metrics.executions) == 8  # 2 windows x 4 frames
+
+    def test_used_time_bounded_by_window(self):
+        hv = XtratumHypervisor(two_partition_config())
+        hv.load_partition(0, workload(2000.0), period_us=1000.0)
+        hv.load_partition(1, workload(100.0), period_us=1000.0)
+        metrics = hv.run(frames=3)
+        for execution in metrics.executions:
+            assert execution.used_us <= execution.window.duration_us + 1e-6
+
+    def test_preemption_flag_set_on_overrun(self):
+        hv = XtratumHypervisor(two_partition_config())
+        hv.load_partition(0, workload(2000.0), period_us=1000.0)
+        hv.load_partition(1, workload(10.0), period_us=1000.0)
+        metrics = hv.run(frames=2)
+        overruns = [e for e in metrics.executions
+                    if e.window.partition == 0 and e.preempted]
+        assert overruns
+
+    def test_idle_partition_window_unused(self):
+        # Partition with a long period skips frames entirely.
+        hv = XtratumHypervisor(two_partition_config())
+        hv.load_partition(0, workload(50.0), period_us=3000.0)
+        hv.load_partition(1, workload(50.0), period_us=1000.0)
+        metrics = hv.run(frames=6)
+        assert metrics.partitions[0].activations == 2
+        assert metrics.partitions[1].activations == 6
+
+
+class TestMetricsPlumbing:
+    def test_utilization_fraction(self):
+        hv = XtratumHypervisor(two_partition_config())
+        hv.load_partition(0, workload(250.0), period_us=1000.0)
+        hv.load_partition(1, workload(100.0), period_us=1000.0)
+        metrics = hv.run(frames=10)
+        assert metrics.utilization(0) == pytest.approx(0.25, rel=0.02)
+
+    def test_partition_metrics_row_renders(self):
+        hv = XtratumHypervisor(two_partition_config())
+        hv.load_partition(0, workload(10.0), period_us=1000.0)
+        hv.load_partition(1, workload(10.0), period_us=1000.0)
+        metrics = hv.run(frames=2)
+        row = metrics.partitions[0].row()
+        assert "cpu=" in row and "act=" in row
+
+    def test_idle_time_non_negative(self):
+        hv = XtratumHypervisor(two_partition_config())
+        hv.load_partition(0, workload(10.0), period_us=1000.0)
+        hv.load_partition(1, workload(10.0), period_us=1000.0)
+        metrics = hv.run(frames=5)
+        assert metrics.idle_us >= 0
+
+
+class TestLifecycle:
+    def test_suspend_resume_via_api(self):
+        from repro.hypervisor import XM_RESUME_PARTITION, \
+            XM_SUSPEND_PARTITION
+        config = two_partition_config()
+        config.partitions[0].system_partition = True
+        hv = XtratumHypervisor(config)
+        hv.load_partition(0, workload(10.0), period_us=1000.0)
+        hv.load_partition(1, workload(10.0), period_us=1000.0)
+        hv.run(frames=1)
+        hv.api.invoke(XM_SUSPEND_PARTITION, 0, 1)
+        assert hv.partitions[1].state is PartitionState.SUSPENDED
+        before = hv.partitions[1].cpu_time_us
+        hv.run(frames=2)
+        assert hv.partitions[1].cpu_time_us == before  # no CPU while out
+        hv.api.invoke(XM_RESUME_PARTITION, 0, 1)
+        hv.run(frames=2)
+        assert hv.partitions[1].cpu_time_us > before
+
+    def test_finished_generator_halts_partition(self):
+        def one_shot():
+            yield Compute(5.0)
+            yield EndActivation()
+            # generator returns -> partition halts
+
+        hv = XtratumHypervisor(two_partition_config())
+        hv.load_partition(0, one_shot, period_us=1000.0)
+        hv.load_partition(1, workload(10.0), period_us=1000.0)
+        hv.run(frames=3)
+        assert hv.partitions[0].state is PartitionState.HALTED
+        assert hv.partitions[1].state is PartitionState.NORMAL
+
+    def test_double_load_rejected(self):
+        from repro.hypervisor import HypervisorError
+        hv = XtratumHypervisor(two_partition_config())
+        hv.load_partition(0, workload(10.0))
+        with pytest.raises(HypervisorError, match="already loaded"):
+            hv.load_partition(0, workload(10.0))

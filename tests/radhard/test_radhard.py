@@ -1,0 +1,314 @@
+"""Tests for ECC, TMR, integrity checking, SEU injection and campaigns."""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.radhard import (
+    Campaign,
+    CampaignError,
+    CrossSection,
+    EccError,
+    EccMemory,
+    EccMemoryTarget,
+    IntegrityError,
+    IntegrityMap,
+    SeuInjector,
+    TmrMemory,
+    TmrMemoryTarget,
+    TmrRegister,
+    WordMemoryTarget,
+    codeword_bits,
+    decode,
+    encode,
+    vote_bitwise,
+    vote_words,
+)
+
+
+class TestEccCodec:
+    @given(st.integers(min_value=0, max_value=2**32 - 1))
+    @settings(max_examples=100)
+    def test_roundtrip(self, value):
+        assert decode(encode(value)).value == value
+
+    @given(st.integers(min_value=0, max_value=2**32 - 1),
+           st.integers(min_value=0, max_value=38))
+    @settings(max_examples=200)
+    def test_single_bit_error_corrected(self, value, bit):
+        code = encode(value) ^ (1 << bit)
+        result = decode(code)
+        assert result.value == value
+        assert result.corrected
+        assert not result.double_error
+
+    @given(st.integers(min_value=0, max_value=2**32 - 1),
+           st.integers(min_value=0, max_value=38),
+           st.integers(min_value=0, max_value=38))
+    @settings(max_examples=200)
+    def test_double_bit_error_detected(self, value, bit1, bit2):
+        if bit1 == bit2:
+            return
+        code = encode(value) ^ (1 << bit1) ^ (1 << bit2)
+        result = decode(code)
+        assert result.double_error
+
+    def test_codeword_width(self):
+        # 32 data bits need 6 Hamming parity bits + overall parity.
+        assert codeword_bits(32) == 39
+
+    def test_range_check(self):
+        with pytest.raises(EccError):
+            encode(2**32, data_bits=32)
+
+    def test_other_widths(self):
+        for width in (8, 16, 64):
+            value = (1 << width) - 3
+            assert decode(encode(value, width), width).value == value
+
+
+class TestEccMemory:
+    def test_write_read(self):
+        memory = EccMemory(16)
+        memory.write(3, 0xDEADBEEF)
+        assert memory.read(3) == 0xDEADBEEF
+
+    def test_seu_corrected_transparently(self):
+        memory = EccMemory(16)
+        memory.write(5, 12345)
+        memory.inject_bit_flip(5, 7)
+        assert memory.read(5) == 12345
+        assert memory.stats.corrected == 1
+
+    def test_double_seu_raises(self):
+        memory = EccMemory(16)
+        memory.write(5, 999)
+        memory.inject_bit_flip(5, 2)
+        memory.inject_bit_flip(5, 20)
+        with pytest.raises(EccError):
+            memory.read(5)
+        assert memory.stats.uncorrectable == 1
+
+    def test_scrub_removes_latent_errors(self):
+        memory = EccMemory(8)
+        for address in range(8):
+            memory.write(address, address * 1111)
+        memory.inject_bit_flip(2, 3)
+        memory.inject_bit_flip(6, 10)
+        fixed = memory.scrub()
+        assert fixed == 2
+        assert memory.scrub() == 0
+
+    def test_scrubbing_prevents_accumulation(self):
+        # Two upsets to the same word across a scrub interval stay
+        # correctable; without scrubbing they would be fatal.
+        with_scrub = EccMemory(4)
+        with_scrub.write(0, 42)
+        with_scrub.inject_bit_flip(0, 1)
+        with_scrub.scrub()
+        with_scrub.inject_bit_flip(0, 9)
+        assert with_scrub.read(0) == 42
+        without = EccMemory(4)
+        without.write(0, 42)
+        without.inject_bit_flip(0, 1)
+        without.inject_bit_flip(0, 9)
+        with pytest.raises(EccError):
+            without.read(0)
+
+
+class TestTmr:
+    @given(st.integers(min_value=0, max_value=2**32 - 1),
+           st.integers(min_value=0, max_value=31),
+           st.integers(min_value=0, max_value=2))
+    @settings(max_examples=100)
+    def test_single_copy_flip_always_voted_out(self, value, bit, copy):
+        register = TmrRegister(value)
+        register.inject(copy, bit)
+        assert register.read() == value
+
+    def test_word_vote(self):
+        assert vote_words(7, 7, 9).value == 7
+        assert vote_words(7, 9, 9).value == 9
+        assert vote_words(5, 5, 5).unanimous
+
+    def test_bitwise_vote_survives_distinct_flips(self):
+        value = 0b101010
+        a = value ^ 0b000001
+        b = value ^ 0b010000
+        c = value ^ 0b000100
+        assert vote_bitwise(a, b, c) == value
+
+    def test_register_self_repair(self):
+        register = TmrRegister(100)
+        register.inject(1, 3)
+        register.read(repair=True)
+        assert register.copies == (100, 100, 100)
+
+    def test_memory_vote_and_scrub(self):
+        memory = TmrMemory(8)
+        memory.load([10, 20, 30, 40])
+        memory.inject(0, 1, 2)
+        memory.inject(2, 3, 7)
+        assert memory.read(1) == 20
+        fixed = memory.scrub()
+        assert fixed >= 1
+        assert memory.read(3) == 40
+
+    def test_two_copies_corrupted_same_word_fails(self):
+        # TMR's limit: two copies upset in the same word outvote the good
+        # one at module level; bitwise voting still saves distinct bits.
+        memory = TmrMemory(4)
+        memory.load([0xFF])
+        memory.inject(0, 0, 4)
+        memory.inject(1, 0, 4)   # same bit flips in two banks
+        assert memory.read(0) != 0xFF
+
+
+class TestIntegrityMap:
+    def test_verify_clean(self):
+        backing = list(range(64))
+        imap = IntegrityMap(backing)
+        imap.add_region("code", 0, 32)
+        imap.add_region("data", 32, 32)
+        assert imap.verify() == []
+
+    def test_corruption_detected(self):
+        backing = list(range(64))
+        imap = IntegrityMap(backing)
+        imap.add_region("code", 0, 32)
+        backing[5] ^= 0x100
+        violations = imap.verify()
+        assert len(violations) == 1
+        assert violations[0].region == "code"
+
+    def test_reseal_after_update(self):
+        backing = list(range(16))
+        imap = IntegrityMap(backing)
+        imap.add_region("cfg", 0, 16)
+        backing[0] = 777
+        assert imap.verify()
+        imap.reseal("cfg")
+        assert imap.verify() == []
+
+    def test_overlap_rejected(self):
+        imap = IntegrityMap([0] * 32)
+        imap.add_region("a", 0, 16)
+        with pytest.raises(IntegrityError):
+            imap.add_region("b", 8, 16)
+
+    def test_out_of_range_rejected(self):
+        imap = IntegrityMap([0] * 8)
+        with pytest.raises(IntegrityError):
+            imap.add_region("big", 0, 64)
+
+
+class TestSeuInjector:
+    def test_word_memory_flip(self):
+        memory = [0] * 8
+        injector = SeuInjector(WordMemoryTarget(memory), seed=3)
+        upset = injector.inject_at(33)
+        assert memory[1] == 2  # word 1, bit 1
+        assert "ram[1]" in upset.description
+
+    def test_random_injection_seeded(self):
+        m1, m2 = [0] * 16, [0] * 16
+        SeuInjector(WordMemoryTarget(m1), seed=9).inject_random()
+        SeuInjector(WordMemoryTarget(m2), seed=9).inject_random()
+        assert m1 == m2
+
+    def test_burst_distinct_bits(self):
+        memory = [0] * 4
+        injector = SeuInjector(WordMemoryTarget(memory), seed=5)
+        upsets = injector.inject_burst(10)
+        assert len({u.bit_index for u in upsets}) == 10
+
+    def test_ecc_target_covers_parity(self):
+        memory = EccMemory(4)
+        target = EccMemoryTarget(memory)
+        assert target.bit_count() == 4 * codeword_bits(32)
+
+    def test_tmr_target_covers_banks(self):
+        memory = TmrMemory(4)
+        target = TmrMemoryTarget(memory)
+        assert target.bit_count() == 3 * 4 * 32
+
+
+class TestCampaign:
+    def make_campaign(self, protect: bool):
+        def setup():
+            memory = EccMemory(16) if protect else [0] * 16
+            values = [i * 37 for i in range(16)]
+            if protect:
+                for address, value in enumerate(values):
+                    memory.write(address, value)
+                return {"mem": memory, "golden": values}
+            memory[:] = values
+            return {"mem": memory, "golden": values}
+
+        def inject(context, rng):
+            if protect:
+                injector = SeuInjector(EccMemoryTarget(context["mem"]),
+                                       seed=rng.randrange(1 << 30))
+            else:
+                injector = SeuInjector(WordMemoryTarget(context["mem"]),
+                                       seed=rng.randrange(1 << 30))
+            return injector.inject_random().description
+
+        def evaluate(context):
+            memory = context["mem"]
+            if protect:
+                try:
+                    values = [memory.read(a) for a in range(16)]
+                except EccError:
+                    return "detected"
+                if values == context["golden"]:
+                    return "corrected" if memory.stats.corrected else "masked"
+                return "sdc"
+            values = list(memory)
+            return "masked" if values == context["golden"] else "sdc"
+
+        return Campaign("ecc" if protect else "raw", setup, inject, evaluate)
+
+    def test_unprotected_memory_suffers_sdc(self):
+        report = self.make_campaign(protect=False).run(100, seed=11)
+        assert report.rate("sdc") > 0.9
+
+    def test_ecc_eliminates_sdc(self):
+        report = self.make_campaign(protect=True).run(100, seed=11)
+        assert report.counts.get("sdc", 0) == 0
+        assert report.mitigation_effectiveness == 1.0
+
+    def test_report_rates_sum_to_one(self):
+        report = self.make_campaign(protect=True).run(50, seed=2)
+        total = sum(report.rate(o) for o in
+                    ("masked", "corrected", "detected", "sdc", "crash"))
+        assert total == pytest.approx(1.0)
+
+    def test_unknown_outcome_rejected(self):
+        campaign = Campaign("bad", lambda: {}, lambda c, r: "",
+                            lambda c: "exploded")
+        with pytest.raises(CampaignError):
+            campaign.run(1)
+
+
+class TestCrossSection:
+    def test_device_sigma(self):
+        xs = CrossSection(events=50, fluence_per_cm2=1e10)
+        assert xs.device_cm2 == pytest.approx(5e-9)
+
+    def test_per_bit(self):
+        xs = CrossSection(events=100, fluence_per_cm2=1e10,
+                          sensitive_bits=1_000_000)
+        assert xs.per_bit_cm2 == pytest.approx(1e-14)
+
+    def test_orbit_prediction(self):
+        xs = CrossSection(events=10, fluence_per_cm2=1e9)
+        upsets = xs.expected_upsets_in_orbit(flux_per_cm2_per_day=1e6,
+                                             days=365)
+        assert upsets == pytest.approx(1e-8 * 1e6 * 365)
+
+    def test_fluence_validation(self):
+        with pytest.raises(CampaignError):
+            CrossSection(events=1, fluence_per_cm2=0).device_cm2

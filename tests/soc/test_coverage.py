@@ -1,0 +1,146 @@
+"""Tests for the structural-coverage tracer (the gcov role, paper §IV)."""
+
+import pytest
+
+from repro.soc import NgUltraSoc, TCM_BASE, assemble
+from repro.soc.coverage import CoverageTracer
+
+BRANCHY = """
+    MOVI r0, #0
+    MOVI r1, #5
+    loop:
+    ADDI r0, r0, #1
+    CMP r0, r1
+    BLT loop
+    MOVI r2, #0
+    CMP r2, r1
+    BEQ dead
+    MOVI r3, #1
+    HALT
+    dead:
+    MOVI r3, #99
+    HALT
+"""
+
+
+def run_traced(source, max_steps=1000):
+    soc = NgUltraSoc()
+    words = assemble(source, base_address=TCM_BASE)
+    soc.tcm.load(words)
+    tracer = CoverageTracer(TCM_BASE, len(words))
+    core = soc.master_core()
+    tracer.attach(core)
+    core.reset(TCM_BASE)
+    core.run(max_steps)
+    return tracer, core, words
+
+
+class TestStatementCoverage:
+    def test_straight_line_full_coverage(self):
+        tracer, _core, _ = run_traced("MOVI r0, #1\nADDI r0, r0, #2\nHALT")
+        assert tracer.statement_coverage() == 1.0
+        assert tracer.meets_dal_b()
+
+    def test_dead_code_detected(self):
+        tracer, core, words = run_traced(BRANCHY)
+        assert core.regs[3] == 1  # took the live path
+        assert tracer.statement_coverage() < 1.0
+        assert not tracer.meets_dal_b()
+        uncovered = tracer.uncovered_addresses()
+        assert len(uncovered) == 2  # the `dead:` block
+
+    def test_hit_counts_accumulate_in_loops(self):
+        tracer, _core, words = run_traced(BRANCHY)
+        # The loop body executes 5 times.
+        loop_addi = TCM_BASE + 2 * 4
+        assert tracer.executed[loop_addi] == 5
+
+    def test_out_of_region_ignored(self):
+        soc = NgUltraSoc()
+        words = assemble("MOVI r0, #1\nHALT", base_address=TCM_BASE)
+        soc.tcm.load(words)
+        tracer = CoverageTracer(TCM_BASE + 0x1000, 4)  # elsewhere
+        core = soc.master_core()
+        tracer.attach(core)
+        core.reset(TCM_BASE)
+        core.run(10)
+        assert tracer.statements_hit == 0
+
+
+class TestBranchCoverage:
+    def test_loop_branch_covers_both(self):
+        tracer, _core, _ = run_traced(BRANCHY)
+        loop_branch = TCM_BASE + 4 * 4   # the BLT
+        record = tracer.branches[loop_branch]
+        assert record.taken == 4
+        assert record.not_taken == 1
+        assert record.both_covered
+
+    def test_one_sided_branch_flagged(self):
+        tracer, _core, _ = run_traced(BRANCHY)
+        beq = TCM_BASE + 7 * 4
+        assert not tracer.branches[beq].both_covered
+        assert tracer.branch_coverage() < 1.0
+
+    def test_full_branch_coverage_with_both_paths(self):
+        source = """
+            MOVI r0, #0
+            again:
+            ADDI r0, r0, #1
+            MOVI r1, #2
+            CMP r0, r1
+            BLT again
+            HALT
+        """
+        tracer, _core, _ = run_traced(source)
+        assert tracer.branch_coverage() == 1.0
+
+
+class TestReport:
+    def test_render_contains_counts_and_gaps(self):
+        tracer, _core, _ = run_traced(BRANCHY)
+        text = tracer.render("branchy")
+        assert "statements:" in text
+        assert "#####" in text          # uncovered marker
+        assert "[taken" in text
+
+    def test_detach_stops_recording(self):
+        soc = NgUltraSoc()
+        words = assemble("MOVI r0, #1\nMOVI r1, #2\nHALT",
+                         base_address=TCM_BASE)
+        soc.tcm.load(words)
+        tracer = CoverageTracer(TCM_BASE, len(words))
+        core = soc.master_core()
+        tracer.attach(core)
+        core.reset(TCM_BASE)
+        core.step()
+        tracer.detach_all()
+        core.run(10)
+        assert tracer.statements_hit == 1
+
+
+class TestQualificationIntegration:
+    def test_coverage_evidence_in_campaign(self):
+        """Coverage gates a validation test exactly like gcov evidence."""
+        from repro.core import Level, QualificationCampaign
+
+        campaign = QualificationCampaign("app-coverage")
+        campaign.add_requirement("COV-1", "application code shall reach "
+                                 "100% statement coverage in validation")
+
+        def run_with_coverage():
+            tracer, core, _ = run_traced("""
+                MOVI r0, #0
+                MOVI r1, #3
+                lp:
+                ADDI r0, r0, #1
+                CMP r0, r1
+                BLT lp
+                HALT
+            """)
+            return tracer.meets_dal_b()
+
+        campaign.add_test("VT-COV", Level.VALIDATION, ["COV-1"],
+                          run_with_coverage)
+        report = campaign.run()
+        assert report.all_passed

@@ -1,0 +1,77 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import main
+
+
+class TestCliHls:
+    def test_hls_report_and_rtl(self, tmp_path, capsys):
+        source = tmp_path / "kernel.c"
+        source.write_text(
+            "int triple(int x) { return x * 3; }\n")
+        out_dir = tmp_path / "rtl"
+        code = main(["hls", str(source), "--top", "triple",
+                     "--out", str(out_dir)])
+        assert code == 0
+        captured = capsys.readouterr().out
+        assert "function triple" in captured
+        assert (out_dir / "triple.v").exists()
+        assert "module triple" in (out_dir / "triple.v").read_text()
+
+    def test_hls_opt_levels(self, tmp_path, capsys):
+        source = tmp_path / "kernel.c"
+        source.write_text("int f(int x) { return x + 0 + 3 * 4; }\n")
+        for opt in (0, 3):
+            assert main(["hls", str(source), "--top", "f",
+                         "--opt", str(opt)]) == 0
+
+
+class TestCliCharacterize:
+    def test_xml_to_stdout(self, capsys):
+        code = main(["characterize", "--components", "logic",
+                     "--widths", "8", "--effort", "0.1"])
+        assert code == 0
+        assert "component_library" in capsys.readouterr().out
+
+    def test_xml_to_file(self, tmp_path):
+        out = tmp_path / "lib.xml"
+        code = main(["characterize", "--components", "addsub",
+                     "--widths", "8,16", "--effort", "0.1",
+                     "--out", str(out)])
+        assert code == 0
+        from repro.hls.characterization import ComponentLibrary
+        library = ComponentLibrary.from_xml(out.read_text())
+        assert library.lookup("addsub", 8).luts > 0
+
+
+class TestCliBoot:
+    def test_boot_nominal(self, capsys):
+        assert main(["boot"]) == 0
+        captured = capsys.readouterr().out
+        assert "BL0 boot report" in captured
+        assert "BL1 boot report" in captured
+
+    def test_boot_tmr(self, capsys):
+        assert main(["boot", "--copies", "3",
+                     "--redundancy", "tmr"]) == 0
+
+
+class TestCliMission:
+    def test_mission_nominal(self, capsys):
+        assert main(["mission", "--frames", "5"]) == 0
+        assert "XtratuM schedule report" in capsys.readouterr().out
+
+    def test_mission_with_faults(self, capsys):
+        assert main(["mission", "--frames", "6",
+                     "--inject-faults"]) == 0
+
+
+class TestCliParser:
+    def test_requires_subcommand(self):
+        with pytest.raises(SystemExit):
+            main([])
+
+    def test_unknown_subcommand(self):
+        with pytest.raises(SystemExit):
+            main(["frobnicate"])

@@ -1,0 +1,70 @@
+"""Guard tests: every example runs, and the documentation stays in sync
+with the benchmark harness (DESIGN.md's experiment index must point at
+bench files that exist, and vice versa)."""
+
+import re
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+REPO = Path(__file__).resolve().parents[1]
+EXAMPLES = sorted((REPO / "examples").glob("*.py"))
+BENCHES = sorted((REPO / "benchmarks").glob("bench_*.py"))
+
+
+class TestExamplesRun:
+    @pytest.mark.parametrize("example", EXAMPLES,
+                             ids=[e.stem for e in EXAMPLES])
+    def test_example_exits_cleanly(self, example):
+        result = subprocess.run(
+            [sys.executable, str(example)], capture_output=True,
+            text=True, timeout=300, cwd=REPO)
+        assert result.returncode == 0, result.stderr[-2000:]
+        assert result.stdout.strip(), "example printed nothing"
+
+    def test_at_least_four_examples(self):
+        assert len(EXAMPLES) >= 4
+
+    def test_quickstart_exists(self):
+        assert any(e.name == "quickstart.py" for e in EXAMPLES)
+
+
+class TestDesignDocConsistency:
+    def test_every_design_bench_target_exists(self):
+        text = (REPO / "DESIGN.md").read_text()
+        referenced = set(re.findall(r"benchmarks/(bench_\w+\.py)", text))
+        assert referenced, "DESIGN.md lists no bench targets"
+        existing = {b.name for b in BENCHES}
+        missing = referenced - existing
+        assert not missing, f"DESIGN.md references absent benches: {missing}"
+
+    def test_every_bench_documented_somewhere(self):
+        design = (REPO / "DESIGN.md").read_text()
+        experiments = (REPO / "EXPERIMENTS.md").read_text()
+        undocumented = [b.name for b in BENCHES
+                        if b.name not in design
+                        and b.name not in experiments]
+        assert not undocumented, \
+            f"benches missing from docs: {undocumented}"
+
+    def test_experiments_covers_all_figures(self):
+        experiments = (REPO / "EXPERIMENTS.md").read_text()
+        for figure in ("Fig. 1", "Fig. 2", "Fig. 3", "Fig. 4", "Fig. 5"):
+            assert figure in experiments
+
+    def test_readme_mentions_all_packages(self):
+        readme = (REPO / "README.md").read_text()
+        for package in ("repro.hls", "repro.fabric", "repro.soc",
+                        "repro.boot", "repro.hypervisor", "repro.radhard",
+                        "repro.apps", "repro.core"):
+            assert package in readme
+
+    def test_all_public_packages_have_docstrings(self):
+        import importlib
+        for name in ("repro", "repro.hls", "repro.fabric", "repro.soc",
+                     "repro.boot", "repro.hypervisor", "repro.radhard",
+                     "repro.apps", "repro.core", "repro.cli"):
+            module = importlib.import_module(name)
+            assert module.__doc__ and module.__doc__.strip(), name

@@ -1,0 +1,120 @@
+"""Full-stack integration tests: the complete HERMES chain in one run.
+
+C source → HLS → netlist → place/route/STA → bitstream → flash
+provisioning → BL0/BL1/BL2 boot (eFPGA programming + application on the
+R52 cores) → XtratuM mission on the same platform family.
+"""
+
+import pytest
+
+from repro.apps import image, mission
+from repro.boot import BootImage, Bl1Error, ImageKind, provision_flash, \
+    run_boot_chain
+from repro.core import HermesProject
+from repro.soc import DDR_BASE, NgUltraSoc, assemble
+
+
+class TestFullChain:
+    def test_sobel_ip_from_source_to_programmed_fabric(self):
+        project = HermesProject(clock_ns=8.0)
+        accelerator = project.build_accelerator(image.SOBEL_C, "sobel",
+                                                effort=0.15)
+        # The IP is functionally correct...
+        frame = image.synthetic_frame(seed=9)
+        cosim = accelerator.hls.cosimulate(
+            (), {"src": frame.flatten().tolist(), "dst": [0] * frame.size})
+        assert cosim.match
+        # ...fits and routes on the fabric...
+        assert accelerator.flow.routing.failed_connections == 0
+        assert accelerator.flow.timing.fmax_mhz > 1000.0 / 8.0 / 2
+        # ...and its bitstream survives the boot chain into the eFPGA.
+        boot = project.deploy_and_boot(
+            accelerator,
+            application_asm="""
+                MOVI r1, #16
+                MOVI r2, #16
+                LSL r1, r1, r2     ; r1 = 0x100000 (TCM base)
+                MOVI r3, #123
+                STR r3, [r1, #0]
+                LDR r4, [r1, #0]
+                HALT
+            """)
+        soc = project.last_soc
+        assert soc.efpga.programmed and soc.efpga.crc_ok
+        assert soc.efpga.device_name.startswith("NG-ULTRA")
+        assert all(core.regs[4] == 123 for core in soc.cores)
+        assert boot.bl1.report.success
+
+    def test_boot_then_mission_on_same_platform_model(self):
+        """Boot the platform, then run the virtualized mission: the two
+        halves of the ecosystem demo joined."""
+        soc = NgUltraSoc()
+        program = assemble("HALT", base_address=DDR_BASE)
+        hypervisor_image = BootImage(
+            kind=ImageKind.HYPERVISOR, load_address=DDR_BASE,
+            entry_point=DDR_BASE, payload=program, name="xng")
+        provision_flash(soc, [hypervisor_image])
+        boot = run_boot_chain(soc, run_application=False)
+        assert boot.bl1.next_kind is ImageKind.HYPERVISOR
+        # The hypervisor model takes over the booted platform.
+        run = mission.run_mission(frames=10)
+        assert run.metrics.partitions[mission.AOCS_PID].deadline_misses == 0
+        assert run.telemetry
+
+    def test_watchdog_trips_on_stuck_boot(self):
+        soc = NgUltraSoc()
+        program = assemble("HALT", base_address=DDR_BASE)
+        app = BootImage(kind=ImageKind.APPLICATION, load_address=DDR_BASE,
+                        entry_point=DDR_BASE, payload=program, name="app")
+        provision_flash(soc, [app])
+        from repro.boot import Bl1Config
+        # A watchdog window smaller than the DDR-training step (48k
+        # cycles) must trip during boot.
+        with pytest.raises(Bl1Error, match="watchdog"):
+            run_boot_chain(soc, config=Bl1Config(watchdog_timeout=10_000))
+
+    def test_watchdog_survives_nominal_boot(self):
+        soc = NgUltraSoc()
+        program = assemble("HALT", base_address=DDR_BASE)
+        app = BootImage(kind=ImageKind.APPLICATION, load_address=DDR_BASE,
+                        entry_point=DDR_BASE, payload=program, name="app")
+        provision_flash(soc, [app])
+        result = run_boot_chain(soc)
+        assert result.bl1.report.success
+        assert not soc.watchdog.expired
+
+
+class TestCrossSubsystemConsistency:
+    def test_hls_area_feeds_fabric_capacity_check(self):
+        """The HLS report and the fabric flow must agree on scale."""
+        project = HermesProject(clock_ns=8.0)
+        accelerator = project.build_accelerator(image.MEDIAN3_C, "median3",
+                                                effort=0.1)
+        hls_luts = accelerator.hls["median3"].report.area.luts
+        fabric_luts = accelerator.flow.stats["luts"]
+        # Same order of magnitude (elaboration adds controller glue).
+        assert fabric_luts / max(1, hls_luts) < 10
+        assert hls_luts / max(1, fabric_luts) < 10
+
+    def test_bitstream_size_consistent_with_device_grid(self):
+        project = HermesProject(clock_ns=8.0)
+        accelerator = project.build_accelerator(image.MEDIAN3_C, "median3",
+                                                effort=0.1)
+        flow = accelerator.flow
+        cols, rows = flow.placement.grid
+        from repro.fabric.bitstream import TILE_CONFIG_BITS
+        assert flow.bitstream_bits == cols * rows * TILE_CONFIG_BITS
+
+    def test_interpreter_fsmd_and_golden_model_triple_agree(self):
+        from repro.hls import synthesize
+        from repro.hls.ir.interp import run_function
+        frame = image.synthetic_frame(seed=31)
+        expected = image.sobel_reference(frame).flatten().tolist()
+        project = synthesize(image.SOBEL_C, "sobel", clock_ns=8.0)
+        mems = {"src": frame.flatten().tolist(), "dst": [0] * frame.size}
+        _r, interp_mems = run_function(project.module, "sobel", (),
+                                       {k: list(v) for k, v in mems.items()})
+        _r2, _trace, fsmd_mems = project.simulate(
+            (), {k: list(v) for k, v in mems.items()})
+        assert interp_mems["dst"].data == expected
+        assert fsmd_mems["dst"].data == expected

@@ -1,0 +1,189 @@
+"""Property-based tests on the platform substrates (hypothesis)."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.boot import BootImage, ImageKind, LoadEntry, LoadList, LoadSource
+from repro.fabric import NG_ULTRA, place, scaled_device, synthesize_component
+from repro.fabric.bitstream import generate_bitstream
+from repro.hypervisor import PortConfig, PortKind
+from repro.hypervisor.ipc import QueuingPort, SamplingPort
+from repro.radhard import vote_bitwise, vote_words
+from repro.soc import assemble, disassemble
+from repro.soc.cpu import _OPCODES
+
+
+words_strategy = st.lists(st.integers(0, 2**32 - 1), min_size=0,
+                          max_size=64)
+
+
+class TestBootImageProperties:
+    @given(payload=words_strategy,
+           kind=st.sampled_from(list(ImageKind)),
+           load=st.integers(0, 2**32 - 1),
+           entry=st.integers(0, 2**32 - 1))
+    @settings(max_examples=60)
+    def test_image_roundtrip(self, payload, kind, load, entry):
+        image = BootImage(kind=kind, load_address=load, entry_point=entry,
+                          payload=payload)
+        parsed = BootImage.parse(image.to_words())
+        assert parsed.kind is kind
+        assert parsed.load_address == load
+        assert parsed.entry_point == entry
+        assert parsed.payload == [w & 0xFFFFFFFF for w in payload]
+
+    @given(payload=st.lists(st.integers(0, 2**32 - 1), min_size=1,
+                            max_size=32),
+           flip_word=st.integers(0, 31), flip_bit=st.integers(0, 31))
+    @settings(max_examples=60)
+    def test_any_payload_corruption_detected(self, payload, flip_word,
+                                             flip_bit):
+        from repro.boot import ImageError
+        image = BootImage(kind=ImageKind.APPLICATION, load_address=0,
+                          entry_point=0, payload=payload)
+        words = image.to_words()
+        index = BootImage.HEADER_WORDS + (flip_word % len(payload))
+        words[index] ^= (1 << flip_bit)
+        with pytest.raises(ImageError):
+            BootImage.parse(words)
+
+    @given(entries=st.lists(
+        st.tuples(st.sampled_from(list(ImageKind)),
+                  st.sampled_from(list(LoadSource)),
+                  st.integers(0, 2**20), st.integers(1, 4),
+                  st.integers(0, 2**16)),
+        min_size=0, max_size=8))
+    @settings(max_examples=40)
+    def test_loadlist_roundtrip(self, entries):
+        llist = LoadList()
+        for kind, source, locator, copies, stride in entries:
+            llist.add(LoadEntry(kind=kind, source=source, locator=locator,
+                                copies=copies, stride=stride))
+        parsed = LoadList.parse(llist.to_words())
+        assert len(parsed.entries) == len(entries)
+        for entry, (kind, source, locator, copies, stride) in zip(
+                parsed.entries, entries):
+            assert entry.kind is kind
+            assert entry.source is source
+            assert entry.locator == locator
+
+
+class TestAssemblerProperties:
+    three_reg = st.sampled_from(["ADD", "SUB", "MUL", "AND", "ORR", "EOR",
+                                 "LSL", "LSR"])
+    reg = st.integers(0, 15)
+
+    @given(op=three_reg, rd=reg, ra=reg, rb=reg)
+    @settings(max_examples=60)
+    def test_three_reg_roundtrip(self, op, rd, ra, rb):
+        (word,) = assemble(f"{op} r{rd}, r{ra}, r{rb}")
+        text = disassemble(word)
+        assert text == f"{op} r{rd}, r{ra}, r{rb}"
+
+    @given(rd=reg, imm=st.integers(0, 0xFFFF))
+    @settings(max_examples=60)
+    def test_movi_roundtrip(self, rd, imm):
+        (word,) = assemble(f"MOVI r{rd}, #{imm}")
+        assert disassemble(word) == f"MOVI r{rd}, #{imm}"
+
+    @given(rd=reg, ra=reg, offset=st.integers(0, 0x7FF))
+    @settings(max_examples=40)
+    def test_ldr_roundtrip(self, rd, ra, offset):
+        (word,) = assemble(f"LDR r{rd}, [r{ra}, #{offset}]")
+        assert disassemble(word) == f"LDR r{rd}, [r{ra}, #{offset}]"
+
+    @given(imm=st.integers(0, 255))
+    @settings(max_examples=20)
+    def test_svc_roundtrip(self, imm):
+        (word,) = assemble(f"SVC #{imm}")
+        assert disassemble(word) == f"SVC #{imm}"
+
+    def test_all_opcodes_distinct(self):
+        assert len(set(_OPCODES.values())) == len(_OPCODES)
+
+
+class TestVotingProperties:
+    value32 = st.integers(0, 2**32 - 1)
+
+    @given(value=value32, noise=value32,
+           which=st.integers(0, 2))
+    @settings(max_examples=80)
+    def test_single_corrupted_copy_never_wins(self, value, noise, which):
+        copies = [value, value, value]
+        copies[which] ^= noise
+        assert vote_words(*copies).value == value
+
+    @given(value=value32,
+           mask_a=st.integers(0, 2**32 - 1),
+           mask_b=st.integers(0, 2**32 - 1))
+    @settings(max_examples=80)
+    def test_bitwise_vote_on_disjoint_masks(self, value, mask_a, mask_b):
+        # If the two corrupted copies flip disjoint bit sets, bitwise
+        # voting always reconstructs the original word.
+        disjoint_b = mask_b & ~mask_a
+        a = value ^ mask_a
+        b = value ^ disjoint_b
+        c = value
+        assert vote_bitwise(a, b, c) == value
+
+    @given(a=value32, b=value32, c=value32)
+    @settings(max_examples=60)
+    def test_vote_is_majority_per_bit(self, a, b, c):
+        voted = vote_bitwise(a, b, c)
+        for bit in range(0, 32, 7):
+            bits = ((a >> bit) & 1) + ((b >> bit) & 1) + ((c >> bit) & 1)
+            assert ((voted >> bit) & 1) == (1 if bits >= 2 else 0)
+
+
+class TestBitstreamProperties:
+    @given(flips=st.lists(st.integers(0, 3000), min_size=1, max_size=20,
+                          unique=True))
+    @settings(max_examples=25, deadline=None)
+    def test_scrub_always_restores(self, flips):
+        device = scaled_device(NG_ULTRA, "PROP", 2048)
+        netlist = synthesize_component("logic", 8)
+        placement = place(netlist, device, seed=2)
+        bitstream = generate_bitstream(netlist, placement.locations,
+                                       placement.grid, "PROP")
+        golden = bitstream.to_bytes()
+        for flip in flips:
+            bitstream.flip_bit(flip % bitstream.total_bits)
+        bitstream.scrub()
+        assert bitstream.corrupted_frames() == []
+        assert bitstream.to_bytes() == golden
+
+
+class TestIpcProperties:
+    @given(messages=st.lists(st.integers(), min_size=0, max_size=30),
+           depth=st.integers(1, 8))
+    @settings(max_examples=60)
+    def test_queuing_port_is_fifo_with_bounded_depth(self, messages, depth):
+        config = PortConfig(name="q", kind=PortKind.QUEUING, source=0,
+                            destinations=[1], depth=depth)
+        port = QueuingPort(config)
+        accepted = []
+        for index, message in enumerate(messages):
+            if port.write(message, float(index), 0):
+                accepted.append(message)
+        assert port.depth_used == min(len(accepted), depth)
+        drained = []
+        while True:
+            value = port.read()
+            if value is None:
+                break
+            drained.append(value)
+        assert drained == accepted[:depth]
+        assert port.overflows == len(messages) - len(accepted[:depth])
+
+    @given(messages=st.lists(st.integers(), min_size=1, max_size=20))
+    @settings(max_examples=40)
+    def test_sampling_port_keeps_latest(self, messages):
+        config = PortConfig(name="s", kind=PortKind.SAMPLING, source=0,
+                            destinations=[1])
+        port = SamplingPort(config)
+        for index, message in enumerate(messages):
+            port.write(message, float(index), 0)
+        payload, valid = port.read(now_us=float(len(messages)))
+        assert payload == messages[-1]
+        assert valid
