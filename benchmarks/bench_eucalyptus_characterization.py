@@ -22,10 +22,11 @@ COMPONENTS = ["addsub", "mult", "logic", "shifter", "comparator"]
 WIDTHS = (8, 16, 32)
 
 
-def characterize():
+def characterize(jobs=1):
     device = scaled_device(NG_ULTRA, "NG-ULTRA-CHAR", 4096)
     tool = Eucalyptus(device=device, effort=0.15)
-    tool.sweep(components=COMPONENTS, widths=WIDTHS, stages=(0, 2))
+    tool.sweep(components=COMPONENTS, widths=WIDTHS, stages=(0, 2),
+               jobs=jobs)
     table = Table(
         "Eucalyptus characterization on NG-ULTRA (paper §II)",
         ["component", "width", "stages", "delay_ns", "LUTs", "FFs",
@@ -38,9 +39,9 @@ def characterize():
     return table, tool, library
 
 
-def test_eucalyptus_characterization(benchmark):
-    table, tool, library = benchmark.pedantic(characterize, rounds=1,
-                                              iterations=1)
+def test_eucalyptus_characterization(benchmark, jobs):
+    table, tool, library = benchmark.pedantic(characterize, args=(jobs,),
+                                              rounds=1, iterations=1)
     save_table(table, "eucalyptus_characterization")
     save_text(library.to_xml(), "eucalyptus_library_xml")
 

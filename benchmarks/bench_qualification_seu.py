@@ -6,6 +6,11 @@ transparent to the application developer" (paper §I).  The campaign
 quantifies each mechanism: silent-data-corruption rate under uniform
 random upsets, with and without mitigation, plus the configuration-memory
 scrubbing story on a real generated bitstream.
+
+Campaigns run on the parallel execution engine; pass ``--jobs N`` to fan
+runs out (the counts are bit-identical at any job count, which
+``test_seu_parallel_speedup`` asserts while measuring the wall-clock
+gain on a fixture-latency-bound campaign).
 """
 
 import random
@@ -16,7 +21,7 @@ sys.path.insert(0, str(Path(__file__).parent))
 
 from _common import save_table
 
-from repro.core import Table
+from repro.core import Table, ratio
 from repro.fabric import (
     NG_ULTRA,
     generate_bitstream,
@@ -24,90 +29,23 @@ from repro.fabric import (
     scaled_device,
     synthesize_component,
 )
-from repro.radhard import (
-    Campaign,
-    EccError,
-    EccMemory,
-    EccMemoryTarget,
-    SeuInjector,
-    TmrMemory,
-    TmrMemoryTarget,
-    WordMemoryTarget,
-)
+from repro.radhard import SeuInjector, beam_campaign, memory_scenarios
 
-GOLDEN = [i * 37 + 5 for i in range(64)]
 RUNS = 400
+SPEEDUP_RUNS = 2000
+SPEEDUP_DWELL_S = 0.002
+SPEEDUP_WORDS = 8
 
 
-def _raw_campaign():
-    def setup():
-        return list(GOLDEN)
-
-    def inject(memory, rng):
-        injector = SeuInjector(WordMemoryTarget(memory),
-                               seed=rng.randrange(1 << 30))
-        return injector.inject_random().description
-
-    def evaluate(memory):
-        return "masked" if memory == GOLDEN else "sdc"
-
-    return Campaign("unprotected SRAM", setup, inject, evaluate)
-
-
-def _ecc_campaign(upsets=1):
-    def setup():
-        memory = EccMemory(64)
-        for address, value in enumerate(GOLDEN):
-            memory.write(address, value)
-        return memory
-
-    def inject(memory, rng):
-        injector = SeuInjector(EccMemoryTarget(memory),
-                               seed=rng.randrange(1 << 30))
-        return injector.inject_burst(upsets)[-1].description
-
-    def evaluate(memory):
-        try:
-            values = [memory.read(a) for a in range(64)]
-        except EccError:
-            return "detected"
-        if values != GOLDEN:
-            return "sdc"
-        return "corrected" if memory.stats.corrected else "masked"
-
-    name = f"ECC SECDED ({upsets} upset{'s' if upsets > 1 else ''})"
-    return Campaign(name, setup, inject, evaluate, upsets_per_run=1)
-
-
-def _tmr_campaign():
-    def setup():
-        memory = TmrMemory(64)
-        memory.load(GOLDEN)
-        return memory
-
-    def inject(memory, rng):
-        injector = SeuInjector(TmrMemoryTarget(memory),
-                               seed=rng.randrange(1 << 30))
-        return injector.inject_random().description
-
-    def evaluate(memory):
-        values = [memory.read(a) for a in range(64)]
-        if values != GOLDEN:
-            return "sdc"
-        return "corrected" if memory.stats.corrected_votes else "masked"
-
-    return Campaign("TMR memory", setup, inject, evaluate)
-
-
-def memory_campaigns():
+def memory_campaigns(jobs=1):
     table = Table(
         "SEU campaigns — silent corruption rate by mitigation "
         f"({RUNS} runs each)",
         ["target", "masked", "corrected", "detected", "sdc", "crash",
          "sdc_rate", "mitigation_effectiveness"])
     reports = {}
-    for campaign in (_raw_campaign(), _ecc_campaign(1), _tmr_campaign()):
-        report = campaign.run(RUNS, seed=13)
+    for campaign in memory_scenarios():
+        report = campaign.run(RUNS, seed=13, jobs=jobs)
         table.add_row(campaign.name, report.counts.get("masked", 0),
                       report.counts.get("corrected", 0),
                       report.counts.get("detected", 0),
@@ -145,9 +83,46 @@ def bitstream_scrubbing():
     return table, outcomes
 
 
-def test_seu_memory_campaigns(benchmark):
-    table, reports = benchmark.pedantic(memory_campaigns, rounds=1,
-                                        iterations=1)
+def parallel_speedup():
+    """Serial vs parallel wall-clock on a fixture-latency-bound campaign.
+
+    The beam scenario's per-run dwell models tester/beam turnaround —
+    the regime real campaigns run in — so the thread backend overlaps
+    runs even on one core.  Outcome counts must not move with the job
+    count: that is the engine's determinism contract.
+    """
+    table = Table(
+        f"SEU campaign scaling — {SPEEDUP_RUNS} runs, "
+        f"{SPEEDUP_DWELL_S * 1e3:.0f}ms fixture dwell per run",
+        ["jobs", "backend", "wall_s", "speedup", "mean_ms", "p95_ms",
+         "counts_match_serial"])
+    baseline = beam_campaign(words=SPEEDUP_WORDS,
+                             dwell_s=SPEEDUP_DWELL_S).run(
+        SPEEDUP_RUNS, seed=29, jobs=1)
+    table.add_row(1, baseline.backend, round(baseline.wall_s, 3), 1.0,
+                  round(baseline.latency.mean_s * 1e3, 3),
+                  round(baseline.latency.p95_s * 1e3, 3), True)
+    speedups = {1: 1.0}
+    for jobs in (2, 4):
+        report = beam_campaign(words=SPEEDUP_WORDS,
+                               dwell_s=SPEEDUP_DWELL_S).run(
+            SPEEDUP_RUNS, seed=29, jobs=jobs, backend="thread")
+        speedup = ratio(baseline.wall_s, report.wall_s)
+        speedups[jobs] = speedup
+        table.add_row(jobs, report.backend, round(report.wall_s, 3),
+                      round(speedup, 2),
+                      round(report.latency.mean_s * 1e3, 3),
+                      round(report.latency.p95_s * 1e3, 3),
+                      report.counts == baseline.counts)
+    table.add_note("counts are bit-identical at every job count "
+                   "(seed_for derivation); dwell models beam/tester "
+                   "equipment latency")
+    return table, baseline, speedups
+
+
+def test_seu_memory_campaigns(benchmark, jobs):
+    table, reports = benchmark.pedantic(memory_campaigns, args=(jobs,),
+                                        rounds=1, iterations=1)
     save_table(table, "qualification_seu_memory")
     raw = reports["unprotected SRAM"]
     ecc = reports["ECC SECDED (1 upset)"]
@@ -169,3 +144,14 @@ def test_seu_bitstream_scrubbing(benchmark):
         assert corrupted >= 1          # CRC always notices
         assert repaired == corrupted   # scrubbing repairs every frame
         assert intact                  # and the config memory is clean
+
+
+def test_seu_parallel_speedup(benchmark):
+    table, baseline, speedups = benchmark.pedantic(parallel_speedup,
+                                                   rounds=1, iterations=1)
+    save_table(table, "qualification_seu_parallel")
+    # Identical counts at every job count (checked inside the table).
+    assert all(table.column("counts_match_serial"))
+    # Fixture-dwell-bound campaigns must scale: >=2x at four jobs.
+    assert speedups[4] >= 2.0
+    assert speedups[2] > 1.2

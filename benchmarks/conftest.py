@@ -1,0 +1,21 @@
+"""Benchmark-suite options: ``--jobs N`` fans campaigns/sweeps out over
+the parallel execution engine (0 = all cores).  Results are bit-identical
+at any job count by the engine's seed-derivation contract; the flag only
+changes wall-clock.  ``REPRO_JOBS`` sets the default for CI smoke runs.
+"""
+
+import os
+
+import pytest
+
+
+def pytest_addoption(parser):
+    parser.addoption(
+        "--jobs", type=int,
+        default=int(os.environ.get("REPRO_JOBS", "1")),
+        help="parallel jobs for campaign/sweep benches (0 = all cores)")
+
+
+@pytest.fixture
+def jobs(request):
+    return request.config.getoption("--jobs")

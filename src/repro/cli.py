@@ -6,7 +6,12 @@ Subcommands mirror the tool surface a user of the paper's ecosystem gets:
 * ``characterize`` — run Eucalyptus and export the XML library;
 * ``boot``         — run the BL0→BL1→BL2 chain and print the boot report;
 * ``mission``      — run the virtualized mission under XtratuM;
-* ``qualify``      — run the BL1 qualification campaign, print TRL.
+* ``qualify``      — run the BL1 qualification campaign, print TRL;
+* ``seu``          — run the SEU mitigation campaigns (raw/ECC/TMR).
+
+``characterize`` and ``seu`` accept ``--jobs N`` to fan work out over the
+parallel execution engine (``--jobs 0`` uses every core); results are
+bit-identical to a serial run by the engine's seed-derivation contract.
 
 Run ``python -m repro.cli <subcommand> --help`` for options.
 """
@@ -49,7 +54,10 @@ def _cmd_characterize(args) -> int:
     tool = Eucalyptus(device=device, effort=args.effort)
     components = args.components.split(",") if args.components else None
     tool.sweep(components=components,
-               widths=tuple(int(w) for w in args.widths.split(",")))
+               widths=tuple(int(w) for w in args.widths.split(",")),
+               jobs=args.jobs, backend=args.backend)
+    if args.jobs != 1 and tool.last_sweep_report is not None:
+        print(f"sweep: {tool.last_sweep_report.summary()}")
     library = tool.build_library()
     xml_text = library.to_xml()
     if args.out:
@@ -59,6 +67,36 @@ def _cmd_characterize(args) -> int:
     else:
         print(xml_text)
     return 0
+
+
+def _cmd_seu(args) -> int:
+    from .core import Table
+    from .radhard import memory_scenarios
+
+    table = Table(
+        f"SEU campaigns ({args.runs} runs each, seed {args.seed}, "
+        f"jobs {args.jobs})",
+        ["target", "masked", "corrected", "detected", "sdc", "crash",
+         "fail_rate", "wall_s", "mean_ms", "p95_ms"])
+    failures = 0.0
+    for campaign in memory_scenarios(words=args.words):
+        report = campaign.run(args.runs, seed=args.seed, jobs=args.jobs,
+                              backend=args.backend,
+                              timeout_s=args.timeout,
+                              retries=args.retries)
+        table.add_row(campaign.name,
+                      report.counts.get("masked", 0),
+                      report.counts.get("corrected", 0),
+                      report.counts.get("detected", 0),
+                      report.counts.get("sdc", 0),
+                      report.counts.get("crash", 0),
+                      round(report.failure_rate, 4),
+                      round(report.wall_s, 3),
+                      round(report.latency.mean_s * 1e3, 3),
+                      round(report.latency.p95_s * 1e3, 3))
+        failures += report.counts.get("crash", 0)
+    print(table.render())
+    return 0 if failures == 0 else 1
 
 
 def _cmd_boot(args) -> int:
@@ -133,7 +171,27 @@ def build_parser() -> argparse.ArgumentParser:
     char.add_argument("--effort", type=float, default=0.2)
     char.add_argument("--grid-luts", type=int, default=4096)
     char.add_argument("--out", help="XML output file")
+    char.add_argument("--jobs", type=int, default=1,
+                      help="parallel jobs (0 = all cores)")
+    char.add_argument("--backend", default="auto",
+                      choices=("auto", "serial", "thread", "process"))
     char.set_defaults(func=_cmd_characterize)
+
+    seu = sub.add_parser("seu",
+                         help="run the SEU mitigation campaigns")
+    seu.add_argument("--runs", type=int, default=400)
+    seu.add_argument("--seed", type=int, default=13)
+    seu.add_argument("--words", type=int, default=64,
+                     help="memory size per campaign target")
+    seu.add_argument("--jobs", type=int, default=1,
+                     help="parallel jobs (0 = all cores)")
+    seu.add_argument("--backend", default="auto",
+                     choices=("auto", "serial", "thread", "process"))
+    seu.add_argument("--timeout", type=float, default=None,
+                     help="per-run timeout (seconds)")
+    seu.add_argument("--retries", type=int, default=0,
+                     help="retry budget before classifying crash")
+    seu.set_defaults(func=_cmd_seu)
 
     boot = sub.add_parser("boot", help="run the BL0/BL1/BL2 chain")
     boot.add_argument("--copies", type=int, default=2)
@@ -156,7 +214,14 @@ def build_parser() -> argparse.ArgumentParser:
 def main(argv: Optional[List[str]] = None) -> int:
     parser = build_parser()
     args = parser.parse_args(argv)
-    return args.func(args)
+    try:
+        return args.func(args)
+    except Exception as error:  # noqa: BLE001 - CLI boundary
+        from .exec import ExecError
+        if isinstance(error, ExecError):
+            print(f"error: {error}", file=sys.stderr)
+            return 2
+        raise
 
 
 if __name__ == "__main__":

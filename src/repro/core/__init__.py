@@ -3,7 +3,7 @@ and datapack generation (the paper's primary contribution is this
 integrated ecosystem)."""
 
 from .datapack import MANDATORY_DOCUMENTS, Datapack, generate_datapack
-from .metrics import Table, ratio
+from .metrics import LatencyStats, Table, percentile, ratio
 from .project import (
     AcceleratorResult,
     HermesProject,
@@ -24,7 +24,7 @@ from .qualification import (
 
 __all__ = [
     "MANDATORY_DOCUMENTS", "Datapack", "generate_datapack",
-    "Table", "ratio",
+    "LatencyStats", "Table", "percentile", "ratio",
     "AcceleratorResult", "HermesProject", "HermesReport", "ProjectError",
     "Level", "QualificationCampaign", "QualificationReport", "Requirement",
     "TestCase", "TestResult", "TrlAssessment", "Verdict", "assess_trl",

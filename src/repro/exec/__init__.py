@@ -1,0 +1,25 @@
+"""Parallel deterministic execution engine for qualification workloads.
+
+The seed-derivation contract (:func:`seed_for`) plus the backend-agnostic
+:class:`ParallelEngine` guarantee that serial, thread-pool and
+process-pool executions of the same campaign are bit-identical.
+"""
+
+from .engine import (
+    BACKENDS,
+    ExecError,
+    ExecutionReport,
+    ParallelEngine,
+    RunResult,
+    RunTimeout,
+    default_jobs,
+    resolve_backend,
+)
+from .metrics import LatencyStats, percentile
+from .seeding import rng_for, seed_for
+
+__all__ = [
+    "BACKENDS", "ExecError", "ExecutionReport", "ParallelEngine",
+    "RunResult", "RunTimeout", "default_jobs", "resolve_backend",
+    "LatencyStats", "percentile", "rng_for", "seed_for",
+]

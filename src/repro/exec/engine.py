@@ -1,0 +1,314 @@
+"""Reusable parallel execution engine for qualification workloads.
+
+Every large statistical workload in this repo — SEU injection campaigns,
+Eucalyptus characterization sweeps, future beam-test replays — has the
+same shape: ``runs`` independent tasks, each needing (a) an independent
+deterministic seed, (b) a latency measurement, (c) a bounded lifetime
+(timeout + retry), and (d) somewhere to report progress.  This module
+provides exactly that, with three interchangeable backends:
+
+* ``serial``  — plain loop (reference semantics, zero dependencies);
+* ``thread``  — ``ThreadPoolExecutor``; right for workloads dominated by
+  fixture/equipment latency (beam dwell, tester I/O) where the GIL is
+  released while waiting;
+* ``process`` — ``ProcessPoolExecutor`` over a ``fork`` context; right
+  for CPU-bound Python work.  Fork inheritance means closures reach the
+  workers without pickling, so campaign callbacks defined inside
+  functions still work.  Where ``fork`` is unavailable (Windows/macOS
+  spawn), the engine degrades to the thread backend and says so in the
+  report.
+
+The determinism contract: run *i* of a campaign with seed *S* executes
+``fn(i, seed_for(S, i))``, nothing else.  No backend, job count or chunk
+size can change any run's inputs, and results are always returned in run
+order — so parallel and serial executions are bit-identical.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import threading
+import time
+from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, \
+    ThreadPoolExecutor, wait
+from dataclasses import dataclass, field
+from typing import Any, Callable, List, Optional, Sequence, Tuple, Type
+
+from .metrics import LatencyStats
+from .seeding import seed_for
+
+BACKENDS = ("serial", "thread", "process")
+
+RunFn = Callable[[int, int], Any]
+ProgressFn = Callable[[int, int], None]
+
+
+class ExecError(Exception):
+    """Engine misuse or an unrecoverable execution failure."""
+
+
+class RunTimeout(ExecError):
+    """A single run exceeded its per-run timeout budget."""
+
+
+@dataclass
+class RunResult:
+    """Outcome of one run (after all retry attempts)."""
+
+    index: int
+    value: Any = None
+    error: str = ""
+    attempts: int = 1
+    latency_s: float = 0.0
+    timed_out: bool = False
+    fatal: Optional[BaseException] = None
+
+    @property
+    def ok(self) -> bool:
+        return not self.error and self.fatal is None
+
+
+@dataclass
+class ExecutionReport:
+    """All run results (in run order) plus wall-clock accounting."""
+
+    backend: str
+    jobs: int
+    runs: int
+    wall_s: float = 0.0
+    results: List[RunResult] = field(default_factory=list)
+
+    @property
+    def failures(self) -> List[RunResult]:
+        return [r for r in self.results if not r.ok]
+
+    @property
+    def retried_runs(self) -> int:
+        return sum(1 for r in self.results if r.attempts > 1)
+
+    def latency_stats(self) -> LatencyStats:
+        return LatencyStats.from_samples(
+            [r.latency_s for r in self.results])
+
+    def summary(self) -> str:
+        stats = self.latency_stats()
+        return (f"{self.runs} runs on {self.backend} backend "
+                f"(jobs={self.jobs}) in {self.wall_s:.3f}s; "
+                f"{len(self.failures)} failed, "
+                f"{self.retried_runs} retried; {stats.summary()}")
+
+
+def default_jobs() -> int:
+    """Job count when the caller asks for ``jobs=0`` (all cores)."""
+    return multiprocessing.cpu_count()
+
+
+def _fork_available() -> bool:
+    return "fork" in multiprocessing.get_all_start_methods()
+
+
+def resolve_backend(backend: str, jobs: int) -> str:
+    """Map an ``auto``/requested backend to the one that will run."""
+    if backend == "auto":
+        backend = "serial" if jobs <= 1 else "thread"
+    if backend not in BACKENDS:
+        raise ExecError(f"unknown backend {backend!r} "
+                        f"(expected one of {BACKENDS} or 'auto')")
+    if backend == "process" and not _fork_available():
+        return "thread"
+    return backend
+
+
+def _call_with_timeout(fn: RunFn, index: int, run_seed: int,
+                       timeout_s: Optional[float]) -> Any:
+    """Invoke ``fn`` with a watchdog; abandon it if it overruns.
+
+    The runaway call keeps its daemon thread (Python offers no safe way
+    to kill it) but the engine moves on, so a hung workload occupies one
+    watchdog thread, never a pool slot.
+    """
+    if timeout_s is None:
+        return fn(index, run_seed)
+    outcome: List[Any] = []
+
+    def _invoke() -> None:
+        try:
+            outcome.append(("value", fn(index, run_seed)))
+        except BaseException as error:  # noqa: BLE001 - re-raised below
+            outcome.append(("error", error))
+
+    watchdog = threading.Thread(target=_invoke, daemon=True,
+                                name=f"exec-run-{index}")
+    watchdog.start()
+    watchdog.join(timeout_s)
+    if watchdog.is_alive():
+        raise RunTimeout(f"run {index} exceeded {timeout_s}s")
+    kind, payload = outcome[0]
+    if kind == "error":
+        raise payload
+    return payload
+
+
+def _execute_run(fn: RunFn, index: int, run_seed: int,
+                 timeout_s: Optional[float], retries: int,
+                 fatal_types: Tuple[Type[BaseException], ...]) -> RunResult:
+    """Run one task with bounded retry; never raises (except fatals,
+    which are captured for the parent to re-raise)."""
+    attempts = 0
+    start = time.perf_counter()
+    while True:
+        attempts += 1
+        try:
+            value = _call_with_timeout(fn, index, run_seed, timeout_s)
+            return RunResult(index=index, value=value, attempts=attempts,
+                            latency_s=time.perf_counter() - start)
+        except fatal_types as error:
+            return RunResult(index=index, attempts=attempts,
+                            latency_s=time.perf_counter() - start,
+                            error=f"{type(error).__name__}: {error}",
+                            fatal=error)
+        except Exception as error:  # noqa: BLE001 - reclassified by caller
+            if attempts > retries:
+                return RunResult(
+                    index=index, attempts=attempts,
+                    latency_s=time.perf_counter() - start,
+                    error=f"{type(error).__name__}: {error}",
+                    timed_out=isinstance(error, RunTimeout))
+
+
+# -- process backend plumbing -------------------------------------------
+#
+# The fork start method lets workers inherit the parent's memory, so the
+# task function (often a closure over campaign state) never crosses a
+# pickle boundary: the parent stores the payload in a module global just
+# before forking, and workers read it back.  Only chunk index lists and
+# RunResult values travel through the queues.
+
+_FORK_PAYLOAD: Optional[Tuple[RunFn, int, Optional[float], int,
+                              Tuple[Type[BaseException], ...]]] = None
+
+
+def _run_chunk_forked(indices: Sequence[int]) -> List[RunResult]:
+    assert _FORK_PAYLOAD is not None, "worker forked without payload"
+    fn, campaign_seed, timeout_s, retries, fatal_types = _FORK_PAYLOAD
+    return [_execute_run(fn, index, seed_for(campaign_seed, index),
+                         timeout_s, retries, fatal_types)
+            for index in indices]
+
+
+class ParallelEngine:
+    """Deterministic map of ``fn(index, run_seed)`` over ``runs`` runs.
+
+    ``jobs=0`` means "all cores".  ``fatal_types`` lists exception types
+    that abort the whole map (re-raised in the caller) instead of being
+    reclassified as per-run failures — campaign programming errors, not
+    workload crashes.
+    """
+
+    def __init__(self, jobs: int = 1, backend: str = "auto",
+                 timeout_s: Optional[float] = None, retries: int = 0,
+                 chunk_size: Optional[int] = None,
+                 progress: Optional[ProgressFn] = None,
+                 fatal_types: Tuple[Type[BaseException], ...] = ()) -> None:
+        if jobs < 0:
+            raise ExecError("jobs must be >= 0 (0 means all cores)")
+        if retries < 0:
+            raise ExecError("retries must be >= 0")
+        if timeout_s is not None and timeout_s <= 0:
+            raise ExecError("timeout_s must be positive")
+        if chunk_size is not None and chunk_size <= 0:
+            raise ExecError("chunk_size must be positive")
+        self.jobs = jobs or default_jobs()
+        self.backend = resolve_backend(backend, self.jobs)
+        self.timeout_s = timeout_s
+        self.retries = retries
+        self.chunk_size = chunk_size
+        self.progress = progress
+        self.fatal_types = tuple(fatal_types)
+
+    # -- public API -----------------------------------------------------
+
+    def map_seeded(self, fn: RunFn, runs: int, seed: int = 1
+                   ) -> ExecutionReport:
+        """Execute ``fn(i, seed_for(seed, i))`` for i in 0..runs-1."""
+        if runs < 0:
+            raise ExecError("runs must be >= 0")
+        report = ExecutionReport(backend=self.backend, jobs=self.jobs,
+                                 runs=runs)
+        start = time.perf_counter()
+        if runs:
+            if self.backend == "serial" or self.jobs == 1:
+                results = self._map_serial(fn, runs, seed)
+            elif self.backend == "thread":
+                results = self._map_pooled(fn, runs, seed, process=False)
+            else:
+                results = self._map_pooled(fn, runs, seed, process=True)
+            results.sort(key=lambda r: r.index)
+            report.results = results
+        report.wall_s = time.perf_counter() - start
+        for result in report.results:
+            if result.fatal is not None:
+                raise result.fatal
+        return report
+
+    # -- backends -------------------------------------------------------
+
+    def _chunks(self, runs: int) -> List[List[int]]:
+        size = self.chunk_size
+        if size is None:
+            # Aim for ~8 chunks per worker: large enough to amortize
+            # dispatch/IPC, small enough for live progress reporting.
+            size = max(1, runs // (self.jobs * 8))
+        indices = list(range(runs))
+        return [indices[i:i + size] for i in range(0, runs, size)]
+
+    def _run_chunk(self, fn: RunFn, indices: Sequence[int],
+                   seed: int) -> List[RunResult]:
+        return [_execute_run(fn, index, seed_for(seed, index),
+                             self.timeout_s, self.retries,
+                             self.fatal_types)
+                for index in indices]
+
+    def _map_serial(self, fn: RunFn, runs: int,
+                    seed: int) -> List[RunResult]:
+        results: List[RunResult] = []
+        for chunk in self._chunks(runs):
+            results.extend(self._run_chunk(fn, chunk, seed))
+            self._report_progress(len(results), runs)
+        return results
+
+    def _map_pooled(self, fn: RunFn, runs: int, seed: int,
+                    process: bool) -> List[RunResult]:
+        global _FORK_PAYLOAD
+        chunks = self._chunks(runs)
+        if process:
+            _FORK_PAYLOAD = (fn, seed, self.timeout_s, self.retries,
+                             self.fatal_types)
+            context = multiprocessing.get_context("fork")
+            executor = ProcessPoolExecutor(
+                max_workers=min(self.jobs, len(chunks)),
+                mp_context=context)
+            submit = lambda chunk: executor.submit(_run_chunk_forked, chunk)
+        else:
+            executor = ThreadPoolExecutor(
+                max_workers=min(self.jobs, len(chunks)),
+                thread_name_prefix="exec-pool")
+            submit = lambda chunk: executor.submit(
+                self._run_chunk, fn, chunk, seed)
+        results: List[RunResult] = []
+        try:
+            pending = {submit(chunk) for chunk in chunks}
+            while pending:
+                done, pending = wait(pending, return_when=FIRST_COMPLETED)
+                for future in done:
+                    results.extend(future.result())
+                self._report_progress(len(results), runs)
+        finally:
+            executor.shutdown(wait=False)
+            if process:
+                _FORK_PAYLOAD = None
+        return results
+
+    def _report_progress(self, completed: int, total: int) -> None:
+        if self.progress is not None:
+            self.progress(completed, total)

@@ -16,8 +16,9 @@ resource counts become :class:`ComponentRecord` entries, exported as XML.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Iterable, List, Optional, Tuple
+from typing import Callable, Iterable, List, Optional, Tuple
 
+from ...exec.engine import ExecError, ExecutionReport, ParallelEngine
 from ...fabric.device import Device, NG_ULTRA
 from ...fabric.nxmap import NXmapProject
 from ...fabric.synthesis import supported_components, synthesize_component
@@ -62,9 +63,17 @@ class Eucalyptus:
         self.seed = seed
         self.effort = effort
         self.runs: List[CharacterizationRun] = []
+        self.last_sweep_report: Optional[ExecutionReport] = None
 
     def characterize_one(self, component: str, width: int,
                          stages: int = 0) -> CharacterizationRun:
+        run = self._characterize(component, width, stages)
+        self.runs.append(run)
+        return run
+
+    def _characterize(self, component: str, width: int,
+                      stages: int = 0) -> CharacterizationRun:
+        """Characterize one configuration (pure: no state mutation)."""
         netlist = synthesize_component(component, width, stages)
         project = NXmapProject(netlist, self.device, seed=self.seed)
         project.run_place(effort=self.effort)
@@ -85,16 +94,16 @@ class Eucalyptus:
             luts=stats["luts"], ffs=stats["ffs"], dsps=stats["dsps"],
             brams=stats["brams"],
             wirelength=project.routing.wirelength if project.routing else 0)
-        self.runs.append(run)
         return run
 
-    def sweep(self, components: Optional[Iterable[str]] = None,
-              widths: Iterable[int] = DEFAULT_WIDTHS,
-              stages: Iterable[int] = DEFAULT_STAGES
-              ) -> List[CharacterizationRun]:
-        """Characterize the cartesian configuration space."""
+    @staticmethod
+    def configurations(components: Optional[Iterable[str]] = None,
+                       widths: Iterable[int] = DEFAULT_WIDTHS,
+                       stages: Iterable[int] = DEFAULT_STAGES
+                       ) -> List[Tuple[str, int, int]]:
+        """The cartesian configuration space a sweep will visit."""
         components = list(components or supported_components())
-        results = []
+        configs: List[Tuple[str, int, int]] = []
         for component in components:
             for width in widths:
                 stage_options: Tuple[int, ...]
@@ -105,8 +114,47 @@ class Eucalyptus:
                 else:
                     stage_options = tuple(stages)
                 for stage in stage_options:
-                    results.append(self.characterize_one(component, width,
-                                                         stage))
+                    configs.append((component, width, stage))
+        return configs
+
+    def sweep(self, components: Optional[Iterable[str]] = None,
+              widths: Iterable[int] = DEFAULT_WIDTHS,
+              stages: Iterable[int] = DEFAULT_STAGES,
+              jobs: int = 1, backend: str = "auto",
+              timeout_s: Optional[float] = None, retries: int = 0,
+              progress: Optional[Callable[[int, int], None]] = None
+              ) -> List[CharacterizationRun]:
+        """Characterize the cartesian configuration space.
+
+        With ``jobs > 1`` configurations are characterized in parallel;
+        every configuration uses the same fixed placement seed, so the
+        measured numbers (and the exported XML library) are identical no
+        matter the backend or job count.  A configuration that fails to
+        synthesize aborts the sweep with :class:`~repro.exec.ExecError`
+        naming the configuration — characterization must be complete to
+        be usable as an HLS library.
+        """
+        configs = self.configurations(components, widths, stages)
+
+        def characterize_config(index: int, _run_seed: int
+                                ) -> CharacterizationRun:
+            component, width, stage = configs[index]
+            return self._characterize(component, width, stage)
+
+        engine = ParallelEngine(jobs=jobs, backend=backend,
+                                timeout_s=timeout_s, retries=retries,
+                                progress=progress)
+        report = engine.map_seeded(characterize_config, len(configs),
+                                   self.seed)
+        self.last_sweep_report = report
+        failures = report.failures
+        if failures:
+            first = failures[0]
+            raise ExecError(
+                f"characterization of {configs[first.index]} failed "
+                f"after {first.attempts} attempt(s): {first.error}")
+        results = [run_result.value for run_result in report.results]
+        self.runs.extend(results)
         return results
 
     def build_library(self, name: Optional[str] = None) -> ComponentLibrary:

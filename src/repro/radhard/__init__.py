@@ -26,6 +26,14 @@ from .edac import (
     checksum_words,
     crc32,
 )
+from .scenarios import (
+    beam_campaign,
+    ecc_campaign,
+    golden_pattern,
+    memory_scenarios,
+    raw_sram_campaign,
+    tmr_campaign,
+)
 from .seu import (
     BitstreamTarget,
     EccMemoryTarget,
@@ -51,6 +59,8 @@ __all__ = [
     "decode", "encode",
     "IntegrityError", "IntegrityMap", "IntegrityViolation", "Region",
     "checksum_words", "crc32",
+    "beam_campaign", "ecc_campaign", "golden_pattern", "memory_scenarios",
+    "raw_sram_campaign", "tmr_campaign",
     "BitstreamTarget", "EccMemoryTarget", "SeuInjector", "TmrMemoryTarget",
     "Upset", "WordMemoryTarget",
     "TmrError", "TmrMemory", "TmrRegister", "TmrStats", "VoteResult",

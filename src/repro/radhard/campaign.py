@@ -20,6 +20,9 @@ import random
 from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional
 
+from ..exec.engine import ParallelEngine
+from ..exec.metrics import LatencyStats
+
 OUTCOMES = ("masked", "corrected", "detected", "sdc", "crash")
 
 
@@ -45,6 +48,12 @@ class CampaignReport:
     upsets_per_run: int
     counts: Dict[str, int] = field(default_factory=dict)
     results: List[InjectionResult] = field(default_factory=list)
+    # Execution accounting (filled in by Campaign.run).
+    backend: str = "serial"
+    jobs: int = 1
+    wall_s: float = 0.0
+    retried_runs: int = 0
+    latency: LatencyStats = field(default_factory=LatencyStats)
 
     @property
     def total_upsets(self) -> int:
@@ -73,6 +82,11 @@ class CampaignReport:
         return (f"{self.name:<28} runs={self.runs:<6} {cells}  "
                 f"fail={self.failure_rate:.4f}")
 
+    def timing_row(self) -> str:
+        return (f"{self.name:<28} backend={self.backend:<8} "
+                f"jobs={self.jobs:<3} wall={self.wall_s:.3f}s  "
+                f"{self.latency.summary()}")
+
 
 class Campaign:
     """Runs a fault-injection campaign.
@@ -80,6 +94,12 @@ class Campaign:
     ``setup``     — returns a fresh system context per run;
     ``inject``    — performs the upset(s) on the context;
     ``evaluate``  — runs the workload and returns an outcome string.
+
+    Every run draws from its own ``random.Random`` seeded by
+    ``exec.seed_for(seed, run_index)``, so runs are statistically
+    independent and any single run can be replayed in isolation.  The
+    same property makes ``jobs > 1`` executions (thread or process
+    backend) bit-identical to serial ones.
     """
 
     def __init__(self, name: str,
@@ -93,17 +113,47 @@ class Campaign:
         self.evaluate = evaluate
         self.upsets_per_run = upsets_per_run
 
-    def run(self, runs: int, seed: int = 1) -> CampaignReport:
-        rng = random.Random(seed)
+    def _one_run(self, index: int, run_seed: int) -> tuple:
+        rng = random.Random(run_seed)
+        context = self.setup()
+        description = ""
+        for _ in range(self.upsets_per_run):
+            description = self.inject(context, rng)
+        outcome = self.evaluate(context)
+        if outcome not in OUTCOMES:
+            raise CampaignError(f"unknown outcome {outcome!r}")
+        return outcome, description
+
+    def run(self, runs: int, seed: int = 1, jobs: int = 1,
+            backend: str = "auto", timeout_s: Optional[float] = None,
+            retries: int = 0,
+            progress: Optional[Callable[[int, int], None]] = None
+            ) -> CampaignReport:
+        """Execute ``runs`` injection runs, optionally in parallel.
+
+        A run whose callbacks raise or overrun ``timeout_s`` is retried
+        up to ``retries`` times and classified ``crash`` on exhaustion;
+        a malformed campaign (unknown outcome string) raises
+        :class:`CampaignError` regardless of backend.
+        """
+        engine = ParallelEngine(jobs=jobs, backend=backend,
+                                timeout_s=timeout_s, retries=retries,
+                                progress=progress,
+                                fatal_types=(CampaignError,))
+        exec_report = engine.map_seeded(self._one_run, runs, seed)
         report = CampaignReport(name=self.name, runs=runs,
-                                upsets_per_run=self.upsets_per_run)
-        for index in range(runs):
-            context = self.setup()
-            description = ""
-            for _ in range(self.upsets_per_run):
-                description = self.inject(context, rng)
-            outcome = self.evaluate(context)
-            result = InjectionResult(run=index, outcome=outcome,
+                                upsets_per_run=self.upsets_per_run,
+                                backend=exec_report.backend,
+                                jobs=exec_report.jobs,
+                                wall_s=exec_report.wall_s,
+                                retried_runs=exec_report.retried_runs,
+                                latency=exec_report.latency_stats())
+        for run_result in exec_report.results:
+            if run_result.ok:
+                outcome, description = run_result.value
+            else:
+                outcome, description = "crash", run_result.error
+            result = InjectionResult(run=run_result.index, outcome=outcome,
                                      description=description)
             report.results.append(result)
             report.counts[outcome] = report.counts.get(outcome, 0) + 1

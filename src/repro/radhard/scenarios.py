@@ -1,0 +1,123 @@
+"""Canonical SEU campaign scenarios (paper §I mitigation matrix).
+
+The unprotected-SRAM / ECC / TMR memory campaigns appear in the
+qualification benchmark, the CLI ``seu`` subcommand and the determinism
+tests; defining them once here keeps their outcome classification (and
+therefore the golden tables) in a single place.
+
+``beam_campaign`` additionally models the *fixture* side of a physical
+test: every evaluation includes a dwell delay standing in for beam/tester
+equipment latency, which is what makes real campaigns throughput-bound
+and is exactly the regime the thread backend parallelizes.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import List
+
+from .campaign import Campaign
+from .ecc import EccError, EccMemory
+from .seu import EccMemoryTarget, SeuInjector, TmrMemoryTarget, \
+    WordMemoryTarget
+from .tmr import TmrMemory
+
+DEFAULT_WORDS = 64
+
+
+def golden_pattern(words: int = DEFAULT_WORDS) -> List[int]:
+    """The reference memory image every scenario checks against."""
+    return [i * 37 + 5 for i in range(words)]
+
+
+def raw_sram_campaign(words: int = DEFAULT_WORDS) -> Campaign:
+    """Unprotected SRAM: any upset in used state is silent corruption."""
+    golden = golden_pattern(words)
+
+    def setup():
+        return list(golden)
+
+    def inject(memory, rng):
+        injector = SeuInjector(WordMemoryTarget(memory),
+                               seed=rng.randrange(1 << 30))
+        return injector.inject_random().description
+
+    def evaluate(memory):
+        return "masked" if memory == golden else "sdc"
+
+    return Campaign("unprotected SRAM", setup, inject, evaluate)
+
+
+def ecc_campaign(words: int = DEFAULT_WORDS, upsets: int = 1) -> Campaign:
+    """SECDED-protected memory: corrects singles, detects doubles."""
+    golden = golden_pattern(words)
+
+    def setup():
+        memory = EccMemory(words)
+        for address, value in enumerate(golden):
+            memory.write(address, value)
+        return memory
+
+    def inject(memory, rng):
+        injector = SeuInjector(EccMemoryTarget(memory),
+                               seed=rng.randrange(1 << 30))
+        return injector.inject_burst(upsets)[-1].description
+
+    def evaluate(memory):
+        try:
+            values = [memory.read(a) for a in range(words)]
+        except EccError:
+            return "detected"
+        if values != golden:
+            return "sdc"
+        return "corrected" if memory.stats.corrected else "masked"
+
+    name = f"ECC SECDED ({upsets} upset{'s' if upsets > 1 else ''})"
+    return Campaign(name, setup, inject, evaluate, upsets_per_run=1)
+
+
+def tmr_campaign(words: int = DEFAULT_WORDS) -> Campaign:
+    """Triplicated memory: single upsets always outvoted."""
+    golden = golden_pattern(words)
+
+    def setup():
+        memory = TmrMemory(words)
+        memory.load(golden)
+        return memory
+
+    def inject(memory, rng):
+        injector = SeuInjector(TmrMemoryTarget(memory),
+                               seed=rng.randrange(1 << 30))
+        return injector.inject_random().description
+
+    def evaluate(memory):
+        values = [memory.read(a) for a in range(words)]
+        if values != golden:
+            return "sdc"
+        return "corrected" if memory.stats.corrected_votes else "masked"
+
+    return Campaign("TMR memory", setup, inject, evaluate)
+
+
+def beam_campaign(words: int = DEFAULT_WORDS,
+                  dwell_s: float = 0.001) -> Campaign:
+    """ECC campaign with per-run fixture dwell (beam/tester latency).
+
+    The dwell sleep releases the GIL, so this scenario scales with the
+    thread backend even on a single core — the same way a real campaign
+    limited by equipment turnaround does.
+    """
+    base = ecc_campaign(words)
+
+    def evaluate(memory):
+        time.sleep(dwell_s)
+        return base.evaluate(memory)
+
+    return Campaign(f"beam fixture (dwell {dwell_s * 1e3:.1f}ms)",
+                    base.setup, base.inject, evaluate)
+
+
+def memory_scenarios(words: int = DEFAULT_WORDS) -> List[Campaign]:
+    """The §I mitigation matrix: raw vs ECC vs TMR."""
+    return [raw_sram_campaign(words), ecc_campaign(words),
+            tmr_campaign(words)]

@@ -1,0 +1,228 @@
+"""Engine determinism, timeout/retry and seed-derivation contract."""
+
+import random
+import threading
+import time
+
+import pytest
+
+from repro.exec import (
+    BACKENDS,
+    ExecError,
+    ParallelEngine,
+    RunTimeout,
+    default_jobs,
+    resolve_backend,
+    rng_for,
+    seed_for,
+)
+
+
+def square_task(index, run_seed):
+    return index * index
+
+
+def seeded_draw(index, run_seed):
+    return random.Random(run_seed).randrange(1 << 30)
+
+
+class TestSeedDerivation:
+    def test_deterministic(self):
+        assert seed_for(13, 512) == seed_for(13, 512)
+
+    def test_pinned_values(self):
+        # Platform/version stability: pure integer arithmetic, no hash().
+        assert seed_for(1, 0) == 3018708184346319059
+        assert seed_for(1, 1) == 6770037107723588774
+        assert seed_for(2, 0) == 180477462826346010
+
+    def test_runs_are_independent(self):
+        seeds = [seed_for(13, i) for i in range(1000)]
+        assert len(set(seeds)) == 1000
+
+    def test_campaign_seed_reshuffles(self):
+        a = [seed_for(1, i) for i in range(100)]
+        b = [seed_for(2, i) for i in range(100)]
+        assert not set(a) & set(b)
+
+    def test_streams_are_independent(self):
+        assert seed_for(7, 3, stream=0) != seed_for(7, 3, stream=1)
+
+    def test_negative_index_rejected(self):
+        with pytest.raises(ValueError):
+            seed_for(1, -1)
+
+    def test_rng_for_reproduces(self):
+        assert rng_for(5, 9).random() == rng_for(5, 9).random()
+
+
+class TestBackendResolution:
+    def test_auto_serial_for_one_job(self):
+        assert resolve_backend("auto", 1) == "serial"
+
+    def test_auto_thread_for_many_jobs(self):
+        assert resolve_backend("auto", 4) == "thread"
+
+    def test_explicit_backends(self):
+        for backend in BACKENDS:
+            assert resolve_backend(backend, 2) in BACKENDS
+
+    def test_unknown_backend_rejected(self):
+        with pytest.raises(ExecError):
+            resolve_backend("gpu", 2)
+
+    def test_zero_jobs_means_all_cores(self):
+        engine = ParallelEngine(jobs=0)
+        assert engine.jobs == default_jobs()
+
+    def test_invalid_config_rejected(self):
+        with pytest.raises(ExecError):
+            ParallelEngine(jobs=-1)
+        with pytest.raises(ExecError):
+            ParallelEngine(retries=-1)
+        with pytest.raises(ExecError):
+            ParallelEngine(timeout_s=0)
+        with pytest.raises(ExecError):
+            ParallelEngine(chunk_size=0)
+
+
+class TestDeterminism:
+    def reference(self, runs, seed):
+        return [r.value for r in
+                ParallelEngine(jobs=1, backend="serial")
+                .map_seeded(seeded_draw, runs, seed).results]
+
+    @pytest.mark.parametrize("backend", BACKENDS)
+    @pytest.mark.parametrize("jobs", [1, 2, 8])
+    def test_backends_and_jobs_agree(self, backend, jobs):
+        report = ParallelEngine(jobs=jobs, backend=backend).map_seeded(
+            seeded_draw, 64, seed=17)
+        assert [r.value for r in report.results] == self.reference(64, 17)
+
+    def test_results_in_run_order(self):
+        report = ParallelEngine(jobs=4, backend="thread",
+                                chunk_size=3).map_seeded(
+            square_task, 50, seed=1)
+        assert [r.index for r in report.results] == list(range(50))
+        assert [r.value for r in report.results] == \
+            [i * i for i in range(50)]
+
+    def test_chunk_size_is_invisible(self):
+        for chunk in (1, 7, 100):
+            report = ParallelEngine(jobs=3, backend="thread",
+                                    chunk_size=chunk).map_seeded(
+                seeded_draw, 40, seed=3)
+            assert [r.value for r in report.results] == \
+                self.reference(40, 3)
+
+    def test_zero_runs(self):
+        report = ParallelEngine(jobs=4, backend="thread").map_seeded(
+            square_task, 0, seed=1)
+        assert report.results == []
+        assert report.latency_stats().count == 0
+
+
+class TestTimeoutAndRetry:
+    def test_timeout_classified(self):
+        def hang(index, run_seed):
+            time.sleep(30)
+
+        report = ParallelEngine(jobs=2, backend="thread",
+                                timeout_s=0.05).map_seeded(hang, 4, 1)
+        assert len(report.failures) == 4
+        for result in report.results:
+            assert result.timed_out
+            assert result.attempts == 1
+            assert "exceeded" in result.error
+
+    def test_hung_runs_never_wedge_the_pool(self):
+        def hang_some(index, run_seed):
+            if index % 4 == 0:
+                time.sleep(30)
+            return index
+
+        start = time.perf_counter()
+        report = ParallelEngine(jobs=2, backend="thread",
+                                timeout_s=0.05, chunk_size=1).map_seeded(
+            hang_some, 12, 1)
+        assert time.perf_counter() - start < 10
+        good = [r for r in report.results if r.ok]
+        assert len(good) == 9
+        assert len(report.failures) == 3
+
+    def test_retry_exhaustion_counts_attempts(self):
+        def always_fails(index, run_seed):
+            raise RuntimeError("flaky forever")
+
+        report = ParallelEngine(retries=3).map_seeded(always_fails, 2, 1)
+        for result in report.results:
+            assert not result.ok
+            assert result.attempts == 4
+            assert "flaky forever" in result.error
+        assert report.retried_runs == 2
+
+    def test_retry_recovers_transient_failure(self):
+        attempts_seen = {}
+        lock = threading.Lock()
+
+        def flaky(index, run_seed):
+            with lock:
+                attempts_seen[index] = attempts_seen.get(index, 0) + 1
+                if attempts_seen[index] < 2:
+                    raise RuntimeError("transient")
+            return "ok"
+
+        report = ParallelEngine(jobs=2, backend="thread",
+                                retries=2).map_seeded(flaky, 6, 1)
+        assert all(r.ok and r.value == "ok" for r in report.results)
+        assert all(r.attempts == 2 for r in report.results)
+
+    def test_fatal_types_propagate(self):
+        class Misconfigured(Exception):
+            pass
+
+        def broken(index, run_seed):
+            raise Misconfigured("campaign bug")
+
+        engine = ParallelEngine(jobs=2, backend="thread", retries=5,
+                                fatal_types=(Misconfigured,))
+        with pytest.raises(Misconfigured):
+            engine.map_seeded(broken, 4, 1)
+
+
+class TestReporting:
+    def test_progress_hook(self):
+        updates = []
+        engine = ParallelEngine(jobs=2, backend="thread", chunk_size=5,
+                                progress=lambda done, total:
+                                updates.append((done, total)))
+        engine.map_seeded(square_task, 20, 1)
+        assert updates[-1] == (20, 20)
+        assert all(total == 20 for _, total in updates)
+        assert [done for done, _ in updates] == \
+            sorted(done for done, _ in updates)
+
+    def test_latency_and_wall_recorded(self):
+        def work(index, run_seed):
+            time.sleep(0.002)
+
+        report = ParallelEngine(jobs=2, backend="thread").map_seeded(
+            work, 8, 1)
+        stats = report.latency_stats()
+        assert stats.count == 8
+        assert stats.mean_s >= 0.002
+        assert stats.max_s >= stats.p95_s >= stats.p50_s > 0
+        assert report.wall_s > 0
+        assert "8 runs on thread backend" in report.summary()
+
+    def test_process_backend_runs_closures(self):
+        # fork inheritance: a closure over local state must reach workers.
+        offset = 1000
+
+        def task(index, run_seed):
+            return index + offset
+
+        report = ParallelEngine(jobs=2, backend="process").map_seeded(
+            task, 10, 1)
+        assert [r.value for r in report.results] == \
+            [i + 1000 for i in range(10)]

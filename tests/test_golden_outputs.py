@@ -1,0 +1,66 @@
+"""Golden-output regression tests for the deterministic bench tables.
+
+The SEU campaign and Eucalyptus characterization benchmarks are fully
+deterministic (fixed seeds, engine-derived per-run seeds, no wall-clock
+columns), so their rendered tables must match the committed artifacts in
+``benchmarks/results/`` bit for bit.  A legitimate behaviour change must
+regenerate the goldens in the same PR (run the benchmark suite; it
+rewrites them).
+"""
+
+import sys
+from pathlib import Path
+
+import pytest
+
+BENCH_DIR = Path(__file__).resolve().parent.parent / "benchmarks"
+RESULTS_DIR = BENCH_DIR / "results"
+sys.path.insert(0, str(BENCH_DIR))
+
+
+def golden(name):
+    path = RESULTS_DIR / f"{name}.txt"
+    assert path.exists(), f"golden {path} missing; run the bench suite"
+    return path.read_text()
+
+
+def assert_matches_golden(table, name):
+    rendered = table.render() + "\n"
+    assert rendered == golden(name), (
+        f"{name} drifted from benchmarks/results/{name}.txt — if the "
+        f"change is intended, regenerate the goldens by running the "
+        f"benchmark suite in this PR")
+
+
+class TestSeuGoldens:
+    def test_memory_campaign_table(self):
+        import bench_qualification_seu as bench
+        table, _reports = bench.memory_campaigns()
+        assert_matches_golden(table, "qualification_seu_memory")
+
+    def test_memory_campaign_table_parallel(self):
+        # The golden must be reachable at any job count: parallelism is
+        # not allowed to move a single outcome.
+        import bench_qualification_seu as bench
+        table, _reports = bench.memory_campaigns(jobs=4)
+        assert_matches_golden(table, "qualification_seu_memory")
+
+    def test_bitstream_scrubbing_table(self):
+        import bench_qualification_seu as bench
+        table, _outcomes = bench.bitstream_scrubbing()
+        assert_matches_golden(table, "qualification_seu_bitstream")
+
+
+class TestEucalyptusGoldens:
+    @pytest.fixture(scope="class")
+    def characterization(self):
+        import bench_eucalyptus_characterization as bench
+        return bench.characterize(jobs=2)
+
+    def test_characterization_table(self, characterization):
+        table, _tool, _library = characterization
+        assert_matches_golden(table, "eucalyptus_characterization")
+
+    def test_library_xml(self, characterization):
+        _table, _tool, library = characterization
+        assert library.to_xml() + "\n" == golden("eucalyptus_library_xml")
