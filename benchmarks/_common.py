@@ -8,7 +8,6 @@ survive pytest's output capture.
 
 from __future__ import annotations
 
-import os
 from pathlib import Path
 
 from repro.core import Table

@@ -16,11 +16,8 @@ from _common import save_table
 from repro.core import Table, ratio
 from repro.fabric import (
     DEVICE_FAMILY,
-    LEGACY_RADHARD,
     NG_ULTRA,
     NXmapProject,
-    analyze_timing,
-    place,
     scaled_device,
     synthesize_component,
 )

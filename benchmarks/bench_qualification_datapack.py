@@ -133,10 +133,16 @@ def build_campaign():
 
 
 def run_qualification():
+    from repro.analysis import Analyzer, example_targets
+
     campaign = build_campaign()
     report = campaign.run()
     trl = assess_trl(report, validated_in_relevant_environment=True)
-    pack = generate_datapack("HERMES-BL1", campaign, report)
+    # Static-verification evidence rides in the datapack (SAR): lint the
+    # example artifact of every layer with the full rule catalogue.
+    lint_report = Analyzer().run(example_targets())
+    pack = generate_datapack("HERMES-BL1", campaign, report,
+                             lint_report=lint_report)
     table = Table("ECSS qualification summary — BL1 (paper §IV)",
                   ["level", "passed", "failed", "total"])
     for level in Level:
@@ -160,3 +166,5 @@ def test_qualification_datapack(benchmark):
     assert report.requirement_coverage() == 1.0
     assert trl.level == 6
     assert pack.complete
+    assert "SAR" in pack.documents
+    assert "0 error(s)" in pack.documents["SAR"]

@@ -15,7 +15,6 @@ from pathlib import Path
 
 sys.path.insert(0, str(Path(__file__).parent))
 
-import numpy as np
 from _common import save_table
 
 from repro.apps import aocs, eor, mission, vbn

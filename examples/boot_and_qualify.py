@@ -9,7 +9,6 @@ SUM) with a TRL assessment.
 Run:  python examples/boot_and_qualify.py
 """
 
-import random
 
 from repro.boot import (
     Bl1Config,
@@ -19,7 +18,7 @@ from repro.boot import (
     provision_flash,
     run_boot_chain,
 )
-from repro.boot.chain import DEFAULT_COPY_STRIDE, OBJECT_AREA_OFFSET
+from repro.boot.chain import OBJECT_AREA_OFFSET
 from repro.core import (
     Level,
     QualificationCampaign,
@@ -32,7 +31,6 @@ from repro.radhard import (
     EccMemory,
     EccMemoryTarget,
     SeuInjector,
-    WordMemoryTarget,
 )
 from repro.soc import DDR_BASE, NgUltraSoc, assemble
 

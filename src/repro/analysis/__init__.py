@@ -1,0 +1,52 @@
+"""Cross-layer static verification (lint) of HERMES artifacts.
+
+The ECSS qualification argument of the paper rests on *evidence produced
+before execution*: configurations, netlists, IR and boot media are
+checked against a rule catalogue and the findings ride in the datapack.
+This package is that checker:
+
+* :mod:`.diagnostics` — the :class:`Diagnostic` record and severities;
+* :mod:`.registry` — the ``@rule`` decorator and rule catalogue;
+* :mod:`.analyzer` — the driver (selection, baselines, renderers,
+  severity-mapped exit codes), running pass packs concurrently through
+  the ``repro.exec`` engine;
+* :mod:`.passes` — the built-in pass packs: HLS IR, technology netlist,
+  XM_CF hypervisor configuration and boot flash;
+* :mod:`.targets` — adapters turning sources, XML files and SoCs into
+  lintable targets, plus the standard example set.
+
+``Netlist.validate`` and ``SystemConfig.validate`` delegate here, so the
+legacy call sites and the ``repro lint`` CLI report identical findings.
+"""
+
+from .analyzer import (
+    AnalysisReport,
+    AnalysisTarget,
+    Analyzer,
+    PrelintedArtifact,
+    analyze,
+    load_baseline,
+    render_baseline,
+)
+from .diagnostics import LAYERS, Diagnostic, Severity, max_severity
+from .registry import DEFAULT_REGISTRY, Rule, RuleError, RuleRegistry, rule
+from . import passes  # noqa: F401  (imported for rule registration)
+from .targets import (
+    TargetError,
+    boot_target_from_soc,
+    example_targets,
+    ir_target_from_source,
+    netlist_target,
+    target_from_file,
+    xmcf_target_from_text,
+)
+
+__all__ = [
+    "AnalysisReport", "AnalysisTarget", "Analyzer", "PrelintedArtifact",
+    "analyze", "load_baseline", "render_baseline",
+    "LAYERS", "Diagnostic", "Severity", "max_severity",
+    "DEFAULT_REGISTRY", "Rule", "RuleError", "RuleRegistry", "rule",
+    "TargetError", "boot_target_from_soc", "example_targets",
+    "ir_target_from_source", "netlist_target", "target_from_file",
+    "xmcf_target_from_text",
+]

@@ -1,0 +1,105 @@
+"""Diagnostic model of the static-verification subsystem.
+
+A :class:`Diagnostic` is one finding of one rule over one artifact: rule
+id, severity, layer, location inside the artifact, human message and an
+optional fix hint.  Diagnostics are plain data — renderers, baselines and
+exit-code policy all operate on the same records, so a finding printed on
+a terminal, embedded in the ECSS datapack and suppressed by a baseline is
+always the *same* finding.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum
+from typing import Dict, Optional, Tuple
+
+
+class Severity(Enum):
+    """Finding severities, ordered INFO < WARNING < ERROR."""
+
+    INFO = "info"
+    WARNING = "warning"
+    ERROR = "error"
+
+    @property
+    def rank(self) -> int:
+        return _SEVERITY_RANK[self]
+
+    def __lt__(self, other: "Severity") -> bool:
+        return self.rank < other.rank
+
+    def __le__(self, other: "Severity") -> bool:
+        return self.rank <= other.rank
+
+    def __gt__(self, other: "Severity") -> bool:
+        return self.rank > other.rank
+
+    def __ge__(self, other: "Severity") -> bool:
+        return self.rank >= other.rank
+
+    @classmethod
+    def parse(cls, text: str) -> "Severity":
+        try:
+            return cls(text.lower())
+        except ValueError:
+            raise ValueError(
+                f"unknown severity {text!r} (expected "
+                f"{', '.join(s.value for s in cls)})") from None
+
+
+_SEVERITY_RANK: Dict[Severity, int] = {
+    Severity.INFO: 0, Severity.WARNING: 1, Severity.ERROR: 2,
+}
+
+# Analysis layers (one per pass pack).
+LAYERS = ("ir", "netlist", "xmcf", "boot")
+
+
+@dataclass(frozen=True)
+class Diagnostic:
+    """One finding: what rule fired, where, how bad, and what to do."""
+
+    rule: str                    # e.g. "netlist.comb-loop"
+    severity: Severity
+    layer: str                   # one of LAYERS
+    target: str                  # artifact name (file, design, config)
+    location: str                # position inside the artifact
+    message: str
+    fix_hint: str = ""
+
+    @property
+    def fingerprint(self) -> str:
+        """Stable identity used by suppression baselines."""
+        return f"{self.rule}@{self.target}:{self.location}"
+
+    def sort_key(self) -> Tuple[str, str, int, str, str, str]:
+        return (self.layer, self.target, -self.severity.rank, self.rule,
+                self.location, self.message)
+
+    def to_dict(self) -> Dict[str, str]:
+        record = {
+            "rule": self.rule,
+            "severity": self.severity.value,
+            "layer": self.layer,
+            "target": self.target,
+            "location": self.location,
+            "message": self.message,
+        }
+        if self.fix_hint:
+            record["fix_hint"] = self.fix_hint
+        return record
+
+    def render(self) -> str:
+        hint = f" (fix: {self.fix_hint})" if self.fix_hint else ""
+        return (f"{self.severity.value:<7} {self.rule:<26} "
+                f"{self.target}:{self.location}: {self.message}{hint}")
+
+
+def max_severity(diagnostics) -> Optional[Severity]:
+    """Highest severity present, or None for an empty list."""
+    worst: Optional[Severity] = None
+    for diag in diagnostics:
+        if worst is None or diag.severity > worst:
+            worst = diag.severity
+    return worst

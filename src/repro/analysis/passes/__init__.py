@@ -1,0 +1,9 @@
+"""Pass packs of the static-verification subsystem.
+
+Importing this package registers every built-in rule with the default
+registry; each module is one *pass pack* covering one artifact layer.
+"""
+
+from . import boot, ir, netlist, xmcf
+
+__all__ = ["boot", "ir", "netlist", "xmcf"]

@@ -1,0 +1,230 @@
+"""Boot pass pack: lint of a provisioned boot flash before power-up.
+
+The artifact is a :class:`BootFlashLayout` — the raw view BL1 itself will
+see: a load list at its flash offset plus the stored copies of every
+object.  The rules prove, *statically*, the properties the boot chain
+otherwise discovers at run time: every copy parses and passes its CRC,
+deployed images do not overwrite each other, and the BL0 → BL1 → BL2
+chain of trust hands off in stage order.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence, Tuple
+
+from ...boot.bl1 import LOADLIST_FLASH_OFFSET, LOADLIST_MAX_WORDS
+from ...boot.image import (
+    BootImage,
+    ImageError,
+    ImageKind,
+    LoadEntry,
+    LoadList,
+    LoadSource,
+    MAGIC,
+)
+from ..diagnostics import Severity
+from ..registry import rule
+
+# Handoff stage of each image kind along the chain of trust; BL1 deploys
+# objects in load-list order and hands off to the *first* bootable one.
+_STAGE = {ImageKind.BL2: 0, ImageKind.HYPERVISOR: 0,
+          ImageKind.APPLICATION: 1}
+
+
+@dataclass
+class StoredCopy:
+    """One flash copy of one load-list entry."""
+
+    entry_index: int
+    copy_index: int
+    flash_offset: int
+    image: Optional[BootImage]
+    parse_error: str = ""
+
+
+@dataclass
+class BootFlashLayout:
+    """Static view of a provisioned boot flash bank."""
+
+    flash_words: int
+    load_list: Optional[LoadList] = None
+    load_list_error: str = ""
+    copies: List[StoredCopy] = field(default_factory=list)
+
+    @classmethod
+    def from_flash(cls, words: Sequence[int],
+                   loadlist_offset: int = LOADLIST_FLASH_OFFSET
+                   ) -> "BootFlashLayout":
+        """Reconstruct the layout exactly the way BL1 reads it."""
+        layout = cls(flash_words=len(words))
+        window = list(words[loadlist_offset:
+                            loadlist_offset + LOADLIST_MAX_WORDS])
+        try:
+            layout.load_list = LoadList.parse(window)
+        except ImageError as error:
+            layout.load_list_error = str(error)
+            return layout
+        for index, entry in enumerate(layout.load_list.entries):
+            if entry.source is not LoadSource.FLASH:
+                continue
+            for copy in range(max(1, entry.copies)):
+                base = entry.locator + copy * entry.stride
+                layout.copies.append(
+                    _read_copy(words, index, copy, base))
+        return layout
+
+    @classmethod
+    def from_soc(cls, soc, bank: int = 0,
+                 loadlist_offset: int = LOADLIST_FLASH_OFFSET
+                 ) -> "BootFlashLayout":
+        return cls.from_flash(list(soc.flash_controller.banks[bank].data),
+                              loadlist_offset)
+
+
+def _read_copy(words: Sequence[int], entry_index: int, copy_index: int,
+               base: int) -> StoredCopy:
+    header_words = BootImage.HEADER_WORDS
+    if base + header_words > len(words):
+        return StoredCopy(entry_index, copy_index, base, None,
+                          "image truncated (no header)")
+    header = list(words[base:base + header_words])
+    length = header[5] if header[0] == MAGIC else 0
+    length = min(length, max(0, len(words) - base - header_words))
+    try:
+        image = BootImage.parse(
+            header + list(words[base + header_words:
+                                base + header_words + length]))
+        return StoredCopy(entry_index, copy_index, base, image)
+    except ImageError as error:
+        return StoredCopy(entry_index, copy_index, base, None, str(error))
+
+
+def _entry_label(entry_index: int, entry: LoadEntry) -> str:
+    return f"object{entry_index}-{entry.kind.name.lower()}"
+
+
+@rule("boot.loadlist", layer="boot", severity=Severity.ERROR,
+      fix_hint="re-provision the flash with a valid load list")
+def check_load_list(layout: BootFlashLayout, emit) -> None:
+    """The load list itself parses and passes its CRC."""
+    if layout.load_list is None:
+        emit("loadlist", f"load list unreadable: {layout.load_list_error}")
+        return
+    if not layout.load_list.entries:
+        emit("loadlist", "load list is empty — nothing will be deployed",
+             severity=Severity.WARNING)
+
+
+@rule("boot.crc", layer="boot", severity=Severity.ERROR,
+      fix_hint="re-program the corrupted copy")
+def check_image_integrity(layout: BootFlashLayout, emit) -> None:
+    """Stored copies that fail their header or payload-CRC check.
+
+    A bad copy with healthy siblings is a warning (redundancy recovers);
+    all copies bad is an error.
+    """
+    if layout.load_list is None:
+        return
+    for entry_index, entry in enumerate(layout.load_list.entries):
+        if entry.source is not LoadSource.FLASH:
+            continue
+        label = _entry_label(entry_index, entry)
+        copies = [c for c in layout.copies
+                  if c.entry_index == entry_index]
+        bad = [c for c in copies if c.image is None]
+        for copy in bad:
+            severity = (Severity.ERROR if len(bad) == len(copies)
+                        else Severity.WARNING)
+            emit(f"{label}/copy{copy.copy_index}",
+                 f"{label} copy {copy.copy_index} at flash "
+                 f"0x{copy.flash_offset:x} fails integrity check: "
+                 f"{copy.parse_error}"
+                 + ("" if severity is Severity.ERROR
+                    else " (redundant copy will recover)"),
+                 severity=severity)
+
+
+def _load_region(image: BootImage) -> Tuple[int, int]:
+    return image.load_address, image.load_address + 4 * len(image.payload)
+
+
+@rule("boot.load-overlap", layer="boot", severity=Severity.ERROR,
+      fix_hint="separate the images' load regions")
+def check_load_region_overlap(layout: BootFlashLayout, emit) -> None:
+    """Deployed images whose memory load regions overlap."""
+    if layout.load_list is None:
+        return
+    placed: List[Tuple[str, int, int]] = []
+    for entry_index, entry in enumerate(layout.load_list.entries):
+        image = next((c.image for c in layout.copies
+                      if c.entry_index == entry_index
+                      and c.image is not None), None)
+        if image is None or image.kind is ImageKind.BITSTREAM:
+            continue  # bitstreams go to the eFPGA, not the memory map
+        label = _entry_label(entry_index, entry)
+        start, end = _load_region(image)
+        for other_label, other_start, other_end in placed:
+            if start < other_end and other_start < end:
+                emit(label,
+                     f"{label} load region [0x{start:08x}, 0x{end:08x}) "
+                     f"overlaps {other_label} "
+                     f"[0x{other_start:08x}, 0x{other_end:08x})")
+        placed.append((label, start, end))
+
+
+@rule("boot.flash-overlap", layer="boot", severity=Severity.ERROR,
+      fix_hint="re-pack the flash with non-overlapping copy regions")
+def check_flash_region_overlap(layout: BootFlashLayout, emit) -> None:
+    """Stored flash copies that collide with each other."""
+    regions: List[Tuple[str, int, int]] = []
+    for copy in layout.copies:
+        if copy.image is None:
+            continue
+        entry = layout.load_list.entries[copy.entry_index] \
+            if layout.load_list else None
+        label = (f"{_entry_label(copy.entry_index, entry)}"
+                 f"/copy{copy.copy_index}" if entry else "copy")
+        start = copy.flash_offset
+        end = start + copy.image.total_words
+        for other_label, other_start, other_end in regions:
+            if start < other_end and other_start < end:
+                emit(label,
+                     f"flash region of {label} "
+                     f"[0x{start:x}, 0x{end:x}) overlaps {other_label}")
+        regions.append((label, start, end))
+
+
+@rule("boot.chain-order", layer="boot", severity=Severity.ERROR,
+      fix_hint="reorder the load list in chain-of-trust stage order")
+def check_chain_of_trust(layout: BootFlashLayout, emit) -> None:
+    """The BL0 → BL1 → BL2 chain of trust hands off in stage order.
+
+    BL1 never rides the load list, and the next-stage loader
+    (BL2/hypervisor) precedes any application.
+    """
+    if layout.load_list is None:
+        return
+    entries = layout.load_list.entries
+    for index, entry in enumerate(entries):
+        if entry.kind is ImageKind.BL1:
+            emit(_entry_label(index, entry),
+                 "BL1 must be deployed by BL0, not via the load list — "
+                 "its chain-of-trust anchor is the BL0 ROM",
+                 severity=Severity.WARNING)
+    stages = [(index, entry, _STAGE[entry.kind])
+              for index, entry in enumerate(entries)
+              if entry.kind in _STAGE]
+    best_stage = 2
+    for index, entry, stage in reversed(stages):
+        if stage > best_stage:
+            emit(_entry_label(index, entry),
+                 f"{_entry_label(index, entry)} precedes the "
+                 f"BL2/hypervisor stage in the load list — BL1 hands off "
+                 f"to the first bootable image, breaking the chain of "
+                 f"trust")
+        best_stage = min(best_stage, stage)
+    if not stages:
+        emit("loadlist",
+             "load list deploys no bootable stage (BL2, hypervisor or "
+             "application)", severity=Severity.WARNING)

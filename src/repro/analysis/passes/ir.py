@@ -1,0 +1,231 @@
+"""HLS IR pass pack: well-formedness and dataflow lint of modules.
+
+Rules run on a :class:`repro.hls.ir.Module` (every function) and combine
+the structural checks of ``verify_function`` with dataflow findings a
+qualification reviewer wants surfaced before synthesis: reads of
+never-assigned values, stores nothing reads back, memory interfaces that
+are generated but never accessed, and lossy bitwidth truncations.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Optional, Set, Tuple
+
+from ...hls.ir.cfg import Function, Module
+from ...hls.ir.operations import Call, Load, Operation, Return, Store
+from ...hls.ir.types import FloatType, IntType
+from ...hls.ir.values import Temp, Value, Var
+from ..diagnostics import Severity
+from ..registry import rule
+
+
+def _functions(module: Module) -> Iterable[Function]:
+    for name in sorted(module.functions):
+        yield module.functions[name]
+
+
+def _loc(func: Function, block_name: str) -> str:
+    return f"{func.name}/{block_name}"
+
+
+def _trackable(value: Optional[Value]) -> bool:
+    return isinstance(value, (Var, Temp))
+
+
+@rule("ir.unterminated-block", layer="ir", severity=Severity.ERROR,
+      fix_hint="end the block with a jump, branch or return")
+def check_unterminated_blocks(module: Module, emit) -> None:
+    """Basic blocks without a terminator (fall-through is illegal)."""
+    for func in _functions(module):
+        if func.entry not in func.blocks:
+            emit(func.name, f"{func.name}: missing entry block")
+        for block in func.ordered_blocks():
+            if block.terminator is None:
+                emit(_loc(func, block.name),
+                     f"block {block.name!r} is not terminated")
+
+
+@rule("ir.unknown-successor", layer="ir", severity=Severity.ERROR,
+      fix_hint="target an existing block label")
+def check_unknown_successors(module: Module, emit) -> None:
+    """Terminators jumping to labels that do not exist."""
+    for func in _functions(module):
+        for block in func.ordered_blocks():
+            for succ in block.successors():
+                if succ not in func.blocks:
+                    emit(_loc(func, block.name),
+                         f"jump to unknown block {succ!r}")
+
+
+@rule("ir.return-mismatch", layer="ir", severity=Severity.ERROR,
+      fix_hint="match the return to the function signature")
+def check_return_values(module: Module, emit) -> None:
+    """Returns missing a value (or returning one from void functions)."""
+    for func in _functions(module):
+        for block in func.ordered_blocks():
+            term = block.terminator
+            if not isinstance(term, Return):
+                continue
+            has_value = term.value is not None
+            if func.returns_value and not has_value:
+                emit(_loc(func, block.name), "missing return value")
+            if not func.returns_value and has_value:
+                emit(_loc(func, block.name), "unexpected return value")
+
+
+@rule("ir.unreachable-block", layer="ir", severity=Severity.WARNING,
+      fix_hint="delete the block or wire it into the CFG")
+def check_unreachable_blocks(module: Module, emit) -> None:
+    """Blocks no path from the entry reaches (dead control flow)."""
+    for func in _functions(module):
+        if func.entry not in func.blocks:
+            continue
+        reachable = set(func.reachable_blocks())
+        for name in func.block_order:
+            if name in func.blocks and name not in reachable:
+                emit(_loc(func, name),
+                     f"block {name!r} is unreachable from entry")
+
+
+def _block_defs(ops: Iterable[Operation]) -> Set[Value]:
+    defs: Set[Value] = set()
+    for op in ops:
+        out = op.output()
+        if _trackable(out):
+            defs.add(out)
+    return defs
+
+
+@rule("ir.use-before-def", layer="ir", severity=Severity.ERROR,
+      fix_hint="assign the value on every path before reading it")
+def check_use_before_def(module: Module, emit) -> None:
+    """Reads of variables not definitely assigned on every path.
+
+    Forward must-define dataflow: a value is *definitely assigned* at a
+    program point when every CFG path from the entry assigns it first.
+    Parameters count as assigned at entry.
+    """
+    for func in _functions(module):
+        if func.entry not in func.blocks:
+            continue
+        reachable = [n for n in func.reachable_blocks()]
+        entry_defs: Set[Value] = {
+            Var(p.name, p.type) for p in func.scalar_params()}
+        preds = func.predecessors()
+        block_defs: Dict[str, Set[Value]] = {
+            name: _block_defs(func.blocks[name].all_ops())
+            for name in reachable}
+        # IN[b] = intersection over preds of OUT[p]; OUT = IN | defs.
+        out_sets: Dict[str, Optional[Set[Value]]] = {
+            name: None for name in reachable}
+        changed = True
+        while changed:
+            changed = False
+            for name in reachable:
+                if name == func.entry:
+                    in_set = set(entry_defs)
+                else:
+                    in_set = None
+                    for pred in preds.get(name, ()):
+                        pred_out = out_sets.get(pred)
+                        if pred_out is None:
+                            continue
+                        in_set = (set(pred_out) if in_set is None
+                                  else in_set & pred_out)
+                    if in_set is None:
+                        continue  # no processed predecessor yet
+                new_out = in_set | block_defs[name]
+                if out_sets[name] is None or new_out != out_sets[name]:
+                    out_sets[name] = new_out
+                    changed = True
+        for name in reachable:
+            if name == func.entry:
+                defined = set(entry_defs)
+            else:
+                defined = None
+                for pred in preds.get(name, ()):
+                    pred_out = out_sets.get(pred)
+                    if pred_out is None:
+                        continue
+                    defined = (set(pred_out) if defined is None
+                               else defined & pred_out)
+                if defined is None:
+                    defined = set(entry_defs)
+            for op in func.blocks[name].all_ops():
+                for value in op.inputs():
+                    if _trackable(value) and value not in defined:
+                        emit(_loc(func, name),
+                             f"{value} read before definite assignment "
+                             f"in {op}")
+                out = op.output()
+                if _trackable(out):
+                    defined.add(out)
+
+
+@rule("ir.dead-store", layer="ir", severity=Severity.WARNING,
+      fix_hint="delete the assignment or use its result")
+def check_dead_stores(module: Module, emit) -> None:
+    """Assignments to values nothing in the function ever reads."""
+    for func in _functions(module):
+        used: Set[Value] = set()
+        for op in func.all_ops():
+            used.update(v for v in op.inputs() if _trackable(v))
+        for block in func.ordered_blocks():
+            for op in block.ops:
+                out = op.output()
+                if _trackable(out) and out not in used \
+                        and not op.has_side_effects:
+                    emit(_loc(func, block.name),
+                         f"dead store: {out} written by {op} is never "
+                         f"read")
+
+
+@rule("ir.unused-mem-param", layer="ir", severity=Severity.WARNING,
+      fix_hint="drop the parameter or access the memory")
+def check_unused_memory_params(module: Module, emit) -> None:
+    """Memory parameters no load, store or call ever touches."""
+    for func in _functions(module):
+        touched: Set[str] = set()
+        for op in func.all_ops():
+            if isinstance(op, (Load, Store)):
+                touched.add(op.mem.name)
+            elif isinstance(op, Call):
+                touched.update(m.name for m in op.mem_args)
+        for param in func.memory_params():
+            if param.name not in touched:
+                emit(f"{func.name}/{param.name}",
+                     f"memory parameter {param.name!r} is never "
+                     f"accessed — a dangling AXI/BRAM interface will be "
+                     f"generated")
+
+
+def _int_width(value: Value) -> Optional[Tuple[int, bool]]:
+    ty = value.ty
+    if isinstance(ty, IntType):
+        return ty.width, ty.signed
+    return None
+
+
+@rule("ir.lossy-truncation", layer="ir", severity=Severity.INFO,
+      fix_hint="widen the destination or mask explicitly")
+def check_lossy_truncation(module: Module, emit) -> None:
+    """Casts and copies that drop bits (or a float's integer range)."""
+    from ...hls.ir.operations import Assign, Cast
+    for func in _functions(module):
+        for block in func.ordered_blocks():
+            for op in block.ops:
+                if not isinstance(op, (Assign, Cast)):
+                    continue
+                dst, src = op.dst, op.src
+                if isinstance(src.ty, FloatType) \
+                        and isinstance(dst.ty, IntType):
+                    emit(_loc(func, block.name),
+                         f"float-to-int conversion in {op} truncates")
+                    continue
+                dst_w, src_w = _int_width(dst), _int_width(src)
+                if dst_w is None or src_w is None:
+                    continue
+                if dst_w[0] < src_w[0]:
+                    emit(_loc(func, block.name),
+                         f"lossy bitwidth truncation {src_w[0]} -> "
+                         f"{dst_w[0]} bits in {op}")

@@ -1,0 +1,144 @@
+"""XMCF pass pack: lint of XtratuM-style system configurations.
+
+The rules migrate ``SystemConfig.validate`` into the registry (keeping
+its messages verbatim, so existing callers and tests see identical
+strings) and add the review findings the configuration compiler of the
+real hypervisor reports: partitions that are declared but never
+scheduled, and ports with no destination endpoint.
+"""
+
+from __future__ import annotations
+
+from typing import List, Set, Tuple
+
+from ...hypervisor.config import MemoryArea, SystemConfig
+from ..diagnostics import Severity
+from ..registry import rule
+
+
+@rule("xmcf.unknown-partition", layer="xmcf", severity=Severity.ERROR,
+      fix_hint="declare the partition or fix the window's id")
+def check_window_partitions(config: SystemConfig, emit) -> None:
+    """Schedule windows referencing undeclared partitions."""
+    for plan in config.plans.values():
+        for window in plan.windows:
+            if window.partition not in config.partitions:
+                emit(f"plan:{plan.plan_id}",
+                     f"plan {plan.plan_id}: window for unknown "
+                     f"partition {window.partition}")
+
+
+@rule("xmcf.core-range", layer="xmcf", severity=Severity.ERROR,
+      fix_hint="schedule the window on an existing core")
+def check_core_range(config: SystemConfig, emit) -> None:
+    """Windows pinned to cores the processor does not have."""
+    for plan in config.plans.values():
+        for window in plan.windows:
+            if not 0 <= window.core < config.cores:
+                emit(f"plan:{plan.plan_id}",
+                     f"plan {plan.plan_id}: core {window.core} out of "
+                     f"range")
+
+
+@rule("xmcf.frame-overrun", layer="xmcf", severity=Severity.ERROR,
+      fix_hint="shrink the window or grow the major frame")
+def check_major_frame(config: SystemConfig, emit) -> None:
+    """Windows running past the end of the major frame."""
+    for plan in config.plans.values():
+        for window in plan.windows:
+            if window.end_us > plan.major_frame_us + 1e-9:
+                emit(f"plan:{plan.plan_id}",
+                     f"plan {plan.plan_id}: window exceeds major frame")
+
+
+@rule("xmcf.window-overlap", layer="xmcf", severity=Severity.ERROR,
+      fix_hint="serialize the windows on the core")
+def check_window_overlap(config: SystemConfig, emit) -> None:
+    """Per-core schedule windows that overlap in time."""
+    for plan in config.plans.values():
+        for core in range(config.cores):
+            windows = plan.windows_for_core(core)
+            for a, b in zip(windows, windows[1:]):
+                if b.start_us < a.end_us - 1e-9:
+                    emit(f"plan:{plan.plan_id}/core:{core}",
+                         f"plan {plan.plan_id} core {core}: windows "
+                         f"for partitions {a.partition}/{b.partition} "
+                         f"overlap")
+
+
+@rule("xmcf.intra-memory-overlap", layer="xmcf", severity=Severity.ERROR,
+      fix_hint="separate the partition's memory areas")
+def check_intra_partition_memory(config: SystemConfig, emit) -> None:
+    """Memory areas of one partition that overlap each other."""
+    for pid, partition in config.partitions.items():
+        areas = partition.memory
+        for i, a in enumerate(areas):
+            for b in areas[i + 1:]:
+                if a.overlaps(b):
+                    emit(f"partition:{pid}",
+                         f"partition {pid}: areas {a.name}/{b.name} "
+                         f"overlap")
+
+
+@rule("xmcf.spatial-isolation", layer="xmcf", severity=Severity.ERROR,
+      fix_hint="give each partition exclusive memory")
+def check_spatial_isolation(config: SystemConfig, emit) -> None:
+    """Memory shared between partitions (isolation violation)."""
+    seen_areas: List[Tuple[int, MemoryArea]] = []
+    for pid, partition in config.partitions.items():
+        for area in partition.memory:
+            for other_pid, other in seen_areas:
+                if area.overlaps(other):
+                    emit(f"partition:{pid}",
+                         f"partitions {pid} and {other_pid} share "
+                         f"memory ({area.name}/{other.name}) — spatial "
+                         f"isolation violated")
+            seen_areas.append((pid, area))
+
+
+@rule("xmcf.port-endpoint", layer="xmcf", severity=Severity.ERROR,
+      fix_hint="wire the port to declared partitions")
+def check_port_endpoints(config: SystemConfig, emit) -> None:
+    """Ports whose source or destination partition does not exist."""
+    for name, port in config.ports.items():
+        if port.source not in config.partitions:
+            emit(f"port:{name}",
+                 f"port {name!r}: unknown source {port.source}")
+        for dest in port.destinations:
+            if dest not in config.partitions:
+                emit(f"port:{name}",
+                     f"port {name!r}: unknown destination {dest}")
+
+
+@rule("xmcf.dangling-port", layer="xmcf", severity=Severity.WARNING,
+      fix_hint="add a destination or delete the port")
+def check_dangling_ports(config: SystemConfig, emit) -> None:
+    """Ports that have a source but deliver to nobody."""
+    for name, port in config.ports.items():
+        if not port.destinations:
+            emit(f"port:{name}",
+                 f"port {name!r} has no destination endpoint — messages "
+                 f"are dropped")
+
+
+@rule("xmcf.unscheduled-partition", layer="xmcf",
+      severity=Severity.WARNING,
+      fix_hint="give the partition a window or remove it")
+def check_unscheduled_partitions(config: SystemConfig, emit) -> None:
+    """Declared partitions no cyclic plan ever schedules."""
+    scheduled: Set[int] = set()
+    for plan in config.plans.values():
+        scheduled.update(w.partition for w in plan.windows)
+    for pid in sorted(config.partitions):
+        if config.plans and pid not in scheduled:
+            emit(f"partition:{pid}",
+                 f"partition {pid} ({config.partitions[pid].name!r}) is "
+                 f"never scheduled by any plan")
+
+
+def error_messages(config: SystemConfig) -> List[str]:
+    """ERROR-level findings as plain strings (``SystemConfig.validate``)."""
+    from ..analyzer import AnalysisTarget, Analyzer
+    report = Analyzer(rules=["xmcf.*"]).run(
+        [AnalysisTarget("xmcf", "system-config", config)])
+    return report.messages(Severity.ERROR)

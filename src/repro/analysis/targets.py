@@ -1,0 +1,107 @@
+"""Build analysis targets from artifacts, files and the example designs.
+
+This module is the glue between the rule engine and the rest of the
+ecosystem: it knows how to turn a HermesC source, an XM_CF document or a
+provisioned SoC into :class:`AnalysisTarget` rows, and assembles the
+standard *example set* — one clean artifact per layer — used by the CLI
+(``repro lint --examples``), CI smoke and the qualification datapack.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import List
+
+from .analyzer import AnalysisTarget, PrelintedArtifact
+from .diagnostics import Diagnostic, Severity
+
+# File suffixes accepted per layer by the CLI dispatcher.
+HERMESC_SUFFIXES = (".c", ".hc", ".hermesc")
+XMCF_SUFFIXES = (".xml",)
+
+
+class TargetError(Exception):
+    """A lint target could not be built from the given input."""
+
+
+def ir_target_from_source(source: str, name: str) -> AnalysisTarget:
+    """Compile HermesC text to IR (unoptimized) and wrap it."""
+    from ..hls.frontend import compile_to_ir
+    module = compile_to_ir(source)
+    return AnalysisTarget("ir", name, module)
+
+
+def xmcf_target_from_text(text: str, name: str) -> AnalysisTarget:
+    """Parse an XM_CF document (without validating) and wrap it."""
+    from ..hypervisor.xmcf import config_from_xml
+    config = config_from_xml(text, validate=False)
+    return AnalysisTarget("xmcf", name, config)
+
+
+def boot_target_from_soc(soc, name: str = "boot-flash") -> AnalysisTarget:
+    """Snapshot a SoC's boot flash into a lintable layout."""
+    from .passes.boot import BootFlashLayout
+    return AnalysisTarget("boot", name, BootFlashLayout.from_soc(soc))
+
+
+def netlist_target(netlist, name: str = "") -> AnalysisTarget:
+    return AnalysisTarget("netlist", name or netlist.name, netlist)
+
+
+def target_from_file(path: Path) -> AnalysisTarget:
+    """Dispatch a file path to the layer its suffix names.
+
+    Front-end failures become a single ERROR diagnostic rather than an
+    exception: lint must keep going over broken inputs.
+    """
+    suffix = path.suffix.lower()
+    text = path.read_text()
+    name = path.name
+    if suffix in HERMESC_SUFFIXES:
+        try:
+            return ir_target_from_source(text, name)
+        except Exception as error:  # noqa: BLE001 - surfaced as finding
+            return _failed_target("ir", name, "ir.frontend", error)
+    if suffix in XMCF_SUFFIXES:
+        try:
+            return xmcf_target_from_text(text, name)
+        except Exception as error:  # noqa: BLE001 - surfaced as finding
+            return _failed_target("xmcf", name, "xmcf.parse", error)
+    raise TargetError(
+        f"{path}: unknown lint input (expected "
+        f"{', '.join(HERMESC_SUFFIXES + XMCF_SUFFIXES)})")
+
+
+def _failed_target(layer: str, name: str, rule_id: str,
+                   error: Exception) -> AnalysisTarget:
+    return AnalysisTarget(layer, name, PrelintedArtifact([Diagnostic(
+        rule=rule_id, severity=Severity.ERROR, layer=layer, target=name,
+        location="<input>",
+        message=f"{type(error).__name__}: {error}")]))
+
+
+def example_targets() -> List[AnalysisTarget]:
+    """The standard example set: one clean artifact per layer.
+
+    * ir — the median-filter accelerator of the image workload;
+    * netlist — a structurally generated 8-bit adder;
+    * xmcf — the virtualized-mission hypervisor configuration;
+    * boot — a provisioned flash with one application image.
+    """
+    from ..apps import image, mission
+    from ..boot import BootImage, ImageKind, provision_flash
+    from ..fabric.synthesis import synthesize_component
+    from ..soc import DDR_BASE, NgUltraSoc, assemble
+
+    targets = [
+        ir_target_from_source(image.MEDIAN3_C, "median3.c"),
+        netlist_target(synthesize_component("addsub", 8)),
+        AnalysisTarget("xmcf", "mission.xml", mission.mission_config()),
+    ]
+    soc = NgUltraSoc()
+    program = assemble("MOVI r0, #42\nHALT", base_address=DDR_BASE)
+    app = BootImage(kind=ImageKind.APPLICATION, load_address=DDR_BASE,
+                    entry_point=DDR_BASE, payload=program, name="app")
+    provision_flash(soc, [app], copies=2)
+    targets.append(boot_target_from_soc(soc))
+    return targets

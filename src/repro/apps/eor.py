@@ -9,7 +9,7 @@ partition of the SELENE-derived mission scenario.
 from __future__ import annotations
 
 import math
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import List, Optional
 
 MU_EARTH = 398_600.4418      # km^3/s^2

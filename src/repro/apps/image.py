@@ -7,7 +7,6 @@ functional verification and for the software-side workloads.
 
 from __future__ import annotations
 
-from typing import Tuple
 
 import numpy as np
 

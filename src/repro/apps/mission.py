@@ -10,7 +10,7 @@ all sharing the quad-core NG-ULTRA under TSP.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Generator, Optional
+from typing import Generator, Optional
 
 import numpy as np
 

@@ -10,7 +10,7 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass
-from typing import List, Optional, Tuple
+from typing import List, Tuple
 
 import numpy as np
 
@@ -57,8 +57,6 @@ def harris_response(pixels: np.ndarray, k_num: int = 1,
     ixx = gx * gx
     iyy = gy * gy
     ixy = gx * gy
-    window = np.ones((3, 3), dtype=np.int64)
-
     def box(a: np.ndarray) -> np.ndarray:
         out = np.zeros_like(a)
         for dy in (-1, 0, 1):

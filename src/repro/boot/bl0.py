@@ -11,7 +11,7 @@ A, then bank B, then SpaceWire), load it into the TCM and hand over.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Optional, Tuple
+from typing import List, Optional
 
 from ..soc.soc import NgUltraSoc
 from ..soc.spacewire import SpaceWireError

@@ -14,9 +14,9 @@ Implements every common functionality the paper lists:
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from enum import Enum
-from typing import Dict, List, Optional, Tuple
+from typing import List, Optional, Tuple
 
 from ..radhard.tmr import vote_bitwise
 from ..soc.memory import default_mpu_regions

@@ -8,7 +8,7 @@ all the available processor cores."
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Optional
+from typing import List
 
 from ..soc.cpu import CoreState
 from ..soc.soc import NgUltraSoc

@@ -9,19 +9,13 @@ of paper Fig. 5.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Tuple
+from dataclasses import dataclass
+from typing import List, Optional
 
 from ..soc.memory import TCM_BASE
 from ..soc.soc import NgUltraSoc
 from .bl0 import BL1_FLASH_OFFSET, Bl0Result, run_bl0
-from .bl1 import (
-    LOADLIST_FLASH_OFFSET,
-    Bl1Config,
-    Bl1Result,
-    RedundancyMode,
-    run_bl1,
-)
+from .bl1 import LOADLIST_FLASH_OFFSET, Bl1Config, Bl1Result, run_bl1
 from .bl2 import Bl2Result, run_bl2
 from .image import BootImage, ImageKind, LoadEntry, LoadList, LoadSource
 from .report import BootReport

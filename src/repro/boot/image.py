@@ -13,7 +13,7 @@ from __future__ import annotations
 import zlib
 from dataclasses import dataclass, field
 from enum import IntEnum
-from typing import List, Optional, Sequence
+from typing import List, Sequence
 
 MAGIC = 0x4E47424C  # "NGBL"
 

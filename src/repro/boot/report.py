@@ -9,10 +9,9 @@ serialization is written to the peripheral mailbox so next-stage software
 
 from __future__ import annotations
 
-import time
 from dataclasses import dataclass, field
 from enum import IntEnum
-from typing import Dict, List, Optional
+from typing import List, Optional
 
 
 class StepStatus(IntEnum):

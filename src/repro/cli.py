@@ -7,7 +7,9 @@ Subcommands mirror the tool surface a user of the paper's ecosystem gets:
 * ``boot``         — run the BL0→BL1→BL2 chain and print the boot report;
 * ``mission``      — run the virtualized mission under XtratuM;
 * ``qualify``      — run the BL1 qualification campaign, print TRL;
-* ``seu``          — run the SEU mitigation campaigns (raw/ECC/TMR).
+* ``seu``          — run the SEU mitigation campaigns (raw/ECC/TMR);
+* ``lint``         — static verification of HermesC sources, XM_CF
+  documents and the built-in example designs (``--examples``).
 
 ``characterize`` and ``seu`` accept ``--jobs N`` to fan work out over the
 parallel execution engine (``--jobs 0`` uses every core); results are
@@ -46,7 +48,7 @@ def _cmd_hls(args) -> int:
 
 
 def _cmd_characterize(args) -> int:
-    from .fabric import NG_ULTRA, get_device, scaled_device
+    from .fabric import get_device, scaled_device
     from .hls.characterization.eucalyptus import Eucalyptus
 
     base = get_device(args.device)
@@ -133,6 +135,57 @@ def _cmd_mission(args) -> int:
     return 0 if misses == 0 else 1
 
 
+def _cmd_lint(args) -> int:
+    from .analysis import (
+        Analyzer,
+        RuleError,
+        Severity,
+        TargetError,
+        example_targets,
+        load_baseline,
+        render_baseline,
+        target_from_file,
+    )
+
+    targets = []
+    try:
+        if args.examples:
+            targets.extend(example_targets())
+        for path_text in args.targets:
+            targets.append(target_from_file(Path(path_text)))
+    except (TargetError, OSError) as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+    if not targets:
+        print("error: nothing to lint (pass files or --examples)",
+              file=sys.stderr)
+        return 2
+    baseline = None
+    if args.baseline:
+        baseline = load_baseline(Path(args.baseline).read_text())
+    rules = [p.strip() for p in args.rules.split(",") if p.strip()] \
+        if args.rules else None
+    try:
+        analyzer = Analyzer(rules=rules, baseline=baseline,
+                            jobs=args.jobs)
+    except RuleError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+    report = analyzer.run(targets)
+    if args.write_baseline:
+        Path(args.write_baseline).write_text(render_baseline(report))
+        print(f"baseline written to {args.write_baseline} "
+              f"({len(report.baseline_fingerprints())} findings)",
+              file=sys.stderr)
+    if args.format == "json":
+        print(report.render_json())
+    else:
+        print(report.render_text())
+    fail_on = None if args.fail_on == "never" \
+        else Severity.parse(args.fail_on)
+    return report.exit_code(fail_on)
+
+
 def _cmd_qualify(args) -> int:
     import importlib
     sys.path.insert(0, str(Path(__file__).resolve().parents[2]
@@ -208,6 +261,31 @@ def build_parser() -> argparse.ArgumentParser:
     qualify = sub.add_parser("qualify",
                              help="BL1 ECSS qualification campaign")
     qualify.set_defaults(func=_cmd_qualify)
+
+    lint = sub.add_parser(
+        "lint", help="static verification of design artifacts")
+    lint.add_argument("targets", nargs="*",
+                      help="HermesC sources (.c/.hc) or XM_CF documents "
+                           "(.xml)")
+    lint.add_argument("--examples", action="store_true",
+                      help="also lint the built-in example designs "
+                           "(one per layer)")
+    lint.add_argument("--rules",
+                      help="comma-separated rule id globs "
+                           "(e.g. 'netlist.*,xmcf.window-*')")
+    lint.add_argument("--format", default="text",
+                      choices=("text", "json"))
+    lint.add_argument("--fail-on", default="error",
+                      choices=("info", "warning", "error", "never"),
+                      help="lowest severity producing a non-zero exit")
+    lint.add_argument("--baseline",
+                      help="JSON baseline of suppressed findings")
+    lint.add_argument("--write-baseline",
+                      help="write a baseline suppressing every current "
+                           "finding")
+    lint.add_argument("--jobs", type=int, default=1,
+                      help="parallel jobs across targets (0 = all cores)")
+    lint.set_defaults(func=_cmd_lint)
     return parser
 
 

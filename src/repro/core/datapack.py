@@ -12,13 +12,15 @@ its report, and checks datapack completeness.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional
+from typing import TYPE_CHECKING, Dict, List, Optional
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..analysis import AnalysisReport
 
 from .qualification import (
     Level,
     QualificationCampaign,
     QualificationReport,
-    Verdict,
 )
 
 # The mandatory document set (paper §IV).
@@ -33,6 +35,7 @@ _TITLES = {
     "SValP": "Software Validation Plan",
     "SValR": "Software Validation Report",
     "SUM": "Software User Manual",
+    "SAR": "Static Analysis Report",
 }
 
 
@@ -60,9 +63,15 @@ def _header(doc: str, project: str) -> List[str]:
 
 def generate_datapack(project: str, campaign: QualificationCampaign,
                       report: QualificationReport,
-                      user_manual_sections: Optional[Dict[str, str]] = None
+                      user_manual_sections: Optional[Dict[str, str]] = None,
+                      lint_report: Optional["AnalysisReport"] = None
                       ) -> Datapack:
-    """Render the full mandatory document set from campaign evidence."""
+    """Render the full mandatory document set from campaign evidence.
+
+    ``lint_report`` (a :class:`repro.analysis.AnalysisReport`) adds the
+    SAR — the static-verification evidence of the V&V argument — on top
+    of the mandatory set.
+    """
     pack = Datapack(project=project)
 
     # SRS: the requirement registry.
@@ -133,4 +142,13 @@ def generate_datapack(project: str, campaign: QualificationCampaign,
         lines.append(f"  {title}:")
         lines.append(f"    {body}")
     pack.documents["SUM"] = "\n".join(lines)
+
+    # SAR: static-verification evidence (repro lint), when supplied.
+    if lint_report is not None:
+        lines = _header("SAR", project)
+        lines.append("  Rule-based static verification over the design "
+                     "artifacts (repro lint):")
+        lines.extend(f"  {line}"
+                     for line in lint_report.render_text().splitlines())
+        pack.documents["SAR"] = "\n".join(lines)
     return pack

@@ -15,7 +15,6 @@ provides the machinery such a campaign runs on:
 
 from __future__ import annotations
 
-import traceback
 from dataclasses import dataclass, field
 from enum import Enum
 from typing import Callable, Dict, List, Optional, Sequence

@@ -16,8 +16,8 @@ blocks.  Timing and energy parameters drive STA and the power report.
 from __future__ import annotations
 
 import math
-from dataclasses import dataclass, field
-from typing import Dict, List, Tuple
+from dataclasses import dataclass
+from typing import Dict, Tuple
 
 LUTS_PER_TILE = 8
 

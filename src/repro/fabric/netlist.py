@@ -5,7 +5,7 @@ from __future__ import annotations
 
 import itertools
 from dataclasses import dataclass, field
-from typing import Dict, Iterable, List, Optional, Set
+from typing import Dict, List, Optional
 
 # Cell kinds of the modelled NG fabric.
 LUT4 = "LUT4"
@@ -140,41 +140,13 @@ class Netlist:
         return [c for c in self.cells.values() if not c.is_sequential]
 
     def validate(self) -> List[str]:
-        """Structural checks: drivers present, no combinational loops."""
-        problems: List[str] = []
-        for net in self.nets.values():
-            if net.driver is None and net.name not in self.inputs \
-                    and net.sinks:
-                problems.append(f"net {net.name!r} has sinks but no driver")
-        # Combinational loop check via DFS over comb cells.
-        colors: Dict[str, int] = {}
+        """Structural checks: drivers present, no combinational loops.
 
-        def dfs(cell_name: str) -> bool:
-            colors[cell_name] = 1
-            cell = self.cells[cell_name]
-            if cell.output is not None:
-                for sink_name in self.nets[cell.output].sinks:
-                    sink = self.cells[sink_name]
-                    if sink.is_sequential:
-                        continue
-                    state = colors.get(sink_name, 0)
-                    if state == 1:
-                        problems.append(
-                            f"combinational loop through {sink_name!r}")
-                        return False
-                    if state == 0 and not dfs(sink_name):
-                        return False
-            colors[cell_name] = 2
-            return True
-
-        import sys
-        old_limit = sys.getrecursionlimit()
-        sys.setrecursionlimit(max(old_limit, len(self.cells) * 2 + 1000))
-        try:
-            for cell in self.combinational_cells():
-                if colors.get(cell.name, 0) == 0:
-                    if not dfs(cell.name):
-                        break
-        finally:
-            sys.setrecursionlimit(old_limit)
-        return problems
+        Delegates to the ``repro.analysis`` netlist pass pack (iterative
+        SCC loop detection — every loop is reported with its cycle path,
+        with no recursion-limit games) and returns the ERROR-level
+        findings as plain messages, the historical contract of this
+        method.  Run ``repro lint`` for the full diagnostic set.
+        """
+        from ..analysis.passes.netlist import error_messages
+        return error_messages(self)

@@ -11,7 +11,7 @@ the automatic generation of backend synthesis scripts").
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, Optional
 
 from .bitstream import Bitstream, generate_bitstream

@@ -11,8 +11,8 @@ from __future__ import annotations
 
 import math
 import random
-from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Tuple
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
 
 from .device import Device, LUTS_PER_TILE
 from .netlist import BRAM, CARRY, DFF, DSP, IOB, LUT4, Netlist

@@ -17,9 +17,9 @@ Two entry points:
 from __future__ import annotations
 
 import math
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, List, Optional
 
-from .netlist import BRAM, CARRY, DFF, DSP, IOB, LUT4, Cell, Netlist
+from .netlist import BRAM, CARRY, DFF, DSP, LUT4, Cell, Netlist
 
 _DSP_INPUT_WIDTH = 18
 
@@ -291,7 +291,7 @@ def synthesize_design(hls_design, func, name: Optional[str] = None) -> Netlist:
 
     netlist = Netlist(name or f"{func.name}_netlist")
     # Global control inputs.
-    clk = netlist.add_input("clk")
+    netlist.add_input("clk")
     start = netlist.add_input("start")
 
     # Registers -> DFFs, grouped as the binder decided.

@@ -8,7 +8,7 @@ from dataclasses import dataclass, field
 from typing import Dict, Optional
 
 from ..characterization.library import ComponentLibrary, default_library
-from ..ir import Call, Function, operand_width
+from ..ir import Function
 from ..ir.operations import Load, Store
 
 # Default number of functional units per resource class.  These mirror a

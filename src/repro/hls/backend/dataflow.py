@@ -22,7 +22,6 @@ from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Set, Tuple
 
 from ..ir import Call, Function, Module
-from ..ir.values import MemObject
 
 
 class DataflowError(Exception):

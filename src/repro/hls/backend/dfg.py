@@ -5,7 +5,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, List, Set, Tuple
 
-from ..ir import BasicBlock, Call, Function
+from ..ir import BasicBlock, Call
 from ..ir.operations import Load, Store
 from ..ir.values import Temp, Value, Var
 

@@ -9,7 +9,7 @@ attacks for task-parallel ML applications.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, List, Optional
 
 from ..ir import Branch, Jump, Return
 from .scheduling import FunctionSchedule
@@ -77,7 +77,6 @@ def build_fsm(schedule: FunctionSchedule) -> FSM:
     idle.transitions.append(Transition(entry_first))
 
     from ..ir import Call
-    from ..ir.operations import Load, Store
 
     for name in func.block_order:
         block = func.blocks[name]

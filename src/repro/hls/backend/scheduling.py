@@ -26,9 +26,8 @@ from typing import Dict, List, Optional, Tuple
 
 from ..ir import Function
 from ..ir.operations import Load, Store
-from ..ir.values import Value
 from .allocation import Allocation, OpTiming
-from .dfg import ORDER, RAW, WAR, BlockDFG, build_dfg
+from .dfg import RAW, WAR, BlockDFG, build_dfg
 
 
 class SchedulingError(Exception):
@@ -290,7 +289,6 @@ def alap_schedule(block, allocation: Allocation) -> Dict[int, int]:
             if edge.dst >= len(block.ops):
                 continue
             succ_start = latest.get(edge.dst, bound)
-            succ_timing = allocation.op_timing(block.ops[edge.dst])
             if edge.kind == RAW:
                 bound = min(bound, succ_start - max(1, timing.cycles))
             elif edge.kind == WAR:

@@ -11,7 +11,7 @@ from typing import Dict, List, Tuple
 
 from ..ir.operations import Load, Store
 from .allocation import Allocation
-from .dfg import ORDER, RAW, WAR, build_dfg
+from .dfg import RAW, WAR, build_dfg
 from .scheduling import FunctionSchedule
 
 

@@ -124,7 +124,6 @@ class VerilogEmitter:
     # -- top level ---------------------------------------------------------
 
     def generate(self) -> str:
-        func = self.func
         self._emit_header()
         self._emit_declarations()
         self._emit_memories()

@@ -15,7 +15,7 @@ resource counts become :class:`ComponentRecord` entries, exported as XML.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Callable, Iterable, List, Optional, Tuple
 
 from ...exec.engine import ExecError, ExecutionReport, ParallelEngine

@@ -2,7 +2,7 @@
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Union
+from typing import Dict, List, Optional
 
 from ..ir import (
     Assign,
@@ -28,15 +28,7 @@ from ..ir import (
     const_int,
     verify_function,
 )
-from ..ir.types import (
-    ArrayType,
-    FloatType,
-    IntType,
-    PointerType,
-    Type,
-    VoidType,
-    common_type,
-)
+from ..ir.types import FloatType, IntType, Type, VoidType, common_type
 from . import ast
 from .pragmas import FunctionPragmas, collect_function_pragmas
 from .semantic import INTRINSICS, SemanticError, analyze

@@ -2,7 +2,7 @@
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, Iterable, List, Optional
 
 from .operations import Branch, Jump, Operation, Return, Terminator
@@ -121,7 +121,8 @@ class Function:
         preds: Dict[str, List[str]] = {name: [] for name in self.blocks}
         for block in self.ordered_blocks():
             for succ in block.successors():
-                preds[succ].append(block.name)
+                if succ in preds:  # unknown targets are a lint finding
+                    preds[succ].append(block.name)
         return preds
 
     def reachable_blocks(self) -> List[str]:

@@ -9,7 +9,7 @@ flow described in the paper.
 from __future__ import annotations
 
 import math
-from typing import Dict, List, Optional, Sequence, Union
+from typing import Dict, Optional, Sequence, Union
 
 from .cfg import Function, Module
 from .operations import (

@@ -11,7 +11,7 @@ from dataclasses import dataclass, field
 from typing import List, Optional
 
 from .types import FloatType, IntType, Type
-from .values import Const, MemObject, Value
+from .values import MemObject, Value
 
 # Binary operator mnemonics understood by the IR.
 BINARY_OPS = {

@@ -16,7 +16,6 @@ from ..ir import (
     Select,
     UnOp,
     Value,
-    Var,
     eval_binop,
     eval_unop,
 )

@@ -8,7 +8,7 @@ at the cost of duplicated hardware — the classic HLS trade-off.
 
 from __future__ import annotations
 
-from typing import Dict, List
+from typing import Dict
 
 from ..ir import (
     Assign,

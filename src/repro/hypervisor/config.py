@@ -12,7 +12,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 from enum import Enum
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, List, Optional
 
 
 class ConfigError(Exception):
@@ -132,52 +132,12 @@ class SystemConfig:
     # -- validation ---------------------------------------------------------
 
     def validate(self) -> List[str]:
-        problems: List[str] = []
-        for plan in self.plans.values():
-            for window in plan.windows:
-                if window.partition not in self.partitions:
-                    problems.append(
-                        f"plan {plan.plan_id}: window for unknown "
-                        f"partition {window.partition}")
-                if not 0 <= window.core < self.cores:
-                    problems.append(
-                        f"plan {plan.plan_id}: core {window.core} out of "
-                        f"range")
-                if window.end_us > plan.major_frame_us + 1e-9:
-                    problems.append(
-                        f"plan {plan.plan_id}: window exceeds major frame")
-            for core in range(self.cores):
-                windows = plan.windows_for_core(core)
-                for a, b in zip(windows, windows[1:]):
-                    if b.start_us < a.end_us - 1e-9:
-                        problems.append(
-                            f"plan {plan.plan_id} core {core}: windows "
-                            f"for partitions {a.partition}/{b.partition} "
-                            f"overlap")
-        for pid, partition in self.partitions.items():
-            areas = partition.memory
-            for i, a in enumerate(areas):
-                for b in areas[i + 1:]:
-                    if a.overlaps(b):
-                        problems.append(
-                            f"partition {pid}: areas {a.name}/{b.name} "
-                            f"overlap")
-        seen_areas: List[Tuple[int, MemoryArea]] = []
-        for pid, partition in self.partitions.items():
-            for area in partition.memory:
-                for other_pid, other in seen_areas:
-                    if area.overlaps(other):
-                        problems.append(
-                            f"partitions {pid} and {other_pid} share "
-                            f"memory ({area.name}/{other.name}) — spatial "
-                            f"isolation violated")
-                seen_areas.append((pid, area))
-        for name, port in self.ports.items():
-            if port.source not in self.partitions:
-                problems.append(f"port {name!r}: unknown source "
-                                f"{port.source}")
-            for dest in port.destinations:
-                if dest not in self.partitions:
-                    problems.append(f"port {name!r}: unknown destination "
-                                    f"{dest}")
-        return problems
+        """Global consistency checks the configuration compiler enforces.
+
+        Delegates to the ``repro.analysis`` XMCF pass pack and returns
+        the ERROR-level findings as plain messages — the historical
+        contract of this method.  ``repro lint`` additionally reports
+        the advisory findings (unscheduled partitions, dangling ports).
+        """
+        from ..analysis.passes.xmcf import error_messages
+        return error_messages(self)

@@ -10,7 +10,7 @@ code running on the modelled cores can reach the hypervisor.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable, Dict, Optional
+from typing import Dict
 
 XM_GET_TIME = 0x01
 XM_PARTITION_STATUS = 0x02

@@ -8,8 +8,8 @@ whose overflow policy discards the newest message and flags the event.
 from __future__ import annotations
 
 from collections import deque
-from dataclasses import dataclass, field
-from typing import Deque, Dict, List, Optional, Tuple
+from dataclasses import dataclass
+from typing import Deque, Dict, Optional, Tuple
 
 from .config import PortConfig, PortKind
 

@@ -21,9 +21,9 @@ Actions:
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from enum import Enum
-from typing import Callable, Dict, Generator, List, Optional
+from typing import Callable, Generator, List, Optional
 
 
 class PartitionState(Enum):

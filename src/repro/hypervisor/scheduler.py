@@ -20,7 +20,6 @@ from .partition import (
     EndActivation,
     Fault,
     Partition,
-    PartitionState,
     ReadPort,
     WritePort,
 )

@@ -68,8 +68,25 @@ def config_to_xml(config: SystemConfig) -> str:
     return ElementTree.tostring(root, encoding="unicode")
 
 
-def config_from_xml(text: str) -> SystemConfig:
-    """Parse an XM_CF document back into a SystemConfig (validated)."""
+def _require(element: ElementTree.Element, attribute: str) -> str:
+    """Fetch a mandatory attribute or fail with a locatable message."""
+    value = element.get(attribute)
+    if value is None:
+        raise ConfigError(
+            f"XM_CF element <{element.tag}> is missing required "
+            f"attribute {attribute!r}")
+    return value
+
+
+def config_from_xml(text: str, validate: bool = True) -> SystemConfig:
+    """Parse an XM_CF document back into a SystemConfig.
+
+    Raises :class:`ConfigError` with a locatable message on any missing
+    mandatory element or attribute (never an ``AttributeError``).  With
+    ``validate=False`` the global consistency checks are skipped, so
+    review tools (``repro lint``) can inspect a *broken* configuration
+    instead of being stopped at the door.
+    """
     try:
         root = ElementTree.fromstring(text)
     except ElementTree.ParseError as error:
@@ -77,6 +94,9 @@ def config_from_xml(text: str) -> SystemConfig:
     if root.tag != "SystemDescription":
         raise ConfigError(f"unexpected root element {root.tag!r}")
     processor = root.find("HwDescription/Processor")
+    if processor is None:
+        raise ConfigError(
+            "XM_CF document has no HwDescription/Processor element")
     config = SystemConfig(
         cores=int(processor.get("cores", "4")),
         context_switch_us=float(processor.get("contextSwitchUs", "2.0")))
@@ -85,35 +105,37 @@ def config_from_xml(text: str) -> SystemConfig:
         memory: List[MemoryArea] = []
         for area_el in part_el.findall("MemoryArea"):
             memory.append(MemoryArea(
-                name=area_el.get("name"),
-                base=int(area_el.get("start"), 0),
-                size=int(area_el.get("size"))))
+                name=_require(area_el, "name"),
+                base=int(_require(area_el, "start"), 0),
+                size=int(_require(area_el, "size"))))
         config.add_partition(
-            int(part_el.get("id")), part_el.get("name"), memory,
+            int(_require(part_el, "id")), _require(part_el, "name"),
+            memory,
             criticality=part_el.get("criticality", "DAL-B"),
             system_partition=part_el.get("system") == "yes")
 
     for plan_el in root.findall("CyclicPlanTable/Plan"):
-        plan = config.add_plan(int(plan_el.get("id")),
-                               float(plan_el.get("majorFrameUs")))
+        plan = config.add_plan(int(_require(plan_el, "id")),
+                               float(_require(plan_el, "majorFrameUs")))
         for slot_el in plan_el.findall("Slot"):
             plan.add_window(
-                int(slot_el.get("partitionId")),
-                int(slot_el.get("vCpuId")),
-                float(slot_el.get("startUs")),
-                float(slot_el.get("durationUs")))
+                int(_require(slot_el, "partitionId")),
+                int(_require(slot_el, "vCpuId")),
+                float(_require(slot_el, "startUs")),
+                float(_require(slot_el, "durationUs")))
 
     for channel_el in root.findall("Channels/*"):
         kind = PortKind.SAMPLING if channel_el.tag == "SamplingChannel" \
             else PortKind.QUEUING
         destinations = [int(d) for d in
                         channel_el.get("destinations", "").split(",") if d]
-        config.add_port(channel_el.get("name"), kind,
-                        int(channel_el.get("source")), destinations,
+        config.add_port(_require(channel_el, "name"), kind,
+                        int(_require(channel_el, "source")), destinations,
                         depth=int(channel_el.get("depth", "8")))
 
-    problems = config.validate()
-    if problems:
-        raise ConfigError("XM_CF failed validation: "
-                          + "; ".join(problems[:3]))
+    if validate:
+        problems = config.validate()
+        if problems:
+            raise ConfigError("XM_CF failed validation: "
+                              + "; ".join(problems[:3]))
     return config

@@ -10,10 +10,9 @@ cores provided by the board, thus enabling parallel computing".
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, List, Optional
+from typing import Dict, Optional
 
-from .config import ConfigError, Plan, SystemConfig
+from .config import SystemConfig
 from .health import HealthMonitor, HmAction, HmEvent
 from .hypercalls import HypercallApi
 from .ipc import PortTable

@@ -8,8 +8,8 @@ memories, plus an ECC-protected memory model with scrubbing support.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import List, Optional, Tuple
+from dataclasses import dataclass
+from typing import List, Optional
 
 
 class EccError(Exception):

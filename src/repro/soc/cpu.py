@@ -22,7 +22,6 @@ Flags: Z and N from CMP.  r13 = sp, r14 = lr, r15 = pc.
 from __future__ import annotations
 
 import re
-from dataclasses import dataclass, field
 from enum import Enum
 from typing import Callable, Dict, List, Optional, Tuple
 

@@ -11,8 +11,8 @@ to local Tightly Coupled Memories, embedded RAM, and external DDR").
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Optional, Tuple
+from dataclasses import dataclass
+from typing import List, Tuple
 
 from ..radhard.ecc import EccError, EccMemory
 from .cpu import MemoryFault

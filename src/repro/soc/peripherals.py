@@ -9,8 +9,7 @@ tightly coupled memories.
 from __future__ import annotations
 
 import zlib
-from dataclasses import dataclass, field
-from typing import Dict, List, Optional
+from typing import Dict, Optional
 
 from .cpu import MemoryFault
 from .memory import FLASH_WORDS, WordArray

@@ -7,7 +7,6 @@ object form.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
 from typing import Callable, Dict, List, Optional
 
 from .cpu import CoreState, R52Core

@@ -14,7 +14,7 @@ from __future__ import annotations
 
 import zlib
 from collections import deque
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Deque, Dict, List, Optional
 
 OP_REQUEST = 0x01
@@ -85,7 +85,6 @@ class SpaceWireLink:
     def receive_object(self, expected_id: int,
                        max_polls: int = 1_000_000) -> List[int]:
         """Blocking read of one DATA response; validates CRC."""
-        words = []
         polls = 0
         def next_word() -> int:
             nonlocal polls

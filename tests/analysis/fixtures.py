@@ -1,0 +1,110 @@
+"""Seeded-defect fixtures for the analysis test suite.
+
+One deliberately broken artifact per layer, used by the per-rule tests
+and by the golden JSON regression test.  Every defect is constructed —
+never random — so the resulting lint report is bit-stable.
+"""
+
+from repro.analysis import AnalysisTarget
+from repro.analysis.passes.boot import BootFlashLayout
+from repro.boot import BootImage, ImageKind, provision_flash
+from repro.boot.chain import OBJECT_AREA_OFFSET
+from repro.fabric.netlist import Cell, DFF, LUT4, Netlist
+from repro.hls.ir.cfg import Function, Module, Param
+from repro.hls.ir.operations import Assign, BinOp, Cast, Jump, Return
+from repro.hls.ir.types import IntType
+from repro.hls.ir.values import MemObject, Var, const_int
+from repro.hypervisor.config import MemoryArea, SystemConfig
+from repro.soc import DDR_BASE, NgUltraSoc, assemble
+
+I32 = IntType(32, True)
+I8 = IntType(8, True)
+
+
+def defective_ir_module() -> Module:
+    """IR with a use-before-def, dead store, unreachable + unterminated
+    blocks, an unused memory parameter and a lossy truncation."""
+    module = Module("defects")
+    func = Function("bad", I32)
+    func.params.append(Param("x", I32))
+    mem = MemObject("buf", I32, 16, is_param=True)
+    func.params.append(Param("buf", I32, mem=mem))
+    func.add_mem(mem)
+
+    entry = func.add_entry_block()
+    x, ghost = Var("x", I32), Var("ghost", I32)
+    dead, narrow = Var("dead", I32), Var("narrow", I8)
+    # use-before-def: 'ghost' is never assigned.
+    entry.append(BinOp("add", x, x, ghost))
+    # dead store: 'dead' is never read.
+    entry.append(Assign(dead, const_int(7, I32)))
+    # lossy truncation: 32 -> 8 bits.
+    entry.append(Cast(narrow, x))
+    entry.append(Return(x))
+
+    orphan = func.new_block("orphan")        # unreachable
+    orphan.append(Jump("nowhere"))           # unknown successor too
+    func.new_block("open")                   # unterminated
+    module.add_function(func)
+    return module
+
+
+def defective_netlist() -> Netlist:
+    """Netlist with two comb loops, an undriven net, a duplicate LUT
+    input, a dangling output and an unvoted TMR domain."""
+    netlist = Netlist("bad")
+    netlist.add_cell(Cell(name="a", kind=LUT4, inputs=["n1"], output="n0"))
+    netlist.add_cell(Cell(name="b", kind=LUT4, inputs=["n0"], output="n1"))
+    netlist.add_cell(Cell(name="c", kind=LUT4, inputs=["n3"], output="n2"))
+    netlist.add_cell(Cell(name="d", kind=LUT4, inputs=["n2"], output="n3"))
+    netlist.add_cell(Cell(name="e", kind=LUT4,
+                          inputs=["ghost", "ghost"], output="n4"))
+    for replica in range(3):
+        netlist.add_cell(Cell(name=f"core_tmr{replica}", kind=DFF,
+                              inputs=["n4"], output=f"q{replica}"))
+    netlist.add_output("floating_out")
+    netlist.ensure_net("nc")                 # neither driver nor sinks
+    return netlist
+
+
+def defective_config() -> SystemConfig:
+    """Config with overlapping windows, shared memory, an unscheduled
+    partition and a dangling port."""
+    config = SystemConfig(cores=2)
+    config.add_partition(0, "A", [MemoryArea("ma", 0x1000, 0x100)])
+    config.add_partition(1, "B", [MemoryArea("mb", 0x1080, 0x100)])
+    config.add_partition(2, "spare", [])
+    plan = config.add_plan(0, major_frame_us=1000.0)
+    plan.add_window(0, core=0, start_us=0.0, duration_us=600.0)
+    plan.add_window(1, core=0, start_us=500.0, duration_us=400.0)
+    from repro.hypervisor.config import PortKind
+    config.add_port("tm", PortKind.SAMPLING, 0, [])
+    return config
+
+
+def defective_boot_layout() -> BootFlashLayout:
+    """Provisioned flash with one corrupted copy, an application placed
+    before the hypervisor stage, and overlapping load regions."""
+    soc = NgUltraSoc()
+    program = assemble("MOVI r0, #7\nHALT", base_address=DDR_BASE)
+    app = BootImage(kind=ImageKind.APPLICATION, load_address=DDR_BASE,
+                    entry_point=DDR_BASE, payload=program, name="app")
+    hyp = BootImage(kind=ImageKind.HYPERVISOR,
+                    load_address=DDR_BASE + 4,   # overlaps the app
+                    entry_point=DDR_BASE + 4,
+                    payload=[0xBEEF0000 + i for i in range(8)],
+                    name="hyp")
+    provision_flash(soc, [app, hyp], copies=2)
+    soc.flash_controller.corrupt_word(
+        0, OBJECT_AREA_OFFSET + BootImage.HEADER_WORDS, 0xFFFF)
+    return BootFlashLayout.from_soc(soc)
+
+
+def defective_targets():
+    """The four seeded-defect targets, one per layer."""
+    return [
+        AnalysisTarget("ir", "defects.c", defective_ir_module()),
+        AnalysisTarget("netlist", "bad-netlist", defective_netlist()),
+        AnalysisTarget("xmcf", "bad-config.xml", defective_config()),
+        AnalysisTarget("boot", "bad-flash", defective_boot_layout()),
+    ]

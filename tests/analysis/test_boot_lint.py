@@ -1,0 +1,91 @@
+"""Boot pass pack: flash layout rules on provisioned SoCs."""
+
+from repro.analysis import AnalysisTarget, Severity, analyze
+from repro.analysis.passes.boot import BootFlashLayout
+from repro.analysis.targets import boot_target_from_soc
+from repro.boot import BootImage, ImageKind, provision_flash
+from repro.boot.chain import DEFAULT_COPY_STRIDE, OBJECT_AREA_OFFSET
+from repro.soc import DDR_BASE, NgUltraSoc, assemble
+
+from .fixtures import defective_boot_layout
+
+
+def _lint(layout, rules=None):
+    return analyze([AnalysisTarget("boot", "flash", layout)],
+                   rules=rules)
+
+
+def _provision(images, copies=2):
+    soc = NgUltraSoc()
+    provision_flash(soc, images, copies=copies)
+    return soc
+
+
+def _app(name="app", base=DDR_BASE):
+    program = assemble("MOVI r0, #7\nHALT", base_address=base)
+    return BootImage(kind=ImageKind.APPLICATION, load_address=base,
+                     entry_point=base, payload=program, name=name)
+
+
+class TestSeededDefects:
+    def test_every_seeded_defect_detected(self):
+        report = _lint(defective_boot_layout())
+        assert {d.rule for d in report.diagnostics} == {
+            "boot.chain-order", "boot.load-overlap", "boot.crc"}
+
+    def test_chain_order_is_error(self):
+        report = _lint(defective_boot_layout(),
+                       rules=["boot.chain-order"])
+        assert [d.severity for d in report.diagnostics] == [Severity.ERROR]
+        assert "chain of trust" in report.diagnostics[0].message
+
+    def test_single_corruption_is_warning(self):
+        report = _lint(defective_boot_layout(), rules=["boot.crc"])
+        assert [d.severity for d in report.diagnostics] == [
+            Severity.WARNING]
+        assert "redundant copy will recover" in \
+            report.diagnostics[0].message
+
+
+class TestIntegrityRules:
+    def test_all_copies_corrupt_is_error(self):
+        soc = _provision([_app()], copies=2)
+        for copy in range(2):
+            soc.flash_controller.corrupt_word(
+                0, OBJECT_AREA_OFFSET + copy * DEFAULT_COPY_STRIDE
+                + BootImage.HEADER_WORDS, 0xFFFF)
+        report = _lint(BootFlashLayout.from_soc(soc), rules=["boot.crc"])
+        assert report.diagnostics
+        assert all(d.severity is Severity.ERROR
+                   for d in report.diagnostics)
+
+    def test_unreadable_load_list(self):
+        layout = BootFlashLayout.from_flash([0] * 0x10000)
+        report = _lint(layout, rules=["boot.loadlist"])
+        assert [d.severity for d in report.diagnostics] == [Severity.ERROR]
+        assert "load list unreadable" in report.diagnostics[0].message
+
+    def test_bl1_in_load_list_is_warning(self):
+        bl1 = BootImage(kind=ImageKind.BL1, load_address=DDR_BASE,
+                        entry_point=DDR_BASE, payload=[1, 2, 3],
+                        name="bl1")
+        soc = _provision([bl1, _app(base=DDR_BASE + 0x1000)])
+        report = _lint(BootFlashLayout.from_soc(soc),
+                       rules=["boot.chain-order"])
+        warnings = [d for d in report.diagnostics
+                    if d.severity is Severity.WARNING]
+        assert any("BL0 ROM" in d.message for d in warnings)
+
+    def test_hypervisor_before_application_is_clean(self):
+        hyp = BootImage(kind=ImageKind.HYPERVISOR,
+                        load_address=DDR_BASE + 0x10000,
+                        entry_point=DDR_BASE + 0x10000,
+                        payload=[0xBEEF], name="hyp")
+        soc = _provision([hyp, _app()])
+        report = _lint(BootFlashLayout.from_soc(soc),
+                       rules=["boot.chain-order"])
+        assert report.diagnostics == []
+
+    def test_clean_provisioned_flash_lints_clean(self):
+        report = analyze([boot_target_from_soc(_provision([_app()]))])
+        assert report.diagnostics == []

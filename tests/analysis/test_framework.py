@@ -1,0 +1,161 @@
+"""Framework tests: registry, selection, baselines, renderers, exits."""
+
+import json
+
+import pytest
+
+from repro.analysis import (
+    AnalysisTarget,
+    Analyzer,
+    DEFAULT_REGISTRY,
+    Diagnostic,
+    RuleError,
+    RuleRegistry,
+    Rule,
+    Severity,
+    analyze,
+    load_baseline,
+    max_severity,
+    render_baseline,
+    rule,
+)
+
+from .fixtures import defective_netlist, defective_targets
+
+
+class TestSeverity:
+    def test_ordering(self):
+        assert Severity.INFO < Severity.WARNING < Severity.ERROR
+        assert Severity.ERROR >= Severity.WARNING
+
+    def test_parse(self):
+        assert Severity.parse("WARNING") is Severity.WARNING
+        with pytest.raises(ValueError, match="unknown severity"):
+            Severity.parse("fatal")
+
+    def test_max_severity(self):
+        assert max_severity([]) is None
+        diags = [Diagnostic("r", Severity.INFO, "ir", "t", "l", "m"),
+                 Diagnostic("r", Severity.ERROR, "ir", "t", "l", "m")]
+        assert max_severity(diags) is Severity.ERROR
+
+
+class TestRegistry:
+    def test_builtin_rules_cover_all_layers(self):
+        layers = {r.layer for r in DEFAULT_REGISTRY.rules.values()}
+        assert layers == {"ir", "netlist", "xmcf", "boot"}
+
+    def test_duplicate_id_rejected(self):
+        registry = RuleRegistry()
+
+        @rule("x.a", layer="ir", severity=Severity.ERROR,
+              registry=registry)
+        def first(artifact, emit):
+            pass
+
+        with pytest.raises(RuleError, match="duplicate"):
+            @rule("x.a", layer="ir", severity=Severity.ERROR,
+                  registry=registry)
+            def second(artifact, emit):
+                pass
+
+    def test_unknown_layer_rejected(self):
+        registry = RuleRegistry()
+        with pytest.raises(RuleError, match="unknown layer"):
+            registry.register(Rule("x.b", "quantum", Severity.INFO,
+                                   lambda a, e: None))
+
+    def test_selection_by_glob(self):
+        selected = DEFAULT_REGISTRY.select(["netlist.*"])
+        assert selected
+        assert all(r.rule_id.startswith("netlist.") for r in selected)
+
+    def test_selection_no_match_is_error(self):
+        with pytest.raises(RuleError, match="no rule matches"):
+            DEFAULT_REGISTRY.select(["cosmic.*"])
+
+    def test_rule_docs_present(self):
+        for registered in DEFAULT_REGISTRY.rules.values():
+            assert registered.doc, registered.rule_id
+            assert registered.fix_hint, registered.rule_id
+
+
+class TestAnalyzer:
+    def test_rule_crash_becomes_diagnostic(self):
+        registry = RuleRegistry()
+
+        @rule("ir.boom", layer="ir", severity=Severity.INFO,
+              registry=registry)
+        def exploding(artifact, emit):
+            raise RuntimeError("kaput")
+
+        report = Analyzer(registry=registry).run(
+            [AnalysisTarget("ir", "t", object())])
+        assert len(report.diagnostics) == 1
+        diag = report.diagnostics[0]
+        assert diag.rule == "analysis.rule-crash"
+        assert diag.severity is Severity.ERROR
+        assert "kaput" in diag.message
+
+    def test_parallel_jobs_identical_output(self):
+        serial = Analyzer(jobs=1).run(defective_targets())
+        parallel = Analyzer(jobs=4, backend="thread").run(
+            defective_targets())
+        assert serial.render_json() == parallel.render_json()
+
+    def test_exit_codes_severity_mapped(self):
+        netlist = defective_netlist()
+        report = analyze([AnalysisTarget("netlist", "n", netlist)])
+        assert report.exit_code(Severity.ERROR) == 1
+        assert report.exit_code(None) == 0
+        only_info = Analyzer(rules=["netlist.floating-net"]).run(
+            [AnalysisTarget("netlist", "n", netlist)])
+        assert max_severity(only_info.diagnostics) is Severity.INFO
+        assert only_info.exit_code(Severity.ERROR) == 0
+        assert only_info.exit_code(Severity.INFO) == 1
+
+    def test_baseline_suppression_roundtrip(self):
+        targets = [AnalysisTarget("netlist", "n", defective_netlist())]
+        first = analyze(targets)
+        assert first.diagnostics
+        baseline = load_baseline(render_baseline(first))
+        second = Analyzer(baseline=baseline).run(targets)
+        assert second.diagnostics == []
+        assert second.suppressed == len(first.diagnostics)
+        assert second.exit_code(Severity.INFO) == 0
+
+    def test_bad_baseline_rejected(self):
+        with pytest.raises(ValueError, match="suppress"):
+            load_baseline(json.dumps({"version": 1}))
+
+    def test_messages_severity_filter(self):
+        report = analyze(
+            [AnalysisTarget("netlist", "n", defective_netlist())])
+        errors = report.messages(Severity.ERROR)
+        everything = report.messages(Severity.INFO)
+        assert set(errors) <= set(everything)
+        assert len(everything) > len(errors)
+
+
+class TestRenderers:
+    def test_text_render_summary(self):
+        report = analyze(defective_targets())
+        text = report.render_text()
+        assert "error(s)" in text and "warning(s)" in text
+        assert "4 target(s)" in text
+
+    def test_json_schema(self):
+        report = analyze(defective_targets())
+        data = json.loads(report.render_json())
+        assert data["version"] == 1
+        assert data["tool"] == "repro-lint"
+        assert set(data["summary"]) == {"info", "warning", "error",
+                                        "suppressed"}
+        for diag in data["diagnostics"]:
+            assert {"rule", "severity", "layer", "target", "location",
+                    "message"} <= set(diag)
+
+    def test_diagnostics_sorted_deterministically(self):
+        report = analyze(defective_targets())
+        keys = [d.sort_key() for d in report.diagnostics]
+        assert keys == sorted(keys)

@@ -1,0 +1,78 @@
+"""Golden JSON lint report + clean-flow property tests.
+
+The seeded-defect fixture set is fully deterministic, so the JSON
+report rendered over it must match the committed golden bit for bit —
+the schema is consumed by CI and the qualification datapack, and silent
+drift there is a regression.  Regenerate after an intended rule change
+with::
+
+    REGEN_LINT_GOLDEN=1 PYTHONPATH=src python -m pytest \
+        tests/analysis/test_golden_report.py
+"""
+
+import json
+import os
+from pathlib import Path
+
+from repro.analysis import Analyzer, LAYERS, Severity, example_targets
+
+from .fixtures import defective_targets
+
+GOLDEN = Path(__file__).parent / "golden_lint_report.json"
+
+
+def _report():
+    return Analyzer().run(defective_targets())
+
+
+class TestGoldenReport:
+    def test_json_report_matches_golden(self):
+        rendered = _report().render_json() + "\n"
+        if os.environ.get("REGEN_LINT_GOLDEN"):
+            GOLDEN.write_text(rendered)
+        assert GOLDEN.exists(), \
+            f"golden {GOLDEN} missing; regenerate with REGEN_LINT_GOLDEN=1"
+        assert rendered == GOLDEN.read_text(), (
+            "lint JSON drifted from golden_lint_report.json — if the "
+            "change is intended, regenerate with REGEN_LINT_GOLDEN=1")
+
+    def test_at_least_one_seeded_defect_per_layer(self):
+        report = _report()
+        for layer in LAYERS:
+            layer_errors = [d for d in report.diagnostics
+                            if d.layer == layer
+                            and d.severity is Severity.ERROR]
+            assert layer_errors, f"no seeded ERROR detected in {layer!r}"
+
+    def test_golden_is_valid_schema(self):
+        data = json.loads(GOLDEN.read_text())
+        assert data["version"] == 1
+        assert len(data["targets"]) == 4
+        assert data["summary"]["error"] > 0
+
+
+class TestCleanFlowsProperty:
+    """Every artifact the clean example flows produce lints ERROR-free."""
+
+    def test_example_targets_have_zero_errors(self):
+        report = Analyzer().run(example_targets())
+        assert report.errors == [], report.render_text()
+
+    def test_synthesized_components_have_zero_errors(self):
+        from repro.analysis import AnalysisTarget, analyze
+        from repro.fabric.synthesis import synthesize_component
+        for component in ("addsub", "mult", "logic", "comparator"):
+            for width in (4, 8):
+                netlist = synthesize_component(component, width)
+                report = analyze(
+                    [AnalysisTarget("netlist", netlist.name, netlist)])
+                assert report.errors == [], (
+                    f"{component}/{width}: {report.render_text()}")
+
+    def test_compiled_example_sources_have_zero_errors(self):
+        from repro.analysis import analyze, ir_target_from_source
+        from repro.apps import image
+        sources = [("median3.c", image.MEDIAN3_C)]
+        for name, source in sources:
+            report = analyze([ir_target_from_source(source, name)])
+            assert report.errors == [], report.render_text()

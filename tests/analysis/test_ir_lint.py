@@ -1,0 +1,119 @@
+"""IR pass pack: structural and dataflow rules on HLS modules."""
+
+from repro.analysis import AnalysisTarget, Severity, analyze
+from repro.analysis.targets import ir_target_from_source
+from repro.hls.ir.cfg import Function, Module, Param
+from repro.hls.ir.operations import Assign, Branch, Jump, Return
+from repro.hls.ir.types import IntType, VOID
+from repro.hls.ir.values import Var, const_int
+
+from .fixtures import defective_ir_module
+
+I32 = IntType(32, True)
+
+
+def _lint(module, rules=None):
+    return analyze([AnalysisTarget("ir", module.name, module)],
+                   rules=rules)
+
+
+def _messages(report):
+    return [d.message for d in report.diagnostics]
+
+
+class TestSeededDefects:
+    def test_every_seeded_defect_detected(self):
+        report = _lint(defective_ir_module())
+        assert {d.rule for d in report.diagnostics} == {
+            "ir.use-before-def", "ir.dead-store", "ir.unreachable-block",
+            "ir.unterminated-block", "ir.unknown-successor",
+            "ir.unused-mem-param", "ir.lossy-truncation"}
+
+    def test_use_before_def(self):
+        report = _lint(defective_ir_module(), rules=["ir.use-before-def"])
+        assert any("%ghost read before definite assignment" in m
+                   for m in _messages(report))
+
+    def test_dead_store_severity(self):
+        report = _lint(defective_ir_module(), rules=["ir.dead-store"])
+        assert report.diagnostics
+        assert all(d.severity is Severity.WARNING
+                   for d in report.diagnostics)
+
+    def test_lossy_truncation_is_info(self):
+        report = _lint(defective_ir_module(),
+                       rules=["ir.lossy-truncation"])
+        assert [d.severity for d in report.diagnostics] == [Severity.INFO]
+        assert "32 -> 8" in report.diagnostics[0].message
+
+
+class TestStructuralRules:
+    def test_return_mismatch_both_directions(self):
+        module = Module("returns")
+        void_fn = Function("v", VOID)
+        block = void_fn.add_entry_block()
+        block.append(Return(Var("x", I32)))
+        module.add_function(void_fn)
+        int_fn = Function("i", I32)
+        block = int_fn.add_entry_block()
+        block.append(Return())
+        module.add_function(int_fn)
+        report = _lint(module, rules=["ir.return-mismatch"])
+        assert sorted(_messages(report)) == [
+            "missing return value", "unexpected return value"]
+
+    def test_branch_paths_must_both_define(self):
+        # x assigned on only one branch arm -> not definitely assigned
+        # at the join point.
+        module = Module("joins")
+        func = Function("f", I32)
+        func.params.append(Param("c", I32))
+        entry = func.add_entry_block()
+        then = func.new_block("then")
+        other = func.new_block("else")
+        join = func.new_block("join")
+        x, c = Var("x", I32), Var("c", I32)
+        entry.append(Branch(c, then.name, other.name))
+        then.append(Assign(x, const_int(1, I32)))
+        then.append(Jump(join.name))
+        other.append(Jump(join.name))
+        join.append(Return(x))
+        module.add_function(func)
+        report = _lint(module, rules=["ir.use-before-def"])
+        assert any("%x read before definite assignment" in m
+                   for m in _messages(report))
+
+    def test_both_arms_defining_is_clean(self):
+        module = Module("joins")
+        func = Function("f", I32)
+        func.params.append(Param("c", I32))
+        entry = func.add_entry_block()
+        then = func.new_block("then")
+        other = func.new_block("else")
+        join = func.new_block("join")
+        x, c = Var("x", I32), Var("c", I32)
+        entry.append(Branch(c, then.name, other.name))
+        then.append(Assign(x, const_int(1, I32)))
+        then.append(Jump(join.name))
+        other.append(Assign(x, const_int(2, I32)))
+        other.append(Jump(join.name))
+        join.append(Return(x))
+        module.add_function(func)
+        report = _lint(module, rules=["ir.use-before-def"])
+        assert report.diagnostics == []
+
+
+class TestFrontendTargets:
+    def test_compiled_example_is_clean(self):
+        from repro.apps import image
+        target = ir_target_from_source(image.MEDIAN3_C, "median3.c")
+        report = analyze([target])
+        assert report.errors == []
+
+    def test_frontend_failure_becomes_diagnostic(self, tmp_path):
+        from repro.analysis.targets import target_from_file
+        source = tmp_path / "broken.c"
+        source.write_text("int f( {")
+        report = analyze([target_from_file(source)])
+        assert len(report.errors) == 1
+        assert report.errors[0].rule == "ir.frontend"

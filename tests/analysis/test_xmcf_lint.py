@@ -1,0 +1,135 @@
+"""XMCF pass pack: configuration rules, delegation, XML error paths."""
+
+import pytest
+
+from repro.analysis import AnalysisTarget, analyze
+from repro.analysis.targets import xmcf_target_from_text
+from repro.hypervisor.config import MemoryArea, PortKind, SystemConfig
+from repro.hypervisor.xmcf import ConfigError, config_from_xml
+
+from .fixtures import defective_config
+
+
+def _lint(config, rules=None):
+    return analyze([AnalysisTarget("xmcf", "cfg", config)], rules=rules)
+
+
+def _base_config():
+    config = SystemConfig(cores=2)
+    config.add_partition(0, "A", [MemoryArea("ma", 0x1000, 0x100)])
+    return config
+
+
+class TestSeededDefects:
+    def test_every_seeded_defect_detected(self):
+        report = analyze(
+            [AnalysisTarget("xmcf", "bad.xml", defective_config())])
+        assert {d.rule for d in report.diagnostics} == {
+            "xmcf.spatial-isolation", "xmcf.window-overlap",
+            "xmcf.dangling-port", "xmcf.unscheduled-partition"}
+
+    def test_unknown_partition(self):
+        config = _base_config()
+        plan = config.add_plan(0, major_frame_us=1000.0)
+        plan.add_window(99, core=0, start_us=0.0, duration_us=100.0)
+        report = _lint(config, rules=["xmcf.unknown-partition"])
+        assert [d.message for d in report.diagnostics] == [
+            "plan 0: window for unknown partition 99"]
+
+    def test_core_range(self):
+        config = _base_config()
+        plan = config.add_plan(0, major_frame_us=1000.0)
+        plan.add_window(0, core=7, start_us=0.0, duration_us=100.0)
+        report = _lint(config, rules=["xmcf.core-range"])
+        assert [d.message for d in report.diagnostics] == [
+            "plan 0: core 7 out of range"]
+
+    def test_frame_overrun(self):
+        config = _base_config()
+        plan = config.add_plan(0, major_frame_us=500.0)
+        plan.add_window(0, core=0, start_us=400.0, duration_us=200.0)
+        report = _lint(config, rules=["xmcf.frame-overrun"])
+        assert [d.message for d in report.diagnostics] == [
+            "plan 0: window exceeds major frame"]
+
+    def test_intra_partition_memory_overlap(self):
+        config = SystemConfig(cores=1)
+        config.add_partition(0, "A", [MemoryArea("m1", 0x1000, 0x200),
+                                      MemoryArea("m2", 0x1100, 0x100)])
+        report = _lint(config, rules=["xmcf.intra-memory-overlap"])
+        assert [d.message for d in report.diagnostics] == [
+            "partition 0: areas m1/m2 overlap"]
+
+    def test_port_endpoints(self):
+        config = _base_config()
+        config.add_port("tc", PortKind.QUEUING, 9, [0, 8])
+        report = _lint(config, rules=["xmcf.port-endpoint"])
+        assert sorted(d.message for d in report.diagnostics) == [
+            "port 'tc': unknown destination 8",
+            "port 'tc': unknown source 9"]
+
+
+class TestValidateDelegation:
+    def test_validate_returns_only_errors(self):
+        errors = defective_config().validate()
+        assert len(errors) == 2
+        assert any("spatial isolation" in e for e in errors)
+        assert any("overlap" in e for e in errors)
+
+    def test_mission_config_validates_empty(self):
+        from repro.apps import mission
+        assert mission.mission_config().validate() == []
+
+
+class TestXmlErrorPaths:
+    def test_missing_processor_raises_config_error(self):
+        with pytest.raises(ConfigError,
+                           match="no HwDescription/Processor"):
+            config_from_xml("<SystemDescription></SystemDescription>")
+
+    def test_missing_partition_attribute(self):
+        text = """<SystemDescription>
+          <HwDescription><Processor cores="2"/></HwDescription>
+          <PartitionTable><Partition name="A"/></PartitionTable>
+        </SystemDescription>"""
+        with pytest.raises(ConfigError, match="missing required attribute"):
+            config_from_xml(text)
+
+    def test_missing_slot_attribute(self):
+        text = """<SystemDescription>
+          <HwDescription><Processor cores="1"/></HwDescription>
+          <PartitionTable><Partition id="0" name="A"/></PartitionTable>
+          <CyclicPlanTable>
+            <Plan id="0" majorFrameUs="1000">
+              <Slot partitionId="0" startUs="0"/>
+            </Plan>
+          </CyclicPlanTable>
+        </SystemDescription>"""
+        with pytest.raises(ConfigError, match="missing required attribute"):
+            config_from_xml(text)
+
+    def test_parse_failure_becomes_target_diagnostic(self, tmp_path):
+        from repro.analysis.targets import target_from_file
+        bad = tmp_path / "bad.xml"
+        bad.write_text("<SystemDescription></SystemDescription>")
+        report = analyze([target_from_file(bad)])
+        assert [d.rule for d in report.diagnostics] == ["xmcf.parse"]
+        assert "Processor" in report.diagnostics[0].message
+
+    def test_lint_skips_global_validation(self):
+        # validate=False must allow a structurally broken (but
+        # parseable) document through, so rules can report it instead.
+        text = """<SystemDescription>
+          <HwDescription><Processor cores="1"/></HwDescription>
+          <PartitionTable><Partition id="0" name="A"/></PartitionTable>
+          <CyclicPlanTable>
+            <Plan id="0" majorFrameUs="100">
+              <Slot partitionId="5" vCpuId="0" startUs="0"
+                    durationUs="50"/>
+            </Plan>
+          </CyclicPlanTable>
+        </SystemDescription>"""
+        target = xmcf_target_from_text(text, "lenient.xml")
+        report = analyze([target], rules=["xmcf.unknown-partition"])
+        assert [d.message for d in report.diagnostics] == [
+            "plan 0: window for unknown partition 5"]

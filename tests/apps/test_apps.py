@@ -1,7 +1,6 @@
 """Tests for the use-case applications: C kernels vs references, AOCS,
 VBN, EOR and the virtualized mission."""
 
-import math
 
 import numpy as np
 import pytest

@@ -21,7 +21,7 @@ from repro.boot import (
     run_boot_chain,
 )
 from repro.boot.bl0 import BL1_FLASH_OFFSET, BL1_SPACEWIRE_OBJECT
-from repro.soc import DDR_BASE, NgUltraSoc, TCM_BASE, assemble
+from repro.soc import DDR_BASE, NgUltraSoc, assemble
 
 
 def app_image(payload=None, load=DDR_BASE, entry=None):

@@ -78,7 +78,7 @@ class TestEndToEndProject:
     def test_custom_application_runs(self):
         project = HermesProject()
         accelerator = project.build_accelerator(self.SOURCE, "mac4")
-        boot = project.deploy_and_boot(
+        project.deploy_and_boot(
             accelerator,
             application_asm="MOVI r7, #99\nHALT")
         assert all(core.regs[7] == 99 for core in project.last_soc.cores)

@@ -10,7 +10,6 @@ from repro.exec import (
     BACKENDS,
     ExecError,
     ParallelEngine,
-    RunTimeout,
     default_jobs,
     resolve_backend,
     rng_for,

@@ -5,7 +5,6 @@ import pytest
 from repro.hls import synthesize
 from repro.hls.backend import (
     allocate,
-    asap_schedule,
     bind,
     build_dfg,
     build_fsm,
@@ -13,10 +12,8 @@ from repro.hls.backend import (
     verify_schedule,
 )
 from repro.hls.backend.dfg import ORDER, RAW, WAR
-from repro.hls.characterization import default_library
 from repro.hls.frontend import compile_to_ir
 from repro.hls.ir import BinOp, Load, Store
-from repro.hls.ir.interp import run_function
 from repro.hls.middleend import optimize
 
 

@@ -1,9 +1,8 @@
 """Tests for the bit-width analysis pass and its allocator hookup."""
 
-import pytest
 
 from repro.hls import compile_to_ir, synthesize
-from repro.hls.ir import BinOp, Temp
+from repro.hls.ir import BinOp
 from repro.hls.ir.interp import run_function
 from repro.hls.middleend import optimize
 from repro.hls.middleend.bitwidth import (

@@ -1,6 +1,5 @@
 """Tests for loop-invariant code motion."""
 
-import pytest
 
 from repro.hls import compile_to_ir, synthesize
 from repro.hls.ir import BinOp

@@ -5,7 +5,6 @@ effect happened, and the program's observable behaviour is unchanged
 (interpreter equivalence before/after optimization).
 """
 
-import pytest
 
 from repro.hls.frontend import compile_to_ir
 from repro.hls.ir import BinOp, Call, Const, verify_function

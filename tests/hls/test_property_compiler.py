@@ -7,14 +7,12 @@ classic compiler-fuzzing harness, aimed at the front end, the middle-end
 passes and the backend schedule simultaneously.
 """
 
-import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
 from repro.hls import compile_to_ir, synthesize
 from repro.hls.backend import allocate, schedule_function, verify_schedule
 from repro.hls.ir.interp import run_function
-from repro.hls.ir.types import I32
 from repro.hls.middleend import optimize
 
 

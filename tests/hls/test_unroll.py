@@ -1,6 +1,5 @@
 """Tests for AST-level loop unrolling (pragma driven)."""
 
-import pytest
 
 from repro.hls.frontend import compile_to_ir
 from repro.hls.frontend.parser import parse

@@ -3,7 +3,6 @@ coverage (complementing the structural tests in test_backend.py)."""
 
 import re
 
-import pytest
 
 from repro.hls import synthesize
 from repro.hls.backend.verilog import generate_fp_support_library

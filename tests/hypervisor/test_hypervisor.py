@@ -18,7 +18,6 @@ from repro.hypervisor import (
     WritePort,
     XM_GET_TIME,
     XM_SWITCH_PLAN,
-    XM_WRITE_PORT,
     XtratumHypervisor,
 )
 
@@ -445,7 +444,7 @@ class TestModeSwitchMission:
         # hypercall API after the orbit-raising phase completes.
         hv.load_partition(2, steady_workload(10.0), period_us=1000.0)
         hv.boot()
-        first = hv.run(frames=5, plan_id=0)
+        hv.run(frames=5, plan_id=0)
         assert hv.active_plan_id == 0
         hv.api.invoke(XM_SWITCH_PLAN, 2, 1)   # MGMT is a system partition
         hv.run(frames=5, plan_id=hv.active_plan_id)

@@ -6,7 +6,6 @@ import pytest
 from repro.hypervisor import (
     Compute,
     EndActivation,
-    MemoryArea,
     PartitionState,
     SystemConfig,
     XtratumHypervisor,

@@ -1,6 +1,5 @@
 """Tests for ECC, TMR, integrity checking, SEU injection and campaigns."""
 
-import random
 
 import pytest
 from hypothesis import given, settings

@@ -1,6 +1,5 @@
 """Tests for the structural-coverage tracer (the gcov role, paper §IV)."""
 
-import pytest
 
 from repro.soc import NgUltraSoc, TCM_BASE, assemble
 from repro.soc.coverage import CoverageTracer

@@ -7,7 +7,6 @@ from repro.soc import (
     CoreState,
     CpuError,
     DDR_BASE,
-    GroundSupportNode,
     MemoryFault,
     MpuRegion,
     NgUltraSoc,
@@ -22,8 +21,6 @@ from repro.soc import (
 from repro.soc.peripherals import (
     REG_DDR_CTRL,
     REG_DDR_STATUS,
-    REG_EFPGA_CTRL,
-    REG_EFPGA_DATA,
     REG_EFPGA_STATUS,
     REG_FLASH_CTRL,
     REG_PLL_CTRL,
@@ -307,7 +304,7 @@ class TestSpaceWire:
 
     def test_nak_for_unknown_object(self):
         soc = NgUltraSoc()
-        node = soc.attach_ground_node()
+        soc.attach_ground_node()
         soc.spacewire.send_request(99)
         with pytest.raises(SpaceWireError, match="NAK"):
             soc.spacewire.receive_object(99)
@@ -343,7 +340,7 @@ class TestMulticore:
             assert core.state is CoreState.RESET
         soc.master_core().reset(TCM_BASE)
         soc.release_secondaries(TCM_BASE)
-        results = soc.run_all()
+        soc.run_all()
         assert all(core.state is CoreState.HALTED for core in soc.cores)
         assert all(core.regs[0] == 7 for core in soc.cores)
 

@@ -75,3 +75,61 @@ class TestCliParser:
     def test_unknown_subcommand(self):
         with pytest.raises(SystemExit):
             main(["frobnicate"])
+
+
+class TestCliLint:
+    def test_examples_lint_clean(self, capsys):
+        assert main(["lint", "--examples"]) == 0
+        captured = capsys.readouterr().out
+        assert "0 error(s)" in captured
+        assert "4 target(s)" in captured
+
+    def test_json_format(self, capsys):
+        import json
+        assert main(["lint", "--examples", "--format", "json"]) == 0
+        data = json.loads(capsys.readouterr().out)
+        assert data["tool"] == "repro-lint"
+        assert data["summary"]["error"] == 0
+
+    def test_defective_source_fails(self, tmp_path, capsys):
+        source = tmp_path / "bad.c"
+        source.write_text("int f(int x) { int y; return y; }\n")
+        assert main(["lint", str(source)]) == 1
+        assert "use-before-def" in capsys.readouterr().out
+
+    def test_fail_on_never_always_succeeds(self, tmp_path, capsys):
+        source = tmp_path / "bad.c"
+        source.write_text("int f(int x) { int y; return y; }\n")
+        assert main(["lint", str(source), "--fail-on", "never"]) == 0
+
+    def test_rule_selection(self, tmp_path, capsys):
+        source = tmp_path / "bad.c"
+        source.write_text("int f(int x) { int y; return y; }\n")
+        assert main(["lint", str(source), "--rules",
+                     "ir.unreachable-block"]) == 0
+
+    def test_unknown_rule_pattern(self, capsys):
+        assert main(["lint", "--examples", "--rules", "nope.*"]) == 2
+        assert "no rule matches" in capsys.readouterr().err
+
+    def test_nothing_to_lint(self, capsys):
+        assert main(["lint"]) == 2
+        assert "nothing to lint" in capsys.readouterr().err
+
+    def test_unknown_suffix(self, tmp_path, capsys):
+        target = tmp_path / "design.vhdl"
+        target.write_text("entity e is end;")
+        assert main(["lint", str(target)]) == 2
+        assert "unknown lint input" in capsys.readouterr().err
+
+    def test_baseline_roundtrip(self, tmp_path, capsys):
+        source = tmp_path / "bad.c"
+        source.write_text("int f(int x) { int y; return y; }\n")
+        baseline = tmp_path / "baseline.json"
+        assert main(["lint", str(source), "--write-baseline",
+                     str(baseline), "--fail-on", "never"]) == 0
+        assert baseline.exists()
+        capsys.readouterr()
+        assert main(["lint", str(source), "--baseline",
+                     str(baseline)]) == 0
+        assert "suppressed by baseline" in capsys.readouterr().out
