@@ -134,6 +134,7 @@ def build_campaign():
 
 def run_qualification():
     from repro.analysis import Analyzer, example_targets
+    from repro.telemetry import Tracer
 
     campaign = build_campaign()
     report = campaign.run()
@@ -141,8 +142,14 @@ def run_qualification():
     # Static-verification evidence rides in the datapack (SAR): lint the
     # example artifact of every layer with the full rule catalogue.
     lint_report = Analyzer().run(example_targets())
+    # Measured evidence rides in the datapack (TEL): trace a recovery
+    # boot — the validation scenario with the richest step/counter mix.
+    tracer = Tracer()
+    run_boot_chain(_fresh_soc(corrupt=1),
+                   config=Bl1Config(redundancy=RedundancyMode.SEQUENTIAL),
+                   tracer=tracer)
     pack = generate_datapack("HERMES-BL1", campaign, report,
-                             lint_report=lint_report)
+                             lint_report=lint_report, tracer=tracer)
     table = Table("ECSS qualification summary — BL1 (paper §IV)",
                   ["level", "passed", "failed", "total"])
     for level in Level:
@@ -168,3 +175,5 @@ def test_qualification_datapack(benchmark):
     assert pack.complete
     assert "SAR" in pack.documents
     assert "0 error(s)" in pack.documents["SAR"]
+    assert "TEL" in pack.documents
+    assert "Spans per layer:" in pack.documents["TEL"]

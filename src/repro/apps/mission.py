@@ -159,10 +159,15 @@ class MissionRun:
 
 
 def run_mission(frames: int = 50, faulty_vbn: bool = False,
-                major_frame_us: float = 10_000.0) -> MissionRun:
-    """Boot and run the virtualized mission; returns metrics + telemetry."""
+                major_frame_us: float = 10_000.0,
+                tracer=None) -> MissionRun:
+    """Boot and run the virtualized mission; returns metrics + telemetry.
+
+    ``tracer`` (a :class:`repro.telemetry.Tracer`) records per-window
+    scheduler spans and health-monitor events for the whole run.
+    """
     config = mission_config(major_frame_us=major_frame_us)
-    hypervisor = XtratumHypervisor(config)
+    hypervisor = XtratumHypervisor(config, tracer=tracer)
     telemetry: list = []
     hypervisor.load_partition(AOCS_PID, aocs_workload,
                               period_us=major_frame_us / 2,

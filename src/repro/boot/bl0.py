@@ -77,8 +77,8 @@ def _try_flash_bank(soc: NgUltraSoc, bank: int,
 def _try_spacewire(soc: NgUltraSoc,
                    report: BootReport) -> Optional[BootImage]:
     try:
-        soc.spacewire.send_request(BL1_SPACEWIRE_OBJECT)
-        payload = soc.spacewire.receive_object(BL1_SPACEWIRE_OBJECT)
+        payload = soc.spacewire.request_object(BL1_SPACEWIRE_OBJECT,
+                                               retries=1)
     except SpaceWireError as error:
         report.record("bl1-probe-spacewire", StepStatus.FAILED, 1_000,
                       str(error))

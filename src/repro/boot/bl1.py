@@ -248,9 +248,8 @@ class Bl1:
     def _fetch_load_list_spacewire(self) -> LoadList:
         link = self.soc.spacewire
         try:
-            link.send_request(self.config.loadlist_spacewire_object)
-            payload = link.receive_object(
-                self.config.loadlist_spacewire_object)
+            payload = link.request_object(
+                self.config.loadlist_spacewire_object, retries=1)
         except SpaceWireError as error:
             self.report.failed_objects.append("loadlist")
             self.report.record("loadlist-spacewire", StepStatus.FAILED,
@@ -370,8 +369,7 @@ class Bl1:
                               ) -> Tuple[Optional[BootImage], int, bool]:
         link = self.soc.spacewire
         try:
-            link.send_request(entry.locator)
-            payload = link.receive_object(entry.locator)
+            payload = link.request_object(entry.locator, retries=1)
         except SpaceWireError:
             return None, 1_000, False
         cycles = len(payload) * CYCLES_SPW_READ_WORD

@@ -14,6 +14,7 @@ from typing import List, Optional
 
 from ..soc.memory import TCM_BASE
 from ..soc.soc import NgUltraSoc
+from ..telemetry import Tracer
 from .bl0 import BL1_FLASH_OFFSET, Bl0Result, run_bl0
 from .bl1 import LOADLIST_FLASH_OFFSET, Bl1Config, Bl1Result, run_bl1
 from .bl2 import Bl2Result, run_bl2
@@ -27,6 +28,10 @@ DEFAULT_COPY_STRIDE = 0x8000
 # BL1 is "field loadable" firmware; in the model its flash image carries a
 # small resident stub (the Python Bl1 class is the behavioural model).
 _BL1_STUB_PAYLOAD = [0xB1000000 + i for i in range(32)]
+
+# Boot cycle costs are quoted at the NG-Ultra reference clock; traces use
+# microseconds so boot stages share a timeline with the hypervisor.
+CYCLES_PER_US = 600.0
 
 
 @dataclass
@@ -107,8 +112,17 @@ def provision_flash(soc: NgUltraSoc, objects: List[BootImage],
 def run_boot_chain(soc: NgUltraSoc,
                    config: Optional[Bl1Config] = None,
                    multicore: bool = True,
-                   run_application: bool = False) -> BootChainResult:
-    """Execute the full BL0 → BL1 → BL2 power-up sequence."""
+                   run_application: bool = False,
+                   tracer: Optional[Tracer] = None) -> BootChainResult:
+    """Execute the full BL0 → BL1 → BL2 power-up sequence.
+
+    ``tracer`` records one span per boot step on a cycle-derived
+    microsecond timeline plus SpaceWire transfer counters (retries,
+    NAKs, CRC errors) accumulated across the whole chain.
+    """
+    if tracer is not None:
+        soc.spacewire.tracer = tracer
+    spw_before = _spw_snapshot(soc)
     bl0_result = run_bl0(soc)
     bl1_result = run_bl1(soc, config)
     bl2_result = None
@@ -116,4 +130,51 @@ def run_boot_chain(soc: NgUltraSoc,
         bl2_result = run_bl2(soc, bl1_result.next_entry,
                              multicore=multicore,
                              run_application=run_application)
-    return BootChainResult(bl0=bl0_result, bl1=bl1_result, bl2=bl2_result)
+    result = BootChainResult(bl0=bl0_result, bl1=bl1_result, bl2=bl2_result)
+    if tracer is not None:
+        _trace_boot_chain(tracer, soc, result, spw_before)
+    return result
+
+
+def _spw_snapshot(soc: NgUltraSoc) -> dict:
+    link = soc.spacewire
+    return {"spacewire.naks": link.nak_count,
+            "spacewire.crc_errors": link.crc_error_count,
+            "spacewire.timeouts": link.timeout_count}
+
+
+def _trace_boot_chain(tracer: Tracer, soc: NgUltraSoc,
+                      result: BootChainResult, spw_before: dict) -> None:
+    """Emit per-step spans and chain-level SpaceWire/recovery counters."""
+    t = 0.0
+    for report in result.reports:
+        t = _trace_report(tracer, report, t)
+        tracer.counter("boot.recovered_objects", "boot").add(
+            len(report.recovered_objects))
+        tracer.counter("boot.failed_objects", "boot").add(
+            len(report.failed_objects))
+    after = _spw_snapshot(soc)
+    for name, value in after.items():
+        delta = value - spw_before[name]
+        if delta:
+            tracer.counter(name, "boot").add(delta)
+
+
+def _trace_report(tracer: Tracer, report: BootReport,
+                  start_us: float) -> float:
+    """One span per boot step, tiled cumulatively from ``start_us``."""
+    t = start_us
+    for step in report.steps:
+        duration_us = step.cycles / CYCLES_PER_US
+        tracer.add_span(step.name, "boot", t, t + duration_us,
+                        stage=report.stage, status=step.status.name,
+                        cycles=step.cycles,
+                        **({"detail": step.detail} if step.detail else {}))
+        t += duration_us
+    tracer.add_span(f"stage:{report.stage}", "boot", start_us, t,
+                    source=report.boot_source or "n/a",
+                    success=report.success,
+                    recovered=len(report.recovered_objects),
+                    failed=len(report.failed_objects),
+                    cycles=report.total_cycles)
+    return t

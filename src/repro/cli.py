@@ -9,11 +9,17 @@ Subcommands mirror the tool surface a user of the paper's ecosystem gets:
 * ``qualify``      — run the BL1 qualification campaign, print TRL;
 * ``seu``          — run the SEU mitigation campaigns (raw/ECC/TMR);
 * ``lint``         — static verification of HermesC sources, XM_CF
-  documents and the built-in example designs (``--examples``).
+  documents and the built-in example designs (``--examples``);
+* ``trace``        — run a canned scenario of one stack layer with
+  telemetry enabled and export the trace (JSON-lines or Chrome
+  trace-event for ui.perfetto.dev).
 
 ``characterize`` and ``seu`` accept ``--jobs N`` to fan work out over the
 parallel execution engine (``--jobs 0`` uses every core); results are
 bit-identical to a serial run by the engine's seed-derivation contract.
+``characterize``, ``seu``, ``boot`` and ``mission`` also accept
+``--trace PATH`` (with ``--trace-format json|chrome``) to export the
+telemetry collected during the run.
 
 Run ``python -m repro.cli <subcommand> --help`` for options.
 """
@@ -24,6 +30,29 @@ import argparse
 import sys
 from pathlib import Path
 from typing import List, Optional
+
+from .telemetry import TRACE_FORMATS, Tracer, render_trace, write_trace
+
+
+def _add_trace_options(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--trace", metavar="PATH",
+                        help="export collected telemetry to PATH")
+    parser.add_argument("--trace-format", default="json",
+                        choices=TRACE_FORMATS,
+                        help="trace export format (json = JSON-lines, "
+                             "chrome = Perfetto-loadable trace events)")
+
+
+def _tracer_for(args) -> Optional[Tracer]:
+    return Tracer() if getattr(args, "trace", None) else None
+
+
+def _finish_trace(args, tracer: Optional[Tracer]) -> None:
+    if tracer is None or not args.trace:
+        return
+    write_trace(tracer, args.trace, args.trace_format)
+    print(f"trace ({args.trace_format}, {len(tracer.spans)} spans) "
+          f"written to {args.trace}", file=sys.stderr)
 
 
 def _cmd_hls(args) -> int:
@@ -53,11 +82,13 @@ def _cmd_characterize(args) -> int:
 
     base = get_device(args.device)
     device = scaled_device(base, f"{base.name}-char", args.grid_luts)
-    tool = Eucalyptus(device=device, effort=args.effort)
+    tracer = _tracer_for(args)
+    tool = Eucalyptus(device=device, effort=args.effort, tracer=tracer)
     components = args.components.split(",") if args.components else None
     tool.sweep(components=components,
                widths=tuple(int(w) for w in args.widths.split(",")),
                jobs=args.jobs, backend=args.backend)
+    _finish_trace(args, tracer)
     if args.jobs != 1 and tool.last_sweep_report is not None:
         print(f"sweep: {tool.last_sweep_report.summary()}")
     library = tool.build_library()
@@ -81,11 +112,12 @@ def _cmd_seu(args) -> int:
         ["target", "masked", "corrected", "detected", "sdc", "crash",
          "fail_rate", "wall_s", "mean_ms", "p95_ms"])
     failures = 0.0
+    tracer = _tracer_for(args)
     for campaign in memory_scenarios(words=args.words):
         report = campaign.run(args.runs, seed=args.seed, jobs=args.jobs,
                               backend=args.backend,
                               timeout_s=args.timeout,
-                              retries=args.retries)
+                              retries=args.retries, tracer=tracer)
         table.add_row(campaign.name,
                       report.counts.get("masked", 0),
                       report.counts.get("corrected", 0),
@@ -98,6 +130,7 @@ def _cmd_seu(args) -> int:
                       round(report.latency.p95_s * 1e3, 3))
         failures += report.counts.get("crash", 0)
     print(table.render())
+    _finish_trace(args, tracer)
     return 0 if failures == 0 else 1
 
 
@@ -112,19 +145,25 @@ def _cmd_boot(args) -> int:
                     entry_point=DDR_BASE, payload=program, name="app")
     provision_flash(soc, [app], copies=args.copies)
     config = Bl1Config(redundancy=RedundancyMode(args.redundancy))
-    result = run_boot_chain(soc, config=config, run_application=True)
+    tracer = _tracer_for(args)
+    result = run_boot_chain(soc, config=config, run_application=True,
+                            tracer=tracer)
     print(result.render())
     print(f"\ntotal: {result.total_cycles} cycles "
           f"({result.total_cycles / 600:.1f} us @600MHz)")
+    _finish_trace(args, tracer)
     return 0 if result.bl1.report.success else 1
 
 
 def _cmd_mission(args) -> int:
     from .apps import mission
 
+    tracer = _tracer_for(args)
     run = mission.run_mission(frames=args.frames,
-                              faulty_vbn=args.inject_faults)
+                              faulty_vbn=args.inject_faults,
+                              tracer=tracer)
     print(run.hypervisor.summary(run.metrics))
+    _finish_trace(args, tracer)
     if run.telemetry:
         last = run.telemetry[-1]
         print(f"\nfinal AOCS pointing error: "
@@ -186,6 +225,100 @@ def _cmd_lint(args) -> int:
     return report.exit_code(fail_on)
 
 
+# Kernel for the canned ``trace flow`` scenario (the quickstart wavg).
+_TRACE_KERNEL = """
+// Weighted moving average over an 8-sample window.
+void wavg(const int *x, int *y, int n) {
+  const int w[8] = {1, 2, 4, 8, 8, 4, 2, 1};
+  for (int i = 7; i < n; i++) {
+    int acc = 0;
+    for (int t = 0; t < 8; t++) {
+      acc += x[i - t] * w[t];
+    }
+    y[i] = acc >> 5;
+  }
+}
+"""
+
+
+def _trace_scenario_flow(tracer, args) -> None:
+    """HLS pipeline + fabric backend on the quickstart kernel."""
+    from .fabric import get_device, scaled_device
+    from .fabric.nxmap import NXmapProject
+    from .fabric.synthesis import synthesize_component
+    from .hls import synthesize
+
+    synthesize(_TRACE_KERNEL, top="wavg", clock_ns=5.0, tracer=tracer)
+    device = scaled_device(get_device("NG-ULTRA"), "NG-ULTRA-trace", 4096)
+    netlist = synthesize_component("addsub", 16, 0)
+    project = NXmapProject(netlist, device, tracer=tracer)
+    project.run_all(target_clock_ns=5.0, effort=0.2)
+
+
+def _trace_scenario_boot(tracer, args) -> None:
+    """BL0→BL2 power-up with an application image."""
+    from .boot import (BootImage, ImageKind, provision_flash,
+                       run_boot_chain)
+    from .soc import DDR_BASE, NgUltraSoc, assemble
+
+    soc = NgUltraSoc()
+    program = assemble("MOVI r0, #42\nHALT", base_address=DDR_BASE)
+    app = BootImage(kind=ImageKind.APPLICATION, load_address=DDR_BASE,
+                    entry_point=DDR_BASE, payload=program, name="app")
+    provision_flash(soc, [app])
+    run_boot_chain(soc, run_application=True, tracer=tracer)
+
+
+def _trace_scenario_mission(tracer, args) -> None:
+    """Virtualized mission under the XtratuM-equivalent hypervisor."""
+    from .apps import mission
+
+    mission.run_mission(frames=20, tracer=tracer)
+
+
+def _trace_scenario_seu(tracer, args) -> None:
+    """SEU mitigation campaigns (raw/ECC/TMR memory targets)."""
+    from .radhard import memory_scenarios
+
+    for campaign in memory_scenarios(words=32):
+        campaign.run(60, seed=13, jobs=args.jobs, tracer=tracer)
+
+
+def _trace_scenario_characterize(tracer, args) -> None:
+    """A small Eucalyptus characterization sweep."""
+    from .fabric import get_device, scaled_device
+    from .hls.characterization.eucalyptus import Eucalyptus
+
+    device = scaled_device(get_device("NG-ULTRA"), "NG-ULTRA-trace", 4096)
+    tool = Eucalyptus(device=device, effort=0.2, tracer=tracer)
+    tool.sweep(components=["addsub", "logic"], widths=(8, 16),
+               jobs=args.jobs)
+
+
+_TRACE_SCENARIOS = {
+    "flow": _trace_scenario_flow,
+    "boot": _trace_scenario_boot,
+    "mission": _trace_scenario_mission,
+    "seu": _trace_scenario_seu,
+    "characterize": _trace_scenario_characterize,
+}
+
+
+def _cmd_trace(args) -> int:
+    tracer = Tracer()
+    _TRACE_SCENARIOS[args.scenario](tracer, args)
+    text = render_trace(tracer, args.format)
+    if args.out:
+        Path(args.out).write_text(text)
+        print(f"{args.scenario} trace ({args.format}) written to "
+              f"{args.out}: {tracer.summary()}", file=sys.stderr)
+    else:
+        print(text)
+        print(f"{args.scenario} trace: {tracer.summary()}",
+              file=sys.stderr)
+    return 0
+
+
 def _cmd_qualify(args) -> int:
     import importlib
     sys.path.insert(0, str(Path(__file__).resolve().parents[2]
@@ -228,6 +361,7 @@ def build_parser() -> argparse.ArgumentParser:
                       help="parallel jobs (0 = all cores)")
     char.add_argument("--backend", default="auto",
                       choices=("auto", "serial", "thread", "process"))
+    _add_trace_options(char)
     char.set_defaults(func=_cmd_characterize)
 
     seu = sub.add_parser("seu",
@@ -244,19 +378,36 @@ def build_parser() -> argparse.ArgumentParser:
                      help="per-run timeout (seconds)")
     seu.add_argument("--retries", type=int, default=0,
                      help="retry budget before classifying crash")
+    _add_trace_options(seu)
     seu.set_defaults(func=_cmd_seu)
 
     boot = sub.add_parser("boot", help="run the BL0/BL1/BL2 chain")
     boot.add_argument("--copies", type=int, default=2)
     boot.add_argument("--redundancy", default="sequential",
                       choices=("sequential", "tmr"))
+    _add_trace_options(boot)
     boot.set_defaults(func=_cmd_boot)
 
     mission = sub.add_parser("mission",
                              help="run the virtualized mission")
     mission.add_argument("--frames", type=int, default=30)
     mission.add_argument("--inject-faults", action="store_true")
+    _add_trace_options(mission)
     mission.set_defaults(func=_cmd_mission)
+
+    trace = sub.add_parser(
+        "trace", help="run a canned scenario with telemetry and "
+                      "export its trace")
+    trace.add_argument("scenario", choices=sorted(_TRACE_SCENARIOS))
+    trace.add_argument("--format", default="json", choices=TRACE_FORMATS,
+                       help="json = JSON-lines, chrome = trace-event "
+                            "JSON loadable in ui.perfetto.dev")
+    trace.add_argument("--out", help="output file (default: stdout)")
+    trace.add_argument("--jobs", type=int, default=1,
+                       help="parallel jobs for seu/characterize "
+                            "scenarios (trace is identical at any "
+                            "job count)")
+    trace.set_defaults(func=_cmd_trace)
 
     qualify = sub.add_parser("qualify",
                              help="BL1 ECSS qualification campaign")

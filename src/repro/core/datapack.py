@@ -16,6 +16,7 @@ from typing import TYPE_CHECKING, Dict, List, Optional
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from ..analysis import AnalysisReport
+    from ..telemetry import Tracer
 
 from .qualification import (
     Level,
@@ -36,6 +37,7 @@ _TITLES = {
     "SValR": "Software Validation Report",
     "SUM": "Software User Manual",
     "SAR": "Static Analysis Report",
+    "TEL": "Telemetry & Measurement Report",
 }
 
 
@@ -64,13 +66,17 @@ def _header(doc: str, project: str) -> List[str]:
 def generate_datapack(project: str, campaign: QualificationCampaign,
                       report: QualificationReport,
                       user_manual_sections: Optional[Dict[str, str]] = None,
-                      lint_report: Optional["AnalysisReport"] = None
+                      lint_report: Optional["AnalysisReport"] = None,
+                      tracer: Optional["Tracer"] = None
                       ) -> Datapack:
     """Render the full mandatory document set from campaign evidence.
 
     ``lint_report`` (a :class:`repro.analysis.AnalysisReport`) adds the
     SAR — the static-verification evidence of the V&V argument — on top
-    of the mandatory set.
+    of the mandatory set.  ``tracer`` (a :class:`repro.telemetry.Tracer`
+    carrying the campaign's trace) adds the TEL — the measured-evidence
+    summary: span tallies per stack layer plus every counter and gauge
+    collected during qualification.
     """
     pack = Datapack(project=project)
 
@@ -151,4 +157,35 @@ def generate_datapack(project: str, campaign: QualificationCampaign,
         lines.extend(f"  {line}"
                      for line in lint_report.render_text().splitlines())
         pack.documents["SAR"] = "\n".join(lines)
+
+    # TEL: measured telemetry evidence, when supplied.
+    if tracer is not None:
+        pack.documents["TEL"] = _render_telemetry_report(project, tracer)
     return pack
+
+
+def _render_telemetry_report(project: str, tracer: "Tracer") -> str:
+    """The TEL document: deterministic measurement summary per layer."""
+    lines = _header("TEL", project)
+    lines.append("  Deterministic trace evidence (repro.telemetry): "
+                 "identical at any --jobs count.")
+    lines.append(f"  Trace: {tracer.summary()}")
+    lines.append("  Spans per layer:")
+    for category in tracer.categories():
+        spans = tracer.spans_in(category)
+        instants = sum(1 for s in spans if s.instant)
+        total = sum(s.duration for s in spans)
+        lines.append(f"    {category:<12} {len(spans):>6} spans "
+                     f"({instants} instant), "
+                     f"aggregate duration {round(total, 3)}")
+    if tracer.counters:
+        lines.append("  Counters:")
+        for name in sorted(tracer.counters):
+            counter = tracer.counters[name]
+            lines.append(f"    {name:<36} {counter.value}")
+    if tracer.gauges:
+        lines.append("  Gauges:")
+        for name in sorted(tracer.gauges):
+            gauge = tracer.gauges[name]
+            lines.append(f"    {name:<36} {gauge.value}")
+    return "\n".join(lines)

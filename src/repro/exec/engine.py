@@ -34,6 +34,7 @@ from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, \
 from dataclasses import dataclass, field
 from typing import Any, Callable, List, Optional, Sequence, Tuple, Type
 
+from ..telemetry import Tracer
 from .metrics import LatencyStats
 from .seeding import seed_for
 
@@ -209,7 +210,8 @@ class ParallelEngine:
                  timeout_s: Optional[float] = None, retries: int = 0,
                  chunk_size: Optional[int] = None,
                  progress: Optional[ProgressFn] = None,
-                 fatal_types: Tuple[Type[BaseException], ...] = ()) -> None:
+                 fatal_types: Tuple[Type[BaseException], ...] = (),
+                 tracer: Optional[Tracer] = None) -> None:
         if jobs < 0:
             raise ExecError("jobs must be >= 0 (0 means all cores)")
         if retries < 0:
@@ -225,6 +227,7 @@ class ParallelEngine:
         self.chunk_size = chunk_size
         self.progress = progress
         self.fatal_types = tuple(fatal_types)
+        self.tracer = tracer
 
     # -- public API -----------------------------------------------------
 
@@ -249,7 +252,40 @@ class ParallelEngine:
         for result in report.results:
             if result.fatal is not None:
                 raise result.fatal
+        if self.tracer is not None:
+            self._emit_telemetry(report)
         return report
+
+    def _emit_telemetry(self, report: ExecutionReport) -> None:
+        """Record the run-ordered projection of this map.
+
+        Spans are derived from the merged, index-sorted report — never
+        from inside a worker — and sit on a run-index timeline starting
+        where the previous map on this tracer ended.  Backend, job count
+        and wall-clock figures are deliberately excluded so traces stay
+        byte-identical at any ``--jobs`` count.
+        """
+        tracer = self.tracer
+        assert tracer is not None
+        runs_counter = tracer.counter("exec.runs", "exec")
+        base = runs_counter.value
+        runs_counter.add(report.runs)
+        tracer.counter("exec.maps", "exec").add()
+        tracer.counter("exec.failures", "exec").add(len(report.failures))
+        tracer.counter("exec.retried_runs", "exec").add(report.retried_runs)
+        tracer.counter("exec.timeouts", "exec").add(
+            sum(1 for r in report.results if r.timed_out))
+        for result in report.results:
+            attributes = {"index": result.index,
+                          "attempts": result.attempts, "ok": result.ok}
+            if result.error:
+                attributes["error"] = result.error
+            if result.timed_out:
+                attributes["timed_out"] = True
+            tracer.add_span("exec-run", "exec", base + result.index,
+                            base + result.index + 1, **attributes)
+        tracer.add_span("exec-map", "exec", base, base + report.runs,
+                        runs=report.runs)
 
     # -- backends -------------------------------------------------------
 

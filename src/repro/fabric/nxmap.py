@@ -11,9 +11,11 @@ the automatic generation of backend synthesis scripts").
 
 from __future__ import annotations
 
+from contextlib import nullcontext
 from dataclasses import dataclass
 from typing import Dict, Optional
 
+from ..telemetry import Tracer
 from .bitstream import Bitstream, generate_bitstream
 from .device import Device, get_device
 from .netlist import Netlist
@@ -55,10 +57,11 @@ class NXmapProject:
     """One backend compilation: netlist → placed/routed/timed bitstream."""
 
     def __init__(self, netlist: Netlist, device: Device | str,
-                 seed: int = 1) -> None:
+                 seed: int = 1, tracer: Optional[Tracer] = None) -> None:
         self.netlist = netlist
         self.device = get_device(device) if isinstance(device, str) else device
         self.seed = seed
+        self.tracer = tracer
         self.placement: Optional[PlacementResult] = None
         self.routing: Optional[RoutingResult] = None
         self.timing: Optional[TimingReport] = None
@@ -78,32 +81,63 @@ class NXmapProject:
 
     # -- flow steps (paper Fig. 3) ----------------------------------------
 
+    def _span(self, name: str, **attributes):
+        if self.tracer is None:
+            return nullcontext(None)
+        return self.tracer.span(name, "fabric", design=self.netlist.name,
+                                **attributes)
+
     def run_place(self, effort: float = 1.0) -> PlacementResult:
-        self.placement = place(self.netlist, self.device, seed=self.seed,
-                               effort=effort)
+        stats = self.netlist.stats()
+        with self._span("place", effort=effort,
+                        cells=stats["luts"] + stats["ffs"]) as span:
+            self.placement = place(self.netlist, self.device,
+                                   seed=self.seed, effort=effort)
+            if span is not None:
+                span.attributes["hpwl"] = round(self.placement.hpwl, 3)
+                span.attributes["iterations"] = self.placement.iterations
         return self.placement
 
     def run_route(self, channel_width: int = 16) -> RoutingResult:
         if self.placement is None:
             self.run_place()
-        self.routing = route(self.netlist, self.placement.locations,
-                             self.placement.grid,
-                             channel_width=channel_width)
+        with self._span("route", channel_width=channel_width) as span:
+            self.routing = route(self.netlist, self.placement.locations,
+                                 self.placement.grid,
+                                 channel_width=channel_width)
+            if span is not None:
+                span.attributes["wirelength"] = self.routing.wirelength
+                span.attributes["overflow_edges"] = \
+                    self.routing.overflow_edges
         return self.routing
 
     def run_sta(self, target_clock_ns: Optional[float] = None
                 ) -> TimingReport:
-        self.timing = analyze_timing(self.netlist, self.device,
-                                     target_clock_ns=target_clock_ns,
-                                     routing=self.routing)
+        with self._span("sta") as span:
+            self.timing = analyze_timing(self.netlist, self.device,
+                                         target_clock_ns=target_clock_ns,
+                                         routing=self.routing)
+            if span is not None:
+                span.attributes["critical_path_ns"] = \
+                    round(self.timing.critical_path_ns, 6)
+                span.attributes["fmax_mhz"] = \
+                    round(self.timing.fmax_mhz, 3)
+                if self.timing.slack_ns is not None:
+                    span.attributes["slack_ns"] = \
+                        round(self.timing.slack_ns, 6)
         return self.timing
 
     def run_bitstream(self) -> Bitstream:
         if self.placement is None:
             self.run_place()
-        self.bitstream = generate_bitstream(
-            self.netlist, self.placement.locations, self.placement.grid,
-            self.device.name, seed=self.seed)
+        with self._span("bitstream") as span:
+            self.bitstream = generate_bitstream(
+                self.netlist, self.placement.locations,
+                self.placement.grid, self.device.name, seed=self.seed)
+            if span is not None:
+                span.attributes["total_bits"] = self.bitstream.total_bits
+                span.attributes["essential_bits"] = \
+                    self.bitstream.essential_bits
         return self.bitstream
 
     def estimate_power(self, clock_mhz: float,

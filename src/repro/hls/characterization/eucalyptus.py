@@ -22,6 +22,7 @@ from ...exec.engine import ExecError, ExecutionReport, ParallelEngine
 from ...fabric.device import Device, NG_ULTRA
 from ...fabric.nxmap import NXmapProject
 from ...fabric.synthesis import supported_components, synthesize_component
+from ...telemetry import Tracer
 from .library import ComponentLibrary, ComponentRecord
 
 DEFAULT_WIDTHS = (8, 16, 32)
@@ -58,24 +59,34 @@ class Eucalyptus:
     """Drives characterization sweeps over the fabric flow."""
 
     def __init__(self, device: Device = NG_ULTRA, seed: int = 7,
-                 effort: float = 0.3) -> None:
+                 effort: float = 0.3,
+                 tracer: Optional[Tracer] = None) -> None:
         self.device = device
         self.seed = seed
         self.effort = effort
+        self.tracer = tracer
         self.runs: List[CharacterizationRun] = []
         self.last_sweep_report: Optional[ExecutionReport] = None
 
     def characterize_one(self, component: str, width: int,
                          stages: int = 0) -> CharacterizationRun:
-        run = self._characterize(component, width, stages)
+        run = self._characterize(component, width, stages,
+                                 tracer=self.tracer)
         self.runs.append(run)
         return run
 
-    def _characterize(self, component: str, width: int,
-                      stages: int = 0) -> CharacterizationRun:
-        """Characterize one configuration (pure: no state mutation)."""
+    def _characterize(self, component: str, width: int, stages: int = 0,
+                      tracer: Optional[Tracer] = None
+                      ) -> CharacterizationRun:
+        """Characterize one configuration (pure: no state mutation).
+
+        ``tracer`` is only threaded through on serial paths — sweep
+        workers run untraced, and the sweep emits its deterministic
+        per-configuration spans from the merged report instead.
+        """
         netlist = synthesize_component(component, width, stages)
-        project = NXmapProject(netlist, self.device, seed=self.seed)
+        project = NXmapProject(netlist, self.device, seed=self.seed,
+                               tracer=tracer)
         project.run_place(effort=self.effort)
         project.run_route()
         timing = project.run_sta()
@@ -143,7 +154,7 @@ class Eucalyptus:
 
         engine = ParallelEngine(jobs=jobs, backend=backend,
                                 timeout_s=timeout_s, retries=retries,
-                                progress=progress)
+                                progress=progress, tracer=self.tracer)
         report = engine.map_seeded(characterize_config, len(configs),
                                    self.seed)
         self.last_sweep_report = report
@@ -154,8 +165,30 @@ class Eucalyptus:
                 f"characterization of {configs[first.index]} failed "
                 f"after {first.attempts} attempt(s): {first.error}")
         results = [run_result.value for run_result in report.results]
+        if self.tracer is not None:
+            self._emit_telemetry(configs, results)
         self.runs.extend(results)
         return results
+
+    def _emit_telemetry(self, configs: List[Tuple[str, int, int]],
+                        results: List[CharacterizationRun]) -> None:
+        """Deterministic per-configuration spans from the merged sweep."""
+        tracer = self.tracer
+        assert tracer is not None
+        sweep_counter = tracer.counter("fabric.characterizations",
+                                       "fabric")
+        base = sweep_counter.value
+        sweep_counter.add(len(results))
+        for index, run in enumerate(results):
+            tracer.add_span(f"characterize:{run.component}", "fabric",
+                            base + index, base + index + 1,
+                            component=run.component, width=run.width,
+                            stages=run.stages,
+                            delay_ns=round(run.delay_ns, 6),
+                            luts=run.luts, ffs=run.ffs, dsps=run.dsps,
+                            brams=run.brams, wirelength=run.wirelength)
+        tracer.add_span("sweep", "fabric", base, base + len(results),
+                        device=self.device.name, configs=len(configs))
 
     def build_library(self, name: Optional[str] = None) -> ComponentLibrary:
         """Collect all runs into a component library (XML-exportable)."""

@@ -12,9 +12,11 @@ pipeline of paper Fig. 2 over a HermesC source and returns an
 
 from __future__ import annotations
 
+from contextlib import nullcontext
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence
 
+from ..telemetry import Tracer
 from .characterization.library import ComponentLibrary, default_library
 from .frontend import compile_to_ir
 from .backend.allocation import Allocation, allocate
@@ -192,17 +194,29 @@ def synthesize(source: str, top: str, clock_ns: float = 10.0,
                opt_level: int = 2,
                library: Optional[ComponentLibrary] = None,
                scheduling: str = "list",
-               axi_read_latency: Optional[int] = None) -> HlsProject:
+               axi_read_latency: Optional[int] = None,
+               tracer: Optional[Tracer] = None) -> HlsProject:
     """Run the full HLS flow on HermesC source text.
 
     ``axi_read_latency`` overrides the characterized AXI round-trip cycles
     (paper §II: "memory delay estimates can also be configured to assess
-    the performance of the application").
+    the performance of the application").  ``tracer`` records one span per
+    pipeline stage (frontend, middle-end, per-function backend steps).
     """
-    module = compile_to_ir(source)
+
+    def stage(name: str, **attributes):
+        if tracer is None:
+            return nullcontext(None)
+        return tracer.span(name, "hls", **attributes)
+
+    with stage("frontend") as span:
+        module = compile_to_ir(source)
+        if span is not None:
+            span.attributes["functions"] = len(module.functions)
     if top not in module.functions:
         raise HlsFlowError(f"top function {top!r} not found")
-    opt_report = optimize(module, level=opt_level)
+    with stage("optimize", level=opt_level):
+        opt_report = optimize(module, level=opt_level)
     library = library or default_library()
     if axi_read_latency is not None:
         library = _with_axi_latency(library, axi_read_latency)
@@ -211,18 +225,33 @@ def synthesize(source: str, top: str, clock_ns: float = 10.0,
     call_latency: Dict[str, int] = {}
     for name in _call_order(module, top):
         func = module[name]
-        allocation = allocate(func, library=library, clock_ns=clock_ns,
-                              call_latency=call_latency)
-        schedule = schedule_function(func, allocation, algorithm=scheduling)
-        problems = verify_schedule(schedule, allocation)
-        if problems:
-            raise HlsFlowError(
-                f"illegal schedule for {name}: {'; '.join(problems[:5])}")
-        binding = bind(schedule, allocation)
-        fsm = build_fsm(schedule)
-        report = build_datapath_report(func, schedule, binding, allocation,
-                                       fsm, library)
-        verilog = generate_verilog(func, schedule, binding, fsm, module)
+        with stage(f"backend:{name}") as backend_span:
+            with stage("allocate"):
+                allocation = allocate(func, library=library,
+                                      clock_ns=clock_ns,
+                                      call_latency=call_latency)
+            with stage("schedule", algorithm=scheduling):
+                schedule = schedule_function(func, allocation,
+                                             algorithm=scheduling)
+            problems = verify_schedule(schedule, allocation)
+            if problems:
+                raise HlsFlowError(
+                    f"illegal schedule for {name}: "
+                    f"{'; '.join(problems[:5])}")
+            with stage("bind"):
+                binding = bind(schedule, allocation)
+            with stage("fsm"):
+                fsm = build_fsm(schedule)
+            report = build_datapath_report(func, schedule, binding,
+                                           allocation, fsm, library)
+            with stage("verilog"):
+                verilog = generate_verilog(func, schedule, binding, fsm,
+                                           module)
+            if backend_span is not None:
+                backend_span.attributes.update(
+                    states=fsm.state_count, luts=report.area.luts,
+                    ffs=report.area.ffs, dsps=report.area.dsps,
+                    latency=schedule.static_latency())
         designs[name] = HlsDesign(name=name, schedule=schedule,
                                   allocation=allocation, binding=binding,
                                   fsm=fsm, report=report, verilog=verilog)

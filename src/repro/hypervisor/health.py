@@ -10,7 +10,10 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 from enum import Enum
-from typing import Dict, List, Optional
+from typing import TYPE_CHECKING, Dict, List, Optional
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..telemetry import Tracer
 
 
 class HmEvent(Enum):
@@ -52,10 +55,12 @@ class HmLogEntry:
 
 class HealthMonitor:
     def __init__(self,
-                 table: Optional[Dict[HmEvent, HmAction]] = None) -> None:
+                 table: Optional[Dict[HmEvent, HmAction]] = None,
+                 tracer: Optional["Tracer"] = None) -> None:
         self.table = dict(DEFAULT_ACTION_TABLE)
         if table:
             self.table.update(table)
+        self.tracer = tracer
         self.log: List[HmLogEntry] = []
         self.system_reset_requested = False
 
@@ -65,6 +70,11 @@ class HealthMonitor:
         self.log.append(HmLogEntry(time_us=time_us, partition=partition,
                                    event=event, action=action,
                                    detail=detail))
+        if self.tracer is not None:
+            self.tracer.event(event.value, "hm", at=time_us,
+                              partition=partition, action=action.value,
+                              detail=detail)
+            self.tracer.counter(f"hm.{event.value}", "hm").add()
         if action is HmAction.SYSTEM_RESET:
             self.system_reset_requested = True
         return action

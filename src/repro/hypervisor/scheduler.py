@@ -11,6 +11,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Tuple
 
+from ..telemetry import Tracer
 from .config import Plan, SystemConfig, Window
 from .health import HealthMonitor, HmAction, HmEvent
 from .ipc import IpcError, PortTable
@@ -63,12 +64,25 @@ class PartitionMetrics:
 
 @dataclass
 class ScheduleMetrics:
+    """Accounting for one scheduler run.
+
+    ``frames`` is the number of major frames *actually executed*: a
+    health-monitor system reset that stops the run early leaves it lower
+    than ``requested_frames``, so ``total_time_us`` (and with it the idle
+    figure) covers only the time that really elapsed.
+    """
+
     frames: int
     major_frame_us: float
+    requested_frames: int = 0
     partitions: Dict[int, PartitionMetrics] = field(default_factory=dict)
     hypervisor_overhead_us: float = 0.0
     idle_us: float = 0.0
     executions: List[WindowExecution] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        if not self.requested_frames:
+            self.requested_frames = self.frames
 
     @property
     def total_time_us(self) -> float:
@@ -86,11 +100,13 @@ class CyclicScheduler:
     def __init__(self, config: SystemConfig,
                  partitions: Dict[int, Partition],
                  ports: PortTable,
-                 health: HealthMonitor) -> None:
+                 health: HealthMonitor,
+                 tracer: Optional[Tracer] = None) -> None:
         self.config = config
         self.partitions = partitions
         self.ports = ports
         self.health = health
+        self.tracer = tracer
         self.time_us = 0.0
         self._next_release: Dict[int, float] = {}
         self._current_activation: Dict[int, Optional[ActivationRecord]] = {}
@@ -104,7 +120,9 @@ class CyclicScheduler:
 
     def run(self, plan: Plan, frames: int) -> ScheduleMetrics:
         metrics = ScheduleMetrics(frames=frames,
-                                  major_frame_us=plan.major_frame_us)
+                                  major_frame_us=plan.major_frame_us,
+                                  requested_frames=frames)
+        executed = 0
         for frame in range(frames):
             frame_base = self.time_us
             # Execute windows in global start order (cores interleaved).
@@ -113,8 +131,13 @@ class CyclicScheduler:
             for window in windows:
                 self._execute_window(window, frame, frame_base, metrics)
             self.time_us = frame_base + plan.major_frame_us
+            executed += 1
             if self.health.system_reset_requested:
                 break
+        # Idle accounting must cover only the frames that actually ran:
+        # a system reset that stops the loop early would otherwise leave
+        # total_time_us at the requested length and inflate idle_us.
+        metrics.frames = executed
         busy = sum(p.cpu_time_us for p in self.partitions.values())
         metrics.idle_us = (metrics.total_time_us * self.config.cores
                            - busy - metrics.hypervisor_overhead_us)
@@ -139,15 +162,26 @@ class CyclicScheduler:
         partition = self.partitions[window.partition]
         start = frame_base + window.start_us
         end = frame_base + window.end_us
+        if not partition.runnable:
+            # A partition that cannot run is never context-switched in,
+            # so the window passes with no hypervisor overhead at all.
+            metrics.executions.append(WindowExecution(window, frame, 0.0,
+                                                      False))
+            if self.tracer is not None:
+                self.tracer.event(
+                    f"window-skipped:{partition.config.name}",
+                    "scheduler", at=start, partition=window.partition,
+                    core=window.core, frame=frame,
+                    state=partition.state.value)
+            return
         overhead = min(self.config.context_switch_us, window.duration_us)
         metrics.hypervisor_overhead_us += overhead
+        if self.tracer is not None:
+            self.tracer.counter("scheduler.context_switches",
+                                "scheduler").add()
         t = start + overhead
         used = 0.0
         preempted = False
-        if not partition.runnable:
-            metrics.executions.append(WindowExecution(window, frame, 0.0,
-                                                      False))
-            return
         while t < end - 1e-9:
             # Release handling for periodic partitions.
             if self._current_activation[window.partition] is None:
@@ -157,6 +191,11 @@ class CyclicScheduler:
                 record = ActivationRecord(release_us=release, start_us=t)
                 partition.activations.append(record)
                 self._current_activation[window.partition] = record
+                if self.tracer is not None:
+                    self.tracer.event(
+                        f"release:{partition.config.name}", "scheduler",
+                        at=t, partition=window.partition,
+                        release_us=release)
             # Resume leftover compute before asking for new actions.
             if partition.pending_compute_us > 1e-9:
                 available = end - t
@@ -181,6 +220,14 @@ class CyclicScheduler:
                                f"{partition.pending_compute_us:.1f}us left")
         metrics.executions.append(
             WindowExecution(window, frame, max(0.0, used), preempted))
+        if self.tracer is not None:
+            self.tracer.counter("scheduler.windows", "scheduler").add()
+            self.tracer.add_span(
+                f"window:{partition.config.name}", "scheduler",
+                start, start + overhead + max(0.0, used),
+                partition=window.partition, core=window.core, frame=frame,
+                overhead_us=overhead, used_us=round(max(0.0, used), 6),
+                preempted=preempted)
 
     def _apply_action(self, partition: Partition, window: Window, action,
                       t: float, end: float) -> Tuple[float, bool, bool]:

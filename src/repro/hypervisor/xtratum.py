@@ -12,6 +12,7 @@ from __future__ import annotations
 
 from typing import Dict, Optional
 
+from ..telemetry import Tracer
 from .config import SystemConfig
 from .health import HealthMonitor, HmAction, HmEvent
 from .hypercalls import HypercallApi
@@ -28,19 +29,22 @@ class XtratumHypervisor:
     """One configured XtratuM instance."""
 
     def __init__(self, config: SystemConfig,
-                 hm_table: Optional[Dict[HmEvent, HmAction]] = None) -> None:
+                 hm_table: Optional[Dict[HmEvent, HmAction]] = None,
+                 tracer: Optional[Tracer] = None) -> None:
         problems = config.validate()
         if problems:
             raise HypervisorError("configuration rejected: "
                                   + "; ".join(problems[:5]))
         self.config = config
+        self.tracer = tracer
         self.partitions: Dict[int, Partition] = {}
         self.ports = PortTable()
         for port_config in config.ports.values():
             self.ports.create(port_config)
-        self.health = HealthMonitor(hm_table)
+        self.health = HealthMonitor(hm_table, tracer=tracer)
         self.scheduler = CyclicScheduler(config, self.partitions,
-                                         self.ports, self.health)
+                                         self.ports, self.health,
+                                         tracer=tracer)
         self.api = HypercallApi(self)
         self.active_plan_id: Optional[int] = None
         self.requested_plan: Optional[int] = None
@@ -120,6 +124,7 @@ def _merge_metrics(base: Optional[ScheduleMetrics],
     if base is None:
         return new
     base.frames += new.frames
+    base.requested_frames += new.requested_frames
     base.hypervisor_overhead_us += new.hypervisor_overhead_us
     base.idle_us += new.idle_us
     base.executions.extend(new.executions)

@@ -22,6 +22,7 @@ from typing import Callable, Dict, List, Optional
 
 from ..exec.engine import ParallelEngine
 from ..exec.metrics import LatencyStats
+from ..telemetry import Tracer
 
 OUTCOMES = ("masked", "corrected", "detected", "sdc", "crash")
 
@@ -127,19 +128,23 @@ class Campaign:
     def run(self, runs: int, seed: int = 1, jobs: int = 1,
             backend: str = "auto", timeout_s: Optional[float] = None,
             retries: int = 0,
-            progress: Optional[Callable[[int, int], None]] = None
-            ) -> CampaignReport:
+            progress: Optional[Callable[[int, int], None]] = None,
+            tracer: Optional[Tracer] = None) -> CampaignReport:
         """Execute ``runs`` injection runs, optionally in parallel.
 
         A run whose callbacks raise or overrun ``timeout_s`` is retried
         up to ``retries`` times and classified ``crash`` on exhaustion;
         a malformed campaign (unknown outcome string) raises
-        :class:`CampaignError` regardless of backend.
+        :class:`CampaignError` regardless of backend.  ``tracer``
+        records per-run injection/outcome spans and mitigation tallies,
+        derived from the merged run-ordered report so the trace is
+        identical at any job count.
         """
         engine = ParallelEngine(jobs=jobs, backend=backend,
                                 timeout_s=timeout_s, retries=retries,
                                 progress=progress,
-                                fatal_types=(CampaignError,))
+                                fatal_types=(CampaignError,),
+                                tracer=tracer)
         exec_report = engine.map_seeded(self._one_run, runs, seed)
         report = CampaignReport(name=self.name, runs=runs,
                                 upsets_per_run=self.upsets_per_run,
@@ -157,7 +162,42 @@ class Campaign:
                                      description=description)
             report.results.append(result)
             report.counts[outcome] = report.counts.get(outcome, 0) + 1
+        if tracer is not None:
+            self._emit_telemetry(tracer, report)
         return report
+
+    def _emit_telemetry(self, tracer: Tracer,
+                        report: CampaignReport) -> None:
+        """Per-run injection/outcome spans plus mitigation tallies."""
+        runs_counter = tracer.counter("radhard.runs", "radhard")
+        base = runs_counter.value
+        runs_counter.add(report.runs)
+        for result in report.results:
+            tracer.add_span(f"inject:{result.outcome}", "radhard",
+                            base + result.run, base + result.run + 1,
+                            campaign=self.name, run=result.run,
+                            outcome=result.outcome,
+                            description=result.description)
+        for outcome in OUTCOMES:
+            count = report.counts.get(outcome, 0)
+            if count:
+                tracer.counter(f"radhard.{outcome}", "radhard").add(count)
+                tracer.counter(f"radhard.{self.name}.{outcome}",
+                               "radhard").add(count)
+        # The "masked by mitigation" tally the beam-test report quotes:
+        # upsets a mitigation repaired or flagged before they could
+        # propagate (ECC corrections, TMR out-votes, CRC detections).
+        mitigated = report.counts.get("corrected", 0) + \
+            report.counts.get("detected", 0)
+        tracer.counter("radhard.mitigated", "radhard").add(mitigated)
+        tracer.gauge(f"radhard.{self.name}.failure_rate",
+                     "radhard").set(round(report.failure_rate, 6))
+        tracer.add_span(f"campaign:{self.name}", "radhard", base,
+                        base + report.runs, runs=report.runs,
+                        upsets_per_run=self.upsets_per_run,
+                        counts={o: report.counts.get(o, 0)
+                                for o in OUTCOMES
+                                if report.counts.get(o, 0)})
 
 
 @dataclass

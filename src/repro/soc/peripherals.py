@@ -229,7 +229,10 @@ class PeripheralFile:
         if offset == REG_FLASH_STATUS:
             return 1 if soc.flash_controller.enabled else 0
         if offset == REG_SPW_RX:
-            return soc.spacewire.read_rx_word()
+            # Hardware gates the RX register on rx-ready (status bit 1);
+            # an ungated read of an empty FIFO returns the idle bus value.
+            return soc.spacewire.read_rx_word() \
+                if soc.spacewire.rx_ready else 0
         if offset == REG_SPW_STATUS:
             return soc.spacewire.status_word()
         if offset == REG_EFPGA_STATUS:

@@ -15,7 +15,10 @@ from __future__ import annotations
 import zlib
 from collections import deque
 from dataclasses import dataclass
-from typing import Deque, Dict, List, Optional
+from typing import TYPE_CHECKING, Deque, Dict, List, Optional
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..telemetry import Tracer
 
 OP_REQUEST = 0x01
 OP_DATA = 0x02
@@ -32,15 +35,26 @@ class Packet:
 
 
 class SpaceWireLink:
-    """Bidirectional packet link with word FIFOs on the SoC side."""
+    """Bidirectional packet link with word FIFOs on the SoC side.
 
-    def __init__(self, connected: bool = True) -> None:
+    The link keeps protocol-health tallies (NAKs, CRC errors, timeouts,
+    retries) and, when a :class:`~repro.telemetry.Tracer` is attached,
+    emits one span per protocol transfer carrying those counts.
+    """
+
+    def __init__(self, connected: bool = True,
+                 tracer: Optional["Tracer"] = None) -> None:
         self.connected = connected
+        self.tracer = tracer
         self.tx_fifo: Deque[int] = deque()     # SoC -> remote (current pkt)
         self.rx_fifo: Deque[int] = deque()     # remote -> SoC
         self.remote: Optional["GroundSupportNode"] = None
         self.tx_packets = 0
         self.rx_packets = 0
+        self.nak_count = 0
+        self.crc_error_count = 0
+        self.timeout_count = 0
+        self.retry_count = 0
 
     def attach(self, remote: "GroundSupportNode") -> None:
         self.remote = remote
@@ -61,9 +75,23 @@ class SpaceWireLink:
                 self.remote.receive(packet)
 
     def read_rx_word(self) -> int:
+        """Pop one word off the RX FIFO.
+
+        Raises :class:`SpaceWireError` when the FIFO is empty: a silent
+        ``0`` would be indistinguishable from a legitimate zero data
+        word.  Callers must gate reads on :attr:`rx_ready` (bit 1 of
+        :meth:`status_word`), exactly as flight software gates the RX
+        register on the link status register.
+        """
         if not self.rx_fifo:
-            return 0
+            raise SpaceWireError(
+                "RX FIFO empty: check status_word() rx-ready (bit 1) "
+                "before reading")
         return self.rx_fifo.popleft()
+
+    @property
+    def rx_ready(self) -> bool:
+        return bool(self.rx_fifo)
 
     def status_word(self) -> int:
         link_up = 1 if self.connected else 0
@@ -91,12 +119,14 @@ class SpaceWireLink:
             while not self.rx_fifo:
                 polls += 1
                 if polls > max_polls:
+                    self.timeout_count += 1
                     raise SpaceWireError("timeout waiting for response")
             return self.rx_fifo.popleft()
 
         op = next_word()
         object_id = next_word()
         if op == OP_NAK:
+            self.nak_count += 1
             raise SpaceWireError(f"remote NAK for object {object_id}")
         if op != OP_DATA or object_id != expected_id:
             raise SpaceWireError(
@@ -106,8 +136,52 @@ class SpaceWireLink:
         crc = next_word()
         actual = _crc_words(payload)
         if crc != actual:
+            self.crc_error_count += 1
             raise SpaceWireError("payload CRC mismatch")
         return payload
+
+    def request_object(self, object_id: int, retries: int = 0,
+                       max_polls: int = 1_000_000) -> List[int]:
+        """One request/response round trip, with a bounded retry budget.
+
+        The boot firmware models fetch every remote object through this
+        helper, so per-transfer retry and NAK counts accumulate on the
+        link (and on the attached tracer) no matter which stage drives
+        the protocol.
+        """
+        attempt = 0
+        while True:
+            naks_before = self.nak_count
+            try:
+                self.send_request(object_id)
+                payload = self.receive_object(object_id, max_polls)
+            except SpaceWireError:
+                attempt += 1
+                if attempt > retries:
+                    self._trace_transfer(object_id, attempt, ok=False)
+                    raise
+                self.retry_count += 1
+                if self.tracer is not None:
+                    self.tracer.counter("spacewire.retries",
+                                        "spacewire").add()
+                continue
+            self._trace_transfer(object_id, attempt + 1, ok=True,
+                                 words=len(payload),
+                                 naks=self.nak_count - naks_before)
+            return payload
+
+    def _trace_transfer(self, object_id: int, attempts: int, ok: bool,
+                        words: int = 0, naks: int = 0) -> None:
+        if self.tracer is None:
+            return
+        self.tracer.counter("spacewire.transfers", "spacewire").add()
+        if not ok:
+            self.tracer.counter("spacewire.failed_transfers",
+                                "spacewire").add()
+        with self.tracer.span("spw-transfer", "spacewire",
+                              object=object_id, attempts=attempts,
+                              ok=ok, words=words, naks=naks):
+            pass
 
 
 def _crc_words(words: List[int]) -> int:

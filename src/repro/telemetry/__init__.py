@@ -1,0 +1,30 @@
+"""Unified telemetry layer: deterministic trace spans and counters.
+
+Every subsystem accepts an optional :class:`Tracer`; instrumented runs
+produce JSON-lines or Chrome trace-event exports that are bit-identical
+for the same seed at any ``--jobs`` count.
+"""
+
+from .export import (
+    JSONL_VERSION,
+    TRACE_FORMATS,
+    render_trace,
+    to_chrome,
+    to_jsonl,
+    write_trace,
+)
+from .tracer import Counter, Gauge, Span, TelemetryError, Tracer
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "JSONL_VERSION",
+    "Span",
+    "TelemetryError",
+    "TRACE_FORMATS",
+    "Tracer",
+    "render_trace",
+    "to_chrome",
+    "to_jsonl",
+    "write_trace",
+]

@@ -1,0 +1,131 @@
+"""Trace exporters: JSON-lines and Chrome trace-event format.
+
+Both exports are pure functions of the tracer's contents and emit keys in
+sorted order, so a deterministic tracer yields byte-identical files on
+every backend and job count.  The Chrome export follows the Trace Event
+Format ("X"/"i"/"C"/"M" phases) and loads directly in Perfetto or
+``chrome://tracing``.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Any, Dict, List, Union
+
+from .tracer import Span, Tracer
+
+JSONL_VERSION = 1
+
+TRACE_FORMATS = ("json", "chrome")
+
+
+def _round(value: float) -> Union[int, float]:
+    """Stable numeric form: integral floats export as ints."""
+    if isinstance(value, float) and value.is_integer():
+        return int(value)
+    return value
+
+
+def _span_end(span: Span) -> float:
+    return span.end if span.end is not None else span.start
+
+
+def to_jsonl(tracer: Tracer) -> str:
+    """One JSON object per line: meta, spans (emission order), metrics."""
+    lines: List[str] = []
+
+    def emit(record: Dict[str, Any]) -> None:
+        lines.append(json.dumps(record, sort_keys=True,
+                                separators=(",", ":")))
+
+    emit({"type": "meta", "version": JSONL_VERSION,
+          "spans": len(tracer.spans), "counters": len(tracer.counters),
+          "gauges": len(tracer.gauges)})
+    for span in tracer.spans:
+        record: Dict[str, Any] = {
+            "type": "event" if span.instant else "span",
+            "name": span.name, "cat": span.category,
+            "ts": _round(span.start),
+        }
+        if not span.instant:
+            record["dur"] = _round(_span_end(span) - span.start)
+        if span.attributes:
+            record["args"] = span.attributes
+        emit(record)
+    for name in sorted(tracer.counters):
+        counter = tracer.counters[name]
+        emit({"type": "counter", "name": counter.name,
+              "cat": counter.category, "value": _round(counter.value)})
+    for name in sorted(tracer.gauges):
+        gauge = tracer.gauges[name]
+        if gauge.value is None:
+            continue
+        emit({"type": "gauge", "name": gauge.name, "cat": gauge.category,
+              "value": _round(gauge.value)})
+    return "\n".join(lines) + "\n"
+
+
+def to_chrome(tracer: Tracer) -> str:
+    """Chrome trace-event JSON (Perfetto-loadable).
+
+    Span categories map to one synthetic thread each (first-seen order),
+    named via "M" metadata events; spans are complete "X" events, instant
+    events "i", counters "C" samples stamped at the end of the trace.
+    """
+    events: List[Dict[str, Any]] = []
+    tids = {category: index + 1
+            for index, category in enumerate(tracer.categories())}
+    for category, tid in tids.items():
+        events.append({"ph": "M", "pid": 0, "tid": tid,
+                       "name": "thread_name",
+                       "args": {"name": category}})
+    end_of_trace = 0.0
+    for span in tracer.spans:
+        end_of_trace = max(end_of_trace, _span_end(span))
+    for span in tracer.spans:
+        event: Dict[str, Any] = {
+            "name": span.name, "cat": span.category,
+            "pid": 0, "tid": tids[span.category],
+            "ts": _round(span.start),
+        }
+        if span.instant:
+            event["ph"] = "i"
+            event["s"] = "t"
+        else:
+            event["ph"] = "X"
+            event["dur"] = _round(_span_end(span) - span.start)
+        if span.attributes:
+            event["args"] = span.attributes
+        events.append(event)
+    for name in sorted(tracer.counters):
+        counter = tracer.counters[name]
+        events.append({"ph": "C", "pid": 0, "tid": 0, "name": counter.name,
+                       "cat": counter.category, "ts": _round(end_of_trace),
+                       "args": {"value": _round(counter.value)}})
+    for name in sorted(tracer.gauges):
+        gauge = tracer.gauges[name]
+        if gauge.value is None:
+            continue
+        events.append({"ph": "C", "pid": 0, "tid": 0, "name": gauge.name,
+                       "cat": gauge.category, "ts": _round(end_of_trace),
+                       "args": {"value": _round(gauge.value)}})
+    document = {"traceEvents": events, "displayTimeUnit": "ms"}
+    return json.dumps(document, sort_keys=True, indent=1) + "\n"
+
+
+def render_trace(tracer: Tracer, format: str) -> str:
+    if format == "json":
+        return to_jsonl(tracer)
+    if format == "chrome":
+        return to_chrome(tracer)
+    raise ValueError(f"unknown trace format {format!r} "
+                     f"(expected one of {TRACE_FORMATS})")
+
+
+def write_trace(tracer: Tracer, path: Union[str, Path],
+                format: str = "json") -> Path:
+    """Render and write a trace; returns the output path."""
+    out = Path(path)
+    out.write_text(render_trace(tracer, format))
+    return out

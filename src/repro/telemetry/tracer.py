@@ -1,0 +1,214 @@
+"""Deterministic tracing and metrics primitives.
+
+The qualification story of the paper rests on *measured evidence*:
+characterization sweeps, schedulability records, boot/integrity reports.
+This module provides the instrument those measurements flow through — a
+:class:`Tracer` collecting :class:`Span` intervals, :class:`Counter` and
+:class:`Gauge` values — with one hard rule: **nothing in a trace may
+depend on wall-clock time, thread identity or job count**.
+
+Two timebases coexist:
+
+* *simulated time* — layers that own a clock (the cyclic scheduler's
+  microseconds, the boot chain's modelled cycles) record spans with
+  explicit start/end stamps via :meth:`Tracer.add_span`;
+* *tick time* — layers with no clock of their own (the fabric flow, the
+  exec engine's run timeline) use the tracer's monotonic tick counter,
+  which advances by one on every query.  Emission order is deterministic,
+  so tick stamps are too.
+
+Because every stamp is simulated or ordinal, the same workload with the
+same seed produces a byte-identical trace at any ``--jobs`` count: the
+parallel engine and the campaign layers emit their spans from the merged,
+run-ordered report — never from inside a worker.
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, Iterator, List, Optional
+
+
+class TelemetryError(Exception):
+    pass
+
+
+@dataclass
+class Span:
+    """One named interval on the trace timeline.
+
+    ``start``/``end`` are in the emitting layer's timebase (microseconds
+    for simulated clocks, ordinal ticks otherwise).  ``instant`` marks a
+    zero-duration event (HM reports, activation releases).
+    """
+
+    name: str
+    category: str
+    start: float
+    end: Optional[float] = None
+    attributes: Dict[str, Any] = field(default_factory=dict)
+    instant: bool = False
+
+    @property
+    def duration(self) -> float:
+        return (self.end - self.start) if self.end is not None else 0.0
+
+
+@dataclass
+class Counter:
+    """Monotonic tally (packets, retries, outcomes...)."""
+
+    name: str
+    category: str
+    value: float = 0
+
+    def add(self, amount: float = 1) -> None:
+        self.value += amount
+
+
+@dataclass
+class Gauge:
+    """Last-value measurement (failure rate, utilization...)."""
+
+    name: str
+    category: str
+    value: Optional[float] = None
+
+    def set(self, value: float) -> None:
+        self.value = value
+
+
+class Tracer:
+    """Collects spans, counters and gauges for one instrumented run.
+
+    The tracer is explicitly threaded through the stack (constructor or
+    keyword argument of every instrumented entry point); there is no
+    global registry, so two concurrent runs can never cross-contaminate
+    each other's evidence.
+    """
+
+    def __init__(self, clock: Optional[Callable[[], float]] = None) -> None:
+        self._clock = clock
+        self._tick = 0.0
+        self.spans: List[Span] = []
+        self.counters: Dict[str, Counter] = {}
+        self.gauges: Dict[str, Gauge] = {}
+        self._stack: List[Span] = []
+
+    # -- time ------------------------------------------------------------
+
+    def now(self) -> float:
+        """Current stamp: the external clock, or the next tick."""
+        if self._clock is not None:
+            return self._clock()
+        stamp = self._tick
+        self._tick += 1.0
+        return stamp
+
+    @property
+    def depth(self) -> int:
+        """Current span-nesting depth (open context-manager spans)."""
+        return len(self._stack)
+
+    # -- spans -----------------------------------------------------------
+
+    @contextmanager
+    def span(self, name: str, category: str = "default",
+             **attributes: Any) -> Iterator[Span]:
+        """Open a nested span; closed (end stamped) on context exit.
+
+        The yielded :class:`Span` is live — instrumented code sets result
+        attributes on it before the block ends.
+        """
+        record = Span(name=name, category=category, start=self.now(),
+                      attributes=dict(attributes))
+        self.spans.append(record)
+        self._stack.append(record)
+        try:
+            yield record
+        finally:
+            popped = self._stack.pop()
+            if popped is not record:  # pragma: no cover - misuse guard
+                raise TelemetryError(f"span nesting corrupted at {name!r}")
+            record.end = self.now()
+
+    def add_span(self, name: str, category: str, start: float, end: float,
+                 **attributes: Any) -> Span:
+        """Record a closed span with explicit (simulated) stamps."""
+        if end < start:
+            raise TelemetryError(
+                f"span {name!r} ends before it starts ({end} < {start})")
+        record = Span(name=name, category=category, start=start, end=end,
+                      attributes=dict(attributes))
+        self.spans.append(record)
+        return record
+
+    def event(self, name: str, category: str = "default",
+              at: Optional[float] = None, **attributes: Any) -> Span:
+        """Record an instant (zero-duration) event."""
+        stamp = self.now() if at is None else at
+        record = Span(name=name, category=category, start=stamp, end=stamp,
+                      attributes=dict(attributes), instant=True)
+        self.spans.append(record)
+        return record
+
+    # -- scalar metrics ---------------------------------------------------
+
+    def counter(self, name: str, category: str = "counters") -> Counter:
+        record = self.counters.get(name)
+        if record is None:
+            record = Counter(name=name, category=category)
+            self.counters[name] = record
+        return record
+
+    def gauge(self, name: str, category: str = "gauges") -> Gauge:
+        record = self.gauges.get(name)
+        if record is None:
+            record = Gauge(name=name, category=category)
+            self.gauges[name] = record
+        return record
+
+    # -- composition ------------------------------------------------------
+
+    def merge(self, other: "Tracer", offset: float = 0.0) -> None:
+        """Fold another tracer's evidence into this one.
+
+        Spans are appended (shifted by ``offset``), counters summed,
+        gauges overwritten by the merged-in value — the semantics of
+        stitching a subordinate stage's trace onto the parent timeline.
+        """
+        for span in other.spans:
+            end = span.end + offset if span.end is not None else None
+            self.spans.append(Span(
+                name=span.name, category=span.category,
+                start=span.start + offset, end=end,
+                attributes=dict(span.attributes), instant=span.instant))
+        for name, counter in other.counters.items():
+            self.counter(name, counter.category).add(counter.value)
+        for name, gauge in other.gauges.items():
+            if gauge.value is not None:
+                self.gauge(name, gauge.category).set(gauge.value)
+
+    # -- summaries ---------------------------------------------------------
+
+    def categories(self) -> List[str]:
+        """Span categories in first-seen order."""
+        seen: List[str] = []
+        for span in self.spans:
+            if span.category not in seen:
+                seen.append(span.category)
+        return seen
+
+    def spans_in(self, category: str) -> List[Span]:
+        return [s for s in self.spans if s.category == category]
+
+    def summary(self) -> str:
+        by_category: Dict[str, int] = {}
+        for span in self.spans:
+            by_category[span.category] = by_category.get(span.category, 0) + 1
+        cats = ", ".join(f"{name}={count}"
+                         for name, count in sorted(by_category.items()))
+        return (f"{len(self.spans)} spans ({cats or 'none'}), "
+                f"{len(self.counters)} counters, "
+                f"{len(self.gauges)} gauges")

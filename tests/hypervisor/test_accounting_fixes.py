@@ -1,0 +1,134 @@
+"""Regression tests for the scheduler accounting fixes.
+
+Two bugs the telemetry layer surfaced:
+
+* context-switch overhead was charged before the ``partition.runnable``
+  check, so halted/suspended partitions kept accumulating hypervisor
+  overhead for windows that never dispatched them;
+* an early health-monitor system reset broke the frame loop, but
+  ``total_time_us`` still assumed every requested frame ran, inflating
+  ``idle_us`` by the frames that never happened.
+"""
+
+import pytest
+
+from repro.hypervisor import (
+    Compute,
+    EndActivation,
+    Fault,
+    HmAction,
+    HmEvent,
+    PartitionState,
+    SystemConfig,
+    XtratumHypervisor,
+)
+
+CONTEXT_SWITCH_US = 2.0
+
+
+def two_partition_config():
+    config = SystemConfig(cores=1, context_switch_us=CONTEXT_SWITCH_US)
+    config.add_partition(0, "A")
+    config.add_partition(1, "B")
+    plan = config.add_plan(0, major_frame_us=1000.0)
+    plan.add_window(0, core=0, start_us=0.0, duration_us=500.0)
+    plan.add_window(1, core=0, start_us=500.0, duration_us=500.0)
+    return config
+
+
+def forever(us):
+    def factory():
+        while True:
+            yield Compute(us)
+            yield EndActivation()
+    return factory
+
+
+def one_shot():
+    yield Compute(5.0)
+    yield EndActivation()
+    # generator returns -> partition halts on its next dispatch
+
+
+class TestOverheadOnlyForRunnableWindows:
+    def test_halted_partition_stops_accruing_overhead(self):
+        hv = XtratumHypervisor(two_partition_config())
+        hv.load_partition(0, one_shot, period_us=1000.0)
+        hv.load_partition(1, forever(10.0), period_us=1000.0)
+        metrics = hv.run(frames=4)
+        assert hv.partitions[0].state is PartitionState.HALTED
+        # Partition 0 is dispatched in frames 0 and 1 (its generator ends
+        # during the frame-1 window); frames 2-3 must charge nothing.
+        # Partition 1 runs in all 4 frames.
+        assert metrics.hypervisor_overhead_us == \
+            pytest.approx((2 + 4) * CONTEXT_SWITCH_US)
+
+    def test_skipped_window_recorded_with_zero_use(self):
+        hv = XtratumHypervisor(two_partition_config())
+        hv.load_partition(0, one_shot, period_us=1000.0)
+        hv.load_partition(1, forever(10.0), period_us=1000.0)
+        hv.boot()
+        metrics = hv.scheduler.run(hv.config.plans[0], 4)
+        skipped = [e for e in metrics.executions
+                   if e.window.partition == 0 and e.frame >= 2]
+        assert len(skipped) == 2
+        assert all(e.used_us == 0.0 and not e.preempted for e in skipped)
+
+    def test_suspended_partition_charges_no_overhead(self):
+        from repro.hypervisor import XM_SUSPEND_PARTITION
+        config = two_partition_config()
+        config.partitions[0].system_partition = True
+        hv = XtratumHypervisor(config)
+        hv.load_partition(0, forever(10.0), period_us=1000.0)
+        hv.load_partition(1, forever(10.0), period_us=1000.0)
+        hv.run(frames=1)
+        hv.api.invoke(XM_SUSPEND_PARTITION, 0, 1)
+        metrics = hv.run(frames=3)
+        # Only partition 0's three windows context-switch while 1 is out.
+        assert metrics.hypervisor_overhead_us == \
+            pytest.approx(3 * CONTEXT_SWITCH_US)
+
+
+class TestIdleTimeUnderEarlyReset:
+    @staticmethod
+    def resetting_hypervisor():
+        def faulty():
+            yield Compute(5.0)
+            yield Fault("seu in control store")
+
+        hv = XtratumHypervisor(
+            two_partition_config(),
+            hm_table={HmEvent.PARTITION_FAULT: HmAction.SYSTEM_RESET})
+        hv.load_partition(0, faulty, period_us=1000.0)
+        hv.load_partition(1, forever(10.0), period_us=1000.0)
+        return hv
+
+    def test_frames_reflect_actual_execution(self):
+        hv = self.resetting_hypervisor()
+        hv.boot()
+        plan = hv.config.plans[0]
+        metrics = hv.scheduler.run(plan, 10)
+        assert hv.health.system_reset_requested
+        assert metrics.requested_frames == 10
+        assert metrics.frames == 1
+        assert metrics.total_time_us == plan.major_frame_us
+
+    def test_idle_excludes_frames_that_never_ran(self):
+        hv = self.resetting_hypervisor()
+        hv.boot()
+        plan = hv.config.plans[0]
+        metrics = hv.scheduler.run(plan, 10)
+        busy = sum(p.cpu_time_us for p in hv.partitions.values())
+        expected = plan.major_frame_us - busy - \
+            metrics.hypervisor_overhead_us
+        assert metrics.idle_us == pytest.approx(expected)
+        # The pre-fix figure assumed all 10 frames ran.
+        assert metrics.idle_us < plan.major_frame_us
+
+    def test_full_run_without_reset_keeps_old_accounting(self):
+        hv = XtratumHypervisor(two_partition_config())
+        hv.load_partition(0, forever(10.0), period_us=1000.0)
+        hv.load_partition(1, forever(10.0), period_us=1000.0)
+        metrics = hv.run(frames=5)
+        assert metrics.frames == metrics.requested_frames == 5
+        assert metrics.idle_us >= 0

@@ -1,0 +1,98 @@
+"""Exporter tests: JSON-lines shape, Chrome trace shape, schema check."""
+
+import json
+
+import pytest
+
+from repro.telemetry import (
+    JSONL_VERSION,
+    Tracer,
+    render_trace,
+    to_chrome,
+    to_jsonl,
+    write_trace,
+)
+
+from .chrome_schema import validate_chrome_trace
+
+
+def sample_tracer():
+    tracer = Tracer()
+    tracer.add_span("stage:BL0", "boot", 0.0, 3.5, status="OK")
+    tracer.event("hm-report", "scheduler", at=1.0, action="reset")
+    with tracer.span("place", "fabric", effort=0.5):
+        pass
+    tracer.counter("spacewire.naks", "boot").add(2)
+    tracer.gauge("failure_rate", "radhard").set(0.125)
+    return tracer
+
+
+class TestJsonl:
+    def test_meta_line_and_record_types(self):
+        records = [json.loads(line)
+                   for line in to_jsonl(sample_tracer()).splitlines()]
+        meta = records[0]
+        assert meta == {"type": "meta", "version": JSONL_VERSION,
+                        "spans": 3, "counters": 1, "gauges": 1}
+        assert [r["type"] for r in records[1:]] == \
+            ["span", "event", "span", "counter", "gauge"]
+
+    def test_span_record_shape(self):
+        records = [json.loads(line)
+                   for line in to_jsonl(sample_tracer()).splitlines()]
+        span = records[1]
+        assert span == {"type": "span", "name": "stage:BL0", "cat": "boot",
+                        "ts": 0, "dur": 3.5, "args": {"status": "OK"}}
+        event = records[2]
+        assert event["type"] == "event"
+        assert "dur" not in event
+
+    def test_integral_floats_export_as_ints(self):
+        tracer = Tracer()
+        tracer.add_span("s", "c", 0.0, 2.0)
+        line = to_jsonl(tracer).splitlines()[1]
+        assert '"ts":0' in line and '"dur":2' in line
+
+    def test_output_is_stable_across_renders(self):
+        tracer = sample_tracer()
+        assert to_jsonl(tracer) == to_jsonl(tracer)
+
+
+class TestChrome:
+    def test_passes_schema_validator(self):
+        document = json.loads(to_chrome(sample_tracer()))
+        assert validate_chrome_trace(document) == []
+
+    def test_thread_per_category_first_seen(self):
+        document = json.loads(to_chrome(sample_tracer()))
+        names = {e["tid"]: e["args"]["name"]
+                 for e in document["traceEvents"] if e["ph"] == "M"}
+        assert names == {1: "boot", 2: "scheduler", 3: "fabric"}
+
+    def test_phases(self):
+        document = json.loads(to_chrome(sample_tracer()))
+        phases = [e["ph"] for e in document["traceEvents"]]
+        assert phases.count("X") == 2
+        assert phases.count("i") == 1
+        assert phases.count("C") == 2  # counter + gauge samples
+
+    def test_validator_flags_corruption(self):
+        document = json.loads(to_chrome(sample_tracer()))
+        first_x = next(e for e in document["traceEvents"]
+                       if e["ph"] == "X")
+        first_x.pop("ts")
+        assert any("ts" in problem
+                   for problem in validate_chrome_trace(document))
+        assert validate_chrome_trace({"nope": 1})
+        assert validate_chrome_trace([1, 2])
+
+
+class TestRenderAndWrite:
+    def test_unknown_format_rejected(self):
+        with pytest.raises(ValueError):
+            render_trace(Tracer(), "xml")
+
+    def test_write_trace_roundtrip(self, tmp_path):
+        out = write_trace(sample_tracer(), tmp_path / "t.json", "chrome")
+        document = json.loads(out.read_text())
+        assert validate_chrome_trace(document) == []

@@ -1,0 +1,58 @@
+"""Golden Chrome-trace regression test over the boot chain.
+
+The boot chain is fully deterministic (modelled cycle costs, no
+wall-clock), so its Chrome trace export must match the committed golden
+bit for bit.  Regenerate after an intended change with::
+
+    REGEN_TRACE_GOLDEN=1 PYTHONPATH=src python -m pytest \
+        tests/telemetry/test_golden_trace.py
+"""
+
+import json
+import os
+from pathlib import Path
+
+from repro.boot import BootImage, ImageKind, provision_flash, run_boot_chain
+from repro.soc import DDR_BASE, NgUltraSoc, assemble
+from repro.telemetry import Tracer, to_chrome
+
+from .chrome_schema import validate_chrome_trace
+
+GOLDEN = Path(__file__).parent / "golden_boot_trace.json"
+
+
+def traced_boot():
+    soc = NgUltraSoc()
+    program = assemble("MOVI r0, #42\nHALT", base_address=DDR_BASE)
+    app = BootImage(kind=ImageKind.APPLICATION, load_address=DDR_BASE,
+                    entry_point=DDR_BASE, payload=program, name="app")
+    provision_flash(soc, [app])
+    tracer = Tracer()
+    run_boot_chain(soc, run_application=True, tracer=tracer)
+    return tracer
+
+
+class TestGoldenBootTrace:
+    def test_chrome_export_matches_golden(self):
+        rendered = to_chrome(traced_boot())
+        if os.environ.get("REGEN_TRACE_GOLDEN"):
+            GOLDEN.write_text(rendered)
+        assert GOLDEN.exists(), \
+            f"golden {GOLDEN} missing; regenerate with REGEN_TRACE_GOLDEN=1"
+        assert rendered == GOLDEN.read_text(), (
+            "boot trace drifted from golden_boot_trace.json — if the "
+            "change is intended, regenerate with REGEN_TRACE_GOLDEN=1")
+
+    def test_golden_passes_schema(self):
+        document = json.loads(GOLDEN.read_text())
+        assert validate_chrome_trace(document) == []
+
+    def test_boot_stages_present(self):
+        tracer = traced_boot()
+        stages = [s.name for s in tracer.spans_in("boot")
+                  if s.name.startswith("stage:")]
+        assert stages == ["stage:BL0", "stage:BL1", "stage:BL2"]
+        # Stage spans tile the cycle-derived timeline contiguously.
+        spans = {s.name: s for s in tracer.spans_in("boot")}
+        assert spans["stage:BL1"].start == spans["stage:BL0"].end
+        assert spans["stage:BL2"].start == spans["stage:BL1"].end

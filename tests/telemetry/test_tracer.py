@@ -1,0 +1,98 @@
+"""Unit tests for the deterministic tracing primitives."""
+
+import pytest
+
+from repro.telemetry import Span, TelemetryError, Tracer
+
+
+class TestTickClock:
+    def test_ticks_are_ordinal(self):
+        tracer = Tracer()
+        assert [tracer.now() for _ in range(3)] == [0.0, 1.0, 2.0]
+
+    def test_external_clock_is_used_verbatim(self):
+        stamps = iter([10.0, 25.0])
+        tracer = Tracer(clock=lambda: next(stamps))
+        with tracer.span("work"):
+            pass
+        assert tracer.spans[0].start == 10.0
+        assert tracer.spans[0].end == 25.0
+
+
+class TestSpans:
+    def test_nested_spans_record_order_and_bounds(self):
+        tracer = Tracer()
+        with tracer.span("outer", "flow") as outer:
+            assert tracer.depth == 1
+            with tracer.span("inner", "flow"):
+                assert tracer.depth == 2
+        assert tracer.depth == 0
+        inner = tracer.spans[1]
+        assert [s.name for s in tracer.spans] == ["outer", "inner"]
+        assert outer.start < inner.start < inner.end < outer.end
+
+    def test_span_attributes_settable_while_live(self):
+        tracer = Tracer()
+        with tracer.span("place", "fabric", effort=0.5) as span:
+            span.attributes["hpwl"] = 12.25
+        assert tracer.spans[0].attributes == {"effort": 0.5, "hpwl": 12.25}
+
+    def test_add_span_rejects_negative_duration(self):
+        tracer = Tracer()
+        with pytest.raises(TelemetryError):
+            tracer.add_span("bad", "x", 5.0, 4.0)
+
+    def test_event_is_instant(self):
+        tracer = Tracer()
+        record = tracer.event("hm", "scheduler", at=42.0, action="reset")
+        assert record.instant
+        assert record.start == record.end == 42.0
+        assert record.duration == 0.0
+
+    def test_span_duration(self):
+        span = Span(name="s", category="c", start=1.0, end=3.5)
+        assert span.duration == 2.5
+        assert Span(name="s", category="c", start=1.0).duration == 0.0
+
+
+class TestMetrics:
+    def test_counter_get_or_create_and_add(self):
+        tracer = Tracer()
+        tracer.counter("retries").add()
+        tracer.counter("retries").add(2)
+        assert tracer.counters["retries"].value == 3
+
+    def test_gauge_last_value_wins(self):
+        tracer = Tracer()
+        tracer.gauge("rate").set(0.5)
+        tracer.gauge("rate").set(0.25)
+        assert tracer.gauges["rate"].value == 0.25
+
+
+class TestComposition:
+    def test_merge_shifts_spans_and_sums_counters(self):
+        parent, child = Tracer(), Tracer()
+        child.add_span("stage", "boot", 0.0, 10.0)
+        child.counter("naks").add(2)
+        child.gauge("rate").set(0.1)
+        parent.counter("naks").add(1)
+        parent.merge(child, offset=100.0)
+        assert parent.spans[0].start == 100.0
+        assert parent.spans[0].end == 110.0
+        assert parent.counters["naks"].value == 3
+        assert parent.gauges["rate"].value == 0.1
+
+    def test_categories_first_seen_order(self):
+        tracer = Tracer()
+        tracer.event("a", "hls")
+        tracer.event("b", "fabric")
+        tracer.event("c", "hls")
+        assert tracer.categories() == ["hls", "fabric"]
+        assert len(tracer.spans_in("hls")) == 2
+
+    def test_summary_counts(self):
+        tracer = Tracer()
+        tracer.event("a", "boot")
+        tracer.counter("x").add()
+        assert "1 spans (boot=1)" in tracer.summary()
+        assert "1 counters" in tracer.summary()

@@ -67,6 +67,40 @@ class TestCliMission:
                      "--inject-faults"]) == 0
 
 
+class TestCliTrace:
+    def test_boot_scenario_chrome_to_file(self, tmp_path, capsys):
+        import json
+        out = tmp_path / "trace.json"
+        assert main(["trace", "boot", "--format", "chrome",
+                     "--out", str(out)]) == 0
+        document = json.loads(out.read_text())
+        phases = {e["ph"] for e in document["traceEvents"]}
+        assert "X" in phases and "M" in phases
+
+    def test_mission_scenario_jsonl_to_stdout(self, capsys):
+        import json
+        assert main(["trace", "mission"]) == 0
+        lines = capsys.readouterr().out.strip().splitlines()
+        meta = json.loads(lines[0])
+        assert meta["type"] == "meta" and meta["spans"] > 0
+
+    def test_trace_option_on_boot_command(self, tmp_path, capsys):
+        out = tmp_path / "boot.jsonl"
+        assert main(["boot", "--trace", str(out)]) == 0
+        assert '"cat":"boot"' in out.read_text()
+
+    def test_trace_option_on_seu_command(self, tmp_path, capsys):
+        out = tmp_path / "seu.json"
+        assert main(["seu", "--runs", "20", "--words", "16",
+                     "--trace", str(out),
+                     "--trace-format", "chrome"]) == 0
+        assert '"ph": "X"' in out.read_text()
+
+    def test_unknown_scenario_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["trace", "warp-drive"])
+
+
 class TestCliParser:
     def test_requires_subcommand(self):
         with pytest.raises(SystemExit):
