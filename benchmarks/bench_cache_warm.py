@@ -1,0 +1,91 @@
+"""Flow cache — cold vs warm characterization sweep.
+
+The content-addressed cache's acceptance gate: a warm Eucalyptus sweep
+over a previously-populated on-disk store must be at least 3x faster
+than the cold run while producing a bit-identical component library.
+A fresh ``FlowCache`` instance is used for the warm run so the speedup
+comes from the disk tier, i.e. it survives process restarts.
+"""
+
+import json
+import sys
+import time
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).parent))
+
+from _common import save_table
+
+from repro.cache import FlowCache
+from repro.core import Table
+from repro.fabric import NG_ULTRA, scaled_device
+from repro.hls.characterization.eucalyptus import Eucalyptus
+
+COMPONENTS = ["addsub", "mult", "logic", "shifter", "comparator"]
+WIDTHS = (8, 16, 32)
+
+
+def _sweep(cache_dir, jobs):
+    device = scaled_device(NG_ULTRA, "NG-ULTRA-CACHE", 4096)
+    cache = FlowCache(directory=cache_dir)
+    tool = Eucalyptus(device=device, effort=0.15, cache=cache)
+    start = time.perf_counter()
+    runs = tool.sweep(components=COMPONENTS, widths=WIDTHS,
+                      stages=(0, 2), jobs=jobs)
+    elapsed = time.perf_counter() - start
+    payload = json.dumps([r.to_json() for r in runs], sort_keys=True,
+                         separators=(",", ":"))
+    return elapsed, payload, cache, tool.build_library("lib").to_xml()
+
+
+def test_warm_sweep_is_fast_and_bit_identical(tmp_path, jobs):
+    cache_dir = tmp_path / "cache"
+    cold_s, cold_json, cold_cache, cold_xml = _sweep(cache_dir, jobs or 1)
+    warm_s, warm_json, warm_cache, warm_xml = _sweep(cache_dir, jobs or 1)
+
+    table = Table(
+        "Flow cache: cold vs warm Eucalyptus sweep",
+        ["run", "wall_s", "hits", "misses", "speedup"])
+    table.add_row("cold", round(cold_s, 4),
+                  cold_cache.hit_count("characterize"),
+                  cold_cache.stats["characterize"].misses, "1.0x")
+    table.add_row("warm", round(warm_s, 4),
+                  warm_cache.hit_count("characterize"),
+                  warm_cache.stats["characterize"].misses,
+                  f"{cold_s / warm_s:.1f}x")
+    save_table(table, "cache_warm_sweep")
+
+    # Bit-identical artifacts: the run reports and the exported library.
+    assert warm_json == cold_json
+    assert warm_xml == cold_xml
+    # Every configuration was served from the disk tier.
+    assert warm_cache.hit_count("characterize") == \
+        cold_cache.stats["characterize"].misses
+    assert warm_cache.stats["characterize"].misses == 0
+    # Acceptance floor: warm is at least 3x faster than cold.
+    assert cold_s / warm_s >= 3.0, \
+        f"warm speedup only {cold_s / warm_s:.1f}x"
+
+
+def test_stage_granular_fabric_reuse(tmp_path):
+    """Changing a routing option must not re-run placement."""
+    from repro.fabric.nxmap import NXmapProject
+    from repro.fabric.synthesis import synthesize_component
+
+    netlist = synthesize_component("addsub", 32)
+    device = scaled_device(NG_ULTRA, "NG-ULTRA-CACHE", 4096)
+    cache = FlowCache(directory=tmp_path / "cache")
+
+    first = NXmapProject(netlist, device, seed=5, cache=cache)
+    first.run_place()
+    first.run_route(channel_width=16)
+
+    second = NXmapProject(netlist, device, seed=5, cache=cache)
+    second.run_place()                 # cache hit
+    start = time.perf_counter()
+    second.run_route(channel_width=8)  # recompute: option changed
+    rerouted_s = time.perf_counter() - start
+
+    assert cache.stats["fabric"].hits == 1
+    assert second.placement.to_json() == first.placement.to_json()
+    assert rerouted_s >= 0.0

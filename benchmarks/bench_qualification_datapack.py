@@ -46,7 +46,7 @@ def _fresh_soc(corrupt=0):
     return soc
 
 
-def build_campaign():
+def build_campaign(cache=None):
     campaign = QualificationCampaign("HERMES-BL1")
     campaign.add_requirement("BL1-010", "initialize PLL before DDR")
     campaign.add_requirement("BL1-020", "verify deployed image integrity")
@@ -104,7 +104,7 @@ def build_campaign():
     def t_efpga():
         from repro.apps import image
         from repro.core import HermesProject
-        project = HermesProject()
+        project = HermesProject(cache=cache)
         accelerator = project.build_accelerator(image.MEDIAN3_C, "median3",
                                                 effort=0.1)
         project.deploy_and_boot(accelerator, run_application=False)
@@ -132,11 +132,11 @@ def build_campaign():
     return campaign
 
 
-def run_qualification():
+def run_qualification(cache=None):
     from repro.analysis import Analyzer, example_targets
     from repro.telemetry import Tracer
 
-    campaign = build_campaign()
+    campaign = build_campaign(cache=cache)
     report = campaign.run()
     trl = assess_trl(report, validated_in_relevant_environment=True)
     # Static-verification evidence rides in the datapack (SAR): lint the

@@ -192,6 +192,30 @@ def check_comb_loops(netlist: Netlist, emit) -> None:
              + " -> ".join(path))
 
 
+@rule("netlist.stale-placement", layer="netlist",
+      severity=Severity.WARNING,
+      fix_hint="keep placement in PlacementResult.locations and pass it "
+               "to downstream stages explicitly")
+def check_stale_placement(netlist: Netlist, emit) -> None:
+    """Cells carrying location annotations (stage-purity violation).
+
+    Flow stages must treat the input netlist as immutable: a placer
+    that writes tiles back onto cells creates a side channel later
+    stages silently depend on, which both breaks stage re-ordering and
+    poisons content-addressed stage reuse (a warm run restoring a
+    cached ``PlacementResult`` would never re-create the annotations,
+    so STA would see a different netlist than the cold run did).
+    """
+    annotated = [cell.name for cell in netlist.cells.values()
+                 if cell.location is not None]
+    if annotated:
+        sample = ", ".join(sorted(annotated)[:4])
+        emit(f"cell:{sorted(annotated)[0]}",
+             f"{len(annotated)} cell(s) carry placement annotations "
+             f"({sample}...) — placement state must flow through "
+             f"PlacementResult.locations, not the netlist")
+
+
 @rule("netlist.tmr-unvoted", layer="netlist", severity=Severity.WARNING,
       fix_hint="add a voter cell reading all three replica outputs")
 def check_tmr_voters(netlist: Netlist, emit) -> None:

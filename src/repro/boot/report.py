@@ -68,6 +68,38 @@ class BootReport:
         step = self.step(name)
         return step.cycles if step else 0
 
+    def to_json(self) -> dict:
+        return {
+            "stage": self.stage,
+            "boot_source": self.boot_source,
+            "steps": [{"name": s.name, "status": s.status.name,
+                       "cycles": s.cycles, "detail": s.detail}
+                      for s in self.steps],
+            "total_cycles": self.total_cycles,
+            "success": self.success,
+            "recovered_objects": list(self.recovered_objects),
+            "failed_objects": list(self.failed_objects),
+        }
+
+    @classmethod
+    def from_json(cls, payload: dict) -> "BootReport":
+        report = cls(stage=payload["stage"],
+                     boot_source=payload["boot_source"],
+                     recovered_objects=list(payload["recovered_objects"]),
+                     failed_objects=list(payload["failed_objects"]))
+        for step in payload["steps"]:
+            report.record(step["name"], StepStatus[step["status"]],
+                          step["cycles"], step["detail"])
+        return report
+
+    def summary(self) -> str:
+        status = "OK" if self.success else "FAILED"
+        if self.success and self.had_recovery:
+            status = "RECOVERED"
+        return (f"{self.stage} boot {status}: {len(self.steps)} steps, "
+                f"{self.total_cycles} cycles "
+                f"(source: {self.boot_source or 'n/a'})")
+
     def to_words(self) -> List[int]:
         """Mailbox serialization: count then (status, cycles) per step."""
         words = [len(self.steps)]

@@ -12,14 +12,25 @@ Subcommands mirror the tool surface a user of the paper's ecosystem gets:
   documents and the built-in example designs (``--examples``);
 * ``trace``        — run a canned scenario of one stack layer with
   telemetry enabled and export the trace (JSON-lines or Chrome
-  trace-event for ui.perfetto.dev).
+  trace-event for ui.perfetto.dev);
+* ``cache``        — inspect or maintain an on-disk flow cache
+  (``stats`` / ``clear`` / ``gc``).
 
 ``characterize`` and ``seu`` accept ``--jobs N`` to fan work out over the
 parallel execution engine (``--jobs 0`` uses every core); results are
 bit-identical to a serial run by the engine's seed-derivation contract.
 ``characterize``, ``seu``, ``boot`` and ``mission`` also accept
 ``--trace PATH`` (with ``--trace-format json|chrome``) to export the
-telemetry collected during the run.
+telemetry collected during the run.  ``hls``, ``characterize``, ``seu``
+and ``qualify`` accept ``--cache`` (and ``--cache-dir DIR`` for a
+persistent store) to reuse content-addressed flow artifacts; warm
+results are byte-identical to cold ones.
+
+Shared flags are defined once as argparse *parent parsers*
+(``--jobs``/``--backend``, ``--seed``, ``--trace``/``--trace-format``,
+``--cache``/``--no-cache``/``--cache-dir``) and read back through the
+:class:`CommonOptions` dataclass, so every subcommand spells them the
+same way.
 
 Run ``python -m repro.cli <subcommand> --help`` for options.
 """
@@ -27,40 +38,113 @@ Run ``python -m repro.cli <subcommand> --help`` for options.
 from __future__ import annotations
 
 import argparse
+import dataclasses
 import sys
+from dataclasses import dataclass
 from pathlib import Path
 from typing import List, Optional
 
 from .telemetry import TRACE_FORMATS, Tracer, render_trace, write_trace
 
 
-def _add_trace_options(parser: argparse.ArgumentParser) -> None:
-    parser.add_argument("--trace", metavar="PATH",
-                        help="export collected telemetry to PATH")
-    parser.add_argument("--trace-format", default="json",
-                        choices=TRACE_FORMATS,
-                        help="trace export format (json = JSON-lines, "
-                             "chrome = Perfetto-loadable trace events)")
+@dataclass
+class CommonOptions:
+    """The shared subcommand options, extracted from parsed args.
+
+    One instance per invocation; fields a subcommand doesn't declare
+    keep their defaults, so command handlers read one object instead of
+    probing the argparse namespace.
+    """
+
+    jobs: int = 1
+    backend: str = "auto"
+    seed: int = 13
+    trace: Optional[str] = None
+    trace_format: str = "json"
+    cache: bool = False
+    cache_dir: Optional[str] = None
+
+    @classmethod
+    def from_args(cls, args) -> "CommonOptions":
+        options = cls()
+        for field in dataclasses.fields(cls):
+            if hasattr(args, field.name):
+                setattr(options, field.name, getattr(args, field.name))
+        return options
+
+    @property
+    def cache_enabled(self) -> bool:
+        return self.cache or self.cache_dir is not None
+
+    def build_tracer(self) -> Optional[Tracer]:
+        return Tracer() if self.trace else None
+
+    def build_cache(self, tracer: Optional[Tracer] = None):
+        """The FlowCache this invocation asked for, or None."""
+        if not self.cache_enabled:
+            return None
+        from .cache import FlowCache
+        directory = Path(self.cache_dir) if self.cache_dir else None
+        return FlowCache(directory=directory, tracer=tracer)
+
+    def finish_trace(self, tracer: Optional[Tracer]) -> None:
+        if tracer is None or not self.trace:
+            return
+        write_trace(tracer, self.trace, self.trace_format)
+        print(f"trace ({self.trace_format}, {len(tracer.spans)} spans) "
+              f"written to {self.trace}", file=sys.stderr)
 
 
-def _tracer_for(args) -> Optional[Tracer]:
-    return Tracer() if getattr(args, "trace", None) else None
+def _parent(*specs) -> argparse.ArgumentParser:
+    parent = argparse.ArgumentParser(add_help=False)
+    for flags, kwargs in specs:
+        parent.add_argument(*flags, **kwargs)
+    return parent
 
 
-def _finish_trace(args, tracer: Optional[Tracer]) -> None:
-    if tracer is None or not args.trace:
-        return
-    write_trace(tracer, args.trace, args.trace_format)
-    print(f"trace ({args.trace_format}, {len(tracer.spans)} spans) "
-          f"written to {args.trace}", file=sys.stderr)
+def _jobs_parent() -> argparse.ArgumentParser:
+    return _parent((("--jobs",), dict(
+        type=int, default=1, help="parallel jobs (0 = all cores)")))
+
+
+def _backend_parent() -> argparse.ArgumentParser:
+    return _parent((("--backend",), dict(
+        default="auto", choices=("auto", "serial", "thread", "process"))))
+
+
+def _seed_parent(default: int = 13) -> argparse.ArgumentParser:
+    return _parent((("--seed",), dict(
+        type=int, default=default, help="campaign seed")))
+
+
+def _trace_parent() -> argparse.ArgumentParser:
+    return _parent(
+        (("--trace",), dict(
+            metavar="PATH", help="export collected telemetry to PATH")),
+        (("--trace-format",), dict(
+            default="json", choices=TRACE_FORMATS,
+            help="trace export format (json = JSON-lines, chrome = "
+                 "Perfetto-loadable trace events)")))
+
+
+def _cache_parent() -> argparse.ArgumentParser:
+    return _parent(
+        (("--cache",), dict(
+            action=argparse.BooleanOptionalAction, default=False,
+            help="reuse content-addressed flow artifacts")),
+        (("--cache-dir",), dict(
+            metavar="DIR",
+            help="persistent cache directory (implies --cache)")))
 
 
 def _cmd_hls(args) -> int:
     from .hls import synthesize
 
+    options = CommonOptions.from_args(args)
     source = Path(args.source).read_text()
     project = synthesize(source, top=args.top, clock_ns=args.clock,
-                         opt_level=args.opt)
+                         opt_level=args.opt,
+                         cache=options.build_cache())
     design = project[args.top]
     print(f"function {args.top}: {design.report.summary()}")
     print(f"  states: {design.state_count}  "
@@ -77,47 +161,68 @@ def _cmd_hls(args) -> int:
 
 
 def _cmd_characterize(args) -> int:
+    import json
+
     from .fabric import get_device, scaled_device
     from .hls.characterization.eucalyptus import Eucalyptus
 
+    options = CommonOptions.from_args(args)
     base = get_device(args.device)
     device = scaled_device(base, f"{base.name}-char", args.grid_luts)
-    tracer = _tracer_for(args)
-    tool = Eucalyptus(device=device, effort=args.effort, tracer=tracer)
+    tracer = options.build_tracer()
+    cache = options.build_cache(tracer)
+    tool = Eucalyptus(device=device, effort=args.effort, tracer=tracer,
+                      cache=cache)
     components = args.components.split(",") if args.components else None
-    tool.sweep(components=components,
-               widths=tuple(int(w) for w in args.widths.split(",")),
-               jobs=args.jobs, backend=args.backend)
-    _finish_trace(args, tracer)
-    if args.jobs != 1 and tool.last_sweep_report is not None:
+    runs = tool.sweep(components=components,
+                      widths=tuple(int(w) for w in args.widths.split(",")),
+                      jobs=options.jobs, backend=options.backend)
+    options.finish_trace(tracer)
+    if options.jobs != 1 and tool.last_sweep_report is not None:
         print(f"sweep: {tool.last_sweep_report.summary()}")
+    if cache is not None:
+        print(f"cache: {cache.summary()}", file=sys.stderr)
     library = tool.build_library()
     xml_text = library.to_xml()
+    if args.json:
+        Path(args.json).write_text(json.dumps(
+            [run.to_json() for run in runs],
+            sort_keys=True, separators=(",", ":")))
+        print(f"runs written to {args.json} ({len(runs)} records)",
+              file=sys.stderr)
     if args.out:
         Path(args.out).write_text(xml_text)
         print(f"library written to {args.out} "
               f"({len(library.records())} records)")
-    else:
+    elif not args.json:
         print(xml_text)
     return 0
 
 
 def _cmd_seu(args) -> int:
+    import json
+
     from .core import Table
     from .radhard import memory_scenarios
 
+    options = CommonOptions.from_args(args)
     table = Table(
-        f"SEU campaigns ({args.runs} runs each, seed {args.seed}, "
-        f"jobs {args.jobs})",
+        f"SEU campaigns ({args.runs} runs each, seed {options.seed}, "
+        f"jobs {options.jobs})",
         ["target", "masked", "corrected", "detected", "sdc", "crash",
          "fail_rate", "wall_s", "mean_ms", "p95_ms"])
     failures = 0.0
-    tracer = _tracer_for(args)
+    tracer = options.build_tracer()
+    cache = options.build_cache(tracer)
+    reports = []
     for campaign in memory_scenarios(words=args.words):
-        report = campaign.run(args.runs, seed=args.seed, jobs=args.jobs,
-                              backend=args.backend,
+        report = campaign.run(args.runs, seed=options.seed,
+                              jobs=options.jobs,
+                              backend=options.backend,
                               timeout_s=args.timeout,
-                              retries=args.retries, tracer=tracer)
+                              retries=args.retries, tracer=tracer,
+                              cache=cache)
+        reports.append(report)
         table.add_row(campaign.name,
                       report.counts.get("masked", 0),
                       report.counts.get("corrected", 0),
@@ -130,7 +235,14 @@ def _cmd_seu(args) -> int:
                       round(report.latency.p95_s * 1e3, 3))
         failures += report.counts.get("crash", 0)
     print(table.render())
-    _finish_trace(args, tracer)
+    if args.json:
+        Path(args.json).write_text(json.dumps(
+            [report.to_json() for report in reports],
+            sort_keys=True, separators=(",", ":")))
+        print(f"reports written to {args.json}", file=sys.stderr)
+    if cache is not None:
+        print(f"cache: {cache.summary()}", file=sys.stderr)
+    options.finish_trace(tracer)
     return 0 if failures == 0 else 1
 
 
@@ -144,26 +256,28 @@ def _cmd_boot(args) -> int:
     app = BootImage(kind=ImageKind.APPLICATION, load_address=DDR_BASE,
                     entry_point=DDR_BASE, payload=program, name="app")
     provision_flash(soc, [app], copies=args.copies)
+    options = CommonOptions.from_args(args)
     config = Bl1Config(redundancy=RedundancyMode(args.redundancy))
-    tracer = _tracer_for(args)
+    tracer = options.build_tracer()
     result = run_boot_chain(soc, config=config, run_application=True,
                             tracer=tracer)
     print(result.render())
     print(f"\ntotal: {result.total_cycles} cycles "
           f"({result.total_cycles / 600:.1f} us @600MHz)")
-    _finish_trace(args, tracer)
+    options.finish_trace(tracer)
     return 0 if result.bl1.report.success else 1
 
 
 def _cmd_mission(args) -> int:
     from .apps import mission
 
-    tracer = _tracer_for(args)
+    options = CommonOptions.from_args(args)
+    tracer = options.build_tracer()
     run = mission.run_mission(frames=args.frames,
                               faulty_vbn=args.inject_faults,
                               tracer=tracer)
     print(run.hypervisor.summary(run.metrics))
-    _finish_trace(args, tracer)
+    options.finish_trace(tracer)
     if run.telemetry:
         last = run.telemetry[-1]
         print(f"\nfinal AOCS pointing error: "
@@ -328,10 +442,36 @@ def _cmd_qualify(args) -> int:
     except ModuleNotFoundError:
         print("qualification bench not found; run from the repository")
         return 1
-    table, report, trl, pack = module.run_qualification()
+    options = CommonOptions.from_args(args)
+    cache = options.build_cache()
+    table, report, trl, pack = module.run_qualification(cache=cache)
     print(table.render())
     print(f"\nTRL {trl.level}; datapack complete: {pack.complete}")
+    if cache is not None:
+        print(f"cache: {cache.summary()}", file=sys.stderr)
     return 0 if report.all_passed else 1
+
+
+def _cmd_cache(args) -> int:
+    import json
+
+    from .cache import DiskStore
+
+    store = DiskStore(Path(args.cache_dir))
+    if args.action == "stats":
+        print(json.dumps({"layers": store.stats(),
+                          "entries": store.entry_count(),
+                          "bytes": store.total_bytes()},
+                         indent=2, sort_keys=True))
+        return 0
+    if args.action == "clear":
+        removed = store.clear()
+        print(f"cleared {removed} entrie(s) from {args.cache_dir}")
+        return 0
+    removed = store.gc(max_bytes=args.max_bytes)
+    print(f"gc removed {removed} entrie(s); "
+          f"{store.entry_count()} left ({store.total_bytes()} bytes)")
+    return 0
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -339,7 +479,15 @@ def build_parser() -> argparse.ArgumentParser:
         prog="repro", description="HERMES ecosystem tools")
     sub = parser.add_subparsers(dest="command", required=True)
 
-    hls = sub.add_parser("hls", help="synthesize a HermesC source file")
+    # Shared option groups, defined once (see CommonOptions).
+    jobs_p = _jobs_parent()
+    backend_p = _backend_parent()
+    seed_p = _seed_parent()
+    trace_p = _trace_parent()
+    cache_p = _cache_parent()
+
+    hls = sub.add_parser("hls", parents=[cache_p],
+                         help="synthesize a HermesC source file")
     hls.add_argument("source")
     hls.add_argument("--top", required=True)
     hls.add_argument("--clock", type=float, default=10.0,
@@ -350,6 +498,7 @@ def build_parser() -> argparse.ArgumentParser:
     hls.set_defaults(func=_cmd_hls)
 
     char = sub.add_parser("characterize",
+                          parents=[jobs_p, backend_p, trace_p, cache_p],
                           help="Eucalyptus component characterization")
     char.add_argument("--device", default="NG-ULTRA")
     char.add_argument("--components", default="addsub,logic,comparator")
@@ -357,64 +506,64 @@ def build_parser() -> argparse.ArgumentParser:
     char.add_argument("--effort", type=float, default=0.2)
     char.add_argument("--grid-luts", type=int, default=4096)
     char.add_argument("--out", help="XML output file")
-    char.add_argument("--jobs", type=int, default=1,
-                      help="parallel jobs (0 = all cores)")
-    char.add_argument("--backend", default="auto",
-                      choices=("auto", "serial", "thread", "process"))
-    _add_trace_options(char)
+    char.add_argument("--json", metavar="PATH",
+                      help="also export the runs as canonical JSON")
     char.set_defaults(func=_cmd_characterize)
 
     seu = sub.add_parser("seu",
+                         parents=[jobs_p, backend_p, seed_p, trace_p,
+                                  cache_p],
                          help="run the SEU mitigation campaigns")
     seu.add_argument("--runs", type=int, default=400)
-    seu.add_argument("--seed", type=int, default=13)
     seu.add_argument("--words", type=int, default=64,
                      help="memory size per campaign target")
-    seu.add_argument("--jobs", type=int, default=1,
-                     help="parallel jobs (0 = all cores)")
-    seu.add_argument("--backend", default="auto",
-                     choices=("auto", "serial", "thread", "process"))
     seu.add_argument("--timeout", type=float, default=None,
                      help="per-run timeout (seconds)")
     seu.add_argument("--retries", type=int, default=0,
                      help="retry budget before classifying crash")
-    _add_trace_options(seu)
+    seu.add_argument("--json", metavar="PATH",
+                     help="also export the reports as canonical JSON")
     seu.set_defaults(func=_cmd_seu)
 
-    boot = sub.add_parser("boot", help="run the BL0/BL1/BL2 chain")
+    boot = sub.add_parser("boot", parents=[trace_p],
+                          help="run the BL0/BL1/BL2 chain")
     boot.add_argument("--copies", type=int, default=2)
     boot.add_argument("--redundancy", default="sequential",
                       choices=("sequential", "tmr"))
-    _add_trace_options(boot)
     boot.set_defaults(func=_cmd_boot)
 
-    mission = sub.add_parser("mission",
+    mission = sub.add_parser("mission", parents=[trace_p],
                              help="run the virtualized mission")
     mission.add_argument("--frames", type=int, default=30)
     mission.add_argument("--inject-faults", action="store_true")
-    _add_trace_options(mission)
     mission.set_defaults(func=_cmd_mission)
 
     trace = sub.add_parser(
-        "trace", help="run a canned scenario with telemetry and "
-                      "export its trace")
+        "trace", parents=[jobs_p],
+        help="run a canned scenario with telemetry and export its trace")
     trace.add_argument("scenario", choices=sorted(_TRACE_SCENARIOS))
     trace.add_argument("--format", default="json", choices=TRACE_FORMATS,
                        help="json = JSON-lines, chrome = trace-event "
                             "JSON loadable in ui.perfetto.dev")
     trace.add_argument("--out", help="output file (default: stdout)")
-    trace.add_argument("--jobs", type=int, default=1,
-                       help="parallel jobs for seu/characterize "
-                            "scenarios (trace is identical at any "
-                            "job count)")
     trace.set_defaults(func=_cmd_trace)
 
-    qualify = sub.add_parser("qualify",
+    qualify = sub.add_parser("qualify", parents=[cache_p],
                              help="BL1 ECSS qualification campaign")
     qualify.set_defaults(func=_cmd_qualify)
 
+    cache = sub.add_parser(
+        "cache", help="inspect or maintain an on-disk flow cache")
+    cache.add_argument("action", choices=("stats", "clear", "gc"))
+    cache.add_argument("--cache-dir", required=True, metavar="DIR",
+                       help="cache directory to operate on")
+    cache.add_argument("--max-bytes", type=int, default=None,
+                       help="gc: new size bound for the store")
+    cache.set_defaults(func=_cmd_cache)
+
     lint = sub.add_parser(
-        "lint", help="static verification of design artifacts")
+        "lint", parents=[jobs_p],
+        help="static verification of design artifacts")
     lint.add_argument("targets", nargs="*",
                       help="HermesC sources (.c/.hc) or XM_CF documents "
                            "(.xml)")
@@ -434,8 +583,6 @@ def build_parser() -> argparse.ArgumentParser:
     lint.add_argument("--write-baseline",
                       help="write a baseline suppressing every current "
                            "finding")
-    lint.add_argument("--jobs", type=int, default=1,
-                      help="parallel jobs across targets (0 = all cores)")
     lint.set_defaults(func=_cmd_lint)
     return parser
 

@@ -4,6 +4,7 @@ integrated ecosystem)."""
 
 from .datapack import MANDATORY_DOCUMENTS, Datapack, generate_datapack
 from .metrics import LatencyStats, Table, percentile, ratio
+from .report import Report, report_json_text
 from .project import (
     AcceleratorResult,
     HermesProject,
@@ -25,6 +26,7 @@ from .qualification import (
 __all__ = [
     "MANDATORY_DOCUMENTS", "Datapack", "generate_datapack",
     "LatencyStats", "Table", "percentile", "ratio",
+    "Report", "report_json_text",
     "AcceleratorResult", "HermesProject", "HermesReport", "ProjectError",
     "Level", "QualificationCampaign", "QualificationReport", "Requirement",
     "TestCase", "TestResult", "TrlAssessment", "Verdict", "assess_trl",

@@ -12,6 +12,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional
 
+from ..cache import FlowCache
 from ..boot import (
     BootChainResult,
     BootImage,
@@ -71,7 +72,8 @@ class HermesProject:
     """End-to-end HERMES flow driver."""
 
     def __init__(self, device: Optional[Device] = None,
-                 clock_ns: float = 10.0, seed: int = 1) -> None:
+                 clock_ns: float = 10.0, seed: int = 1,
+                 cache: Optional[FlowCache] = None) -> None:
         # Full-size NG-ULTRA grids are enormous; the flow runs on a
         # reduced-capacity variant with identical timing/energy (tests and
         # benches can pass a different device).
@@ -79,6 +81,7 @@ class HermesProject:
                                               luts=8192)
         self.clock_ns = clock_ns
         self.seed = seed
+        self.cache = cache
         self.report = HermesReport()
 
     # -- HLS + backend -----------------------------------------------------
@@ -88,10 +91,11 @@ class HermesProject:
                           effort: float = 0.3) -> AcceleratorResult:
         """C source → HLS → netlist → place/route/STA → bitstream."""
         hls_project = synthesize(source, top, clock_ns=self.clock_ns,
-                                 opt_level=opt_level)
+                                 opt_level=opt_level, cache=self.cache)
         design = hls_project[top]
         netlist = synthesize_design(design, hls_project.module[top])
-        nxmap = NXmapProject(netlist, self.device, seed=self.seed)
+        nxmap = NXmapProject(netlist, self.device, seed=self.seed,
+                             cache=self.cache)
         flow_report = nxmap.run_all(target_clock_ns=self.clock_ns,
                                     effort=effort)
         script = generate_backend_script(

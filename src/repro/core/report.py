@@ -1,0 +1,46 @@
+"""The unified ``Report`` protocol.
+
+Every flow in the ecosystem ends in a report object; historically each
+grew its own ad-hoc shape (dataclasses with bespoke render methods,
+plain dicts, mailbox word lists).  The protocol below is the common
+surface every report now conforms to:
+
+* ``to_json()`` — a JSON-serializable dict with *stable field names*
+  (the contract consumed by the disk cache, the CLI ``--json`` exports
+  and the datapack provenance records);
+* ``summary()`` — a one-line human summary.
+
+Conforming types: :class:`~repro.fabric.nxmap.FlowReport`,
+:class:`~repro.radhard.campaign.CampaignReport`,
+:class:`~repro.hls.characterization.eucalyptus.CharacterizationRun` and
+:class:`~repro.boot.report.BootReport`.  Old attribute/method names used
+by existing callers remain as thin deprecation shims on each class.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Dict, Protocol, runtime_checkable
+
+
+@runtime_checkable
+class Report(Protocol):
+    """Structural protocol for flow result objects."""
+
+    def to_json(self) -> Dict[str, Any]:
+        """JSON-serializable dict with stable field names."""
+        ...  # pragma: no cover - protocol
+
+    def summary(self) -> str:
+        """One-line human summary."""
+        ...  # pragma: no cover - protocol
+
+
+def report_json_text(report: Report) -> str:
+    """Canonical JSON text of a report (sorted keys, compact).
+
+    Byte-stable for equal reports — the equality form the cold-vs-warm
+    cache tests and the CI cache-smoke gate compare.
+    """
+    return json.dumps(report.to_json(), sort_keys=True,
+                      separators=(",", ":"), ensure_ascii=True)

@@ -61,3 +61,14 @@ class LatencyStats:
                 f"p50={self.p50_s * 1e3:.3f}ms "
                 f"p95={self.p95_s * 1e3:.3f}ms "
                 f"max={self.max_s * 1e3:.3f}ms")
+
+    def to_json(self) -> dict:
+        return {"count": self.count, "total_s": self.total_s,
+                "mean_s": self.mean_s, "p50_s": self.p50_s,
+                "p95_s": self.p95_s, "max_s": self.max_s}
+
+    @classmethod
+    def from_json(cls, payload: dict) -> "LatencyStats":
+        return cls(count=payload["count"], total_s=payload["total_s"],
+                   mean_s=payload["mean_s"], p50_s=payload["p50_s"],
+                   p95_s=payload["p95_s"], max_s=payload["max_s"])

@@ -108,6 +108,29 @@ class Bitstream:
             repaired += 1
         return repaired
 
+    def to_json(self) -> dict:
+        return {
+            "device_name": self.device_name,
+            "grid": list(self.grid),
+            "frames": [{"index": f.index, "data": bytes(f.data).hex(),
+                        "crc": f.crc} for f in self.frames],
+            "essential": sorted(self.essential),
+            "golden": self.golden.hex() if self.golden is not None else None,
+        }
+
+    @classmethod
+    def from_json(cls, payload: dict) -> "Bitstream":
+        golden = payload["golden"]
+        return cls(
+            device_name=payload["device_name"],
+            grid=(int(payload["grid"][0]), int(payload["grid"][1])),
+            frames=[Frame(index=f["index"],
+                          data=bytearray.fromhex(f["data"]), crc=f["crc"])
+                    for f in payload["frames"]],
+            essential=set(payload["essential"]),
+            golden=bytes.fromhex(golden) if golden is not None else None,
+        )
+
     def to_bytes(self) -> bytes:
         """Serialized bitstream: header + frames with CRCs.
 

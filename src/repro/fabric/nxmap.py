@@ -13,8 +13,10 @@ from __future__ import annotations
 
 from contextlib import nullcontext
 from dataclasses import dataclass
-from typing import Dict, Optional
+from typing import Any, Dict, Optional
 
+from ..cache import FlowCache, content_key, device_fingerprint, \
+    netlist_fingerprint
 from ..telemetry import Tracer
 from .bitstream import Bitstream, generate_bitstream
 from .device import Device, get_device
@@ -39,6 +41,14 @@ class PowerReport:
     def total_mw(self) -> float:
         return self.dynamic_mw + self.static_mw
 
+    def to_json(self) -> Dict[str, Any]:
+        return {"dynamic_mw": self.dynamic_mw, "static_mw": self.static_mw}
+
+    @classmethod
+    def from_json(cls, payload: Dict[str, Any]) -> "PowerReport":
+        return cls(dynamic_mw=payload["dynamic_mw"],
+                   static_mw=payload["static_mw"])
+
 
 @dataclass
 class FlowReport:
@@ -52,21 +62,111 @@ class FlowReport:
     bitstream_bits: int = 0
     essential_bits: int = 0
 
+    def to_json(self) -> Dict[str, Any]:
+        return {
+            "device": self.device,
+            "stats": dict(sorted(self.stats.items())),
+            "utilization": dict(sorted(self.utilization.items())),
+            "placement": (self.placement.to_json()
+                          if self.placement else None),
+            "routing": self.routing.to_json() if self.routing else None,
+            "timing": self.timing.to_json() if self.timing else None,
+            "power": self.power.to_json() if self.power else None,
+            "bitstream_bits": self.bitstream_bits,
+            "essential_bits": self.essential_bits,
+        }
+
+    @classmethod
+    def from_json(cls, payload: Dict[str, Any]) -> "FlowReport":
+        return cls(
+            device=payload["device"],
+            stats=dict(payload["stats"]),
+            utilization=dict(payload["utilization"]),
+            placement=(PlacementResult.from_json(payload["placement"])
+                       if payload.get("placement") else None),
+            routing=(RoutingResult.from_json(payload["routing"])
+                     if payload.get("routing") else None),
+            timing=(TimingReport.from_json(payload["timing"])
+                    if payload.get("timing") else None),
+            power=(PowerReport.from_json(payload["power"])
+                   if payload.get("power") else None),
+            bitstream_bits=payload.get("bitstream_bits", 0),
+            essential_bits=payload.get("essential_bits", 0),
+        )
+
+    def summary(self) -> str:
+        parts = [f"{self.device}: {self.stats.get('luts', 0)} LUTs, "
+                 f"{self.stats.get('ffs', 0)} FFs"]
+        if self.timing is not None:
+            parts.append(f"fmax {self.timing.fmax_mhz:.1f} MHz")
+        if self.power is not None:
+            parts.append(f"{self.power.total_mw:.1f} mW")
+        if self.bitstream_bits:
+            parts.append(f"{self.bitstream_bits} cfg bits "
+                         f"({self.essential_bits} essential)")
+        return ", ".join(parts)
+
 
 class NXmapProject:
-    """One backend compilation: netlist → placed/routed/timed bitstream."""
+    """One backend compilation: netlist → placed/routed/timed bitstream.
+
+    With a :class:`~repro.cache.FlowCache` attached, every stage result is
+    content-addressed under a *stage-granular* key: place hashes the
+    netlist/device/seed plus its own options, and each later stage chains
+    off its parent stage's key plus its own options only.  Changing a
+    routing option therefore reuses the cached placement; changing the
+    STA clock reuses both placement and routing.
+    """
 
     def __init__(self, netlist: Netlist, device: Device | str,
-                 seed: int = 1, tracer: Optional[Tracer] = None) -> None:
+                 seed: int = 1, tracer: Optional[Tracer] = None,
+                 cache: Optional[FlowCache] = None) -> None:
         self.netlist = netlist
         self.device = get_device(device) if isinstance(device, str) else device
         self.seed = seed
         self.tracer = tracer
+        self.cache = cache
         self.placement: Optional[PlacementResult] = None
         self.routing: Optional[RoutingResult] = None
         self.timing: Optional[TimingReport] = None
         self.bitstream: Optional[Bitstream] = None
+        self._base_material: Optional[Dict[str, Any]] = None
+        self._place_key: Optional[str] = None
+        self._route_key: Optional[str] = None
         self._validate()
+
+    # -- content addressing ------------------------------------------------
+
+    def _base(self) -> Dict[str, Any]:
+        """Fingerprint of the flow inputs shared by every stage."""
+        if self._base_material is None:
+            self._base_material = {
+                "netlist": netlist_fingerprint(self.netlist),
+                "device": device_fingerprint(self.device),
+                "seed": self.seed,
+            }
+        return self._base_material
+
+    def _stage_key(self, stage: str, parent: Optional[str],
+                   **options: Any) -> str:
+        """Key for one stage: parent stage's key + this stage's options."""
+        material: Dict[str, Any] = {"stage": stage, "parent": parent,
+                                    "options": options}
+        if parent is None:
+            material["base"] = self._base()
+        return content_key("fabric", material)
+
+    def _cached(self, stage: str, key: Optional[str], decoder,
+                compute, encoder):
+        """Run ``compute`` through the cache when one is attached."""
+        if self.cache is None or key is None:
+            return compute()
+        hit, value = self.cache.get("fabric", key, decoder)
+        if hit:
+            return value
+        value = compute()
+        self.cache.put("fabric", key, value, encoder)
+        return value
 
     def _validate(self) -> None:
         problems = self.netlist.validate()
@@ -89,34 +189,60 @@ class NXmapProject:
 
     def run_place(self, effort: float = 1.0) -> PlacementResult:
         stats = self.netlist.stats()
+        key = (self._stage_key("place", None, effort=effort)
+               if self.cache is not None else None)
         with self._span("place", effort=effort,
                         cells=stats["luts"] + stats["ffs"]) as span:
-            self.placement = place(self.netlist, self.device,
-                                   seed=self.seed, effort=effort)
+            self.placement = self._cached(
+                "place", key, PlacementResult.from_json,
+                lambda: place(self.netlist, self.device,
+                              seed=self.seed, effort=effort),
+                PlacementResult.to_json)
             if span is not None:
                 span.attributes["hpwl"] = round(self.placement.hpwl, 3)
                 span.attributes["iterations"] = self.placement.iterations
+        self._place_key = key
         return self.placement
 
     def run_route(self, channel_width: int = 16) -> RoutingResult:
         if self.placement is None:
             self.run_place()
+        key = (self._stage_key("route", self._place_key,
+                               channel_width=channel_width)
+               if self.cache is not None else None)
         with self._span("route", channel_width=channel_width) as span:
-            self.routing = route(self.netlist, self.placement.locations,
-                                 self.placement.grid,
-                                 channel_width=channel_width)
+            self.routing = self._cached(
+                "route", key, RoutingResult.from_json,
+                lambda: route(self.netlist, self.placement.locations,
+                              self.placement.grid,
+                              channel_width=channel_width),
+                RoutingResult.to_json)
             if span is not None:
                 span.attributes["wirelength"] = self.routing.wirelength
                 span.attributes["overflow_edges"] = \
                     self.routing.overflow_edges
+        self._route_key = key
         return self.routing
 
     def run_sta(self, target_clock_ns: Optional[float] = None
                 ) -> TimingReport:
+        key = None
+        if self.cache is not None:
+            parent = self._route_key or self._place_key
+            key = self._stage_key("sta", parent,
+                                  target_clock_ns=target_clock_ns,
+                                  routed=self.routing is not None,
+                                  placed=self.placement is not None)
         with self._span("sta") as span:
-            self.timing = analyze_timing(self.netlist, self.device,
-                                         target_clock_ns=target_clock_ns,
-                                         routing=self.routing)
+            locations = (self.placement.locations
+                         if self.placement is not None else None)
+            self.timing = self._cached(
+                "sta", key, TimingReport.from_json,
+                lambda: analyze_timing(self.netlist, self.device,
+                                       target_clock_ns=target_clock_ns,
+                                       routing=self.routing,
+                                       locations=locations),
+                TimingReport.to_json)
             if span is not None:
                 span.attributes["critical_path_ns"] = \
                     round(self.timing.critical_path_ns, 6)
@@ -130,10 +256,15 @@ class NXmapProject:
     def run_bitstream(self) -> Bitstream:
         if self.placement is None:
             self.run_place()
+        key = (self._stage_key("bitstream", self._place_key)
+               if self.cache is not None else None)
         with self._span("bitstream") as span:
-            self.bitstream = generate_bitstream(
-                self.netlist, self.placement.locations,
-                self.placement.grid, self.device.name, seed=self.seed)
+            self.bitstream = self._cached(
+                "bitstream", key, Bitstream.from_json,
+                lambda: generate_bitstream(
+                    self.netlist, self.placement.locations,
+                    self.placement.grid, self.device.name, seed=self.seed),
+                Bitstream.to_json)
             if span is not None:
                 span.attributes["total_bits"] = self.bitstream.total_bits
                 span.attributes["essential_bits"] = \

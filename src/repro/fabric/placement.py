@@ -40,6 +40,27 @@ class PlacementResult:
             return 0.0
         return 1.0 - self.hpwl / self.initial_hpwl
 
+    def to_json(self) -> dict:
+        return {
+            "locations": {name: list(tile)
+                          for name, tile in sorted(self.locations.items())},
+            "hpwl": self.hpwl,
+            "initial_hpwl": self.initial_hpwl,
+            "iterations": self.iterations,
+            "grid": list(self.grid),
+        }
+
+    @classmethod
+    def from_json(cls, payload: dict) -> "PlacementResult":
+        return cls(
+            locations={name: (int(tile[0]), int(tile[1]))
+                       for name, tile in payload["locations"].items()},
+            hpwl=payload["hpwl"],
+            initial_hpwl=payload["initial_hpwl"],
+            iterations=payload["iterations"],
+            grid=(int(payload["grid"][0]), int(payload["grid"][1])),
+        )
+
 
 class _Grid:
     """Tracks per-tile occupancy for each site class."""
@@ -141,6 +162,12 @@ def place(netlist: Netlist, device: Device, seed: int = 1,
 
     ``effort`` scales the number of annealing moves (1.0 ≈ 100 moves per
     cell); the run is deterministic for a given seed.
+
+    The input netlist is never mutated: all placement state lives in the
+    returned :class:`PlacementResult` (downstream stages take the
+    ``locations`` map explicitly).  Writing tiles back onto cells would
+    poison content-addressed stage reuse — the ``netlist.stale-placement``
+    lint rule audits for netlists carrying such annotations.
     """
     rng = random.Random(seed)
     grid = _Grid(device, netlist)
@@ -156,7 +183,6 @@ def place(netlist: Netlist, device: Device, seed: int = 1,
             tile = grid.random_tile(cell.kind, rng)
         grid.occupy(cell.kind, tile)
         locations[cell.name] = tile
-        cell.location = tile
 
     # Incremental cost bookkeeping: nets touching each cell.
     nets_of_cell: Dict[str, List[str]] = {name: [] for name in netlist.cells}
@@ -194,7 +220,6 @@ def place(netlist: Netlist, device: Device, seed: int = 1,
         if delta <= 0 or rng.random() < math.exp(-delta / temperature):
             grid.release(cell.kind, old_tile)
             grid.occupy(cell.kind, new_tile)
-            cell.location = new_tile
             cost += delta
         else:
             locations[name] = old_tile

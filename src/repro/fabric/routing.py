@@ -44,6 +44,35 @@ class RoutingResult:
         paths = self.routes.get(net_name, [])
         return sum(max(0, len(p) - 1) for p in paths)
 
+    def to_json(self) -> dict:
+        return {
+            "wirelength": self.wirelength,
+            "max_congestion": self.max_congestion,
+            "overflow_edges": self.overflow_edges,
+            "routed_connections": self.routed_connections,
+            "failed_connections": self.failed_connections,
+            "iterations": self.iterations,
+            "channel_width": self.channel_width,
+            "routes": {net: [[list(tile) for tile in path]
+                             for path in paths]
+                       for net, paths in sorted(self.routes.items())},
+        }
+
+    @classmethod
+    def from_json(cls, payload: dict) -> "RoutingResult":
+        return cls(
+            wirelength=payload["wirelength"],
+            max_congestion=payload["max_congestion"],
+            overflow_edges=payload["overflow_edges"],
+            routed_connections=payload["routed_connections"],
+            failed_connections=payload["failed_connections"],
+            iterations=payload["iterations"],
+            channel_width=payload["channel_width"],
+            routes={net: [[(int(t[0]), int(t[1])) for t in path]
+                          for path in paths]
+                    for net, paths in payload["routes"].items()},
+        )
+
 
 def _edge(a: Tile, b: Tile) -> Edge:
     return (a, b) if a <= b else (b, a)

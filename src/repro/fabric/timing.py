@@ -61,6 +61,32 @@ class TimingReport:
                              f"{segment.kind:<6} {segment.cell}")
         return "\n".join(lines)
 
+    def to_json(self) -> dict:
+        return {
+            "critical_path_ns": self.critical_path_ns,
+            "fmax_mhz": self.fmax_mhz,
+            "target_clock_ns": self.target_clock_ns,
+            "slack_ns": self.slack_ns,
+            "critical_path": [
+                {"cell": s.cell, "kind": s.kind, "arrival_ns": s.arrival_ns}
+                for s in self.critical_path],
+            "endpoint": self.endpoint,
+        }
+
+    @classmethod
+    def from_json(cls, payload: dict) -> "TimingReport":
+        return cls(
+            critical_path_ns=payload["critical_path_ns"],
+            fmax_mhz=payload["fmax_mhz"],
+            target_clock_ns=payload["target_clock_ns"],
+            slack_ns=payload["slack_ns"],
+            critical_path=[
+                TimingPathSegment(cell=s["cell"], kind=s["kind"],
+                                  arrival_ns=s["arrival_ns"])
+                for s in payload["critical_path"]],
+            endpoint=payload["endpoint"],
+        )
+
 
 def _cell_delay(cell: Cell, device: Device) -> float:
     if cell.kind in (LUT4, CARRY, IOB):
@@ -74,23 +100,48 @@ def _cell_delay(cell: Cell, device: Device) -> float:
     raise TimingError(f"no delay model for {cell.kind}")
 
 
+def _cell_tile(cell: Cell,
+               locations: Optional[Dict[str, Tuple[int, int]]]
+               ) -> Optional[Tuple[int, int]]:
+    """A cell's placed tile: the explicit map, else the legacy annotation.
+
+    ``cell.location`` is a deprecation shim — placement no longer writes
+    it (mutating the input netlist poisons content-addressed stage
+    reuse); callers pass ``PlacementResult.locations`` instead.
+    """
+    if locations is not None:
+        return locations.get(cell.name)
+    return cell.location
+
+
 def _wire_delay(netlist: Netlist, driver: Cell, sink: Cell, device: Device,
-                routing: Optional[RoutingResult]) -> float:
-    if driver.location is None or sink.location is None:
+                routing: Optional[RoutingResult],
+                locations: Optional[Dict[str, Tuple[int, int]]] = None
+                ) -> float:
+    driver_tile = _cell_tile(driver, locations)
+    sink_tile = _cell_tile(sink, locations)
+    if driver_tile is None or sink_tile is None:
         return device.wire_delay_per_tile_ns  # unplaced: nominal hop
     if routing is not None and driver.output in routing.routes:
         length = routing.route_length(driver.output)
         fanout = max(1, netlist.nets[driver.output].fanout)
         return device.wire_delay_per_tile_ns * max(1, length / fanout)
-    dx = abs(driver.location[0] - sink.location[0])
-    dy = abs(driver.location[1] - sink.location[1])
+    dx = abs(driver_tile[0] - sink_tile[0])
+    dy = abs(driver_tile[1] - sink_tile[1])
     return device.wire_delay_per_tile_ns * max(1, dx + dy)
 
 
 def analyze_timing(netlist: Netlist, device: Device,
                    target_clock_ns: Optional[float] = None,
-                   routing: Optional[RoutingResult] = None) -> TimingReport:
-    """Compute the critical register-to-register (or I/O) path."""
+                   routing: Optional[RoutingResult] = None,
+                   locations: Optional[Dict[str, Tuple[int, int]]] = None
+                   ) -> TimingReport:
+    """Compute the critical register-to-register (or I/O) path.
+
+    ``locations`` is the placement map (``PlacementResult.locations``);
+    without it the analysis assumes nominal one-tile hops, matching the
+    pre-placement estimate.  The netlist itself is treated as immutable.
+    """
     # Topological order over combinational cells.
     indegree: Dict[str, int] = {}
     for cell in netlist.cells.values():
@@ -116,7 +167,8 @@ def analyze_timing(netlist: Netlist, device: Device,
             if not net or not net.driver:
                 continue
             driver = netlist.cells[net.driver]
-            wire = _wire_delay(netlist, driver, cell, device, routing)
+            wire = _wire_delay(netlist, driver, cell, device, routing,
+                               locations)
             if driver.is_sequential:
                 candidate = _cell_delay(driver, device) + wire
             else:
@@ -158,7 +210,8 @@ def analyze_timing(netlist: Netlist, device: Device,
             if not net or not net.driver:
                 continue
             driver = netlist.cells[net.driver]
-            wire = _wire_delay(netlist, driver, cell, device, routing)
+            wire = _wire_delay(netlist, driver, cell, device, routing,
+                               locations)
             if driver.is_sequential:
                 path = _cell_delay(driver, device) + wire
             else:

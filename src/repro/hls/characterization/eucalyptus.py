@@ -15,9 +15,10 @@ resource counts become :class:`ComponentRecord` entries, exported as XML.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Callable, Iterable, List, Optional, Tuple
+from dataclasses import asdict, dataclass
+from typing import Any, Callable, Dict, Iterable, List, Optional, Tuple
 
+from ...cache import FlowCache, content_key, device_fingerprint
 from ...exec.engine import ExecError, ExecutionReport, ParallelEngine
 from ...fabric.device import Device, NG_ULTRA
 from ...fabric.nxmap import NXmapProject
@@ -54,24 +55,58 @@ class CharacterizationRun:
             stages=self.stages, delay_ns=self.delay_ns, luts=self.luts,
             ffs=self.ffs, dsps=self.dsps, brams=self.brams)
 
+    def to_json(self) -> Dict[str, Any]:
+        return asdict(self)
+
+    @classmethod
+    def from_json(cls, payload: Dict[str, Any]) -> "CharacterizationRun":
+        return cls(**{name: payload[name]
+                      for name in ("component", "width", "stages",
+                                   "delay_ns", "luts", "ffs", "dsps",
+                                   "brams", "wirelength")})
+
+    def summary(self) -> str:
+        return (f"{self.component}/w{self.width}/s{self.stages}: "
+                f"{self.delay_ns:.3f} ns, {self.luts} LUTs, "
+                f"{self.ffs} FFs, {self.dsps} DSPs, {self.brams} BRAMs")
+
 
 class Eucalyptus:
     """Drives characterization sweeps over the fabric flow."""
 
     def __init__(self, device: Device = NG_ULTRA, seed: int = 7,
                  effort: float = 0.3,
-                 tracer: Optional[Tracer] = None) -> None:
+                 tracer: Optional[Tracer] = None,
+                 cache: Optional[FlowCache] = None) -> None:
         self.device = device
         self.seed = seed
         self.effort = effort
         self.tracer = tracer
+        self.cache = cache
         self.runs: List[CharacterizationRun] = []
         self.last_sweep_report: Optional[ExecutionReport] = None
 
+    def _config_key(self, component: str, width: int, stages: int) -> str:
+        """Content key of one configuration (requested, not effective)."""
+        return content_key("characterize", {
+            "device": device_fingerprint(self.device),
+            "seed": self.seed, "effort": self.effort,
+            "component": component, "width": width, "stages": stages})
+
     def characterize_one(self, component: str, width: int,
                          stages: int = 0) -> CharacterizationRun:
-        run = self._characterize(component, width, stages,
-                                 tracer=self.tracer)
+        if self.cache is not None:
+            key = self._config_key(component, width, stages)
+            hit, run = self.cache.get("characterize", key,
+                                      CharacterizationRun.from_json)
+            if not hit:
+                run = self._characterize(component, width, stages,
+                                         tracer=self.tracer)
+                self.cache.put("characterize", key, run,
+                               CharacterizationRun.to_json)
+        else:
+            run = self._characterize(component, width, stages,
+                                     tracer=self.tracer)
         self.runs.append(run)
         return run
 
@@ -147,24 +182,52 @@ class Eucalyptus:
         """
         configs = self.configurations(components, widths, stages)
 
+        # Cache lookups (and later stores) happen parent-side: worker
+        # threads/processes never touch the cache, so there are no
+        # lost-update races and fork backends need no shared state.
+        found: Dict[int, CharacterizationRun] = {}
+        missing: List[int] = []
+        if self.cache is not None:
+            for index, (component, width, stage) in enumerate(configs):
+                hit, value = self.cache.get(
+                    "characterize", self._config_key(component, width,
+                                                     stage),
+                    CharacterizationRun.from_json)
+                if hit:
+                    found[index] = value
+                else:
+                    missing.append(index)
+        else:
+            missing = list(range(len(configs)))
+
         def characterize_config(index: int, _run_seed: int
                                 ) -> CharacterizationRun:
-            component, width, stage = configs[index]
+            component, width, stage = configs[missing[index]]
             return self._characterize(component, width, stage)
 
         engine = ParallelEngine(jobs=jobs, backend=backend,
                                 timeout_s=timeout_s, retries=retries,
                                 progress=progress, tracer=self.tracer)
-        report = engine.map_seeded(characterize_config, len(configs),
+        report = engine.map_seeded(characterize_config, len(missing),
                                    self.seed)
         self.last_sweep_report = report
         failures = report.failures
         if failures:
             first = failures[0]
             raise ExecError(
-                f"characterization of {configs[first.index]} failed "
-                f"after {first.attempts} attempt(s): {first.error}")
-        results = [run_result.value for run_result in report.results]
+                f"characterization of {configs[missing[first.index]]} "
+                f"failed after {first.attempts} attempt(s): {first.error}")
+        computed = [run_result.value for run_result in report.results]
+        if self.cache is not None:
+            for position, index in enumerate(missing):
+                component, width, stage = configs[index]
+                self.cache.put(
+                    "characterize",
+                    self._config_key(component, width, stage),
+                    computed[position], CharacterizationRun.to_json)
+        for position, index in enumerate(missing):
+            found[index] = computed[position]
+        results = [found[index] for index in range(len(configs))]
         if self.tracer is not None:
             self._emit_telemetry(configs, results)
         self.runs.extend(results)

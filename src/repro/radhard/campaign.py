@@ -18,8 +18,9 @@ from __future__ import annotations
 
 import random
 from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Optional
+from typing import Any, Callable, Dict, List, Optional
 
+from ..cache import FlowCache, content_key
 from ..exec.engine import ParallelEngine
 from ..exec.metrics import LatencyStats
 from ..telemetry import Tracer
@@ -88,6 +89,45 @@ class CampaignReport:
                 f"jobs={self.jobs:<3} wall={self.wall_s:.3f}s  "
                 f"{self.latency.summary()}")
 
+    def summary(self) -> str:
+        """One-line report summary (the :class:`~repro.core.Report`
+        protocol method; same text as the legacy ``summary_row``)."""
+        return self.summary_row()
+
+    def to_json(self) -> Dict[str, Any]:
+        return {
+            "name": self.name,
+            "runs": self.runs,
+            "upsets_per_run": self.upsets_per_run,
+            "counts": {o: self.counts[o]
+                       for o in OUTCOMES if o in self.counts},
+            "results": [{"run": r.run, "outcome": r.outcome,
+                         "description": r.description}
+                        for r in self.results],
+            "backend": self.backend,
+            "jobs": self.jobs,
+            "wall_s": self.wall_s,
+            "retried_runs": self.retried_runs,
+            "latency": self.latency.to_json(),
+        }
+
+    @classmethod
+    def from_json(cls, payload: Dict[str, Any]) -> "CampaignReport":
+        return cls(
+            name=payload["name"],
+            runs=payload["runs"],
+            upsets_per_run=payload["upsets_per_run"],
+            counts=dict(payload["counts"]),
+            results=[InjectionResult(run=r["run"], outcome=r["outcome"],
+                                     description=r["description"])
+                     for r in payload["results"]],
+            backend=payload["backend"],
+            jobs=payload["jobs"],
+            wall_s=payload["wall_s"],
+            retried_runs=payload["retried_runs"],
+            latency=LatencyStats.from_json(payload["latency"]),
+        )
+
 
 class Campaign:
     """Runs a fault-injection campaign.
@@ -107,12 +147,25 @@ class Campaign:
                  setup: Callable[[], object],
                  inject: Callable[[object, random.Random], str],
                  evaluate: Callable[[object], str],
-                 upsets_per_run: int = 1) -> None:
+                 upsets_per_run: int = 1,
+                 scenario_params: Optional[Dict[str, Any]] = None) -> None:
         self.name = name
         self.setup = setup
         self.inject = inject
         self.evaluate = evaluate
         self.upsets_per_run = upsets_per_run
+        # Parameters that shaped the scenario closures (word counts,
+        # dwell times...).  Campaign names alone don't encode them, so
+        # they must be part of the content-addressed cache key.
+        self.scenario_params = dict(scenario_params or {})
+
+    def cache_key(self, runs: int, seed: int) -> str:
+        """Content key of one campaign execution's report."""
+        return content_key("radhard", {
+            "scenario": self.name,
+            "params": self.scenario_params,
+            "upsets_per_run": self.upsets_per_run,
+            "runs": runs, "seed": seed})
 
     def _one_run(self, index: int, run_seed: int) -> tuple:
         rng = random.Random(run_seed)
@@ -129,7 +182,8 @@ class Campaign:
             backend: str = "auto", timeout_s: Optional[float] = None,
             retries: int = 0,
             progress: Optional[Callable[[int, int], None]] = None,
-            tracer: Optional[Tracer] = None) -> CampaignReport:
+            tracer: Optional[Tracer] = None,
+            cache: Optional[FlowCache] = None) -> CampaignReport:
         """Execute ``runs`` injection runs, optionally in parallel.
 
         A run whose callbacks raise or overrun ``timeout_s`` is retried
@@ -139,7 +193,21 @@ class Campaign:
         records per-run injection/outcome spans and mitigation tallies,
         derived from the merged run-ordered report so the trace is
         identical at any job count.
+
+        ``cache`` keys the whole report on (scenario, params, upsets,
+        runs, seed) — the execution accounting (backend/jobs/wall time)
+        is restored from the cold run, so warm output is byte-identical
+        to the run that populated the cache.
         """
+        key = None
+        if cache is not None:
+            key = self.cache_key(runs, seed)
+            hit, cached = cache.get("radhard", key,
+                                    CampaignReport.from_json)
+            if hit:
+                if tracer is not None:
+                    self._emit_telemetry(tracer, cached)
+                return cached
         engine = ParallelEngine(jobs=jobs, backend=backend,
                                 timeout_s=timeout_s, retries=retries,
                                 progress=progress,
@@ -162,6 +230,8 @@ class Campaign:
                                      description=description)
             report.results.append(result)
             report.counts[outcome] = report.counts.get(outcome, 0) + 1
+        if cache is not None and key is not None:
+            cache.put("radhard", key, report, CampaignReport.to_json)
         if tracer is not None:
             self._emit_telemetry(tracer, report)
         return report

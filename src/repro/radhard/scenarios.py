@@ -45,7 +45,8 @@ def raw_sram_campaign(words: int = DEFAULT_WORDS) -> Campaign:
     def evaluate(memory):
         return "masked" if memory == golden else "sdc"
 
-    return Campaign("unprotected SRAM", setup, inject, evaluate)
+    return Campaign("unprotected SRAM", setup, inject, evaluate,
+                    scenario_params={"words": words})
 
 
 def ecc_campaign(words: int = DEFAULT_WORDS, upsets: int = 1) -> Campaign:
@@ -73,7 +74,8 @@ def ecc_campaign(words: int = DEFAULT_WORDS, upsets: int = 1) -> Campaign:
         return "corrected" if memory.stats.corrected else "masked"
 
     name = f"ECC SECDED ({upsets} upset{'s' if upsets > 1 else ''})"
-    return Campaign(name, setup, inject, evaluate, upsets_per_run=1)
+    return Campaign(name, setup, inject, evaluate, upsets_per_run=1,
+                    scenario_params={"words": words, "upsets": upsets})
 
 
 def tmr_campaign(words: int = DEFAULT_WORDS) -> Campaign:
@@ -96,7 +98,8 @@ def tmr_campaign(words: int = DEFAULT_WORDS) -> Campaign:
             return "sdc"
         return "corrected" if memory.stats.corrected_votes else "masked"
 
-    return Campaign("TMR memory", setup, inject, evaluate)
+    return Campaign("TMR memory", setup, inject, evaluate,
+                    scenario_params={"words": words})
 
 
 def beam_campaign(words: int = DEFAULT_WORDS,
@@ -114,7 +117,8 @@ def beam_campaign(words: int = DEFAULT_WORDS,
         return base.evaluate(memory)
 
     return Campaign(f"beam fixture (dwell {dwell_s * 1e3:.1f}ms)",
-                    base.setup, base.inject, evaluate)
+                    base.setup, base.inject, evaluate,
+                    scenario_params={"words": words, "dwell_s": dwell_s})
 
 
 def memory_scenarios(words: int = DEFAULT_WORDS) -> List[Campaign]:

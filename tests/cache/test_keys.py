@@ -1,0 +1,90 @@
+"""Canonical hashing: the same logical inputs always land on one key."""
+
+import dataclasses
+
+import pytest
+
+from repro.cache import (
+    CacheKeyError,
+    canonical_json,
+    canonicalize,
+    content_key,
+    device_fingerprint,
+    netlist_fingerprint,
+)
+from repro.fabric.device import NG_MEDIUM, scaled_device
+from repro.fabric.synthesis import synthesize_component
+
+
+class TestCanonicalize:
+    def test_scalars_pass_through(self):
+        for value in (None, True, 3, 2.5, "text"):
+            assert canonicalize(value) == value
+
+    def test_dict_order_is_irrelevant(self):
+        a = {"x": 1, "y": {"b": 2, "a": 3}}
+        b = {"y": {"a": 3, "b": 2}, "x": 1}
+        assert canonical_json(a) == canonical_json(b)
+
+    def test_tuple_and_list_agree(self):
+        assert canonical_json((1, 2, 3)) == canonical_json([1, 2, 3])
+
+    def test_sets_are_sorted(self):
+        assert canonical_json({3, 1, 2}) == canonical_json([1, 2, 3])
+
+    def test_bytes_become_hex(self):
+        assert canonicalize(b"\x01\xff") == "01ff"
+        assert canonicalize(bytearray(b"\x01\xff")) == "01ff"
+
+    def test_dataclasses_canonicalize_as_fields(self):
+        @dataclasses.dataclass
+        class Options:
+            effort: float
+            name: str
+
+        assert canonical_json(Options(0.3, "x")) == \
+            canonical_json({"effort": 0.3, "name": "x"})
+
+    def test_unhashable_material_raises(self):
+        with pytest.raises(CacheKeyError):
+            canonicalize(object())
+
+
+class TestContentKey:
+    def test_stable_across_dict_ordering(self):
+        key_a = content_key("hls", {"source": "int f;", "opt": 2})
+        key_b = content_key("hls", {"opt": 2, "source": "int f;"})
+        assert key_a == key_b
+
+    def test_layer_namespaces_keys(self):
+        material = {"source": "int f;"}
+        assert content_key("hls", material) != \
+            content_key("fabric", material)
+
+    def test_material_change_changes_key(self):
+        base = content_key("hls", {"source": "int f;", "opt": 2})
+        assert content_key("hls", {"source": "int f;", "opt": 3}) != base
+
+    def test_salt_invalidates_wholesale(self):
+        material = {"source": "int f;"}
+        assert content_key("hls", material, salt="v1") != \
+            content_key("hls", material, salt="v2")
+
+
+class TestDomainFingerprints:
+    def test_netlist_fingerprint_ignores_name(self):
+        a = synthesize_component("addsub", 8)
+        b = synthesize_component("addsub", 8)
+        b.name = "renamed"
+        assert netlist_fingerprint(a) == netlist_fingerprint(b)
+
+    def test_netlist_fingerprint_sees_content(self):
+        assert netlist_fingerprint(synthesize_component("addsub", 8)) != \
+            netlist_fingerprint(synthesize_component("addsub", 16))
+
+    def test_device_fingerprint_sees_parameters(self):
+        small = scaled_device(NG_MEDIUM, "A", 1024)
+        other = scaled_device(NG_MEDIUM, "A", 2048)
+        assert device_fingerprint(small) != device_fingerprint(other)
+        assert device_fingerprint(small) == \
+            device_fingerprint(scaled_device(NG_MEDIUM, "A", 1024))

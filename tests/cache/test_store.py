@@ -1,0 +1,146 @@
+"""Store tiers: LRU bounds, size eviction, corruption tolerance."""
+
+import json
+
+import pytest
+
+from repro.cache import (
+    CacheStoreError,
+    DiskStore,
+    FlowCache,
+    MemoryLRU,
+)
+from repro.telemetry import Tracer
+
+
+class TestMemoryLRU:
+    def test_get_put_roundtrip(self):
+        lru = MemoryLRU(max_entries=4)
+        lru.put("k", {"v": 1})
+        hit, value = lru.get("k")
+        assert hit and value == {"v": 1}
+        assert lru.get("missing") == (False, None)
+
+    def test_least_recently_used_leaves_first(self):
+        lru = MemoryLRU(max_entries=2)
+        lru.put("a", 1)
+        lru.put("b", 2)
+        lru.get("a")            # refresh a; b is now the victim
+        evicted = lru.put("c", 3)
+        assert evicted == 1
+        assert lru.get("b") == (False, None)
+        assert lru.get("a") == (True, 1)
+
+    def test_rejects_nonpositive_bound(self):
+        with pytest.raises(CacheStoreError):
+            MemoryLRU(max_entries=0)
+
+
+class TestDiskStore:
+    def test_roundtrip_survives_reopen(self, tmp_path):
+        store = DiskStore(tmp_path / "cache")
+        store.put("k1", {"x": 1}, layer="fabric")
+        reopened = DiskStore(tmp_path / "cache")
+        assert reopened.get("k1", "fabric") == {"x": 1}
+
+    def test_size_bound_evicts_lru(self, tmp_path):
+        store = DiskStore(tmp_path / "cache", max_bytes=220)
+        store.put("a", {"pad": "x" * 64})
+        store.put("b", {"pad": "y" * 64})
+        store.get("a")          # refresh a; b becomes the LRU victim
+        store.put("c", {"pad": "z" * 64})
+        assert store.get("b") is None
+        assert store.get("a") is not None
+        assert store.total_bytes() <= 220
+
+    def test_corrupt_object_is_a_miss_and_dropped(self, tmp_path):
+        store = DiskStore(tmp_path / "cache")
+        store.put("k1", {"x": 1})
+        object_path = tmp_path / "cache" / "objects" / "k1.json"
+        object_path.write_text("{not json")
+        assert store.get("k1") is None
+        assert not object_path.exists()
+        assert store.entry_count() == 0
+
+    def test_corrupt_index_is_rebuilt_from_objects(self, tmp_path):
+        store = DiskStore(tmp_path / "cache")
+        store.put("k1", {"x": 1})
+        (tmp_path / "cache" / "index.json").write_text("garbage")
+        reopened = DiskStore(tmp_path / "cache")
+        assert reopened.get("k1") == {"x": 1}
+
+    def test_stats_persist_across_processes(self, tmp_path):
+        store = DiskStore(tmp_path / "cache")
+        store.put("k1", {"x": 1}, layer="radhard")
+        store.get("k1", "radhard")
+        store.get("nope", "radhard")
+        stats = DiskStore(tmp_path / "cache").stats()
+        assert stats["radhard"]["hits"] == 1
+        assert stats["radhard"]["misses"] == 1
+        assert stats["radhard"]["stores"] == 1
+
+    def test_clear_removes_everything(self, tmp_path):
+        store = DiskStore(tmp_path / "cache")
+        store.put("k1", {"x": 1})
+        store.put("k2", {"x": 2})
+        assert store.clear() == 2
+        assert store.entry_count() == 0
+        assert store.get("k1") is None
+
+    def test_gc_drops_orphans_and_missing(self, tmp_path):
+        store = DiskStore(tmp_path / "cache")
+        store.put("k1", {"x": 1})
+        store.put("k2", {"x": 2})
+        (tmp_path / "cache" / "objects" / "k1.json").unlink()
+        (tmp_path / "cache" / "objects" / "orphan.json").write_text("{}")
+        removed = store.gc()
+        assert removed == 1
+        assert store.get("k2") is not None
+        assert not (tmp_path / "cache" / "objects" / "orphan.json").exists()
+
+
+class TestFlowCache:
+    def test_memory_then_disk_lookup(self, tmp_path):
+        cache = FlowCache(directory=tmp_path / "cache")
+        cache.put("fabric", "k", {"v": 7}, encoder=lambda v: v)
+        # A fresh cache over the same directory warm-starts from disk.
+        warm = FlowCache(directory=tmp_path / "cache")
+        hit, value = warm.get("fabric", "k", decoder=lambda p: p)
+        assert hit and value == {"v": 7}
+
+    def test_counters_reach_the_tracer(self, tmp_path):
+        tracer = Tracer()
+        cache = FlowCache(directory=tmp_path / "cache", tracer=tracer)
+        cache.get("fabric", "missing", decoder=lambda p: p)
+        cache.put("fabric", "k", {"v": 1}, encoder=lambda v: v)
+        cache.get("fabric", "k", decoder=lambda p: p)
+        names = {c.name for c in tracer.counters.values()}
+        assert "cache.miss.fabric" in names
+        assert "cache.hit.fabric" in names
+        assert cache.hit_count("fabric") == 1
+        assert cache.stats["fabric"].misses == 1
+
+    def test_decoder_failure_is_a_miss(self, tmp_path):
+        cache = FlowCache(directory=tmp_path / "cache")
+        cache.disk.put("bad", {"schema": "old"}, "fabric")
+
+        def decoder(payload):
+            raise KeyError("schema")
+
+        hit, value = cache.get("fabric", "bad", decoder=decoder)
+        assert not hit and value is None
+
+    def test_memoryless_values_stay_in_memory(self, tmp_path):
+        cache = FlowCache(directory=tmp_path / "cache")
+        opaque = object()       # no encoder: memory-tier only
+        cache.put("hls", "k", opaque)
+        assert cache.get("hls", "k") == (True, opaque)
+        assert cache.disk.get("k", "hls") is None
+        # json artifacts on disk: only what was encoded
+        assert cache.disk.entry_count() == 0
+
+    def test_summary_text(self):
+        cache = FlowCache()
+        assert cache.summary() == "cache idle"
+        cache.get("hls", "k")
+        assert "miss" in cache.summary()

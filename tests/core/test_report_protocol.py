@@ -1,0 +1,81 @@
+"""Report protocol conformance across every flow's result type."""
+
+import json
+
+import pytest
+
+from repro.boot import BootReport, StepStatus
+from repro.core.report import Report, report_json_text
+from repro.fabric.device import NG_MEDIUM, scaled_device
+from repro.fabric.nxmap import FlowReport, NXmapProject
+from repro.fabric.synthesis import synthesize_component
+from repro.hls.characterization.eucalyptus import (
+    CharacterizationRun,
+    Eucalyptus,
+)
+from repro.radhard import memory_scenarios
+from repro.radhard.campaign import CampaignReport
+
+
+def small_device():
+    return scaled_device(NG_MEDIUM, "NG-MEDIUM-REPORT", 2048)
+
+
+@pytest.fixture(scope="module")
+def reports():
+    flow = NXmapProject(synthesize_component("addsub", 8),
+                        small_device(), seed=1).run_all()
+    campaign = memory_scenarios(words=16)[0].run(20, seed=7)
+    run = Eucalyptus(device=small_device(), effort=0.1).sweep(
+        components=["addsub"], widths=(8,))[0]
+    boot = BootReport(stage="BL1", boot_source="flash")
+    boot.record("load_bl2", StepStatus.OK, 1200)
+    boot.record("verify_crc", StepStatus.RECOVERED, 300, "copy 1")
+    return [flow, campaign, run, boot]
+
+
+class TestProtocolConformance:
+    def test_every_flow_result_is_a_report(self, reports):
+        for report in reports:
+            assert isinstance(report, Report), type(report).__name__
+
+    def test_to_json_is_json_serializable(self, reports):
+        for report in reports:
+            json.dumps(report.to_json())
+
+    def test_summary_is_one_line(self, reports):
+        for report in reports:
+            text = report.summary()
+            assert text and isinstance(text, str)
+            assert "\n" not in text
+
+    def test_report_json_text_is_byte_stable(self, reports):
+        for report in reports:
+            assert report_json_text(report) == report_json_text(report)
+
+
+class TestRoundTrips:
+    def test_flow_report(self):
+        report = NXmapProject(synthesize_component("addsub", 8),
+                              small_device(), seed=1).run_all()
+        clone = FlowReport.from_json(report.to_json())
+        assert report_json_text(clone) == report_json_text(report)
+
+    def test_campaign_report(self):
+        report = memory_scenarios(words=16)[0].run(20, seed=7)
+        clone = CampaignReport.from_json(report.to_json())
+        assert report_json_text(clone) == report_json_text(report)
+
+    def test_characterization_run(self):
+        run = Eucalyptus(device=small_device(), effort=0.1).sweep(
+            components=["addsub"], widths=(8,))[0]
+        clone = CharacterizationRun.from_json(run.to_json())
+        assert report_json_text(clone) == report_json_text(run)
+
+    def test_boot_report(self):
+        report = BootReport(stage="BL1", boot_source="flash")
+        report.record("load_bl2", StepStatus.OK, 1200)
+        report.record("verify_crc", StepStatus.FAILED, 300, "both copies")
+        clone = BootReport.from_json(report.to_json())
+        assert report_json_text(clone) == report_json_text(report)
+        assert "FAILED" in clone.summary()

@@ -198,8 +198,9 @@ class TestRouting:
 class TestTiming:
     def test_critical_path_positive(self):
         netlist = synthesize_component("addsub", 16)
-        place(netlist, small_device(), seed=5)
-        report = analyze_timing(netlist, small_device())
+        placement = place(netlist, small_device(), seed=5)
+        report = analyze_timing(netlist, small_device(),
+                                locations=placement.locations)
         assert report.critical_path_ns > 0
         assert report.fmax_mhz > 0
 
@@ -207,40 +208,56 @@ class TestTiming:
         device = small_device()
         n8 = synthesize_component("addsub", 8)
         n32 = synthesize_component("addsub", 32)
-        place(n8, device, seed=5)
-        place(n32, device, seed=5)
-        t8 = analyze_timing(n8, device)
-        t32 = analyze_timing(n32, device)
+        p8 = place(n8, device, seed=5)
+        p32 = place(n32, device, seed=5)
+        t8 = analyze_timing(n8, device, locations=p8.locations)
+        t32 = analyze_timing(n32, device, locations=p32.locations)
         assert t32.critical_path_ns > t8.critical_path_ns
 
     def test_ng_ultra_faster_than_legacy(self):
         netlist = synthesize_component("addsub", 32)
         device = small_device()
-        place(netlist, device, seed=5)
-        t_ultra = analyze_timing(netlist, device)
+        placement = place(netlist, device, seed=5)
+        t_ultra = analyze_timing(netlist, device,
+                                 locations=placement.locations)
         legacy_small = scaled_device(LEGACY_RADHARD, "LEGACY-TEST", 4096)
-        t_legacy = analyze_timing(netlist, legacy_small)
+        t_legacy = analyze_timing(netlist, legacy_small,
+                                  locations=placement.locations)
         assert t_ultra.critical_path_ns < t_legacy.critical_path_ns
 
     def test_slack_against_target(self):
         netlist = synthesize_component("logic", 8)
-        place(netlist, small_device(), seed=5)
+        placement = place(netlist, small_device(), seed=5)
         report = analyze_timing(netlist, small_device(),
-                                target_clock_ns=100.0)
+                                target_clock_ns=100.0,
+                                locations=placement.locations)
         assert report.timing_met
         tight = analyze_timing(netlist, small_device(),
-                               target_clock_ns=0.01)
+                               target_clock_ns=0.01,
+                               locations=placement.locations)
         assert not tight.timing_met
 
     def test_pipelining_shortens_path(self):
         device = small_device()
         comb = synthesize_component("addsub", 64, stages=0)
         piped = synthesize_component("addsub", 64, stages=2)
-        place(comb, device, seed=5)
-        place(piped, device, seed=5)
-        t_comb = analyze_timing(comb, device)
-        t_piped = analyze_timing(piped, device)
+        p_comb = place(comb, device, seed=5)
+        p_piped = place(piped, device, seed=5)
+        t_comb = analyze_timing(comb, device, locations=p_comb.locations)
+        t_piped = analyze_timing(piped, device,
+                                 locations=p_piped.locations)
         assert t_piped.critical_path_ns <= t_comb.critical_path_ns
+
+    def test_place_does_not_mutate_netlist(self):
+        """Placement must not annotate cells (stage-purity contract)."""
+        netlist = synthesize_component("addsub", 16)
+        before = {name: cell.location
+                  for name, cell in netlist.cells.items()}
+        place(netlist, small_device(), seed=5)
+        after = {name: cell.location
+                 for name, cell in netlist.cells.items()}
+        assert before == after
+        assert all(location is None for location in after.values())
 
 
 class TestBitstream:

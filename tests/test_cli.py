@@ -101,6 +101,67 @@ class TestCliTrace:
             main(["trace", "warp-drive"])
 
 
+class TestCliCache:
+    def test_seu_cold_then_warm_json_identical(self, tmp_path, capsys):
+        cache_dir = tmp_path / "cache"
+        cold = tmp_path / "cold.json"
+        warm = tmp_path / "warm.json"
+        args = ["seu", "--runs", "30", "--words", "16",
+                "--cache-dir", str(cache_dir)]
+        assert main(args + ["--json", str(cold)]) == 0
+        assert main(args + ["--json", str(warm)]) == 0
+        assert cold.read_bytes() == warm.read_bytes()
+        err = capsys.readouterr().err
+        assert "cache:" in err and "hit" in err
+
+    def test_characterize_cold_then_warm_identical(self, tmp_path,
+                                                   capsys):
+        cache_dir = tmp_path / "cache"
+        args = ["characterize", "--components", "addsub",
+                "--widths", "8", "--effort", "0.1",
+                "--cache-dir", str(cache_dir)]
+        cold_out = tmp_path / "cold.xml"
+        warm_out = tmp_path / "warm.xml"
+        cold_json = tmp_path / "cold.json"
+        warm_json = tmp_path / "warm.json"
+        assert main(args + ["--out", str(cold_out),
+                            "--json", str(cold_json)]) == 0
+        assert main(args + ["--out", str(warm_out),
+                            "--json", str(warm_json)]) == 0
+        assert cold_out.read_bytes() == warm_out.read_bytes()
+        assert cold_json.read_bytes() == warm_json.read_bytes()
+
+    def test_cache_stats_clear_gc(self, tmp_path, capsys):
+        import json
+        cache_dir = tmp_path / "cache"
+        assert main(["seu", "--runs", "20", "--words", "16",
+                     "--cache-dir", str(cache_dir)]) == 0
+        capsys.readouterr()
+        assert main(["cache", "stats", "--cache-dir",
+                     str(cache_dir)]) == 0
+        stats = json.loads(capsys.readouterr().out)
+        assert stats["entries"] > 0
+        assert stats["layers"]["radhard"]["stores"] > 0
+        assert main(["cache", "gc", "--cache-dir", str(cache_dir)]) == 0
+        assert main(["cache", "clear", "--cache-dir",
+                     str(cache_dir)]) == 0
+        capsys.readouterr()
+        assert main(["cache", "stats", "--cache-dir",
+                     str(cache_dir)]) == 0
+        stats = json.loads(capsys.readouterr().out)
+        assert stats["entries"] == 0
+
+    def test_no_cache_is_the_default(self, tmp_path, capsys):
+        assert main(["seu", "--runs", "20", "--words", "16"]) == 0
+        assert "cache:" not in capsys.readouterr().err
+
+    def test_hls_cache_flag(self, tmp_path, capsys):
+        source = tmp_path / "kernel.c"
+        source.write_text("int triple(int x) { return x * 3; }\n")
+        assert main(["hls", str(source), "--top", "triple",
+                     "--cache"]) == 0
+
+
 class TestCliParser:
     def test_requires_subcommand(self):
         with pytest.raises(SystemExit):
