@@ -19,15 +19,15 @@ from .nxmap import (
     PowerReport,
     generate_backend_script,
 )
-from .placement import PlacementResult, place
-from .routing import RoutingResult, route
+from .placement import PLACE_KERNEL_VERSION, PlacementResult, place
+from .routing import ROUTE_KERNEL_VERSION, RoutingResult, route
 from .synthesis import (
     SynthesisError,
     supported_components,
     synthesize_component,
     synthesize_design,
 )
-from .timing import TimingReport, analyze_timing
+from .timing import STA_KERNEL_VERSION, TimingReport, analyze_timing
 
 __all__ = [
     "Bitstream", "Frame", "generate_bitstream",
@@ -36,8 +36,9 @@ __all__ = [
     "BRAM", "CARRY", "DFF", "DSP", "IOB", "LUT4", "Cell", "Net", "Netlist",
     "FlowError", "FlowReport", "NXmapProject", "PowerReport",
     "generate_backend_script",
-    "PlacementResult", "place",
-    "RoutingResult", "route",
+    "PLACE_KERNEL_VERSION", "PlacementResult", "place",
+    "ROUTE_KERNEL_VERSION", "RoutingResult", "route",
+    "STA_KERNEL_VERSION",
     "SynthesisError", "supported_components", "synthesize_component",
     "synthesize_design",
     "TimingReport", "analyze_timing",

@@ -21,9 +21,20 @@ from ..telemetry import Tracer
 from .bitstream import Bitstream, generate_bitstream
 from .device import Device, get_device
 from .netlist import Netlist
-from .placement import PlacementResult, place
-from .routing import RoutingResult, route
-from .timing import TimingReport, analyze_timing
+from .placement import PLACE_KERNEL_VERSION, PlacementResult, place
+from .routing import ROUTE_KERNEL_VERSION, RoutingResult, route
+from .timing import STA_KERNEL_VERSION, TimingReport, analyze_timing
+
+#: Per-stage kernel versions folded into the stage cache keys.  When a
+#: kernel's algorithm changes (and so its results for identical inputs),
+#: bumping its version constant retires every cached artifact produced by
+#: the older kernel — downstream stages chain off the parent key, so a
+#: place-kernel bump also invalidates cached routes/STA/bitstreams.
+_KERNEL_VERSIONS: Dict[str, int] = {
+    "place": PLACE_KERNEL_VERSION,
+    "route": ROUTE_KERNEL_VERSION,
+    "sta": STA_KERNEL_VERSION,
+}
 
 
 class FlowError(Exception):
@@ -152,6 +163,9 @@ class NXmapProject:
         """Key for one stage: parent stage's key + this stage's options."""
         material: Dict[str, Any] = {"stage": stage, "parent": parent,
                                     "options": options}
+        version = _KERNEL_VERSIONS.get(stage)
+        if version is not None:
+            material["kernel"] = version
         if parent is None:
             material["base"] = self._base()
         return content_key("fabric", material)
@@ -196,11 +210,18 @@ class NXmapProject:
             self.placement = self._cached(
                 "place", key, PlacementResult.from_json,
                 lambda: place(self.netlist, self.device,
-                              seed=self.seed, effort=effort),
+                              seed=self.seed, effort=effort,
+                              tracer=self.tracer),
                 PlacementResult.to_json)
             if span is not None:
                 span.attributes["hpwl"] = round(self.placement.hpwl, 3)
                 span.attributes["iterations"] = self.placement.iterations
+                moves = self.placement.stats.get("moves", 0)
+                if moves:
+                    span.attributes["accept_rate"] = round(
+                        self.placement.stats.get("accepted", 0) / moves, 4)
+                    span.attributes["bbox_rescans"] = \
+                        self.placement.stats.get("rescans", 0)
         self._place_key = key
         return self.placement
 
@@ -215,12 +236,17 @@ class NXmapProject:
                 "route", key, RoutingResult.from_json,
                 lambda: route(self.netlist, self.placement.locations,
                               self.placement.grid,
-                              channel_width=channel_width),
+                              channel_width=channel_width,
+                              tracer=self.tracer),
                 RoutingResult.to_json)
             if span is not None:
                 span.attributes["wirelength"] = self.routing.wirelength
                 span.attributes["overflow_edges"] = \
                     self.routing.overflow_edges
+                span.attributes["expanded_nodes"] = \
+                    self.routing.expanded_nodes
+                span.attributes["ripped_connections"] = \
+                    self.routing.ripped_connections
         self._route_key = key
         return self.routing
 

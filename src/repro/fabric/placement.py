@@ -5,21 +5,39 @@ the same number of flip-flops; DSP and BRAM macros live in dedicated
 columns (every 8th / 12th column), mirroring a column-based FPGA
 floorplan.  The cost function is the half-perimeter wirelength (HPWL)
 summed over nets, the classic VPR-style objective.
+
+The annealer is *incremental* (PR 5): per-net bounding boxes carry
+pin-count-at-extreme bookkeeping so a move is an O(1) delta in the
+common case, falling back to an O(pins) rescan only when the last pin at
+an extreme moves inward; free sites come from per-site-class free-lists
+(no rejection sampling); and moves are VPR-style range-limited, with a
+window that shrinks as the temperature drops.  Results stay
+deterministic per seed; ``PLACE_KERNEL_VERSION`` salts the flow-cache
+stage key so artifacts of older kernels are never served.
 """
 
 from __future__ import annotations
 
 import math
 import random
-from dataclasses import dataclass
-from typing import Dict, List, Tuple
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
 
+from ..telemetry import Tracer
 from .device import Device, LUTS_PER_TILE
 from .netlist import BRAM, CARRY, DFF, DSP, IOB, LUT4, Netlist
 
 _LUT_CLASS = {LUT4, CARRY, IOB}
 _DSP_COLUMN_STRIDE = 8
 _BRAM_COLUMN_STRIDE = 12
+
+#: Bumped whenever the placement algorithm changes its results; part of
+#: the flow-cache stage key (see ``NXmapProject._stage_key``), so stale
+#: cached placements from an older kernel can never be returned.
+PLACE_KERNEL_VERSION = 2
+
+#: Window samples attempted before falling back to the global free-list.
+_WINDOW_TRIES = 8
 
 
 class PlacementError(Exception):
@@ -33,6 +51,10 @@ class PlacementResult:
     initial_hpwl: float
     iterations: int
     grid: Tuple[int, int]
+    # Annealer instrumentation: moves accepted, bbox rescan fallbacks,
+    # window-sample fallbacks (see the telemetry counters of the same
+    # names).  Serialized so warm cache hits report identical evidence.
+    stats: Dict[str, int] = field(default_factory=dict)
 
     @property
     def improvement(self) -> float:
@@ -48,6 +70,7 @@ class PlacementResult:
             "initial_hpwl": self.initial_hpwl,
             "iterations": self.iterations,
             "grid": list(self.grid),
+            "stats": dict(sorted(self.stats.items())),
         }
 
     @classmethod
@@ -59,6 +82,7 @@ class PlacementResult:
             initial_hpwl=payload["initial_hpwl"],
             iterations=payload["iterations"],
             grid=(int(payload["grid"][0]), int(payload["grid"][1])),
+            stats=dict(payload.get("stats", {})),
         )
 
 
@@ -125,13 +149,84 @@ class _Grid:
                  "macro": self.macro_used}[cls]
         table[tile] -= 1
 
-    def random_tile(self, kind: str, rng: random.Random) -> Tuple[int, int]:
-        for _ in range(200):
-            col = rng.randrange(self.cols)
-            row = rng.randrange(self.rows)
-            if self.capacity_left(kind, (col, row)):
-                return (col, row)
-        raise PlacementError("no free site found (grid saturated)")
+
+class _FreeList:
+    """O(1) uniform sampling over the tiles with free capacity.
+
+    Replaces the old 200-try rejection sampler: a tile leaves the list
+    when it fills up (swap-pop) and returns when a site frees, so a draw
+    is always a single ``randrange``.
+    """
+
+    __slots__ = ("items", "pos")
+
+    def __init__(self, tiles: List[Tuple[int, int]]) -> None:
+        self.items: List[Tuple[int, int]] = list(tiles)
+        self.pos: Dict[Tuple[int, int], int] = {
+            tile: index for index, tile in enumerate(self.items)}
+
+    def sample(self, rng: random.Random) -> Optional[Tuple[int, int]]:
+        if not self.items:
+            return None
+        return self.items[rng.randrange(len(self.items))]
+
+    def remove(self, tile: Tuple[int, int]) -> None:
+        index = self.pos.pop(tile)
+        last = self.items.pop()
+        if last != tile:
+            self.items[index] = last
+            self.pos[last] = index
+
+    def add(self, tile: Tuple[int, int]) -> None:
+        if tile not in self.pos:
+            self.pos[tile] = len(self.items)
+            self.items.append(tile)
+
+
+class _SiteManager:
+    """Occupancy counters plus per-site-class free-lists over the grid."""
+
+    def __init__(self, grid: _Grid) -> None:
+        self.grid = grid
+        tiles = [(col, row) for col in range(grid.cols)
+                 for row in range(grid.rows)]
+        self.capacity = {"lut": LUTS_PER_TILE, "ff": LUTS_PER_TILE,
+                         "dsp": 2, "bram": 2}
+        self.used: Dict[str, Dict[Tuple[int, int], int]] = {
+            "lut": {}, "ff": {}, "dsp": {}, "bram": {}}
+        self.free = {
+            "lut": _FreeList(tiles),
+            "ff": _FreeList(tiles),
+            "dsp": _FreeList([t for t in tiles
+                              if grid.is_macro_column(DSP, t[0])]),
+            "bram": _FreeList([t for t in tiles
+                               if grid.is_macro_column(BRAM, t[0])]),
+        }
+
+    @staticmethod
+    def site_class(kind: str) -> str:
+        if kind in _LUT_CLASS:
+            return "lut"
+        if kind == DFF:
+            return "ff"
+        return "dsp" if kind == DSP else "bram"
+
+    def has_room(self, cls: str, tile: Tuple[int, int]) -> bool:
+        return self.used[cls].get(tile, 0) < self.capacity[cls]
+
+    def occupy(self, cls: str, tile: Tuple[int, int]) -> None:
+        table = self.used[cls]
+        count = table.get(tile, 0) + 1
+        table[tile] = count
+        if count >= self.capacity[cls]:
+            self.free[cls].remove(tile)
+
+    def release(self, cls: str, tile: Tuple[int, int]) -> None:
+        table = self.used[cls]
+        count = table[tile] - 1
+        table[tile] = count
+        if count == self.capacity[cls] - 1:
+            self.free[cls].add(tile)
 
 
 def _net_hpwl(netlist: Netlist, locations: Dict[str, Tuple[int, int]],
@@ -156,9 +251,114 @@ def total_hpwl(netlist: Netlist,
                for name in netlist.nets)
 
 
+class _IncrementalHpwl:
+    """Per-net bounding boxes with pin-count-at-extreme bookkeeping.
+
+    Moving one pin is O(1) unless it was the *only* pin at a bbox
+    extreme and moved inward — then the net is rescanned (O(pins)) and
+    the fallback counted.  The tracked total equals ``total_hpwl``
+    recomputed from scratch at all times (property-tested).
+    """
+
+    __slots__ = ("pins", "xs", "ys", "xmin", "xmax", "ymin", "ymax",
+                 "cxmin", "cxmax", "cymin", "cymax", "rescans", "cost")
+
+    def __init__(self, net_pins: List[List[int]],
+                 xs: List[int], ys: List[int]) -> None:
+        self.pins = net_pins
+        self.xs = xs
+        self.ys = ys
+        count = len(net_pins)
+        self.xmin = [0] * count
+        self.xmax = [0] * count
+        self.ymin = [0] * count
+        self.ymax = [0] * count
+        self.cxmin = [0] * count
+        self.cxmax = [0] * count
+        self.cymin = [0] * count
+        self.cymax = [0] * count
+        self.rescans = 0
+        self.cost = 0
+        for net in range(count):
+            self._rescan(net)
+            self.cost += self.span(net)
+
+    def span(self, net: int) -> int:
+        return (self.xmax[net] - self.xmin[net]) + \
+            (self.ymax[net] - self.ymin[net])
+
+    def _rescan(self, net: int) -> None:
+        xs, ys = self.xs, self.ys
+        pins = self.pins[net]
+        pin_xs = [xs[pin] for pin in pins]
+        pin_ys = [ys[pin] for pin in pins]
+        xmin, xmax = min(pin_xs), max(pin_xs)
+        ymin, ymax = min(pin_ys), max(pin_ys)
+        self.xmin[net], self.xmax[net] = xmin, xmax
+        self.ymin[net], self.ymax[net] = ymin, ymax
+        self.cxmin[net] = pin_xs.count(xmin)
+        self.cxmax[net] = pin_xs.count(xmax)
+        self.cymin[net] = pin_ys.count(ymin)
+        self.cymax[net] = pin_ys.count(ymax)
+
+    def snapshot(self, net: int) -> Tuple[int, ...]:
+        return (self.xmin[net], self.xmax[net], self.ymin[net],
+                self.ymax[net], self.cxmin[net], self.cxmax[net],
+                self.cymin[net], self.cymax[net])
+
+    def restore(self, net: int, state: Tuple[int, ...]) -> None:
+        (self.xmin[net], self.xmax[net], self.ymin[net], self.ymax[net],
+         self.cxmin[net], self.cxmax[net], self.cymin[net],
+         self.cymax[net]) = state
+
+    def move_pin(self, net: int, ox: int, oy: int, nx: int, ny: int,
+                 count: int) -> int:
+        """Apply one cell move (``count`` pins) to ``net``; return the
+        HPWL delta.  The pin coordinate arrays must already hold the new
+        location (used by the rescan fallback)."""
+        old_span = self.span(net)
+        # Insert the pin(s) at the new location.
+        if nx < self.xmin[net]:
+            self.xmin[net], self.cxmin[net] = nx, count
+        elif nx == self.xmin[net]:
+            self.cxmin[net] += count
+        if nx > self.xmax[net]:
+            self.xmax[net], self.cxmax[net] = nx, count
+        elif nx == self.xmax[net]:
+            self.cxmax[net] += count
+        if ny < self.ymin[net]:
+            self.ymin[net], self.cymin[net] = ny, count
+        elif ny == self.ymin[net]:
+            self.cymin[net] += count
+        if ny > self.ymax[net]:
+            self.ymax[net], self.cymax[net] = ny, count
+        elif ny == self.ymax[net]:
+            self.cymax[net] += count
+        # Remove the pin(s) from the old location; losing the last pin
+        # at an extreme forces the rescan fallback.
+        rescan = False
+        if ox == self.xmin[net]:
+            self.cxmin[net] -= count
+            rescan |= self.cxmin[net] <= 0
+        if ox == self.xmax[net]:
+            self.cxmax[net] -= count
+            rescan |= self.cxmax[net] <= 0
+        if oy == self.ymin[net]:
+            self.cymin[net] -= count
+            rescan |= self.cymin[net] <= 0
+        if oy == self.ymax[net]:
+            self.cymax[net] -= count
+            rescan |= self.cymax[net] <= 0
+        if rescan:
+            self.rescans += 1
+            self._rescan(net)
+        return self.span(net) - old_span
+
+
 def place(netlist: Netlist, device: Device, seed: int = 1,
-          effort: float = 1.0) -> PlacementResult:
-    """Simulated-annealing placement.
+          effort: float = 1.0, tracer: Optional[Tracer] = None
+          ) -> PlacementResult:
+    """Simulated-annealing placement (incremental kernel).
 
     ``effort`` scales the number of annealing moves (1.0 ≈ 100 moves per
     cell); the run is deterministic for a given seed.
@@ -168,62 +368,148 @@ def place(netlist: Netlist, device: Device, seed: int = 1,
     ``locations`` map explicitly).  Writing tiles back onto cells would
     poison content-addressed stage reuse — the ``netlist.stale-placement``
     lint rule audits for netlists carrying such annotations.
+
+    ``tracer`` (optional) receives the annealer counters:
+    ``place.moves.accepted``, ``place.moves.total``,
+    ``place.bbox.rescans`` and ``place.window.fallbacks``.
     """
     rng = random.Random(seed)
     grid = _Grid(device, netlist)
-    locations: Dict[str, Tuple[int, int]] = {}
+    sites = _SiteManager(grid)
+    cols, rows = grid.cols, grid.rows
 
-    # Initial placement: sequential scan (keeps related cells adjacent
-    # because macro elaboration emits them in connectivity order).
-    for cell in netlist.cells.values():
-        tile = None
-        if grid.site_class(cell.kind) == "macro":
-            tile = grid.random_tile(cell.kind, rng)
-        else:
-            tile = grid.random_tile(cell.kind, rng)
-        grid.occupy(cell.kind, tile)
-        locations[cell.name] = tile
+    # Per-cell arrays, precomputed outside the move loop.
+    cell_names: List[str] = list(netlist.cells)
+    cell_index = {name: index for index, name in enumerate(cell_names)}
+    classes: List[str] = [_SiteManager.site_class(cell.kind)
+                          for cell in netlist.cells.values()]
+    ncells = len(cell_names)
 
-    # Incremental cost bookkeeping: nets touching each cell.
-    nets_of_cell: Dict[str, List[str]] = {name: [] for name in netlist.cells}
+    # Initial placement: sequential free-list draw (keeps related cells
+    # adjacent because macro elaboration emits them in connectivity
+    # order).  Every site class takes the same path — the historical
+    # macro/non-macro branch was dead (both arms identical).
+    xs: List[int] = [0] * ncells
+    ys: List[int] = [0] * ncells
+    for index in range(ncells):
+        cls = classes[index]
+        tile = sites.free[cls].sample(rng)
+        if tile is None:
+            raise PlacementError("no free site found (grid saturated)")
+        sites.occupy(cls, tile)
+        xs[index], ys[index] = tile
+
+    def result_locations() -> Dict[str, Tuple[int, int]]:
+        return {cell_names[i]: (xs[i], ys[i]) for i in range(ncells)}
+
+    if ncells == 0:
+        return PlacementResult({}, 0.0, 0.0, 0, (cols, rows))
+
+    # Per-net pin arrays (cell indices, with multiplicity) and the
+    # reverse map cell → [(net, pin count)], precomputed once.
+    net_pins: List[List[int]] = []
+    nets_of_cell: List[List[Tuple[int, int]]] = [[] for _ in range(ncells)]
     for net in netlist.nets.values():
-        if net.driver in nets_of_cell:
-            nets_of_cell[net.driver].append(net.name)
+        pins: List[int] = []
+        if net.driver is not None and net.driver in cell_index:
+            pins.append(cell_index[net.driver])
         for sink in net.sinks:
-            if sink in nets_of_cell:
-                nets_of_cell[sink].append(net.name)
+            index = cell_index.get(sink)
+            if index is not None:
+                pins.append(index)
+        if not pins:
+            continue
+        net_id = len(net_pins)
+        net_pins.append(pins)
+        counts: Dict[int, int] = {}
+        for pin in pins:
+            counts[pin] = counts.get(pin, 0) + 1
+        for pin, count in counts.items():
+            nets_of_cell[pin].append((net_id, count))
 
-    cost = total_hpwl(netlist, locations)
+    tracker = _IncrementalHpwl(net_pins, xs, ys)
+    cost = tracker.cost
     initial = cost
-    cell_names = list(netlist.cells)
-    if not cell_names:
-        return PlacementResult(locations, 0.0, 0.0, 0,
-                               (grid.cols, grid.rows))
-    moves = max(200, int(100 * effort * len(cell_names)))
-    temperature = max(1.0, cost / max(1, len(cell_names)) * 2)
+    moves = max(200, int(100 * effort * ncells))
+    temperature = max(1.0, cost / max(1, ncells) * 2)
+    initial_temperature = temperature
     cooling = 0.95 ** (1.0 / max(1, moves // 100))
+    span = max(cols, rows)
+    # VPR-style range limit: adapted every block of moves towards the
+    # classic 0.44 target accept rate — the window widens while moves
+    # are cheap (hot) and contracts as the anneal freezes.
+    radius = float(span)
+    block = max(50, moves // 100)
+    block_moves = 0
+    block_accepted = 0
     iterations = 0
+    accepted = 0
+    window_fallbacks = 0
+    move_pin = tracker.move_pin
     for _ in range(moves):
         iterations += 1
-        name = rng.choice(cell_names)
-        cell = netlist.cells[name]
-        old_tile = locations[name]
-        try:
-            new_tile = grid.random_tile(cell.kind, rng)
-        except PlacementError:
+        index = rng.randrange(ncells)
+        cls = classes[index]
+        ox, oy = xs[index], ys[index]
+        new_tile: Optional[Tuple[int, int]] = None
+        if cls in ("lut", "ff"):
+            r = int(radius)
+            cmin, cmax = max(0, ox - r), min(cols - 1, ox + r)
+            rmin, rmax = max(0, oy - r), min(rows - 1, oy + r)
+            has_room = sites.has_room
+            for _try in range(_WINDOW_TRIES):
+                candidate = (rng.randint(cmin, cmax), rng.randint(rmin, rmax))
+                if has_room(cls, candidate):
+                    new_tile = candidate
+                    break
+            if new_tile is None:
+                window_fallbacks += 1
+                new_tile = sites.free[cls].sample(rng)
+        else:
+            new_tile = sites.free[cls].sample(rng)
+        if new_tile is None:
             continue
-        affected = nets_of_cell[name]
-        before = sum(_net_hpwl(netlist, locations, n) for n in affected)
-        locations[name] = new_tile
-        after = sum(_net_hpwl(netlist, locations, n) for n in affected)
-        delta = after - before
+        nx, ny = new_tile
+        xs[index], ys[index] = nx, ny
+        delta = 0
+        affected = nets_of_cell[index]
+        saved = [(net_id, tracker.snapshot(net_id))
+                 for net_id, _count in affected]
+        for net_id, count in affected:
+            delta += move_pin(net_id, ox, oy, nx, ny, count)
+        block_moves += 1
         if delta <= 0 or rng.random() < math.exp(-delta / temperature):
-            grid.release(cell.kind, old_tile)
-            grid.occupy(cell.kind, new_tile)
+            accepted += 1
+            block_accepted += 1
+            sites.release(cls, (ox, oy))
+            sites.occupy(cls, new_tile)
             cost += delta
         else:
-            locations[name] = old_tile
+            xs[index], ys[index] = ox, oy
+            for net_id, state in saved:
+                tracker.restore(net_id, state)
+        if block_moves >= block:
+            rate = block_accepted / block_moves
+            # Accept-rate adaptation (target 0.44) with a temperature-
+            # tied floor: the window may not collapse faster than the
+            # anneal itself cools, or structured netlists lose the
+            # coarse shuffling phase and freeze into local minima.
+            floor = max(2.0, span * (temperature / initial_temperature)
+                        ** 0.5)
+            radius = min(float(span), max(floor, radius * (0.56 + rate)))
+            block_moves = 0
+            block_accepted = 0
         temperature = max(0.01, temperature * cooling)
-    return PlacementResult(locations=locations, hpwl=cost,
+
+    stats = {"moves": iterations, "accepted": accepted,
+             "rescans": tracker.rescans,
+             "window_fallbacks": window_fallbacks}
+    if tracer is not None:
+        tracer.counter("place.moves.total", "fabric").add(iterations)
+        tracer.counter("place.moves.accepted", "fabric").add(accepted)
+        tracer.counter("place.bbox.rescans", "fabric").add(tracker.rescans)
+        tracer.counter("place.window.fallbacks", "fabric").add(
+            window_fallbacks)
+    return PlacementResult(locations=result_locations(), hpwl=cost,
                            initial_hpwl=initial, iterations=iterations,
-                           grid=(grid.cols, grid.rows))
+                           grid=(cols, rows), stats=stats)

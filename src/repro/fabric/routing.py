@@ -1,23 +1,44 @@
 """Capacity-aware maze routing over the tile grid.
 
 The routing fabric is modelled as a grid graph: each tile connects to its
-four neighbours through channels of ``channel_width`` tracks.  Nets are
-routed as driver→sink two-pin connections with A* over the grid; edge
-congestion raises the cost (negotiated-congestion flavour) and a bounded
-rip-up/retry loop resolves overflow.  Reports wirelength, congestion and
-overflow — the numbers the NXmap flow report exposes after routing.
+four neighbours through channels of ``channel_width`` tracks.  Multi-sink
+nets are routed as a *shared route tree* (PR 5): each sink runs a
+multi-source A* that targets the nearest node of the net's existing tree
+rather than re-routing from the driver, so fanout edges are paid for
+once.  Every search is bounded to the connection bounding box plus a
+congestion-adaptive margin (widened on each negotiation pass, with an
+unbounded retry as the safety net).  Between negotiation passes the
+rip-up is *targeted*: only connections whose paths cross overflowed
+edges (plus tree segments stranded by such a rip) are torn up and
+re-routed under a higher congestion penalty — everything else keeps its
+usage intact.  Reports wirelength, congestion and overflow — the numbers
+the NXmap flow report exposes after routing.  The whole kernel is
+deterministic (no RNG); ``ROUTE_KERNEL_VERSION`` salts the flow-cache
+stage key so artifacts of older kernels are never served.
 """
 
 from __future__ import annotations
 
 import heapq
+from contextlib import nullcontext
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, Iterable, List, Optional, Set, Tuple
 
+from ..telemetry import Tracer
 from .netlist import Netlist
 
 Tile = Tuple[int, int]
 Edge = Tuple[Tile, Tile]
+
+#: Bumped whenever the routing algorithm changes its results; part of
+#: the flow-cache stage key (see ``NXmapProject._stage_key``), so stale
+#: cached routes from an older kernel can never be returned.
+ROUTE_KERNEL_VERSION = 2
+
+#: Base bbox margin (tiles) around a connection; widened every
+#: negotiation pass so congested connections can detour further out.
+_BASE_MARGIN = 3
+_MARGIN_PER_PASS = 4
 
 
 class RoutingError(Exception):
@@ -33,8 +54,14 @@ class RoutingResult:
     failed_connections: int
     iterations: int
     channel_width: int
-    # net name -> list of per-connection paths (each a list of tiles)
+    # net name -> list of per-connection paths (each a list of tiles).
+    # Paths after the first start on the net's existing route tree, so
+    # their union per net is a driver-rooted Steiner tree.
     routes: Dict[str, List[List[Tile]]] = field(default_factory=dict)
+    # Kernel instrumentation (serialized so cache hits report the same
+    # evidence): total A* node expansions and targeted rip-up count.
+    expanded_nodes: int = 0
+    ripped_connections: int = 0
 
     @property
     def success(self) -> bool:
@@ -56,6 +83,8 @@ class RoutingResult:
             "routes": {net: [[list(tile) for tile in path]
                              for path in paths]
                        for net, paths in sorted(self.routes.items())},
+            "expanded_nodes": self.expanded_nodes,
+            "ripped_connections": self.ripped_connections,
         }
 
     @classmethod
@@ -71,6 +100,8 @@ class RoutingResult:
             routes={net: [[(int(t[0]), int(t[1])) for t in path]
                           for path in paths]
                     for net, paths in payload["routes"].items()},
+            expanded_nodes=payload.get("expanded_nodes", 0),
+            ripped_connections=payload.get("ripped_connections", 0),
         )
 
 
@@ -78,23 +109,47 @@ def _edge(a: Tile, b: Tile) -> Edge:
     return (a, b) if a <= b else (b, a)
 
 
-def _astar(start: Tile, goal: Tile, grid: Tuple[int, int],
-           usage: Dict[Edge, int], channel_width: int,
-           congestion_penalty: float) -> Optional[List[Tile]]:
-    cols, rows = grid
+class _AstarStats:
+    __slots__ = ("expanded",)
+
+    def __init__(self) -> None:
+        self.expanded = 0
+
+
+def _astar_tree(sources: Iterable[Tile], goal: Tile,
+                bounds: Tuple[int, int, int, int],
+                usage: Dict[Edge, int], channel_width: int,
+                congestion_penalty: float,
+                stats: _AstarStats) -> Optional[List[Tile]]:
+    """Multi-source A* from a net's route tree to one sink.
+
+    Every tree node starts at cost zero, so the search naturally grows
+    the path from the *nearest* point of the existing tree.  Expansion
+    is restricted to ``bounds`` (cmin, cmax, rmin, rmax inclusive).
+    """
+    gcol, grow = goal
+    cmin, cmax, rmin, rmax = bounds
     # Heap entries: (f = g + heuristic, g, tiebreak, tile).
-    frontier: List[Tuple[float, float, int, Tile]] = [(0.0, 0.0, 0, start)]
+    frontier: List[Tuple[float, float, int, Tile]] = []
+    best: Dict[Tile, float] = {}
     came: Dict[Tile, Tile] = {}
-    best: Dict[Tile, float] = {start: 0.0}
     counter = 0
+    for source in sorted(sources):
+        best[source] = 0.0
+        counter += 1
+        heuristic = abs(source[0] - gcol) + abs(source[1] - grow)
+        heapq.heappush(frontier, (float(heuristic), 0.0, counter, source))
+    expanded = 0
     while frontier:
         _f, g, _, tile = heapq.heappop(frontier)
+        expanded += 1
         if tile == goal:
             path = [tile]
             while tile in came:
                 tile = came[tile]
                 path.append(tile)
             path.reverse()
+            stats.expanded += expanded
             return path
         if g > best.get(tile, float("inf")):
             continue  # stale entry
@@ -102,7 +157,7 @@ def _astar(start: Tile, goal: Tile, grid: Tuple[int, int],
         for neighbour in ((col + 1, row), (col - 1, row),
                           (col, row + 1), (col, row - 1)):
             ncol, nrow = neighbour
-            if not (0 <= ncol < cols and 0 <= nrow < rows):
+            if not (cmin <= ncol <= cmax and rmin <= nrow <= rmax):
                 continue
             used = usage.get(_edge(tile, neighbour), 0)
             step = 1.0
@@ -113,61 +168,188 @@ def _astar(start: Tile, goal: Tile, grid: Tuple[int, int],
                 best[neighbour] = new_cost
                 came[neighbour] = tile
                 counter += 1
-                heuristic = abs(ncol - goal[0]) + abs(nrow - goal[1])
+                heuristic = abs(ncol - gcol) + abs(nrow - grow)
                 heapq.heappush(frontier,
                                (new_cost + heuristic, new_cost, counter,
                                 neighbour))
+    stats.expanded += expanded
     return None
+
+
+class _NetTree:
+    """One net's growing route tree: nodes, and per-sink path segments."""
+
+    __slots__ = ("source", "nodes", "paths")
+
+    def __init__(self, source: Tile) -> None:
+        self.source = source
+        self.nodes: Set[Tile] = {source}
+        # (sink ordinal, path segment) — segment edges are disjoint
+        # between segments; their union is the net's route tree.
+        self.paths: List[Tuple[int, List[Tile]]] = []
+
+    def add(self, ordinal: int, path: List[Tile]) -> None:
+        self.paths.append((ordinal, path))
+        self.nodes.update(path)
 
 
 def route(netlist: Netlist, locations: Dict[str, Tile],
           grid: Tuple[int, int], channel_width: int = 16,
-          max_iterations: int = 3) -> RoutingResult:
-    """Route all nets; negotiation loop raises congestion cost each pass."""
-    connections: List[Tuple[str, Tile, Tile]] = []
-    for net in netlist.nets.values():
+          max_iterations: int = 3,
+          tracer: Optional[Tracer] = None) -> RoutingResult:
+    """Route all nets; negotiation loop raises congestion cost each pass.
+
+    ``tracer`` (optional) receives per-pass ``route.pass`` spans plus the
+    ``route.astar.expanded`` and ``route.ripup.connections`` counters.
+    """
+    cols, rows = grid
+    # Deterministic connection order: nets sorted by name, then sinks in
+    # sorted order — independent of netlist dict insertion order.
+    Conn = Tuple[str, int, Tile]  # (net name, sink ordinal, sink tile)
+    trees: Dict[str, _NetTree] = {}
+    sink_tiles: Dict[Tuple[str, int], Tile] = {}
+    connections: List[Conn] = []
+    for net_name in sorted(netlist.nets):
+        net = netlist.nets[net_name]
         if net.driver is None or net.driver not in locations:
             continue
         source = locations[net.driver]
-        for sink in net.sinks:
+        ordinal = 0
+        for sink in sorted(net.sinks):
             if sink not in locations:
                 continue
             target = locations[sink]
-            if target != source:
-                connections.append((net.name, source, target))
+            if target == source:
+                continue
+            connections.append((net_name, ordinal, target))
+            sink_tiles[(net_name, ordinal)] = target
+            ordinal += 1
+        if ordinal:
+            trees[net_name] = _NetTree(source)
 
     usage: Dict[Edge, int] = {}
-    routes: Dict[str, List[List[Tile]]] = {}
-    failed = 0
+    stats = _AstarStats()
+    failed: Set[Tuple[str, int]] = set()
     iterations = 0
+    ripped_total = 0
     penalty = 0.5
-    for iteration in range(max_iterations):
-        iterations += 1
-        usage.clear()
-        routes.clear()
-        failed = 0
-        for net_name, source, target in connections:
-            path = _astar(source, target, grid, usage, channel_width,
-                          penalty)
-            if path is None:
-                failed += 1
+    overflow = 0
+    full_bounds = (0, cols - 1, 0, rows - 1)
+
+    def span(name: str, **attributes):
+        if tracer is None:
+            return nullcontext(None)
+        return tracer.span(name, "fabric", **attributes)
+
+    def route_connection(conn: Conn, margin: int) -> bool:
+        net_name, ordinal, target = conn
+        tree = trees[net_name]
+        if target in tree.nodes:
+            tree.add(ordinal, [target])  # zero-length tap on the tree
+            return True
+        bxmin = min(node[0] for node in tree.nodes)
+        bxmax = max(node[0] for node in tree.nodes)
+        bymin = min(node[1] for node in tree.nodes)
+        bymax = max(node[1] for node in tree.nodes)
+        bounds = (max(0, min(bxmin, target[0]) - margin),
+                  min(cols - 1, max(bxmax, target[0]) + margin),
+                  max(0, min(bymin, target[1]) - margin),
+                  min(rows - 1, max(bymax, target[1]) + margin))
+        path = _astar_tree(tree.nodes, target, bounds, usage,
+                           channel_width, penalty, stats)
+        if path is None and bounds != full_bounds:
+            # Safety net: the bounded window can starve a legal detour.
+            path = _astar_tree(tree.nodes, target, full_bounds, usage,
+                               channel_width, penalty, stats)
+        if path is None:
+            return False
+        for a, b in zip(path, path[1:]):
+            edge = _edge(a, b)
+            usage[edge] = usage.get(edge, 0) + 1
+        tree.add(ordinal, path)
+        return True
+
+    def rip_targeted(over_edges: Set[Edge]) -> List[Conn]:
+        """Tear up only the path segments crossing overflowed edges (and
+        segments stranded by such a rip); keep all other usage."""
+        ripped: List[Conn] = []
+        for net_name in sorted(trees):
+            tree = trees[net_name]
+            if not tree.paths:
                 continue
-            for a, b in zip(path, path[1:]):
-                edge = _edge(a, b)
-                usage[edge] = usage.get(edge, 0) + 1
-            routes.setdefault(net_name, []).append(path)
-        overflow = sum(1 for used in usage.values()
-                       if used > channel_width)
-        if overflow == 0 and failed == 0:
+            kept: List[Tuple[int, List[Tile]]] = []
+            rebuilt: Set[Tile] = {tree.source}
+            for ordinal, path in tree.paths:
+                crosses = any(_edge(a, b) in over_edges
+                              for a, b in zip(path, path[1:]))
+                stranded = path[0] not in rebuilt
+                if crosses or stranded:
+                    for a, b in zip(path, path[1:]):
+                        edge = _edge(a, b)
+                        remaining = usage[edge] - 1
+                        if remaining:
+                            usage[edge] = remaining
+                        else:
+                            del usage[edge]
+                    ripped.append((net_name, ordinal,
+                                   sink_tiles[(net_name, ordinal)]))
+                else:
+                    kept.append((ordinal, path))
+                    rebuilt.update(path)
+            tree.paths = kept
+            tree.nodes = rebuilt
+        return sorted(ripped)
+
+    pending: List[Conn] = list(connections)
+    for iteration in range(max_iterations):
+        if iteration > 0:
+            penalty *= 4  # negotiate harder next pass
+            over_edges = {edge for edge, used in usage.items()
+                          if used > channel_width}
+            ripped = rip_targeted(over_edges)
+            ripped_total += len(ripped)
+            ripped_keys = {(name, ordinal)
+                           for name, ordinal, _tile in ripped}
+            pending = ripped + [(name, ordinal, sink_tiles[(name, ordinal)])
+                                for name, ordinal in sorted(failed)
+                                if (name, ordinal) not in ripped_keys]
+        iterations += 1
+        margin = _BASE_MARGIN + _MARGIN_PER_PASS * iteration
+        with span("route.pass", iteration=iteration,
+                  connections=len(pending)) as pass_span:
+            routed_now = 0
+            for conn in pending:
+                failed.discard((conn[0], conn[1]))
+                if route_connection(conn, margin):
+                    routed_now += 1
+                else:
+                    failed.add((conn[0], conn[1]))
+            # Single overflow computation per pass, reused by the exit
+            # check and (on the final pass) the report.
+            overflow = sum(1 for used in usage.values()
+                           if used > channel_width)
+            if pass_span is not None:
+                pass_span.attributes["routed"] = routed_now
+                pass_span.attributes["failed"] = len(failed)
+                pass_span.attributes["overflow_edges"] = overflow
+        if overflow == 0 and not failed:
             break
-        penalty *= 4  # negotiate harder next pass
-    wirelength = sum(count for count in usage.values())
+
+    routes: Dict[str, List[List[Tile]]] = {}
+    for net_name in sorted(trees):
+        tree = trees[net_name]
+        if tree.paths:
+            routes[net_name] = [path for _ordinal, path
+                                in sorted(tree.paths)]
+    wirelength = sum(usage.values())
     max_congestion = max(usage.values(), default=0)
-    overflow_edges = sum(1 for used in usage.values()
-                         if used > channel_width)
+    if tracer is not None:
+        tracer.counter("route.astar.expanded", "fabric").add(stats.expanded)
+        tracer.counter("route.ripup.connections", "fabric").add(ripped_total)
     return RoutingResult(
         wirelength=wirelength, max_congestion=max_congestion,
-        overflow_edges=overflow_edges,
-        routed_connections=len(connections) - failed,
-        failed_connections=failed, iterations=iterations,
-        channel_width=channel_width, routes=routes)
+        overflow_edges=overflow,
+        routed_connections=len(connections) - len(failed),
+        failed_connections=len(failed), iterations=iterations,
+        channel_width=channel_width, routes=routes,
+        expanded_nodes=stats.expanded, ripped_connections=ripped_total)

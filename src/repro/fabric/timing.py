@@ -18,6 +18,11 @@ from .device import Device
 from .netlist import BRAM, CARRY, DFF, DSP, IOB, LUT4, Cell, Netlist
 from .routing import RoutingResult
 
+#: Bumped whenever the STA algorithm changes in a way that can alter
+#: reports for identical inputs; salts the flow-cache stage key so stale
+#: artifacts from older kernels are never served.
+STA_KERNEL_VERSION = 2
+
 
 class TimingError(Exception):
     pass
@@ -114,16 +119,28 @@ def _cell_tile(cell: Cell,
     return cell.location
 
 
+def _net_route_lengths(routing: RoutingResult) -> Dict[str, int]:
+    """Routed length of every net, computed once per analysis.
+
+    ``RoutingResult.route_length`` walks the net's path list on every
+    call; the old STA invoked it per *edge*, so a fanout-N net was
+    rescanned N times.  One pass over ``routes`` here makes the per-edge
+    lookup O(1).
+    """
+    return {net_name: sum(max(0, len(path) - 1) for path in paths)
+            for net_name, paths in routing.routes.items()}
+
+
 def _wire_delay(netlist: Netlist, driver: Cell, sink: Cell, device: Device,
-                routing: Optional[RoutingResult],
+                net_lengths: Optional[Dict[str, int]],
                 locations: Optional[Dict[str, Tuple[int, int]]] = None
                 ) -> float:
     driver_tile = _cell_tile(driver, locations)
     sink_tile = _cell_tile(sink, locations)
     if driver_tile is None or sink_tile is None:
         return device.wire_delay_per_tile_ns  # unplaced: nominal hop
-    if routing is not None and driver.output in routing.routes:
-        length = routing.route_length(driver.output)
+    if net_lengths is not None and driver.output in net_lengths:
+        length = net_lengths[driver.output]
         fanout = max(1, netlist.nets[driver.output].fanout)
         return device.wire_delay_per_tile_ns * max(1, length / fanout)
     dx = abs(driver_tile[0] - sink_tile[0])
@@ -142,6 +159,8 @@ def analyze_timing(netlist: Netlist, device: Device,
     without it the analysis assumes nominal one-tile hops, matching the
     pre-placement estimate.  The netlist itself is treated as immutable.
     """
+    net_lengths = (_net_route_lengths(routing)
+                   if routing is not None else None)
     # Topological order over combinational cells.
     indegree: Dict[str, int] = {}
     for cell in netlist.cells.values():
@@ -167,7 +186,7 @@ def analyze_timing(netlist: Netlist, device: Device,
             if not net or not net.driver:
                 continue
             driver = netlist.cells[net.driver]
-            wire = _wire_delay(netlist, driver, cell, device, routing,
+            wire = _wire_delay(netlist, driver, cell, device, net_lengths,
                                locations)
             if driver.is_sequential:
                 candidate = _cell_delay(driver, device) + wire
@@ -210,7 +229,7 @@ def analyze_timing(netlist: Netlist, device: Device,
             if not net or not net.driver:
                 continue
             driver = netlist.cells[net.driver]
-            wire = _wire_delay(netlist, driver, cell, device, routing,
+            wire = _wire_delay(netlist, driver, cell, device, net_lengths,
                                locations)
             if driver.is_sequential:
                 path = _cell_delay(driver, device) + wire
