@@ -1,0 +1,115 @@
+"""Mega-campaign — cold vs resumed-after-kill vs early-stopped.
+
+The qualification-campaign acceptance gates:
+
+* a campaign resumed against a half-populated checkpoint store finishes
+  meaningfully faster than the cold run while producing byte-identical
+  evidence (the kill/resume durability claim, timed);
+* CI-driven early stopping ends a 50 000-run campaign on a high-rate
+  scenario in under half the requested runs, and the Wilson 95% CI it
+  stopped on contains the full campaign's measured rate.
+"""
+
+import json
+import sys
+import time
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).parent))
+
+from _common import save_table
+
+from repro.cache import FlowCache
+from repro.core import Table
+from repro.radhard import MegaCampaign, beam_campaign, raw_sram_campaign
+
+RUNS, SEED, SHARD_SIZE = 400, 13, 25
+
+
+def campaign():
+    # The beam-dwell scenario: per-run fixture latency dominates, so
+    # wall-clock scales with executed runs, not with Python overhead —
+    # the regime where checkpoints and early stops actually pay.
+    return beam_campaign(words=32, dwell_s=0.002)
+
+
+def payload_bytes(report):
+    return json.dumps(report.deterministic_json(), sort_keys=True,
+                      separators=(",", ":"))
+
+
+def timed_run(cache, jobs, **kwargs):
+    start = time.perf_counter()
+    mega = MegaCampaign(campaign(), cache=cache).run(
+        RUNS, seed=SEED, jobs=jobs, shard_size=SHARD_SIZE, **kwargs)
+    return time.perf_counter() - start, mega
+
+
+def test_resume_and_early_stop_economics(tmp_path, jobs):
+    jobs = jobs or 2
+    cold_s, cold = timed_run(FlowCache(directory=tmp_path / "cold"),
+                             jobs)
+
+    # Simulated kill at half-campaign: a second store pre-populated
+    # with the first half of the shard checkpoints — exactly the disk
+    # state a SIGKILL at 50% leaves behind (the kill itself is
+    # exercised by tests/radhard/test_mega_kill_resume.py; the bench
+    # times the recovery without a nondeterministic kill point).
+    half_cache = FlowCache(directory=tmp_path / "killed")
+    runner = MegaCampaign(campaign(), cache=half_cache)
+    half = cold.shards_folded // 2
+    for record in cold.shards[:half]:
+        half_cache.put("mega", runner.shard_key(SEED, record.spec),
+                       record, type(record).to_json)
+    resumed_s, resumed = timed_run(half_cache, jobs)
+
+    stopped_s, stopped = timed_run(
+        FlowCache(directory=tmp_path / "stopped"), jobs, stop_ci=0.02)
+
+    table = Table(
+        "Mega-campaign: cold vs resumed-after-kill vs early-stopped",
+        ["run", "wall_s", "runs", "shards(cached)", "speedup"])
+    for label, wall_s, mega in [("cold", cold_s, cold),
+                                ("resumed", resumed_s, resumed),
+                                ("early-stop", stopped_s, stopped)]:
+        table.add_row(label, round(wall_s, 4), mega.runs_executed,
+                      f"{mega.shards_folded}({mega.shards_cached})",
+                      f"{cold_s / wall_s:.1f}x")
+    save_table(table, "mega_campaign")
+
+    # Resume correctness and economics: half the checkpoints buy a
+    # visibly faster campaign with byte-identical evidence.
+    assert resumed.shards_cached == half
+    assert payload_bytes(resumed.report) == payload_bytes(cold.report)
+    assert cold_s / resumed_s >= 1.3, \
+        f"resume speedup only {cold_s / resumed_s:.1f}x"
+
+    # Early-stop correctness: fewer runs, CI target met, and the rate
+    # measured by the full campaign inside the stopped CI.
+    assert stopped.early_stopped
+    assert stopped.runs_executed < RUNS
+    low, high = stopped.ci()
+    full_rate = cold.stats.rate(stopped.stop_outcomes)
+    assert low <= full_rate <= high
+
+
+def test_acceptance_50k_early_stop(jobs):
+    """ISSUE acceptance: a 50 000-run campaign on a high-rate scenario
+    early-stops in under 50% of the runs with a CI that contains the
+    full-campaign rate."""
+    requested = 50_000
+    mega = MegaCampaign(raw_sram_campaign(words=32)).run(
+        requested, seed=SEED, jobs=jobs or 2, shard_size=500,
+        stop_ci=0.01)
+    assert mega.early_stopped
+    assert mega.runs_executed < requested // 2, (
+        f"early stop only saved "
+        f"{requested - mega.runs_executed}/{requested} runs")
+
+    full = raw_sram_campaign(words=32).run(requested, seed=SEED,
+                                           jobs=jobs or 2)
+    low, high = mega.ci()
+    full_rate = full.failure_rate
+    assert low <= full_rate <= high, (
+        f"stopped CI [{low:.4f}, {high:.4f}] misses the full-campaign "
+        f"rate {full_rate:.4f}")

@@ -299,7 +299,7 @@ class FlowCache:
     / ``cache.evict`` telemetry counters.
     """
 
-    LAYERS = ("hls", "fabric", "characterize", "radhard")
+    LAYERS = ("hls", "fabric", "characterize", "radhard", "mega")
 
     def __init__(self, directory: Optional[Path] = None,
                  max_entries: int = DEFAULT_MAX_ENTRIES,

@@ -26,6 +26,17 @@ and ``qualify`` accept ``--cache`` (and ``--cache-dir DIR`` for a
 persistent store) to reuse content-addressed flow artifacts; warm
 results are byte-identical to cold ones.
 
+``seu`` additionally scales to mega-campaigns: ``--shards N`` or
+``--shard-size RUNS`` split the run range into seed-range shards
+(merged byte-identical to serial at any worker count), each shard is
+checkpointed through the cache so ``--resume`` replays only missing
+shards after a kill or a ``--runs`` extension (hold ``--shard-size``
+fixed for stable checkpoint keys), ``--stop-ci X`` halts each scenario
+once the Wilson 95% CI half-width on its sdc+crash rate drops below X
+(exit code 4 when a campaign ends before reaching the target —
+statistically insufficient evidence), and ``--json-deterministic PATH``
+writes the execution-independent payloads CI jobs diff byte-for-byte.
+
 Shared flags are defined once as argparse *parent parsers*
 (``--jobs``/``--backend``, ``--seed``, ``--trace``/``--trace-format``,
 ``--cache``/``--no-cache``/``--cache-dir``) and read back through the
@@ -203,25 +214,46 @@ def _cmd_seu(args) -> int:
     import json
 
     from .core import Table
-    from .radhard import memory_scenarios
+    from .radhard import MegaCampaign, memory_scenarios
 
     options = CommonOptions.from_args(args)
+    sharded = bool(args.shards) or args.shard_size is not None \
+        or args.stop_ci is not None
+    if args.resume and not options.cache_enabled:
+        print("error: --resume needs --cache-dir (or --cache) to "
+              "resume from", file=sys.stderr)
+        return 2
     table = Table(
         f"SEU campaigns ({args.runs} runs each, seed {options.seed}, "
         f"jobs {options.jobs})",
         ["target", "masked", "corrected", "detected", "sdc", "crash",
          "fail_rate", "wall_s", "mean_ms", "p95_ms"])
     failures = 0.0
+    target_missed = False
     tracer = options.build_tracer()
     cache = options.build_cache(tracer)
     reports = []
     for campaign in memory_scenarios(words=args.words):
-        report = campaign.run(args.runs, seed=options.seed,
+        if sharded:
+            mega = MegaCampaign(campaign, cache=cache, tracer=tracer)
+            result = mega.run(args.runs, seed=options.seed,
                               jobs=options.jobs,
                               backend=options.backend,
+                              shards=args.shards or None,
+                              shard_size=args.shard_size,
                               timeout_s=args.timeout,
-                              retries=args.retries, tracer=tracer,
-                              cache=cache)
+                              retries=args.retries,
+                              stop_ci=args.stop_ci)
+            report = result.report
+            print(f"mega: {result.summary()}", file=sys.stderr)
+            target_missed |= not result.reached_target
+        else:
+            report = campaign.run(args.runs, seed=options.seed,
+                                  jobs=options.jobs,
+                                  backend=options.backend,
+                                  timeout_s=args.timeout,
+                                  retries=args.retries, tracer=tracer,
+                                  cache=cache)
         reports.append(report)
         table.add_row(campaign.name,
                       report.counts.get("masked", 0),
@@ -240,10 +272,23 @@ def _cmd_seu(args) -> int:
             [report.to_json() for report in reports],
             sort_keys=True, separators=(",", ":")))
         print(f"reports written to {args.json}", file=sys.stderr)
+    if args.json_deterministic:
+        Path(args.json_deterministic).write_text(json.dumps(
+            [report.deterministic_json() for report in reports],
+            sort_keys=True, separators=(",", ":")))
+        print(f"deterministic payloads written to "
+              f"{args.json_deterministic}", file=sys.stderr)
     if cache is not None:
         print(f"cache: {cache.summary()}", file=sys.stderr)
     options.finish_trace(tracer)
-    return 0 if failures == 0 else 1
+    if failures != 0:
+        return 1
+    # With --stop-ci, a campaign that ran out of shards before its CI
+    # half-width reached the target is insufficient statistical
+    # evidence — a distinct exit code so CI can gate on it.
+    if args.stop_ci is not None and target_missed:
+        return 4
+    return 0
 
 
 def _cmd_boot(args) -> int:
@@ -523,6 +568,25 @@ def build_parser() -> argparse.ArgumentParser:
                      help="retry budget before classifying crash")
     seu.add_argument("--json", metavar="PATH",
                      help="also export the reports as canonical JSON")
+    seu.add_argument("--shards", type=int, default=0,
+                     help="run as a sharded mega-campaign with this "
+                          "many shards (0 = unsharded)")
+    seu.add_argument("--shard-size", type=int, default=None,
+                     metavar="RUNS",
+                     help="runs per shard (keep fixed across "
+                          "invocations to resume/extend from a cache)")
+    seu.add_argument("--resume", action="store_true",
+                     help="resume/extend from --cache-dir shard "
+                          "checkpoints (errors without a cache)")
+    seu.add_argument("--stop-ci", type=float, default=None,
+                     metavar="HALF_WIDTH",
+                     help="stop each campaign early once the Wilson "
+                          "95%% CI half-width on its failure rate is "
+                          "below this (exit 4 if never reached)")
+    seu.add_argument("--json-deterministic", metavar="PATH",
+                     help="export the execution-independent report "
+                          "payloads (byte-identical across "
+                          "serial/sharded/resumed runs)")
     seu.set_defaults(func=_cmd_seu)
 
     boot = sub.add_parser("boot", parents=[trace_p],

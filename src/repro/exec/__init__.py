@@ -2,7 +2,11 @@
 
 The seed-derivation contract (:func:`seed_for`) plus the backend-agnostic
 :class:`ParallelEngine` guarantee that serial, thread-pool and
-process-pool executions of the same campaign are bit-identical.
+process-pool executions of the same campaign are bit-identical.  On top
+of it, :mod:`repro.exec.sharding` splits mega-campaigns into
+deterministic seed-range shards (resumable, extensible, early-stoppable)
+and :mod:`repro.exec.stats` accumulates streaming outcome statistics
+with Wilson confidence intervals.
 """
 
 from .engine import (
@@ -17,9 +21,21 @@ from .engine import (
 )
 from .metrics import LatencyStats, percentile
 from .seeding import rng_for, seed_for
+from .sharding import (
+    ShardPlan,
+    ShardResult,
+    ShardSpec,
+    plan_shards,
+    run_shard,
+    run_sharded,
+)
+from .stats import Z95, StreamingStats, wilson_interval
 
 __all__ = [
     "BACKENDS", "ExecError", "ExecutionReport", "ParallelEngine",
     "RunResult", "RunTimeout", "default_jobs", "resolve_backend",
     "LatencyStats", "percentile", "rng_for", "seed_for",
+    "ShardPlan", "ShardResult", "ShardSpec", "plan_shards", "run_shard",
+    "run_sharded",
+    "Z95", "StreamingStats", "wilson_interval",
 ]

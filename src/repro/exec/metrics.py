@@ -54,6 +54,22 @@ class LatencyStats:
                    p95_s=percentile(samples, 95.0),
                    max_s=max(samples))
 
+    @classmethod
+    def from_sample_groups(
+            cls, groups: Sequence[Sequence[float]]) -> "LatencyStats":
+        """Exact, order-invariant merge of per-shard sample groups.
+
+        Summaries cannot be merged (percentiles don't compose), so the
+        merge works on the raw samples.  They are sorted before
+        accumulation: float addition is not associative, and summing in
+        shard-completion order would let the same multiset of samples
+        produce different ``total_s``/``mean_s`` bytes run to run.  With
+        the sort, the merged stats are a pure function of the sample
+        multiset — any group order and any group partition agree.
+        """
+        merged = sorted(sample for group in groups for sample in group)
+        return cls.from_samples(merged)
+
     def summary(self) -> str:
         if not self.count:
             return "no latency samples"

@@ -1,0 +1,272 @@
+"""Deterministic seed-range sharding over the parallel engine.
+
+A mega-campaign (10^6–10^9 injections) cannot run as one flat job list:
+it must survive a crash, extend without recomputing, and stop early when
+the statistical answer is in.  The unit that makes all three possible is
+the **shard** — a contiguous range of run indices executed as one unit.
+
+Because every run *i* of a campaign with seed *S* draws from the
+SplitMix64 sub-stream ``seed_for(S, i)`` and from nothing else (the PR-1
+engine contract), a shard's results are a pure function of ``(S, start,
+count)``: no shard count, worker count, backend or completion order can
+change a single run.  Merging shard results in index order is therefore
+bit-identical to the serial flat run — and a shard is a natural
+checkpoint key for the content-addressed cache.
+
+Fixed shard *size* (not count) is what makes campaigns extensible:
+shards of a 1 000-run campaign with ``shard_size=250`` are byte-for-byte
+the first four shards of the same campaign extended to 2 000 runs, so an
+extension replays only the gap.
+
+:func:`run_sharded` dispatches shards over a thread or fork pool with a
+bounded in-flight window (workers steal the next shard as they free up),
+buffers out-of-order completions, and **folds results strictly in shard
+index order**.  The fold callback may stop the campaign; since folding
+order never depends on completion order, an early-stopped campaign
+covers a deterministic prefix of the plan at any job count.
+"""
+
+from __future__ import annotations
+
+import math
+import multiprocessing
+import time
+from collections import deque
+from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, \
+    ThreadPoolExecutor, wait
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Mapping, Optional, \
+    Tuple, Type
+
+from .engine import ExecError, RunFn, RunResult, _execute_run, \
+    default_jobs, resolve_backend
+from .seeding import seed_for
+
+
+@dataclass(frozen=True)
+class ShardSpec:
+    """One contiguous run-index range ``[start, start + count)``."""
+
+    index: int
+    start: int
+    count: int
+
+    def __post_init__(self) -> None:
+        if self.start < 0 or self.count <= 0:
+            raise ExecError(
+                f"shard {self.index}: start must be >= 0 and count > 0")
+
+    @property
+    def stop(self) -> int:
+        return self.start + self.count
+
+    def run_indices(self) -> range:
+        return range(self.start, self.stop)
+
+    def to_json(self) -> Dict[str, int]:
+        return {"index": self.index, "start": self.start,
+                "count": self.count}
+
+    @classmethod
+    def from_json(cls, payload: Mapping[str, int]) -> "ShardSpec":
+        return cls(index=payload["index"], start=payload["start"],
+                   count=payload["count"])
+
+
+@dataclass
+class ShardPlan:
+    """The shard manifest of one campaign execution."""
+
+    runs: int
+    shard_size: int
+    specs: List[ShardSpec] = field(default_factory=list)
+
+    def __len__(self) -> int:
+        return len(self.specs)
+
+    def manifest(self) -> Dict[str, Any]:
+        """JSON manifest (what the docs call the *shard manifest*)."""
+        return {"runs": self.runs, "shard_size": self.shard_size,
+                "shards": [spec.to_json() for spec in self.specs]}
+
+
+def plan_shards(runs: int, shards: Optional[int] = None,
+                shard_size: Optional[int] = None) -> ShardPlan:
+    """Split ``runs`` into contiguous fixed-size shards.
+
+    Exactly one of ``shards`` (a target shard count; the size is derived
+    as ``ceil(runs / shards)``) or ``shard_size`` must be given.  To
+    keep a campaign *extensible* — old shards reused when ``runs``
+    grows — callers must hold ``shard_size`` fixed across executions;
+    a fixed shard *count* moves every boundary when ``runs`` changes.
+    """
+    if runs < 0:
+        raise ExecError("runs must be >= 0")
+    if (shards is None) == (shard_size is None):
+        raise ExecError("give exactly one of shards / shard_size")
+    if shards is not None:
+        if shards <= 0:
+            raise ExecError("shards must be positive")
+        size = max(1, math.ceil(runs / shards))
+    else:
+        assert shard_size is not None
+        if shard_size <= 0:
+            raise ExecError("shard_size must be positive")
+        size = shard_size
+    specs = [ShardSpec(index=index, start=start,
+                       count=min(size, runs - start))
+             for index, start in enumerate(range(0, runs, size))]
+    return ShardPlan(runs=runs, shard_size=size, specs=specs)
+
+
+@dataclass
+class ShardResult:
+    """Raw engine results of one executed shard (run order within)."""
+
+    spec: ShardSpec
+    results: List[RunResult]
+    wall_s: float = 0.0
+    cached: bool = False
+
+
+def run_shard(fn: RunFn, spec: ShardSpec, seed: int,
+              timeout_s: Optional[float] = None, retries: int = 0,
+              fatal_types: Tuple[Type[BaseException], ...] = ()
+              ) -> ShardResult:
+    """Execute one shard serially with the engine's per-run semantics.
+
+    Run *i* executes ``fn(i, seed_for(seed, i))`` under the same
+    timeout/retry envelope as a flat ``ParallelEngine`` map, so a shard
+    is exactly the corresponding slice of the serial campaign.
+    """
+    start = time.perf_counter()
+    results = [_execute_run(fn, index, seed_for(seed, index), timeout_s,
+                            retries, tuple(fatal_types))
+               for index in spec.run_indices()]
+    return ShardResult(spec=spec, results=results,
+                       wall_s=time.perf_counter() - start)
+
+
+# -- fork plumbing (same trick as engine._FORK_PAYLOAD) ------------------
+
+_SHARD_PAYLOAD: Optional[Tuple[RunFn, int, Optional[float], int,
+                               Tuple[Type[BaseException], ...]]] = None
+
+
+def _run_shard_forked(spec: ShardSpec) -> ShardResult:
+    assert _SHARD_PAYLOAD is not None, "worker forked without payload"
+    fn, seed, timeout_s, retries, fatal_types = _SHARD_PAYLOAD
+    return run_shard(fn, spec, seed, timeout_s, retries, fatal_types)
+
+
+def _raise_fatals(result: Any) -> None:
+    """Re-raise a captured fatal from a shard's run results, if any."""
+    for run_result in getattr(result, "results", ()):
+        fatal = getattr(run_result, "fatal", None)
+        if fatal is not None:
+            raise fatal
+
+
+def run_sharded(fn: RunFn, plan: ShardPlan, seed: int = 1,
+                jobs: int = 1, backend: str = "auto",
+                timeout_s: Optional[float] = None, retries: int = 0,
+                fatal_types: Tuple[Type[BaseException], ...] = (),
+                completed: Optional[Mapping[int, Any]] = None,
+                on_computed: Optional[Callable[[ShardResult], Any]] = None,
+                consume: Optional[Callable[[Any], bool]] = None
+                ) -> List[Any]:
+    """Execute a shard plan with work-stealing and in-order folding.
+
+    ``completed`` maps shard index → an already-known result (a cache
+    hit); those shards are never executed and are folded verbatim.
+    ``on_computed`` runs once per freshly computed shard, in completion
+    order (this is the checkpoint hook — persist the shard here, so a
+    kill loses at most the in-flight shards); its non-None return value
+    replaces the :class:`ShardResult` from then on.  ``consume`` is
+    called exactly once per shard **in shard index order**; returning
+    True stops the campaign — no later shard is folded, and shards not
+    yet started are never executed.
+
+    Returns the folded results in index order (a prefix of the plan when
+    stopped early).  A captured fatal exception (see the engine's
+    ``fatal_types``) aborts the whole map and is re-raised.
+    """
+    if jobs < 0:
+        raise ExecError("jobs must be >= 0 (0 means all cores)")
+    jobs = jobs or default_jobs()
+    resolved = resolve_backend(backend, jobs)
+    known: Dict[int, Any] = dict(completed or {})
+    fatal_types = tuple(fatal_types)
+    folded: List[Any] = []
+
+    def fold(result: Any) -> bool:
+        folded.append(result)
+        if consume is not None:
+            return bool(consume(result))
+        return False
+
+    if resolved == "serial" or jobs == 1:
+        for spec in plan.specs:
+            result = known.get(spec.index)
+            if result is None:
+                result = run_shard(fn, spec, seed, timeout_s, retries,
+                                   fatal_types)
+                _raise_fatals(result)
+                if on_computed is not None:
+                    replaced = on_computed(result)
+                    result = result if replaced is None else replaced
+            if fold(result):
+                break
+        return folded
+
+    global _SHARD_PAYLOAD
+    if resolved == "process":
+        _SHARD_PAYLOAD = (fn, seed, timeout_s, retries, fatal_types)
+        executor: Any = ProcessPoolExecutor(
+            max_workers=jobs,
+            mp_context=multiprocessing.get_context("fork"))
+        submit = lambda spec: executor.submit(_run_shard_forked, spec)
+    else:
+        executor = ThreadPoolExecutor(max_workers=jobs,
+                                      thread_name_prefix="shard-pool")
+        submit = lambda spec: executor.submit(
+            run_shard, fn, spec, seed, timeout_s, retries, fatal_types)
+
+    pending = deque(spec for spec in plan.specs
+                    if spec.index not in known)
+    in_flight: Dict[Any, ShardSpec] = {}
+    buffered: Dict[int, Any] = {}
+    position = 0  # next plan position to fold
+    try:
+        while position < len(plan.specs):
+            # Keep the window full: workers steal the next shard the
+            # moment a slot frees; nothing beyond the window starts, so
+            # an early stop wastes at most ~jobs shards of work.
+            while pending and len(in_flight) < jobs:
+                in_flight[submit(pending.popleft())] = None
+            front = plan.specs[position]
+            if front.index in known:
+                position += 1
+                if fold(known[front.index]):
+                    break
+                continue
+            if front.index in buffered:
+                position += 1
+                if fold(buffered.pop(front.index)):
+                    break
+                continue
+            done, _ = wait(list(in_flight), return_when=FIRST_COMPLETED)
+            for future in done:
+                in_flight.pop(future)
+                result = future.result()
+                index = result.spec.index
+                _raise_fatals(result)
+                if on_computed is not None:
+                    replaced = on_computed(result)
+                    result = result if replaced is None else replaced
+                buffered[index] = result
+    finally:
+        executor.shutdown(wait=False, cancel_futures=True)
+        if resolved == "process":
+            _SHARD_PAYLOAD = None
+    return folded

@@ -1,0 +1,176 @@
+"""Streaming campaign statistics with Wilson confidence intervals.
+
+A mega-campaign (``repro.radhard.mega``) does not wait for its last
+shard to know what it has measured: every completed shard folds its
+outcome tallies into a :class:`StreamingStats` accumulator, which keeps
+per-outcome counts, Wilson 95% confidence intervals on any outcome-set
+rate, and a CI-driven early-stopping predicate ("halt when the interval
+half-width on the failure rate is below X").
+
+The Wilson score interval is used instead of the normal (Wald)
+approximation because campaign rates live at the extremes — a mitigated
+scenario has a failure rate near 0, an unprotected one near 1 — exactly
+where the Wald interval collapses to zero width and lies.  Wilson stays
+calibrated there, never leaves [0, 1], and is the interval radiation
+test standards reach for when quoting cross-section bounds from small
+event counts.
+
+Everything here is pure integer/float arithmetic over counts, so the
+accumulator is order-invariant: folding the same shards in any order
+yields identical statistics.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Any, Dict, Iterable, Mapping, Tuple, Union
+
+#: z for a two-sided 95% interval (Phi^-1(0.975)).
+Z95 = 1.959963984540054
+
+Outcomes = Union[str, Iterable[str]]
+
+
+def _normalize_outcomes(outcomes: Outcomes) -> Tuple[str, ...]:
+    if isinstance(outcomes, str):
+        return (outcomes,)
+    return tuple(outcomes)
+
+
+def wilson_interval(successes: int, trials: int,
+                    z: float = Z95) -> Tuple[float, float]:
+    """Wilson score interval for a binomial proportion.
+
+    Returns ``(low, high)`` clamped to [0, 1].  With no trials the
+    proportion is unconstrained, so the interval is the whole of [0, 1]
+    rather than a division by zero.
+
+    At the extremes the bounds are exact: the lower bound at zero
+    successes is 0 and the upper bound at zero failures is 1 (both
+    terms of ``centre ∓ half`` cancel algebraically there), so they are
+    pinned rather than left to float round-off — a measured rate of
+    exactly 0.0 must lie inside the interval of a campaign that never
+    saw the event.
+    """
+    if successes < 0:
+        raise ValueError("successes must be non-negative")
+    if trials < successes:
+        raise ValueError("successes cannot exceed trials")
+    if trials <= 0:
+        return 0.0, 1.0
+    p = successes / trials
+    z2 = z * z
+    denom = 1.0 + z2 / trials
+    centre = (p + z2 / (2.0 * trials)) / denom
+    half = (z / denom) * math.sqrt(
+        p * (1.0 - p) / trials + z2 / (4.0 * trials * trials))
+    low = 0.0 if successes == 0 else max(0.0, centre - half)
+    high = 1.0 if successes == trials else min(1.0, centre + half)
+    return low, high
+
+
+@dataclass
+class StreamingStats:
+    """Outcome tallies folded shard by shard, with Wilson CIs on top.
+
+    ``fold`` accepts one shard's ``(counts, trials)``; ``observe`` adds
+    a single outcome.  All derived quantities (rates, intervals,
+    half-widths, cross-section bounds) are pure functions of the folded
+    counts, so any fold order produces identical answers.
+    """
+
+    z: float = Z95
+    trials: int = 0
+    counts: Dict[str, int] = field(default_factory=dict)
+    #: How many shards have been folded — the early-stop guard: a
+    #: single shard, however large, is never enough to stop on.
+    folds: int = 0
+
+    def observe(self, outcome: str, amount: int = 1) -> None:
+        if amount < 0:
+            raise ValueError("amount must be non-negative")
+        self.counts[outcome] = self.counts.get(outcome, 0) + amount
+        self.trials += amount
+
+    def fold(self, counts: Mapping[str, int], trials: int) -> None:
+        """Fold one shard's outcome tallies into the accumulator."""
+        if trials < 0:
+            raise ValueError("trials must be non-negative")
+        if sum(counts.values()) != trials:
+            raise ValueError(
+                f"shard counts sum to {sum(counts.values())}, "
+                f"not the declared {trials} trials")
+        for outcome, amount in counts.items():
+            if amount:
+                self.counts[outcome] = \
+                    self.counts.get(outcome, 0) + amount
+        self.trials += trials
+        self.folds += 1
+
+    # -- derived statistics ---------------------------------------------
+
+    def count(self, outcomes: Outcomes) -> int:
+        return sum(self.counts.get(o, 0)
+                   for o in _normalize_outcomes(outcomes))
+
+    def rate(self, outcomes: Outcomes) -> float:
+        return self.count(outcomes) / self.trials if self.trials else 0.0
+
+    def interval(self, outcomes: Outcomes) -> Tuple[float, float]:
+        """Wilson CI on the rate of ``outcomes`` (a name or a set)."""
+        return wilson_interval(self.count(outcomes), self.trials, self.z)
+
+    def half_width(self, outcomes: Outcomes) -> float:
+        low, high = self.interval(outcomes)
+        return (high - low) / 2.0
+
+    def should_stop(self, target_half_width: float, outcomes: Outcomes,
+                    min_folds: int = 2) -> bool:
+        """True once the CI half-width on ``outcomes`` is under target.
+
+        Never true before ``min_folds`` shards have been folded (default
+        2): a stop decision needs at least one shard of confirmation
+        beyond the one that first suggested it, so a campaign can never
+        stop on its opening shard.
+        """
+        if target_half_width <= 0:
+            raise ValueError("target_half_width must be positive")
+        if self.folds < min_folds or not self.trials:
+            return False
+        return self.half_width(outcomes) < target_half_width
+
+    def cross_section_interval(self, fluence_per_cm2: float,
+                               outcomes: Outcomes
+                               ) -> Tuple[float, float]:
+        """CI on the device cross-section (cm²) implied by ``outcomes``.
+
+        ``sigma = events / fluence``; the Wilson interval on the event
+        *rate* propagates linearly: events = rate × trials, so the
+        cross-section bounds are ``rate_bound × trials / fluence``.
+        """
+        if fluence_per_cm2 <= 0:
+            raise ValueError("fluence must be positive")
+        low, high = self.interval(outcomes)
+        scale = self.trials / fluence_per_cm2
+        return low * scale, high * scale
+
+    # -- serialization ---------------------------------------------------
+
+    def summary(self) -> str:
+        tallies = "  ".join(f"{name}={count}" for name, count
+                            in sorted(self.counts.items()))
+        return (f"n={self.trials} over {self.folds} shard(s)"
+                + (f"  {tallies}" if tallies else ""))
+
+    def to_json(self) -> Dict[str, Any]:
+        return {"z": self.z, "trials": self.trials,
+                "counts": {name: self.counts[name]
+                           for name in sorted(self.counts)},
+                "folds": self.folds}
+
+    @classmethod
+    def from_json(cls, payload: Mapping[str, Any]) -> "StreamingStats":
+        return cls(z=payload["z"], trials=payload["trials"],
+                   counts=dict(payload["counts"]),
+                   folds=payload["folds"])

@@ -8,6 +8,14 @@ from .campaign import (
     CrossSection,
     InjectionResult,
     OUTCOMES,
+    classify_result,
+)
+from .mega import (
+    FAILURE_OUTCOMES,
+    MegaCampaign,
+    MegaReport,
+    ShardRecord,
+    merge_shard_records,
 )
 from .ecc import (
     DecodeResult,
@@ -54,7 +62,9 @@ from .tmr import (
 
 __all__ = [
     "Campaign", "CampaignError", "CampaignReport", "CrossSection",
-    "InjectionResult", "OUTCOMES",
+    "InjectionResult", "OUTCOMES", "classify_result",
+    "FAILURE_OUTCOMES", "MegaCampaign", "MegaReport", "ShardRecord",
+    "merge_shard_records",
     "DecodeResult", "EccError", "EccMemory", "EccStats", "codeword_bits",
     "decode", "encode",
     "IntegrityError", "IntegrityMap", "IntegrityViolation", "Region",

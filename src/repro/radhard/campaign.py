@@ -43,6 +43,19 @@ class InjectionResult:
             raise CampaignError(f"unknown outcome {self.outcome!r}")
 
 
+def classify_result(run_result) -> tuple:
+    """``(outcome, description)`` of one engine :class:`RunResult`.
+
+    A run whose callbacks raised or timed out (after its retry budget)
+    is classified ``crash`` with the error text as description — the
+    same rule whether the run executed on a flat engine map or inside a
+    mega-campaign shard.
+    """
+    if run_result.ok:
+        return run_result.value
+    return "crash", run_result.error
+
+
 @dataclass
 class CampaignReport:
     name: str
@@ -94,7 +107,17 @@ class CampaignReport:
         protocol method; same text as the legacy ``summary_row``)."""
         return self.summary_row()
 
-    def to_json(self) -> Dict[str, Any]:
+    def deterministic_json(self) -> Dict[str, Any]:
+        """The execution-independent payload: the scientific evidence.
+
+        Name, run/upset counts, per-outcome tallies and the per-run
+        outcome list — everything a campaign *measured*, nothing about
+        how it was executed.  This is the byte-identity contract of the
+        sharded/resumed/parallel paths: any execution shape of the same
+        (scenario, runs, seed) produces these bytes exactly.  The
+        wall-clock accounting (backend, jobs, wall_s, latency) is
+        honest measurement of one particular execution and is excluded.
+        """
         return {
             "name": self.name,
             "runs": self.runs,
@@ -104,12 +127,18 @@ class CampaignReport:
             "results": [{"run": r.run, "outcome": r.outcome,
                          "description": r.description}
                         for r in self.results],
+        }
+
+    def to_json(self) -> Dict[str, Any]:
+        payload = self.deterministic_json()
+        payload.update({
             "backend": self.backend,
             "jobs": self.jobs,
             "wall_s": self.wall_s,
             "retried_runs": self.retried_runs,
             "latency": self.latency.to_json(),
-        }
+        })
+        return payload
 
     @classmethod
     def from_json(cls, payload: Dict[str, Any]) -> "CampaignReport":
@@ -222,10 +251,7 @@ class Campaign:
                                 retried_runs=exec_report.retried_runs,
                                 latency=exec_report.latency_stats())
         for run_result in exec_report.results:
-            if run_result.ok:
-                outcome, description = run_result.value
-            else:
-                outcome, description = "crash", run_result.error
+            outcome, description = classify_result(run_result)
             result = InjectionResult(run=run_result.index, outcome=outcome,
                                      description=description)
             report.results.append(result)

@@ -1,0 +1,176 @@
+"""Unit tests for the streaming campaign statistics (Wilson CIs)."""
+
+import json
+import math
+
+import pytest
+
+from repro.exec import StreamingStats, Z95, wilson_interval
+
+
+def closed_form_wilson(k, n, z=Z95):
+    """Independent rendering of the Wilson score interval."""
+    p = k / n
+    z2 = z * z
+    denom = 1 + z2 / n
+    centre = (p + z2 / (2 * n)) / denom
+    half = (z / denom) * math.sqrt(p * (1 - p) / n + z2 / (4 * n * n))
+    return max(0.0, centre - half), min(1.0, centre + half)
+
+
+class TestWilsonInterval:
+    @pytest.mark.parametrize("k,n", [
+        (5, 100), (50, 100), (97, 100), (1, 1_000_000), (3, 7), (1, 2),
+    ])
+    def test_matches_closed_form(self, k, n):
+        assert wilson_interval(k, n) == closed_form_wilson(k, n)
+
+    def test_known_values(self):
+        # Spot values (computed once from the closed form, pinned here
+        # so a silent formula change cannot pass the self-referential
+        # test above).
+        low, high = wilson_interval(5, 100)
+        assert low == pytest.approx(0.02154367915436796, rel=1e-12)
+        assert high == pytest.approx(0.11175046923191913, rel=1e-12)
+        low, high = wilson_interval(97, 100)
+        assert low == pytest.approx(0.9154806357094724, rel=1e-12)
+        assert high == pytest.approx(0.9897454759759611, rel=1e-12)
+
+    def test_zero_trials_is_uninformative_not_a_crash(self):
+        assert wilson_interval(0, 0) == (0.0, 1.0)
+
+    def test_exact_endpoints_at_extremes(self):
+        # Zero observed events: the lower bound is exactly 0.0 (not a
+        # float residue near it), so a campaign whose measured rate is
+        # exactly zero always lies inside its own CI.  Symmetrically at
+        # zero failures.  The opposite bound stays informative — Wald
+        # would claim zero width here.
+        low, high = wilson_interval(0, 50)
+        assert low == 0.0
+        assert 0.0 < high < 1.0
+        low, high = wilson_interval(50, 50)
+        assert high == 1.0
+        assert 0.0 < low < 1.0
+
+    def test_contains_point_estimate(self):
+        for k, n in [(0, 10), (3, 10), (10, 10), (400, 1000)]:
+            low, high = wilson_interval(k, n)
+            assert low <= k / n <= high
+
+    def test_rejects_impossible_counts(self):
+        with pytest.raises(ValueError):
+            wilson_interval(-1, 10)
+        with pytest.raises(ValueError):
+            wilson_interval(11, 10)
+
+
+class TestStreamingStats:
+    def test_fold_accumulates_counts(self):
+        stats = StreamingStats()
+        stats.fold({"masked": 30, "sdc": 10}, 40)
+        stats.fold({"masked": 25, "sdc": 15}, 40)
+        assert stats.trials == 80
+        assert stats.count("sdc") == 25
+        assert stats.rate("sdc") == 25 / 80
+        assert stats.rate(("masked", "sdc")) == 1.0
+        assert stats.folds == 2
+
+    def test_fold_rejects_inconsistent_tallies(self):
+        stats = StreamingStats()
+        with pytest.raises(ValueError):
+            stats.fold({"masked": 3}, 4)
+
+    def test_interval_matches_wilson_on_folded_counts(self):
+        stats = StreamingStats()
+        stats.fold({"corrected": 95, "sdc": 5}, 100)
+        assert stats.interval("sdc") == wilson_interval(5, 100)
+        assert stats.interval(("sdc", "crash")) == wilson_interval(5, 100)
+
+    def test_half_width_shrinks_monotonically_as_shards_stream(self):
+        # Equal-rate shards: more evidence can only tighten the CI.
+        stats = StreamingStats()
+        widths = []
+        for _ in range(12):
+            stats.fold({"masked": 18, "sdc": 2}, 20)
+            widths.append(stats.half_width("sdc"))
+        assert widths == sorted(widths, reverse=True)
+        assert widths[-1] < widths[0] / 2
+
+    def test_empty_accumulator_rates_are_zero_not_nan(self):
+        stats = StreamingStats()
+        assert stats.rate("sdc") == 0.0
+        assert stats.interval("sdc") == (0.0, 1.0)
+        assert stats.half_width("sdc") == 0.5
+
+    def test_order_invariance(self):
+        shards = [({"masked": 9, "sdc": 1}, 10),
+                  ({"masked": 5, "crash": 5}, 10),
+                  ({"sdc": 10}, 10)]
+        forward, backward = StreamingStats(), StreamingStats()
+        for counts, trials in shards:
+            forward.fold(counts, trials)
+        for counts, trials in reversed(shards):
+            backward.fold(counts, trials)
+        assert json.dumps(forward.to_json(), sort_keys=True) == \
+            json.dumps(backward.to_json(), sort_keys=True)
+
+    def test_json_round_trip(self):
+        stats = StreamingStats()
+        stats.fold({"masked": 7, "sdc": 3}, 10)
+        revived = StreamingStats.from_json(
+            json.loads(json.dumps(stats.to_json())))
+        assert revived == stats
+
+
+class TestEarlyStopping:
+    def test_triggers_at_documented_threshold(self):
+        stats = StreamingStats()
+        stats.fold({"sdc": 490, "masked": 10}, 500)
+        stats.fold({"sdc": 489, "masked": 11}, 500)
+        half = stats.half_width("sdc")
+        # Strictly-below semantics: just above the measured half-width
+        # stops, the half-width itself (or anything below) does not.
+        assert stats.should_stop(half * 1.001, "sdc")
+        assert not stats.should_stop(half, "sdc")
+        assert not stats.should_stop(half * 0.5, "sdc")
+
+    def test_never_stops_on_the_first_shard(self):
+        stats = StreamingStats()
+        # One enormous shard: statistically overwhelming, procedurally
+        # insufficient — the stop rule demands a confirming shard.
+        stats.fold({"masked": 1_000_000}, 1_000_000)
+        assert stats.half_width("sdc") < 1e-5
+        assert not stats.should_stop(0.01, "sdc")
+        stats.fold({"masked": 10}, 10)
+        assert stats.should_stop(0.01, "sdc")
+
+    def test_never_stops_with_no_evidence(self):
+        stats = StreamingStats()
+        stats.fold({}, 0)
+        stats.fold({}, 0)
+        assert stats.folds == 2
+        assert not stats.should_stop(0.9, "sdc")
+
+    def test_rejects_nonpositive_target(self):
+        with pytest.raises(ValueError):
+            StreamingStats().should_stop(0.0, "sdc")
+
+
+class TestCrossSectionPropagation:
+    def test_interval_scales_rate_bounds_by_trials_over_fluence(self):
+        stats = StreamingStats()
+        stats.fold({"sdc": 12, "masked": 988}, 1000)
+        fluence = 2.5e7
+        low, high = stats.cross_section_interval(fluence, "sdc")
+        rate_low, rate_high = stats.interval("sdc")
+        scale = stats.trials / fluence
+        assert low == rate_low * scale
+        assert high == rate_high * scale
+        # The point-estimate cross-section lies inside its own bounds.
+        assert low <= 12 / fluence <= high
+
+    def test_rejects_nonpositive_fluence(self):
+        stats = StreamingStats()
+        stats.fold({"sdc": 1, "masked": 9}, 10)
+        with pytest.raises(ValueError):
+            stats.cross_section_interval(0.0, "sdc")

@@ -1,0 +1,139 @@
+"""Kill/resume fault injection for the mega-campaign checkpoint store.
+
+The harness runs a slow (beam-dwell) campaign in a child Python
+process, SIGKILLs it once a few shard checkpoints have landed on disk,
+then resumes against the same cache directory and asserts the final
+report is byte-for-byte the uninterrupted serial run.  This is the
+paper's qualification-campaign durability claim exercised with a real
+kill -9, not a mock.
+"""
+
+import json
+import os
+import signal
+import subprocess
+import sys
+import time
+from pathlib import Path
+
+import pytest
+
+from repro.cache import FlowCache
+from repro.radhard import MegaCampaign, beam_campaign
+
+SRC = Path(__file__).resolve().parent.parent.parent / "src"
+
+#: Same scenario/plan in the child and the resume: a dwell long enough
+#: that the parent can observe checkpoints landing while runs are still
+#: outstanding, sharded small so kills happen mid-plan.
+WORDS, DWELL_S, RUNS, SEED, SHARD_SIZE = 32, 0.002, 400, 13, 25
+
+CHILD_SCRIPT = """
+import sys
+from repro.cache import FlowCache
+from repro.radhard import MegaCampaign, beam_campaign
+
+cache = FlowCache(directory=sys.argv[1])
+MegaCampaign(beam_campaign(words={words}, dwell_s={dwell}),
+             cache=cache).run({runs}, seed={seed}, jobs=2,
+                              shard_size={shard_size})
+""".format(words=WORDS, dwell=DWELL_S, runs=RUNS, seed=SEED,
+           shard_size=SHARD_SIZE)
+
+
+def campaign():
+    return beam_campaign(words=WORDS, dwell_s=DWELL_S)
+
+
+def payload_bytes(report):
+    return json.dumps(report.deterministic_json(), sort_keys=True,
+                      separators=(",", ":"))
+
+
+def spawn_campaign(cache_dir):
+    env = dict(os.environ, PYTHONPATH=str(SRC))
+    return subprocess.Popen([sys.executable, "-c", CHILD_SCRIPT,
+                             str(cache_dir)], env=env,
+                            stdout=subprocess.DEVNULL,
+                            stderr=subprocess.DEVNULL)
+
+def checkpoints_on_disk(cache_dir):
+    objects = Path(cache_dir) / "objects"
+    return len(list(objects.glob("*.json"))) if objects.exists() else 0
+
+
+def kill_after_checkpoints(child, cache_dir, minimum, deadline_s=60.0):
+    deadline = time.monotonic() + deadline_s
+    while time.monotonic() < deadline:
+        if checkpoints_on_disk(cache_dir) >= minimum:
+            break
+        if child.poll() is not None:
+            pytest.fail("campaign finished before it could be killed; "
+                        "raise RUNS or lower the checkpoint threshold")
+        time.sleep(0.005)
+    else:
+        pytest.fail(f"no {minimum} checkpoints within {deadline_s}s")
+    child.send_signal(signal.SIGKILL)
+    child.wait(timeout=30)
+
+
+class TestKillResume:
+    def test_sigkilled_campaign_resumes_byte_identically(self, tmp_path):
+        cache_dir = tmp_path / "cache"
+        child = spawn_campaign(cache_dir)
+        kill_after_checkpoints(child, cache_dir, minimum=3)
+        assert child.returncode == -signal.SIGKILL
+
+        surviving = checkpoints_on_disk(cache_dir)
+        assert 0 < surviving < RUNS // SHARD_SIZE, \
+            "kill landed outside the campaign's lifetime"
+
+        resumed = MegaCampaign(campaign(),
+                               cache=FlowCache(directory=cache_dir)).run(
+            RUNS, seed=SEED, jobs=2, shard_size=SHARD_SIZE)
+        # The kill must have saved us real work...
+        assert resumed.shards_cached >= 1
+        assert resumed.shards_cached + resumed.shards_computed == \
+            RUNS // SHARD_SIZE
+        # ...and changed nothing about the evidence.
+        uninterrupted = campaign().run(RUNS, seed=SEED)
+        assert payload_bytes(resumed.report) == \
+            payload_bytes(uninterrupted)
+
+    def test_resume_after_runs_extension(self, tmp_path):
+        # A killed 400-run campaign's checkpoints must also serve a
+        # 600-run extension: fixed shard_size keeps old boundaries.
+        cache_dir = tmp_path / "cache"
+        child = spawn_campaign(cache_dir)
+        kill_after_checkpoints(child, cache_dir, minimum=3)
+
+        extended_runs = RUNS + 200
+        resumed = MegaCampaign(campaign(),
+                               cache=FlowCache(directory=cache_dir)).run(
+            extended_runs, seed=SEED, jobs=2, shard_size=SHARD_SIZE)
+        assert resumed.shards_cached >= 1
+        assert resumed.runs_executed == extended_runs
+        uninterrupted = campaign().run(extended_runs, seed=SEED)
+        assert payload_bytes(resumed.report) == \
+            payload_bytes(uninterrupted)
+
+
+class TestCheckpointIntegrity:
+    def test_corrupt_checkpoint_is_recomputed_not_trusted(self, tmp_path):
+        cache_dir = tmp_path / "cache"
+        cache = FlowCache(directory=cache_dir)
+        MegaCampaign(campaign(), cache=cache).run(
+            100, seed=SEED, shard_size=25)
+        objects = sorted((cache_dir / "objects").glob("*.json"))
+        assert objects
+        objects[0].write_text("{ truncated garbage")
+
+        resumed = MegaCampaign(campaign(),
+                               cache=FlowCache(directory=cache_dir)).run(
+            100, seed=SEED, shard_size=25)
+        # Corruption downgrades to a miss: one shard recomputed, and
+        # the evidence still byte-identical to serial.
+        assert resumed.shards_computed >= 1
+        assert resumed.shards_cached >= 1
+        assert payload_bytes(resumed.report) == \
+            payload_bytes(campaign().run(100, seed=SEED))
