@@ -142,6 +142,9 @@ def run_qualification(cache=None):
     # Static-verification evidence rides in the datapack (SAR): lint the
     # example artifact of every layer with the full rule catalogue.
     lint_report = Analyzer().run(example_targets())
+    # Semantic-verification evidence (SVR): the deep pass re-lints the
+    # examples plus the cross-layer bundle under abstract interpretation.
+    deep_report = Analyzer(deep=True).run(example_targets(deep=True))
     # Measured evidence rides in the datapack (TEL): trace a recovery
     # boot — the validation scenario with the richest step/counter mix.
     tracer = Tracer()
@@ -149,7 +152,8 @@ def run_qualification(cache=None):
                    config=Bl1Config(redundancy=RedundancyMode.SEQUENTIAL),
                    tracer=tracer)
     pack = generate_datapack("HERMES-BL1", campaign, report,
-                             lint_report=lint_report, tracer=tracer)
+                             lint_report=lint_report, tracer=tracer,
+                             deep_report=deep_report)
     table = Table("ECSS qualification summary — BL1 (paper §IV)",
                   ["level", "passed", "failed", "total"])
     for level in Level:
@@ -175,5 +179,8 @@ def test_qualification_datapack(benchmark):
     assert pack.complete
     assert "SAR" in pack.documents
     assert "0 error(s)" in pack.documents["SAR"]
+    assert "SVR" in pack.documents
+    assert "0 error(s)" in pack.documents["SVR"]
+    assert "all analyses reached a fixpoint" in pack.documents["SVR"]
     assert "TEL" in pack.documents
     assert "Spans per layer:" in pack.documents["TEL"]

@@ -24,16 +24,20 @@ from .analyzer import (
     AnalysisTarget,
     Analyzer,
     PrelintedArtifact,
+    TargetResult,
     analyze,
     load_baseline,
     render_baseline,
 )
+from .context import AnalysisContext
 from .diagnostics import LAYERS, Diagnostic, Severity, max_severity
 from .registry import DEFAULT_REGISTRY, Rule, RuleError, RuleRegistry, rule
+from . import dataflow  # noqa: F401  (abstract-interpretation framework)
 from . import passes  # noqa: F401  (imported for rule registration)
 from .targets import (
     TargetError,
     boot_target_from_soc,
+    crosslayer_bundle_target,
     example_targets,
     ir_target_from_source,
     netlist_target,
@@ -43,10 +47,12 @@ from .targets import (
 
 __all__ = [
     "AnalysisReport", "AnalysisTarget", "Analyzer", "PrelintedArtifact",
-    "analyze", "load_baseline", "render_baseline",
+    "TargetResult", "analyze", "load_baseline", "render_baseline",
+    "AnalysisContext",
     "LAYERS", "Diagnostic", "Severity", "max_severity",
     "DEFAULT_REGISTRY", "Rule", "RuleError", "RuleRegistry", "rule",
-    "TargetError", "boot_target_from_soc", "example_targets",
-    "ir_target_from_source", "netlist_target", "target_from_file",
-    "xmcf_target_from_text",
+    "dataflow",
+    "TargetError", "boot_target_from_soc", "crosslayer_bundle_target",
+    "example_targets", "ir_target_from_source", "netlist_target",
+    "target_from_file", "xmcf_target_from_text",
 ]

@@ -15,6 +15,7 @@ from dataclasses import dataclass, field
 from typing import Dict, Iterable, List, Optional, Sequence, Set
 
 from ..exec import ParallelEngine
+from .context import AnalysisContext
 from .diagnostics import Diagnostic, Severity, max_severity
 from .registry import DEFAULT_REGISTRY, Rule, RuleRegistry
 
@@ -43,6 +44,21 @@ class PrelintedArtifact:
 
 
 @dataclass
+class TargetResult:
+    """One target's lint outcome: findings + deterministic counters.
+
+    Counters (dataflow solver iterations, widenings, per-domain transfer
+    tallies) merge in plan order so the totals are identical at any job
+    count or backend; wall-clock ``timings`` are gauges and excluded
+    from every byte-identity contract.
+    """
+
+    diagnostics: List[Diagnostic] = field(default_factory=list)
+    counters: Dict[str, int] = field(default_factory=dict)
+    timings: Dict[str, float] = field(default_factory=dict)
+
+
+@dataclass
 class AnalysisReport:
     """Merged diagnostics of one analyzer run."""
 
@@ -50,6 +66,9 @@ class AnalysisReport:
     targets: List[str] = field(default_factory=list)
     suppressed: int = 0
     rules_run: int = 0
+    # Deep (dataflow) mode: solver counters appear in the JSON document.
+    deep: bool = False
+    counters: Dict[str, int] = field(default_factory=dict)
 
     # -- queries --------------------------------------------------------
 
@@ -94,13 +113,20 @@ class AnalysisReport:
         return "\n".join(lines)
 
     def to_json_dict(self) -> Dict[str, object]:
-        return {
+        document: Dict[str, object] = {
             "version": JSON_SCHEMA_VERSION,
             "tool": "repro-lint",
             "targets": list(self.targets),
             "summary": {**self.counts(), "suppressed": self.suppressed},
             "diagnostics": [d.to_dict() for d in self.diagnostics],
         }
+        if self.deep:
+            # Only deep runs carry solver metrics, so shallow reports
+            # (and their goldens) are byte-for-byte unchanged.
+            document["deep"] = True
+            document["solver"] = {key: self.counters[key]
+                                  for key in sorted(self.counters)}
+        return document
 
     def render_json(self, indent: int = 2) -> str:
         return json.dumps(self.to_json_dict(), indent=indent,
@@ -134,23 +160,28 @@ class Analyzer:
     def __init__(self, rules: Optional[List[str]] = None,
                  baseline: Optional[Set[str]] = None,
                  jobs: int = 1, backend: str = "auto",
-                 registry: Optional[RuleRegistry] = None) -> None:
+                 registry: Optional[RuleRegistry] = None,
+                 deep: bool = False, tracer=None) -> None:
         self.registry = registry or DEFAULT_REGISTRY
-        self.selected: List[Rule] = self.registry.select(rules)
+        self.selected: List[Rule] = self.registry.select(rules, deep=deep)
         self.baseline: Set[str] = set(baseline or ())
         self.jobs = jobs
         self.backend = backend
+        self.deep = deep
+        self.tracer = tracer
 
     def rules_for_layer(self, layer: str) -> List[Rule]:
         return [r for r in self.selected if r.layer == layer]
 
-    def _lint_target(self, target: AnalysisTarget) -> List[Diagnostic]:
+    def _lint_target(self, target: AnalysisTarget) -> TargetResult:
         if isinstance(target.artifact, PrelintedArtifact):
-            return list(target.artifact.diagnostics)
+            return TargetResult(list(target.artifact.diagnostics))
+        context = AnalysisContext(deep=self.deep)
         found: List[Diagnostic] = []
         for rule in self.rules_for_layer(target.layer):
             try:
-                found.extend(rule.run(target.name, target.artifact))
+                found.extend(rule.run(target.name, target.artifact,
+                                      context))
             except Exception as error:  # noqa: BLE001 - rule crash is a finding
                 found.append(Diagnostic(
                     rule="analysis.rule-crash", severity=Severity.ERROR,
@@ -158,12 +189,13 @@ class Analyzer:
                     location=rule.rule_id,
                     message=f"rule crashed: {type(error).__name__}: "
                             f"{error}"))
-        return found
+        return TargetResult(found, context.counters(), context.timings())
 
     def run(self, targets: Sequence[AnalysisTarget]) -> AnalysisReport:
         targets = list(targets)
         report = AnalysisReport(
-            targets=[f"{t.layer}:{t.name}" for t in targets])
+            targets=[f"{t.layer}:{t.name}" for t in targets],
+            deep=self.deep)
         report.rules_run = sum(len(self.rules_for_layer(t.layer))
                                for t in targets)
         engine = ParallelEngine(jobs=self.jobs, backend=self.backend,
@@ -172,8 +204,17 @@ class Analyzer:
             lambda index, _seed: self._lint_target(targets[index]),
             runs=len(targets))
         merged: List[Diagnostic] = []
+        timings: Dict[str, float] = {}
+        # Plan-order fold keeps counters deterministic at any job count.
         for result in execution.results:
-            merged.extend(result.value or [])
+            outcome = result.value
+            if outcome is None:
+                continue
+            merged.extend(outcome.diagnostics)
+            for key, value in outcome.counters.items():
+                report.counters[key] = report.counters.get(key, 0) + value
+            for key, value in outcome.timings.items():
+                timings[key] = timings.get(key, 0.0) + value
         kept: List[Diagnostic] = []
         for diag in merged:
             if diag.fingerprint in self.baseline:
@@ -181,13 +222,18 @@ class Analyzer:
             else:
                 kept.append(diag)
         report.diagnostics = sorted(kept, key=Diagnostic.sort_key)
+        if self.tracer is not None:
+            for key in sorted(report.counters):
+                self.tracer.counter(key).add(report.counters[key])
+            for key in sorted(timings):
+                self.tracer.gauge(key).set(timings[key])
         return report
 
 
 def analyze(targets: Iterable[AnalysisTarget],
             rules: Optional[List[str]] = None,
             baseline: Optional[Set[str]] = None,
-            jobs: int = 1) -> AnalysisReport:
+            jobs: int = 1, deep: bool = False) -> AnalysisReport:
     """One-shot convenience wrapper around :class:`Analyzer`."""
-    return Analyzer(rules=rules, baseline=baseline, jobs=jobs).run(
-        list(targets))
+    return Analyzer(rules=rules, baseline=baseline, jobs=jobs,
+                    deep=deep).run(list(targets))

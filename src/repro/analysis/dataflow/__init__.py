@@ -1,0 +1,42 @@
+"""Abstract interpretation over the HLS CDFG IR.
+
+A lattice protocol (:mod:`.lattice`), a direction-agnostic worklist
+fixpoint solver with widening/narrowing and iteration budgets
+(:mod:`.solver`), four concrete domains (:mod:`.domains`) and the
+memoizing per-module driver (:mod:`.driver`) that the deep lint rules
+build on.
+"""
+
+from .lattice import BACKWARD, BOTTOM, Domain, FORWARD, join_all
+from .solver import (
+    CfgView,
+    DataflowResult,
+    NARROW_PASSES,
+    SolverStats,
+    WIDEN_DELAY,
+    cfg_view,
+    solve,
+)
+from .domains import (
+    ConstDomain,
+    IntervalDomain,
+    Interval,
+    LivenessDomain,
+    MustDefDomain,
+    SeuTaintDomain,
+    full_range,
+    interval_hull,
+    width_needed,
+    wrap_interval,
+)
+from .driver import DOMAIN_FACTORIES, ModuleDataflow
+
+__all__ = [
+    "BACKWARD", "BOTTOM", "Domain", "FORWARD", "join_all",
+    "CfgView", "DataflowResult", "NARROW_PASSES", "SolverStats",
+    "WIDEN_DELAY", "cfg_view", "solve",
+    "ConstDomain", "IntervalDomain", "Interval", "LivenessDomain",
+    "MustDefDomain", "SeuTaintDomain", "full_range", "interval_hull",
+    "width_needed", "wrap_interval",
+    "DOMAIN_FACTORIES", "ModuleDataflow",
+]

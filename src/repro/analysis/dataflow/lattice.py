@@ -1,0 +1,122 @@
+"""Lattice protocol of the abstract-interpretation framework.
+
+A *domain* couples a lattice of abstract states with transfer functions
+over the HLS IR.  The solver (:mod:`.solver`) only ever talks to this
+protocol, so the four concrete domains (:mod:`.domains`) and any future
+one plug into the same worklist fixpoint machinery.
+
+Abstract states are opaque to the solver except for three operations:
+
+* ``join(a, b)``   — least upper bound (may-merge at CFG joins);
+* ``widen(a, b)``  — an upper bound of ``a`` and ``b`` that additionally
+  guarantees termination on lattices of unbounded height (intervals);
+  defaults to ``join`` for finite lattices;
+* equality (``==``) — the solver's convergence test, so states must have
+  a canonical representation (two states describing the same facts must
+  compare equal).
+
+``BOTTOM`` is the shared "unreachable program point" element: ``None``.
+Every domain treats it as the identity of ``join`` and the solver never
+calls ``transfer_op`` on it.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, List, Optional
+
+from ...hls.ir.cfg import BasicBlock, Function
+from ...hls.ir.operations import Operation, Terminator
+
+# The canonical bottom element: an unreachable program point.  ``None``
+# keeps states picklable and makes the identity-of-join rule trivial.
+BOTTOM = None
+
+FORWARD = "forward"
+BACKWARD = "backward"
+
+
+class Domain:
+    """Base class every abstract domain derives from.
+
+    Subclasses set :attr:`name` (telemetry key), :attr:`direction`
+    (``FORWARD`` or ``BACKWARD``) and implement :meth:`boundary`,
+    :meth:`join` and :meth:`transfer_op`.  ``widen``/``narrow`` have
+    finite-lattice defaults; infinite-height domains (intervals) must
+    override ``widen``.
+    """
+
+    name: str = "domain"
+    direction: str = FORWARD
+
+    # -- lattice --------------------------------------------------------
+
+    def boundary(self, func: Function) -> object:
+        """The state at the analysis boundary (entry for forward domains,
+        every exit block for backward ones)."""
+        raise NotImplementedError
+
+    def join(self, a: object, b: object) -> object:
+        """Least upper bound; ``BOTTOM`` is the identity."""
+        raise NotImplementedError
+
+    def widen(self, old: object, new: object) -> object:
+        """Termination accelerator at loop heads (default: plain join)."""
+        return self.join(old, new)
+
+    def narrow(self, old: object, new: object) -> object:
+        """Refinement step after the widened fixpoint (default: accept
+        the recomputed state — sound for monotone transfer functions)."""
+        return new
+
+    # -- transfer -------------------------------------------------------
+
+    def transfer_op(self, op: Operation, state: object) -> object:
+        """Abstract effect of one IR operation on a (non-bottom) state."""
+        raise NotImplementedError
+
+    def transfer_edge(self, term: Terminator, target: str,
+                      state: object) -> object:
+        """Abstract state flowing along one CFG edge.
+
+        Forward domains may refine (or return ``BOTTOM`` to prune) the
+        state propagated to ``target``; the default forwards it as-is.
+        Only called for forward domains.
+        """
+        return state
+
+    # -- block-level convenience ---------------------------------------
+
+    def block_ops(self, block: BasicBlock) -> List[Operation]:
+        """Operations of one block in analysis order."""
+        ops = block.all_ops()
+        if self.direction == BACKWARD:
+            ops.reverse()
+        return ops
+
+    def transfer_block(self, block: BasicBlock, state: object) -> object:
+        """Fold :meth:`transfer_op` over a whole block."""
+        for op in self.block_ops(block):
+            state = self.transfer_op(op, state)
+        return state
+
+    def replay(self, block: BasicBlock, state: object
+               ) -> Iterator[tuple]:
+        """Yield ``(op, state_before, state_after)`` through a block.
+
+        Rules use this to inspect the abstract state at each program
+        point without the solver having to store per-op states.
+        """
+        for op in self.block_ops(block):
+            after = self.transfer_op(op, state)
+            yield op, state, after
+            state = after
+
+
+def join_all(domain: Domain, states) -> object:
+    """Join an iterable of states, treating ``BOTTOM`` as identity."""
+    merged: Optional[object] = BOTTOM
+    for state in states:
+        if state is BOTTOM:
+            continue
+        merged = state if merged is BOTTOM else domain.join(merged, state)
+    return merged

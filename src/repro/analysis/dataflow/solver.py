@@ -1,0 +1,335 @@
+"""Worklist fixpoint solver with widening/narrowing over the CDFG IR.
+
+One solver serves every domain: forward domains run over the CFG, backward
+domains over the reversed CFG.  Iteration order is the reverse postorder
+of the analysis direction, the worklist is a deterministic min-heap over
+that order, widening fires at loop heads after a fixed delay, and a
+per-function visit budget bounds pathological inputs (the result is then
+marked unconverged and rules must treat it as "no information").
+
+The module also owns the *one* CFG traversal helper set of the analysis
+package (:class:`CfgView`): successor/predecessor maps, reverse postorder
+and reachability, shared by the solver and the lint pass packs.
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Set, Tuple
+
+from ...hls.ir.cfg import Function
+from .lattice import BACKWARD, BOTTOM, Domain, join_all
+
+
+# ---------------------------------------------------------------------------
+# Shared CFG traversal (the single successor/predecessor walk of the
+# analysis package — pass packs must use this instead of rolling their own).
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class CfgView:
+    """Precomputed traversal structure of one function's CFG."""
+
+    func: Function
+    successors: Dict[str, List[str]]
+    predecessors: Dict[str, List[str]]
+    # Reverse postorder over the blocks reachable from the entry.
+    order: List[str]
+    order_index: Dict[str, int]
+
+    @property
+    def reachable(self) -> Set[str]:
+        return set(self.order)
+
+    def back_edge_targets(self) -> Set[str]:
+        """Blocks entered by a back edge w.r.t. the reverse postorder
+        (loop heads, where widening applies)."""
+        targets = set()
+        for src, succs in self.successors.items():
+            if src not in self.order_index:
+                continue
+            for dst in succs:
+                if dst in self.order_index and \
+                        self.order_index[dst] <= self.order_index[src]:
+                    targets.add(dst)
+        return targets
+
+    def reaches(self, start: str, goal: str) -> bool:
+        """True when some CFG path leads from ``start`` to ``goal``."""
+        seen: Set[str] = set()
+        stack = [start]
+        while stack:
+            name = stack.pop()
+            if name == goal:
+                return True
+            if name in seen:
+                continue
+            seen.add(name)
+            stack.extend(self.successors.get(name, ()))
+        return False
+
+
+def cfg_view(func: Function, entry: Optional[str] = None,
+             reverse: bool = False) -> CfgView:
+    """Build the traversal view of ``func`` (optionally of the reversed
+    CFG, used by backward domains).
+
+    Edges to unknown block labels are dropped (they are a lint finding of
+    their own, not a traversal crash).  For the reversed view the virtual
+    entry is the set of exit blocks, so ``order`` is a reverse postorder
+    of the reversed graph restricted to blocks that reach an exit.
+    """
+    succs: Dict[str, List[str]] = {name: [] for name in func.blocks}
+    preds: Dict[str, List[str]] = {name: [] for name in func.blocks}
+    for name in func.block_order:
+        block = func.blocks.get(name)
+        if block is None:
+            continue
+        succs[name] = [s for s in block.successors() if s in func.blocks]
+        for succ in succs[name]:
+            preds[succ].append(name)
+    if reverse:
+        # Exit blocks (no successors) are the roots of the reversed graph.
+        roots = [name for name in func.block_order
+                 if name in func.blocks and not succs[name]]
+        succs, preds = preds, succs
+    else:
+        roots = [entry or func.entry] if (entry or func.entry) \
+            in func.blocks else []
+    order = _reverse_postorder(roots, succs)
+    return CfgView(func=func, successors=succs, predecessors=preds,
+                   order=order,
+                   order_index={name: i for i, name in enumerate(order)})
+
+
+def _reverse_postorder(roots: List[str],
+                       succs: Dict[str, List[str]]) -> List[str]:
+    """Iterative DFS postorder, reversed; deterministic in edge order."""
+    postorder: List[str] = []
+    seen: Set[str] = set()
+    for root in roots:
+        if root in seen:
+            continue
+        stack: List[Tuple[str, int]] = [(root, 0)]
+        seen.add(root)
+        while stack:
+            name, child = stack[-1]
+            children = succs.get(name, [])
+            if child < len(children):
+                stack[-1] = (name, child + 1)
+                nxt = children[child]
+                if nxt not in seen:
+                    seen.add(nxt)
+                    stack.append((nxt, 0))
+            else:
+                stack.pop()
+                postorder.append(name)
+    postorder.reverse()
+    return postorder
+
+
+# ---------------------------------------------------------------------------
+# Fixpoint solver
+# ---------------------------------------------------------------------------
+
+# Widening starts once a loop head has been visited this many times.
+WIDEN_DELAY = 2
+# Narrowing sweeps run after the widened fixpoint.
+NARROW_PASSES = 2
+
+
+class BudgetExceeded(Exception):
+    """Internal signal: the per-function visit budget ran out."""
+
+
+@dataclass
+class SolverStats:
+    """Deterministic solve metrics (telemetry counters feed from here)."""
+
+    iterations: int = 0          # block transfers executed
+    widenings: int = 0           # widening applications that changed state
+    narrowings: int = 0          # narrowing sweeps that refined a state
+    transfers: int = 0           # individual op transfers
+    converged: bool = True
+
+    def merge(self, other: "SolverStats") -> None:
+        self.iterations += other.iterations
+        self.widenings += other.widenings
+        self.narrowings += other.narrowings
+        self.transfers += other.transfers
+        self.converged = self.converged and other.converged
+
+
+@dataclass
+class DataflowResult:
+    """Fixpoint solution of one domain over one function.
+
+    ``in_states``/``out_states`` are keyed by block name in the *analysis
+    direction*: for a backward domain ``in_states`` holds the state at the
+    block's end (its analysis entry).  Blocks absent from the maps (or
+    mapped to ``BOTTOM``) are unreachable for that domain.
+    """
+
+    domain: Domain
+    func: Function
+    view: CfgView
+    in_states: Dict[str, object] = field(default_factory=dict)
+    out_states: Dict[str, object] = field(default_factory=dict)
+    stats: SolverStats = field(default_factory=SolverStats)
+
+    def state_in(self, block_name: str) -> object:
+        return self.in_states.get(block_name, BOTTOM)
+
+    def replay(self, block_name: str):
+        """Yield ``(op, before, after)`` through one reachable block."""
+        state = self.state_in(block_name)
+        if state is BOTTOM:
+            return iter(())
+        return self.domain.replay(self.func.blocks[block_name], state)
+
+
+class _CountingDomain:
+    """Proxy that counts op transfers into the shared stats record."""
+
+    def __init__(self, domain: Domain, stats: SolverStats) -> None:
+        self._domain = domain
+        self._stats = stats
+
+    def __getattr__(self, name):
+        return getattr(self._domain, name)
+
+    def transfer_op(self, op, state):
+        self._stats.transfers += 1
+        return self._domain.transfer_op(op, state)
+
+    def transfer_block(self, block, state):
+        # Re-implemented so op transfers run through the counting proxy
+        # (the domain's own transfer_block would bypass it).
+        for op in self._domain.block_ops(block):
+            state = self.transfer_op(op, state)
+        return state
+
+
+def solve(domain: Domain, func: Function,
+          budget: Optional[int] = None) -> DataflowResult:
+    """Run ``domain`` to a fixpoint over ``func``.
+
+    ``budget`` caps the number of block visits (default scales with the
+    CFG size); exhausting it yields ``stats.converged == False`` and
+    every state cleared to ``BOTTOM`` so rules cannot act on a partial,
+    unsound solution.
+    """
+    backward = domain.direction == BACKWARD
+    view = cfg_view(func, reverse=backward)
+    result = DataflowResult(domain=domain, func=func, view=view)
+    if not view.order:
+        return result
+    stats = result.stats
+    counting = _CountingDomain(domain, stats)
+    if budget is None:
+        budget = 64 + 48 * len(view.order)
+    widen_at = view.back_edge_targets()
+    boundary = domain.boundary(func)
+    # Analysis roots receive the boundary state: the entry block for
+    # forward domains, every exit block for backward ones.
+    if backward:
+        roots = {name for name in view.order
+                 if not view.predecessors.get(name)}
+    else:
+        roots = {view.order[0]}
+
+    pending: List[int] = []
+    queued: Set[str] = set()
+
+    def push(name: str) -> None:
+        if name in view.order_index and name not in queued:
+            queued.add(name)
+            heapq.heappush(pending, view.order_index[name])
+
+    for name in view.order:
+        push(name)
+
+    visits: Dict[str, int] = {}
+    try:
+        while pending:
+            index = heapq.heappop(pending)
+            name = view.order[index]
+            queued.discard(name)
+            stats.iterations += 1
+            if stats.iterations > budget:
+                raise BudgetExceeded
+            in_state = _incoming(domain, view, result, name, roots,
+                                 boundary, backward)
+            if in_state is BOTTOM:
+                continue
+            visits[name] = visits.get(name, 0) + 1
+            if name in widen_at and visits[name] > WIDEN_DELAY:
+                old_in = result.in_states.get(name, BOTTOM)
+                if old_in is not BOTTOM:
+                    widened = domain.widen(old_in, in_state)
+                    if widened != old_in:
+                        stats.widenings += 1
+                    in_state = widened
+            old_out = result.out_states.get(name, BOTTOM)
+            result.in_states[name] = in_state
+            out_state = counting.transfer_block(func.blocks[name], in_state)
+            result.out_states[name] = out_state
+            if old_out is BOTTOM or out_state != old_out:
+                for succ in view.successors.get(name, ()):
+                    push(succ)
+        _narrow(counting, domain, view, result, roots, boundary, backward)
+    except BudgetExceeded:
+        stats.converged = False
+        result.in_states.clear()
+        result.out_states.clear()
+    return result
+
+
+def _incoming(domain: Domain, view: CfgView, result: DataflowResult,
+              name: str, roots: Set[str], boundary: object,
+              backward: bool) -> object:
+    """Join the states flowing into ``name`` in analysis direction."""
+    flows = []
+    for pred in view.predecessors.get(name, ()):
+        out = result.out_states.get(pred, BOTTOM)
+        if out is BOTTOM:
+            continue
+        if not backward:
+            term = view.func.blocks[pred].terminator
+            out = domain.transfer_edge(term, name, out)
+        flows.append(out)
+    merged = join_all(domain, flows)
+    if name in roots:
+        merged = boundary if merged is BOTTOM \
+            else domain.join(merged, boundary)
+    return merged
+
+
+def _narrow(counting: _CountingDomain, domain: Domain, view: CfgView,
+            result: DataflowResult, roots: Set[str], boundary: object,
+            backward: bool) -> None:
+    """Post-fixpoint narrowing sweeps (decreasing iteration)."""
+    for _ in range(NARROW_PASSES):
+        changed = False
+        for name in view.order:
+            old_in = result.in_states.get(name, BOTTOM)
+            if old_in is BOTTOM:
+                continue
+            new_in = _incoming(domain, view, result, name, roots,
+                               boundary, backward)
+            if new_in is BOTTOM:
+                continue
+            narrowed = domain.narrow(old_in, new_in)
+            if narrowed != old_in:
+                changed = True
+                result.stats.narrowings += 1
+            result.in_states[name] = narrowed
+            out_state = counting.transfer_block(
+                view.func.blocks[name], narrowed)
+            if out_state != result.out_states.get(name, BOTTOM):
+                changed = True
+            result.out_states[name] = out_state
+        if not changed:
+            break

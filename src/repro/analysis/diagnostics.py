@@ -53,7 +53,7 @@ _SEVERITY_RANK: Dict[Severity, int] = {
 }
 
 # Analysis layers (one per pass pack).
-LAYERS = ("ir", "netlist", "xmcf", "boot")
+LAYERS = ("ir", "netlist", "xmcf", "boot", "crosslayer")
 
 
 @dataclass(frozen=True)

@@ -4,6 +4,6 @@ Importing this package registers every built-in rule with the default
 registry; each module is one *pass pack* covering one artifact layer.
 """
 
-from . import boot, ir, netlist, xmcf
+from . import boot, crosslayer, ir, ir_dataflow, netlist, xmcf
 
-__all__ = ["boot", "ir", "netlist", "xmcf"]
+__all__ = ["boot", "crosslayer", "ir", "ir_dataflow", "netlist", "xmcf"]

@@ -1,0 +1,153 @@
+"""Cross-layer consistency rules: IR ↔ netlist ↔ XM_CF ↔ boot media.
+
+Single-layer packs prove properties of one artifact; qualification
+arguments need the *joints* checked too.  A :class:`CrossLayerBundle`
+carries whichever artifacts of one system are available — the HLS module
+with its synthesized designs/netlists, the hypervisor configuration and
+the provisioned boot flash — and the rules verify that what one layer
+promises the next layer actually provides:
+
+* ``crosslayer.bram-footprint``   — every IR memory object the HLS area
+  report maps to BRAM has matching ``<mem>_bram<N>`` macros in the
+  technology netlist, and no BRAM macro exists without an IR memory;
+* ``crosslayer.boot-partition-window`` — every bootable image's load
+  region lies inside a hypervisor partition's memory window (an image
+  loading outside every partition is unreachable after XtratuM takes
+  over the MMU).
+
+Both rules are ``deep`` — they ride the ``repro lint --deep`` bundle
+target built by :func:`repro.analysis.targets.crosslayer_bundle_target`.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from ..diagnostics import Severity
+from ..registry import rule
+
+_BRAM_CELL = re.compile(r"^(?P<mem>.+)_bram(?P<index>\d+)$")
+
+
+@dataclass
+class CrossLayerBundle:
+    """The artifacts of one system, as far as they were built.
+
+    Any field may be ``None``/empty: each rule checks the joints whose
+    two sides are present and silently skips the rest, so partial
+    bundles (IR without a hypervisor config, say) still lint.
+    """
+
+    name: str = "system"
+    module: Optional[object] = None            # repro.hls.ir.Module
+    designs: Dict[str, object] = field(default_factory=dict)
+    netlists: Dict[str, object] = field(default_factory=dict)
+    config: Optional[object] = None            # hypervisor SystemConfig
+    boot: Optional[object] = None              # passes.boot BootFlashLayout
+
+    @classmethod
+    def from_project(cls, project, name: str = "system",
+                     config=None, boot=None) -> "CrossLayerBundle":
+        """Bundle an :class:`~repro.hls.flow.HlsProject`, synthesizing
+        one netlist per design."""
+        from ...fabric.synthesis import synthesize_design
+        netlists = {}
+        for func_name, design in project.designs.items():
+            func = project.module.functions[func_name]
+            netlists[func_name] = synthesize_design(design, func)
+        return cls(name=name, module=project.module,
+                   designs=dict(project.designs), netlists=netlists,
+                   config=config, boot=boot)
+
+
+def _expected_bram_count(design, mem) -> int:
+    """Mirror of the elaboration rule in ``fabric.synthesis``: how many
+    BRAM macros the netlist must contain for one IR memory."""
+    if design is None:
+        return 0
+    report_area = design.report.area.breakdown.get(f"ram:{mem.name}", {})
+    brams = report_area.get("brams")
+    return max(1, brams) if brams else 0
+
+
+@rule("crosslayer.bram-footprint", layer="crosslayer",
+      severity=Severity.ERROR, deep=True,
+      fix_hint="re-synthesize the netlist from the current IR")
+def check_bram_footprint(bundle: CrossLayerBundle, emit) -> None:
+    """IR memory-port footprints must match netlist BRAM macros."""
+    if bundle.module is None:
+        return
+    for func_name in sorted(bundle.netlists):
+        netlist = bundle.netlists[func_name]
+        func = bundle.module.functions.get(func_name)
+        if func is None or netlist is None:
+            continue
+        design = bundle.designs.get(func_name)
+        local_mems = {mem.name: mem for mem in func.mems.values()
+                      if not mem.is_param and mem.storage != "axi"}
+        placed: Dict[str, int] = {}
+        for cell in netlist.cells.values():
+            match = _BRAM_CELL.match(cell.name)
+            if match is None:
+                continue
+            mem_name = match.group("mem")
+            if mem_name not in local_mems:
+                emit(f"{func_name}/{cell.name}",
+                     f"netlist BRAM macro {cell.name!r} has no backing "
+                     f"memory object in the IR of {func_name!r}")
+                continue
+            placed[mem_name] = placed.get(mem_name, 0) + 1
+        for mem_name in sorted(local_mems):
+            expected = _expected_bram_count(design, local_mems[mem_name])
+            have = placed.get(mem_name, 0)
+            if expected and have == 0:
+                emit(f"{func_name}/{mem_name}",
+                     f"IR memory @{mem_name} maps to BRAM "
+                     f"({expected} macro(s) per the area report) but "
+                     f"the netlist instantiates none")
+            elif expected and have != expected:
+                emit(f"{func_name}/{mem_name}",
+                     f"IR memory @{mem_name} expects {expected} BRAM "
+                     f"macro(s) but the netlist instantiates {have}")
+
+
+def _image_regions(layout) -> List[Tuple[str, int, int]]:
+    """Named load regions of every parseable non-bitstream image."""
+    from ...boot import ImageKind
+    regions: List[Tuple[str, int, int]] = []
+    for copy in layout.copies:
+        image = copy.image
+        if image is None or image.kind is ImageKind.BITSTREAM:
+            continue
+        label = (f"entry{copy.entry_index}/"
+                 f"{image.name or image.kind.name.lower()}")
+        start = image.load_address
+        end = start + 4 * len(image.payload)
+        if (label, start, end) not in regions:
+            regions.append((label, start, end))
+    return regions
+
+
+@rule("crosslayer.boot-partition-window", layer="crosslayer",
+      severity=Severity.ERROR, deep=True,
+      fix_hint="move the load address into a partition memory area")
+def check_boot_partition_window(bundle: CrossLayerBundle, emit) -> None:
+    """Boot-image load regions must fit an XM_CF partition window."""
+    if bundle.config is None or bundle.boot is None:
+        return
+    areas = []
+    for pid in sorted(bundle.config.partitions):
+        partition = bundle.config.partitions[pid]
+        for area in partition.memory:
+            areas.append((partition.name, area))
+    for label, start, end in _image_regions(bundle.boot):
+        if end <= start:
+            continue
+        covered = any(area.base <= start and end <= area.end
+                      for _pname, area in areas)
+        if not covered:
+            emit(label,
+                 f"{label} loads to [0x{start:08x}, 0x{end:08x}), "
+                 f"outside every XM_CF partition memory area")

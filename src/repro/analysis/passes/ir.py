@@ -9,12 +9,13 @@ are generated but never accessed, and lossy bitwidth truncations.
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, Optional, Set, Tuple
+from typing import Iterable, Optional, Set, Tuple
 
 from ...hls.ir.cfg import Function, Module
-from ...hls.ir.operations import Call, Load, Operation, Return, Store
+from ...hls.ir.operations import Call, Load, Return, Store
 from ...hls.ir.types import FloatType, IntType
 from ...hls.ir.values import Temp, Value, Var
+from ..dataflow import MustDefDomain, cfg_view, solve
 from ..diagnostics import Severity
 from ..registry import rule
 
@@ -80,20 +81,11 @@ def check_unreachable_blocks(module: Module, emit) -> None:
     for func in _functions(module):
         if func.entry not in func.blocks:
             continue
-        reachable = set(func.reachable_blocks())
+        reachable = cfg_view(func).reachable
         for name in func.block_order:
             if name in func.blocks and name not in reachable:
                 emit(_loc(func, name),
                      f"block {name!r} is unreachable from entry")
-
-
-def _block_defs(ops: Iterable[Operation]) -> Set[Value]:
-    defs: Set[Value] = set()
-    for op in ops:
-        out = op.output()
-        if _trackable(out):
-            defs.add(out)
-    return defs
 
 
 @rule("ir.use-before-def", layer="ir", severity=Severity.ERROR,
@@ -101,65 +93,24 @@ def _block_defs(ops: Iterable[Operation]) -> Set[Value]:
 def check_use_before_def(module: Module, emit) -> None:
     """Reads of variables not definitely assigned on every path.
 
-    Forward must-define dataflow: a value is *definitely assigned* at a
-    program point when every CFG path from the entry assigns it first.
-    Parameters count as assigned at entry.
+    An instance of the generic dataflow solver: the must-define domain
+    (intersection join, parameters assigned at entry) proves a value is
+    *definitely assigned* at a program point when every CFG path from
+    the entry assigns it first.
     """
     for func in _functions(module):
         if func.entry not in func.blocks:
             continue
-        reachable = [n for n in func.reachable_blocks()]
-        entry_defs: Set[Value] = {
-            Var(p.name, p.type) for p in func.scalar_params()}
-        preds = func.predecessors()
-        block_defs: Dict[str, Set[Value]] = {
-            name: _block_defs(func.blocks[name].all_ops())
-            for name in reachable}
-        # IN[b] = intersection over preds of OUT[p]; OUT = IN | defs.
-        out_sets: Dict[str, Optional[Set[Value]]] = {
-            name: None for name in reachable}
-        changed = True
-        while changed:
-            changed = False
-            for name in reachable:
-                if name == func.entry:
-                    in_set = set(entry_defs)
-                else:
-                    in_set = None
-                    for pred in preds.get(name, ()):
-                        pred_out = out_sets.get(pred)
-                        if pred_out is None:
-                            continue
-                        in_set = (set(pred_out) if in_set is None
-                                  else in_set & pred_out)
-                    if in_set is None:
-                        continue  # no processed predecessor yet
-                new_out = in_set | block_defs[name]
-                if out_sets[name] is None or new_out != out_sets[name]:
-                    out_sets[name] = new_out
-                    changed = True
-        for name in reachable:
-            if name == func.entry:
-                defined = set(entry_defs)
-            else:
-                defined = None
-                for pred in preds.get(name, ()):
-                    pred_out = out_sets.get(pred)
-                    if pred_out is None:
-                        continue
-                    defined = (set(pred_out) if defined is None
-                               else defined & pred_out)
-                if defined is None:
-                    defined = set(entry_defs)
-            for op in func.blocks[name].all_ops():
+        result = solve(MustDefDomain(), func)
+        if not result.stats.converged:
+            continue  # budget blown: no sound facts to report against
+        for name in result.view.order:
+            for op, defined, _after in result.replay(name):
                 for value in op.inputs():
                     if _trackable(value) and value not in defined:
                         emit(_loc(func, name),
                              f"{value} read before definite assignment "
                              f"in {op}")
-                out = op.output()
-                if _trackable(out):
-                    defined.add(out)
 
 
 @rule("ir.dead-store", layer="ir", severity=Severity.WARNING,
@@ -208,11 +159,25 @@ def _int_width(value: Value) -> Optional[Tuple[int, bool]]:
 
 @rule("ir.lossy-truncation", layer="ir", severity=Severity.INFO,
       fix_hint="widen the destination or mask explicitly")
-def check_lossy_truncation(module: Module, emit) -> None:
-    """Casts and copies that drop bits (or a float's integer range)."""
+def check_lossy_truncation(module: Module, emit, context=None) -> None:
+    """Casts and copies that drop bits (or a float's integer range).
+
+    Shallow mode compares declared widths only.  Under ``--deep`` the
+    interval domain refines the verdict per truncation site: a source
+    proven to fit the destination range is suppressed (the width-only
+    heuristic's false positive), and a source whose interval lies
+    entirely outside the destination range escalates to a WARNING.
+    """
     from ...hls.ir.operations import Assign, Cast
     for func in _functions(module):
+        intervals = None
+        if context is not None and context.deep \
+                and func.entry in func.blocks:
+            result = context.dataflow(module).solve(func, "interval")
+            if result.stats.converged:
+                intervals = result
         for block in func.ordered_blocks():
+            states = dict(_truncation_states(intervals, block.name))
             for op in block.ops:
                 if not isinstance(op, (Assign, Cast)):
                     continue
@@ -225,7 +190,42 @@ def check_lossy_truncation(module: Module, emit) -> None:
                 dst_w, src_w = _int_width(dst), _int_width(src)
                 if dst_w is None or src_w is None:
                     continue
-                if dst_w[0] < src_w[0]:
+                if dst_w[0] >= src_w[0]:
+                    continue
+                verdict = _interval_verdict(intervals, states.get(id(op)),
+                                            src, dst)
+                if verdict == "fits":
+                    continue  # proven lossless: heuristic FP suppressed
+                if verdict == "lossy":
                     emit(_loc(func, block.name),
                          f"lossy bitwidth truncation {src_w[0]} -> "
-                         f"{dst_w[0]} bits in {op}")
+                         f"{dst_w[0]} bits in {op} provably drops set "
+                         f"bits", severity=Severity.WARNING)
+                    continue
+                emit(_loc(func, block.name),
+                     f"lossy bitwidth truncation {src_w[0]} -> "
+                     f"{dst_w[0]} bits in {op}")
+
+
+def _truncation_states(intervals, block_name: str):
+    """Map ``id(op)`` to the abstract state before it (deep mode only)."""
+    if intervals is None:
+        return
+    for op, before, _after in intervals.replay(block_name):
+        yield id(op), before
+
+
+def _interval_verdict(intervals, state, src: Value, dst: Value) -> str:
+    """Classify one truncation site: 'fits', 'lossy' or 'unknown'."""
+    if intervals is None or state is None:
+        return "unknown"
+    src_range = intervals.domain.get(src, state)
+    if src_range is None:
+        return "unknown"
+    assert isinstance(dst.ty, IntType)
+    lo, hi = src_range
+    if dst.ty.min_value <= lo and hi <= dst.ty.max_value:
+        return "fits"
+    if hi < dst.ty.min_value or lo > dst.ty.max_value:
+        return "lossy"
+    return "unknown"

@@ -1,0 +1,241 @@
+"""Deep HLS IR rules: properties *proven* by the dataflow engine.
+
+Every rule here is registered ``deep=True`` (runs only under ``repro
+lint --deep``) and only reports facts the abstract interpretation
+framework proves, so the pack is zero-false-positive by construction:
+
+* ``ir.oob-access``          — a Load/Store index interval disjoint from
+  the memory bounds on a reachable path;
+* ``ir.div-by-zero``         — a reachable division/modulo whose divisor
+  is provably zero (the interpreter defines ``x/0 == 0``, silently
+  corrupting results in hardware);
+* ``ir.constant-branch``     — a branch whose condition the interval
+  domain decides at the fixpoint (semantic dead code);
+* ``ir.loop-never-exits``    — a loop exit test that provably never
+  takes the exit edge (the induction variable never reaches its bound);
+* ``ir.dead-value``          — a definition no later read can observe
+  (the value is reassigned on every path before any use);
+* ``ir.seu-unprotected-flow``— data derived from unprotected memories
+  flowing into an ECC/TMR-protected store, undermining the mitigation.
+
+All rules share one memoized fixpoint per (function, domain) through the
+:class:`~repro.analysis.context.AnalysisContext`.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Optional, Set
+
+from ...hls.ir.cfg import Function, Module
+from ...hls.ir.operations import BinOp, Branch, Load, Store
+from ...hls.ir.values import Value
+from ..dataflow.driver import ModuleDataflow
+from ..dataflow.solver import DataflowResult
+from ..diagnostics import Severity
+from ..registry import rule
+
+
+def _functions(module: Module) -> Iterable[Function]:
+    for name in sorted(module.functions):
+        yield module.functions[name]
+
+
+def _loc(func: Function, block_name: str) -> str:
+    return f"{func.name}/{block_name}"
+
+
+def _dataflow(module: Module, context) -> ModuleDataflow:
+    if context is not None:
+        return context.dataflow(module)
+    return ModuleDataflow(module)
+
+
+def _solved(df: ModuleDataflow, func: Function,
+            domain: str) -> Optional[DataflowResult]:
+    """A converged fixpoint, or ``None`` (no sound facts to act on)."""
+    if func.entry not in func.blocks:
+        return None
+    result = df.solve(func, domain)
+    return result if result.stats.converged else None
+
+
+@rule("ir.oob-access", layer="ir", severity=Severity.ERROR, deep=True,
+      fix_hint="clamp the index or fix the loop bound")
+def check_oob_access(module: Module, emit, context=None) -> None:
+    """Memory accesses whose index is provably out of bounds."""
+    df = _dataflow(module, context)
+    for func in _functions(module):
+        result = _solved(df, func, "interval")
+        if result is None:
+            continue
+        domain = result.domain
+        for name in result.view.order:
+            for op, before, _after in result.replay(name):
+                if not isinstance(op, (Load, Store)) or op.mem.size <= 0:
+                    continue
+                index = domain.get(op.index, before)
+                if index is None:
+                    continue
+                lo, hi = index
+                if hi < 0 or lo >= op.mem.size:
+                    emit(_loc(func, name),
+                         f"index of {op.mem} proven outside "
+                         f"[0, {op.mem.size}) in {op}: range "
+                         f"[{lo}, {hi}]")
+
+
+@rule("ir.div-by-zero", layer="ir", severity=Severity.ERROR, deep=True,
+      fix_hint="guard the division against a zero divisor")
+def check_div_by_zero(module: Module, emit, context=None) -> None:
+    """Reachable divisions/modulos with a provably zero divisor."""
+    df = _dataflow(module, context)
+    for func in _functions(module):
+        result = _solved(df, func, "interval")
+        if result is None:
+            continue
+        domain = result.domain
+        for name in result.view.order:
+            for op, before, _after in result.replay(name):
+                if not isinstance(op, BinOp) or op.op not in ("div",
+                                                              "rem"):
+                    continue
+                divisor = domain.get(op.rhs, before)
+                if divisor == (0, 0):
+                    emit(_loc(func, name),
+                         f"divisor {op.rhs} is provably zero in {op}")
+
+
+def _proven_branch(domain, result: DataflowResult,
+                   name: str) -> Optional[bool]:
+    """The decided truth of a reachable block's branch, if proven."""
+    block = result.func.blocks[name]
+    term = block.terminator
+    if not isinstance(term, Branch) or term.if_true == term.if_false:
+        return None
+    state = result.state_in(name)
+    if state is None:
+        return None
+    for _op, _before, after in result.replay(name):
+        state = after
+    return domain.truthiness(term.cond, state)
+
+
+def _is_loop_test(result: DataflowResult, name: str,
+                  truth: bool) -> bool:
+    """True when the proven edge stays in a loop whose other edge
+    leaves it — the shape ``ir.loop-never-exits`` owns."""
+    term = result.func.blocks[name].terminator
+    assert isinstance(term, Branch)
+    taken = term.if_true if truth else term.if_false
+    other = term.if_false if truth else term.if_true
+    return result.view.reaches(taken, name) \
+        and not result.view.reaches(other, name)
+
+
+@rule("ir.constant-branch", layer="ir", severity=Severity.WARNING,
+      deep=True, fix_hint="remove the dead arm or fix the condition")
+def check_constant_branch(module: Module, emit, context=None) -> None:
+    """Branches the interval domain decides: one arm is dead code.
+
+    Loop-shaped occurrences (the proven edge re-enters the loop) are
+    reported by ``ir.loop-never-exits`` instead.
+    """
+    df = _dataflow(module, context)
+    for func in _functions(module):
+        result = _solved(df, func, "interval")
+        if result is None:
+            continue
+        domain = result.domain
+        for name in result.view.order:
+            truth = _proven_branch(domain, result, name)
+            if truth is None or _is_loop_test(result, name, truth):
+                continue
+            term = func.blocks[name].terminator
+            dead = term.if_false if truth else term.if_true
+            emit(_loc(func, name),
+                 f"branch condition {term.cond} is provably "
+                 f"{'true' if truth else 'false'}; {dead!r} is dead "
+                 f"code")
+
+
+@rule("ir.loop-never-exits", layer="ir", severity=Severity.ERROR,
+      deep=True, fix_hint="fix the induction update or the bound")
+def check_loop_never_exits(module: Module, emit, context=None) -> None:
+    """Loop exit tests that provably never take the exit edge."""
+    df = _dataflow(module, context)
+    for func in _functions(module):
+        result = _solved(df, func, "interval")
+        if result is None:
+            continue
+        domain = result.domain
+        for name in result.view.order:
+            truth = _proven_branch(domain, result, name)
+            if truth is None or not _is_loop_test(result, name, truth):
+                continue
+            term = func.blocks[name].terminator
+            emit(_loc(func, name),
+                 f"loop exit test {term.cond} is provably "
+                 f"{'true' if truth else 'false'} on every iteration; "
+                 f"the induction variable never reaches its bound")
+
+
+@rule("ir.dead-value", layer="ir", severity=Severity.WARNING, deep=True,
+      fix_hint="drop the assignment or move the later reassignment")
+def check_dead_values(module: Module, emit, context=None) -> None:
+    """Definitions overwritten on every path before any read.
+
+    Complements the shallow ``ir.dead-store`` (which only sees values
+    never read anywhere): liveness proves this *particular* definition
+    can never be observed, even though the value is read elsewhere.
+    """
+    df = _dataflow(module, context)
+    for func in _functions(module):
+        result = _solved(df, func, "liveness")
+        if result is None:
+            continue
+        read_somewhere: Set[Value] = set()
+        for op in func.all_ops():
+            read_somewhere.update(op.inputs())
+        for name in result.view.order:
+            # Backward replay: the state *before* each transfer is the
+            # set of values live just after the op in program order.
+            for op, live_after, _before in result.replay(name):
+                out = op.output()
+                if out is None or op.has_side_effects:
+                    continue
+                if out in read_somewhere and out not in live_after:
+                    emit(_loc(func, name),
+                         f"value {out} written by {op} is overwritten "
+                         f"before any read")
+
+
+@rule("ir.seu-unprotected-flow", layer="ir", severity=Severity.WARNING,
+      deep=True,
+      fix_hint="protect the upstream memory or drop the mitigation")
+def check_seu_unprotected_flow(module: Module, emit,
+                               context=None) -> None:
+    """Unprotected-memory data flowing into an ECC/TMR-protected store.
+
+    Writing a value derived from an unmitigated memory into a protected
+    one launders SEU-corrupted data through the mitigation: the ECC/TMR
+    scheme then faithfully protects a possibly-wrong value.
+    """
+    from ..dataflow.domains import SeuTaintDomain
+    df = _dataflow(module, context)
+    for func in _functions(module):
+        result = _solved(df, func, "seu-taint")
+        if result is None:
+            continue
+        domain = result.domain
+        for name in result.view.order:
+            for op, before, _after in result.replay(name):
+                if not isinstance(op, Store) \
+                        or not SeuTaintDomain.mem_protected(op.mem):
+                    continue
+                for operand, role in ((op.src, "data"),
+                                      (op.index, "index")):
+                    if domain.tainted(operand, before):
+                        emit(_loc(func, name),
+                             f"{role} {operand} stored into protected "
+                             f"{op.mem} derives from memory without "
+                             f"ECC/TMR protection in {op}")

@@ -16,6 +16,7 @@ may override both per finding.
 
 from __future__ import annotations
 
+import inspect
 from dataclasses import dataclass, field
 from fnmatch import fnmatchcase
 from typing import Callable, Dict, List, Optional
@@ -24,7 +25,18 @@ from .diagnostics import LAYERS, Diagnostic, Severity
 
 # emit(location, message, severity=None, fix_hint=None)
 EmitFn = Callable[..., None]
-RuleFn = Callable[[object, EmitFn], None]
+# fn(artifact, emit) or fn(artifact, emit, context) — the registry
+# inspects the arity once at registration time.
+RuleFn = Callable[..., None]
+
+
+def _wants_context(fn: Callable) -> bool:
+    """True when the rule declares a third positional parameter."""
+    positional = [
+        p for p in inspect.signature(fn).parameters.values()
+        if p.kind in (inspect.Parameter.POSITIONAL_ONLY,
+                      inspect.Parameter.POSITIONAL_OR_KEYWORD)]
+    return len(positional) >= 3
 
 
 class RuleError(Exception):
@@ -41,8 +53,13 @@ class Rule:
     fn: RuleFn
     doc: str = ""
     fix_hint: str = ""
+    # Deep rules (dataflow/cross-layer proofs) only run under --deep.
+    deep: bool = False
+    # Whether fn takes the (artifact, emit, context) form.
+    wants_context: bool = False
 
-    def run(self, target: str, artifact: object) -> List[Diagnostic]:
+    def run(self, target: str, artifact: object,
+            context: Optional[object] = None) -> List[Diagnostic]:
         """Execute on one artifact, collecting diagnostics."""
         found: List[Diagnostic] = []
 
@@ -55,7 +72,10 @@ class Rule:
                 location=location, message=message,
                 fix_hint=self.fix_hint if fix_hint is None else fix_hint))
 
-        self.fn(artifact, emit)
+        if self.wants_context:
+            self.fn(artifact, emit, context)
+        else:
+            self.fn(artifact, emit)
         return found
 
 
@@ -79,17 +99,28 @@ class RuleRegistry:
                                   key=lambda r: r.rule_id)
                 if r.layer == layer]
 
-    def select(self, patterns: Optional[List[str]] = None) -> List[Rule]:
-        """Rules whose id matches any glob pattern (all when None)."""
+    def select(self, patterns: Optional[List[str]] = None,
+               deep: bool = False) -> List[Rule]:
+        """Rules whose id matches any glob pattern (all when None).
+
+        Deep rules are excluded unless ``deep`` is set — they require
+        the dataflow context ``--deep`` provides.
+        """
         ordered = sorted(self.rules.values(), key=lambda r: r.rule_id)
-        if not patterns:
-            return ordered
-        selected = [r for r in ordered
-                    if any(fnmatchcase(r.rule_id, p) for p in patterns)]
+        if patterns:
+            matched = [r for r in ordered
+                       if any(fnmatchcase(r.rule_id, p) for p in patterns)]
+            if not matched:
+                raise RuleError(
+                    f"no rule matches {', '.join(patterns)!s}; known "
+                    "rules: " + ", ".join(sorted(self.rules)))
+        else:
+            matched = ordered
+        selected = [r for r in matched if deep or not r.deep]
         if not selected:
             raise RuleError(
-                f"no rule matches {', '.join(patterns)!s}; known rules: "
-                + ", ".join(sorted(self.rules)))
+                f"{', '.join(patterns or [])}: only deep rules match; "
+                "pass --deep to run them")
         return selected
 
 
@@ -97,7 +128,7 @@ DEFAULT_REGISTRY = RuleRegistry()
 
 
 def rule(rule_id: str, layer: str, severity: Severity,
-         fix_hint: str = "",
+         fix_hint: str = "", deep: bool = False,
          registry: Optional[RuleRegistry] = None
          ) -> Callable[[RuleFn], RuleFn]:
     """Decorator registering ``fn`` as an analysis rule."""
@@ -107,7 +138,8 @@ def rule(rule_id: str, layer: str, severity: Severity,
             rule_id=rule_id, layer=layer, severity=severity, fn=fn,
             doc=(fn.__doc__ or "").strip().splitlines()[0]
             if fn.__doc__ else "",
-            fix_hint=fix_hint))
+            fix_hint=fix_hint, deep=deep,
+            wants_context=_wants_context(fn)))
         return fn
 
     return decorator

@@ -80,28 +80,72 @@ def _failed_target(layer: str, name: str, rule_id: str,
         message=f"{type(error).__name__}: {error}")]))
 
 
-def example_targets() -> List[AnalysisTarget]:
-    """The standard example set: one clean artifact per layer.
+# A kernel with a written local array so the cross-layer bundle
+# exercises the BRAM-footprint joint: a read-only window would fold to
+# a LUT-ROM, and pointer parameters synthesize no local macros at all.
+_BUNDLE_KERNEL = """
+// Sliding-window average with an explicit delay-line scratch RAM.
+void wavg(const int *x, int *y, int n) {
+  int win[16];
+  for (int i = 0; i < 16; i++) {
+    win[i] = 0;
+  }
+  int acc = 0;
+  for (int i = 0; i < n; i++) {
+    acc = acc + x[i] - win[i & 15];
+    win[i & 15] = x[i];
+    y[i] = acc >> 4;
+  }
+}
+"""
 
-    * ir — the median-filter accelerator of the image workload;
-    * netlist — a structurally generated 8-bit adder;
-    * xmcf — the virtualized-mission hypervisor configuration;
-    * boot — a provisioned flash with one application image.
-    """
-    from ..apps import image, mission
+
+def _example_boot_soc():
     from ..boot import BootImage, ImageKind, provision_flash
-    from ..fabric.synthesis import synthesize_component
     from ..soc import DDR_BASE, NgUltraSoc, assemble
 
-    targets = [
-        ir_target_from_source(image.MEDIAN3_C, "median3.c"),
-        netlist_target(synthesize_component("addsub", 8)),
-        AnalysisTarget("xmcf", "mission.xml", mission.mission_config()),
-    ]
     soc = NgUltraSoc()
     program = assemble("MOVI r0, #42\nHALT", base_address=DDR_BASE)
     app = BootImage(kind=ImageKind.APPLICATION, load_address=DDR_BASE,
                     entry_point=DDR_BASE, payload=program, name="app")
     provision_flash(soc, [app], copies=2)
-    targets.append(boot_target_from_soc(soc))
+    return soc
+
+
+def crosslayer_bundle_target(name: str = "wavg-system") -> AnalysisTarget:
+    """A clean whole-system bundle for the cross-layer rules: the wavg
+    accelerator (IR + per-function netlists), the mission hypervisor
+    configuration and a provisioned boot flash."""
+    from ..apps import mission
+    from ..hls import synthesize
+    from .passes.boot import BootFlashLayout
+    from .passes.crosslayer import CrossLayerBundle
+
+    project = synthesize(_BUNDLE_KERNEL, top="wavg")
+    bundle = CrossLayerBundle.from_project(
+        project, name=name, config=mission.mission_config(),
+        boot=BootFlashLayout.from_soc(_example_boot_soc()))
+    return AnalysisTarget("crosslayer", name, bundle)
+
+
+def example_targets(deep: bool = False) -> List[AnalysisTarget]:
+    """The standard example set: one clean artifact per layer.
+
+    * ir — the median-filter accelerator of the image workload;
+    * netlist — a structurally generated 8-bit adder;
+    * xmcf — the virtualized-mission hypervisor configuration;
+    * boot — a provisioned flash with one application image;
+    * crosslayer (``deep`` only) — the wavg whole-system bundle.
+    """
+    from ..apps import image, mission
+    from ..fabric.synthesis import synthesize_component
+
+    targets = [
+        ir_target_from_source(image.MEDIAN3_C, "median3.c"),
+        netlist_target(synthesize_component("addsub", 8)),
+        AnalysisTarget("xmcf", "mission.xml", mission.mission_config()),
+        boot_target_from_soc(_example_boot_soc()),
+    ]
+    if deep:
+        targets.append(crosslayer_bundle_target())
     return targets

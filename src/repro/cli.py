@@ -348,7 +348,7 @@ def _cmd_lint(args) -> int:
     targets = []
     try:
         if args.examples:
-            targets.extend(example_targets())
+            targets.extend(example_targets(deep=args.deep))
         for path_text in args.targets:
             targets.append(target_from_file(Path(path_text)))
     except (TargetError, OSError) as error:
@@ -365,7 +365,7 @@ def _cmd_lint(args) -> int:
         if args.rules else None
     try:
         analyzer = Analyzer(rules=rules, baseline=baseline,
-                            jobs=args.jobs)
+                            jobs=args.jobs, deep=args.deep)
     except RuleError as error:
         print(f"error: {error}", file=sys.stderr)
         return 2
@@ -634,6 +634,10 @@ def build_parser() -> argparse.ArgumentParser:
     lint.add_argument("--examples", action="store_true",
                       help="also lint the built-in example designs "
                            "(one per layer)")
+    lint.add_argument("--deep", action="store_true",
+                      help="also run the dataflow-proven rules "
+                           "(abstract interpretation + cross-layer "
+                           "consistency)")
     lint.add_argument("--rules",
                       help="comma-separated rule id globs "
                            "(e.g. 'netlist.*,xmcf.window-*')")

@@ -37,6 +37,7 @@ _TITLES = {
     "SValR": "Software Validation Report",
     "SUM": "Software User Manual",
     "SAR": "Static Analysis Report",
+    "SVR": "Semantic Verification Report",
     "TEL": "Telemetry & Measurement Report",
 }
 
@@ -67,7 +68,8 @@ def generate_datapack(project: str, campaign: QualificationCampaign,
                       report: QualificationReport,
                       user_manual_sections: Optional[Dict[str, str]] = None,
                       lint_report: Optional["AnalysisReport"] = None,
-                      tracer: Optional["Tracer"] = None
+                      tracer: Optional["Tracer"] = None,
+                      deep_report: Optional["AnalysisReport"] = None
                       ) -> Datapack:
     """Render the full mandatory document set from campaign evidence.
 
@@ -76,7 +78,11 @@ def generate_datapack(project: str, campaign: QualificationCampaign,
     of the mandatory set.  ``tracer`` (a :class:`repro.telemetry.Tracer`
     carrying the campaign's trace) adds the TEL — the measured-evidence
     summary: span tallies per stack layer plus every counter and gauge
-    collected during qualification.
+    collected during qualification.  ``deep_report`` (an
+    ``AnalysisReport`` produced with ``deep=True``) adds the SVR — the
+    semantic-verification evidence: abstract-interpretation findings
+    plus the fixpoint-solver effort figures backing the "analysis
+    converged" claim.
     """
     pack = Datapack(project=project)
 
@@ -158,10 +164,39 @@ def generate_datapack(project: str, campaign: QualificationCampaign,
                      for line in lint_report.render_text().splitlines())
         pack.documents["SAR"] = "\n".join(lines)
 
+    # SVR: semantic verification (abstract interpretation), when supplied.
+    if deep_report is not None:
+        pack.documents["SVR"] = _render_semantic_report(project, deep_report)
+
     # TEL: measured telemetry evidence, when supplied.
     if tracer is not None:
         pack.documents["TEL"] = _render_telemetry_report(project, tracer)
     return pack
+
+
+def _render_semantic_report(project: str,
+                            deep_report: "AnalysisReport") -> str:
+    """The SVR document: deep-lint findings + solver effort evidence."""
+    lines = _header("SVR", project)
+    lines.append("  Semantic verification by abstract interpretation over "
+                 "the HLS CDFG IR (repro lint --deep): value ranges, "
+                 "liveness and SEU-taint fixpoints plus cross-layer "
+                 "consistency of IR, netlist, XM_CF and boot media.")
+    lines.extend(f"  {line}"
+                 for line in deep_report.render_text().splitlines())
+    counters = getattr(deep_report, "counters", {}) or {}
+    if counters:
+        lines.append("  Fixpoint solver evidence:")
+        for name in sorted(counters):
+            lines.append(f"    {name:<36} {counters[name]}")
+        unconverged = sum(value for name, value in counters.items()
+                          if name.endswith(".unconverged"))
+        lines.append("  Convergence: "
+                     + ("all analyses reached a fixpoint within budget"
+                        if not unconverged else
+                        f"{unconverged} analysis run(s) hit the iteration "
+                        "budget (findings degraded to unknown, not wrong)"))
+    return "\n".join(lines)
 
 
 def _render_telemetry_report(project: str, tracer: "Tracer") -> str:

@@ -133,6 +133,7 @@ class _FunctionLowering:
                 name=param.name, element=param.type,
                 size=size if param.dims else 0,
                 dims=tuple(param.dims), storage=mode, is_param=True,
+                protection=self.pragmas.protections.get(param.name, "none"),
             )
             self.func.add_mem(mem)
             self.func.params.append(Param(param.name, mem.ty, mem=mem))
@@ -201,7 +202,9 @@ class _FunctionLowering:
             init = list(decl.array_init or [])
             mem = MemObject(name=name, element=decl.var_type, size=size,
                             dims=tuple(decl.dims), storage=storage,
-                            initializer=init)
+                            initializer=init,
+                            protection=self.pragmas.protections.get(
+                                decl.name, "none"))
             self.func.add_mem(mem)
             self.bindings.declare(decl.name, mem)
             if init and storage == "bram":

@@ -40,6 +40,16 @@ class AllocationPragma:
 
 
 @dataclass
+class ProtectPragma:
+    """``#pragma HLS protect port=<name> scheme=<ecc|secded|tmr|none>`` —
+    declares the SEU mitigation applied to a memory object (used by the
+    SEU-taint dataflow analysis and the radhard campaigns)."""
+
+    port: str
+    scheme: str
+
+
+@dataclass
 class FunctionPragmas:
     """Aggregated function-level pragma state."""
 
@@ -47,6 +57,8 @@ class FunctionPragmas:
     dataflow: bool = False
     interfaces: Dict[str, InterfacePragma] = field(default_factory=dict)
     allocation: Dict[str, int] = field(default_factory=dict)
+    # Memory-object name -> SEU protection scheme.
+    protections: Dict[str, str] = field(default_factory=dict)
 
 
 def _parse_kv(parts: List[str]) -> Dict[str, str]:
@@ -100,6 +112,14 @@ def parse_pragma(text: str):
         # Accepted for compatibility; treated as full unroll request of the
         # innermost loop body scheduling (no initiation-interval pipelining).
         return UnrollPragma(factor=0)
+    if directive == "protect":
+        port = kv.get("port")
+        scheme = kv.get("scheme", "none").lower()
+        if not port:
+            raise PragmaError(f"protect pragma needs port=: {text!r}")
+        if scheme not in ("ecc", "secded", "tmr", "none"):
+            raise PragmaError(f"unknown protection scheme {scheme!r}")
+        return ProtectPragma(port=port, scheme=scheme)
     if directive == "allocation":
         limits: Dict[str, int] = {}
         for key, value in kv.items():
@@ -124,6 +144,8 @@ def collect_function_pragmas(lines: List[str]) -> FunctionPragmas:
             result.interfaces[pragma.port] = pragma
         elif isinstance(pragma, AllocationPragma):
             result.allocation.update(pragma.limits)
+        elif isinstance(pragma, ProtectPragma):
+            result.protections[pragma.port] = pragma.scheme
         # Unroll pragmas are loop-level; ignore at function level.
     return result
 

@@ -88,6 +88,9 @@ class MemObject:
     initializer: list = field(default_factory=list)
     is_param: bool = False
     is_global: bool = False
+    # SEU protection scheme applied by ``#pragma HLS protect`` ("none",
+    # "ecc", "secded" or "tmr"); the radhard package owns the vocabulary.
+    protection: str = "none"
 
     @property
     def ty(self) -> Type:

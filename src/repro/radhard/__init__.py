@@ -10,6 +10,11 @@ from .campaign import (
     OUTCOMES,
     classify_result,
 )
+from .mitigation import (
+    KNOWN_SCHEMES,
+    MITIGATING_SCHEMES,
+    mitigates_seu,
+)
 from .mega import (
     FAILURE_OUTCOMES,
     MegaCampaign,
@@ -65,6 +70,7 @@ __all__ = [
     "InjectionResult", "OUTCOMES", "classify_result",
     "FAILURE_OUTCOMES", "MegaCampaign", "MegaReport", "ShardRecord",
     "merge_shard_records",
+    "KNOWN_SCHEMES", "MITIGATING_SCHEMES", "mitigates_seu",
     "DecodeResult", "EccError", "EccMemory", "EccStats", "codeword_bits",
     "decode", "encode",
     "IntegrityError", "IntegrityMap", "IntegrityViolation", "Region",

@@ -1,0 +1,23 @@
+"""SEU mitigation scheme metadata.
+
+The HLS front end tags :class:`~repro.hls.ir.values.MemObject` instances
+with a ``protection`` scheme (``#pragma HLS protect``); the dataflow
+SEU-taint domain asks this module which schemes actually mitigate single
+event upsets.  Keeping the authority here ties the static-analysis layer
+to the same vocabulary the injection campaigns use (ECC memories, TMR
+memories/registers).
+"""
+
+from __future__ import annotations
+
+# Schemes the radhard substrates implement and the SEU campaigns credit
+# as mitigating single-bit upsets.
+MITIGATING_SCHEMES = frozenset({"ecc", "secded", "tmr"})
+
+# Every scheme name the ``protect`` pragma accepts.
+KNOWN_SCHEMES = MITIGATING_SCHEMES | {"none"}
+
+
+def mitigates_seu(scheme: str) -> bool:
+    """True when ``scheme`` names an SEU-mitigating protection."""
+    return str(scheme).strip().lower() in MITIGATING_SCHEMES

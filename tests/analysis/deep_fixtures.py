@@ -1,0 +1,150 @@
+"""Seeded-defect corpus for the deep (abstract-interpretation) rules.
+
+One HermesC kernel per dataflow rule plus two tampered cross-layer
+bundles — every artifact is constructed so that exactly one deep rule
+fires exactly once on it.  CI's ``deep-lint-smoke`` gate and the deep
+golden test both consume this corpus, so keep it deterministic.
+"""
+
+from repro.analysis import AnalysisTarget, ir_target_from_source
+
+# --- Dataflow rule kernels -------------------------------------------
+# (rule id, kernel).  Each kernel seeds one defect the corresponding
+# rule proves; no other rule (shallow or deep) fires on it.
+
+OOB_C = """
+void oob(const int *src, int *dst) {
+  int buf[8];
+  for (int i = 0; i < 8; i++) {
+    buf[i] = src[i];
+  }
+  dst[0] = buf[8];
+}
+"""
+
+DIV_BY_ZERO_C = """
+void divz(const int *src, int *dst) {
+  int d = 0;
+  dst[0] = src[0] / d;
+}
+"""
+
+CONSTANT_BRANCH_C = """
+void cbr(const int *src, int *dst) {
+  int x = src[0];
+  int limit = 10;
+  if (limit > 5) {
+    dst[0] = x;
+  } else {
+    dst[0] = 0 - x;
+  }
+}
+"""
+
+LOOP_NEVER_EXITS_C = """
+void spin(int *dst) {
+  int i = 0;
+  while (i < 10) {
+    dst[0] = i;
+  }
+  dst[1] = i;
+}
+"""
+
+DEAD_VALUE_C = """
+void deadv(const int *src, int *dst) {
+  int t = src[0] * 3;
+  t = src[1];
+  dst[0] = t;
+}
+"""
+
+SEU_FLOW_C = """
+#pragma HLS interface port=raw mode=bram
+#pragma HLS interface port=acc mode=bram
+#pragma HLS protect port=acc scheme=ecc
+void seuflow(const int *raw, int *acc, int n) {
+  for (int i = 0; i < n; i++) {
+    acc[i] = raw[i];
+  }
+}
+"""
+
+# Interval analysis proves (src[0] & 1) + 300 lies in [300, 301], which
+# no i8 holds: the width-only INFO escalates to a proven WARNING.
+PROVEN_LOSSY_C = """
+void lossy(const int *src, char *dst) {
+  int big = (src[0] & 1) + 300;
+  dst[0] = big;
+}
+"""
+
+# The masked value always fits i8 — the width-only heuristic flags the
+# cast (32 -> 8 bits) but the interval domain suppresses it under
+# --deep.  Used by the false-positive regression test, NOT part of the
+# seeded corpus (it yields zero deep diagnostics by design).
+FITS_ANYWAY_C = """
+void keepfit(const int *src, char *dst) {
+  int t = src[0] & 63;
+  dst[0] = t;
+}
+"""
+
+DATAFLOW_DEFECTS = (
+    ("ir.oob-access", "oob.c", OOB_C),
+    ("ir.div-by-zero", "divz.c", DIV_BY_ZERO_C),
+    ("ir.constant-branch", "cbr.c", CONSTANT_BRANCH_C),
+    ("ir.loop-never-exits", "spin.c", LOOP_NEVER_EXITS_C),
+    ("ir.dead-value", "deadv.c", DEAD_VALUE_C),
+    ("ir.seu-unprotected-flow", "seuflow.c", SEU_FLOW_C),
+    ("ir.lossy-truncation", "lossy.c", PROVEN_LOSSY_C),
+)
+
+
+# --- Cross-layer defects ---------------------------------------------
+
+def defective_bram_bundle() -> AnalysisTarget:
+    """The clean wavg bundle with its scratch-RAM macro deleted from the
+    netlist: the area report promises one BRAM, the netlist has none."""
+    from repro.analysis import crosslayer_bundle_target
+    target = crosslayer_bundle_target(name="bad-bram-system")
+    del target.artifact.netlists["wavg"].cells["win_bram0"]
+    return target
+
+
+def defective_boot_window_bundle() -> AnalysisTarget:
+    """A bundle whose boot image loads above every XM_CF partition
+    memory window (mission partitions end at 0x40070000)."""
+    from repro.analysis import AnalysisTarget
+    from repro.analysis.passes.boot import BootFlashLayout
+    from repro.analysis.passes.crosslayer import CrossLayerBundle
+    from repro.apps import mission
+    from repro.boot import BootImage, ImageKind, provision_flash
+    from repro.soc import DDR_BASE, NgUltraSoc, assemble
+
+    soc = NgUltraSoc()
+    stray = DDR_BASE + 0x0008_0000
+    program = assemble("MOVI r0, #9\nHALT", base_address=stray)
+    app = BootImage(kind=ImageKind.APPLICATION, load_address=stray,
+                    entry_point=stray, payload=program, name="strayapp")
+    provision_flash(soc, [app], copies=1)
+    bundle = CrossLayerBundle(name="bad-window-system",
+                              config=mission.mission_config(),
+                              boot=BootFlashLayout.from_soc(soc))
+    return AnalysisTarget("crosslayer", "bad-window-system", bundle)
+
+
+def deep_defective_targets():
+    """The full seeded corpus: one target per deep rule."""
+    targets = [ir_target_from_source(source, name)
+               for _rule, name, source in DATAFLOW_DEFECTS]
+    targets.append(defective_bram_bundle())
+    targets.append(defective_boot_window_bundle())
+    return targets
+
+
+# rule id -> number of expected firings over the whole corpus (always 1:
+# that is the point of the corpus).
+EXPECTED_FIRINGS = {rule_id: 1 for rule_id, _n, _s in DATAFLOW_DEFECTS}
+EXPECTED_FIRINGS["crosslayer.bram-footprint"] = 1
+EXPECTED_FIRINGS["crosslayer.boot-partition-window"] = 1

@@ -1,0 +1,87 @@
+"""Cross-layer consistency rules: bundle construction + both joints."""
+
+import pytest
+
+from repro.analysis import (
+    AnalysisTarget,
+    Analyzer,
+    crosslayer_bundle_target,
+)
+from repro.analysis.passes.crosslayer import CrossLayerBundle
+from repro.fabric.netlist import BRAM, Cell
+
+from .deep_fixtures import (
+    defective_boot_window_bundle,
+    defective_bram_bundle,
+)
+
+
+@pytest.fixture(scope="module")
+def clean_target():
+    return crosslayer_bundle_target()
+
+
+def _run(target):
+    return Analyzer(deep=True).run([target])
+
+
+class TestBundle:
+    def test_from_project_builds_all_layers(self, clean_target):
+        bundle = clean_target.artifact
+        assert isinstance(bundle, CrossLayerBundle)
+        assert bundle.module is not None
+        assert set(bundle.netlists) == set(bundle.designs)
+        assert bundle.config is not None and bundle.boot is not None
+
+    def test_clean_bundle_lints_clean(self, clean_target):
+        report = _run(clean_target)
+        assert report.diagnostics == [], report.render_text()
+
+    def test_clean_bundle_joint_is_not_vacuous(self, clean_target):
+        """The wavg scratch RAM really maps to a BRAM macro, so the
+        footprint rule checks something on the clean path."""
+        bundle = clean_target.artifact
+        assert "win_bram0" in bundle.netlists["wavg"].cells
+        area = bundle.designs["wavg"].report.area.breakdown
+        assert area["ram:win"]["brams"] == 1
+
+
+class TestBramFootprint:
+    def test_missing_macro_detected(self):
+        report = _run(defective_bram_bundle())
+        assert [d.rule for d in report.diagnostics] == \
+            ["crosslayer.bram-footprint"]
+        assert "instantiates none" in report.diagnostics[0].message
+
+    def test_orphan_macro_detected(self, clean_target):
+        target = crosslayer_bundle_target(name="orphan-system")
+        netlist = target.artifact.netlists["wavg"]
+        out = netlist.new_net("ghost_rd")
+        netlist.add_cell(Cell(name="ghost_bram0", kind=BRAM,
+                              inputs=[], output=out))
+        report = _run(target)
+        assert [d.rule for d in report.diagnostics] == \
+            ["crosslayer.bram-footprint"]
+        assert "no backing memory object" in report.diagnostics[0].message
+
+    def test_partial_bundle_skips_joint(self):
+        bundle = CrossLayerBundle(name="partial")
+        report = _run(AnalysisTarget("crosslayer", "partial", bundle))
+        assert report.diagnostics == []
+
+
+class TestBootPartitionWindow:
+    def test_stray_image_detected(self):
+        report = _run(defective_boot_window_bundle())
+        assert [d.rule for d in report.diagnostics] == \
+            ["crosslayer.boot-partition-window"]
+        message = report.diagnostics[0].message
+        assert "outside every XM_CF partition memory area" in message
+        assert report.diagnostics[0].location == "entry0/application"
+
+    def test_config_without_boot_skips(self):
+        from repro.apps import mission
+        bundle = CrossLayerBundle(name="no-boot",
+                                  config=mission.mission_config())
+        report = _run(AnalysisTarget("crosslayer", "no-boot", bundle))
+        assert report.diagnostics == []

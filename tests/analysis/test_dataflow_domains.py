@@ -1,0 +1,284 @@
+"""Domain unit tests: interval arithmetic, constants, liveness, taint."""
+
+from repro.analysis.dataflow import (
+    BOTTOM,
+    ConstDomain,
+    IntervalDomain,
+    LivenessDomain,
+    SeuTaintDomain,
+    full_range,
+    interval_hull,
+    solve,
+    width_needed,
+    wrap_interval,
+)
+from repro.analysis.dataflow.domains import _refine_compare
+from repro.hls.frontend import compile_to_ir
+from repro.hls.ir.operations import Assign, BinOp, Load, Store
+from repro.hls.ir.types import IntType
+from repro.hls.ir.values import MemObject, Temp, Var, const_int
+
+I32 = IntType(32, True)
+U8 = IntType(8, False)
+I8 = IntType(8, True)
+
+
+class TestWrapInterval:
+    def test_in_range_exact(self):
+        assert wrap_interval(-5, 10, I32) == (-5, 10)
+
+    def test_contiguous_wrap(self):
+        # [128, 130] as i8 wraps to [-128, -126]: still contiguous.
+        assert wrap_interval(128, 130, I8) == (-128, -126)
+
+    def test_straddling_wrap_goes_full(self):
+        # [120, 130] wraps across the i8 boundary into two segments.
+        assert wrap_interval(120, 130, I8) == full_range(I8)
+
+    def test_huge_span_goes_full(self):
+        assert wrap_interval(0, 1 << 40, I32) == full_range(I32)
+
+    def test_unsigned_wrap(self):
+        assert wrap_interval(256, 258, U8) == (0, 2)
+
+    def test_endpoints_swapped(self):
+        assert wrap_interval(10, -5, I32) == (-5, 10)
+
+
+class TestIntervalHelpers:
+    def test_hull(self):
+        assert interval_hull((0, 5), (3, 9)) == (0, 9)
+
+    def test_width_needed_signed(self):
+        assert width_needed((-1, 0), True) == 1
+        assert width_needed((-128, 127), True) == 8
+        assert width_needed((0, 128), True) == 9
+
+    def test_width_needed_unsigned(self):
+        assert width_needed((0, 255), False) == 8
+        assert width_needed((0, 0), False) == 1
+
+
+def _interval_result(source, name):
+    module = compile_to_ir(source)
+    func = module.functions[name]
+    domain = IntervalDomain(func, module)
+    return domain, solve(domain, func)
+
+
+class TestIntervalDomain:
+    def _eval_binop(self, op_name, lhs, rhs, ty=I32):
+        func_src = "void f(int *dst) { dst[0] = 0; }"
+        module = compile_to_ir(func_src)
+        func = module.functions["f"]
+        domain = IntervalDomain(func, module)
+        a, b = Temp("a", ty), Temp("b", ty)
+        dst = Temp("d", ty)
+        op = BinOp(op_name, dst, a, b)
+        state = {a: lhs, b: rhs}
+        return domain.get(dst, domain.transfer_op(op, state))
+
+    def test_add_wraps(self):
+        top = I32.max_value
+        assert self._eval_binop("add", (top, top), (1, 1)) == \
+            (I32.min_value, I32.min_value)
+
+    def test_div_by_zero_interval_is_zero(self):
+        # Mirrors the interpreter's total definition x / 0 == 0.
+        assert self._eval_binop("div", (5, 9), (0, 0)) == (0, 0)
+
+    def test_div_through_zero_includes_zero(self):
+        lo, hi = self._eval_binop("div", (10, 20), (-2, 2))
+        assert lo <= 0 <= hi
+        assert lo <= -20 and hi >= 20
+
+    def test_rem_bounded_by_divisor(self):
+        assert self._eval_binop("rem", (-100, 100), (8, 8)) == (-7, 7)
+        assert self._eval_binop("rem", (0, 100), (8, 8)) == (0, 7)
+
+    def test_and_mask_bounds_unknown_lhs(self):
+        assert self._eval_binop(
+            "and", full_range(I32), (63, 63)) == (0, 63)
+
+    def test_shl_oversized_shift_clamped(self):
+        # interp masks shl shifts by width-1, so rh >= width widens the
+        # shift range to [0, width-1] instead of crashing.
+        result = self._eval_binop("shl", (1, 1), (0, 40))
+        assert result is not None
+
+    def test_shr_narrows(self):
+        assert self._eval_binop("shr", (0, 255), (4, 4)) == (0, 15)
+
+    def test_comparison_definite(self):
+        assert self._eval_binop("lt", (0, 5), (10, 20)) == (1, 1)
+        assert self._eval_binop("lt", (10, 20), (0, 5)) == (0, 0)
+        assert self._eval_binop("lt", (0, 15), (10, 20)) == (0, 1)
+
+    def test_loop_induction_variable_bounded(self):
+        source = """
+        void f(const int *src, int *dst) {
+          int acc = 0;
+          for (int i = 0; i < 8; i++) {
+            acc = acc + src[i];
+          }
+          dst[0] = acc;
+        }
+        """
+        domain, result = _interval_result(source, "f")
+        # In the loop body the induction variable is refined to [0, 7].
+        body = [n for n in result.view.order if "body" in n]
+        assert body
+        state = result.state_in(body[0])
+        i_vars = [v for v in state if getattr(v, "name", "") == "i"]
+        assert i_vars and state[i_vars[0]] == (0, 7)
+
+    def test_rom_initializer_bounds_loads(self):
+        source = """
+        void f(const int *src, int *dst) {
+          const int lut[4] = {10, 20, 30, 40};
+          dst[0] = lut[src[0] & 3];
+        }
+        """
+        domain, result = _interval_result(source, "f")
+        assert domain.rom_ranges["lut"] == (10, 40)
+        func = domain.func
+        for name in result.view.order:
+            for op, _before, after in result.replay(name):
+                if isinstance(op, Load) and op.mem.name == "lut":
+                    assert domain.get(op.dst, after) == (10, 40)
+
+    def test_refine_compare_contradiction(self):
+        assert _refine_compare("lt", (5, 5), (0, 3)) is None
+        assert _refine_compare("eq", (0, 3), (10, 12)) is None
+
+    def test_refine_compare_narrows_both_sides(self):
+        lhs, rhs = _refine_compare("lt", (0, 100), (0, 10))
+        assert lhs == (0, 9)
+        assert rhs == (1, 10)
+
+    def test_canonical_state_drops_full_ranges(self):
+        func_src = "void f(int *dst) { dst[0] = 0; }"
+        module = compile_to_ir(func_src)
+        func = module.functions["f"]
+        domain = IntervalDomain(func, module)
+        v = Var("v", I32)
+        op = Assign(v, const_int(3, I32))
+        state = domain.transfer_op(op, {})
+        assert state[v] == (3, 3)
+        # Joining with the full range cancels the entry entirely.
+        assert domain.join(state, {v: full_range(I32)}) == {}
+
+
+class TestConstDomain:
+    def test_folds_through_blocks(self):
+        source = """
+        void f(int *dst) {
+          int a = 3;
+          int b = a + 4;
+          dst[0] = b * 2;
+        }
+        """
+        module = compile_to_ir(source)
+        func = module.functions["f"]
+        result = solve(ConstDomain(), func)
+        exit_states = [s for s in result.out_states.values()]
+        constants = set()
+        for state in exit_states:
+            constants.update(state.values())
+        assert {3, 7, 14} <= constants
+
+    def test_join_keeps_agreeing_constants(self):
+        domain = ConstDomain()
+        a, b = Var("a", I32), Var("b", I32)
+        merged = domain.join({a: 1, b: 2}, {a: 1, b: 3})
+        assert merged == {a: 1}
+
+    def test_edge_pruning_kills_dead_arm(self):
+        source = """
+        void f(const int *src, int *dst) {
+          int flag = 1;
+          if (flag) {
+            dst[0] = src[0];
+          } else {
+            dst[0] = 0;
+          }
+        }
+        """
+        module = compile_to_ir(source)
+        func = module.functions["f"]
+        result = solve(ConstDomain(), func)
+        dead = [n for n in func.blocks if "else" in n]
+        assert dead
+        assert result.state_in(dead[0]) is BOTTOM
+
+
+class TestLivenessDomain:
+    def test_kill_then_gen(self):
+        domain = LivenessDomain()
+        a, b = Var("a", I32), Var("b", I32)
+        op = BinOp("add", a, b, b)  # a = b + b
+        state = domain.transfer_op(op, frozenset({a}))
+        assert state == frozenset({b})
+
+    def test_self_reference_stays_live(self):
+        domain = LivenessDomain()
+        a = Var("a", I32)
+        op = BinOp("add", a, a, a)  # a = a + a
+        assert domain.transfer_op(op, frozenset({a})) == frozenset({a})
+
+
+class TestSeuTaintDomain:
+    def _mems(self):
+        clean = MemObject("clean", I32, 8, protection="ecc")
+        dirty = MemObject("dirty", I32, 8)
+        return clean, dirty
+
+    def test_load_from_unprotected_taints(self):
+        domain = SeuTaintDomain()
+        _clean, dirty = self._mems()
+        dst = Temp("t", I32)
+        state = domain.transfer_op(
+            Load(dst, dirty, const_int(0, I32)), frozenset())
+        assert domain.tainted(dst, state)
+
+    def test_load_from_protected_is_clean(self):
+        domain = SeuTaintDomain()
+        clean, _dirty = self._mems()
+        dst = Temp("t", I32)
+        state = domain.transfer_op(
+            Load(dst, clean, const_int(0, I32)), frozenset())
+        assert not domain.tainted(dst, state)
+
+    def test_tainted_index_taints_protected_load(self):
+        domain = SeuTaintDomain()
+        clean, _dirty = self._mems()
+        idx = Temp("i", I32)
+        dst = Temp("t", I32)
+        state = domain.transfer_op(
+            Load(dst, clean, idx), frozenset({idx}))
+        assert domain.tainted(dst, state)
+
+    def test_taint_propagates_and_clears(self):
+        domain = SeuTaintDomain()
+        t, u = Temp("t", I32), Temp("u", I32)
+        tainted = domain.transfer_op(
+            BinOp("add", u, t, const_int(1, I32)), frozenset({t}))
+        assert domain.tainted(u, tainted)
+        clean = domain.transfer_op(
+            Assign(u, const_int(0, I32)), tainted)
+        assert not domain.tainted(u, clean)
+
+    def test_mitigation_schemes(self):
+        from repro.radhard import MITIGATING_SCHEMES, mitigates_seu
+        assert mitigates_seu("ecc") and mitigates_seu("tmr")
+        assert not mitigates_seu("none")
+        assert "secded" in MITIGATING_SCHEMES
+
+    def test_store_is_not_an_output(self):
+        domain = SeuTaintDomain()
+        _clean, dirty = self._mems()
+        t = Temp("t", I32)
+        state = frozenset({t})
+        out = domain.transfer_op(
+            Store(dirty, const_int(0, I32), t), state)
+        assert out == state

@@ -1,0 +1,190 @@
+"""Solver and CFG-view tests: traversal, convergence, budget, stats."""
+
+import pytest
+
+from repro.analysis.dataflow import (
+    BOTTOM,
+    ConstDomain,
+    DataflowResult,
+    IntervalDomain,
+    LivenessDomain,
+    MustDefDomain,
+    SeuTaintDomain,
+    cfg_view,
+    solve,
+)
+from repro.hls.frontend import compile_to_ir
+
+LOOP_C = """
+void accum(const int *src, int *dst, int n) {
+  int acc = 0;
+  for (int i = 0; i < n; i++) {
+    acc = acc + src[i & 7];
+  }
+  dst[0] = acc;
+}
+"""
+
+DIAMOND_C = """
+void diamond(const int *src, int *dst) {
+  int x = src[0];
+  int y;
+  if (x > 0) {
+    y = 1;
+  } else {
+    y = 2;
+  }
+  dst[0] = y;
+}
+"""
+
+ALL_DOMAINS = ("const", "interval", "liveness", "mustdef", "seu-taint")
+
+
+def _func(source, name):
+    module = compile_to_ir(source)
+    return module, module.functions[name]
+
+
+def _domain(key, func, module):
+    from repro.analysis.dataflow.driver import DOMAIN_FACTORIES
+    return DOMAIN_FACTORIES[key](func, module)
+
+
+class TestCfgView:
+    def test_order_starts_at_entry(self):
+        _module, func = _func(DIAMOND_C, "diamond")
+        view = cfg_view(func)
+        assert view.order[0] == func.entry
+        assert view.reachable == set(func.blocks)
+
+    def test_loop_has_back_edge_target(self):
+        _module, func = _func(LOOP_C, "accum")
+        view = cfg_view(func)
+        heads = view.back_edge_targets()
+        assert len(heads) == 1
+        head = next(iter(heads))
+        # Some successor of the loop head leads back to it.
+        assert any(view.reaches(s, head) for s in view.successors[head])
+        assert func.entry not in heads
+
+    def test_reaches(self):
+        _module, func = _func(DIAMOND_C, "diamond")
+        view = cfg_view(func)
+        last = view.order[-1]
+        assert view.reaches(func.entry, last)
+        assert not view.reaches(last, func.entry)
+
+    def test_reverse_view_roots_are_exits(self):
+        _module, func = _func(LOOP_C, "accum")
+        forward = cfg_view(func)
+        backward = cfg_view(func, reverse=True)
+        exits = [n for n in func.blocks if not forward.successors[n]]
+        assert backward.order[0] in exits
+        # Reversed edges: forward successors become predecessors.
+        for name in backward.order:
+            for succ in backward.successors[name]:
+                assert name in forward.successors.get(succ, ())
+
+
+class TestSolve:
+    @pytest.mark.parametrize("key", ALL_DOMAINS)
+    def test_converges_on_loops(self, key):
+        module, func = _func(LOOP_C, "accum")
+        result = solve(_domain(key, func, module), func)
+        assert result.stats.converged
+        assert result.stats.iterations > 0
+        assert result.in_states  # every reachable block got a state
+
+    @pytest.mark.parametrize("key", ALL_DOMAINS)
+    def test_deterministic(self, key):
+        module, func = _func(LOOP_C, "accum")
+        first = solve(_domain(key, func, module), func)
+        second = solve(_domain(key, func, module), func)
+        assert first.in_states == second.in_states
+        assert first.out_states == second.out_states
+        assert first.stats == second.stats
+
+    def test_fixpoint_is_locally_consistent(self):
+        """out == transfer(in) for every reachable block — the defining
+        property of a fixpoint solution."""
+        for source, name in ((LOOP_C, "accum"), (DIAMOND_C, "diamond")):
+            module, func = _func(source, name)
+            for key in ALL_DOMAINS:
+                domain = _domain(key, func, module)
+                result = solve(domain, func)
+                for block_name, in_state in result.in_states.items():
+                    if in_state is BOTTOM:
+                        continue
+                    recomputed = domain.transfer_block(
+                        func.blocks[block_name], in_state)
+                    assert recomputed == result.out_states[block_name], \
+                        f"{key}/{block_name}: stale out state"
+
+    def test_widening_fires_on_interval_loop(self):
+        module, func = _func(LOOP_C, "accum")
+        result = solve(IntervalDomain(func, module), func)
+        assert result.stats.converged
+        assert result.stats.widenings >= 1
+
+    def test_transfer_counter_counts_ops(self):
+        _module, func = _func(DIAMOND_C, "diamond")
+        result = solve(ConstDomain(), func)
+        total_ops = sum(len(func.blocks[n].all_ops())
+                        for n in result.view.order)
+        # Straight-line-ish CFG: at least one full sweep of transfers.
+        assert result.stats.transfers >= total_ops
+
+    def test_budget_exhaustion_clears_states(self):
+        module, func = _func(LOOP_C, "accum")
+        result = solve(IntervalDomain(func, module), func, budget=2)
+        assert not result.stats.converged
+        assert result.in_states == {}
+        assert result.out_states == {}
+        assert result.state_in(func.entry) is BOTTOM
+
+    def test_default_budget_suffices_for_examples(self):
+        from repro.apps import ai, image, sdr
+        for mod in (image, sdr, ai):
+            for attr, source in vars(mod).items():
+                if not attr.endswith("_C") or not isinstance(source, str):
+                    continue
+                module = compile_to_ir(source)
+                for func in module.functions.values():
+                    for key in ALL_DOMAINS:
+                        result = solve(_domain(key, func, module), func)
+                        assert result.stats.converged, (attr, key)
+
+    def test_replay_walks_one_block(self):
+        module, func = _func(DIAMOND_C, "diamond")
+        result = solve(ConstDomain(), func)
+        steps = list(result.replay(func.entry))
+        assert len(steps) == len(func.blocks[func.entry].all_ops())
+        op, before, after = steps[0]
+        assert before == result.state_in(func.entry)
+        assert isinstance(result, DataflowResult)
+
+    def test_backward_liveness_solution(self):
+        _module, func = _func(DIAMOND_C, "diamond")
+        result = solve(LivenessDomain(), func)
+        assert result.stats.converged
+        # Nothing is live after the function returns.
+        exits = [n for n in func.blocks
+                 if not cfg_view(func).successors[n]]
+        for name in exits:
+            assert result.state_in(name) == frozenset()
+
+    def test_mustdef_params_always_defined(self):
+        _module, func = _func(DIAMOND_C, "diamond")
+        domain = MustDefDomain()
+        result = solve(domain, func)
+        params = domain.boundary(func)
+        for name, state in result.out_states.items():
+            assert params <= state, name
+
+    def test_seu_taint_loads_from_unprotected_taint(self):
+        _module, func = _func(DIAMOND_C, "diamond")
+        result = solve(SeuTaintDomain(), func)
+        assert result.stats.converged
+        # src has no protect pragma, so the loaded value is tainted.
+        assert any(state for state in result.out_states.values())

@@ -1,0 +1,123 @@
+"""Deep golden JSON + determinism and baseline contracts of --deep.
+
+The deep seeded-defect corpus is fully deterministic, so the JSON report
+rendered over it must match the committed golden bit for bit (solver
+counters included).  Regenerate after an intended rule or domain change
+with::
+
+    REGEN_DEEPLINT_GOLDEN=1 PYTHONPATH=src python -m pytest \
+        tests/analysis/test_deep_golden.py
+"""
+
+import json
+import os
+from collections import Counter
+from pathlib import Path
+
+from repro.analysis import (
+    Analyzer,
+    Severity,
+    example_targets,
+    load_baseline,
+    render_baseline,
+)
+
+from .deep_fixtures import EXPECTED_FIRINGS, deep_defective_targets
+
+GOLDEN = Path(__file__).parent / "golden_deeplint_report.json"
+
+
+def _report(jobs: int = 1):
+    return Analyzer(deep=True, jobs=jobs).run(deep_defective_targets())
+
+
+class TestDeepGolden:
+    def test_json_report_matches_golden(self):
+        rendered = _report().render_json() + "\n"
+        if os.environ.get("REGEN_DEEPLINT_GOLDEN"):
+            GOLDEN.write_text(rendered)
+        assert GOLDEN.exists(), (
+            f"golden {GOLDEN} missing; regenerate with "
+            f"REGEN_DEEPLINT_GOLDEN=1")
+        assert rendered == GOLDEN.read_text(), (
+            "deep lint JSON drifted from golden_deeplint_report.json — "
+            "if the change is intended, regenerate with "
+            "REGEN_DEEPLINT_GOLDEN=1")
+
+    def test_every_deep_rule_fires_exactly_once(self):
+        fired = Counter(d.rule for d in _report().diagnostics)
+        assert fired == Counter(EXPECTED_FIRINGS)
+
+    def test_crosslayer_layer_has_seeded_error(self):
+        report = _report()
+        crosslayer = [d for d in report.diagnostics
+                      if d.layer == "crosslayer"
+                      and d.severity is Severity.ERROR]
+        assert crosslayer
+
+    def test_golden_schema_carries_solver_evidence(self):
+        data = json.loads(GOLDEN.read_text())
+        assert data["version"] == 1
+        assert data["deep"] is True
+        solver = data["solver"]
+        assert solver["dataflow.solver.iterations"] > 0
+        assert list(solver) == sorted(solver)
+        # Wall-clock timings must never leak into the byte contract.
+        assert not any(key.endswith(".seconds") for key in solver)
+
+
+class TestDeepDeterminism:
+    def test_jobs_1_vs_4_byte_identical(self):
+        serial = Analyzer(deep=True, jobs=1).run(deep_defective_targets())
+        parallel = Analyzer(deep=True, jobs=4, backend="thread").run(
+            deep_defective_targets())
+        assert serial.render_json() == parallel.render_json()
+
+    def test_examples_deep_jobs_identity(self):
+        serial = Analyzer(deep=True, jobs=1).run(example_targets(deep=True))
+        parallel = Analyzer(deep=True, jobs=4, backend="thread").run(
+            example_targets(deep=True))
+        assert serial.render_json() == parallel.render_json()
+        assert serial.diagnostics == []
+
+    def test_shallow_report_unchanged_by_deep_machinery(self):
+        """Shallow reports must not mention deep mode at all (their
+        goldens predate it and stay byte-identical)."""
+        report = Analyzer().run(example_targets())
+        data = report.to_json_dict()
+        assert "deep" not in data
+        assert "solver" not in data
+
+
+class TestDeepBaseline:
+    def test_baseline_roundtrip_suppresses_deep_findings(self):
+        first = _report()
+        assert first.diagnostics
+        baseline = load_baseline(render_baseline(first))
+        second = Analyzer(deep=True, baseline=baseline).run(
+            deep_defective_targets())
+        assert second.diagnostics == []
+        assert second.suppressed == len(first.diagnostics)
+        assert second.exit_code(Severity.INFO) == 0
+
+    def test_exit_codes_mixed_severities(self):
+        report = _report()
+        assert report.exit_code(Severity.ERROR) == 1
+        assert report.exit_code(None) == 0
+        # Selecting only the warning-level dead-value rule on its kernel
+        # exercises the severity mapping for deep selections.
+        from .deep_fixtures import DATAFLOW_DEFECTS
+        from repro.analysis import ir_target_from_source
+        _rule, name, source = DATAFLOW_DEFECTS[4]
+        only = Analyzer(rules=["ir.dead-value"], deep=True).run(
+            [ir_target_from_source(source, name)])
+        assert only.exit_code(Severity.ERROR) == 0
+        assert only.exit_code(Severity.WARNING) == 1
+
+    def test_shallow_run_on_deep_corpus_sees_only_heuristics(self):
+        """Without --deep the seeded semantic defects are invisible —
+        the whole point of the dataflow pack."""
+        report = Analyzer().run(deep_defective_targets())
+        deep_rules = set(EXPECTED_FIRINGS)
+        fired = {d.rule for d in report.diagnostics}
+        assert not (fired & (deep_rules - {"ir.lossy-truncation"}))

@@ -43,7 +43,7 @@ class TestSeverity:
 class TestRegistry:
     def test_builtin_rules_cover_all_layers(self):
         layers = {r.layer for r in DEFAULT_REGISTRY.rules.values()}
-        assert layers == {"ir", "netlist", "xmcf", "boot"}
+        assert layers == {"ir", "netlist", "xmcf", "boot", "crosslayer"}
 
     def test_duplicate_id_rejected(self):
         registry = RuleRegistry()

@@ -1,0 +1,98 @@
+"""Per-rule tests of the deep IR dataflow pack over the seeded corpus."""
+
+import pytest
+
+from repro.analysis import (
+    Analyzer,
+    DEFAULT_REGISTRY,
+    RuleError,
+    Severity,
+    ir_target_from_source,
+)
+
+from .deep_fixtures import (
+    DATAFLOW_DEFECTS,
+    FITS_ANYWAY_C,
+    PROVEN_LOSSY_C,
+)
+
+
+def _deep(source, name):
+    return Analyzer(deep=True).run([ir_target_from_source(source, name)])
+
+
+class TestSeededDefects:
+    @pytest.mark.parametrize("rule_id,name,source", DATAFLOW_DEFECTS,
+                             ids=[r for r, _n, _s in DATAFLOW_DEFECTS])
+    def test_rule_fires_exactly_once(self, rule_id, name, source):
+        report = _deep(source, name)
+        assert [d.rule for d in report.diagnostics] == [rule_id], \
+            report.render_text()
+
+    def test_oob_is_error(self):
+        _rule, name, source = DATAFLOW_DEFECTS[0]
+        report = _deep(source, name)
+        assert report.diagnostics[0].severity is Severity.ERROR
+        assert "outside [0, 8)" in report.diagnostics[0].message
+
+    def test_seu_flow_names_both_memories(self):
+        report = _deep(DATAFLOW_DEFECTS[5][2], "seuflow.c")
+        message = report.diagnostics[0].message
+        assert "@acc" in message and "protect" in message
+
+
+class TestLossyTruncationRefinement:
+    """Satellite: the interval domain replaces the width-only heuristic."""
+
+    def test_shallow_heuristic_flags_masked_value(self):
+        report = Analyzer().run(
+            [ir_target_from_source(FITS_ANYWAY_C, "fp.c")])
+        assert [d.rule for d in report.diagnostics] == \
+            ["ir.lossy-truncation"]
+        assert report.diagnostics[0].severity is Severity.INFO
+
+    def test_deep_suppresses_the_false_positive(self):
+        report = _deep(FITS_ANYWAY_C, "fp.c")
+        assert report.diagnostics == [], report.render_text()
+
+    def test_deep_escalates_proven_loss(self):
+        report = _deep(PROVEN_LOSSY_C, "lossy.c")
+        assert len(report.diagnostics) == 1
+        diag = report.diagnostics[0]
+        assert diag.severity is Severity.WARNING
+        assert "provably drops set bits" in diag.message
+
+
+class TestCleanCorpus:
+    def test_app_kernels_produce_zero_deep_findings(self):
+        from repro.apps import ai, image, sdr
+        targets = []
+        for mod in (image, sdr, ai):
+            for attr, source in vars(mod).items():
+                if attr.endswith("_C") and isinstance(source, str):
+                    targets.append(ir_target_from_source(source, attr))
+        assert targets
+        report = Analyzer(deep=True).run(targets)
+        assert report.diagnostics == [], report.render_text()
+
+    def test_deep_counters_populated(self):
+        from repro.apps import image
+        report = Analyzer(deep=True).run(
+            [ir_target_from_source(image.MEDIAN3_C, "median3.c")])
+        assert report.counters.get("dataflow.solver.iterations", 0) > 0
+        assert "dataflow.interval.transfers" in report.counters
+
+
+class TestDeepSelection:
+    def test_shallow_analyzer_skips_deep_rules(self):
+        shallow = {r.rule_id for r in DEFAULT_REGISTRY.select(None)}
+        deep = {r.rule_id for r in DEFAULT_REGISTRY.select(None, deep=True)}
+        assert "ir.oob-access" not in shallow
+        assert "ir.oob-access" in deep
+        assert shallow < deep
+
+    def test_deep_only_pattern_needs_deep_flag(self):
+        with pytest.raises(RuleError, match="--deep"):
+            DEFAULT_REGISTRY.select(["ir.oob-access"])
+        selected = DEFAULT_REGISTRY.select(["ir.oob-access"], deep=True)
+        assert [r.rule_id for r in selected] == ["ir.oob-access"]

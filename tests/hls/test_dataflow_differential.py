@@ -1,0 +1,227 @@
+"""Differential tests: abstract domains vs middle-end passes vs interp.
+
+Three independent implementations reason about the same IR values:
+
+* the block-local ``constprop`` middle-end pass,
+* the ``infer_width_hints`` bitwidth analysis,
+* the flow-sensitive const/interval abstract domains,
+* the reference interpreter (ground truth).
+
+Anything one of them proves must be consistent with the others — a
+disagreement is a soundness bug in one of the four.
+"""
+
+import copy
+import random
+
+from repro.analysis.dataflow import (
+    BOTTOM,
+    ConstDomain,
+    IntervalDomain,
+    full_range,
+    solve,
+)
+from repro.hls.frontend import compile_to_ir
+from repro.hls.ir.interp import Interpreter
+from repro.hls.ir.operations import Assign
+from repro.hls.ir.types import IntType
+from repro.hls.ir.values import Const
+from repro.hls.middleend.bitwidth import WIDTH_HINTS_KEY, infer_width_hints
+from repro.hls.middleend.constprop import constant_propagation
+
+
+def _app_sources():
+    from repro.apps import ai, image, sdr
+    sources = []
+    for mod in (image, sdr, ai):
+        for attr, source in vars(mod).items():
+            if attr.endswith("_C") and isinstance(source, str):
+                sources.append((attr, source))
+    return sources
+
+# Kernels with foldable constants so the constprop differential has
+# real work to check (the app kernels mostly fold nothing).
+FOLDING_C = """
+void folding(const int *src, int *dst) {
+  int base = 6 * 7;
+  int shifted = base << 2;
+  int masked = shifted & 255;
+  if (masked > 100) {
+    dst[0] = masked - src[0];
+  } else {
+    dst[0] = src[0];
+  }
+  dst[1] = base + shifted;
+}
+"""
+
+
+class TestConstpropAgreement:
+    def _folded_positions(self, original, transformed):
+        """(block, index, dst, const) wherever constprop created a fold."""
+        folds = []
+        for name, block in transformed.blocks.items():
+            source_block = original.blocks[name]
+            assert len(block.ops) == len(source_block.ops)
+            for index, op in enumerate(block.ops):
+                if isinstance(op, Assign) and isinstance(op.src, Const):
+                    dst = source_block.ops[index].output()
+                    folds.append((name, index, dst, op.src.value))
+        return folds
+
+    def test_const_domain_subsumes_constprop(self):
+        checked = 0
+        for name, source in _app_sources() + [("FOLDING_C", FOLDING_C)]:
+            module = compile_to_ir(source)
+            mutated = copy.deepcopy(module)
+            for func_name, func in module.functions.items():
+                mutated_func = mutated.functions[func_name]
+                constant_propagation(mutated_func, mutated)
+                result = solve(ConstDomain(), func)
+                domain = result.domain
+                folds = self._folded_positions(func, mutated_func)
+                for block, index, dst, expected in folds:
+                    state = result.state_in(block)
+                    if state is BOTTOM:
+                        continue  # constprop can't see unreachability
+                    for op, _before, after in result.replay(block):
+                        state = after
+                        if op is func.blocks[block].ops[index]:
+                            break
+                    known = domain._get(dst, state)
+                    assert known == expected, (
+                        f"{name}/{func_name}/{block}[{index}]: constprop "
+                        f"folded {dst} to {expected}, const domain "
+                        f"says {known}")
+                    checked += 1
+        assert checked > 0  # the differential must have had real work
+
+
+class TestBitwidthConsistency:
+    def test_interval_and_hints_overlap(self):
+        """Both analyses over-approximate the same concrete values, so a
+        hinted width leaving the final interval empty is a bug."""
+        checked = 0
+        for name, source in _app_sources() + [("FOLDING_C", FOLDING_C)]:
+            module = compile_to_ir(source)
+            for func in module.functions.values():
+                infer_width_hints(func, module)
+                hints = func.pragmas[WIDTH_HINTS_KEY]
+                domain = IntervalDomain(func, module)
+                result = solve(domain, func)
+                for block in result.view.order:
+                    for op, _before, after in result.replay(block):
+                        out = op.output()
+                        if out not in hints:
+                            continue
+                        interval = domain.get(out, after)
+                        if interval is None:
+                            continue
+                        width = hints[out]
+                        # Generous band covering both signedness
+                        # readings of a w-bit value.
+                        lo, hi = -(1 << (width - 1)) if width else 0, \
+                            (1 << width) - 1
+                        assert interval[0] <= hi and interval[1] >= lo, (
+                            f"{name}/{func.name}: {out} hinted to "
+                            f"{width} bits but interval is {interval}")
+                        checked += 1
+        assert checked > 0
+
+
+class RecordingInterpreter(Interpreter):
+    """Interpreter that records every concrete value each op produced."""
+
+    def __init__(self, module):
+        super().__init__(module)
+        self.observed = {}
+
+    def _exec_op(self, func, op, env, memories):
+        super()._exec_op(func, op, env, memories)
+        out = op.output()
+        if out is not None and out in env and \
+                isinstance(env[out], int):
+            self.observed.setdefault(id(op), set()).add(env[out])
+
+
+WIDENING_KERNEL_C = """
+void churn(const int *src, int *dst, int n) {
+  int acc = 0;
+  for (int i = 0; i < n; i++) {
+    int v = src[i & 7];
+    acc = acc + (v >> 2) - (v & 15);
+    if (acc > 1000) {
+      acc = 0;
+    }
+    dst[i & 7] = acc;
+  }
+  dst[0] = acc;
+}
+"""
+
+
+class TestWideningSoundness:
+    def test_final_intervals_contain_observed_values(self):
+        """Property: for random inputs, every concrete value the
+        interpreter observes lies inside the solved interval at the
+        producing op (widening + narrowing never under-approximate)."""
+        module = compile_to_ir(WIDENING_KERNEL_C)
+        func = module.functions["churn"]
+        domain = IntervalDomain(func, module)
+        result = solve(domain, func)
+        assert result.stats.converged
+
+        rng = random.Random(0xC0FFEE)
+        recorder = RecordingInterpreter(module)
+        for _ in range(25):
+            src = [rng.randint(-(2 ** 31), 2 ** 31 - 1) for _ in range(8)]
+            dst = [0] * 8
+            n = rng.randint(0, 20)
+            recorder.run("churn", args=[n],
+                         mem_args={"src": src, "dst": dst})
+        assert recorder.observed
+
+        checked = 0
+        for block in result.view.order:
+            for op, _before, after in result.replay(block):
+                out = op.output()
+                values = recorder.observed.get(id(op))
+                if out is None or values is None:
+                    continue
+                if not isinstance(out.ty, IntType):
+                    continue
+                interval = domain.get(out, after)
+                lo, hi = interval if interval else full_range(out.ty)
+                for value in values:
+                    assert lo <= value <= hi, (
+                        f"{func.name}/{block}: {op} produced {value}, "
+                        f"outside solved interval [{lo}, {hi}]")
+                    checked += 1
+        assert checked > 0
+
+    def test_const_domain_matches_interpreter(self):
+        """Any value the const domain claims constant must equal what
+        the interpreter computes on every run."""
+        module = compile_to_ir(FOLDING_C)
+        func = module.functions["folding"]
+        result = solve(ConstDomain(), func)
+        domain = result.domain
+
+        rng = random.Random(7)
+        for _ in range(10):
+            recorder = RecordingInterpreter(module)
+            src = [rng.randint(-1000, 1000)]
+            recorder.run("folding", args=[],
+                         mem_args={"src": src, "dst": [0, 0]})
+            for block in result.view.order:
+                for op, _before, after in result.replay(block):
+                    out = op.output()
+                    values = recorder.observed.get(id(op))
+                    if out is None or values is None:
+                        continue
+                    known = after.get(out)
+                    if known is None:
+                        continue
+                    assert values == {known}, (
+                        f"{block}: const domain says {out} == {known}, "
+                        f"interpreter observed {values}")
