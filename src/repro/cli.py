@@ -296,7 +296,7 @@ def _cmd_boot(args) -> int:
                        provision_flash, run_boot_chain)
     from .soc import DDR_BASE, NgUltraSoc, assemble
 
-    soc = NgUltraSoc()
+    soc = NgUltraSoc(engine=args.engine)
     program = assemble("MOVI r0, #42\nHALT", base_address=DDR_BASE)
     app = BootImage(kind=ImageKind.APPLICATION, load_address=DDR_BASE,
                     entry_point=DDR_BASE, payload=program, name="app")
@@ -309,6 +309,13 @@ def _cmd_boot(args) -> int:
     print(result.render())
     print(f"\ntotal: {result.total_cycles} cycles "
           f"({result.total_cycles / 600:.1f} us @600MHz)")
+    if soc.dbt_cache is not None:
+        stats = soc.dbt_cache.stats()
+        print(f"dbt: {stats['compiled']} blocks compiled, "
+              f"{stats['hits']} hits, "
+              f"{stats['invalidations']} invalidations")
+        if tracer is not None:
+            soc.dbt_cache.publish(tracer)
     options.finish_trace(tracer)
     return 0 if result.bl1.report.success else 1
 
@@ -594,6 +601,11 @@ def build_parser() -> argparse.ArgumentParser:
     boot.add_argument("--copies", type=int, default=2)
     boot.add_argument("--redundancy", default="sequential",
                       choices=("sequential", "tmr"))
+    boot.add_argument("--engine", default="dbt",
+                      choices=("dbt", "interp"),
+                      help="core execution engine: block-cached DBT "
+                           "(default) or the reference decode-per-step "
+                           "interpreter")
     boot.set_defaults(func=_cmd_boot)
 
     mission = sub.add_parser("mission", parents=[trace_p],

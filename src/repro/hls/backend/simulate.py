@@ -102,9 +102,11 @@ class FsmdSimulator:
 
     # -- internals -------------------------------------------------------
 
-    def _run_function(self, func: Function, env, memories, trace):
+    def _run_function(self, func: Function, env, memories, trace,
+                     base_cycles: int = 0):
         schedule = self.schedules[func.name]
         block = func.blocks[func.entry]
+        visits = 0
         while True:
             block_sched = schedule.blocks[block.name]
             trace.blocks.append(block.name)
@@ -113,11 +115,18 @@ class FsmdSimulator:
             trace.block_cycles[key] = trace.block_cycles.get(key, 0) \
                 + block_sched.length
             trace.block_visits[key] = trace.block_visits.get(key, 0) + 1
-            if trace.cycles > self.max_cycles:
+            # ``base_cycles`` charges this walk against the *global*
+            # budget (cycles already consumed by callers and earlier
+            # calls), not a fresh per-call allowance; the visit counter
+            # catches zero-length self-loops that never advance cycles.
+            visits += 1
+            if (base_cycles + trace.cycles > self.max_cycles
+                    or visits > self.max_cycles):
                 raise SimulationError(f"{func.name}: cycle limit exceeded")
             for op in block.ops:
                 if isinstance(op, Call) and op.callee != "sqrtf":
-                    self._run_call(func, op, env, memories, trace)
+                    self._run_call(func, op, env, memories, trace,
+                                   base_cycles)
                 else:
                     if isinstance(op, Load):
                         trace.mem_reads += 1
@@ -138,7 +147,8 @@ class FsmdSimulator:
             else:  # pragma: no cover - verified IR always terminates
                 raise SimulationError(f"bad terminator in {block.name}")
 
-    def _run_call(self, caller: Function, op: Call, env, memories, trace):
+    def _run_call(self, caller: Function, op: Call, env, memories, trace,
+                  base_cycles: int = 0):
         callee = self.module[op.callee]
         sub_env: Dict[object, object] = {}
         from ..ir.values import Var
@@ -153,7 +163,8 @@ class FsmdSimulator:
             if not mem.is_param and name not in sub_mems:
                 sub_mems[name] = self._interp._memory_for(mem)
         sub_trace = SimulationTrace()
-        value = self._run_function(callee, sub_env, sub_mems, sub_trace)
+        value = self._run_function(callee, sub_env, sub_mems, sub_trace,
+                                   base_cycles + trace.cycles)
         # The caller's schedule already budgeted the estimated latency;
         # replace it with the measured callee cycles plus the handshake.
         allocation = self.allocations[caller.name]

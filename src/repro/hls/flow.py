@@ -89,11 +89,17 @@ class HlsProject:
         return self.designs[self.top]
 
     def simulate(self, args: Sequence = (), mems: Optional[Dict] = None,
-                 func: Optional[str] = None):
-        """Cycle-accurate FSMD simulation; returns (result, trace, mems)."""
+                 func: Optional[str] = None, engine: str = "dbt"):
+        """Cycle-accurate FSMD simulation; returns (result, trace, mems).
+
+        ``engine`` selects the block-compiled simulator (``"dbt"``,
+        default) or the reference decode-per-step walker (``"interp"``),
+        kept as the bit-identity oracle.
+        """
+        from .backend.dbt import make_simulator
         name = func or self.top
-        simulator = FsmdSimulator(
-            self.module,
+        simulator = make_simulator(
+            engine, self.module,
             {k: d.schedule for k, d in self.designs.items()},
             {k: d.allocation for k, d in self.designs.items()})
         return simulator.run(name, args, mems)

@@ -10,6 +10,7 @@ from .cpu import (
     assemble,
     disassemble,
 )
+from .dbt import BlockCache, CompiledBlock, DbtCore
 from .memory import (
     DDR_BASE,
     EROM_BASE,
@@ -45,6 +46,7 @@ __all__ = [
     "BranchRecord", "CoverageTracer",
     "CoreState", "CpuError", "MemoryFault", "R52Core", "assemble",
     "disassemble",
+    "BlockCache", "CompiledBlock", "DbtCore",
     "DDR_BASE", "EROM_BASE", "FLASH_A_BASE", "FLASH_B_BASE", "PERIPH_BASE",
     "SRAM_BASE", "TCM_BASE", "EccSram", "Mpu", "MpuRegion", "SystemBus",
     "WordArray", "default_mpu_regions",

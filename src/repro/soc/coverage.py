@@ -20,6 +20,7 @@ from .cpu import WORD, R52Core, disassemble
 class BranchRecord:
     taken: int = 0
     not_taken: int = 0
+    conditional: bool = True
 
     @property
     def both_covered(self) -> bool:
@@ -59,9 +60,11 @@ class CoverageTracer:
             self.executed[address] = self.executed.get(address, 0) + 1
             self.instructions[address] = word
 
-    def _on_branch(self, _core, address: int, taken: bool) -> None:
+    def _on_branch(self, _core, address: int, taken: bool,
+                   conditional: bool = True) -> None:
         if self._in_region(address):
-            record = self.branches.setdefault(address, BranchRecord())
+            record = self.branches.setdefault(
+                address, BranchRecord(conditional=conditional))
             if taken:
                 record.taken += 1
             else:
@@ -83,11 +86,22 @@ class CoverageTracer:
         return self.statements_hit / self.words
 
     def branch_coverage(self) -> float:
-        """Fraction of observed conditional branches with both outcomes."""
-        if not self.branches:
+        """Fraction of observed conditional branches with both outcomes.
+
+        Unconditional B/BL edges (recorded since the branch-hook fix)
+        are control-flow *edges*, not decisions; they are excluded from
+        the both-outcomes denominator but counted in ``edges_taken``.
+        """
+        records = [r for r in self.branches.values() if r.conditional]
+        if not records:
             return 1.0
-        covered = sum(1 for r in self.branches.values() if r.both_covered)
-        return covered / len(self.branches)
+        covered = sum(1 for r in records if r.both_covered)
+        return covered / len(records)
+
+    @property
+    def edges_taken(self) -> int:
+        """Total control-flow edges traversed (incl. unconditional B/BL)."""
+        return sum(r.taken + r.not_taken for r in self.branches.values())
 
     def uncovered_addresses(self) -> List[int]:
         return [self.base + i * WORD for i in range(self.words)
@@ -105,15 +119,19 @@ class CoverageTracer:
                  f"({self.statement_coverage():.1%})",
                  f"  branches (both outcomes): "
                  f"{self.branch_coverage():.1%} of "
-                 f"{len(self.branches)} observed"]
+                 f"{sum(1 for r in self.branches.values() if r.conditional)}"
+                 f" observed ({self.edges_taken} edges)"]
         for address in sorted(self.executed):
             count = self.executed[address]
             text = disassemble(self.instructions[address])
             marker = ""
             if address in self.branches:
                 record = self.branches[address]
-                marker = (f"   [taken {record.taken}, "
-                          f"not-taken {record.not_taken}]")
+                if record.conditional:
+                    marker = (f"   [taken {record.taken}, "
+                              f"not-taken {record.not_taken}]")
+                else:
+                    marker = f"   [taken {record.taken}]"
             lines.append(f"    {count:>6}: 0x{address:08x}  {text}{marker}")
         for address in self.uncovered_addresses():
             lines.append(f"    #####: 0x{address:08x}  (never executed)")

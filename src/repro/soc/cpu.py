@@ -16,7 +16,9 @@ Instruction set (all 32-bit words)::
     B label | BEQ | BNE | BLT | BGE | BL label | BX rs
     SVC #imm8           HALT        NOP
 
-Flags: Z and N from CMP.  r13 = sp, r14 = lr, r15 = pc.
+Flags: Z, N and V from CMP; signed branches (BLT/BGE) test N != V so
+comparisons that overflow 32 bits still branch correctly.
+r13 = sp, r14 = lr, r15 = pc.
 """
 
 from __future__ import annotations
@@ -114,6 +116,13 @@ def assemble(source: str, base_address: int = 0) -> List[int]:
     words: List[int] = []
     address = base_address
 
+    def check_simm12(value: int, what: str) -> int:
+        if not -0x800 <= value <= 0x7FF:
+            raise CpuError(
+                f"{what} {value} out of signed 12-bit range "
+                f"[-2048, 2047]")
+        return value
+
     def encode(opcode: int, rd: int = 0, ra: int = 0, rb: int = 0,
                imm: int = 0) -> int:
         return ((opcode & 0xFF) << 24 | (rd & 0xF) << 20 | (ra & 0xF) << 16
@@ -136,8 +145,11 @@ def assemble(source: str, base_address: int = 0) -> List[int]:
             words.append(encode(opcode, _parse_reg(args[0]),
                                 _parse_reg(args[1])))
         elif mnemonic == "MOVI":
-            words.append(encode_imm16(opcode, _parse_reg(args[0]),
-                                      _parse_imm(args[1])))
+            imm16 = _parse_imm(args[1])
+            if not 0 <= imm16 <= 0xFFFF:
+                raise CpuError(
+                    f"MOVI immediate {imm16} out of unsigned 16-bit range")
+            words.append(encode_imm16(opcode, _parse_reg(args[0]), imm16))
         elif mnemonic in ("ADD", "SUB", "MUL", "AND", "ORR", "EOR",
                           "LSL", "LSR"):
             words.append(encode(opcode, _parse_reg(args[0]),
@@ -145,7 +157,8 @@ def assemble(source: str, base_address: int = 0) -> List[int]:
         elif mnemonic == "ADDI":
             words.append(encode(opcode, _parse_reg(args[0]),
                                 _parse_reg(args[1]),
-                                imm=_parse_imm(args[2]) & 0xFFF))
+                                imm=check_simm12(_parse_imm(args[2]),
+                                                "ADDI immediate") & 0xFFF))
         elif mnemonic == "CMP":
             words.append(encode(opcode, 0, _parse_reg(args[0]),
                                 _parse_reg(args[1])))
@@ -159,6 +172,7 @@ def assemble(source: str, base_address: int = 0) -> List[int]:
             rd = _parse_reg(match.group(1))
             ra = _parse_reg(match.group(2))
             offset = int(match.group(3), 0) if match.group(3) else 0
+            check_simm12(offset, f"{mnemonic} offset")
             words.append(encode(opcode, rd, ra, imm=offset & 0xFFF))
         elif mnemonic in ("B", "BEQ", "BNE", "BLT", "BGE", "BL"):
             target = args[0]
@@ -166,11 +180,16 @@ def assemble(source: str, base_address: int = 0) -> List[int]:
                 disp = (labels[target] - (address + WORD)) // WORD
             else:
                 disp = _parse_imm(target)
+            check_simm12(disp, f"{mnemonic} displacement ({target})")
             words.append(encode(opcode, imm=disp & 0xFFF))
         elif mnemonic == "BX":
             words.append(encode(opcode, 0, _parse_reg(args[0])))
         elif mnemonic == "SVC":
-            words.append(encode(opcode, imm=_parse_imm(args[0]) & 0xFF))
+            imm8 = _parse_imm(args[0])
+            if not 0 <= imm8 <= 0xFF:
+                raise CpuError(
+                    f"SVC immediate {imm8} out of unsigned 8-bit range")
+            words.append(encode(opcode, imm=imm8 & 0xFF))
         else:  # pragma: no cover
             raise CpuError(f"unhandled mnemonic {mnemonic}")
         address += WORD
@@ -226,10 +245,12 @@ class R52Core:
         self.regs = [0] * NUM_REGS
         self.flag_z = False
         self.flag_n = False
+        self.flag_v = False
         self.state = CoreState.RESET
         self.cycles = 0
         self.privileged = True
         self.fault_reason: Optional[str] = None
+        self.fault_pc: Optional[int] = None
         # Instrumentation hooks (coverage/trace tooling, see coverage.py).
         self.pc_hook: Optional[Callable] = None
         self.branch_hook: Optional[Callable] = None
@@ -239,9 +260,11 @@ class R52Core:
         self.regs[PC] = entry_point
         self.flag_z = False
         self.flag_n = False
+        self.flag_v = False
         self.state = CoreState.RUNNING
         self.cycles = 0
         self.fault_reason = None
+        self.fault_pc = None
 
     def release(self, entry_point: int) -> None:
         """Secondary-core release (BL2 deploys itself on all cores)."""
@@ -256,7 +279,7 @@ class R52Core:
         try:
             word = self.bus.read_word(pc, self)
         except MemoryFault as fault:
-            self._fault(str(fault))
+            self._fault(str(fault), pc)
             return
         if self.pc_hook is not None:
             self.pc_hook(self, pc, word)
@@ -265,7 +288,13 @@ class R52Core:
         try:
             self._execute(word)
         except MemoryFault as fault:
-            self._fault(str(fault))
+            # Attribute the fault to the instruction that raised it: the
+            # PC was already advanced past it by the fetch stage.
+            self.regs[PC] = pc
+            self._fault(str(fault), pc)
+            return
+        if self.state is CoreState.FAULTED and self.fault_pc is None:
+            self.fault_pc = pc
 
     def run(self, max_steps: int = 1_000_000) -> int:
         """Run until HALT/fault/WFI; returns executed steps."""
@@ -275,14 +304,11 @@ class R52Core:
             steps += 1
         return steps
 
-    def _fault(self, reason: str) -> None:
+    def _fault(self, reason: str, pc: Optional[int] = None) -> None:
         self.state = CoreState.FAULTED
         self.fault_reason = reason
-
-    def _set_flags(self, value: int) -> None:
-        value &= 0xFFFFFFFF
-        self.flag_z = value == 0
-        self.flag_n = bool(value & 0x80000000)
+        if pc is not None:
+            self.fault_pc = pc
 
     def _execute(self, word: int) -> None:
         opcode = (word >> 24) & 0xFF
@@ -332,8 +358,13 @@ class R52Core:
             regs[rd] = result & 0xFFFFFFFF
             return
         if mnemonic == "CMP":
-            diff = (regs[ra] - regs[rb]) & 0xFFFFFFFF
-            self._set_flags(diff)
+            a, b = regs[ra], regs[rb]
+            diff = (a - b) & 0xFFFFFFFF
+            self.flag_z = diff == 0
+            self.flag_n = bool(diff & 0x80000000)
+            # Subtraction overflow: operand signs differ and the result
+            # sign differs from the minuend's.
+            self.flag_v = bool((a ^ b) & (a ^ diff) & 0x80000000)
             return
         if mnemonic == "LDR":
             address = (regs[ra] + simm12) & 0xFFFFFFFF
@@ -347,16 +378,18 @@ class R52Core:
             return
         if mnemonic in ("B", "BEQ", "BNE", "BLT", "BGE", "BL"):
             take = True
+            conditional = mnemonic not in ("B", "BL")
             if mnemonic == "BEQ":
                 take = self.flag_z
             elif mnemonic == "BNE":
                 take = not self.flag_z
             elif mnemonic == "BLT":
-                take = self.flag_n
+                take = self.flag_n != self.flag_v
             elif mnemonic == "BGE":
-                take = not self.flag_n
-            if self.branch_hook is not None and mnemonic != "B":
-                self.branch_hook(self, (regs[PC] - WORD) & 0xFFFFFFFF, take)
+                take = self.flag_n == self.flag_v
+            if self.branch_hook is not None:
+                self.branch_hook(self, (regs[PC] - WORD) & 0xFFFFFFFF,
+                                 take, conditional)
             if take:
                 if mnemonic == "BL":
                     regs[LR] = regs[PC]

@@ -55,13 +55,18 @@ class Mpu:
     def __init__(self) -> None:
         self.regions: List[MpuRegion] = []
         self.enabled = False
+        # Bumped on every reconfiguration so cached code translations
+        # (repro.soc.dbt) know to re-validate fetch permissions.
+        self.epoch = 0
 
     def configure(self, regions: List[MpuRegion]) -> None:
         self.regions = list(regions)
         self.enabled = True
+        self.epoch += 1
 
     def disable(self) -> None:
         self.enabled = False
+        self.epoch += 1
 
     def check(self, address: int, access: str, privileged: bool) -> bool:
         """``access`` is 'r', 'w' or 'x'. True when permitted."""
@@ -145,6 +150,9 @@ class SystemBus:
         self.trace_enabled = False
         self.reads = 0
         self.writes = 0
+        # Translation caches (repro.soc.dbt) notified on every store so
+        # self-modifying code invalidates its cached basic blocks.
+        self.code_caches: List = []
 
     # -- core-facing API ----------------------------------------------------
 
@@ -165,6 +173,19 @@ class SystemBus:
                                      core.core_id if core else -1))
         device, index = self._route(address, "write")
         device.write(index, value)
+        if self.code_caches:
+            for cache in self.code_caches:
+                cache.invalidate_address(address)
+
+    def fetch_word(self, address: int, core=None) -> int:
+        """MPU-checked fetch for the DBT decoder: no counters, no trace.
+
+        The translated block charges ``reads`` in bulk per execution, so
+        decode-time fetches must not be double counted.
+        """
+        self._mpu_check(address, "r", core)
+        device, index = self._route(address, "read")
+        return device.read(index)
 
     def _mpu_check(self, address: int, access: str, core) -> None:
         privileged = core.privileged if core is not None else True

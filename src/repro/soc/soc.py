@@ -34,9 +34,18 @@ CPU_MHZ = 600
 
 
 class NgUltraSoc:
-    """One NG-ULTRA SoC instance."""
+    """One NG-ULTRA SoC instance.
 
-    def __init__(self, svc_handler: Optional[Callable] = None) -> None:
+    ``engine`` selects the core execution engine: ``"dbt"`` (default)
+    runs through the basic-block translation cache of
+    :mod:`repro.soc.dbt`; ``"interp"`` keeps the reference
+    decode-per-step interpreter, retained as the bit-identity oracle.
+    """
+
+    def __init__(self, svc_handler: Optional[Callable] = None,
+                 engine: str = "dbt") -> None:
+        if engine not in ("dbt", "interp"):
+            raise ValueError(f"unknown engine {engine!r}")
         # Memories.
         self.erom = WordArray(EROM_WORDS, read_only=True)
         self.tcm = WordArray(TCM_WORDS)
@@ -52,8 +61,17 @@ class NgUltraSoc:
         self.peripheral_file = PeripheralFile(self)
         # Bus and cores.
         self.bus = SystemBus(self)
-        self.cores = [R52Core(i, self.bus, svc_handler)
-                      for i in range(NUM_CORES)]
+        self.engine = engine
+        if engine == "dbt":
+            from .dbt import BlockCache, DbtCore
+            self.dbt_cache: Optional[BlockCache] = BlockCache(self.bus)
+            self.cores = [DbtCore(i, self.bus, svc_handler,
+                                  cache=self.dbt_cache)
+                          for i in range(NUM_CORES)]
+        else:
+            self.dbt_cache = None
+            self.cores = [R52Core(i, self.bus, svc_handler)
+                          for i in range(NUM_CORES)]
 
     # -- platform helpers ---------------------------------------------------
 
@@ -82,19 +100,73 @@ class NgUltraSoc:
     def run_core(self, core_id: int, max_steps: int = 1_000_000) -> int:
         return self.cores[core_id].run(max_steps)
 
-    def run_all(self, max_steps: int = 1_000_000) -> Dict[int, int]:
-        """Round-robin step all running cores (simple SMP interleave)."""
+    def run_all(self, max_steps: int = 1_000_000,
+                quantum: Optional[int] = None) -> Dict[int, int]:
+        """Round-robin all running cores (simple SMP interleave).
+
+        The reference engine interleaves per instruction.  The DBT
+        engine batches: each core executes up to ``quantum``
+        instructions (whole cached blocks) per scheduling turn, so the
+        Python dispatch loop is not re-entered per instruction.  For
+        independent per-core programs (boot, hypervisor partitions) the
+        final architectural state is identical; programs that race on
+        shared memory observe a coarser interleave.
+        """
         steps = {core.core_id: 0 for core in self.cores}
-        for _ in range(max_steps):
+        if self.engine != "dbt":
+            for _ in range(max_steps):
+                progressed = False
+                for core in self.cores:
+                    if core.state is CoreState.RUNNING:
+                        core.step()
+                        steps[core.core_id] += 1
+                        progressed = True
+                if not progressed:
+                    break
+            return steps
+        from .dbt import DBT_QUANTUM
+        quantum = quantum or DBT_QUANTUM
+        progressed = True
+        while progressed:
             progressed = False
             for core in self.cores:
-                if core.state is CoreState.RUNNING:
-                    core.step()
-                    steps[core.core_id] += 1
-                    progressed = True
-            if not progressed:
-                break
+                done = steps[core.core_id]
+                if core.state is not CoreState.RUNNING \
+                        or done >= max_steps:
+                    continue
+                budget = min(quantum, max_steps - done)
+                ran = 0
+                while ran < budget and core.state is CoreState.RUNNING:
+                    ran += core.run_block(budget - ran)
+                steps[core.core_id] = done + ran
+                progressed = True
         return steps
+
+    def notify_code_mutation(self, address: Optional[int] = None) -> None:
+        """Invalidate cached translations after an out-of-band memory
+        mutation (SEU flip, debugger poke).  ``None`` flushes all."""
+        for cache in self.bus.code_caches:
+            if address is None:
+                cache.invalidate_all()
+            else:
+                cache.invalidate_address(address)
+
+    def inject_seu(self, address: int, bit: int) -> None:
+        """Flip one bit of the word at ``address`` (SEU model).
+
+        Routes to the mapped device (raw flip: ECC SRAM gets a codeword
+        bit, plain arrays get a data bit) and invalidates any cached
+        code translations covering the address.
+        """
+        device, index = self.bus._route(address, "write")
+        if isinstance(device, EccSram):
+            device.memory.inject_bit_flip(index, bit)
+        elif isinstance(device, WordArray):
+            device.data[index] ^= 1 << (bit & 31)
+        else:
+            raise ValueError(
+                f"cannot inject SEU at 0x{address:08x}: unsupported device")
+        self.notify_code_mutation(address)
 
     def cycles_to_us(self, cycles: int) -> float:
         return cycles / CPU_MHZ

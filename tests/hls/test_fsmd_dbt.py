@@ -1,0 +1,178 @@
+"""Equivalence and regression tests for the block-compiled FSMD engine.
+
+``DbtFsmdSimulator`` must reproduce the reference ``FsmdSimulator``
+exactly — result, full trace (blocks, cycles, profile maps, counters,
+call accounting) and output memories — on real synthesized kernels.
+Two regression classes cover the latent simulator bugs fixed alongside:
+zero-length self-looping blocks used to spin forever, and sub-call
+cycles used to get a fresh budget instead of charging the global one.
+"""
+
+import pytest
+
+from repro.hls import synthesize
+from repro.hls.backend.allocation import Allocation
+from repro.hls.backend.dbt import make_simulator
+from repro.hls.backend.scheduling import BlockSchedule, FunctionSchedule
+from repro.hls.backend.simulate import SimulationError
+from repro.hls.ir.cfg import Function, Module
+from repro.hls.ir.operations import Jump
+from repro.hls.ir.types import VOID
+
+KERNELS = {
+    "int_loop": (
+        """
+        int acc(const int *x, int n) {
+            int s = 0;
+            for (int i = 0; i < n; i++) {
+                int t = x[i] * 3 - i;
+                if (t > 50) t = t - 50;
+                s = s + t;
+            }
+            return s;
+        }
+        """, "acc", (64,), {"x": list(range(64))}),
+    "nested_call": (
+        """
+        int square(int v) { return v * v; }
+        int sumsq(const int *x, int n) {
+            int s = 0;
+            for (int i = 0; i < n; i++)
+                s = s + square(x[i]);
+            return s;
+        }
+        """, "sumsq", (32,), {"x": list(range(32))}),
+    "float_sqrt": (
+        """
+        float norm(const float *x, int n) {
+            float s = 0.0f;
+            for (int i = 0; i < n; i++)
+                s = s + x[i] * x[i];
+            return sqrtf(s);
+        }
+        """, "norm", (16,), {"x": [0.5 * i for i in range(16)]}),
+    "store_kernel": (
+        """
+        void scale(const int *x, int *y, int n) {
+            for (int i = 0; i < n; i++)
+                y[i] = x[i] * 7 + 1;
+        }
+        """, "scale", (40,), {"x": list(range(40)), "y": [0] * 40}),
+}
+
+
+def run_both(source, top, args, mems):
+    project = synthesize(source, top, clock_ns=8.0)
+    results = []
+    for engine in ("interp", "dbt"):
+        run_mems = {k: list(v) for k, v in mems.items()}
+        result, trace, out = project.simulate(args, run_mems, engine=engine)
+        results.append((result, trace, out))
+    return results
+
+
+class TestKernelEquivalence:
+    @pytest.mark.parametrize("name", sorted(KERNELS))
+    def test_bit_identical_run(self, name):
+        source, top, args, mems = KERNELS[name]
+        (r1, t1, m1), (r2, t2, m2) = run_both(source, top, args, mems)
+        assert r1 == r2
+        assert t1.cycles == t2.cycles
+        assert t1.blocks == t2.blocks
+        assert t1.calls == t2.calls
+        assert t1.mem_reads == t2.mem_reads
+        assert t1.mem_writes == t2.mem_writes
+        assert t1.block_cycles == t2.block_cycles
+        assert t1.block_visits == t2.block_visits
+        assert {k: v.data for k, v in m1.items()} == \
+               {k: v.data for k, v in m2.items()}
+
+    def test_cosimulate_uses_dbt_and_matches_c(self):
+        source, top, args, mems = KERNELS["nested_call"]
+        project = synthesize(source, top, clock_ns=8.0)
+        result = project.cosimulate(args, {k: list(v)
+                                           for k, v in mems.items()})
+        assert result.match
+
+    def test_engine_selector_rejects_unknown(self):
+        source, top, args, mems = KERNELS["int_loop"]
+        project = synthesize(source, top, clock_ns=8.0)
+        with pytest.raises(ValueError):
+            project.simulate(args, {k: list(v) for k, v in mems.items()},
+                             engine="verilator")
+
+
+def _hanging_design():
+    """A hand-built schedule with a zero-length self-looping block —
+    unreachable from the scheduler (which clamps length >= 1) but the
+    simulator must not spin forever on corrupt/hand-edited schedules."""
+    module = Module("m")
+    func = Function("hang", VOID)
+    block = func.add_entry_block()
+    block.append(Jump("entry"))
+    module.add_function(func)
+    schedule = FunctionSchedule(
+        function=func, clock_ns=10.0, algorithm="list",
+        blocks={"entry": BlockSchedule("entry", length=0,
+                                       terminator_state=0)})
+    allocation = Allocation(function=func, library=None, clock_ns=10.0)
+    return module, {"hang": schedule}, {"hang": allocation}
+
+
+class TestZeroLengthLoopRegression:
+    @pytest.mark.parametrize("engine", ["interp", "dbt"])
+    def test_zero_length_self_loop_raises(self, engine):
+        module, schedules, allocations = _hanging_design()
+        simulator = make_simulator(engine, module, schedules, allocations,
+                                   max_cycles=10_000)
+        with pytest.raises(SimulationError):
+            simulator.run("hang")
+
+
+class TestGlobalBudgetRegression:
+    SOURCE = """
+    int spin(int n) {
+        int acc = 0;
+        for (int i = 0; i < n; i++)
+            acc = acc + i;
+        return acc;
+    }
+    int twice(int n) {
+        return spin(n) + spin(n);
+    }
+    """
+
+    def _cycles_of_one_spin(self):
+        project = synthesize(self.SOURCE, "spin", clock_ns=8.0)
+        _, trace, _ = project.simulate((200,))
+        return project, trace.cycles
+
+    @pytest.mark.parametrize("engine", ["interp", "dbt"])
+    def test_sub_calls_charge_global_budget(self, engine):
+        """Two sequential sub-calls must not each get a fresh cycle
+        allowance: a budget that fits one spin but not two aborts."""
+        project = synthesize(self.SOURCE, "twice", clock_ns=8.0)
+        _, spin_trace, _ = project.simulate((200,), func="spin")
+        one_spin = spin_trace.cycles
+        budget = int(one_spin * 1.5)
+        simulator = make_simulator(
+            engine, project.module,
+            {k: d.schedule for k, d in project.designs.items()},
+            {k: d.allocation for k, d in project.designs.items()},
+            max_cycles=budget)
+        with pytest.raises(SimulationError):
+            simulator.run("twice", (200,))
+
+    @pytest.mark.parametrize("engine", ["interp", "dbt"])
+    def test_sufficient_budget_passes(self, engine):
+        project = synthesize(self.SOURCE, "twice", clock_ns=8.0)
+        _, spin_trace, _ = project.simulate((200,), func="spin")
+        one_spin = spin_trace.cycles
+        simulator = make_simulator(
+            engine, project.module,
+            {k: d.schedule for k, d in project.designs.items()},
+            {k: d.allocation for k, d in project.designs.items()},
+            max_cycles=one_spin * 4)
+        result, trace, _ = simulator.run("twice", (200,))
+        assert result == 2 * sum(range(200))
+        assert trace.calls.get("spin") == 2
