@@ -1,0 +1,217 @@
+"""Flow-as-a-service — coalescing and warm-path latency under load.
+
+The job service's acceptance gates:
+
+* **Provable coalescing** — N clients concurrently submitting the same
+  JobSpec cause exactly *one* underlying computation, and every
+  subscriber receives a byte-identical wire report.
+* **Warm-path speedup** — under a Zipf-distributed request mix over a
+  small design corpus (the realistic shape of a shared flow service:
+  a few hot designs, a long cold tail), the median warm-hit
+  submit-to-report latency is at least 10x faster than the median cold
+  computation.
+* **Sustained throughput** — the mostly-warm load phase clears a
+  modest requests-per-second floor on the stdlib ThreadingHTTPServer.
+"""
+
+import json
+import random
+import statistics
+import sys
+import threading
+import time
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).parent))
+
+from _common import save_table
+
+from repro.api import JobSpec
+from repro.core import Table
+from repro.service import JobScheduler, ServiceClient, \
+    serve_background, shutdown_server
+
+#: The design corpus: a mixed-kind slice of the ecosystem (P&R flows,
+#: SEU campaigns, a characterization sweep), heaviest first — Zipf rank
+#: 1 is the "hot design" every tenant keeps resubmitting.
+CORPUS = [
+    JobSpec(kind="flow", params={"component": "divider", "width": 32,
+                                 "effort": 0.8}),
+    JobSpec(kind="flow", params={"component": "divider", "width": 28,
+                                 "effort": 0.8}),
+    JobSpec(kind="flow", params={"component": "divider", "width": 24,
+                                 "effort": 0.8}),
+    JobSpec(kind="flow", params={"component": "divider", "width": 20,
+                                 "effort": 0.8}),
+    JobSpec(kind="flow", params={"component": "divider", "width": 16,
+                                 "effort": 0.8}),
+    JobSpec(kind="seu", params={"scenario": "ecc",
+                                "scenario_params": {"words": 16},
+                                "runs": 300}, seed=11),
+    JobSpec(kind="flow", params={"component": "shifter", "width": 32,
+                                 "effort": 0.8}),
+    JobSpec(kind="characterize", params={"effort": 0.3,
+                                         "components": ["logic",
+                                                        "shifter"],
+                                         "widths": [8, 16],
+                                         "stages": [0]}, seed=3),
+]
+
+ZIPF_S = 1.2           # request-popularity skew
+REQUESTS = 200
+CLIENT_THREADS = 16
+TENANTS = 8
+
+
+def _start_service(workers=4):
+    scheduler = JobScheduler(workers=workers, max_queue=128)
+    server, thread = serve_background(port=0, scheduler=scheduler)
+    port = server.server_address[1]
+    return scheduler, server, thread, port
+
+
+def _submit_and_fetch(client, spec, wait_s=120.0):
+    """One request: submit, wait, fetch the report. Returns (s, body)."""
+    start = time.perf_counter()
+    job = client.submit(spec)
+    status, body = client.report(job["id"], wait_s=wait_s)
+    elapsed = time.perf_counter() - start
+    assert status == 200, f"report HTTP {status}: {body[:200]}"
+    return elapsed, body
+
+
+def test_concurrent_identical_specs_coalesce_to_one_computation():
+    scheduler, server, thread, port = _start_service()
+    try:
+        spec = CORPUS[0]          # the heavy divider flow
+        results = []
+        errors = []
+        barrier = threading.Barrier(12)
+
+        def subscriber(index):
+            client = ServiceClient(port=port)
+            tenant_spec = JobSpec(kind=spec.kind, params=spec.params,
+                                  seed=spec.seed,
+                                  tenant=f"tenant-{index % TENANTS}")
+            barrier.wait()
+            try:
+                results.append(_submit_and_fetch(client, tenant_spec))
+            except Exception as error:
+                errors.append(error)
+
+        workers = [threading.Thread(target=subscriber, args=(i,))
+                   for i in range(12)]
+        for worker in workers:
+            worker.start()
+        for worker in workers:
+            worker.join()
+        assert not errors, errors
+
+        bodies = {body for _, body in results}
+        counts = scheduler.counts
+        # One computation, twelve byte-identical reports.
+        assert counts["computed"] == 1, counts
+        assert counts["coalesced"] + counts["warm_hits"] == 11, counts
+        assert len(bodies) == 1
+        json.loads(next(iter(bodies)))          # well-formed wire text
+    finally:
+        shutdown_server(server, thread)
+
+
+def test_zipf_load_warm_latency_and_throughput():
+    scheduler, server, thread, port = _start_service()
+    try:
+        client = ServiceClient(port=port)
+
+        # -- cold phase: compute each corpus entry exactly once --------
+        cold_s = {}
+        cold_body = {}
+        for rank, spec in enumerate(CORPUS):
+            elapsed, body = _submit_and_fetch(client, spec)
+            cold_s[rank] = elapsed
+            cold_body[rank] = body
+        assert scheduler.counts["computed"] == len(CORPUS)
+
+        # -- load phase: Zipf-distributed requests, many tenants -------
+        rng = random.Random(20260807)
+        weights = [1.0 / (rank + 1) ** ZIPF_S
+                   for rank in range(len(CORPUS))]
+        schedule = rng.choices(range(len(CORPUS)), weights=weights,
+                               k=REQUESTS)
+        shards = [schedule[i::CLIENT_THREADS]
+                  for i in range(CLIENT_THREADS)]
+        latencies = []
+        mismatches = []
+        errors = []
+        lock = threading.Lock()
+        barrier = threading.Barrier(CLIENT_THREADS + 1)
+
+        def load_client(thread_index, ranks):
+            local = ServiceClient(port=port)
+            tenant = f"tenant-{thread_index % TENANTS}"
+            barrier.wait()
+            for rank in ranks:
+                base = CORPUS[rank]
+                spec = JobSpec(kind=base.kind, params=base.params,
+                               seed=base.seed, tenant=tenant)
+                try:
+                    elapsed, body = _submit_and_fetch(local, spec)
+                except Exception as error:
+                    with lock:
+                        errors.append(error)
+                    return
+                with lock:
+                    latencies.append(elapsed)
+                    if body != cold_body[rank]:
+                        mismatches.append(rank)
+
+        workers = [threading.Thread(target=load_client,
+                                    args=(index, shard))
+                   for index, shard in enumerate(shards)]
+        for worker in workers:
+            worker.start()
+        barrier.wait()
+        load_start = time.perf_counter()
+        for worker in workers:
+            worker.join()
+        load_wall_s = time.perf_counter() - load_start
+        assert not errors, errors[:3]
+
+        cold_median = statistics.median(cold_s.values())
+        warm_median = statistics.median(latencies)
+        warm_p95 = sorted(latencies)[int(0.95 * len(latencies))]
+        speedup = cold_median / warm_median
+        throughput = len(latencies) / load_wall_s
+        counts = scheduler.counts
+
+        table = Table(
+            "Flow service: Zipf load over an 8-design corpus",
+            ["phase", "requests", "median_s", "p95_s", "speedup",
+             "req_per_s"])
+        table.add_row("cold", len(CORPUS), round(cold_median, 4),
+                      round(max(cold_s.values()), 4), "1.0x", "-")
+        table.add_row("zipf-warm", len(latencies),
+                      round(warm_median, 4), round(warm_p95, 4),
+                      f"{speedup:.1f}x", round(throughput, 1))
+        table.add_row("coalescing",
+                      counts["coalesced"] + counts["warm_hits"],
+                      "-", "-", "-", "-")
+        save_table(table, "service_zipf_load")
+
+        # Every request completed and every body matched the cold
+        # bytes for its design — the byte-identity contract at scale.
+        assert len(latencies) == REQUESTS
+        assert not mismatches, f"byte mismatch for ranks {mismatches}"
+        # The whole load phase was served without a single recompute.
+        assert counts["computed"] == len(CORPUS), counts
+        assert counts["warm_hits"] + counts["coalesced"] >= REQUESTS
+        # Acceptance gates: warm path >= 10x faster than cold compute,
+        # sustained service throughput above the floor.
+        assert speedup >= 10.0, \
+            f"warm speedup only {speedup:.1f}x " \
+            f"(cold {cold_median * 1e3:.1f} ms, " \
+            f"warm {warm_median * 1e3:.1f} ms)"
+        assert throughput >= 25.0, \
+            f"throughput only {throughput:.1f} req/s"
+    finally:
+        shutdown_server(server, thread)

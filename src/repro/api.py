@@ -1,0 +1,528 @@
+"""Unified job API: one typed :class:`JobSpec` + :func:`submit` facade.
+
+The four flow producers of the ecosystem — HLS synthesis, the NXmap
+backend flow, Eucalyptus characterization and the SEU campaigns (flat
+and mega) — historically each grew their own entry-point signature,
+JSON shape and exit-code convention.  This module is the single
+construction path that replaced them:
+
+* :class:`JobSpec` — a typed, canonicalizable description of one job
+  (``kind``, ``params``, ``seed``) plus scheduling metadata (``tenant``,
+  ``priority``).  ``spec.content_key()`` is the PR-4 content-addressed
+  identity of the computation: two specs with equal kind/params/seed
+  *are* the same job, which is what lets the service coalesce identical
+  submissions from different tenants onto one in-flight computation.
+* :func:`submit` — runs a spec through the registered *runner* for its
+  kind and returns a :class:`JobResult` (itself Report-conforming),
+  carrying the producer's report, a consolidated :class:`ExitCode` and
+  the live artifact (HLS project, flow report, run list...).
+* :class:`ExitCode` — the one documented exit-code enum.  The CLI
+  returns these values; the service maps them onto HTTP statuses via
+  :func:`http_status`.
+
+Each producer's legacy entry point (``repro.hls.synthesize``,
+``NXmapProject.run_all``, ``Eucalyptus.sweep``, ``Campaign.run``,
+``MegaCampaign.run``) is now a thin shim that builds a ``JobSpec`` and
+routes through :func:`submit`, passing its live objects (netlists,
+campaign closures, component libraries) through the context's
+``resources`` side-channel while their content fingerprints go into
+``params`` so the content key stays honest.
+
+Runners for new job kinds can be registered with :func:`register_kind`
+(the service's test suite registers synthetic slow/failing kinds this
+way).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import time
+from dataclasses import dataclass, field
+from enum import IntEnum
+from typing import Any, Callable, Dict, Mapping, Optional, Tuple
+
+from .cache import CacheKeyError, FlowCache, canonicalize, content_key
+from .telemetry import Tracer
+
+
+class ApiError(Exception):
+    """Job API misuse."""
+
+
+class JobSpecError(ApiError):
+    """A malformed or unprocessable job specification."""
+
+
+# -- exit codes -------------------------------------------------------------
+
+
+class ExitCode(IntEnum):
+    """The consolidated process exit codes of every ``repro`` command.
+
+    * ``OK`` — the job ran and its verdict is clean;
+    * ``FAILURE`` — the job ran but the workload failed (campaign
+      crashes, boot failure, lint findings at/above the gate);
+    * ``USAGE`` — the invocation itself was invalid (unknown rule,
+      missing cache for ``--resume``, malformed spec);
+    * ``INSUFFICIENT_EVIDENCE`` — a statistics-gated campaign ended
+      before reaching its confidence target (``seu --stop-ci``).
+
+    The service maps the same enum onto HTTP statuses with
+    :func:`http_status`, so a CLI caller and an HTTP client read the
+    same verdict.
+    """
+
+    OK = 0
+    FAILURE = 1
+    USAGE = 2
+    INSUFFICIENT_EVIDENCE = 4
+
+
+#: ExitCode -> HTTP status served by the job server's report endpoint.
+HTTP_STATUS_BY_EXIT: Dict[ExitCode, int] = {
+    ExitCode.OK: 200,
+    ExitCode.FAILURE: 422,
+    ExitCode.USAGE: 400,
+    ExitCode.INSUFFICIENT_EVIDENCE: 424,
+}
+
+
+def http_status(code: ExitCode) -> int:
+    """The HTTP status the service serves for a job exit code."""
+    return HTTP_STATUS_BY_EXIT.get(ExitCode(code), 500)
+
+
+# -- the job spec -----------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class JobSpec:
+    """One job submission: what to compute, plus scheduling metadata.
+
+    ``kind`` selects the registered runner; ``params`` are the
+    kind-specific inputs and must be canonicalizable (JSON scalars,
+    lists, dicts, dataclasses — see :func:`repro.cache.canonicalize`);
+    ``seed`` is the deterministic campaign/flow seed.  ``tenant`` and
+    ``priority`` are *scheduling* metadata: they are deliberately
+    excluded from :meth:`content_key`, which is exactly what makes
+    identical submissions from different tenants coalesce onto one
+    computation.
+    """
+
+    kind: str
+    params: Mapping[str, Any] = field(default_factory=dict)
+    seed: int = 13
+    priority: int = 0
+    tenant: str = "default"
+
+    def __post_init__(self) -> None:
+        if not self.kind or not isinstance(self.kind, str):
+            raise JobSpecError("spec.kind must be a non-empty string")
+        if not isinstance(self.tenant, str) or not self.tenant:
+            raise JobSpecError("spec.tenant must be a non-empty string")
+        if not isinstance(self.seed, int) or isinstance(self.seed, bool):
+            raise JobSpecError("spec.seed must be an int")
+        if not isinstance(self.priority, int) \
+                or isinstance(self.priority, bool):
+            raise JobSpecError("spec.priority must be an int")
+        try:
+            object.__setattr__(self, "params",
+                               canonicalize(dict(self.params)))
+        except (CacheKeyError, TypeError, ValueError) as error:
+            raise JobSpecError(f"spec.params not canonicalizable: {error}")
+
+    def content_key(self) -> str:
+        """Content-addressed identity of this computation.
+
+        Covers kind, params and seed — everything that determines the
+        result — and nothing about who asked or how urgently.
+        """
+        return content_key("job", {"kind": self.kind,
+                                   "params": self.params,
+                                   "seed": self.seed})
+
+    def to_json(self) -> Dict[str, Any]:
+        return {"kind": self.kind, "params": self.params,
+                "seed": self.seed, "priority": self.priority,
+                "tenant": self.tenant}
+
+    @classmethod
+    def from_json(cls, payload: Mapping[str, Any]) -> "JobSpec":
+        if not isinstance(payload, Mapping):
+            raise JobSpecError("job spec payload must be an object")
+        if "kind" not in payload:
+            raise JobSpecError("job spec payload missing 'kind'")
+        unknown = set(payload) - {"kind", "params", "seed", "priority",
+                                  "tenant"}
+        if unknown:
+            raise JobSpecError(
+                f"unknown job spec field(s): {', '.join(sorted(unknown))}")
+        params = payload.get("params", {})
+        if not isinstance(params, Mapping):
+            raise JobSpecError("spec.params must be an object")
+        return cls(kind=payload["kind"], params=dict(params),
+                   seed=payload.get("seed", 13),
+                   priority=payload.get("priority", 0),
+                   tenant=payload.get("tenant", "default"))
+
+
+# -- execution context and result -------------------------------------------
+
+
+@dataclass
+class JobContext:
+    """How to run a job: execution knobs plus live resources.
+
+    ``resources`` is the side-channel for objects that cannot travel in
+    ``params`` (netlists, campaign closures, component libraries);
+    legacy shims put their ``self`` here, while service-side submissions
+    leave it empty and the runner reconstructs everything from params.
+    """
+
+    jobs: int = 1
+    backend: str = "auto"
+    timeout_s: Optional[float] = None
+    retries: int = 0
+    progress: Optional[Callable[[int, int], None]] = None
+    tracer: Optional[Tracer] = None
+    cache: Optional[FlowCache] = None
+    resources: Dict[str, Any] = field(default_factory=dict)
+
+
+@dataclass
+class JobResult:
+    """Outcome of one submitted job (conforms to the Report protocol).
+
+    ``report`` is the producer's own Report object; ``artifact`` is the
+    richer live object callers of the legacy entry points expect (the
+    HLS project, the runs list...).  ``exit_code`` is the consolidated
+    verdict.
+    """
+
+    spec: JobSpec
+    report: Any
+    exit_code: ExitCode = ExitCode.OK
+    artifact: Any = None
+    key: str = ""
+    wall_s: float = 0.0
+
+    def to_json(self) -> Dict[str, Any]:
+        from .core.report import report_kind
+        return {
+            "spec": self.spec.to_json(),
+            "key": self.key,
+            "exit_code": int(self.exit_code),
+            "report_kind": report_kind(self.report),
+            "report": self.report.to_json(),
+        }
+
+    def summary(self) -> str:
+        return (f"[{self.spec.kind}] exit={int(self.exit_code)} "
+                f"{self.report.summary()}")
+
+
+@dataclass
+class JobOutcome:
+    """What a runner hands back to :func:`submit`."""
+
+    report: Any
+    exit_code: ExitCode = ExitCode.OK
+    artifact: Any = None
+
+
+Runner = Callable[[JobSpec, JobContext], JobOutcome]
+
+_RUNNERS: Dict[str, Runner] = {}
+
+
+def register_kind(kind: str, runner: Optional[Runner] = None):
+    """Register ``runner`` for job ``kind`` (usable as a decorator)."""
+
+    def install(fn: Runner) -> Runner:
+        _RUNNERS[kind] = fn
+        return fn
+
+    if runner is not None:
+        return install(runner)
+    return install
+
+
+def unregister_kind(kind: str) -> None:
+    """Remove a registered kind (test cleanup)."""
+    _RUNNERS.pop(kind, None)
+
+
+def job_kinds() -> Tuple[str, ...]:
+    """Every registered job kind, sorted."""
+    return tuple(sorted(_RUNNERS))
+
+
+def submit(spec: JobSpec, context: Optional[JobContext] = None,
+           **options: Any) -> JobResult:
+    """Run ``spec`` through its kind's runner and return the result.
+
+    The one facade every producer path routes through: CLI subcommands,
+    the job service's workers and the legacy entry-point shims all call
+    this.  ``options`` are :class:`JobContext` fields for convenience
+    (``submit(spec, cache=..., jobs=4)``).  Producer exceptions
+    propagate unchanged — the service layer is what turns them into
+    failed-job states.
+    """
+    if context is None:
+        context = JobContext(**options)
+    elif options:
+        raise ApiError("pass either a JobContext or keyword options, "
+                       "not both")
+    runner = _RUNNERS.get(spec.kind)
+    if runner is None:
+        raise JobSpecError(
+            f"unknown job kind {spec.kind!r} "
+            f"(known: {', '.join(job_kinds())})")
+    start = time.perf_counter()
+    outcome = runner(spec, context)
+    return JobResult(spec=spec, report=outcome.report,
+                     exit_code=outcome.exit_code,
+                     artifact=outcome.artifact,
+                     key=spec.content_key(),
+                     wall_s=time.perf_counter() - start)
+
+
+# -- HLS job report ---------------------------------------------------------
+
+
+@dataclass
+class HlsJobReport:
+    """JSON-able summary of one HLS synthesis job.
+
+    The live :class:`~repro.hls.flow.HlsProject` carries IR objects with
+    no JSON codec; this is the wire-format projection the service (and
+    the ``hls`` job kind) serves: per-function resource/state summary
+    plus content hashes of every generated RTL file.
+    """
+
+    top: str
+    clock_ns: float
+    functions: Dict[str, Dict[str, int]]
+    states: int
+    static_latency: Optional[int]
+    verilog_sha256: Dict[str, str]
+
+    @classmethod
+    def from_project(cls, project) -> "HlsJobReport":
+        design = project.top_design
+        hashes = {
+            name: hashlib.sha256(text.encode("utf-8")).hexdigest()
+            for name, text in sorted(project.verilog_files().items())}
+        return cls(top=project.top, clock_ns=project.clock_ns,
+                   functions=project.resource_summary(),
+                   states=design.state_count,
+                   static_latency=design.static_latency(),
+                   verilog_sha256=hashes)
+
+    def to_json(self) -> Dict[str, Any]:
+        return {
+            "top": self.top,
+            "clock_ns": self.clock_ns,
+            "functions": {name: dict(sorted(stats.items()))
+                          for name, stats in sorted(self.functions.items())},
+            "states": self.states,
+            "static_latency": self.static_latency,
+            "verilog_sha256": dict(sorted(self.verilog_sha256.items())),
+        }
+
+    @classmethod
+    def from_json(cls, payload: Mapping[str, Any]) -> "HlsJobReport":
+        return cls(top=payload["top"], clock_ns=payload["clock_ns"],
+                   functions={name: dict(stats) for name, stats
+                              in payload["functions"].items()},
+                   states=payload["states"],
+                   static_latency=payload.get("static_latency"),
+                   verilog_sha256=dict(payload["verilog_sha256"]))
+
+    def summary(self) -> str:
+        area = self.functions.get(self.top, {})
+        return (f"hls {self.top}: {self.states} states, "
+                f"latency {self.static_latency}, "
+                f"{area.get('luts', 0)} LUTs, {area.get('ffs', 0)} FFs")
+
+
+# -- built-in runners -------------------------------------------------------
+
+
+def _require(params: Mapping[str, Any], *names: str) -> None:
+    missing = [name for name in names if name not in params]
+    if missing:
+        raise JobSpecError(
+            f"job params missing required field(s): "
+            f"{', '.join(missing)}")
+
+
+def _device_from(value: Any, grid_luts: Optional[int] = None):
+    """Build a Device from params: a family name or an asdict payload."""
+    from .fabric.device import Device, get_device, scaled_device
+    if isinstance(value, Mapping):
+        try:
+            device = Device(**dict(value))
+        except TypeError as error:
+            raise JobSpecError(f"malformed device payload: {error}")
+    else:
+        try:
+            device = get_device(str(value))
+        except KeyError as error:
+            raise JobSpecError(str(error.args[0]))
+    if grid_luts:
+        device = scaled_device(device, f"{device.name}-job{grid_luts}",
+                               int(grid_luts))
+    return device
+
+
+@register_kind("hls")
+def _run_hls(spec: JobSpec, ctx: JobContext) -> JobOutcome:
+    """params: source, top, [clock_ns, opt_level, scheduling,
+    axi_read_latency, library (fingerprint — live object travels in
+    ``ctx.resources['library']``)]."""
+    from .hls.flow import synthesize_pipeline
+    params = spec.params
+    _require(params, "source", "top")
+    project = synthesize_pipeline(
+        params["source"], params["top"],
+        clock_ns=params.get("clock_ns", 10.0),
+        opt_level=params.get("opt_level", 2),
+        library=ctx.resources.get("library"),
+        scheduling=params.get("scheduling", "list"),
+        axi_read_latency=params.get("axi_read_latency"),
+        tracer=ctx.tracer, cache=ctx.cache)
+    return JobOutcome(report=HlsJobReport.from_project(project),
+                      artifact=project)
+
+
+@register_kind("flow")
+def _run_flow(spec: JobSpec, ctx: JobContext) -> JobOutcome:
+    """params: component/width/stages + device (name or asdict) +
+    [grid_luts, target_clock_ns, effort, channel_width] — or a live
+    project/netlist in ``ctx.resources``."""
+    from .exec.cancel import check_cancelled
+    params = spec.params
+    project = ctx.resources.get("project")
+    if project is None:
+        from .fabric.nxmap import NXmapProject
+        netlist = ctx.resources.get("netlist")
+        if netlist is None:
+            from .fabric.synthesis import synthesize_component
+            _require(params, "component")
+            netlist = synthesize_component(params["component"],
+                                           params.get("width", 16),
+                                           params.get("stages", 0))
+        device = _device_from(params.get("device", "NG-ULTRA"),
+                              params.get("grid_luts"))
+        project = NXmapProject(netlist, device, seed=spec.seed,
+                               tracer=ctx.tracer, cache=ctx.cache)
+    target_clock_ns = params.get("target_clock_ns", 10.0)
+    project.run_place(effort=params.get("effort", 1.0))
+    check_cancelled()
+    project.run_route(channel_width=params.get("channel_width", 16))
+    check_cancelled()
+    project.run_sta(target_clock_ns=target_clock_ns)
+    check_cancelled()
+    project.run_bitstream()
+    return JobOutcome(report=project.report(target_clock_ns),
+                      artifact=project)
+
+
+@register_kind("characterize")
+def _run_characterize(spec: JobSpec, ctx: JobContext) -> JobOutcome:
+    """params: device (name or asdict) + [grid_luts, effort, components,
+    widths, stages] — or a live Eucalyptus in ``ctx.resources['tool']``."""
+    from .hls.characterization.eucalyptus import (
+        DEFAULT_STAGES,
+        DEFAULT_WIDTHS,
+        Eucalyptus,
+        SweepReport,
+    )
+    params = spec.params
+    tool = ctx.resources.get("tool")
+    if tool is None:
+        device = _device_from(params.get("device", "NG-ULTRA"),
+                              params.get("grid_luts"))
+        tool = Eucalyptus(device=device, seed=spec.seed,
+                          effort=params.get("effort", 0.3),
+                          tracer=ctx.tracer, cache=ctx.cache)
+    runs = tool._sweep_impl(
+        components=params.get("components"),
+        widths=tuple(params.get("widths", DEFAULT_WIDTHS)),
+        stages=tuple(params.get("stages", DEFAULT_STAGES)),
+        jobs=ctx.jobs, backend=ctx.backend, timeout_s=ctx.timeout_s,
+        retries=ctx.retries, progress=ctx.progress)
+    report = SweepReport(device=tool.device.name, effort=tool.effort,
+                         runs=list(runs))
+    return JobOutcome(report=report, artifact=runs)
+
+
+def _campaign_from(spec: JobSpec, ctx: JobContext):
+    campaign = ctx.resources.get("campaign")
+    if campaign is not None:
+        return campaign
+    from .radhard.scenarios import build_scenario
+    _require(spec.params, "scenario")
+    factory_params = dict(spec.params.get("scenario_params") or {})
+    try:
+        return build_scenario(spec.params["scenario"], **factory_params)
+    except KeyError as error:
+        raise JobSpecError(str(error.args[0]))
+    except TypeError as error:
+        raise JobSpecError(f"bad scenario_params: {error}")
+
+
+@register_kind("seu")
+def _run_seu(spec: JobSpec, ctx: JobContext) -> JobOutcome:
+    """params: scenario (factory id) + runs + [scenario_params] — or a
+    live Campaign in ``ctx.resources['campaign']``."""
+    params = spec.params
+    _require(params, "runs")
+    campaign = _campaign_from(spec, ctx)
+    report = campaign._run_impl(
+        int(params["runs"]), seed=spec.seed, jobs=ctx.jobs,
+        backend=ctx.backend, timeout_s=ctx.timeout_s,
+        retries=ctx.retries, progress=ctx.progress,
+        tracer=ctx.tracer, cache=ctx.cache)
+    code = ExitCode.FAILURE if report.counts.get("crash", 0) \
+        else ExitCode.OK
+    return JobOutcome(report=report, exit_code=code, artifact=report)
+
+
+@register_kind("mega")
+def _run_mega(spec: JobSpec, ctx: JobContext) -> JobOutcome:
+    """params: scenario + runs + [shards, shard_size, stop_ci,
+    stop_outcomes, min_stop_shards, scenario_params] — or live
+    Campaign/MegaCampaign objects in ``ctx.resources``."""
+    from .radhard.mega import FAILURE_OUTCOMES, MegaCampaign
+    params = spec.params
+    _require(params, "runs")
+    mega = ctx.resources.get("mega")
+    if mega is None:
+        mega = MegaCampaign(_campaign_from(spec, ctx),
+                            cache=ctx.cache, tracer=ctx.tracer)
+    stop_outcomes = tuple(params.get("stop_outcomes") or FAILURE_OUTCOMES)
+    result = mega._run_impl(
+        int(params["runs"]), seed=spec.seed, jobs=ctx.jobs,
+        backend=ctx.backend, shards=params.get("shards"),
+        shard_size=params.get("shard_size"),
+        timeout_s=ctx.timeout_s, retries=ctx.retries,
+        stop_ci=params.get("stop_ci"), stop_outcomes=stop_outcomes,
+        min_stop_shards=params.get("min_stop_shards", 2),
+        progress=ctx.progress)
+    if not result.reached_target:
+        code = ExitCode.INSUFFICIENT_EVIDENCE
+    elif result.report.counts.get("crash", 0):
+        code = ExitCode.FAILURE
+    else:
+        code = ExitCode.OK
+    return JobOutcome(report=result, exit_code=code, artifact=result)
+
+
+__all__ = [
+    "ApiError", "ExitCode", "HTTP_STATUS_BY_EXIT", "HlsJobReport",
+    "JobContext", "JobOutcome", "JobResult", "JobSpec", "JobSpecError",
+    "Runner", "http_status", "job_kinds", "register_kind", "submit",
+    "unregister_kind",
+]

@@ -1,0 +1,72 @@
+"""In-flight computation registry: dedup *before* the cache can.
+
+The content-addressed cache (PR 4) collapses repeated work only after
+the first computation has finished and been stored.  A busy service
+sees the other half of the problem: N identical submissions arriving
+while the first is *still running*.  The registry closes that window —
+the first submission to claim a content key becomes the **leader** (it
+actually computes), every later claim of the same key while the leader
+is in flight becomes a **follower** and is handed the leader's handle
+to subscribe to.  When the leader finishes (and typically stores its
+result in the cache) it releases the key, so later submissions take the
+normal warm-cache path.
+
+The registry stores opaque handles — the service registers its job
+records, tests register sentinels — and never inspects them.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Any, Dict, Optional, Tuple
+
+
+class InflightRegistry:
+    """Thread-safe leader/follower election keyed on content keys."""
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._inflight: Dict[str, Any] = {}
+        self._leaders = 0
+        self._coalesced = 0
+
+    def acquire(self, key: str, handle: Any) -> Tuple[bool, Any]:
+        """Claim ``key``; returns ``(is_leader, owning_handle)``.
+
+        The first claimant becomes the leader and gets its own handle
+        back; concurrent claimants get ``(False, leader_handle)`` and
+        must subscribe rather than compute.
+        """
+        with self._lock:
+            existing = self._inflight.get(key)
+            if existing is None:
+                self._inflight[key] = handle
+                self._leaders += 1
+                return True, handle
+            self._coalesced += 1
+            return False, existing
+
+    def release(self, key: str, handle: Any) -> None:
+        """Release ``key`` if (and only if) ``handle`` is its leader."""
+        with self._lock:
+            if self._inflight.get(key) is handle:
+                del self._inflight[key]
+
+    def leader_of(self, key: str) -> Optional[Any]:
+        """The current leader handle for ``key``, if any."""
+        with self._lock:
+            return self._inflight.get(key)
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._inflight)
+
+    def stats(self) -> Dict[str, int]:
+        """Lifetime counters: elected leaders, coalesced followers."""
+        with self._lock:
+            return {"inflight": len(self._inflight),
+                    "leaders": self._leaders,
+                    "coalesced": self._coalesced}
+
+
+__all__ = ["InflightRegistry"]

@@ -299,7 +299,8 @@ class FlowCache:
     / ``cache.evict`` telemetry counters.
     """
 
-    LAYERS = ("hls", "fabric", "characterize", "radhard", "mega")
+    LAYERS = ("hls", "fabric", "characterize", "radhard", "mega",
+              "service")
 
     def __init__(self, directory: Optional[Path] = None,
                  max_entries: int = DEFAULT_MAX_ENTRIES,

@@ -37,6 +37,19 @@ once the Wilson 95% CI half-width on its sdc+crash rate drops below X
 statistically insufficient evidence), and ``--json-deterministic PATH``
 writes the execution-independent payloads CI jobs diff byte-for-byte.
 
+The flow-as-a-service surface rides on the same tools:
+
+* ``serve``        — run the multi-tenant job server (fair queueing,
+  in-flight dedup, bounded queue, cancellation);
+* ``submit``       — POST one JobSpec to a running server (optionally
+  wait for and print the final report);
+* ``jobs``         — list/inspect/cancel jobs on a running server.
+
+Every subcommand exits with a :class:`repro.api.ExitCode` value —
+``0`` OK, ``1`` workload failure, ``2`` usage error, ``4`` statistically
+insufficient evidence — and the service maps the same enum onto HTTP
+statuses, so shell pipelines and HTTP clients read one convention.
+
 Shared flags are defined once as argparse *parent parsers*
 (``--jobs``/``--backend``, ``--seed``, ``--trace``/``--trace-format``,
 ``--cache``/``--no-cache``/``--cache-dir``) and read back through the
@@ -55,6 +68,7 @@ from dataclasses import dataclass
 from pathlib import Path
 from typing import List, Optional
 
+from .api import ExitCode
 from .telemetry import TRACE_FORMATS, Tracer, render_trace, write_trace
 
 
@@ -168,7 +182,7 @@ def _cmd_hls(args) -> int:
         print(f"  RTL written to {out}/")
     if args.cosim:
         print("  (cosim requires memory stimuli; use the Python API)")
-    return 0
+    return ExitCode.OK
 
 
 def _cmd_characterize(args) -> int:
@@ -207,7 +221,7 @@ def _cmd_characterize(args) -> int:
               f"({len(library.records())} records)")
     elif not args.json:
         print(xml_text)
-    return 0
+    return ExitCode.OK
 
 
 def _cmd_seu(args) -> int:
@@ -222,7 +236,7 @@ def _cmd_seu(args) -> int:
     if args.resume and not options.cache_enabled:
         print("error: --resume needs --cache-dir (or --cache) to "
               "resume from", file=sys.stderr)
-        return 2
+        return ExitCode.USAGE
     table = Table(
         f"SEU campaigns ({args.runs} runs each, seed {options.seed}, "
         f"jobs {options.jobs})",
@@ -282,13 +296,13 @@ def _cmd_seu(args) -> int:
         print(f"cache: {cache.summary()}", file=sys.stderr)
     options.finish_trace(tracer)
     if failures != 0:
-        return 1
+        return ExitCode.FAILURE
     # With --stop-ci, a campaign that ran out of shards before its CI
     # half-width reached the target is insufficient statistical
     # evidence — a distinct exit code so CI can gate on it.
     if args.stop_ci is not None and target_missed:
-        return 4
-    return 0
+        return ExitCode.INSUFFICIENT_EVIDENCE
+    return ExitCode.OK
 
 
 def _cmd_boot(args) -> int:
@@ -317,7 +331,8 @@ def _cmd_boot(args) -> int:
         if tracer is not None:
             soc.dbt_cache.publish(tracer)
     options.finish_trace(tracer)
-    return 0 if result.bl1.report.success else 1
+    return ExitCode.OK if result.bl1.report.success \
+        else ExitCode.FAILURE
 
 
 def _cmd_mission(args) -> int:
@@ -337,7 +352,7 @@ def _cmd_mission(args) -> int:
     misses = sum(p.deadline_misses
                  for pid, p in run.metrics.partitions.items()
                  if pid != mission.VBN_PID)
-    return 0 if misses == 0 else 1
+    return ExitCode.OK if misses == 0 else ExitCode.FAILURE
 
 
 def _cmd_lint(args) -> int:
@@ -360,11 +375,11 @@ def _cmd_lint(args) -> int:
             targets.append(target_from_file(Path(path_text)))
     except (TargetError, OSError) as error:
         print(f"error: {error}", file=sys.stderr)
-        return 2
+        return ExitCode.USAGE
     if not targets:
         print("error: nothing to lint (pass files or --examples)",
               file=sys.stderr)
-        return 2
+        return ExitCode.USAGE
     baseline = None
     if args.baseline:
         baseline = load_baseline(Path(args.baseline).read_text())
@@ -375,7 +390,7 @@ def _cmd_lint(args) -> int:
                             jobs=args.jobs, deep=args.deep)
     except RuleError as error:
         print(f"error: {error}", file=sys.stderr)
-        return 2
+        return ExitCode.USAGE
     report = analyzer.run(targets)
     if args.write_baseline:
         Path(args.write_baseline).write_text(render_baseline(report))
@@ -482,7 +497,7 @@ def _cmd_trace(args) -> int:
         print(text)
         print(f"{args.scenario} trace: {tracer.summary()}",
               file=sys.stderr)
-    return 0
+    return ExitCode.OK
 
 
 def _cmd_qualify(args) -> int:
@@ -493,7 +508,7 @@ def _cmd_qualify(args) -> int:
         module = importlib.import_module("bench_qualification_datapack")
     except ModuleNotFoundError:
         print("qualification bench not found; run from the repository")
-        return 1
+        return ExitCode.FAILURE
     options = CommonOptions.from_args(args)
     cache = options.build_cache()
     table, report, trl, pack = module.run_qualification(cache=cache)
@@ -501,7 +516,7 @@ def _cmd_qualify(args) -> int:
     print(f"\nTRL {trl.level}; datapack complete: {pack.complete}")
     if cache is not None:
         print(f"cache: {cache.summary()}", file=sys.stderr)
-    return 0 if report.all_passed else 1
+    return ExitCode.OK if report.all_passed else ExitCode.FAILURE
 
 
 def _cmd_cache(args) -> int:
@@ -515,15 +530,129 @@ def _cmd_cache(args) -> int:
                           "entries": store.entry_count(),
                           "bytes": store.total_bytes()},
                          indent=2, sort_keys=True))
-        return 0
+        return ExitCode.OK
     if args.action == "clear":
         removed = store.clear()
         print(f"cleared {removed} entrie(s) from {args.cache_dir}")
-        return 0
+        return ExitCode.OK
     removed = store.gc(max_bytes=args.max_bytes)
     print(f"gc removed {removed} entrie(s); "
           f"{store.entry_count()} left ({store.total_bytes()} bytes)")
-    return 0
+    return ExitCode.OK
+
+
+def _cmd_serve(args) -> int:
+    from .service import JobScheduler, JobServer
+
+    options = CommonOptions.from_args(args)
+    tracer = options.build_tracer()
+    cache = options.build_cache(tracer)
+    scheduler = JobScheduler(workers=args.workers,
+                             max_queue=args.max_queue, cache=cache,
+                             tracer=tracer, job_workers=options.jobs,
+                             backend=options.backend).start()
+    server = JobServer((args.host, args.port), scheduler,
+                       verbose=args.verbose)
+    host, port = server.server_address[:2]
+    print(f"flow service listening on http://{host}:{port} "
+          f"({args.workers} worker(s), queue bound {args.max_queue})",
+          file=sys.stderr)
+    try:
+        server.serve_forever()
+    except KeyboardInterrupt:
+        print("shutting down", file=sys.stderr)
+    finally:
+        server.server_close()
+        scheduler.stop()
+        options.finish_trace(tracer)
+    return ExitCode.OK
+
+
+def _cmd_submit(args) -> int:
+    import json
+
+    from .api import JobSpec, JobSpecError
+    from .service import ServiceClient, ServiceClientError
+
+    options = CommonOptions.from_args(args)
+    try:
+        params = json.loads(args.params)
+        if not isinstance(params, dict):
+            raise ValueError("--params must be a JSON object")
+    except ValueError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return ExitCode.USAGE
+    client = ServiceClient(args.host, args.port)
+    try:
+        spec = JobSpec(kind=args.kind, params=params,
+                       seed=options.seed, priority=args.priority,
+                       tenant=args.tenant)
+        job = client.submit(spec)
+    except JobSpecError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return ExitCode.USAGE
+    except ServiceClientError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return ExitCode.USAGE if error.status == 400 \
+            else ExitCode.FAILURE
+    origin = ("warm hit" if job["cache_hit"]
+              else f"coalesced onto {job['leader_id']}"
+              if job["coalesced"] else "scheduled")
+    print(f"{job['id']}: {job['state']} ({origin}, key "
+          f"{job['key'][:12]}…)", file=sys.stderr)
+    if not args.wait:
+        print(job["id"])
+        return ExitCode.OK
+    try:
+        final = client.wait(job["id"], timeout_s=args.timeout)
+        status, text = client.report(job["id"])
+    except ServiceClientError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return ExitCode.FAILURE
+    if final["state"] != "succeeded":
+        print(f"job {job['id']} {final['state']}: "
+              f"{final.get('error')} (HTTP {status})", file=sys.stderr)
+        return ExitCode.FAILURE
+    if args.report:
+        Path(args.report).write_text(text)
+        print(f"report written to {args.report}", file=sys.stderr)
+    else:
+        print(text)
+    return ExitCode(final["exit_code"])
+
+
+def _cmd_jobs(args) -> int:
+    import json
+
+    from .core import Table
+    from .service import ServiceClient, ServiceClientError
+
+    client = ServiceClient(args.host, args.port)
+    try:
+        if args.cancel:
+            cancelled = client.cancel(args.cancel)
+            print(f"{args.cancel}: "
+                  f"{'cancelled' if cancelled else 'not cancelled'}")
+            return ExitCode.OK if cancelled else ExitCode.FAILURE
+        if args.stats:
+            print(json.dumps(client.stats(), indent=2, sort_keys=True))
+            return ExitCode.OK
+        records = client.jobs(tenant=args.tenant, state=args.state)
+    except ServiceClientError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return ExitCode.FAILURE
+    table = Table(
+        f"jobs on {args.host}:{args.port}",
+        ["id", "kind", "tenant", "state", "exit", "origin"])
+    for job in records:
+        origin = ("warm" if job["cache_hit"]
+                  else "coalesced" if job["coalesced"] else "computed")
+        table.add_row(job["id"], job["spec"]["kind"],
+                      job["spec"]["tenant"], job["state"],
+                      "-" if job["exit_code"] is None
+                      else job["exit_code"], origin)
+    print(table.render())
+    return ExitCode.OK
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -664,6 +793,58 @@ def build_parser() -> argparse.ArgumentParser:
                       help="write a baseline suppressing every current "
                            "finding")
     lint.set_defaults(func=_cmd_lint)
+
+    service_p = _parent(
+        (("--host",), dict(default="127.0.0.1",
+                           help="job service host")),
+        (("--port",), dict(type=int, default=8321,
+                           help="job service port")))
+
+    serve = sub.add_parser(
+        "serve", parents=[jobs_p, backend_p, trace_p, cache_p,
+                          service_p],
+        help="run the multi-tenant flow-as-a-service job server")
+    serve.add_argument("--workers", type=int, default=2,
+                       help="concurrent scheduler worker threads")
+    serve.add_argument("--max-queue", type=int, default=64,
+                       help="bounded queue capacity (429 beyond it)")
+    serve.add_argument("--verbose", action="store_true",
+                       help="log every HTTP request")
+    serve.set_defaults(func=_cmd_serve)
+
+    submit = sub.add_parser(
+        "submit", parents=[seed_p, service_p],
+        help="submit one JobSpec to a running job server")
+    submit.add_argument("kind",
+                        help="job kind (hls, flow, characterize, seu, "
+                             "mega)")
+    submit.add_argument("--params", default="{}", metavar="JSON",
+                        help="kind-specific params as a JSON object")
+    submit.add_argument("--tenant", default="default")
+    submit.add_argument("--priority", type=int, default=0)
+    submit.add_argument("--wait", action="store_true",
+                        help="block until terminal and print the "
+                             "wire report")
+    submit.add_argument("--timeout", type=float, default=300.0,
+                        help="--wait deadline (seconds)")
+    submit.add_argument("--report", metavar="PATH",
+                        help="with --wait: write the report here "
+                             "instead of stdout")
+    submit.set_defaults(func=_cmd_submit)
+
+    jobs_cmd = sub.add_parser(
+        "jobs", parents=[service_p],
+        help="list, inspect or cancel jobs on a running server")
+    jobs_cmd.add_argument("--tenant", help="filter by tenant")
+    jobs_cmd.add_argument("--state",
+                          choices=("queued", "running", "succeeded",
+                                   "failed", "cancelled"),
+                          help="filter by state")
+    jobs_cmd.add_argument("--stats", action="store_true",
+                          help="print scheduler statistics as JSON")
+    jobs_cmd.add_argument("--cancel", metavar="JOB_ID",
+                          help="cancel this job instead of listing")
+    jobs_cmd.set_defaults(func=_cmd_jobs)
     return parser
 
 
@@ -676,7 +857,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         from .exec import ExecError
         if isinstance(error, ExecError):
             print(f"error: {error}", file=sys.stderr)
-            return 2
+            return ExitCode.USAGE
         raise
 
 

@@ -4,7 +4,17 @@ integrated ecosystem)."""
 
 from .datapack import MANDATORY_DOCUMENTS, Datapack, generate_datapack
 from .metrics import LatencyStats, Table, percentile, ratio
-from .report import Report, report_json_text
+from .report import (
+    SCHEMA_VERSION,
+    GenericReport,
+    Report,
+    ReportSchemaError,
+    parse_report,
+    register_report,
+    report_json_text,
+    report_kind,
+    registered_kinds,
+)
 from .project import (
     AcceleratorResult,
     HermesProject,
@@ -26,7 +36,9 @@ from .qualification import (
 __all__ = [
     "MANDATORY_DOCUMENTS", "Datapack", "generate_datapack",
     "LatencyStats", "Table", "percentile", "ratio",
-    "Report", "report_json_text",
+    "SCHEMA_VERSION", "GenericReport", "Report", "ReportSchemaError",
+    "parse_report", "register_report", "report_json_text", "report_kind",
+    "registered_kinds",
     "AcceleratorResult", "HermesProject", "HermesReport", "ProjectError",
     "Level", "QualificationCampaign", "QualificationReport", "Requirement",
     "TestCase", "TestResult", "TrlAssessment", "Verdict", "assess_trl",

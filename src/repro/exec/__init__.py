@@ -9,6 +9,13 @@ and :mod:`repro.exec.stats` accumulates streaming outcome statistics
 with Wilson confidence intervals.
 """
 
+from .cancel import (
+    CancelToken,
+    ExecCancelled,
+    cancel_scope,
+    check_cancelled,
+    current_token,
+)
 from .engine import (
     BACKENDS,
     ExecError,
@@ -32,6 +39,8 @@ from .sharding import (
 from .stats import Z95, StreamingStats, wilson_interval
 
 __all__ = [
+    "CancelToken", "ExecCancelled", "cancel_scope", "check_cancelled",
+    "current_token",
     "BACKENDS", "ExecError", "ExecutionReport", "ParallelEngine",
     "RunResult", "RunTimeout", "default_jobs", "resolve_backend",
     "LatencyStats", "percentile", "rng_for", "seed_for",

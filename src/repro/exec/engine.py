@@ -307,14 +307,17 @@ class ParallelEngine:
 
     def _map_serial(self, fn: RunFn, runs: int,
                     seed: int) -> List[RunResult]:
+        from .cancel import check_cancelled
         results: List[RunResult] = []
         for chunk in self._chunks(runs):
+            check_cancelled()
             results.extend(self._run_chunk(fn, chunk, seed))
             self._report_progress(len(results), runs)
         return results
 
     def _map_pooled(self, fn: RunFn, runs: int, seed: int,
                     process: bool) -> List[RunResult]:
+        from .cancel import current_token
         global _FORK_PAYLOAD
         chunks = self._chunks(runs)
         if process:
@@ -332,13 +335,24 @@ class ParallelEngine:
             submit = lambda chunk: executor.submit(
                 self._run_chunk, fn, chunk, seed)
         results: List[RunResult] = []
+        # Without a cancel scope, block indefinitely (legacy behavior);
+        # inside one, wake up periodically to notice a tripped token,
+        # drop the not-yet-started chunks and raise at the checkpoint.
+        token = current_token()
+        poll_s = None if token is None else 0.05
         try:
             pending = {submit(chunk) for chunk in chunks}
             while pending:
-                done, pending = wait(pending, return_when=FIRST_COMPLETED)
+                if token is not None and token.cancelled:
+                    for future in pending:
+                        future.cancel()
+                    token.raise_if_cancelled()
+                done, pending = wait(pending, timeout=poll_s,
+                                     return_when=FIRST_COMPLETED)
                 for future in done:
                     results.extend(future.result())
-                self._report_progress(len(results), runs)
+                if done:
+                    self._report_progress(len(results), runs)
         finally:
             executor.shutdown(wait=False)
             if process:

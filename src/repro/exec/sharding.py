@@ -38,6 +38,7 @@ from dataclasses import dataclass, field
 from typing import Any, Callable, Dict, List, Mapping, Optional, \
     Tuple, Type
 
+from .cancel import check_cancelled, current_token
 from .engine import ExecError, RunFn, RunResult, _execute_run, \
     default_jobs, resolve_backend
 from .seeding import seed_for
@@ -140,9 +141,15 @@ def run_shard(fn: RunFn, spec: ShardSpec, seed: int,
     is exactly the corresponding slice of the serial campaign.
     """
     start = time.perf_counter()
-    results = [_execute_run(fn, index, seed_for(seed, index), timeout_s,
-                            retries, tuple(fatal_types))
-               for index in spec.run_indices()]
+    results = []
+    for index in spec.run_indices():
+        # Cancellation checkpoint between runs: no-op outside a cancel
+        # scope (and in pool worker threads, which don't inherit the
+        # scope's ContextVar — the dispatcher loop covers those).
+        check_cancelled()
+        results.append(_execute_run(fn, index, seed_for(seed, index),
+                                    timeout_s, retries,
+                                    tuple(fatal_types)))
     return ShardResult(spec=spec, results=results,
                        wall_s=time.perf_counter() - start)
 
@@ -207,6 +214,7 @@ def run_sharded(fn: RunFn, plan: ShardPlan, seed: int = 1,
 
     if resolved == "serial" or jobs == 1:
         for spec in plan.specs:
+            check_cancelled()
             result = known.get(spec.index)
             if result is None:
                 result = run_shard(fn, spec, seed, timeout_s, retries,
@@ -237,8 +245,14 @@ def run_sharded(fn: RunFn, plan: ShardPlan, seed: int = 1,
     in_flight: Dict[Any, ShardSpec] = {}
     buffered: Dict[int, Any] = {}
     position = 0  # next plan position to fold
+    # Poll instead of blocking when a cancel scope is active, so a
+    # cancel lands within ~50ms; in-flight shards finish (or are
+    # cancelled before starting) and their results are discarded.
+    token = current_token()
+    poll_s = None if token is None else 0.05
     try:
         while position < len(plan.specs):
+            check_cancelled()
             # Keep the window full: workers steal the next shard the
             # moment a slot frees; nothing beyond the window starts, so
             # an early stop wastes at most ~jobs shards of work.
@@ -255,7 +269,8 @@ def run_sharded(fn: RunFn, plan: ShardPlan, seed: int = 1,
                 if fold(buffered.pop(front.index)):
                     break
                 continue
-            done, _ = wait(list(in_flight), return_when=FIRST_COMPLETED)
+            done, _ = wait(list(in_flight), timeout=poll_s,
+                           return_when=FIRST_COMPLETED)
             for future in done:
                 in_flight.pop(future)
                 result = future.result()

@@ -71,6 +71,35 @@ class CharacterizationRun:
                 f"{self.ffs} FFs, {self.dsps} DSPs, {self.brams} BRAMs")
 
 
+@dataclass
+class SweepReport:
+    """JSON-able result of one characterization sweep.
+
+    The wire-format report the ``characterize`` job kind returns: the
+    target device, the sweep effort and every configuration's measured
+    run, in configuration order.
+    """
+
+    device: str
+    effort: float
+    runs: List[CharacterizationRun]
+
+    def to_json(self) -> Dict[str, Any]:
+        return {"device": self.device, "effort": self.effort,
+                "runs": [run.to_json() for run in self.runs]}
+
+    @classmethod
+    def from_json(cls, payload: Dict[str, Any]) -> "SweepReport":
+        return cls(device=payload["device"], effort=payload["effort"],
+                   runs=[CharacterizationRun.from_json(entry)
+                         for entry in payload["runs"]])
+
+    def summary(self) -> str:
+        worst = max((run.delay_ns for run in self.runs), default=0.0)
+        return (f"sweep on {self.device}: {len(self.runs)} "
+                f"configurations, worst delay {worst:.3f} ns")
+
+
 class Eucalyptus:
     """Drives characterization sweeps over the fabric flow."""
 
@@ -179,7 +208,34 @@ class Eucalyptus:
         synthesize aborts the sweep with :class:`~repro.exec.ExecError`
         naming the configuration — characterization must be complete to
         be usable as an HLS library.
+
+        Thin shim over the unified job facade (:func:`repro.api.submit`,
+        kind ``"characterize"``); the sweep body is
+        :meth:`_sweep_impl`, driven by the runner against this live tool
+        instance from the context's resources.
         """
+        from ...api import JobSpec, submit
+        spec = JobSpec(kind="characterize", params={
+            "device": device_fingerprint(self.device),
+            "effort": self.effort,
+            "components": (list(components)
+                           if components is not None else None),
+            "widths": list(widths), "stages": list(stages)},
+            seed=self.seed)
+        result = submit(spec, jobs=jobs, backend=backend,
+                        timeout_s=timeout_s, retries=retries,
+                        progress=progress, tracer=self.tracer,
+                        cache=self.cache, resources={"tool": self})
+        return result.artifact
+
+    def _sweep_impl(self, components: Optional[Iterable[str]] = None,
+                    widths: Iterable[int] = DEFAULT_WIDTHS,
+                    stages: Iterable[int] = DEFAULT_STAGES,
+                    jobs: int = 1, backend: str = "auto",
+                    timeout_s: Optional[float] = None, retries: int = 0,
+                    progress: Optional[Callable[[int, int], None]] = None
+                    ) -> List[CharacterizationRun]:
+        """The sweep body (see :meth:`sweep` for the contract)."""
         configs = self.configurations(components, widths, stages)
 
         # Cache lookups (and later stores) happen parent-side: worker

@@ -268,7 +268,38 @@ class MegaCampaign:
         ``stop_outcomes`` rate (never before ``min_stop_shards`` shards
         have folded).  ``progress`` is called as ``(folded_shards,
         planned_shards)``.
+
+        Thin shim over the unified job facade (:func:`repro.api.submit`,
+        kind ``"mega"``); the sharded-execution body is
+        :meth:`_run_impl`, driven by the runner against this live
+        instance (its cache/tracer wiring included) from the context's
+        resources.
         """
+        from ..api import JobSpec, submit
+        spec = JobSpec(kind="mega", params={
+            "scenario": self.campaign.name,
+            "scenario_params": self.campaign.scenario_params,
+            "upsets_per_run": self.campaign.upsets_per_run,
+            "runs": runs, "shards": shards, "shard_size": shard_size,
+            "stop_ci": stop_ci, "stop_outcomes": list(stop_outcomes),
+            "min_stop_shards": min_stop_shards}, seed=seed)
+        result = submit(spec, jobs=jobs, backend=backend,
+                        timeout_s=timeout_s, retries=retries,
+                        progress=progress, tracer=self.tracer,
+                        cache=self.cache,
+                        resources={"campaign": self.campaign,
+                                   "mega": self})
+        return result.report
+
+    def _run_impl(self, runs: int, seed: int = 1, jobs: int = 1,
+                  backend: str = "auto", shards: Optional[int] = None,
+                  shard_size: Optional[int] = None,
+                  timeout_s: Optional[float] = None, retries: int = 0,
+                  stop_ci: Optional[float] = None,
+                  stop_outcomes: Tuple[str, ...] = FAILURE_OUTCOMES,
+                  min_stop_shards: int = 2,
+                  progress=None) -> MegaReport:
+        """The sharded-execution body (see :meth:`run`)."""
         if shards is None and shard_size is None:
             shards = max(1, jobs or 1) * 4
         plan = plan_shards(runs, shards=shards, shard_size=shard_size)

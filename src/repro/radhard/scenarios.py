@@ -125,3 +125,29 @@ def memory_scenarios(words: int = DEFAULT_WORDS) -> List[Campaign]:
     """The §I mitigation matrix: raw vs ECC vs TMR."""
     return [raw_sram_campaign(words), ecc_campaign(words),
             tmr_campaign(words)]
+
+
+#: Scenario factory ids accepted by the ``seu``/``mega`` job kinds —
+#: how a service client (which cannot ship campaign closures over the
+#: wire) names a campaign in ``JobSpec.params["scenario"]``.
+SCENARIO_FACTORIES = {
+    "raw-sram": raw_sram_campaign,
+    "ecc": ecc_campaign,
+    "tmr": tmr_campaign,
+    "beam": beam_campaign,
+}
+
+
+def build_scenario(name: str, **params) -> Campaign:
+    """Instantiate a canonical campaign from its factory id.
+
+    ``params`` are the factory's keyword arguments (``words``,
+    ``upsets``, ``dwell_s``...).  Unknown ids raise ``KeyError`` with
+    the known choices, which the job API surfaces as a spec error.
+    """
+    factory = SCENARIO_FACTORIES.get(name)
+    if factory is None:
+        raise KeyError(
+            f"unknown scenario {name!r} "
+            f"(known: {', '.join(sorted(SCENARIO_FACTORIES))})")
+    return factory(**params)

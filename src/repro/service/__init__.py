@@ -1,0 +1,42 @@
+"""Flow-as-a-service: the multi-tenant async job server (ROADMAP 1).
+
+The HERMES ecosystem as a *service*: clients POST a typed
+:class:`~repro.api.JobSpec` (HLS, fabric flow, characterization, SEU or
+mega campaign) and the server coalesces identical submissions onto one
+in-flight computation (content keys computed before scheduling),
+schedules tenants with weighted fair queueing + priority aging, applies
+bounded-queue backpressure, supports cancellation, and streams status,
+events and the final versioned wire Report.
+
+Layers: :mod:`.jobs` (records/state machine), :mod:`.scheduler`
+(WFQ + dedup + workers), :mod:`.server` (stdlib HTTP surface),
+:mod:`.client` (stdlib client used by the CLI and load generator).
+"""
+
+from .client import ServiceClient, ServiceClientError
+from .jobs import (
+    JobRecord,
+    JobState,
+    QueueFullError,
+    ServiceClosedError,
+    ServiceError,
+    TERMINAL_STATES,
+    UnknownJobError,
+)
+from .scheduler import SERVICE_LAYER, FairQueue, JobScheduler
+from .server import (
+    JobServer,
+    JobServiceHandler,
+    make_server,
+    serve_background,
+    shutdown_server,
+)
+
+__all__ = [
+    "ServiceClient", "ServiceClientError",
+    "JobRecord", "JobState", "QueueFullError", "ServiceClosedError",
+    "ServiceError", "TERMINAL_STATES", "UnknownJobError",
+    "SERVICE_LAYER", "FairQueue", "JobScheduler",
+    "JobServer", "JobServiceHandler", "make_server", "serve_background",
+    "shutdown_server",
+]

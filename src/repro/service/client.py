@@ -1,0 +1,144 @@
+"""Minimal stdlib client for the job service (``http.client`` only).
+
+Used by the CLI (``repro submit`` / ``repro jobs``), the benchmark load
+generator and the tests.  One connection per request keeps the client
+trivially thread-safe — synthetic load comes from many threads each
+holding its own :class:`ServiceClient`.
+"""
+
+from __future__ import annotations
+
+import json
+from http.client import HTTPConnection
+from typing import Any, Dict, List, Optional, Tuple
+
+from ..api import JobSpec
+
+
+class ServiceClientError(Exception):
+    """Transport- or protocol-level client failure."""
+
+    def __init__(self, message: str, status: int = 0,
+                 payload: Optional[Dict[str, Any]] = None) -> None:
+        super().__init__(message)
+        self.status = status
+        self.payload = payload or {}
+
+
+class ServiceClient:
+    """Talks the ``/v1`` job API to one server."""
+
+    def __init__(self, host: str = "127.0.0.1", port: int = 8321,
+                 timeout_s: float = 60.0) -> None:
+        self.host = host
+        self.port = port
+        self.timeout_s = timeout_s
+
+    # -- transport ---------------------------------------------------------
+
+    def _request(self, method: str, path: str,
+                 body: Optional[Dict[str, Any]] = None
+                 ) -> Tuple[int, bytes]:
+        connection = HTTPConnection(self.host, self.port,
+                                    timeout=self.timeout_s)
+        try:
+            payload = (json.dumps(body).encode("utf-8")
+                       if body is not None else None)
+            headers = {"Content-Type": "application/json"} \
+                if payload is not None else {}
+            connection.request(method, path, body=payload,
+                               headers=headers)
+            response = connection.getresponse()
+            return response.status, response.read()
+        except OSError as error:
+            raise ServiceClientError(
+                f"cannot reach job service at "
+                f"{self.host}:{self.port}: {error}")
+        finally:
+            connection.close()
+
+    def _json(self, method: str, path: str,
+              body: Optional[Dict[str, Any]] = None,
+              accept: Tuple[int, ...] = (200, 202)
+              ) -> Tuple[int, Dict[str, Any]]:
+        status, raw = self._request(method, path, body)
+        try:
+            payload = json.loads(raw) if raw else {}
+        except ValueError:
+            raise ServiceClientError(
+                f"non-JSON response from {path} (HTTP {status})",
+                status=status)
+        if status not in accept:
+            raise ServiceClientError(
+                payload.get("error", f"HTTP {status} from {path}"),
+                status=status, payload=payload)
+        return status, payload
+
+    # -- API ---------------------------------------------------------------
+
+    def healthz(self) -> Dict[str, Any]:
+        return self._json("GET", "/v1/healthz")[1]
+
+    def kinds(self) -> List[str]:
+        return list(self._json("GET", "/v1/kinds")[1]["kinds"])
+
+    def stats(self) -> Dict[str, Any]:
+        return self._json("GET", "/v1/stats")[1]
+
+    def submit(self, spec: JobSpec) -> Dict[str, Any]:
+        """Submit a spec; returns the job status object (or raises with
+        the server's error and HTTP status, e.g. 429 on backpressure)."""
+        _, payload = self._json("POST", "/v1/jobs", body=spec.to_json(),
+                                accept=(202,))
+        return payload["job"]
+
+    def job(self, job_id: str) -> Dict[str, Any]:
+        return self._json("GET", f"/v1/jobs/{job_id}")[1]["job"]
+
+    def jobs(self, tenant: Optional[str] = None,
+             state: Optional[str] = None) -> List[Dict[str, Any]]:
+        query = []
+        if tenant is not None:
+            query.append(f"tenant={tenant}")
+        if state is not None:
+            query.append(f"state={state}")
+        path = "/v1/jobs" + ("?" + "&".join(query) if query else "")
+        return list(self._json("GET", path)[1]["jobs"])
+
+    def events(self, job_id: str, since: int = 0,
+               wait_s: float = 0.0) -> Dict[str, Any]:
+        return self._json(
+            "GET",
+            f"/v1/jobs/{job_id}/events?since={since}&wait={wait_s}")[1]
+
+    def report(self, job_id: str, wait_s: float = 0.0
+               ) -> Tuple[int, str]:
+        """(HTTP status, body text).  2xx bodies are wire report text;
+        202 means still running; 4xx/5xx bodies are JSON errors."""
+        status, raw = self._request(
+            "GET", f"/v1/jobs/{job_id}/report?wait={wait_s}")
+        return status, raw.decode("utf-8")
+
+    def wait(self, job_id: str, timeout_s: float = 60.0,
+             poll_s: float = 10.0) -> Dict[str, Any]:
+        """Block until the job is terminal (long-polls the event log)."""
+        import time
+        deadline = time.monotonic() + timeout_s
+        since = 0
+        while True:
+            remaining = deadline - time.monotonic()
+            if remaining <= 0:
+                raise ServiceClientError(
+                    f"timed out waiting for job {job_id}")
+            page = self.events(job_id, since=since,
+                               wait_s=min(poll_s, remaining))
+            since = page["next"]
+            if page["terminal"]:
+                return self.job(job_id)
+
+    def cancel(self, job_id: str) -> bool:
+        return bool(self._json("POST", f"/v1/jobs/{job_id}/cancel",
+                               body={})[1]["cancelled"])
+
+
+__all__ = ["ServiceClient", "ServiceClientError"]

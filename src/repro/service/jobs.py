@@ -1,0 +1,113 @@
+"""Job records and service error types.
+
+A :class:`JobRecord` is the server-side life of one submission: the
+spec, its content key, a monotonic state machine
+(``QUEUED → RUNNING → SUCCEEDED | FAILED | CANCELLED``), an append-only
+event log clients poll incrementally, and the final wire report.  The
+scheduler owns all mutation (under its lock); everything here is plain
+state plus JSON projection.
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass, field
+from enum import Enum
+from typing import Any, Dict, List, Optional
+
+from ..api import ExitCode, JobSpec
+from ..exec.cancel import CancelToken
+
+
+class ServiceError(Exception):
+    """Base error of the job service."""
+
+
+class QueueFullError(ServiceError):
+    """The bounded submission queue is at capacity (HTTP 429)."""
+
+
+class UnknownJobError(ServiceError):
+    """No job with the requested id (HTTP 404)."""
+
+
+class ServiceClosedError(ServiceError):
+    """The scheduler is shutting down and takes no new work (HTTP 503)."""
+
+
+class JobState(str, Enum):
+    """Life cycle of one job."""
+
+    QUEUED = "queued"
+    RUNNING = "running"
+    SUCCEEDED = "succeeded"
+    FAILED = "failed"
+    CANCELLED = "cancelled"
+
+
+#: States a job never leaves.
+TERMINAL_STATES = frozenset(
+    {JobState.SUCCEEDED, JobState.FAILED, JobState.CANCELLED})
+
+
+@dataclass
+class JobRecord:
+    """Server-side state of one submitted job."""
+
+    id: str
+    spec: JobSpec
+    key: str
+    state: JobState = JobState.QUEUED
+    seq: int = 0                     # submission order (global)
+    enqueued_at: float = 0.0
+    started_at: Optional[float] = None
+    finished_at: Optional[float] = None
+    exit_code: Optional[ExitCode] = None
+    error: Optional[str] = None
+    report_text: Optional[str] = None
+    cache_hit: bool = False          # served from the warm service layer
+    coalesced: bool = False          # follower of an in-flight leader
+    leader_id: Optional[str] = None  # set on followers
+    followers: List["JobRecord"] = field(default_factory=list)
+    events: List[Dict[str, Any]] = field(default_factory=list)
+    token: CancelToken = field(default_factory=CancelToken)
+    done: threading.Event = field(default_factory=threading.Event)
+    progress: Optional[Dict[str, int]] = None
+
+    @property
+    def terminal(self) -> bool:
+        return self.state in TERMINAL_STATES
+
+    def add_event(self, name: str, **attributes: Any) -> None:
+        """Append to the event log (caller holds the scheduler lock)."""
+        event = {"seq": len(self.events), "event": name}
+        event.update(attributes)
+        self.events.append(event)
+
+    def to_json(self) -> Dict[str, Any]:
+        return {
+            "id": self.id,
+            "spec": self.spec.to_json(),
+            "key": self.key,
+            "state": self.state.value,
+            "exit_code": (int(self.exit_code)
+                          if self.exit_code is not None else None),
+            "error": self.error,
+            "cache_hit": self.cache_hit,
+            "coalesced": self.coalesced,
+            "leader_id": self.leader_id,
+            "events": len(self.events),
+            "progress": self.progress,
+        }
+
+    def summary(self) -> str:
+        origin = ("warm" if self.cache_hit
+                  else "coalesced" if self.coalesced else "computed")
+        return (f"{self.id} [{self.spec.kind}/{self.spec.tenant}] "
+                f"{self.state.value} ({origin})")
+
+
+__all__ = [
+    "JobRecord", "JobState", "QueueFullError", "ServiceClosedError",
+    "ServiceError", "TERMINAL_STATES", "UnknownJobError",
+]
