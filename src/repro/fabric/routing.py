@@ -33,7 +33,7 @@ Edge = Tuple[Tile, Tile]
 #: Bumped whenever the routing algorithm changes its results; part of
 #: the flow-cache stage key (see ``NXmapProject._stage_key``), so stale
 #: cached routes from an older kernel can never be returned.
-ROUTE_KERNEL_VERSION = 2
+ROUTE_KERNEL_VERSION = 3
 
 #: Base bbox margin (tiles) around a connection; widened every
 #: negotiation pass so congested connections can detour further out.
@@ -62,6 +62,11 @@ class RoutingResult:
     # evidence): total A* node expansions and targeted rip-up count.
     expanded_nodes: int = 0
     ripped_connections: int = 0
+    # Final per-edge occupancy (congestion state).  Persisted so a later
+    # pass — ECO delta routing in particular — can seed its negotiation
+    # from the exact channel usage this result left behind instead of
+    # recomputing it from the path lists.
+    edge_usage: Dict[Edge, int] = field(default_factory=dict)
 
     @property
     def success(self) -> bool:
@@ -85,10 +90,24 @@ class RoutingResult:
                        for net, paths in sorted(self.routes.items())},
             "expanded_nodes": self.expanded_nodes,
             "ripped_connections": self.ripped_connections,
+            "edge_usage": [[list(edge[0]), list(edge[1]), used]
+                           for edge, used
+                           in sorted(self.edge_usage.items())],
         }
 
     @classmethod
     def from_json(cls, payload: dict) -> "RoutingResult":
+        routes = {net: [[(int(t[0]), int(t[1])) for t in path]
+                        for path in paths]
+                  for net, paths in payload["routes"].items()}
+        if "edge_usage" in payload:
+            edge_usage = {((int(a[0]), int(a[1])), (int(b[0]), int(b[1]))):
+                          int(used)
+                          for a, b, used in payload["edge_usage"]}
+        else:
+            # Pre-v3 artifact: rebuild the occupancy map from the paths.
+            edge_usage = _usage_of_paths(
+                path for paths in routes.values() for path in paths)
         return cls(
             wirelength=payload["wirelength"],
             max_congestion=payload["max_congestion"],
@@ -97,16 +116,25 @@ class RoutingResult:
             failed_connections=payload["failed_connections"],
             iterations=payload["iterations"],
             channel_width=payload["channel_width"],
-            routes={net: [[(int(t[0]), int(t[1])) for t in path]
-                          for path in paths]
-                    for net, paths in payload["routes"].items()},
+            routes=routes,
             expanded_nodes=payload.get("expanded_nodes", 0),
             ripped_connections=payload.get("ripped_connections", 0),
+            edge_usage=edge_usage,
         )
 
 
 def _edge(a: Tile, b: Tile) -> Edge:
     return (a, b) if a <= b else (b, a)
+
+
+def _usage_of_paths(paths: Iterable[List[Tile]]) -> Dict[Edge, int]:
+    """Edge-occupancy map of a collection of path segments."""
+    usage: Dict[Edge, int] = {}
+    for path in paths:
+        for a, b in zip(path, path[1:]):
+            edge = _edge(a, b)
+            usage[edge] = usage.get(edge, 0) + 1
+    return usage
 
 
 class _AstarStats:
@@ -177,30 +205,57 @@ def _astar_tree(sources: Iterable[Tile], goal: Tile,
 
 
 class _NetTree:
-    """One net's growing route tree: nodes, and per-sink path segments."""
+    """One net's growing route tree: nodes, and per-sink path segments.
 
-    __slots__ = ("source", "nodes", "paths")
+    The node set is materialized lazily: a warm-preserved tree that is
+    never re-routed (the overwhelming majority in an ECO pass) never
+    pays the O(wirelength) set construction.
+    """
+
+    __slots__ = ("source", "_nodes", "paths")
 
     def __init__(self, source: Tile) -> None:
         self.source = source
-        self.nodes: Set[Tile] = {source}
+        self._nodes: Optional[Set[Tile]] = None
         # (sink ordinal, path segment) — segment edges are disjoint
         # between segments; their union is the net's route tree.
         self.paths: List[Tuple[int, List[Tile]]] = []
 
+    @property
+    def nodes(self) -> Set[Tile]:
+        if self._nodes is None:
+            self._nodes = {self.source}
+            for _ordinal, path in self.paths:
+                self._nodes.update(path)
+        return self._nodes
+
     def add(self, ordinal: int, path: List[Tile]) -> None:
         self.paths.append((ordinal, path))
-        self.nodes.update(path)
+        if self._nodes is not None:
+            self._nodes.update(path)
 
 
 def route(netlist: Netlist, locations: Dict[str, Tile],
           grid: Tuple[int, int], channel_width: int = 16,
           max_iterations: int = 3,
-          tracer: Optional[Tracer] = None) -> RoutingResult:
+          tracer: Optional[Tracer] = None,
+          warm: Optional[RoutingResult] = None,
+          reroute_nets: Optional[Iterable[str]] = None) -> RoutingResult:
     """Route all nets; negotiation loop raises congestion cost each pass.
 
     ``tracer`` (optional) receives per-pass ``route.pass`` spans plus the
     ``route.astar.expanded`` and ``route.ripup.connections`` counters.
+
+    ``warm`` enables *delta routing* (the ECO flow): a previous
+    :class:`RoutingResult` whose route trees are preserved for every net
+    **not** named in ``reroute_nets``.  Preserved nets keep their exact
+    paths and their channel usage (seeded from the persisted
+    ``edge_usage`` map); only the named nets — plus anything the
+    overflow cascade rips later — are torn up and re-routed.  A warm net
+    whose preserved paths no longer match the current connection list
+    (a pin moved, a sink appeared) is detected and re-routed as well, so
+    an over-approximate ``reroute_nets`` is a performance choice, never
+    a correctness one.
     """
     cols, rows = grid
     # Deterministic connection order: nets sorted by name, then sinks in
@@ -228,6 +283,54 @@ def route(netlist: Netlist, locations: Dict[str, Tile],
             trees[net_name] = _NetTree(source)
 
     usage: Dict[Edge, int] = {}
+    preloaded: Set[str] = set()
+    if warm is not None:
+        reroute = set(reroute_nets) if reroute_nets is not None else set()
+        counts: Dict[str, int] = {}
+        for name, _ordinal, _tile in connections:
+            counts[name] = counts.get(name, 0) + 1
+        for net_name in sorted(trees):
+            if net_name in reroute:
+                continue
+            paths = warm.routes.get(net_name)
+            if paths is None or len(paths) != counts.get(net_name, 0):
+                continue
+            tree = trees[net_name]
+            # Preserved paths must still describe this net's connection
+            # endpoints: the first segment starts at the (unmoved)
+            # driver tile and every segment ends at its (unmoved) sink
+            # tile.  Segment-to-tree continuity is an invariant of the
+            # stored artifact — the base run grew the segments on the
+            # tree in ordinal order — so endpoint checks alone detect
+            # every pin move without materializing the node set.
+            valid = True
+            for ordinal, path in enumerate(paths):
+                if not path \
+                        or path[-1] != sink_tiles[(net_name, ordinal)] \
+                        or (ordinal == 0 and path[0] != tree.source):
+                    valid = False
+                    break
+            if not valid:
+                continue
+            for ordinal, path in enumerate(paths):
+                tree.add(ordinal, path)
+            preloaded.add(net_name)
+        # Seed the congestion state from the persisted occupancy map,
+        # then subtract every warm path that was *not* preserved (ripped
+        # nets, vanished nets, stale nets) so usage stays exactly the
+        # sum of the live trees.
+        usage = dict(warm.edge_usage)
+        for net_name, paths in warm.routes.items():
+            if net_name in preloaded:
+                continue
+            for path in paths:
+                for a, b in zip(path, path[1:]):
+                    edge = _edge(a, b)
+                    remaining = usage.get(edge, 0) - 1
+                    if remaining > 0:
+                        usage[edge] = remaining
+                    else:
+                        usage.pop(edge, None)
     stats = _AstarStats()
     failed: Set[Tuple[str, int]] = set()
     iterations = 0
@@ -297,10 +400,11 @@ def route(netlist: Netlist, locations: Dict[str, Tile],
                     kept.append((ordinal, path))
                     rebuilt.update(path)
             tree.paths = kept
-            tree.nodes = rebuilt
+            tree._nodes = rebuilt
         return sorted(ripped)
 
-    pending: List[Conn] = list(connections)
+    pending: List[Conn] = [conn for conn in connections
+                           if conn[0] not in preloaded]
     for iteration in range(max_iterations):
         if iteration > 0:
             penalty *= 4  # negotiate harder next pass
@@ -352,4 +456,5 @@ def route(netlist: Netlist, locations: Dict[str, Tile],
         routed_connections=len(connections) - len(failed),
         failed_connections=len(failed), iterations=iterations,
         channel_width=channel_width, routes=routes,
-        expanded_nodes=stats.expanded, ripped_connections=ripped_total)
+        expanded_nodes=stats.expanded, ripped_connections=ripped_total,
+        edge_usage=dict(usage))

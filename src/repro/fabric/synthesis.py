@@ -17,6 +17,7 @@ Two entry points:
 from __future__ import annotations
 
 import math
+import random
 from typing import Dict, List, Optional
 
 from .netlist import BRAM, CARRY, DFF, DSP, LUT4, Cell, Netlist
@@ -385,4 +386,41 @@ def synthesize_design(hls_design, func, name: Optional[str] = None) -> Netlist:
                           inputs=decode_outputs[:4], output=done,
                           init=0x8000))
     netlist.add_output(done)
+    return netlist
+
+
+def synthesize_random(n_cells: int = 10_000, seed: int = 7) -> Netlist:
+    """A synthetic LUT/FF design with window-local random connectivity,
+    the scale of the DSP workloads the paper maps onto NG-ULTRA.
+
+    Deterministic per seed; shared by the kernel benchmarks, the ECO
+    benchmark and the CI eco-smoke job, so "a 1% edit of the 10k design"
+    means the same design everywhere.
+    """
+    rng = random.Random(seed)
+    netlist = Netlist(f"synth{n_cells}")
+    for i in range(32):
+        netlist.add_input(f"pi{i}")
+    recent = [f"pi{i}" for i in range(32)]
+    for i in range(n_cells):
+        out = f"n{i}"
+        if i % 5 == 4:
+            src = recent[-1 - rng.randrange(min(len(recent), 24))]
+            netlist.add_cell(Cell(name=f"ff{i}", kind=DFF,
+                                  inputs=[src], output=out))
+        else:
+            ins = []
+            for _ in range(2 + rng.randrange(3)):
+                if rng.random() < 0.05:
+                    ins.append(f"pi{rng.randrange(32)}")
+                else:
+                    ins.append(recent[-1 - rng.randrange(min(len(recent),
+                                                             48))])
+            netlist.add_cell(Cell(name=f"lut{i}", kind=LUT4,
+                                  inputs=ins, output=out,
+                                  init=rng.randrange(1 << 16)))
+        recent.append(out)
+        if len(recent) > 96:
+            recent.pop(0)
+    netlist.add_output(recent[-1])
     return netlist

@@ -1,0 +1,61 @@
+"""The ``eco`` job kind through the multi-tenant service.
+
+The interactive contract: a second identical edit submission is a warm
+cache hit served without recomputation, and its wire report is
+byte-identical to the first — across tenants, like every other kind.
+"""
+
+import pytest
+
+from repro.api import ExitCode, JobSpec
+from repro.core.report import parse_report
+from repro.fabric import random_delta, synthesize_component
+from repro.service import JobScheduler, JobState
+
+
+@pytest.fixture
+def scheduler():
+    instance = JobScheduler(workers=4, max_queue=32).start()
+    yield instance
+    instance.stop()
+
+
+def eco_spec(tenant="alice"):
+    netlist = synthesize_component("addsub", 16, 2)
+    delta = random_delta(netlist, 0.1, seed=3)
+    return JobSpec(kind="eco", tenant=tenant, seed=1, params={
+        "component": "addsub", "width": 16, "stages": 2,
+        "device": "NG-ULTRA", "grid_luts": 4096,
+        "delta": delta.canonical(), "target_clock_ns": 10.0,
+        "effort": 1.0, "channel_width": 8})
+
+
+class TestEcoService:
+    def test_second_identical_submission_is_warm_hit(self, scheduler):
+        first = scheduler.submit(eco_spec())
+        assert first.done.wait(timeout=60.0)
+        assert first.state is JobState.SUCCEEDED
+        assert first.exit_code == ExitCode.OK
+
+        again = scheduler.submit(eco_spec(tenant="bob"))
+        assert again.done.is_set()            # served synchronously
+        assert again.cache_hit
+        assert again.report_text == first.report_text
+        assert scheduler.counts["warm_hits"] == 1
+        assert scheduler.counts["computed"] == 1
+
+    def test_report_revives_as_eco_report(self, scheduler):
+        record = scheduler.submit(eco_spec())
+        assert record.done.wait(timeout=60.0)
+        report = parse_report(record.report_text)
+        assert report.eco["cells_frozen"] > 0
+        assert report.delta_fingerprint
+        assert report.flow.routing.failed_connections == 0
+
+    def test_malformed_delta_is_a_spec_error(self, scheduler):
+        spec = eco_spec()
+        spec.params["delta"] = [{"op": "teleport_cell"}]
+        record = scheduler.submit(spec)
+        assert record.done.wait(timeout=60.0)
+        assert record.state is JobState.FAILED
+        assert "delta" in (record.error or "")
